@@ -1,0 +1,39 @@
+//! Error types for baseline models.
+
+use std::fmt;
+
+use relgraph_store::StoreError;
+
+/// Result alias for baseline operations.
+pub type BaselineResult<T> = Result<T, BaselineError>;
+
+/// Errors from feature engineering or baseline training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// Empty or single-class training data.
+    DegenerateTrainingSet(String),
+    /// Feature rows with inconsistent widths.
+    RaggedFeatures { expected: usize, got: usize },
+    /// Underlying store error during feature computation.
+    Store(StoreError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::DegenerateTrainingSet(m) => write!(f, "degenerate training set: {m}"),
+            BaselineError::RaggedFeatures { expected, got } => {
+                write!(f, "ragged feature rows: expected width {expected}, got {got}")
+            }
+            BaselineError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<StoreError> for BaselineError {
+    fn from(e: StoreError) -> Self {
+        BaselineError::Store(e)
+    }
+}

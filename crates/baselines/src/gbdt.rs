@@ -1,0 +1,352 @@
+//! Gradient-boosted decision trees — the LightGBM stand-in.
+//!
+//! Depth-limited regression trees are fit to the negative gradient of
+//! either squared error (regression) or logistic loss (binary
+//! classification), with shrinkage. Split candidates are per-feature
+//! quantiles computed once on the full data. Deterministic.
+
+use crate::error::{BaselineError, BaselineResult};
+
+/// Training objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GbdtObjective {
+    /// Squared error; `predict` returns raw values.
+    Regression,
+    /// Logistic loss; `predict` returns probabilities.
+    Binary,
+}
+
+/// Hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct GbdtConfig {
+    /// Boosting rounds (number of trees).
+    pub rounds: usize,
+    /// Shrinkage per tree.
+    pub learning_rate: f64,
+    /// Split candidates per feature.
+    pub quantiles: usize,
+    /// Minimum examples per leaf.
+    pub min_leaf: usize,
+    /// Maximum tree depth (1 = stumps; 2 captures pairwise interactions).
+    pub max_depth: usize,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        GbdtConfig { rounds: 150, learning_rate: 0.1, quantiles: 16, min_leaf: 5, max_depth: 2 }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(f64),
+    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
+}
+
+impl Node {
+    fn eval(&self, row: &[f64]) -> f64 {
+        match self {
+            Node::Leaf(v) => *v,
+            Node::Split { feature, threshold, left, right } => {
+                if row[*feature] <= *threshold {
+                    left.eval(row)
+                } else {
+                    right.eval(row)
+                }
+            }
+        }
+    }
+
+    fn count_feature_usage(&self, counts: &mut [usize]) {
+        if let Node::Split { feature, left, right, .. } = self {
+            counts[*feature] += 1;
+            left.count_feature_usage(counts);
+            right.count_feature_usage(counts);
+        }
+    }
+}
+
+/// A fitted gradient-boosted tree ensemble.
+#[derive(Debug, Clone)]
+pub struct Gbdt {
+    objective: GbdtObjective,
+    base: f64,
+    trees: Vec<Node>,
+    learning_rate: f64,
+}
+
+fn build_tree(
+    x: &[Vec<f64>],
+    grad: &[f64],
+    rows: &[usize],
+    candidates: &[Vec<f64>],
+    depth: usize,
+    cfg: &GbdtConfig,
+) -> Node {
+    let sum: f64 = rows.iter().map(|&r| grad[r]).sum();
+    let mean = sum / rows.len() as f64;
+    if depth == 0 || rows.len() < 2 * cfg.min_leaf {
+        return Node::Leaf(mean);
+    }
+    // Best split by variance reduction on the residuals.
+    let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+    for (f, cands) in candidates.iter().enumerate() {
+        for &t in cands {
+            let mut left_sum = 0.0;
+            let mut left_n = 0usize;
+            for &r in rows {
+                if x[r][f] <= t {
+                    left_sum += grad[r];
+                    left_n += 1;
+                }
+            }
+            let right_n = rows.len() - left_n;
+            if left_n < cfg.min_leaf || right_n < cfg.min_leaf {
+                continue;
+            }
+            let right_sum = sum - left_sum;
+            let gain = left_sum * left_sum / left_n as f64
+                + right_sum * right_sum / right_n as f64
+                - sum * sum / rows.len() as f64;
+            if best.map_or(true, |(g, _, _)| gain > g) {
+                best = Some((gain, f, t));
+            }
+        }
+    }
+    let Some((gain, feature, threshold)) = best else { return Node::Leaf(mean) };
+    if gain <= 1e-12 {
+        return Node::Leaf(mean);
+    }
+    let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+        rows.iter().partition(|&&r| x[r][feature] <= threshold);
+    let left = build_tree(x, grad, &left_rows, candidates, depth - 1, cfg);
+    let right = build_tree(x, grad, &right_rows, candidates, depth - 1, cfg);
+    Node::Split { feature, threshold, left: Box::new(left), right: Box::new(right) }
+}
+
+impl Gbdt {
+    /// Fit on feature rows `x` and labels `y` (binary labels in {0,1}).
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[f64],
+        objective: GbdtObjective,
+        cfg: &GbdtConfig,
+    ) -> BaselineResult<Self> {
+        if x.is_empty() || x.len() != y.len() {
+            return Err(BaselineError::DegenerateTrainingSet(format!(
+                "{} rows vs {} labels",
+                x.len(),
+                y.len()
+            )));
+        }
+        let d = x[0].len();
+        for row in x {
+            if row.len() != d {
+                return Err(BaselineError::RaggedFeatures { expected: d, got: row.len() });
+            }
+        }
+        if objective == GbdtObjective::Binary {
+            let pos = y.iter().filter(|&&v| v > 0.5).count();
+            if pos == 0 || pos == y.len() {
+                return Err(BaselineError::DegenerateTrainingSet(
+                    "binary objective needs both classes".into(),
+                ));
+            }
+        }
+        let n = x.len();
+        // Base score: mean for regression, log-odds for binary.
+        let mean = y.iter().sum::<f64>() / n as f64;
+        let base = match objective {
+            GbdtObjective::Regression => mean,
+            GbdtObjective::Binary => {
+                let p = mean.clamp(1e-6, 1.0 - 1e-6);
+                (p / (1.0 - p)).ln()
+            }
+        };
+        // Per-feature quantile split candidates, computed once.
+        let mut candidates: Vec<Vec<f64>> = Vec::with_capacity(d);
+        for f in 0..d {
+            let mut vals: Vec<f64> = x.iter().map(|r| r[f]).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            vals.dedup();
+            let mut cs = Vec::new();
+            if vals.len() > 1 {
+                let q = cfg.quantiles.min(vals.len() - 1);
+                for k in 1..=q {
+                    let idx = k * (vals.len() - 1) / (q + 1);
+                    let t = (vals[idx] + vals[idx + 1]) / 2.0;
+                    if cs.last().map_or(true, |&l: &f64| l != t) {
+                        cs.push(t);
+                    }
+                }
+            }
+            candidates.push(cs);
+        }
+
+        let all_rows: Vec<usize> = (0..n).collect();
+        let mut score: Vec<f64> = vec![base; n];
+        let mut trees = Vec::with_capacity(cfg.rounds);
+        for _ in 0..cfg.rounds {
+            let grad: Vec<f64> = match objective {
+                GbdtObjective::Regression => {
+                    score.iter().zip(y).map(|(&s, &t)| t - s).collect()
+                }
+                GbdtObjective::Binary => {
+                    score.iter().zip(y).map(|(&s, &t)| t - sigmoid(s)).collect()
+                }
+            };
+            let tree = build_tree(x, &grad, &all_rows, &candidates, cfg.max_depth, cfg);
+            if matches!(tree, Node::Leaf(v) if v.abs() < 1e-12) {
+                break; // converged
+            }
+            for (s, row) in score.iter_mut().zip(x) {
+                *s += cfg.learning_rate * tree.eval(row);
+            }
+            trees.push(tree);
+        }
+        Ok(Gbdt { objective, base, trees, learning_rate: cfg.learning_rate })
+    }
+
+    /// Raw score per row (log-odds for binary).
+    pub fn score(&self, x: &[Vec<f64>]) -> Vec<f64> {
+        x.iter()
+            .map(|row| {
+                self.base
+                    + self.learning_rate
+                        * self.trees.iter().map(|t| t.eval(row)).sum::<f64>()
+            })
+            .collect()
+    }
+
+    /// Predictions: probabilities for `Binary`, values for `Regression`.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Vec<f64> {
+        let scores = self.score(x);
+        match self.objective {
+            GbdtObjective::Regression => scores,
+            GbdtObjective::Binary => scores.into_iter().map(sigmoid).collect(),
+        }
+    }
+
+    /// Number of fitted trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// How often each feature was chosen for a split (importance proxy).
+    pub fn feature_usage(&self, num_features: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; num_features];
+        for t in &self.trees {
+            t.count_feature_usage(&mut counts);
+        }
+        counts
+    }
+}
+
+#[inline]
+fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn xor_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // Nonlinear with interaction: y = 1[x0 > 0 XOR x1 > 0] — requires
+        // depth ≥ 2 trees; additive stumps provably cannot represent it.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f64 = rng.gen_range(-1.0..1.0);
+            let b: f64 = rng.gen_range(-1.0..1.0);
+            x.push(vec![a, b]);
+            y.push(if (a > 0.0) != (b > 0.0) { 1.0 } else { 0.0 });
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_nonlinear_xor_with_depth_two() {
+        let (x, y) = xor_data(400, 1);
+        let m = Gbdt::fit(&x, &y, GbdtObjective::Binary, &GbdtConfig::default()).unwrap();
+        let (xt, yt) = xor_data(200, 2);
+        let p = m.predict(&xt);
+        let acc = p.iter().zip(&yt).filter(|(&pi, &ti)| (pi > 0.5) == (ti > 0.5)).count();
+        assert!(acc > 170, "accuracy {acc}/200");
+        assert!(m.num_trees() > 10);
+    }
+
+    #[test]
+    fn depth_one_stumps_fail_xor() {
+        let (x, y) = xor_data(400, 1);
+        let cfg = GbdtConfig { max_depth: 1, ..Default::default() };
+        let m = Gbdt::fit(&x, &y, GbdtObjective::Binary, &cfg).unwrap();
+        let (xt, yt) = xor_data(200, 2);
+        let p = m.predict(&xt);
+        let acc = p.iter().zip(&yt).filter(|(&pi, &ti)| (pi > 0.5) == (ti > 0.5)).count();
+        assert!(acc < 140, "stumps should not solve XOR, got {acc}/200");
+    }
+
+    #[test]
+    fn regression_fits_step_function() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 5.0 }).collect();
+        let m = Gbdt::fit(&x, &y, GbdtObjective::Regression, &GbdtConfig::default()).unwrap();
+        let p = m.predict(&x);
+        let mae: f64 =
+            p.iter().zip(&y).map(|(&a, &b)| (a - b).abs()).sum::<f64>() / y.len() as f64;
+        assert!(mae < 0.2, "MAE {mae}");
+    }
+
+    #[test]
+    fn constant_target_yields_base_only() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y = vec![3.0; 20];
+        let m = Gbdt::fit(&x, &y, GbdtObjective::Regression, &GbdtConfig::default()).unwrap();
+        let p = m.predict(&x);
+        assert!(p.iter().all(|&v| (v - 3.0).abs() < 1e-9));
+        assert_eq!(m.num_trees(), 0, "no useful splits → early convergence");
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let (x, y) = xor_data(100, 3);
+        let m = Gbdt::fit(&x, &y, GbdtObjective::Binary, &GbdtConfig::default()).unwrap();
+        for p in m.predict(&x) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn feature_usage_prefers_informative_features() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| if r[0] > 0.2 { 1.0 } else { 0.0 }).collect();
+        let m = Gbdt::fit(&x, &y, GbdtObjective::Binary, &GbdtConfig::default()).unwrap();
+        let usage = m.feature_usage(2);
+        assert!(usage[0] > usage[1], "usage {usage:?}");
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(Gbdt::fit(&[], &[], GbdtObjective::Binary, &GbdtConfig::default()).is_err());
+        let x = vec![vec![1.0]; 10];
+        let y = vec![1.0; 10];
+        assert!(Gbdt::fit(&x, &y, GbdtObjective::Binary, &GbdtConfig::default()).is_err());
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(matches!(
+            Gbdt::fit(&ragged, &[0.0, 1.0], GbdtObjective::Binary, &GbdtConfig::default()),
+            Err(BaselineError::RaggedFeatures { .. })
+        ));
+    }
+}

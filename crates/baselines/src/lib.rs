@@ -1,0 +1,29 @@
+//! # relgraph-baselines
+//!
+//! The comparators the paper's evaluation pits relational deep learning
+//! against:
+//!
+//! * [`features`] — the "diligent data scientist": hand-style temporal
+//!   aggregate feature engineering over FK joins (counts, sums, means and
+//!   recency per time window, including one dimension-table hop);
+//! * [`linear`] — logistic and ridge-linear regression on those features;
+//! * [`gbdt`] — gradient-boosted decision stumps (the LightGBM stand-in);
+//! * [`trivial`] — prior/mean predictors and popularity / co-visitation
+//!   recommenders.
+//!
+//! All models consume plain `&[Vec<f64>]` feature rows and are fully
+//! deterministic given their configs.
+
+pub mod error;
+pub mod features;
+pub mod gbdt;
+pub mod linear;
+pub mod multiclass;
+pub mod trivial;
+
+pub use error::{BaselineError, BaselineResult};
+pub use features::{FeatureConfig, FeatureEngineer};
+pub use gbdt::{Gbdt, GbdtConfig, GbdtObjective};
+pub use linear::{LinearConfig, LinearRegressor, LogisticRegressor};
+pub use multiclass::{MajorityClass, MulticlassGbdt, MulticlassLogReg};
+pub use trivial::{CoVisitRecommender, MeanRegressor, PopularityRecommender, PriorClassifier};

@@ -1,0 +1,236 @@
+//! Multiclass baselines: one-vs-rest reductions of the binary models and
+//! the majority-class floor.
+
+use crate::error::{BaselineError, BaselineResult};
+use crate::gbdt::{Gbdt, GbdtConfig, GbdtObjective};
+use crate::linear::{LinearConfig, LogisticRegressor};
+
+fn check_classes(y: &[usize], n_classes: usize) -> BaselineResult<()> {
+    if y.is_empty() {
+        return Err(BaselineError::DegenerateTrainingSet("no labels".into()));
+    }
+    if n_classes < 2 {
+        return Err(BaselineError::DegenerateTrainingSet(format!(
+            "need ≥ 2 classes, got {n_classes}"
+        )));
+    }
+    if let Some(&bad) = y.iter().find(|&&c| c >= n_classes) {
+        return Err(BaselineError::DegenerateTrainingSet(format!(
+            "class index {bad} out of range for {n_classes} classes"
+        )));
+    }
+    Ok(())
+}
+
+fn argmax(scores: &[f64]) -> usize {
+    scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Always predicts the most frequent training class.
+#[derive(Debug, Clone)]
+pub struct MajorityClass {
+    class: usize,
+}
+
+impl MajorityClass {
+    /// Fit on class indices.
+    pub fn fit(y: &[usize], n_classes: usize) -> BaselineResult<Self> {
+        check_classes(y, n_classes)?;
+        let mut counts = vec![0usize; n_classes];
+        for &c in y {
+            counts[c] += 1;
+        }
+        Ok(MajorityClass { class: argmax(&counts.iter().map(|&c| c as f64).collect::<Vec<_>>()) })
+    }
+
+    /// The constant prediction.
+    pub fn predict(&self, n: usize) -> Vec<usize> {
+        vec![self.class; n]
+    }
+
+    /// The majority class index.
+    pub fn class(&self) -> usize {
+        self.class
+    }
+}
+
+/// One-vs-rest gradient-boosted trees.
+#[derive(Debug, Clone)]
+pub struct MulticlassGbdt {
+    per_class: Vec<Option<Gbdt>>,
+    fallback: usize,
+}
+
+impl MulticlassGbdt {
+    /// Fit one binary GBDT per class (classes absent from training get a
+    /// constant −∞ score and can never be predicted).
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[usize],
+        n_classes: usize,
+        cfg: &GbdtConfig,
+    ) -> BaselineResult<Self> {
+        check_classes(y, n_classes)?;
+        let mut per_class = Vec::with_capacity(n_classes);
+        for c in 0..n_classes {
+            let labels: Vec<f64> =
+                y.iter().map(|&yc| if yc == c { 1.0 } else { 0.0 }).collect();
+            let pos = labels.iter().filter(|&&v| v > 0.5).count();
+            if pos == 0 || pos == labels.len() {
+                per_class.push(None);
+            } else {
+                per_class.push(Some(Gbdt::fit(x, &labels, GbdtObjective::Binary, cfg)?));
+            }
+        }
+        let fallback = MajorityClass::fit(y, n_classes)?.class();
+        Ok(MulticlassGbdt { per_class, fallback })
+    }
+
+    /// Per-class one-vs-rest scores (log-odds; absent classes get −∞).
+    pub fn score(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let n = x.len();
+        let mut scores = vec![vec![f64::NEG_INFINITY; self.per_class.len()]; n];
+        for (c, m) in self.per_class.iter().enumerate() {
+            if let Some(m) = m {
+                for (row, s) in scores.iter_mut().zip(m.score(x)) {
+                    row[c] = s;
+                }
+            }
+        }
+        scores
+    }
+
+    /// Argmax class per row.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Vec<usize> {
+        self.score(x)
+            .into_iter()
+            .map(|s| {
+                if s.iter().all(|v| v.is_infinite()) {
+                    self.fallback
+                } else {
+                    argmax(&s)
+                }
+            })
+            .collect()
+    }
+}
+
+/// One-vs-rest logistic regression.
+#[derive(Debug, Clone)]
+pub struct MulticlassLogReg {
+    per_class: Vec<Option<LogisticRegressor>>,
+    fallback: usize,
+}
+
+impl MulticlassLogReg {
+    /// Fit one binary logistic regressor per class.
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[usize],
+        n_classes: usize,
+        cfg: &LinearConfig,
+    ) -> BaselineResult<Self> {
+        check_classes(y, n_classes)?;
+        let mut per_class = Vec::with_capacity(n_classes);
+        for c in 0..n_classes {
+            let labels: Vec<f64> =
+                y.iter().map(|&yc| if yc == c { 1.0 } else { 0.0 }).collect();
+            let pos = labels.iter().filter(|&&v| v > 0.5).count();
+            if pos == 0 || pos == labels.len() {
+                per_class.push(None);
+            } else {
+                per_class.push(Some(LogisticRegressor::fit(x, &labels, cfg)?));
+            }
+        }
+        let fallback = MajorityClass::fit(y, n_classes)?.class();
+        Ok(MulticlassLogReg { per_class, fallback })
+    }
+
+    /// Argmax class per row (by one-vs-rest probability).
+    pub fn predict(&self, x: &[Vec<f64>]) -> Vec<usize> {
+        let n = x.len();
+        let k = self.per_class.len();
+        let mut probs = vec![vec![f64::NEG_INFINITY; k]; n];
+        for (c, m) in self.per_class.iter().enumerate() {
+            if let Some(m) = m {
+                for (row, p) in probs.iter_mut().zip(m.predict_proba(x)) {
+                    row[c] = p;
+                }
+            }
+        }
+        probs
+            .into_iter()
+            .map(|p| {
+                if p.iter().all(|v| v.is_infinite()) {
+                    self.fallback
+                } else {
+                    argmax(&p)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Three linearly separated blobs along x0.
+    fn blobs(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let c = rng.gen_range(0..3usize);
+            x.push(vec![c as f64 * 3.0 + rng.gen_range(-0.8..0.8), rng.gen_range(-1.0..1.0)]);
+            y.push(c);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn majority_class() {
+        let m = MajorityClass::fit(&[0, 1, 1, 2, 1], 3).unwrap();
+        assert_eq!(m.class(), 1);
+        assert_eq!(m.predict(2), vec![1, 1]);
+        assert!(MajorityClass::fit(&[], 3).is_err());
+        assert!(MajorityClass::fit(&[5], 3).is_err());
+        assert!(MajorityClass::fit(&[0], 1).is_err());
+    }
+
+    #[test]
+    fn gbdt_separates_blobs() {
+        let (x, y) = blobs(300, 1);
+        let m = MulticlassGbdt::fit(&x, &y, 3, &GbdtConfig::default()).unwrap();
+        let (xt, yt) = blobs(100, 2);
+        let p = m.predict(&xt);
+        let acc = p.iter().zip(&yt).filter(|(a, b)| a == b).count();
+        assert!(acc > 90, "gbdt multiclass accuracy {acc}/100");
+    }
+
+    #[test]
+    fn logreg_separates_blobs() {
+        let (x, y) = blobs(300, 3);
+        let m = MulticlassLogReg::fit(&x, &y, 3, &LinearConfig::default()).unwrap();
+        let (xt, yt) = blobs(100, 4);
+        let p = m.predict(&xt);
+        let acc = p.iter().zip(&yt).filter(|(a, b)| a == b).count();
+        assert!(acc > 90, "logreg multiclass accuracy {acc}/100");
+    }
+
+    #[test]
+    fn absent_class_never_predicted() {
+        // Class 2 exists in the vocabulary but not in training.
+        let x = vec![vec![0.0], vec![1.0], vec![0.1], vec![0.9]];
+        let y = vec![0, 1, 0, 1];
+        let m = MulticlassGbdt::fit(&x, &y, 3, &GbdtConfig::default()).unwrap();
+        assert!(m.predict(&x).iter().all(|&c| c < 2));
+    }
+}

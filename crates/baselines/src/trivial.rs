@@ -1,0 +1,201 @@
+//! Trivial baselines: class-prior / mean predictors and
+//! popularity / co-visitation recommenders.
+
+use std::collections::{HashMap, HashSet};
+
+/// Predicts the training-set positive rate for every example.
+#[derive(Debug, Clone)]
+pub struct PriorClassifier {
+    prior: f64,
+}
+
+impl PriorClassifier {
+    /// Fit on binary labels.
+    pub fn fit(y: &[f64]) -> Self {
+        let prior = if y.is_empty() {
+            0.5
+        } else {
+            y.iter().filter(|&&v| v > 0.5).count() as f64 / y.len() as f64
+        };
+        PriorClassifier { prior }
+    }
+
+    /// The constant probability.
+    pub fn predict(&self, n: usize) -> Vec<f64> {
+        vec![self.prior; n]
+    }
+}
+
+/// Predicts the training-set mean for every example.
+#[derive(Debug, Clone)]
+pub struct MeanRegressor {
+    mean: f64,
+}
+
+impl MeanRegressor {
+    /// Fit on targets.
+    pub fn fit(y: &[f64]) -> Self {
+        let mean = if y.is_empty() { 0.0 } else { y.iter().sum::<f64>() / y.len() as f64 };
+        MeanRegressor { mean }
+    }
+
+    /// The constant prediction.
+    pub fn predict(&self, n: usize) -> Vec<f64> {
+        vec![self.mean; n]
+    }
+
+    /// The fitted mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// Recommends globally most-frequent items to everyone.
+#[derive(Debug, Clone)]
+pub struct PopularityRecommender {
+    ranked: Vec<u64>,
+}
+
+impl PopularityRecommender {
+    /// Fit on historical `(user, item)` interactions.
+    pub fn fit(interactions: &[(u64, u64)]) -> Self {
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for &(_, item) in interactions {
+            *counts.entry(item).or_insert(0) += 1;
+        }
+        let mut ranked: Vec<(u64, usize)> = counts.into_iter().collect();
+        // Stable deterministic order: by count desc, then item id.
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        PopularityRecommender { ranked: ranked.into_iter().map(|(i, _)| i).collect() }
+    }
+
+    /// Top-`k` items, optionally excluding a user's already-seen set.
+    pub fn recommend(&self, k: usize, exclude: &HashSet<u64>) -> Vec<u64> {
+        self.ranked.iter().copied().filter(|i| !exclude.contains(i)).take(k).collect()
+    }
+}
+
+/// Item-to-item co-visitation: recommends items most co-interacted with the
+/// user's history.
+#[derive(Debug, Clone)]
+pub struct CoVisitRecommender {
+    /// item → (co-item → co-count)
+    co: HashMap<u64, HashMap<u64, usize>>,
+    fallback: PopularityRecommender,
+}
+
+impl CoVisitRecommender {
+    /// Fit on historical `(user, item)` interactions.
+    pub fn fit(interactions: &[(u64, u64)]) -> Self {
+        let mut by_user: HashMap<u64, Vec<u64>> = HashMap::new();
+        for &(u, i) in interactions {
+            by_user.entry(u).or_default().push(i);
+        }
+        let mut co: HashMap<u64, HashMap<u64, usize>> = HashMap::new();
+        for items in by_user.values() {
+            for (a_idx, &a) in items.iter().enumerate() {
+                for &b in &items[a_idx + 1..] {
+                    if a == b {
+                        continue;
+                    }
+                    *co.entry(a).or_default().entry(b).or_insert(0) += 1;
+                    *co.entry(b).or_default().entry(a).or_insert(0) += 1;
+                }
+            }
+        }
+        CoVisitRecommender { co, fallback: PopularityRecommender::fit(interactions) }
+    }
+
+    /// Top-`k` recommendations given the user's interaction history,
+    /// excluding the history itself; backfills with popularity.
+    pub fn recommend(&self, history: &[u64], k: usize) -> Vec<u64> {
+        let seen: HashSet<u64> = history.iter().copied().collect();
+        let mut scores: HashMap<u64, usize> = HashMap::new();
+        for h in history {
+            if let Some(cands) = self.co.get(h) {
+                for (&item, &c) in cands {
+                    if !seen.contains(&item) {
+                        *scores.entry(item).or_insert(0) += c;
+                    }
+                }
+            }
+        }
+        let mut ranked: Vec<(u64, usize)> = scores.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut out: Vec<u64> = ranked.into_iter().map(|(i, _)| i).take(k).collect();
+        if out.len() < k {
+            let have: HashSet<u64> = out.iter().copied().chain(seen.iter().copied()).collect();
+            for i in self.fallback.recommend(k + have.len(), &have) {
+                if out.len() >= k {
+                    break;
+                }
+                out.push(i);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prior_and_mean() {
+        let p = PriorClassifier::fit(&[1.0, 0.0, 1.0, 1.0]);
+        assert_eq!(p.predict(2), vec![0.75, 0.75]);
+        assert_eq!(PriorClassifier::fit(&[]).predict(1), vec![0.5]);
+        let m = MeanRegressor::fit(&[1.0, 3.0]);
+        assert_eq!(m.mean(), 2.0);
+        assert_eq!(m.predict(3), vec![2.0; 3]);
+    }
+
+    #[test]
+    fn popularity_ranks_by_frequency() {
+        let inter = [(1, 10), (2, 10), (3, 10), (1, 20), (2, 20), (1, 30)];
+        let r = PopularityRecommender::fit(&inter);
+        assert_eq!(r.recommend(3, &HashSet::new()), vec![10, 20, 30]);
+        let mut ex = HashSet::new();
+        ex.insert(10);
+        assert_eq!(r.recommend(2, &ex), vec![20, 30]);
+    }
+
+    #[test]
+    fn covisit_finds_companions() {
+        // Users who buy 1 also buy 2; item 9 is popular but unrelated.
+        let inter = [
+            (1, 1),
+            (1, 2),
+            (2, 1),
+            (2, 2),
+            (3, 1),
+            (3, 2),
+            (4, 9),
+            (5, 9),
+            (6, 9),
+            (7, 9),
+        ];
+        let r = CoVisitRecommender::fit(&inter);
+        let recs = r.recommend(&[1], 1);
+        assert_eq!(recs, vec![2], "co-visitation should beat popularity");
+    }
+
+    #[test]
+    fn covisit_backfills_with_popularity() {
+        let inter = [(1, 1), (2, 2), (2, 2), (3, 3)];
+        let r = CoVisitRecommender::fit(&inter);
+        // No co-visits for item 1 → fall back to popularity (2 first).
+        let recs = r.recommend(&[1], 2);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0], 2);
+        assert!(!recs.contains(&1));
+    }
+
+    #[test]
+    fn covisit_excludes_history() {
+        let inter = [(1, 1), (1, 2), (2, 1), (2, 2)];
+        let r = CoVisitRecommender::fit(&inter);
+        let recs = r.recommend(&[1, 2], 5);
+        assert!(!recs.contains(&1) && !recs.contains(&2));
+    }
+}

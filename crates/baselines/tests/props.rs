@@ -1,0 +1,159 @@
+//! Property-based tests for the feature engineer — above all the
+//! leak-freedom invariant: features anchored at time `t` must be identical
+//! whether or not the database contains rows after `t`.
+
+use proptest::prelude::*;
+use relgraph_baselines::{FeatureConfig, FeatureEngineer};
+use relgraph_store::{Database, DataType, Row, TableSchema, Value, SECONDS_PER_DAY};
+
+fn schema_db() -> Database {
+    let mut db = Database::new("d");
+    db.create_table(
+        TableSchema::builder("users")
+            .column("user_id", DataType::Int)
+            .column("joined", DataType::Timestamp)
+            .primary_key("user_id")
+            .time_column("joined")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::builder("events")
+            .column("event_id", DataType::Int)
+            .column("user_id", DataType::Int)
+            .column("amount", DataType::Float)
+            .column("at", DataType::Timestamp)
+            .primary_key("event_id")
+            .time_column("at")
+            .foreign_key("user_id", "users")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+/// `(user, amount, day)` event tuples over a fixed 3-user population.
+fn events_strategy() -> impl Strategy<Value = Vec<(usize, f64, i64)>> {
+    proptest::collection::vec((0usize..3, -5.0f64..5.0, 0i64..200), 0..40)
+}
+
+fn build(events: &[(usize, f64, i64)]) -> Database {
+    let mut db = schema_db();
+    for u in 0..3i64 {
+        db.insert("users", Row::new().push(u).push(Value::Timestamp(0))).unwrap();
+    }
+    for (i, &(u, amount, day)) in events.iter().enumerate() {
+        db.insert(
+            "events",
+            Row::new()
+                .push(i as i64)
+                .push(u as i64)
+                .push(amount)
+                .push(Value::Timestamp(day * SECONDS_PER_DAY)),
+        )
+        .unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The leak-freedom property: adding strictly-future rows must not
+    /// change any feature anchored in the past.
+    #[test]
+    fn features_invariant_to_future_rows(
+        past in events_strategy(),
+        future in events_strategy(),
+        anchor_day in 1i64..200,
+    ) {
+        let anchor = anchor_day * SECONDS_PER_DAY;
+        let past: Vec<_> =
+            past.into_iter().filter(|&(_, _, d)| d * SECONDS_PER_DAY <= anchor).collect();
+        let db_past = build(&past);
+        // Same past plus rows strictly after the anchor.
+        let mut combined = past.clone();
+        combined.extend(
+            future.into_iter().map(|(u, a, d)| (u, a, anchor_day + 1 + d)),
+        );
+        let db_full = build(&combined);
+
+        let fe_past =
+            FeatureEngineer::new(&db_past, "users", FeatureConfig::default()).unwrap();
+        let fe_full =
+            FeatureEngineer::new(&db_full, "users", FeatureConfig::default()).unwrap();
+        prop_assert_eq!(fe_past.names(), fe_full.names());
+        let seeds: Vec<(usize, i64)> = (0..3).map(|u| (u, anchor)).collect();
+        let x_past = fe_past.compute(&db_past, &seeds).unwrap();
+        let x_full = fe_full.compute(&db_full, &seeds).unwrap();
+        for (row_p, row_f) in x_past.iter().zip(&x_full) {
+            for (a, b) in row_p.iter().zip(row_f) {
+                prop_assert!((a - b).abs() < 1e-9, "feature leaked: {a} vs {b}");
+            }
+        }
+    }
+
+    /// The all-history event count is non-decreasing in the anchor.
+    #[test]
+    fn alltime_count_monotone_in_anchor(events in events_strategy()) {
+        let db = build(&events);
+        let fe = FeatureEngineer::new(&db, "users", FeatureConfig::default()).unwrap();
+        let slot = fe.names().iter().position(|n| n == "events.count_all").unwrap();
+        for user in 0..3usize {
+            let mut prev = -1.0;
+            for day in (0..220).step_by(20) {
+                let x = fe.compute(&db, &[(user, day * SECONDS_PER_DAY)]).unwrap();
+                prop_assert!(x[0][slot] >= prev, "count_all decreased");
+                prev = x[0][slot];
+            }
+        }
+    }
+
+    /// Window counts never exceed the all-history count, and widths match.
+    #[test]
+    fn window_counts_bounded_and_widths_consistent(
+        events in events_strategy(),
+        anchor_day in 0i64..220,
+    ) {
+        let db = build(&events);
+        let fe = FeatureEngineer::new(&db, "users", FeatureConfig::default()).unwrap();
+        let all = fe.names().iter().position(|n| n == "events.count_all").unwrap();
+        let windows: Vec<usize> = fe
+            .names()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.starts_with("events.count_") && !n.ends_with("_all"))
+            .map(|(i, _)| i)
+            .collect();
+        let seeds: Vec<(usize, i64)> =
+            (0..3).map(|u| (u, anchor_day * SECONDS_PER_DAY)).collect();
+        let x = fe.compute(&db, &seeds).unwrap();
+        for row in &x {
+            prop_assert_eq!(row.len(), fe.num_features());
+            for &w in &windows {
+                prop_assert!(row[w] <= row[all] + 1e-9, "window count exceeds total");
+            }
+        }
+    }
+
+    /// Truncating the template list is a prefix operation on features.
+    #[test]
+    fn max_features_is_a_prefix(events in events_strategy(), keep in 1usize..10) {
+        let db = build(&events);
+        let full = FeatureEngineer::new(&db, "users", FeatureConfig::default()).unwrap();
+        let cut = FeatureEngineer::new(
+            &db,
+            "users",
+            FeatureConfig { max_features: Some(keep), ..Default::default() },
+        )
+        .unwrap();
+        let k = keep.min(full.num_features());
+        prop_assert_eq!(&full.names()[..k], cut.names());
+        let seeds = [(0usize, 100 * SECONDS_PER_DAY)];
+        let xf = full.compute(&db, &seeds).unwrap();
+        let xc = cut.compute(&db, &seeds).unwrap();
+        prop_assert_eq!(&xf[0][..k], &xc[0][..]);
+    }
+}

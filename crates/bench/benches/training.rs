@@ -1,0 +1,103 @@
+//! Micro-benchmarks for the learning path: dense kernels, autodiff
+//! round-trips, one GNN training epoch and GBDT fitting.
+//!
+//! Run with `cargo bench -p relgraph-bench --bench training`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relgraph_datagen::{generate_ecommerce, EcommerceConfig};
+use relgraph_db2graph::{build_graph, ConvertOptions};
+use relgraph_gnn::{train_node_model, TaskKind, TrainConfig};
+use relgraph_graph::Seed;
+use relgraph_pq::traintable::TrainTableConfig;
+use relgraph_pq::{analyze, build_training_table, parse};
+use relgraph_tensor::{Graph, Tensor};
+
+fn bench_tensor_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tensor_ops");
+    for &n in &[64usize, 128] {
+        let a = Tensor::full(n, n, 0.5);
+        let b = Tensor::full(n, n, -0.25);
+        g.bench_with_input(BenchmarkId::new("matmul", n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b).sum())
+        });
+    }
+    // Full forward+backward of a small MLP-like graph.
+    g.bench_function("autodiff_roundtrip_256x32", |bench| {
+        let x = Tensor::full(256, 32, 0.1);
+        let w1 = Tensor::full(32, 32, 0.05);
+        let w2 = Tensor::full(32, 1, -0.02);
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let xv = g.constant(x.clone());
+            let w1v = g.leaf(w1.clone());
+            let h = g.matmul(xv, w1v);
+            let h = g.relu(h);
+            let w2v = g.leaf(w2.clone());
+            let o = g.matmul(h, w2v);
+            let l = g.mean_all(o);
+            g.backward(l).unwrap();
+            g.grad(w1v).unwrap().sum()
+        })
+    });
+    g.finish();
+}
+
+fn bench_train_epoch(c: &mut Criterion) {
+    let db = generate_ecommerce(&EcommerceConfig {
+        customers: 300,
+        products: 40,
+        seed: 7,
+        ..Default::default()
+    })
+    .unwrap();
+    let aq = analyze(
+        &db,
+        parse("PREDICT EXISTS(orders.*, 0, 30) FOR EACH customers.customer_id").unwrap(),
+    )
+    .unwrap();
+    let table = build_training_table(&db, &aq, &TrainTableConfig::default()).unwrap();
+    let (graph, mapping) = build_graph(&db, &ConvertOptions::default()).unwrap();
+    let cust = mapping.node_type("customers").unwrap();
+    let train: Vec<(Seed, f64)> = table
+        .train
+        .iter()
+        .map(|e| (Seed { node_type: cust, node: e.entity_row, time: e.anchor }, e.label.scalar()))
+        .collect();
+    let mut g = c.benchmark_group("gnn_training");
+    g.sample_size(10);
+    g.bench_function("one_epoch_2hop", |b| {
+        let cfg = TrainConfig {
+            epochs: 1,
+            hidden_dim: 32,
+            fanouts: vec![8, 8],
+            ..Default::default()
+        };
+        b.iter(|| {
+            train_node_model(&graph, TaskKind::Binary, &train, &[], &cfg)
+                .unwrap()
+                .num_params()
+        })
+    });
+    g.finish();
+}
+
+fn bench_gbdt(c: &mut Criterion) {
+    use relgraph_baselines::{Gbdt, GbdtConfig, GbdtObjective};
+    // Synthetic tabular data.
+    let n = 500;
+    let d = 20;
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..d).map(|j| ((i * 31 + j * 17) % 97) as f64 / 97.0).collect())
+        .collect();
+    let y: Vec<f64> = x.iter().map(|r| if r[0] + r[3] > 1.0 { 1.0 } else { 0.0 }).collect();
+    let mut g = c.benchmark_group("gbdt");
+    g.sample_size(10);
+    g.bench_function("fit_500x20_60rounds", |b| {
+        let cfg = GbdtConfig { rounds: 60, ..Default::default() };
+        b.iter(|| Gbdt::fit(&x, &y, GbdtObjective::Binary, &cfg).unwrap().num_trees())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tensor_ops, bench_train_epoch, bench_gbdt);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! A1 (extension ablation) — neighborhood aggregation function: mean vs
+//! sum vs max, on the two headline classification tasks.
+//!
+//! Expected shape (per the "Some Might Say All You Need Is Sum" line of
+//! work): sum is at least as *expressive* as mean, but with explicit
+//! degree features supplied, mean tends to train most stably; max is
+//! competitive when a single strong neighbor carries the signal.
+
+use relgraph_bench::{clinic_db, ecommerce_db, is_quick, Table};
+use relgraph_pq::{execute, ExecConfig};
+use relgraph_store::Database;
+
+fn main() {
+    println!("A1 — Aggregator ablation (AUROC)\n");
+    let tasks: [(&str, Database, &str); 2] = [
+        (
+            "shop-active",
+            ecommerce_db(7),
+            "PREDICT EXISTS(orders.*, 0, 30) FOR EACH customers.customer_id",
+        ),
+        (
+            "clinic-readmit",
+            clinic_db(23),
+            "PREDICT EXISTS(visits.*, 0, 60) FOR EACH patients.patient_id",
+        ),
+    ];
+    let mut t = Table::new(&["task", "mean", "sum", "max"]);
+    for (id, db, query) in &tasks {
+        let mut row = vec![id.to_string()];
+        for agg in ["mean", "sum", "max"] {
+            let cfg = ExecConfig {
+                epochs: if is_quick() { 5 } else { 20 },
+                lr: 0.02,
+                hidden_dim: 48,
+                fanouts: vec![8, 8],
+                max_predictions: Some(0),
+                ..Default::default()
+            };
+            let outcome = execute(db, &format!("{query} USING agg = {agg}"), &cfg)
+                .expect("execute");
+            row.push(Table::metric(outcome.metric("auroc")));
+        }
+        t.row(row);
+    }
+    println!("{t}");
+}

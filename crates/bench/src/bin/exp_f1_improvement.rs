@@ -1,0 +1,66 @@
+//! F1 — relative-improvement summary: the GNN's gain over the best
+//! non-trivial baseline per task, as a percentage (the paper's headline
+//! bar chart, printed as rows).
+//!
+//! For classification the statistic is AUROC *excess over chance*
+//! (`auroc − 0.5`), so "+20%" means a fifth more discriminative power;
+//! for regression it is MAE reduction.
+
+use relgraph_bench::{canonical_tasks, models_for, run_models, standard_exec_config, task_db, Table, TaskFamily};
+use relgraph_pq::ModelChoice;
+
+fn main() {
+    println!("F1 — GNN improvement over the best tabular baseline\n");
+    let mut table = Table::new(&["task", "family", "gnn", "best baseline", "baseline", "improvement"]);
+    for task in canonical_tasks() {
+        if task.family == TaskFamily::Recommendation {
+            continue; // covered by T4
+        }
+        let db = task_db(&task, 7);
+        let models = models_for(task.family);
+        let runs = run_models(&db, task.query, &models, &standard_exec_config());
+        let metric = |m: ModelChoice| -> Option<f64> {
+            let r = runs.iter().find(|r| r.model == m)?;
+            match task.family {
+                TaskFamily::Classification => r.outcome.metric("auroc"),
+                _ => r.outcome.metric("mae"),
+            }
+        };
+        let gnn = metric(ModelChoice::Gnn);
+        let baselines: Vec<(ModelChoice, f64)> = models
+            .iter()
+            .filter(|&&m| m != ModelChoice::Gnn && m != ModelChoice::Trivial)
+            .filter_map(|&m| metric(m).map(|v| (m, v)))
+            .collect();
+        let best = match task.family {
+            TaskFamily::Classification => baselines
+                .iter()
+                .cloned()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()),
+            _ => baselines
+                .iter()
+                .cloned()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()),
+        };
+        let (Some(g), Some((bm, bv))) = (gnn, best) else { continue };
+        let improvement = match task.family {
+            // Excess-over-chance AUROC gain.
+            TaskFamily::Classification => ((g - 0.5) / (bv - 0.5).max(1e-9) - 1.0) * 100.0,
+            // MAE reduction.
+            _ => (1.0 - g / bv.max(1e-9)) * 100.0,
+        };
+        table.row(vec![
+            task.id.to_string(),
+            format!("{:?}", task.family).to_lowercase(),
+            format!("{g:.4}"),
+            format!("{bv:.4}"),
+            bm.to_string(),
+            format!("{improvement:+.1}%"),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Positive numbers reproduce the paper's claim: declarative relational\n\
+         learning matches or beats hand-engineered features task-by-task."
+    );
+}

@@ -1,0 +1,65 @@
+//! F3 — scaling behaviour: wall-clock of each pipeline stage and model
+//! quality as the database grows.
+//!
+//! Expected shape: generation / graph compilation / sampling scale roughly
+//! linearly in rows; GNN epoch time scales with the number of training
+//! seeds; AUROC is stable or slowly improving with more data.
+
+use std::time::Instant;
+
+use relgraph_bench::{is_quick, Table};
+use relgraph_datagen::{generate_ecommerce, EcommerceConfig};
+use relgraph_db2graph::{build_graph, ConvertOptions};
+use relgraph_pq::{execute, ExecConfig};
+
+fn main() {
+    println!("F3 — Scaling with database size (shop-active task)\n");
+    let sizes: Vec<usize> =
+        if is_quick() { vec![100, 200] } else { vec![125, 250, 500, 1000, 2000] };
+    let mut t = Table::new(&[
+        "customers", "rows", "gen (s)", "graph (s)", "edges", "train+eval (s)", "auroc",
+    ]);
+    for &n in &sizes {
+        let t0 = Instant::now();
+        let db = generate_ecommerce(&EcommerceConfig {
+            customers: n,
+            products: (n / 8).max(20),
+            seed: 7,
+            ..Default::default()
+        })
+        .expect("generate");
+        let gen_s = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let (graph, _) = build_graph(&db, &ConvertOptions::default()).expect("graph");
+        let graph_s = t0.elapsed().as_secs_f64();
+
+        let cfg = ExecConfig {
+            epochs: if is_quick() { 4 } else { 10 },
+            lr: 0.02,
+            hidden_dim: 32,
+            fanouts: vec![8, 8],
+            max_predictions: Some(0),
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let outcome = execute(
+            &db,
+            "PREDICT EXISTS(orders.*, 0, 30) FOR EACH customers.customer_id",
+            &cfg,
+        )
+        .expect("execute");
+        let train_s = t0.elapsed().as_secs_f64();
+
+        t.row(vec![
+            n.to_string(),
+            db.total_rows().to_string(),
+            format!("{gen_s:.2}"),
+            format!("{graph_s:.2}"),
+            graph.total_edges().to_string(),
+            format!("{train_s:.2}"),
+            Table::metric(outcome.metric("auroc")),
+        ]);
+    }
+    println!("{t}");
+}

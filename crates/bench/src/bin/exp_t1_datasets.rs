@@ -1,0 +1,51 @@
+//! T1 — dataset & task inventory (the RelBench-style overview table).
+//!
+//! Regenerates: per dataset — tables, rows, FK edges, time span, graph
+//! size after db2graph compilation; plus the canonical task list.
+
+use relgraph_bench::{canonical_tasks, clinic_db, ecommerce_db, forum_db, Table};
+use relgraph_db2graph::{build_graph, ConvertOptions};
+use relgraph_store::SECONDS_PER_DAY;
+
+fn main() {
+    println!("T1 — Dataset inventory\n");
+    let mut t = Table::new(&[
+        "dataset", "tables", "rows", "fk cols", "span (days)", "nodes", "edges", "node types",
+        "edge types",
+    ]);
+    for (name, db) in [
+        ("ecommerce", ecommerce_db(7)),
+        ("forum", forum_db(13)),
+        ("clinic", clinic_db(23)),
+    ] {
+        let (graph, _) = build_graph(&db, &ConvertOptions::default()).expect("compile graph");
+        let span = db
+            .time_span()
+            .map(|(lo, hi)| (hi - lo) / SECONDS_PER_DAY)
+            .unwrap_or(0);
+        t.row(vec![
+            name.to_string(),
+            db.table_count().to_string(),
+            db.total_rows().to_string(),
+            db.total_foreign_keys().to_string(),
+            span.to_string(),
+            graph.total_nodes().to_string(),
+            graph.total_edges().to_string(),
+            graph.num_node_types().to_string(),
+            graph.num_edge_types().to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    println!("Canonical predictive-query tasks\n");
+    let mut t = Table::new(&["task", "dataset", "family", "query"]);
+    for task in canonical_tasks() {
+        t.row(vec![
+            task.id.to_string(),
+            task.dataset.to_string(),
+            format!("{:?}", task.family).to_lowercase(),
+            task.query.split_whitespace().collect::<Vec<_>>().join(" "),
+        ]);
+    }
+    println!("{t}");
+}

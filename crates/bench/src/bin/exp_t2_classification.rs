@@ -1,0 +1,36 @@
+//! T2 — entity classification leaderboard: relational GNN vs engineered-
+//! feature baselines (AUROC, higher is better).
+//!
+//! Expected shape: gnn ≥ gbdt ≥ logreg ≫ trivial (0.5), with the GNN edge
+//! largest on tasks whose planted signal is relational (neighbor
+//! attributes) rather than own-history counts.
+
+use relgraph_bench::{canonical_tasks, models_for, run_models, standard_exec_config, task_db, Table, TaskFamily};
+
+fn main() {
+    println!("T2 — Entity classification (AUROC)\n");
+    let tasks: Vec<_> = canonical_tasks()
+        .into_iter()
+        .filter(|t| t.family == TaskFamily::Classification)
+        .collect();
+    let models = models_for(TaskFamily::Classification);
+    let mut header: Vec<String> = vec!["task".to_string()];
+    header.extend(models.iter().map(ToString::to_string));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+    let mut acc_table = Table::new(&header_refs);
+    for task in &tasks {
+        let db = task_db(task, 7);
+        let runs = run_models(&db, task.query, &models, &standard_exec_config());
+        let mut row = vec![task.id.to_string()];
+        let mut acc_row = vec![task.id.to_string()];
+        for r in &runs {
+            row.push(Table::metric(r.outcome.metric("auroc")));
+            acc_row.push(Table::metric(r.outcome.metric("accuracy")));
+        }
+        table.row(row);
+        acc_table.row(acc_row);
+    }
+    println!("{table}");
+    println!("Accuracy at threshold 0.5\n\n{acc_table}");
+}

@@ -1,0 +1,33 @@
+//! T3 — entity regression leaderboard: MAE (lower is better) and RMSE.
+//!
+//! Expected shape: gnn ≤ gbdt ≤ linreg ≪ trivial (predict-the-mean).
+
+use relgraph_bench::{canonical_tasks, models_for, run_models, standard_exec_config, task_db, Table, TaskFamily};
+
+fn main() {
+    println!("T3 — Entity regression (MAE; lower is better)\n");
+    let tasks: Vec<_> = canonical_tasks()
+        .into_iter()
+        .filter(|t| t.family == TaskFamily::Regression)
+        .collect();
+    let models = models_for(TaskFamily::Regression);
+    let mut header: Vec<String> = vec!["task".to_string()];
+    header.extend(models.iter().map(ToString::to_string));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut mae_table = Table::new(&header_refs);
+    let mut rmse_table = Table::new(&header_refs);
+    for task in &tasks {
+        let db = task_db(task, 7);
+        let runs = run_models(&db, task.query, &models, &standard_exec_config());
+        let mut mae_row = vec![task.id.to_string()];
+        let mut rmse_row = vec![task.id.to_string()];
+        for r in &runs {
+            mae_row.push(Table::metric(r.outcome.metric("mae")));
+            rmse_row.push(Table::metric(r.outcome.metric("rmse")));
+        }
+        mae_table.row(mae_row);
+        rmse_table.row(rmse_row);
+    }
+    println!("{mae_table}");
+    println!("RMSE\n\n{rmse_table}");
+}

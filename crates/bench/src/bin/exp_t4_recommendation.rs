@@ -1,0 +1,35 @@
+//! T4 — recommendation leaderboard: MAP@10 / Recall@10 / NDCG@10.
+//!
+//! Expected shape: personalized models (two-tower GNN, co-visitation)
+//! clearly beat popularity; co-visitation is a strong heuristic on
+//! repeat-purchase data and may edge the GNN — the finding RelBench also
+//! reports on its link-prediction tasks.
+
+use relgraph_bench::{canonical_tasks, models_for, run_models, standard_exec_config, task_db, Table, TaskFamily};
+use relgraph_pq::ExecConfig;
+
+fn main() {
+    println!("T4 — Recommendation (k = 10)\n");
+    let tasks: Vec<_> = canonical_tasks()
+        .into_iter()
+        .filter(|t| t.family == TaskFamily::Recommendation)
+        .collect();
+    let models = models_for(TaskFamily::Recommendation);
+    let mut table = Table::new(&["task", "model", "map@10", "recall@10", "ndcg@10", "secs"]);
+    for task in &tasks {
+        let db = task_db(task, 7);
+        let cfg = ExecConfig { epochs: 30, ..standard_exec_config() };
+        let runs = run_models(&db, task.query, &models, &cfg);
+        for r in &runs {
+            table.row(vec![
+                task.id.to_string(),
+                r.model.to_string(),
+                Table::metric(r.outcome.metric("map@10")),
+                Table::metric(r.outcome.metric("recall@10")),
+                Table::metric(r.outcome.metric("ndcg@10")),
+                format!("{:.1}", r.seconds),
+            ]);
+        }
+    }
+    println!("{table}");
+}

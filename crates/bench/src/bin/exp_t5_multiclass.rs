@@ -1,0 +1,33 @@
+//! T5 (extension) — multiclass predictive queries via the MODE aggregate:
+//! "which order channel will each customer use most in the next 60 days?"
+//!
+//! Expected shape: the sticky per-customer channel preference lives in the
+//! customer's own order history, so every personalized model beats the
+//! majority class; the GNN and the feature baselines are comparable (the
+//! signal is 1-hop).
+
+use relgraph_bench::{canonical_tasks, models_for, run_models, standard_exec_config, task_db, Table, TaskFamily};
+
+fn main() {
+    println!("T5 — Multiclass (MODE) classification\n");
+    let tasks: Vec<_> = canonical_tasks()
+        .into_iter()
+        .filter(|t| t.family == TaskFamily::Multiclass)
+        .collect();
+    let models = models_for(TaskFamily::Multiclass);
+    let mut t = Table::new(&["task", "model", "accuracy", "macro_f1", "classes"]);
+    for task in &tasks {
+        let db = task_db(task, 7);
+        let runs = run_models(&db, task.query, &models, &standard_exec_config());
+        for r in &runs {
+            t.row(vec![
+                task.id.to_string(),
+                r.model.to_string(),
+                Table::metric(r.outcome.metric("accuracy")),
+                Table::metric(r.outcome.metric("macro_f1")),
+                format!("{}", r.outcome.metric("classes").unwrap_or(f64::NAN) as usize),
+            ]);
+        }
+    }
+    println!("{t}");
+}

@@ -1,0 +1,104 @@
+//! Aligned-column table rendering for experiment output.
+
+/// A simple text table with a header row and aligned columns.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given header.
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (cells are stringified by the caller).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Format a metric with four decimals, or a dash for NaN/missing.
+    pub fn metric(v: Option<f64>) -> String {
+        match v {
+            Some(x) if x.is_finite() => format!("{x:.4}"),
+            _ => "—".to_string(),
+        }
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("  {cell:>w$}"));
+                }
+            }
+            line
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1.0".into()]);
+        t.row(vec!["longer".into(), "22.5".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal length.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn metric_formatting() {
+        assert_eq!(Table::metric(Some(0.12345)), "0.1235");
+        assert_eq!(Table::metric(None), "—");
+        assert_eq!(Table::metric(Some(f64::NAN)), "—");
+    }
+}

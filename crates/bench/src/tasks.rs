@@ -1,0 +1,265 @@
+//! Canonical experiment tasks and the shared model-comparison runner.
+
+use relgraph_datagen::{
+    generate_clinic, generate_ecommerce, generate_forum, ClinicConfig, EcommerceConfig,
+    ForumConfig,
+};
+use relgraph_pq::{execute, ExecConfig, ModelChoice, QueryOutcome};
+use relgraph_store::Database;
+
+/// True when `RELGRAPH_QUICK=1` (shrinks every workload ~4×).
+pub fn is_quick() -> bool {
+    std::env::var("RELGRAPH_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Scale a size down in quick mode.
+pub fn quick_scale(n: usize) -> usize {
+    if is_quick() {
+        (n / 4).max(60)
+    } else {
+        n
+    }
+}
+
+/// The standard e-commerce evaluation database.
+pub fn ecommerce_db(seed: u64) -> Database {
+    generate_ecommerce(&EcommerceConfig {
+        customers: quick_scale(500),
+        products: 60,
+        seed,
+        ..Default::default()
+    })
+    .expect("generate ecommerce")
+}
+
+/// The standard forum evaluation database.
+pub fn forum_db(seed: u64) -> Database {
+    generate_forum(&ForumConfig { users: quick_scale(400), seed, ..Default::default() })
+        .expect("generate forum")
+}
+
+/// The standard clinic evaluation database.
+pub fn clinic_db(seed: u64) -> Database {
+    generate_clinic(&ClinicConfig { patients: quick_scale(400), seed, ..Default::default() })
+        .expect("generate clinic")
+}
+
+/// Which leaderboard a task belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskFamily {
+    Classification,
+    Regression,
+    Recommendation,
+    Multiclass,
+}
+
+/// One canonical evaluation task.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Short id used in tables, e.g. `shop-churn`.
+    pub id: &'static str,
+    /// Which dataset (`ecommerce` / `forum` / `clinic`).
+    pub dataset: &'static str,
+    /// The predictive query text (without USING).
+    pub query: &'static str,
+    /// Family (determines models and headline metric).
+    pub family: TaskFamily,
+}
+
+/// The canonical task set used across T2–T4 and the figures.
+pub fn canonical_tasks() -> Vec<Task> {
+    vec![
+        Task {
+            id: "shop-active",
+            dataset: "ecommerce",
+            query: "PREDICT EXISTS(orders.*, 0, 30) FOR EACH customers.customer_id",
+            family: TaskFamily::Classification,
+        },
+        Task {
+            id: "shop-reviewer",
+            dataset: "ecommerce",
+            query: "PREDICT COUNT(reviews.*, 0, 60) > 0 FOR EACH customers.customer_id",
+            family: TaskFamily::Classification,
+        },
+        Task {
+            id: "forum-poster",
+            dataset: "forum",
+            query: "PREDICT COUNT(posts.*, 0, 30) > 2 FOR EACH users.user_id",
+            family: TaskFamily::Classification,
+        },
+        Task {
+            id: "clinic-readmit",
+            dataset: "clinic",
+            query: "PREDICT EXISTS(visits.*, 0, 60) FOR EACH patients.patient_id",
+            family: TaskFamily::Classification,
+        },
+        Task {
+            id: "shop-orders",
+            dataset: "ecommerce",
+            query: "PREDICT COUNT(orders.*, 0, 30) FOR EACH customers.customer_id",
+            family: TaskFamily::Regression,
+        },
+        Task {
+            id: "shop-spend",
+            dataset: "ecommerce",
+            query: "PREDICT SUM(orders.amount, 0, 30) FOR EACH customers.customer_id",
+            family: TaskFamily::Regression,
+        },
+        Task {
+            id: "clinic-rx",
+            dataset: "clinic",
+            query: "PREDICT COUNT(prescriptions.*, 0, 90) FOR EACH patients.patient_id",
+            family: TaskFamily::Regression,
+        },
+        Task {
+            id: "shop-channel",
+            dataset: "ecommerce",
+            query: "PREDICT MODE(orders.channel, 0, 60) FOR EACH customers.customer_id",
+            family: TaskFamily::Multiclass,
+        },
+        Task {
+            id: "shop-next-items",
+            dataset: "ecommerce",
+            query: "PREDICT LIST_DISTINCT(orders.product_id, 0, 60) \
+                    FOR EACH customers.customer_id",
+            family: TaskFamily::Recommendation,
+        },
+    ]
+}
+
+/// Build the dataset a task runs on.
+pub fn task_db(task: &Task, seed: u64) -> Database {
+    match task.dataset {
+        "ecommerce" => ecommerce_db(seed),
+        "forum" => forum_db(seed),
+        "clinic" => clinic_db(seed),
+        other => panic!("unknown dataset `{other}`"),
+    }
+}
+
+/// The standard execution configuration used by the experiment binaries.
+pub fn standard_exec_config() -> ExecConfig {
+    ExecConfig {
+        epochs: if is_quick() { 6 } else { 25 },
+        lr: 0.02,
+        hidden_dim: 48,
+        fanouts: vec![8, 8],
+        max_predictions: Some(0),
+        ..Default::default()
+    }
+}
+
+/// The comparator set per family.
+pub fn models_for(family: TaskFamily) -> Vec<ModelChoice> {
+    match family {
+        TaskFamily::Classification => vec![
+            ModelChoice::Gnn,
+            ModelChoice::Gbdt,
+            ModelChoice::LogReg,
+            ModelChoice::Trivial,
+        ],
+        TaskFamily::Regression => vec![
+            ModelChoice::Gnn,
+            ModelChoice::Gbdt,
+            ModelChoice::LinReg,
+            ModelChoice::Trivial,
+        ],
+        TaskFamily::Recommendation => {
+            vec![ModelChoice::Gnn, ModelChoice::CoVisit, ModelChoice::Popularity]
+        }
+        TaskFamily::Multiclass => vec![
+            ModelChoice::Gnn,
+            ModelChoice::Gbdt,
+            ModelChoice::LogReg,
+            ModelChoice::Trivial,
+        ],
+    }
+}
+
+/// One model's result on one task.
+#[derive(Debug, Clone)]
+pub struct ModelRun {
+    pub model: ModelChoice,
+    pub outcome: QueryOutcome,
+    pub seconds: f64,
+}
+
+/// Run `models` on (`db`, `query`) with per-model timing.
+pub fn run_models(
+    db: &Database,
+    query: &str,
+    models: &[ModelChoice],
+    base: &ExecConfig,
+) -> Vec<ModelRun> {
+    models
+        .iter()
+        .map(|&model| {
+            let cfg = ExecConfig { model, ..base.clone() };
+            let start = std::time::Instant::now();
+            let outcome = execute(db, query, &cfg)
+                .unwrap_or_else(|e| panic!("{model} failed on `{query}`: {e}"));
+            ModelRun { model, outcome, seconds: start.elapsed().as_secs_f64() }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_tasks_cover_all_families() {
+        let tasks = canonical_tasks();
+        for family in [
+            TaskFamily::Classification,
+            TaskFamily::Regression,
+            TaskFamily::Recommendation,
+            TaskFamily::Multiclass,
+        ] {
+            assert!(tasks.iter().any(|t| t.family == family), "missing {family:?}");
+            assert!(!models_for(family).is_empty());
+        }
+        // Ids unique.
+        let mut ids: Vec<_> = tasks.iter().map(|t| t.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), tasks.len());
+    }
+
+    #[test]
+    fn task_dbs_build_and_validate() {
+        std::env::set_var("RELGRAPH_QUICK", "1");
+        for name in ["ecommerce", "forum", "clinic"] {
+            let t = Task {
+                id: "x",
+                dataset: match name {
+                    "ecommerce" => "ecommerce",
+                    "forum" => "forum",
+                    _ => "clinic",
+                },
+                query: "",
+                family: TaskFamily::Classification,
+            };
+            let db = task_db(&t, 1);
+            db.validate().expect("valid db");
+        }
+    }
+
+    #[test]
+    fn quick_mode_runs_one_task_end_to_end() {
+        std::env::set_var("RELGRAPH_QUICK", "1");
+        let task = &canonical_tasks()[0];
+        let db = task_db(task, 3);
+        let runs = run_models(
+            &db,
+            task.query,
+            &[ModelChoice::Trivial, ModelChoice::LogReg],
+            &standard_exec_config(),
+        );
+        assert_eq!(runs.len(), 2);
+        for r in &runs {
+            assert!(r.outcome.metric("accuracy").is_some());
+            assert!(r.seconds >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! E-commerce dataset generator: customers / products / orders / reviews.
+//!
+//! Planted signal (what a model must discover):
+//!
+//! * each customer has a latent *engagement* scalar driving their base
+//!   order rate — recoverable from order history counts (1 hop);
+//! * each product has a latent *quality* in `(0,1)`, observable only
+//!   through review ratings left by **other** customers (a 2-hop signal:
+//!   customer → product → reviews);
+//! * buying high-quality / "hot"-category products boosts a customer's
+//!   future order rate, so future activity depends on *attributes of
+//!   neighbors*, not just own history.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relgraph_store::{Database, DataType, Row, StoreResult, TableSchema, Timestamp, Value};
+
+use crate::util::{log_normal, normal_with, poisson, uniform_time, weighted_index, SECONDS_PER_DAY};
+
+/// Product categories with fixed "hotness" multipliers (index-aligned).
+const CATEGORIES: [&str; 8] =
+    ["electronics", "books", "fashion", "home", "toys", "sports", "beauty", "grocery"];
+const HOTNESS: [f64; 8] = [1.5, 1.3, 1.1, 1.0, 0.9, 0.8, 0.7, 0.6];
+const REGIONS: [&str; 4] = ["north", "south", "east", "west"];
+const AGE_GROUPS: [&str; 4] = ["18-25", "26-40", "41-60", "60+"];
+/// Order channels; each customer has a sticky preferred channel (the basis
+/// of the MODE multiclass task).
+const CHANNELS: [&str; 3] = ["web", "app", "store"];
+
+/// Configuration for [`generate_ecommerce`].
+#[derive(Debug, Clone)]
+pub struct EcommerceConfig {
+    /// RNG seed; everything is deterministic given the config.
+    pub seed: u64,
+    /// Number of customers.
+    pub customers: usize,
+    /// Number of products.
+    pub products: usize,
+    /// Simulated horizon in days.
+    pub horizon_days: i64,
+    /// Base per-day order rate per unit engagement.
+    pub base_order_rate: f64,
+    /// Probability an order receives a review.
+    pub review_prob: f64,
+}
+
+impl Default for EcommerceConfig {
+    fn default() -> Self {
+        EcommerceConfig {
+            seed: 7,
+            customers: 500,
+            products: 60,
+            horizon_days: 360,
+            base_order_rate: 0.04,
+            review_prob: 0.35,
+        }
+    }
+}
+
+/// Build the e-commerce schema (no rows).
+pub fn ecommerce_schema(db: &mut Database) -> StoreResult<()> {
+    db.create_table(
+        TableSchema::builder("customers")
+            .column("customer_id", DataType::Int)
+            .column("signup_time", DataType::Timestamp)
+            .column("region", DataType::Text)
+            .column("age_group", DataType::Text)
+            .primary_key("customer_id")
+            .time_column("signup_time")
+            .build()?,
+    )?;
+    db.create_table(
+        TableSchema::builder("products")
+            .column("product_id", DataType::Int)
+            .column("category", DataType::Text)
+            .column("price", DataType::Float)
+            .column("listed_at", DataType::Timestamp)
+            .primary_key("product_id")
+            .time_column("listed_at")
+            .build()?,
+    )?;
+    db.create_table(
+        TableSchema::builder("orders")
+            .column("order_id", DataType::Int)
+            .column("customer_id", DataType::Int)
+            .column("product_id", DataType::Int)
+            .column("quantity", DataType::Int)
+            .column("amount", DataType::Float)
+            .column("channel", DataType::Text)
+            .column("placed_at", DataType::Timestamp)
+            .primary_key("order_id")
+            .time_column("placed_at")
+            .foreign_key("customer_id", "customers")
+            .foreign_key("product_id", "products")
+            .build()?,
+    )?;
+    db.create_table(
+        TableSchema::builder("reviews")
+            .column("review_id", DataType::Int)
+            .column("customer_id", DataType::Int)
+            .column("product_id", DataType::Int)
+            .column("rating", DataType::Float)
+            .column("written_at", DataType::Timestamp)
+            .primary_key("review_id")
+            .time_column("written_at")
+            .foreign_key("customer_id", "customers")
+            .foreign_key("product_id", "products")
+            .build()?,
+    )?;
+    Ok(())
+}
+
+/// Generate a synthetic e-commerce database.
+pub fn generate_ecommerce(cfg: &EcommerceConfig) -> StoreResult<Database> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut db = Database::new("ecommerce");
+    ecommerce_schema(&mut db)?;
+    let horizon: Timestamp = cfg.horizon_days * SECONDS_PER_DAY;
+
+    // Products: latent quality drives review ratings and repeat purchasing.
+    let mut product_category = Vec::with_capacity(cfg.products);
+    let mut product_quality = Vec::with_capacity(cfg.products);
+    let mut product_price = Vec::with_capacity(cfg.products);
+    for pid in 0..cfg.products {
+        let cat = rng.gen_range(0..CATEGORIES.len());
+        let quality = 1.0 / (1.0 + (-normal_with(&mut rng, 0.0, 1.0)).exp());
+        let price = log_normal(&mut rng, 3.0, 0.5);
+        let listed = uniform_time(&mut rng, 0, horizon / 4);
+        product_category.push(cat);
+        product_quality.push(quality);
+        product_price.push(price);
+        db.insert(
+            "products",
+            Row::new()
+                .push(pid as i64)
+                .push(CATEGORIES[cat])
+                .push((price * 100.0).round() / 100.0)
+                .push(Value::Timestamp(listed)),
+        )?;
+    }
+
+    // Customers with latent engagement and price preference.
+    let mut signup = Vec::with_capacity(cfg.customers);
+    let mut engagement = Vec::with_capacity(cfg.customers);
+    let mut price_pref = Vec::with_capacity(cfg.customers);
+    let mut cat_pref = Vec::with_capacity(cfg.customers);
+    let mut channel_pref = Vec::with_capacity(cfg.customers);
+    for cid in 0..cfg.customers {
+        let t = uniform_time(&mut rng, 0, horizon * 6 / 10);
+        let e = normal_with(&mut rng, 0.0, 0.8).exp().clamp(0.05, 10.0);
+        signup.push(t);
+        engagement.push(e);
+        price_pref.push(log_normal(&mut rng, 3.0, 0.4));
+        // A stable taste: which category this customer gravitates to. Taste
+        // determines the recent-purchase mix and therefore churn risk — a
+        // purely relational signal (categories are text attributes of
+        // products two hops away).
+        cat_pref.push(rng.gen_range(0..CATEGORIES.len()));
+        channel_pref.push(rng.gen_range(0..CHANNELS.len()));
+        db.insert(
+            "customers",
+            Row::new()
+                .push(cid as i64)
+                .push(Value::Timestamp(t))
+                .push(REGIONS[rng.gen_range(0..REGIONS.len())])
+                .push(AGE_GROUPS[rng.gen_range(0..AGE_GROUPS.len())]),
+        )?;
+    }
+
+    // Orders + reviews: sequential simulation in 10-day blocks.
+    //
+    // While active, a customer orders at a stationary rate set by their
+    // latent engagement (recoverable from history counts — 1-hop signal).
+    // Each block they may *churn* permanently, with a hazard driven by the
+    // category hotness and quality of their recent purchases. Imminent
+    // churn is the planted relational signal: it is invisible to count/
+    // recency features (the past looks identical up to the churn moment)
+    // but readable from the attributes of recently-purchased products —
+    // category at 2 hops, quality at 3 hops (other customers' reviews).
+    let block_days = 10i64;
+    let mut order_id: i64 = 0;
+    let mut review_id: i64 = 0;
+    let mut weights = vec![0.0; cfg.products];
+    for cid in 0..cfg.customers {
+        let mut recent: Vec<(f64, f64)> = Vec::new();
+        let mut t = signup[cid];
+        while t < horizon {
+            let block_end = (t + block_days * SECONDS_PER_DAY).min(horizon);
+            let days = (block_end - t) as f64 / SECONDS_PER_DAY as f64;
+            if !recent.is_empty() {
+                let n = recent.len() as f64;
+                let mean_hot: f64 = recent.iter().map(|&(h, _)| h).sum::<f64>() / n;
+                let mean_q: f64 = recent.iter().map(|&(_, q)| q).sum::<f64>() / n;
+                let hazard = (0.02 + 0.55 * (1.0 - mean_hot) + 0.35 * (0.5 - mean_q))
+                    .clamp(0.005, 0.75);
+                if rng.gen_bool(hazard) {
+                    break; // churned: no further orders, ever
+                }
+            }
+            let lambda = cfg.base_order_rate * engagement[cid] * days;
+            let n_orders = poisson(&mut rng, lambda);
+            for _ in 0..n_orders {
+                let placed = uniform_time(&mut rng, t, block_end);
+                // Product choice: hot categories and prices near the
+                // customer's preferred point are more likely.
+                for (p, w) in weights.iter_mut().enumerate() {
+                    let price_gap = (product_price[p].ln() - price_pref[cid].ln()).abs();
+                    let taste = if product_category[p] == cat_pref[cid] { 4.0 } else { 1.0 };
+                    *w = taste * (-price_gap).exp();
+                }
+                let p = weighted_index(&mut rng, &weights);
+                let quantity = rng.gen_range(1..=3i64);
+                let amount = product_price[p] * quantity as f64;
+                // Sticky channel choice: the preferred channel ~60% of the
+                // time, uniform otherwise.
+                let channel = if rng.gen_bool(0.6) {
+                    channel_pref[cid]
+                } else {
+                    rng.gen_range(0..CHANNELS.len())
+                };
+                db.insert(
+                    "orders",
+                    Row::new()
+                        .push(order_id)
+                        .push(cid as i64)
+                        .push(p as i64)
+                        .push(quantity)
+                        .push((amount * 100.0).round() / 100.0)
+                        .push(CHANNELS[channel])
+                        .push(Value::Timestamp(placed)),
+                )?;
+                order_id += 1;
+                recent.push((HOTNESS[product_category[p]], product_quality[p]));
+                if recent.len() > 5 {
+                    recent.remove(0);
+                }
+                if rng.gen_bool(cfg.review_prob) {
+                    let rating = (1.0 + 4.0 * product_quality[p]
+                        + normal_with(&mut rng, 0.0, 0.7))
+                    .clamp(1.0, 5.0);
+                    let written = placed + rng.gen_range(1..=5) * SECONDS_PER_DAY;
+                    db.insert(
+                        "reviews",
+                        Row::new()
+                            .push(review_id)
+                            .push(cid as i64)
+                            .push(p as i64)
+                            .push((rating * 10.0).round() / 10.0)
+                            .push(Value::Timestamp(written)),
+                    )?;
+                    review_id += 1;
+                }
+            }
+            t = block_end;
+        }
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> EcommerceConfig {
+        EcommerceConfig { customers: 50, products: 20, seed: 11, ..Default::default() }
+    }
+
+    #[test]
+    fn generates_valid_database() {
+        let db = generate_ecommerce(&small()).unwrap();
+        assert_eq!(db.table("customers").unwrap().len(), 50);
+        assert_eq!(db.table("products").unwrap().len(), 20);
+        assert!(db.table("orders").unwrap().len() > 100, "too few orders");
+        assert!(db.table("reviews").unwrap().len() > 10, "too few reviews");
+        db.validate().expect("referential integrity");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_ecommerce(&small()).unwrap();
+        let b = generate_ecommerce(&small()).unwrap();
+        assert_eq!(a.table("orders").unwrap().len(), b.table("orders").unwrap().len());
+        assert_eq!(
+            a.table("orders").unwrap().row(5).unwrap(),
+            b.table("orders").unwrap().row(5).unwrap()
+        );
+        let c = generate_ecommerce(&EcommerceConfig { seed: 12, ..small() }).unwrap();
+        assert_ne!(a.table("orders").unwrap().len(), c.table("orders").unwrap().len());
+    }
+
+    #[test]
+    fn orders_postdate_signup() {
+        let db = generate_ecommerce(&small()).unwrap();
+        let customers = db.table("customers").unwrap();
+        let orders = db.table("orders").unwrap();
+        for i in 0..orders.len() {
+            let cid = orders.value_by_name(i, "customer_id").unwrap();
+            let signup = customers
+                .row_timestamp(customers.row_by_key(&cid).unwrap())
+                .unwrap();
+            let placed = orders.row_timestamp(i).unwrap();
+            assert!(placed >= signup, "order before signup");
+        }
+    }
+
+    #[test]
+    fn timestamps_within_reasonable_horizon() {
+        let cfg = small();
+        let db = generate_ecommerce(&cfg).unwrap();
+        let (lo, hi) = db.time_span().unwrap();
+        assert!(lo >= 0);
+        // Reviews may trail up to 5 days past the horizon.
+        assert!(hi <= (cfg.horizon_days + 5) * SECONDS_PER_DAY);
+    }
+
+    #[test]
+    fn ratings_bounded() {
+        let db = generate_ecommerce(&small()).unwrap();
+        let reviews = db.table("reviews").unwrap();
+        let col = reviews.column_by_name("rating").unwrap();
+        for i in 0..col.len() {
+            let r = col.get_f64(i).unwrap();
+            assert!((1.0..=5.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn engagement_spreads_order_counts() {
+        // The planted heterogeneity should produce both light and heavy
+        // buyers — otherwise the prediction tasks would be trivial.
+        let db = generate_ecommerce(&small()).unwrap();
+        let orders = db.table("orders").unwrap();
+        let mut counts = std::collections::HashMap::new();
+        let col = orders.column_by_name("customer_id").unwrap();
+        for i in 0..col.len() {
+            *counts.entry(col.get_i64(i).unwrap()).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap_or(0);
+        let active = counts.len();
+        assert!(max >= 10, "expected a heavy buyer, max={max}");
+        assert!(active < 50 || counts.values().any(|&c| c <= 3), "expected light buyers");
+    }
+}

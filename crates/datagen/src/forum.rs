@@ -1,0 +1,227 @@
+//! Social-forum dataset generator: users / follows / posts.
+//!
+//! Planted signal: each user has a latent activity level; the follow graph
+//! forms by preferential attachment toward active users, and a user's
+//! *future* posting rate is boosted by the mean activity of the users they
+//! follow — a 2-hop signal (user → followee → followee's posts) that flat
+//! entity features cannot see.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relgraph_store::{Database, DataType, Row, StoreResult, TableSchema, Timestamp, Value};
+
+use crate::util::{normal_with, poisson, uniform_time, weighted_index, SECONDS_PER_DAY};
+
+const COUNTRIES: [&str; 5] = ["us", "de", "in", "br", "jp"];
+const TOPICS: [&str; 6] = ["rust", "ml", "databases", "gaming", "music", "cooking"];
+
+/// Configuration for [`generate_forum`].
+#[derive(Debug, Clone)]
+pub struct ForumConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of users.
+    pub users: usize,
+    /// Simulated horizon in days.
+    pub horizon_days: i64,
+    /// Mean follows per user.
+    pub mean_follows: f64,
+    /// Base posts/day per unit activity.
+    pub base_post_rate: f64,
+}
+
+impl Default for ForumConfig {
+    fn default() -> Self {
+        ForumConfig {
+            seed: 13,
+            users: 400,
+            horizon_days: 240,
+            mean_follows: 4.0,
+            base_post_rate: 0.05,
+        }
+    }
+}
+
+/// Build the forum schema (no rows).
+pub fn forum_schema(db: &mut Database) -> StoreResult<()> {
+    db.create_table(
+        TableSchema::builder("users")
+            .column("user_id", DataType::Int)
+            .column("joined_at", DataType::Timestamp)
+            .column("country", DataType::Text)
+            .primary_key("user_id")
+            .time_column("joined_at")
+            .build()?,
+    )?;
+    db.create_table(
+        TableSchema::builder("follows")
+            .column("follow_id", DataType::Int)
+            .column("follower_id", DataType::Int)
+            .column("followee_id", DataType::Int)
+            .column("since", DataType::Timestamp)
+            .primary_key("follow_id")
+            .time_column("since")
+            .foreign_key("follower_id", "users")
+            .foreign_key("followee_id", "users")
+            .build()?,
+    )?;
+    db.create_table(
+        TableSchema::builder("posts")
+            .column("post_id", DataType::Int)
+            .column("user_id", DataType::Int)
+            .column("posted_at", DataType::Timestamp)
+            .column("topic", DataType::Text)
+            .column("length", DataType::Int)
+            .primary_key("post_id")
+            .time_column("posted_at")
+            .foreign_key("user_id", "users")
+            .build()?,
+    )?;
+    Ok(())
+}
+
+/// Generate a synthetic forum database.
+pub fn generate_forum(cfg: &ForumConfig) -> StoreResult<Database> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut db = Database::new("forum");
+    forum_schema(&mut db)?;
+    let horizon: Timestamp = cfg.horizon_days * SECONDS_PER_DAY;
+
+    // Users with latent activity.
+    let mut joined = Vec::with_capacity(cfg.users);
+    let mut activity = Vec::with_capacity(cfg.users);
+    for uid in 0..cfg.users {
+        let t = uniform_time(&mut rng, 0, horizon / 2);
+        let a = normal_with(&mut rng, 0.0, 1.0).exp().clamp(0.05, 12.0);
+        joined.push(t);
+        activity.push(a);
+        db.insert(
+            "users",
+            Row::new()
+                .push(uid as i64)
+                .push(Value::Timestamp(t))
+                .push(COUNTRIES[rng.gen_range(0..COUNTRIES.len())]),
+        )?;
+    }
+
+    // Follows: preferential attachment toward active users; edge time is
+    // after both endpoints joined.
+    let mut follow_id: i64 = 0;
+    let mut followee_activity_sum = vec![0.0f64; cfg.users];
+    let mut followee_count = vec![0usize; cfg.users];
+    for uid in 0..cfg.users {
+        let n = poisson(&mut rng, cfg.mean_follows) as usize;
+        let mut chosen = std::collections::HashSet::new();
+        for _ in 0..n.min(cfg.users.saturating_sub(1)) {
+            // Weight by activity so hubs emerge.
+            let target = weighted_index(&mut rng, &activity);
+            if target == uid || !chosen.insert(target) {
+                continue;
+            }
+            let since = uniform_time(&mut rng, joined[uid].max(joined[target]), horizon);
+            db.insert(
+                "follows",
+                Row::new()
+                    .push(follow_id)
+                    .push(uid as i64)
+                    .push(target as i64)
+                    .push(Value::Timestamp(since)),
+            )?;
+            follow_id += 1;
+            followee_activity_sum[uid] += activity[target];
+            followee_count[uid] += 1;
+        }
+    }
+
+    // Posts: rate boosted by mean followee activity (the 2-hop signal).
+    let mut post_id: i64 = 0;
+    for uid in 0..cfg.users {
+        let social = if followee_count[uid] > 0 {
+            followee_activity_sum[uid] / followee_count[uid] as f64
+        } else {
+            0.0
+        };
+        let boost = 1.0 + 0.4 * (social / 2.0).min(2.0);
+        let days = (horizon - joined[uid]) as f64 / SECONDS_PER_DAY as f64;
+        let lambda = cfg.base_post_rate * activity[uid] * boost * days;
+        let n_posts = poisson(&mut rng, lambda);
+        for _ in 0..n_posts {
+            let t = uniform_time(&mut rng, joined[uid], horizon);
+            db.insert(
+                "posts",
+                Row::new()
+                    .push(post_id)
+                    .push(uid as i64)
+                    .push(Value::Timestamp(t))
+                    .push(TOPICS[rng.gen_range(0..TOPICS.len())])
+                    .push(rng.gen_range(20..2000i64)),
+            )?;
+            post_id += 1;
+        }
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ForumConfig {
+        ForumConfig { users: 60, seed: 5, ..Default::default() }
+    }
+
+    #[test]
+    fn generates_valid_database() {
+        let db = generate_forum(&small()).unwrap();
+        assert_eq!(db.table("users").unwrap().len(), 60);
+        assert!(db.table("follows").unwrap().len() > 50);
+        assert!(db.table("posts").unwrap().len() > 100);
+        db.validate().expect("referential integrity");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_forum(&small()).unwrap();
+        let b = generate_forum(&small()).unwrap();
+        assert_eq!(a.table("posts").unwrap().len(), b.table("posts").unwrap().len());
+    }
+
+    #[test]
+    fn no_self_follows() {
+        let db = generate_forum(&small()).unwrap();
+        let follows = db.table("follows").unwrap();
+        for i in 0..follows.len() {
+            let a = follows.value_by_name(i, "follower_id").unwrap();
+            let b = follows.value_by_name(i, "followee_id").unwrap();
+            assert_ne!(a, b, "self-follow at row {i}");
+        }
+    }
+
+    #[test]
+    fn follow_postdates_both_joins() {
+        let db = generate_forum(&small()).unwrap();
+        let users = db.table("users").unwrap();
+        let follows = db.table("follows").unwrap();
+        for i in 0..follows.len() {
+            let since = follows.row_timestamp(i).unwrap();
+            for col in ["follower_id", "followee_id"] {
+                let id = follows.value_by_name(i, col).unwrap();
+                let joined = users.row_timestamp(users.row_by_key(&id).unwrap()).unwrap();
+                assert!(since >= joined);
+            }
+        }
+    }
+
+    #[test]
+    fn hubs_emerge() {
+        let db = generate_forum(&small()).unwrap();
+        let follows = db.table("follows").unwrap();
+        let mut indeg = std::collections::HashMap::new();
+        let col = follows.column_by_name("followee_id").unwrap();
+        for i in 0..col.len() {
+            *indeg.entry(col.get_i64(i).unwrap()).or_insert(0usize) += 1;
+        }
+        let max = indeg.values().copied().max().unwrap_or(0);
+        assert!(max >= 5, "preferential attachment should create hubs, max in-degree {max}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # relgraph-datagen
+//!
+//! Seeded synthetic relational databases with *planted* temporal and
+//! multi-hop signal, standing in for the production databases (RelBench
+//! datasets) the paper's evaluation uses. See DESIGN.md §2 for the
+//! substitution argument.
+//!
+//! Three domains, mirroring the paper's motivating applications:
+//!
+//! * [`ecommerce`] — customers / products / orders / reviews. Latent
+//!   per-customer engagement drives order rates; latent product quality
+//!   (observable only through *other* customers' reviews — a 2-hop signal)
+//!   modulates repeat purchasing.
+//! * [`forum`] — users / follows / posts. Posting activity diffuses over
+//!   the follow graph: following active users raises future activity.
+//! * [`clinic`] — patients / visits / prescriptions. Readmission risk
+//!   combines a chronic latent with drug-risk signal reachable only through
+//!   the visit→prescription hop.
+//!
+//! Every generator is deterministic given its config (seed included) and
+//! produces a [`relgraph_store::Database`] that passes referential-integrity
+//! validation.
+
+pub mod clinic;
+pub mod ecommerce;
+pub mod forum;
+pub mod util;
+
+pub use clinic::{ClinicConfig, generate_clinic};
+pub use ecommerce::{EcommerceConfig, generate_ecommerce};
+pub use forum::{ForumConfig, generate_forum};

@@ -1,0 +1,138 @@
+//! Sampling utilities shared by the generators (kept dependency-free beyond
+//! `rand`: Poisson and normal variates are hand-rolled).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use relgraph_store::{Timestamp, SECONDS_PER_DAY as DAY_SECS};
+
+/// Seconds in one day (re-exported for generator configs).
+pub const SECONDS_PER_DAY: i64 = DAY_SECS;
+
+/// Standard normal variate via Box–Muller.
+pub fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal with mean and standard deviation.
+pub fn normal_with(rng: &mut StdRng, mean: f64, std: f64) -> f64 {
+    mean + std * normal(rng)
+}
+
+/// Log-normal variate `exp(N(mu, sigma))`.
+pub fn log_normal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    normal_with(rng, mu, sigma).exp()
+}
+
+/// Poisson variate. Knuth's method for small `lambda`, normal approximation
+/// above 30 (adequate for workload generation).
+pub fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        let x = normal_with(rng, lambda, lambda.sqrt());
+        return x.max(0.0).round() as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0f64);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Sample an index proportionally to `weights` (all non-negative; if the
+/// total is zero the first index is returned).
+pub fn weighted_index(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return 0;
+    }
+    let mut x = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// Uniform timestamp in `[lo, hi)` (seconds).
+pub fn uniform_time(rng: &mut StdRng, lo: Timestamp, hi: Timestamp) -> Timestamp {
+    if hi <= lo {
+        return lo;
+    }
+    rng.gen_range(lo..hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn normal_has_roughly_unit_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut r, 3.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_branch() {
+        let mut r = rng();
+        let n = 5_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut r, 100.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 100.0).abs() < 2.0, "mean {mean}");
+        assert_eq!(poisson(&mut r, 0.0), 0);
+        assert_eq!(poisson(&mut r, -1.0), 0);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng();
+        let w = [0.0, 1.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[weighted_index(&mut r, &w)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[2] as f64 / counts[1] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+        assert_eq!(weighted_index(&mut r, &[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn uniform_time_bounds() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let t = uniform_time(&mut r, 10, 20);
+            assert!((10..20).contains(&t));
+        }
+        assert_eq!(uniform_time(&mut r, 5, 5), 5);
+    }
+}

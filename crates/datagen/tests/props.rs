@@ -1,0 +1,91 @@
+//! Property-based tests for the dataset generators: every generated
+//! database, under any small configuration, must be referentially intact,
+//! deterministic and temporally bounded.
+
+use proptest::prelude::*;
+use relgraph_datagen::{
+    generate_clinic, generate_ecommerce, generate_forum, ClinicConfig, EcommerceConfig,
+    ForumConfig,
+};
+use relgraph_store::SECONDS_PER_DAY;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn ecommerce_valid_for_any_config(
+        seed in 0u64..1000,
+        customers in 10usize..60,
+        products in 5usize..25,
+        horizon in 60i64..240,
+    ) {
+        let cfg = EcommerceConfig {
+            seed,
+            customers,
+            products,
+            horizon_days: horizon,
+            ..Default::default()
+        };
+        let db = generate_ecommerce(&cfg).unwrap();
+        prop_assert!(db.validate().is_ok());
+        prop_assert_eq!(db.table("customers").unwrap().len(), customers);
+        prop_assert_eq!(db.table("products").unwrap().len(), products);
+        // Times bounded by the horizon (+5 days of review lag).
+        let (lo, hi) = db.time_span().unwrap();
+        prop_assert!(lo >= 0);
+        prop_assert!(hi <= (horizon + 5) * SECONDS_PER_DAY);
+        // Deterministic.
+        let again = generate_ecommerce(&cfg).unwrap();
+        prop_assert_eq!(db.total_rows(), again.total_rows());
+    }
+
+    #[test]
+    fn forum_valid_for_any_config(seed in 0u64..1000, users in 10usize..60) {
+        let cfg = ForumConfig { seed, users, ..Default::default() };
+        let db = generate_forum(&cfg).unwrap();
+        prop_assert!(db.validate().is_ok());
+        prop_assert_eq!(db.table("users").unwrap().len(), users);
+        let (lo, hi) = db.time_span().unwrap();
+        prop_assert!(lo >= 0 && hi <= cfg.horizon_days * SECONDS_PER_DAY);
+    }
+
+    #[test]
+    fn clinic_valid_for_any_config(seed in 0u64..1000, patients in 10usize..60) {
+        let cfg = ClinicConfig { seed, patients, ..Default::default() };
+        let db = generate_clinic(&cfg).unwrap();
+        prop_assert!(db.validate().is_ok());
+        prop_assert_eq!(db.table("patients").unwrap().len(), patients);
+        // Every prescription's visit predates-or-equals the prescription.
+        let visits = db.table("visits").unwrap();
+        let rx = db.table("prescriptions").unwrap();
+        for i in 0..rx.len().min(100) {
+            let vid = rx.value_by_name(i, "visit_id").unwrap();
+            let vrow = visits.row_by_key(&vid).unwrap();
+            prop_assert!(visits.row_timestamp(vrow).unwrap() <= rx.row_timestamp(i).unwrap());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ(seed in 0u64..1000) {
+        let a = generate_ecommerce(&EcommerceConfig {
+            seed,
+            customers: 30,
+            products: 10,
+            ..Default::default()
+        })
+        .unwrap();
+        let b = generate_ecommerce(&EcommerceConfig {
+            seed: seed + 1,
+            customers: 30,
+            products: 10,
+            ..Default::default()
+        })
+        .unwrap();
+        // Same schema, (almost surely) different event streams.
+        prop_assert_eq!(a.table_count(), b.table_count());
+        prop_assert_ne!(
+            (a.table("orders").unwrap().len(), a.time_span()),
+            (b.table("orders").unwrap().len(), b.time_span())
+        );
+    }
+}

@@ -1,0 +1,314 @@
+//! Schema-level compilation: tables → node types, foreign keys → edge
+//! types (forward + reverse), rows → timestamped nodes and edges.
+
+use relgraph_graph::{HeteroGraph, HeteroGraphBuilder, NodeTypeId, ALWAYS_VISIBLE};
+use relgraph_store::Database;
+
+use crate::error::{ConvertError, ConvertResult};
+use crate::featurize::{featurize_table, TableFeatureSpec};
+
+/// Conversion options.
+#[derive(Debug, Clone)]
+pub struct ConvertOptions {
+    /// Hash buckets per text column.
+    pub text_hash_dim: usize,
+    /// Also create the reverse edge type per FK (needed for message passing
+    /// from dimension tables back to fact tables). Default `true`.
+    pub reverse_edges: bool,
+}
+
+impl Default for ConvertOptions {
+    fn default() -> Self {
+        ConvertOptions { text_hash_dim: 16, reverse_edges: true }
+    }
+}
+
+/// How one FK was compiled into an edge type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeBinding {
+    /// Edge type name in the graph.
+    pub name: String,
+    /// Referencing table.
+    pub src_table: String,
+    /// Referenced (or referencing, if `reverse`) table.
+    pub dst_table: String,
+    /// FK column in the referencing table.
+    pub fk_column: String,
+    /// True for the reverse direction (referenced → referencing).
+    pub reverse: bool,
+}
+
+/// The compilation record: how tables and FKs map onto the graph.
+#[derive(Debug, Clone)]
+pub struct GraphMapping {
+    /// `(table name, node type)` in table order.
+    pub node_types: Vec<(String, NodeTypeId)>,
+    /// One entry per created edge type, index-aligned with the graph's
+    /// edge-type ids.
+    pub edge_bindings: Vec<EdgeBinding>,
+    /// Featurization recipe per table (same order as `node_types`).
+    pub feature_specs: Vec<TableFeatureSpec>,
+}
+
+impl GraphMapping {
+    /// Node type for a table name.
+    pub fn node_type(&self, table: &str) -> Option<NodeTypeId> {
+        self.node_types.iter().find(|(n, _)| n == table).map(|&(_, id)| id)
+    }
+}
+
+/// Compile `db` into a heterogeneous temporal graph.
+///
+/// Every non-null FK cell becomes one forward edge (referencing row →
+/// referenced row) and, if enabled, one reverse edge; both carry the
+/// *referencing* row's timestamp (when the fact became known), falling back
+/// to [`ALWAYS_VISIBLE`] for tables without a time column.
+pub fn build_graph(db: &Database, options: &ConvertOptions) -> ConvertResult<(HeteroGraph, GraphMapping)> {
+    let mut builder = HeteroGraphBuilder::new();
+    let mut node_types = Vec::new();
+    let mut feature_specs = Vec::new();
+
+    // Pass 1: node types, times, features.
+    for table in db.tables() {
+        let nt = builder.add_node_type(table.name(), table.len());
+        node_types.push((table.name().to_string(), nt));
+        if table.schema().time_column_index().is_some() {
+            let times: Vec<i64> = (0..table.len())
+                .map(|i| table.row_timestamp(i).unwrap_or(ALWAYS_VISIBLE))
+                .collect();
+            builder.set_node_times(nt, times);
+        }
+        let (spec, features) = featurize_table(table, options.text_hash_dim);
+        builder.set_features(nt, features);
+        feature_specs.push(spec);
+    }
+    let node_type = |name: &str| {
+        node_types
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, id)| id)
+    };
+
+    // Pass 2: edge types and edges.
+    let mut edge_bindings = Vec::new();
+    for table in db.tables() {
+        let src_nt = node_type(table.name()).expect("registered above");
+        for fk in table.schema().foreign_keys() {
+            let target = db.table(&fk.referenced_table)?;
+            if target.schema().primary_key().is_none() {
+                return Err(ConvertError::MissingPrimaryKey { table: target.name().to_string() });
+            }
+            let dst_nt = node_type(target.name()).ok_or_else(|| {
+                ConvertError::MissingPrimaryKey { table: target.name().to_string() }
+            })?;
+            let fwd_name = format!("{}.{}->{}", table.name(), fk.column, target.name());
+            let fwd = builder.add_edge_type(&fwd_name, src_nt, dst_nt);
+            edge_bindings.push(EdgeBinding {
+                name: fwd_name,
+                src_table: table.name().to_string(),
+                dst_table: target.name().to_string(),
+                fk_column: fk.column.clone(),
+                reverse: false,
+            });
+            let rev = if options.reverse_edges {
+                let rev_name = format!("{}<-{}.{}", target.name(), table.name(), fk.column);
+                let id = builder.add_edge_type(&rev_name, dst_nt, src_nt);
+                edge_bindings.push(EdgeBinding {
+                    name: rev_name,
+                    src_table: target.name().to_string(),
+                    dst_table: table.name().to_string(),
+                    fk_column: fk.column.clone(),
+                    reverse: true,
+                });
+                Some(id)
+            } else {
+                None
+            };
+            let col = table
+                .column_by_name(&fk.column)
+                .expect("schema guarantees the FK column exists");
+            builder.reserve_edges(fwd, col.count_valid());
+            if let Some(rev) = rev {
+                builder.reserve_edges(rev, col.count_valid());
+            }
+            for row in 0..table.len() {
+                let key = col.get(row);
+                if key.is_null() {
+                    continue;
+                }
+                let dst = target.row_by_key(&key).ok_or_else(|| {
+                    ConvertError::DanglingReference {
+                        table: table.name().to_string(),
+                        column: fk.column.clone(),
+                        key: key.to_string(),
+                    }
+                })?;
+                let time = table.row_timestamp(row).unwrap_or(ALWAYS_VISIBLE);
+                builder.add_edge(fwd, row, dst, time);
+                if let Some(rev) = rev {
+                    builder.add_edge(rev, dst, row, time);
+                }
+            }
+        }
+    }
+    let graph = builder.finish()?;
+    Ok((graph, GraphMapping { node_types, edge_bindings, feature_specs }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgraph_store::{DataType, Row, TableSchema, Value};
+
+    fn shop() -> Database {
+        let mut db = Database::new("shop");
+        db.create_table(
+            TableSchema::builder("customers")
+                .column("customer_id", DataType::Int)
+                .column("signup", DataType::Timestamp)
+                .column("region", DataType::Text)
+                .primary_key("customer_id")
+                .time_column("signup")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("orders")
+                .column("order_id", DataType::Int)
+                .column("customer_id", DataType::Int)
+                .column("amount", DataType::Float)
+                .column("placed_at", DataType::Timestamp)
+                .primary_key("order_id")
+                .time_column("placed_at")
+                .foreign_key("customer_id", "customers")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for (cid, t) in [(1i64, 100i64), (2, 200)] {
+            db.insert(
+                "customers",
+                Row::new().push(cid).push(Value::Timestamp(t)).push("north"),
+            )
+            .unwrap();
+        }
+        for (oid, cid, amount, t) in [(10i64, 1i64, 5.0, 150i64), (11, 1, 7.0, 250), (12, 2, 9.0, 300)] {
+            db.insert(
+                "orders",
+                Row::new().push(oid).push(cid).push(amount).push(Value::Timestamp(t)),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn node_and_edge_types_created() {
+        let (g, m) = build_graph(&shop(), &ConvertOptions::default()).unwrap();
+        assert_eq!(g.num_node_types(), 2);
+        assert_eq!(g.num_edge_types(), 2); // forward + reverse
+        let cust = m.node_type("customers").unwrap();
+        let ord = m.node_type("orders").unwrap();
+        assert_eq!(g.num_nodes(cust), 2);
+        assert_eq!(g.num_nodes(ord), 3);
+        assert_eq!(g.total_edges(), 6);
+        assert!(m.node_type("nope").is_none());
+        assert_eq!(m.edge_bindings.len(), 2);
+        assert!(m.edge_bindings.iter().any(|b| !b.reverse));
+        assert!(m.edge_bindings.iter().any(|b| b.reverse));
+    }
+
+    #[test]
+    fn edge_times_come_from_referencing_row() {
+        let (g, m) = build_graph(&shop(), &ConvertOptions::default()).unwrap();
+        let cust = m.node_type("customers").unwrap();
+        let rev = g.edge_type_by_name("customers<-orders.customer_id").unwrap();
+        // Customer 0 (id 1) has orders at t=150 and t=250.
+        let ns: Vec<(usize, i64)> = g.neighbors(rev, 0).collect();
+        assert_eq!(ns.len(), 2);
+        assert_eq!(ns[0].1, 150);
+        assert_eq!(ns[1].1, 250);
+        assert_eq!(g.node_time(cust, 1), 200);
+    }
+
+    #[test]
+    fn features_have_expected_dims() {
+        let (g, m) = build_graph(&shop(), &ConvertOptions { text_hash_dim: 4, reverse_edges: true })
+            .unwrap();
+        let cust = m.node_type("customers").unwrap();
+        // region: 4 hash slots + bias = 5.
+        assert_eq!(g.features(cust).dim(), 5);
+        let ord = m.node_type("orders").unwrap();
+        // amount: 2 + bias = 3 (keys/time skipped).
+        assert_eq!(g.features(ord).dim(), 3);
+        assert_eq!(m.feature_specs.len(), 2);
+    }
+
+    #[test]
+    fn no_reverse_edges_option() {
+        let (g, _) = build_graph(&shop(), &ConvertOptions { reverse_edges: false, ..Default::default() })
+            .unwrap();
+        assert_eq!(g.num_edge_types(), 1);
+        assert_eq!(g.total_edges(), 3);
+    }
+
+    #[test]
+    fn dangling_reference_detected() {
+        let mut db = shop();
+        db.insert(
+            "orders",
+            Row::new().push(99i64).push(42i64).push(1.0).push(Value::Timestamp(10)),
+        )
+        .unwrap();
+        let err = build_graph(&db, &ConvertOptions::default()).unwrap_err();
+        assert!(matches!(err, ConvertError::DanglingReference { .. }));
+    }
+
+    #[test]
+    fn fk_to_pkless_table_detected() {
+        let mut db = Database::new("d");
+        db.create_table(TableSchema::builder("a").column("x", DataType::Int).build().unwrap())
+            .unwrap();
+        db.create_table(
+            TableSchema::builder("b")
+                .column("id", DataType::Int)
+                .column("ax", DataType::Int)
+                .primary_key("id")
+                .foreign_key("ax", "a")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let err = build_graph(&db, &ConvertOptions::default()).unwrap_err();
+        assert!(matches!(err, ConvertError::MissingPrimaryKey { .. }));
+    }
+
+    #[test]
+    fn null_fk_cells_are_skipped() {
+        let mut db = Database::new("d");
+        db.create_table(
+            TableSchema::builder("a")
+                .column("id", DataType::Int)
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("b")
+                .column("id", DataType::Int)
+                .nullable_column("a_id", DataType::Int)
+                .primary_key("id")
+                .foreign_key("a_id", "a")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert("a", Row::new().push(1i64)).unwrap();
+        db.insert("b", Row::new().push(1i64).push(Value::Null)).unwrap();
+        db.insert("b", Row::new().push(2i64).push(1i64)).unwrap();
+        let (g, _) = build_graph(&db, &ConvertOptions::default()).unwrap();
+        assert_eq!(g.total_edges(), 2); // one forward + one reverse
+    }
+}

@@ -1,0 +1,51 @@
+//! Error types for database→graph conversion.
+
+use std::fmt;
+
+use relgraph_graph::GraphError;
+use relgraph_store::StoreError;
+
+/// Result alias for conversion operations.
+pub type ConvertResult<T> = Result<T, ConvertError>;
+
+/// Errors while compiling a database into a heterogeneous graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConvertError {
+    /// A foreign key references a table that has no primary key.
+    MissingPrimaryKey { table: String },
+    /// A non-null FK cell had no matching referenced row.
+    DanglingReference { table: String, column: String, key: String },
+    /// Underlying store error.
+    Store(StoreError),
+    /// Underlying graph construction error.
+    Graph(GraphError),
+}
+
+impl fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvertError::MissingPrimaryKey { table } => {
+                write!(f, "table `{table}` is referenced by a foreign key but has no primary key")
+            }
+            ConvertError::DanglingReference { table, column, key } => {
+                write!(f, "dangling reference `{table}`.`{column}` = {key}")
+            }
+            ConvertError::Store(e) => write!(f, "store error: {e}"),
+            ConvertError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConvertError {}
+
+impl From<StoreError> for ConvertError {
+    fn from(e: StoreError) -> Self {
+        ConvertError::Store(e)
+    }
+}
+
+impl From<GraphError> for ConvertError {
+    fn from(e: GraphError) -> Self {
+        ConvertError::Graph(e)
+    }
+}

@@ -1,0 +1,308 @@
+//! Row featurization: table columns → dense `f32`-style node features.
+//!
+//! Per column, by type:
+//!
+//! * `Int` / `Float` (except primary key, foreign keys and the time
+//!   column): one z-scored slot; NULL maps to 0 (the post-normalization
+//!   mean) and sets a companion missing-indicator slot;
+//! * `Bool`: one 0/1 slot (NULL → 0.5);
+//! * `Text`: `text_hash_dim` hashed one-hot slots (FNV-1a);
+//! * `Timestamp` columns other than the table's time column: z-scored;
+//! * a trailing constant `1.0` bias slot, so even key-only tables get a
+//!   non-degenerate feature vector.
+
+use relgraph_graph::FeatureMatrix;
+use relgraph_store::{Column, DataType, Table};
+
+/// How one column was encoded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnFeature {
+    /// Z-scored numeric slot + missing-indicator slot.
+    Numeric { column: String, mean: f64, std: f64 },
+    /// Single 0/1 slot.
+    Boolean { column: String },
+    /// `dim` hashed one-hot slots.
+    TextHash { column: String, dim: usize },
+    /// Constant bias slot.
+    Bias,
+}
+
+impl ColumnFeature {
+    /// Number of feature slots this encoding occupies.
+    pub fn width(&self) -> usize {
+        match self {
+            ColumnFeature::Numeric { .. } => 2,
+            ColumnFeature::Boolean { .. } => 1,
+            ColumnFeature::TextHash { dim, .. } => *dim,
+            ColumnFeature::Bias => 1,
+        }
+    }
+}
+
+/// The full featurization recipe for one table (stable across snapshots of
+/// the same schema).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableFeatureSpec {
+    /// Table name.
+    pub table: String,
+    /// Ordered encodings; total width is the node feature dimension.
+    pub columns: Vec<ColumnFeature>,
+}
+
+impl TableFeatureSpec {
+    /// Total feature dimension.
+    pub fn dim(&self) -> usize {
+        self.columns.iter().map(ColumnFeature::width).sum()
+    }
+}
+
+/// FNV-1a hash of a string into `dim` buckets.
+pub fn hash_bucket(s: &str, dim: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % dim as u64) as usize
+}
+
+fn column_stats(col: &Column) -> (f64, f64) {
+    let mut n = 0.0;
+    let mut sum = 0.0;
+    let mut sumsq = 0.0;
+    for i in 0..col.len() {
+        if let Some(x) = col.get_f64(i) {
+            n += 1.0;
+            sum += x;
+            sumsq += x * x;
+        }
+    }
+    if n == 0.0 {
+        return (0.0, 1.0);
+    }
+    let mean = sum / n;
+    let var = (sumsq / n - mean * mean).max(0.0);
+    let std = var.sqrt();
+    (mean, if std > 1e-12 { std } else { 1.0 })
+}
+
+/// Build the featurization spec and feature matrix for a table.
+///
+/// `text_hash_dim` is the number of hash buckets per text column. The
+/// table's primary-key column, FK columns and time column are skipped —
+/// identity belongs to the graph structure, not the features.
+pub fn featurize_table(table: &Table, text_hash_dim: usize) -> (TableFeatureSpec, FeatureMatrix) {
+    let schema = table.schema();
+    let skip: Vec<usize> = {
+        let mut v = Vec::new();
+        if let Some(pk) = schema.primary_key_index() {
+            v.push(pk);
+        }
+        if let Some(tc) = schema.time_column_index() {
+            v.push(tc);
+        }
+        for fk in schema.foreign_keys() {
+            if let Some(i) = schema.column_index(&fk.column) {
+                v.push(i);
+            }
+        }
+        v
+    };
+    let mut specs = Vec::new();
+    for (i, def) in schema.columns().iter().enumerate() {
+        if skip.contains(&i) {
+            continue;
+        }
+        let col = table.column(i).expect("column exists");
+        match def.data_type {
+            DataType::Int | DataType::Float | DataType::Timestamp => {
+                let (mean, std) = column_stats(col);
+                specs.push(ColumnFeature::Numeric { column: def.name.clone(), mean, std });
+            }
+            DataType::Bool => specs.push(ColumnFeature::Boolean { column: def.name.clone() }),
+            DataType::Text => {
+                specs.push(ColumnFeature::TextHash { column: def.name.clone(), dim: text_hash_dim })
+            }
+        }
+    }
+    specs.push(ColumnFeature::Bias);
+    let spec = TableFeatureSpec { table: schema.name().to_string(), columns: specs };
+
+    let dim = spec.dim();
+    let mut features = FeatureMatrix::zeros(table.len(), dim);
+    for row in 0..table.len() {
+        let out = features.row_mut(row);
+        let mut off = 0;
+        for cf in &spec.columns {
+            match cf {
+                ColumnFeature::Numeric { column, mean, std } => {
+                    let col = table.column_by_name(column).expect("column exists");
+                    match col.get_f64(row) {
+                        Some(x) => {
+                            out[off] = ((x - mean) / std) as f32;
+                            out[off + 1] = 0.0;
+                        }
+                        None => {
+                            out[off] = 0.0;
+                            out[off + 1] = 1.0;
+                        }
+                    }
+                    off += 2;
+                }
+                ColumnFeature::Boolean { column } => {
+                    let col = table.column_by_name(column).expect("column exists");
+                    out[off] = match col.get(row).as_bool() {
+                        Some(true) => 1.0,
+                        Some(false) => 0.0,
+                        None => 0.5,
+                    };
+                    off += 1;
+                }
+                ColumnFeature::TextHash { column, dim } => {
+                    let col = table.column_by_name(column).expect("column exists");
+                    if let Some(s) = col.get_str(row) {
+                        out[off + hash_bucket(s, *dim)] = 1.0;
+                    }
+                    off += dim;
+                }
+                ColumnFeature::Bias => {
+                    out[off] = 1.0;
+                    off += 1;
+                }
+            }
+        }
+    }
+    (spec, features)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgraph_store::{Row, TableSchema, Value};
+
+    fn table() -> Table {
+        let mut t = Table::new(
+            TableSchema::builder("items")
+                .column("id", DataType::Int)
+                .column("price", DataType::Float)
+                .column("kind", DataType::Text)
+                .column("active", DataType::Bool)
+                .column("owner", DataType::Int)
+                .column("at", DataType::Timestamp)
+                .primary_key("id")
+                .time_column("at")
+                .foreign_key("owner", "owners")
+                .build()
+                .unwrap(),
+        );
+        for (id, price, kind, active) in
+            [(1, 10.0, "a", true), (2, 20.0, "b", false), (3, 30.0, "a", true)]
+        {
+            t.insert(Row::from(vec![
+                Value::Int(id),
+                Value::Float(price),
+                Value::Text(kind.into()),
+                Value::Bool(active),
+                Value::Int(0),
+                Value::Timestamp(id),
+            ]))
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn spec_skips_keys_and_time() {
+        let (spec, _) = featurize_table(&table(), 4);
+        let names: Vec<String> = spec
+            .columns
+            .iter()
+            .filter_map(|c| match c {
+                ColumnFeature::Numeric { column, .. }
+                | ColumnFeature::Boolean { column }
+                | ColumnFeature::TextHash { column, .. } => Some(column.clone()),
+                ColumnFeature::Bias => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["price", "kind", "active"]);
+        // 2 (numeric) + 4 (text hash) + 1 (bool) + 1 (bias)
+        assert_eq!(spec.dim(), 8);
+    }
+
+    #[test]
+    fn zscore_is_centered() {
+        let (_, f) = featurize_table(&table(), 4);
+        // Price column occupies slot 0; mean of z-scores is 0.
+        let mean: f32 = (0..3).map(|r| f.row(r)[0]).sum::<f32>() / 3.0;
+        assert!(mean.abs() < 1e-6);
+        // Middle row is exactly the mean.
+        assert!(f.row(1)[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn text_hash_one_hot_consistency() {
+        let (_, f) = featurize_table(&table(), 4);
+        // Rows 0 and 2 share kind "a" → identical text-hash block (slots 2..6).
+        assert_eq!(&f.row(0)[2..6], &f.row(2)[2..6]);
+        assert_ne!(&f.row(0)[2..6], &f.row(1)[2..6]);
+        // Exactly one bucket set per row.
+        let ones: f32 = f.row(0)[2..6].iter().sum();
+        assert_eq!(ones, 1.0);
+    }
+
+    #[test]
+    fn bias_slot_is_last_and_one() {
+        let (spec, f) = featurize_table(&table(), 4);
+        assert_eq!(spec.columns.last(), Some(&ColumnFeature::Bias));
+        for r in 0..3 {
+            assert_eq!(f.row(r)[spec.dim() - 1], 1.0);
+        }
+    }
+
+    #[test]
+    fn null_numeric_sets_missing_indicator() {
+        let mut t = Table::new(
+            TableSchema::builder("t")
+                .column("id", DataType::Int)
+                .nullable_column("x", DataType::Float)
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        );
+        t.insert(Row::from(vec![Value::Int(1), Value::Float(5.0)])).unwrap();
+        t.insert(Row::from(vec![Value::Int(2), Value::Null])).unwrap();
+        let (_, f) = featurize_table(&t, 4);
+        assert_eq!(f.row(0)[1], 0.0);
+        assert_eq!(f.row(1)[0], 0.0);
+        assert_eq!(f.row(1)[1], 1.0);
+    }
+
+    #[test]
+    fn constant_column_does_not_blow_up() {
+        let mut t = Table::new(
+            TableSchema::builder("t")
+                .column("id", DataType::Int)
+                .column("c", DataType::Int)
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        );
+        for i in 0..3 {
+            t.insert(Row::from(vec![Value::Int(i), Value::Int(7)])).unwrap();
+        }
+        let (_, f) = featurize_table(&t, 2);
+        for r in 0..3 {
+            assert!(f.row(r).iter().all(|x| x.is_finite()));
+            assert_eq!(f.row(r)[0], 0.0); // (7-7)/1
+        }
+    }
+
+    #[test]
+    fn hash_bucket_stable_and_in_range() {
+        for s in ["", "a", "hello world", "ünïcode"] {
+            let b = hash_bucket(s, 8);
+            assert!(b < 8);
+            assert_eq!(b, hash_bucket(s, 8));
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # relgraph-db2graph
+//!
+//! The *databases-as-graphs* compiler: turns a relational
+//! [`Database`](relgraph_store::Database) into a heterogeneous temporal
+//! [`HeteroGraph`](relgraph_graph::HeteroGraph):
+//!
+//! * each table becomes a node type; each row a node (node id = row index);
+//! * each foreign key becomes **two** edge types — the FK direction and its
+//!   reverse — so message passing can flow both ways;
+//! * each edge inherits the *referencing row's* timestamp (the moment the
+//!   fact became known), enabling leak-free temporal sampling;
+//! * each row is featurized into a dense vector: z-scored numerics, hashed
+//!   one-hot text, 0/1 booleans, plus a constant bias slot ([`featurize`]).
+//!
+//! [`snapshot_at`] additionally produces a time-truncated copy of a
+//! database (rows with `time ≤ t`), used to simulate deployment-time
+//! inference in the leakage experiments.
+
+pub mod convert;
+pub mod error;
+pub mod featurize;
+pub mod snapshot;
+
+pub use convert::{build_graph, ConvertOptions, EdgeBinding, GraphMapping};
+pub use error::{ConvertError, ConvertResult};
+pub use featurize::{featurize_table, ColumnFeature, TableFeatureSpec};
+pub use snapshot::snapshot_at;

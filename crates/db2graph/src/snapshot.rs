@@ -1,0 +1,86 @@
+//! Time-truncated database snapshots.
+
+use relgraph_store::{Database, StoreResult};
+
+/// Copy `db` keeping only rows whose time-column value is `≤ t` (tables
+/// without a time column are copied in full). Used to simulate what a
+/// deployed system would have seen at time `t`.
+///
+/// Note: the snapshot may contain dangling foreign keys if a referencing
+/// row predates its referenced row; callers that need integrity should run
+/// [`Database::validate`] on the result.
+pub fn snapshot_at(db: &Database, t: i64) -> StoreResult<Database> {
+    let mut out = Database::new(format!("{}@{}", db.name(), t));
+    for table in db.tables() {
+        out.create_table(table.schema().clone())?;
+    }
+    for table in db.tables() {
+        let has_time = table.schema().time_column_index().is_some();
+        for i in 0..table.len() {
+            if has_time {
+                match table.row_timestamp(i) {
+                    Some(rt) if rt <= t => {}
+                    // Rows with NULL time are treated as always-present.
+                    None => {}
+                    _ => continue,
+                }
+            }
+            let row = table.row(i).expect("index in range");
+            out.insert(table.name(), row)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgraph_store::{DataType, Row, TableSchema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new("d");
+        db.create_table(
+            TableSchema::builder("events")
+                .column("id", DataType::Int)
+                .column("at", DataType::Timestamp)
+                .primary_key("id")
+                .time_column("at")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("static")
+                .column("id", DataType::Int)
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for (id, t) in [(1i64, 10i64), (2, 20), (3, 30)] {
+            db.insert("events", Row::new().push(id).push(Value::Timestamp(t))).unwrap();
+        }
+        db.insert("static", Row::new().push(7i64)).unwrap();
+        db
+    }
+
+    #[test]
+    fn truncates_timed_tables_inclusively() {
+        let s = snapshot_at(&db(), 20).unwrap();
+        assert_eq!(s.table("events").unwrap().len(), 2);
+        assert_eq!(s.table("static").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn full_and_empty_snapshots() {
+        assert_eq!(snapshot_at(&db(), 1000).unwrap().table("events").unwrap().len(), 3);
+        assert_eq!(snapshot_at(&db(), 0).unwrap().table("events").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn snapshot_keeps_schema() {
+        let s = snapshot_at(&db(), 20).unwrap();
+        assert_eq!(s.table("events").unwrap().schema().time_column(), Some("at"));
+        assert!(s.name().contains("@20"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the database→graph compiler.
+
+use proptest::prelude::*;
+use relgraph_db2graph::{build_graph, snapshot_at, ConvertOptions};
+use relgraph_store::{Database, DataType, Row, TableSchema, Value};
+
+/// A two-table DB: `parents(id, t)` and `children(id, parent_id, x, t)`,
+/// with child→parent assignments and times drawn from the inputs.
+fn build_db(n_parents: usize, children: &[(usize, f64, i64)]) -> Database {
+    let mut db = Database::new("d");
+    db.create_table(
+        TableSchema::builder("parents")
+            .column("id", DataType::Int)
+            .column("at", DataType::Timestamp)
+            .primary_key("id")
+            .time_column("at")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::builder("children")
+            .column("id", DataType::Int)
+            .column("parent_id", DataType::Int)
+            .column("x", DataType::Float)
+            .column("at", DataType::Timestamp)
+            .primary_key("id")
+            .time_column("at")
+            .foreign_key("parent_id", "parents")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    for p in 0..n_parents {
+        db.insert("parents", Row::new().push(p as i64).push(Value::Timestamp(0))).unwrap();
+    }
+    for (i, &(parent, x, t)) in children.iter().enumerate() {
+        db.insert(
+            "children",
+            Row::new()
+                .push(i as i64)
+                .push((parent % n_parents) as i64)
+                .push(x)
+                .push(Value::Timestamp(t)),
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn children_strategy() -> impl Strategy<Value = (usize, Vec<(usize, f64, i64)>)> {
+    (1usize..8).prop_flat_map(|n_parents| {
+        proptest::collection::vec((0usize..8, -10.0f64..10.0, 0i64..1000), 0..40)
+            .prop_map(move |c| (n_parents, c))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn graph_conserves_rows_and_edges((n_parents, children) in children_strategy()) {
+        let db = build_db(n_parents, &children);
+        let (graph, mapping) = build_graph(&db, &ConvertOptions::default()).unwrap();
+        prop_assert_eq!(graph.total_nodes(), db.total_rows());
+        // One forward + one reverse edge per (non-null) FK cell.
+        prop_assert_eq!(graph.total_edges(), children.len() * 2);
+        let p = mapping.node_type("parents").unwrap();
+        let c = mapping.node_type("children").unwrap();
+        prop_assert_eq!(graph.num_nodes(p), n_parents);
+        prop_assert_eq!(graph.num_nodes(c), children.len());
+    }
+
+    #[test]
+    fn edge_times_equal_referencing_row_times((n_parents, children) in children_strategy()) {
+        let db = build_db(n_parents, &children);
+        let (graph, _) = build_graph(&db, &ConvertOptions::default()).unwrap();
+        let fwd = graph.edge_type_by_name("children.parent_id->parents").unwrap();
+        for (row, &(_, _, t)) in children.iter().enumerate() {
+            let ns: Vec<(usize, i64)> = graph.neighbors(fwd, row).collect();
+            prop_assert_eq!(ns.len(), 1);
+            prop_assert_eq!(ns[0].1, t);
+        }
+    }
+
+    #[test]
+    fn node_features_are_finite_and_bias_terminated((n_parents, children) in children_strategy()) {
+        let db = build_db(n_parents, &children);
+        let (graph, mapping) = build_graph(&db, &ConvertOptions::default()).unwrap();
+        for (_, nt) in &mapping.node_types {
+            let f = graph.features(*nt);
+            for r in 0..f.rows() {
+                prop_assert!(f.row(r).iter().all(|x| x.is_finite()));
+                prop_assert_eq!(f.row(r)[f.dim() - 1], 1.0, "bias slot");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_counts_match_filter(
+        (n_parents, children) in children_strategy(),
+        cut in 0i64..1000,
+    ) {
+        let db = build_db(n_parents, &children);
+        let snap = snapshot_at(&db, cut).unwrap();
+        let expected = children.iter().filter(|&&(_, _, t)| t <= cut).count();
+        prop_assert_eq!(snap.table("children").unwrap().len(), expected);
+        prop_assert_eq!(snap.table("parents").unwrap().len(), n_parents);
+        // Snapshot at max time is the whole DB.
+        let full = snapshot_at(&db, 1000).unwrap();
+        prop_assert_eq!(full.total_rows(), db.total_rows());
+    }
+
+    #[test]
+    fn snapshot_graph_is_subgraph_of_full(
+        (n_parents, children) in children_strategy(),
+        cut in 0i64..1000,
+    ) {
+        let db = build_db(n_parents, &children);
+        let snap = snapshot_at(&db, cut).unwrap();
+        let (g_full, _) = build_graph(&db, &ConvertOptions::default()).unwrap();
+        let (g_snap, _) = build_graph(&snap, &ConvertOptions::default()).unwrap();
+        prop_assert!(g_snap.total_nodes() <= g_full.total_nodes());
+        prop_assert!(g_snap.total_edges() <= g_full.total_edges());
+    }
+}

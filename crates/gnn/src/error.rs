@@ -1,0 +1,42 @@
+//! Error types for GNN training and inference.
+
+use std::fmt;
+
+use relgraph_tensor::TensorError;
+
+/// Result alias for GNN operations.
+pub type GnnResult<T> = Result<T, GnnError>;
+
+/// Errors from GNN construction, training or prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GnnError {
+    /// Training set was empty or degenerate (e.g. one class only).
+    DegenerateTrainingSet(String),
+    /// Model/sampler configuration mismatch (e.g. layer count vs hops).
+    ConfigMismatch(String),
+    /// Numeric failure during training (non-finite loss).
+    NumericFailure { epoch: usize },
+    /// Underlying tensor error.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for GnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GnnError::DegenerateTrainingSet(msg) => write!(f, "degenerate training set: {msg}"),
+            GnnError::ConfigMismatch(msg) => write!(f, "configuration mismatch: {msg}"),
+            GnnError::NumericFailure { epoch } => {
+                write!(f, "non-finite loss encountered at epoch {epoch}")
+            }
+            GnnError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GnnError {}
+
+impl From<TensorError> for GnnError {
+    fn from(e: TensorError) -> Self {
+        GnnError::Tensor(e)
+    }
+}

@@ -1,0 +1,35 @@
+//! # relgraph-gnn
+//!
+//! Temporal heterogeneous graph neural networks over sampled subgraphs —
+//! the model family the paper's predictive queries compile into.
+//!
+//! * [`batch`] converts a [`SampledSubgraph`](relgraph_graph::SampledSubgraph)
+//!   into dense tensors, appending a relative-age feature per node (how long
+//!   before the anchor the row appeared);
+//! * [`sage`] implements one heterogeneous GraphSAGE-style layer: per-type
+//!   self transform plus per-edge-type mean aggregation of neighbor
+//!   messages;
+//! * [`model`] stacks layers into a [`HeteroGnn`] producing seed-entity
+//!   embeddings;
+//! * [`train`] trains node-level models (binary classification with
+//!   BCE, regression with Huber on standardized targets), with mini-batch
+//!   Adam, gradient clipping and early stopping;
+//! * [`recommend`] trains a two-tower recommendation model (GNN user tower,
+//!   linear item tower) with a BPR ranking loss.
+
+pub mod batch;
+pub mod error;
+pub mod model;
+pub mod recommend;
+pub mod sage;
+pub mod train;
+
+pub use batch::{build_batch, Batch};
+pub use error::{GnnError, GnnResult};
+pub use model::{GnnConfig, HeteroGnn};
+pub use sage::Aggregation;
+pub use recommend::{train_two_tower, TwoTowerConfig, TwoTowerModel};
+pub use train::{
+    train_multiclass_model, train_node_model, MulticlassModel, NodeModel, TaskKind, TrainConfig,
+    TrainReport,
+};

@@ -1,0 +1,679 @@
+//! Mini-batch training of node-level GNN models (binary classification and
+//! regression) with Adam, gradient clipping and early stopping.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use relgraph_graph::{HeteroGraph, SamplerConfig, Seed, TemporalSampler};
+use relgraph_nn::{clip_global_norm, loss, Activation, Adam, Binding, Optimizer, ParamSet};
+use relgraph_tensor::{Graph, Tensor};
+
+use crate::batch::{build_batch, input_dims};
+use crate::error::{GnnError, GnnResult};
+use crate::model::{GnnConfig, HeteroGnn};
+use crate::sage::Aggregation;
+
+/// Which prediction task the model solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Binary classification; labels in `{0.0, 1.0}`, predictions are
+    /// probabilities.
+    Binary,
+    /// Scalar regression; labels standardized internally, predictions are
+    /// on the original scale.
+    Regression,
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Maximum epochs.
+    pub epochs: usize,
+    /// Seeds per mini-batch.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Global gradient-norm cap.
+    pub clip_norm: f64,
+    /// Early-stopping patience (epochs without val improvement).
+    pub patience: usize,
+    /// Per-hop neighbor fanouts; the layer count follows `fanouts.len()`.
+    pub fanouts: Vec<usize>,
+    /// Hidden width.
+    pub hidden_dim: usize,
+    /// RNG seed (shuffling + init).
+    pub seed: u64,
+    /// Temporal (leak-free) sampling; `false` only for the leakage ablation.
+    pub temporal: bool,
+    /// Windowed degree-count features (default); `false` only for the
+    /// depth ablation's raw-features condition.
+    pub degree_features: bool,
+    /// Neighborhood aggregation function.
+    pub aggregation: Aggregation,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 30,
+            batch_size: 64,
+            lr: 0.01,
+            clip_norm: 5.0,
+            patience: 5,
+            fanouts: vec![10, 10],
+            hidden_dim: 32,
+            seed: 17,
+            temporal: true,
+            degree_features: true,
+            aggregation: Aggregation::Mean,
+        }
+    }
+}
+
+/// What happened during training.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Epochs actually run (early stopping may cut this short).
+    pub epochs_run: usize,
+    /// Best validation loss (train loss when no validation set given).
+    pub best_val_loss: f64,
+    /// Mean train loss per epoch.
+    pub train_losses: Vec<f64>,
+    /// Validation loss per epoch.
+    pub val_losses: Vec<f64>,
+}
+
+/// A trained node-level model: hetero-GNN + head + label scaling.
+pub struct NodeModel {
+    ps: ParamSet,
+    gnn: HeteroGnn,
+    task: TaskKind,
+    label_mean: f64,
+    label_std: f64,
+    sampler_cfg: SamplerConfig,
+    /// Training diagnostics.
+    pub report: TrainReport,
+}
+
+impl NodeModel {
+    /// The task this model was trained for.
+    pub fn task(&self) -> TaskKind {
+        self.task
+    }
+
+    /// Number of trainable tensors.
+    pub fn num_params(&self) -> usize {
+        self.ps.len()
+    }
+
+    /// Predict for a slice of seeds: probabilities for `Binary`,
+    /// original-scale values for `Regression`.
+    pub fn predict(&self, graph: &HeteroGraph, seeds: &[Seed]) -> Vec<f64> {
+        self.predict_with_sampler(graph, seeds, self.sampler_cfg.clone())
+    }
+
+    /// Predict with an explicit sampler configuration — used by the
+    /// leakage ablation to serve a leakily-trained model under honest
+    /// (deployment-time) sampling.
+    pub fn predict_with_sampler(
+        &self,
+        graph: &HeteroGraph,
+        seeds: &[Seed],
+        sampler_cfg: SamplerConfig,
+    ) -> Vec<f64> {
+        let sampler = TemporalSampler::new(graph, sampler_cfg);
+        let mut out = Vec::with_capacity(seeds.len());
+        for chunk in seeds.chunks(256) {
+            let sub = sampler.sample(chunk);
+            let batch = build_batch(graph, &sub);
+            let mut g = Graph::new();
+            let mut binding = Binding::new();
+            let pred = self.gnn.forward(&mut g, &mut binding, &self.ps, &batch);
+            let v = g.value(pred);
+            for r in 0..v.rows() {
+                let x = v.get(r, 0);
+                out.push(match self.task {
+                    TaskKind::Binary => 1.0 / (1.0 + (-x).exp()),
+                    TaskKind::Regression => x * self.label_std + self.label_mean,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// A trained multiclass node-level model: hetero-GNN with a k-way softmax
+/// head plus the class vocabulary.
+pub struct MulticlassModel {
+    ps: ParamSet,
+    gnn: HeteroGnn,
+    classes: Vec<String>,
+    sampler_cfg: SamplerConfig,
+    /// Training diagnostics.
+    pub report: TrainReport,
+}
+
+impl MulticlassModel {
+    /// The class vocabulary (index-aligned with predictions).
+    pub fn classes(&self) -> &[String] {
+        &self.classes
+    }
+
+    /// Per-seed class probabilities (`softmax` over the head logits).
+    pub fn predict_proba(&self, graph: &HeteroGraph, seeds: &[Seed]) -> Vec<Vec<f64>> {
+        let sampler = TemporalSampler::new(graph, self.sampler_cfg.clone());
+        let mut out = Vec::with_capacity(seeds.len());
+        for chunk in seeds.chunks(256) {
+            let sub = sampler.sample(chunk);
+            let batch = build_batch(graph, &sub);
+            let mut g = Graph::new();
+            let mut binding = Binding::new();
+            let logits = self.gnn.forward(&mut g, &mut binding, &self.ps, &batch);
+            let ls = g.log_softmax(logits);
+            let v = g.value(ls);
+            for r in 0..v.rows() {
+                out.push(v.row(r).iter().map(|&x| x.exp()).collect());
+            }
+        }
+        out
+    }
+
+    /// Per-seed argmax class index.
+    pub fn predict(&self, graph: &HeteroGraph, seeds: &[Seed]) -> Vec<usize> {
+        self.predict_proba(graph, seeds)
+            .into_iter()
+            .map(|p| {
+                p.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+/// Train a k-way classifier over `(seed, class index)` pairs. `classes` is
+/// the label vocabulary (indices into it appear in `train`/`val`).
+pub fn train_multiclass_model(
+    graph: &HeteroGraph,
+    classes: Vec<String>,
+    train: &[(Seed, usize)],
+    val: &[(Seed, usize)],
+    cfg: &TrainConfig,
+) -> GnnResult<MulticlassModel> {
+    if train.is_empty() {
+        return Err(GnnError::DegenerateTrainingSet("no training examples".into()));
+    }
+    let k = classes.len();
+    if k < 2 {
+        return Err(GnnError::DegenerateTrainingSet(format!(
+            "multiclass needs ≥ 2 classes, got {k}"
+        )));
+    }
+    if let Some(&(_, bad)) = train.iter().chain(val).find(|&&(_, c)| c >= k) {
+        return Err(GnnError::DegenerateTrainingSet(format!(
+            "class index {bad} out of range for {k} classes"
+        )));
+    }
+    let sampler_cfg = {
+        let mut base = SamplerConfig::new(cfg.fanouts.clone());
+        if !cfg.temporal {
+            base = base.leaky();
+        }
+        if !cfg.degree_features {
+            base = base.without_degree_features();
+        }
+        base
+    };
+    let sampler = TemporalSampler::new(graph, sampler_cfg.clone());
+    let mut ps = ParamSet::new();
+    let gnn_cfg = GnnConfig {
+        hidden_dim: cfg.hidden_dim,
+        layers: cfg.fanouts.len(),
+        out_dim: k,
+        activation: Activation::Relu,
+        aggregation: cfg.aggregation,
+        seed: cfg.seed,
+    };
+    let seed_type = train[0].0.node_type.0;
+    let gnn = HeteroGnn::new(&mut ps, &input_dims(graph), graph.edge_types(), seed_type, &gnn_cfg);
+    let mut opt = Adam::new(cfg.lr);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let ce_loss = |g: &mut Graph,
+                   binding: &mut Binding,
+                   ps: &ParamSet,
+                   examples: &[(Seed, usize)]|
+     -> relgraph_tensor::Var {
+        let seeds: Vec<Seed> = examples.iter().map(|&(s, _)| s).collect();
+        let sub = sampler.sample(&seeds);
+        let batch = build_batch(graph, &sub);
+        let logits = gnn.forward(g, binding, ps, &batch);
+        let mut one_hot = Tensor::zeros(examples.len(), k);
+        for (r, &(_, c)) in examples.iter().enumerate() {
+            one_hot.set(r, c, 1.0);
+        }
+        let target = g.constant(one_hot);
+        loss::softmax_cross_entropy(g, logits, target)
+    };
+
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    let mut report = TrainReport::default();
+    let mut best_val = f64::INFINITY;
+    let mut best_snapshot = ps.snapshot();
+    let mut since_best = 0usize;
+    for epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        let mut batches: f64 = 0.0;
+        for chunk in order.chunks(cfg.batch_size) {
+            let examples: Vec<(Seed, usize)> = chunk.iter().map(|&i| train[i]).collect();
+            let mut g = Graph::new();
+            let mut binding = Binding::new();
+            let l = ce_loss(&mut g, &mut binding, &ps, &examples);
+            let lv = g.value(l).item();
+            if !lv.is_finite() {
+                return Err(GnnError::NumericFailure { epoch });
+            }
+            g.backward(l)?;
+            binding.accumulate_grads(&g, &mut ps);
+            clip_global_norm(&mut ps, cfg.clip_norm);
+            opt.step(&mut ps);
+            epoch_loss += lv;
+            batches += 1.0;
+        }
+        let train_loss = epoch_loss / batches.max(1.0);
+        report.train_losses.push(train_loss);
+        let val_loss = if val.is_empty() {
+            train_loss
+        } else {
+            let mut total = 0.0;
+            let mut n = 0.0;
+            for chunk in val.chunks(cfg.batch_size) {
+                let mut g = Graph::new();
+                let mut binding = Binding::new();
+                let l = ce_loss(&mut g, &mut binding, &ps, chunk);
+                total += g.value(l).item() * chunk.len() as f64;
+                n += chunk.len() as f64;
+            }
+            total / n.max(1.0)
+        };
+        report.val_losses.push(val_loss);
+        report.epochs_run = epoch + 1;
+        if val_loss < best_val - 1e-6 {
+            best_val = val_loss;
+            best_snapshot = ps.snapshot();
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if since_best >= cfg.patience {
+                break;
+            }
+        }
+    }
+    ps.restore(&best_snapshot);
+    report.best_val_loss = best_val;
+    Ok(MulticlassModel { ps, gnn, classes, sampler_cfg, report })
+}
+
+fn batch_loss(
+    g: &mut Graph,
+    binding: &mut Binding,
+    ps: &ParamSet,
+    gnn: &HeteroGnn,
+    graph: &HeteroGraph,
+    sampler: &TemporalSampler,
+    examples: &[(Seed, f64)],
+    task: TaskKind,
+    label_mean: f64,
+    label_std: f64,
+) -> relgraph_tensor::Var {
+    let seeds: Vec<Seed> = examples.iter().map(|&(s, _)| s).collect();
+    let sub = sampler.sample(&seeds);
+    let batch = build_batch(graph, &sub);
+    let pred = gnn.forward(g, binding, ps, &batch);
+    let labels: Vec<f64> = examples
+        .iter()
+        .map(|&(_, y)| match task {
+            TaskKind::Binary => y,
+            TaskKind::Regression => (y - label_mean) / label_std,
+        })
+        .collect();
+    let n = labels.len();
+    let target = g.constant(Tensor::from_vec(n, 1, labels));
+    match task {
+        TaskKind::Binary => loss::bce_with_logits(g, pred, target),
+        TaskKind::Regression => loss::huber(g, pred, target, 1.0),
+    }
+}
+
+/// Train a node-level model.
+///
+/// `train` and `val` pair each [`Seed`] (entity + anchor time) with its
+/// label. Returns the model with the best-validation-loss parameters
+/// restored.
+pub fn train_node_model(
+    graph: &HeteroGraph,
+    task: TaskKind,
+    train: &[(Seed, f64)],
+    val: &[(Seed, f64)],
+    cfg: &TrainConfig,
+) -> GnnResult<NodeModel> {
+    if train.is_empty() {
+        return Err(GnnError::DegenerateTrainingSet("no training examples".into()));
+    }
+    if task == TaskKind::Binary {
+        let pos = train.iter().filter(|&&(_, y)| y > 0.5).count();
+        if pos == 0 || pos == train.len() {
+            return Err(GnnError::DegenerateTrainingSet(format!(
+                "binary task needs both classes; got {pos}/{} positives",
+                train.len()
+            )));
+        }
+    }
+    // Label standardization for regression.
+    let (label_mean, label_std) = match task {
+        TaskKind::Binary => (0.0, 1.0),
+        TaskKind::Regression => {
+            let n = train.len() as f64;
+            let mean = train.iter().map(|&(_, y)| y).sum::<f64>() / n;
+            let var = train.iter().map(|&(_, y)| (y - mean) * (y - mean)).sum::<f64>() / n;
+            (mean, var.sqrt().max(1e-9))
+        }
+    };
+
+    let sampler_cfg = {
+        let mut base = SamplerConfig::new(cfg.fanouts.clone());
+        if !cfg.temporal {
+            base = base.leaky();
+        }
+        if !cfg.degree_features {
+            base = base.without_degree_features();
+        }
+        base
+    };
+    let sampler = TemporalSampler::new(graph, sampler_cfg.clone());
+    let mut ps = ParamSet::new();
+    let gnn_cfg = GnnConfig {
+        hidden_dim: cfg.hidden_dim,
+        layers: cfg.fanouts.len(),
+        out_dim: 1,
+        activation: Activation::Relu,
+        aggregation: cfg.aggregation,
+        seed: cfg.seed,
+    };
+    let seed_type = train[0].0.node_type.0;
+    let gnn = HeteroGnn::new(&mut ps, &input_dims(graph), graph.edge_types(), seed_type, &gnn_cfg);
+    let mut opt = Adam::new(cfg.lr);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    let mut report = TrainReport::default();
+    let mut best_val = f64::INFINITY;
+    let mut best_snapshot = ps.snapshot();
+    let mut since_best = 0usize;
+
+    for epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        let mut batches: f64 = 0.0;
+        for chunk in order.chunks(cfg.batch_size) {
+            let examples: Vec<(Seed, f64)> = chunk.iter().map(|&i| train[i]).collect();
+            let mut g = Graph::new();
+            let mut binding = Binding::new();
+            let l = batch_loss(
+                &mut g, &mut binding, &ps, &gnn, graph, &sampler, &examples, task, label_mean,
+                label_std,
+            );
+            let lv = g.value(l).item();
+            if !lv.is_finite() {
+                return Err(GnnError::NumericFailure { epoch });
+            }
+            g.backward(l)?;
+            binding.accumulate_grads(&g, &mut ps);
+            clip_global_norm(&mut ps, cfg.clip_norm);
+            opt.step(&mut ps);
+            epoch_loss += lv;
+            batches += 1.0;
+        }
+        let train_loss = epoch_loss / batches.max(1.0);
+        report.train_losses.push(train_loss);
+
+        // Validation (forward only).
+        let val_loss = if val.is_empty() {
+            train_loss
+        } else {
+            let mut total = 0.0;
+            let mut n = 0.0;
+            for chunk in val.chunks(cfg.batch_size) {
+                let mut g = Graph::new();
+                let mut binding = Binding::new();
+                let l = batch_loss(
+                    &mut g, &mut binding, &ps, &gnn, graph, &sampler, chunk, task, label_mean,
+                    label_std,
+                );
+                total += g.value(l).item() * chunk.len() as f64;
+                n += chunk.len() as f64;
+            }
+            total / n.max(1.0)
+        };
+        report.val_losses.push(val_loss);
+        report.epochs_run = epoch + 1;
+
+        if val_loss < best_val - 1e-6 {
+            best_val = val_loss;
+            best_snapshot = ps.snapshot();
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if since_best >= cfg.patience {
+                break;
+            }
+        }
+    }
+    ps.restore(&best_snapshot);
+    report.best_val_loss = best_val;
+    Ok(NodeModel { ps, gnn, task, label_mean, label_std, sampler_cfg, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use relgraph_graph::{FeatureMatrix, HeteroGraphBuilder, NodeTypeId};
+    use relgraph_metrics as metrics;
+
+    /// Users whose label is determined *only* by the mean feature of their
+    /// item neighbors — learnable by a 1-hop GNN, invisible to hop-0.
+    fn neighbor_label_graph(n_users: usize, seed: u64) -> (HeteroGraph, Vec<(Seed, f64)>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_items = n_users * 3;
+        let mut b = HeteroGraphBuilder::new();
+        let u = b.add_node_type("user", n_users);
+        let i = b.add_node_type("item", n_items);
+        let e = b.add_edge_type("owns", u, i);
+        let mut item_feats = FeatureMatrix::zeros(n_items, 2);
+        let mut labels = Vec::with_capacity(n_users);
+        for user in 0..n_users {
+            let mut total = 0.0;
+            for k in 0..3 {
+                let item = user * 3 + k;
+                let x: f64 = rng.gen_range(-1.0..1.0);
+                item_feats.row_mut(item)[0] = x as f32;
+                item_feats.row_mut(item)[1] = 1.0;
+                total += x;
+                b.add_edge(e, user, item, 0);
+            }
+            labels.push(if total > 0.0 { 1.0 } else { 0.0 });
+        }
+        b.set_features(i, item_feats);
+        b.set_features(u, FeatureMatrix::from_rows(n_users, 1, vec![1.0; n_users]));
+        let g = b.finish().unwrap();
+        let examples = labels
+            .into_iter()
+            .enumerate()
+            .map(|(n, y)| (Seed { node_type: NodeTypeId(0), node: n, time: 10 }, y))
+            .collect();
+        (g, examples)
+    }
+
+    fn cfg() -> TrainConfig {
+        TrainConfig {
+            epochs: 40,
+            batch_size: 32,
+            lr: 0.02,
+            fanouts: vec![5],
+            hidden_dim: 16,
+            seed: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn learns_neighbor_determined_labels() {
+        let (g, examples) = neighbor_label_graph(120, 1);
+        let (train, test) = examples.split_at(90);
+        let model = train_node_model(&g, TaskKind::Binary, train, &[], &cfg()).unwrap();
+        let seeds: Vec<Seed> = test.iter().map(|&(s, _)| s).collect();
+        let probs = model.predict(&g, &seeds);
+        let labels: Vec<bool> = test.iter().map(|&(_, y)| y > 0.5).collect();
+        let auc = metrics::auroc(&probs, &labels).unwrap();
+        assert!(auc > 0.85, "1-hop GNN should learn neighbor labels, AUROC {auc}");
+        assert_eq!(model.task(), TaskKind::Binary);
+        assert!(model.num_params() > 0);
+        assert!(model.report.epochs_run > 0);
+    }
+
+    #[test]
+    fn hop_zero_cannot_learn_neighbor_labels() {
+        let (g, examples) = neighbor_label_graph(120, 2);
+        let (train, test) = examples.split_at(90);
+        let mut c = cfg();
+        c.fanouts = vec![];
+        let model = train_node_model(&g, TaskKind::Binary, train, &[], &c).unwrap();
+        let seeds: Vec<Seed> = test.iter().map(|&(s, _)| s).collect();
+        let probs = model.predict(&g, &seeds);
+        let labels: Vec<bool> = test.iter().map(|&(_, y)| y > 0.5).collect();
+        let auc = metrics::auroc(&probs, &labels).unwrap();
+        assert!(auc < 0.7, "hop-0 model should be near chance, AUROC {auc}");
+    }
+
+    #[test]
+    fn regression_recovers_neighbor_mean() {
+        let (g, examples) = neighbor_label_graph(120, 3);
+        // Regression target: 10 * label + 5 (checks de-standardization too).
+        let reg: Vec<(Seed, f64)> =
+            examples.iter().map(|&(s, y)| (s, 10.0 * y + 5.0)).collect();
+        let (train, test) = reg.split_at(90);
+        let model = train_node_model(&g, TaskKind::Regression, train, &[], &cfg()).unwrap();
+        let seeds: Vec<Seed> = test.iter().map(|&(s, _)| s).collect();
+        let preds = model.predict(&g, &seeds);
+        let truth: Vec<f64> = test.iter().map(|&(_, y)| y).collect();
+        let mae = metrics::mae(&preds, &truth);
+        assert!(mae < 3.0, "regression MAE too high: {mae}");
+        // Predictions must live on the original scale.
+        let mean_pred = preds.iter().sum::<f64>() / preds.len() as f64;
+        assert!((mean_pred - 10.0).abs() < 4.0, "mean prediction {mean_pred} off scale");
+    }
+
+    #[test]
+    fn multiclass_learns_neighbor_majority() {
+        // 3 classes; the label is the dominant one-hot among a user's item
+        // neighbors.
+        let mut rng = StdRng::seed_from_u64(7);
+        let n_users = 120;
+        let n_items = n_users * 3;
+        let mut b = relgraph_graph::HeteroGraphBuilder::new();
+        let u = b.add_node_type("user", n_users);
+        let i = b.add_node_type("item", n_items);
+        let e = b.add_edge_type("owns", u, i);
+        let mut feats = relgraph_graph::FeatureMatrix::zeros(n_items, 3);
+        let mut labels = Vec::with_capacity(n_users);
+        for user in 0..n_users {
+            let mut counts = [0usize; 3];
+            for k in 0..3 {
+                let item = user * 3 + k;
+                let class = rng.gen_range(0..3usize);
+                feats.row_mut(item)[class] = 1.0;
+                counts[class] += 1;
+                b.add_edge(e, user, item, 0);
+            }
+            let majority = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, c)| *c)
+                .map(|(c, _)| c)
+                .unwrap();
+            labels.push(majority);
+        }
+        b.set_features(i, feats);
+        b.set_features(
+            u,
+            relgraph_graph::FeatureMatrix::from_rows(n_users, 1, vec![1.0; n_users]),
+        );
+        let g = b.finish().unwrap();
+        let examples: Vec<(Seed, usize)> = labels
+            .into_iter()
+            .enumerate()
+            .map(|(n, c)| (Seed { node_type: relgraph_graph::NodeTypeId(0), node: n, time: 10 }, c))
+            .collect();
+        let (train, test) = examples.split_at(90);
+        let classes = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let model = train_multiclass_model(&g, classes, train, &[], &cfg()).unwrap();
+        let seeds: Vec<Seed> = test.iter().map(|&(s, _)| s).collect();
+        let preds = model.predict(&g, &seeds);
+        let truth: Vec<usize> = test.iter().map(|&(_, c)| c).collect();
+        let acc = relgraph_metrics::multiclass_accuracy(&preds, &truth);
+        assert!(acc > 0.7, "multiclass accuracy {acc}");
+        // Probabilities are normalized.
+        for p in model.predict_proba(&g, &seeds) {
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        assert_eq!(model.classes().len(), 3);
+    }
+
+    #[test]
+    fn multiclass_rejects_bad_inputs() {
+        let (g, examples) = neighbor_label_graph(20, 9);
+        let pairs: Vec<(Seed, usize)> = examples.iter().map(|&(s, _)| (s, 0)).collect();
+        assert!(train_multiclass_model(&g, vec!["a".into()], &pairs, &[], &cfg()).is_err());
+        assert!(train_multiclass_model(
+            &g,
+            vec!["a".into(), "b".into()],
+            &[],
+            &[],
+            &cfg()
+        )
+        .is_err());
+        let bad = vec![(pairs[0].0, 7usize)];
+        assert!(train_multiclass_model(&g, vec!["a".into(), "b".into()], &bad, &[], &cfg())
+            .is_err());
+    }
+
+    #[test]
+    fn degenerate_sets_rejected() {
+        let (g, examples) = neighbor_label_graph(20, 4);
+        assert!(matches!(
+            train_node_model(&g, TaskKind::Binary, &[], &[], &cfg()),
+            Err(GnnError::DegenerateTrainingSet(_))
+        ));
+        let all_pos: Vec<(Seed, f64)> = examples.iter().map(|&(s, _)| (s, 1.0)).collect();
+        assert!(matches!(
+            train_node_model(&g, TaskKind::Binary, &all_pos, &[], &cfg()),
+            Err(GnnError::DegenerateTrainingSet(_))
+        ));
+    }
+
+    #[test]
+    fn early_stopping_uses_validation() {
+        let (g, examples) = neighbor_label_graph(100, 5);
+        let (train, val) = examples.split_at(70);
+        let mut c = cfg();
+        c.epochs = 50;
+        c.patience = 3;
+        let model = train_node_model(&g, TaskKind::Binary, train, val, &c).unwrap();
+        assert!(model.report.val_losses.len() == model.report.epochs_run);
+        assert!(model.report.best_val_loss.is_finite());
+    }
+}

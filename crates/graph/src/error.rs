@@ -1,0 +1,47 @@
+//! Error types for the graph crate.
+
+use std::fmt;
+
+/// Result alias for graph operations.
+pub type GraphResult<T> = Result<T, GraphError>;
+
+/// Errors produced while building or querying heterogeneous graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Node type id out of range.
+    UnknownNodeType(usize),
+    /// Edge type id out of range.
+    UnknownEdgeType(usize),
+    /// A node index exceeded its type's node count.
+    NodeOutOfRange { node_type: String, index: usize, count: usize },
+    /// Node timestamps vector length did not match the node count.
+    TimesLengthMismatch { node_type: String, expected: usize, got: usize },
+    /// Feature matrix shape did not match the node count.
+    FeatureShapeMismatch { node_type: String, expected_rows: usize, got_rows: usize },
+    /// Duplicate type name.
+    DuplicateTypeName(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNodeType(i) => write!(f, "unknown node type #{i}"),
+            GraphError::UnknownEdgeType(i) => write!(f, "unknown edge type #{i}"),
+            GraphError::NodeOutOfRange { node_type, index, count } => write!(
+                f,
+                "node index {index} out of range for type `{node_type}` ({count} nodes)"
+            ),
+            GraphError::TimesLengthMismatch { node_type, expected, got } => write!(
+                f,
+                "timestamps for `{node_type}`: expected {expected} entries, got {got}"
+            ),
+            GraphError::FeatureShapeMismatch { node_type, expected_rows, got_rows } => write!(
+                f,
+                "features for `{node_type}`: expected {expected_rows} rows, got {got_rows}"
+            ),
+            GraphError::DuplicateTypeName(n) => write!(f, "duplicate type name `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -1,0 +1,89 @@
+//! Dense per-node feature storage.
+
+/// A row-major dense matrix of `f32` node features: one row per node of a
+/// node type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMatrix {
+    rows: usize,
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl FeatureMatrix {
+    /// All-zero features for `rows` nodes of dimensionality `dim`.
+    pub fn zeros(rows: usize, dim: usize) -> Self {
+        FeatureMatrix { rows, dim, data: vec![0.0; rows * dim] }
+    }
+
+    /// Build from raw row-major data. Panics if `data.len() != rows * dim`.
+    pub fn from_rows(rows: usize, dim: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * dim, "feature data length must equal rows*dim");
+        FeatureMatrix { rows, dim, data }
+    }
+
+    /// Number of node rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow the feature row for node `i`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Mutably borrow the feature row for node `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Gather rows by index into a fresh matrix (used when assembling
+    /// mini-batches from sampled subgraphs).
+    pub fn gather(&self, indices: &[usize]) -> FeatureMatrix {
+        let mut out = FeatureMatrix::zeros(indices.len(), self.dim);
+        for (r, &i) in indices.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(self.row(i));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_rows() {
+        let mut m = FeatureMatrix::zeros(3, 2);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.dim(), 2);
+        m.row_mut(1).copy_from_slice(&[1.0, 2.0]);
+        assert_eq!(m.row(1), &[1.0, 2.0]);
+        assert_eq!(m.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn gather_selects_and_reorders() {
+        let m = FeatureMatrix::from_rows(3, 2, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
+        let g = m.gather(&[2, 0, 2]);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.row(0), &[2.0, 2.0]);
+        assert_eq!(g.row(1), &[0.0, 0.0]);
+        assert_eq!(g.row(2), &[2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_shape_panics() {
+        let _ = FeatureMatrix::from_rows(2, 2, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,439 @@
+//! Heterogeneous temporal graph storage (typed CSR adjacency).
+
+use std::collections::HashMap;
+
+use crate::error::{GraphError, GraphResult};
+use crate::features::FeatureMatrix;
+
+/// Identifier of a node type (index into the graph's type registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeTypeId(pub usize);
+
+/// Identifier of an edge type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeTypeId(pub usize);
+
+/// Timestamp assigned to edges/nodes that exist "from the beginning"
+/// (static dimension tables without a time column).
+pub const ALWAYS_VISIBLE: i64 = i64::MIN;
+
+/// Metadata of one edge type: a named relation from one node type to one
+/// node type (one FK direction or its reverse).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeTypeMeta {
+    /// Relation name, e.g. `orders.customer_id->customers` or its reverse.
+    pub name: String,
+    /// Source node type.
+    pub src: NodeTypeId,
+    /// Destination node type.
+    pub dst: NodeTypeId,
+}
+
+/// CSR adjacency for one edge type. Neighbor lists are sorted by edge
+/// timestamp ascending, so the "most recent ≤ t" prefix is a contiguous
+/// range found by binary search.
+#[derive(Debug, Clone, PartialEq)]
+struct Csr {
+    offsets: Vec<usize>,
+    /// Destination node index (within the destination type).
+    neighbors: Vec<u32>,
+    /// Edge visibility timestamp, parallel to `neighbors`.
+    times: Vec<i64>,
+}
+
+/// An immutable heterogeneous temporal graph. Build with
+/// [`HeteroGraphBuilder`].
+#[derive(Debug, Clone)]
+pub struct HeteroGraph {
+    node_type_names: Vec<String>,
+    node_counts: Vec<usize>,
+    /// Creation timestamp per node, per type ([`ALWAYS_VISIBLE`] if static).
+    node_times: Vec<Vec<i64>>,
+    /// Feature matrix per node type.
+    features: Vec<FeatureMatrix>,
+    edge_types: Vec<EdgeTypeMeta>,
+    adjacency: Vec<Csr>,
+}
+
+impl HeteroGraph {
+    /// Number of node types.
+    pub fn num_node_types(&self) -> usize {
+        self.node_type_names.len()
+    }
+
+    /// Number of edge types.
+    pub fn num_edge_types(&self) -> usize {
+        self.edge_types.len()
+    }
+
+    /// Name of a node type.
+    pub fn node_type_name(&self, t: NodeTypeId) -> &str {
+        &self.node_type_names[t.0]
+    }
+
+    /// Find a node type by name.
+    pub fn node_type_by_name(&self, name: &str) -> Option<NodeTypeId> {
+        self.node_type_names.iter().position(|n| n == name).map(NodeTypeId)
+    }
+
+    /// Find an edge type by name.
+    pub fn edge_type_by_name(&self, name: &str) -> Option<EdgeTypeId> {
+        self.edge_types.iter().position(|e| e.name == name).map(EdgeTypeId)
+    }
+
+    /// Metadata of an edge type.
+    pub fn edge_type(&self, e: EdgeTypeId) -> &EdgeTypeMeta {
+        &self.edge_types[e.0]
+    }
+
+    /// All edge types.
+    pub fn edge_types(&self) -> &[EdgeTypeMeta] {
+        &self.edge_types
+    }
+
+    /// Number of nodes of a type.
+    pub fn num_nodes(&self, t: NodeTypeId) -> usize {
+        self.node_counts[t.0]
+    }
+
+    /// Total nodes across all types.
+    pub fn total_nodes(&self) -> usize {
+        self.node_counts.iter().sum()
+    }
+
+    /// Total edges across all edge types.
+    pub fn total_edges(&self) -> usize {
+        self.adjacency.iter().map(|a| a.neighbors.len()).sum()
+    }
+
+    /// Number of edges of one type.
+    pub fn num_edges(&self, e: EdgeTypeId) -> usize {
+        self.adjacency[e.0].neighbors.len()
+    }
+
+    /// Creation timestamp of a node.
+    pub fn node_time(&self, t: NodeTypeId, i: usize) -> i64 {
+        self.node_times[t.0][i]
+    }
+
+    /// Features for a node type.
+    pub fn features(&self, t: NodeTypeId) -> &FeatureMatrix {
+        &self.features[t.0]
+    }
+
+    /// Out-degree of node `i` under edge type `e` (ignoring time).
+    pub fn out_degree(&self, e: EdgeTypeId, i: usize) -> usize {
+        let csr = &self.adjacency[e.0];
+        csr.offsets[i + 1] - csr.offsets[i]
+    }
+
+    /// All `(neighbor, edge_time)` pairs of node `i` under edge type `e`,
+    /// sorted by time ascending.
+    pub fn neighbors(&self, e: EdgeTypeId, i: usize) -> impl Iterator<Item = (usize, i64)> + '_ {
+        let csr = &self.adjacency[e.0];
+        let lo = csr.offsets[i];
+        let hi = csr.offsets[i + 1];
+        (lo..hi).map(move |k| (csr.neighbors[k] as usize, csr.times[k]))
+    }
+
+    /// Neighbors of node `i` whose edge time is `≤ t` (the temporally
+    /// visible prefix), sorted by time ascending.
+    pub fn neighbors_before(
+        &self,
+        e: EdgeTypeId,
+        i: usize,
+        t: i64,
+    ) -> impl Iterator<Item = (usize, i64)> + '_ {
+        let csr = &self.adjacency[e.0];
+        let lo = csr.offsets[i];
+        let hi = csr.offsets[i + 1];
+        // Binary search for the first edge with time > t.
+        let slice = &csr.times[lo..hi];
+        let cut = slice.partition_point(|&et| et <= t);
+        (lo..lo + cut).map(move |k| (csr.neighbors[k] as usize, csr.times[k]))
+    }
+
+    /// Number of edges of type `e` out of node `i` with time in `(lo, hi]`.
+    pub fn degree_between(&self, e: EdgeTypeId, i: usize, lo: i64, hi: i64) -> usize {
+        let csr = &self.adjacency[e.0];
+        let slice = &csr.times[csr.offsets[i]..csr.offsets[i + 1]];
+        slice.partition_point(|&t| t <= hi) - slice.partition_point(|&t| t <= lo)
+    }
+
+    /// A one-line per-type summary (used by EXPLAIN output).
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        for (i, name) in self.node_type_names.iter().enumerate() {
+            s.push_str(&format!(
+                "node type `{name}`: {} nodes, feat dim {}\n",
+                self.node_counts[i],
+                self.features[i].dim()
+            ));
+        }
+        for (i, et) in self.edge_types.iter().enumerate() {
+            s.push_str(&format!(
+                "edge type `{}`: {} -> {}, {} edges\n",
+                et.name,
+                self.node_type_names[et.src.0],
+                self.node_type_names[et.dst.0],
+                self.adjacency[i].neighbors.len()
+            ));
+        }
+        s
+    }
+}
+
+/// Mutable builder for [`HeteroGraph`].
+#[derive(Debug, Default)]
+pub struct HeteroGraphBuilder {
+    node_type_names: Vec<String>,
+    node_counts: Vec<usize>,
+    node_times: Vec<Vec<i64>>,
+    features: Vec<Option<FeatureMatrix>>,
+    edge_types: Vec<EdgeTypeMeta>,
+    /// Per edge type: (src, dst, time) triples, un-ordered.
+    edges: Vec<Vec<(u32, u32, i64)>>,
+}
+
+impl HeteroGraphBuilder {
+    /// Fresh empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a node type with a fixed node count. Node times default to
+    /// [`ALWAYS_VISIBLE`]; features default to a zero-width matrix.
+    pub fn add_node_type(&mut self, name: impl Into<String>, count: usize) -> NodeTypeId {
+        let name = name.into();
+        let id = NodeTypeId(self.node_type_names.len());
+        self.node_type_names.push(name);
+        self.node_counts.push(count);
+        self.node_times.push(vec![ALWAYS_VISIBLE; count]);
+        self.features.push(None);
+        id
+    }
+
+    /// Register an edge type from `src` to `dst`.
+    pub fn add_edge_type(
+        &mut self,
+        name: impl Into<String>,
+        src: NodeTypeId,
+        dst: NodeTypeId,
+    ) -> EdgeTypeId {
+        let id = EdgeTypeId(self.edge_types.len());
+        self.edge_types.push(EdgeTypeMeta { name: name.into(), src, dst });
+        self.edges.push(Vec::new());
+        id
+    }
+
+    /// Set creation timestamps for every node of a type.
+    pub fn set_node_times(&mut self, t: NodeTypeId, times: Vec<i64>) {
+        self.node_times[t.0] = times;
+    }
+
+    /// Set the feature matrix for a node type.
+    pub fn set_features(&mut self, t: NodeTypeId, features: FeatureMatrix) {
+        self.features[t.0] = Some(features);
+    }
+
+    /// Add one directed edge with a visibility timestamp.
+    pub fn add_edge(&mut self, e: EdgeTypeId, src: usize, dst: usize, time: i64) {
+        self.edges[e.0].push((src as u32, dst as u32, time));
+    }
+
+    /// Reserve capacity for edges of one type.
+    pub fn reserve_edges(&mut self, e: EdgeTypeId, additional: usize) {
+        self.edges[e.0].reserve(additional);
+    }
+
+    /// Validate and freeze into an immutable [`HeteroGraph`].
+    pub fn finish(self) -> GraphResult<HeteroGraph> {
+        // Unique type names.
+        let mut seen = HashMap::new();
+        for n in &self.node_type_names {
+            if seen.insert(n.clone(), ()).is_some() {
+                return Err(GraphError::DuplicateTypeName(n.clone()));
+            }
+        }
+        let mut seen = HashMap::new();
+        for e in &self.edge_types {
+            if seen.insert(e.name.clone(), ()).is_some() {
+                return Err(GraphError::DuplicateTypeName(e.name.clone()));
+            }
+        }
+        // Validate node times / features shapes.
+        for (i, times) in self.node_times.iter().enumerate() {
+            if times.len() != self.node_counts[i] {
+                return Err(GraphError::TimesLengthMismatch {
+                    node_type: self.node_type_names[i].clone(),
+                    expected: self.node_counts[i],
+                    got: times.len(),
+                });
+            }
+        }
+        let mut features = Vec::with_capacity(self.features.len());
+        for (i, f) in self.features.into_iter().enumerate() {
+            let f = f.unwrap_or_else(|| FeatureMatrix::zeros(self.node_counts[i], 0));
+            if f.rows() != self.node_counts[i] {
+                return Err(GraphError::FeatureShapeMismatch {
+                    node_type: self.node_type_names[i].clone(),
+                    expected_rows: self.node_counts[i],
+                    got_rows: f.rows(),
+                });
+            }
+            features.push(f);
+        }
+        // Build CSR per edge type, neighbor lists sorted by time.
+        let mut adjacency = Vec::with_capacity(self.edges.len());
+        for (ei, mut triples) in self.edges.into_iter().enumerate() {
+            let meta = &self.edge_types[ei];
+            let n_src = self.node_counts[meta.src.0];
+            let n_dst = self.node_counts[meta.dst.0];
+            for &(s, d, _) in &triples {
+                if s as usize >= n_src {
+                    return Err(GraphError::NodeOutOfRange {
+                        node_type: self.node_type_names[meta.src.0].clone(),
+                        index: s as usize,
+                        count: n_src,
+                    });
+                }
+                if d as usize >= n_dst {
+                    return Err(GraphError::NodeOutOfRange {
+                        node_type: self.node_type_names[meta.dst.0].clone(),
+                        index: d as usize,
+                        count: n_dst,
+                    });
+                }
+            }
+            // Sort by (src, time, dst) for CSR layout + temporal prefix.
+            triples.sort_unstable_by_key(|&(s, d, t)| (s, t, d));
+            let mut offsets = vec![0usize; n_src + 1];
+            for &(s, _, _) in &triples {
+                offsets[s as usize + 1] += 1;
+            }
+            for i in 0..n_src {
+                offsets[i + 1] += offsets[i];
+            }
+            let neighbors: Vec<u32> = triples.iter().map(|&(_, d, _)| d).collect();
+            let times: Vec<i64> = triples.iter().map(|&(_, _, t)| t).collect();
+            adjacency.push(Csr { offsets, neighbors, times });
+        }
+        Ok(HeteroGraph {
+            node_type_names: self.node_type_names,
+            node_counts: self.node_counts,
+            node_times: self.node_times,
+            features,
+            edge_types: self.edge_types,
+            adjacency,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> HeteroGraph {
+        let mut b = HeteroGraphBuilder::new();
+        let u = b.add_node_type("user", 3);
+        let o = b.add_node_type("order", 4);
+        let e = b.add_edge_type("placed", u, o);
+        let r = b.add_edge_type("rev_placed", o, u);
+        b.set_node_times(o, vec![10, 20, 30, 40]);
+        b.add_edge(e, 0, 1, 20);
+        b.add_edge(e, 0, 0, 10);
+        b.add_edge(e, 0, 3, 40);
+        b.add_edge(e, 2, 2, 30);
+        b.add_edge(r, 1, 0, 20);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let g = demo();
+        assert_eq!(g.num_node_types(), 2);
+        assert_eq!(g.num_edge_types(), 2);
+        assert_eq!(g.total_nodes(), 7);
+        assert_eq!(g.total_edges(), 5);
+        let u = g.node_type_by_name("user").unwrap();
+        assert_eq!(g.num_nodes(u), 3);
+        assert!(g.node_type_by_name("nope").is_none());
+        assert!(g.edge_type_by_name("placed").is_some());
+    }
+
+    #[test]
+    fn neighbors_sorted_by_time() {
+        let g = demo();
+        let e = g.edge_type_by_name("placed").unwrap();
+        let ns: Vec<(usize, i64)> = g.neighbors(e, 0).collect();
+        assert_eq!(ns, vec![(0, 10), (1, 20), (3, 40)]);
+        assert_eq!(g.out_degree(e, 0), 3);
+        assert_eq!(g.out_degree(e, 1), 0);
+        assert_eq!(g.out_degree(e, 2), 1);
+    }
+
+    #[test]
+    fn temporal_prefix_is_inclusive() {
+        let g = demo();
+        let e = g.edge_type_by_name("placed").unwrap();
+        let ns: Vec<usize> = g.neighbors_before(e, 0, 20).map(|(n, _)| n).collect();
+        assert_eq!(ns, vec![0, 1]);
+        let ns: Vec<usize> = g.neighbors_before(e, 0, 19).map(|(n, _)| n).collect();
+        assert_eq!(ns, vec![0]);
+        let ns: Vec<usize> = g.neighbors_before(e, 0, 5).map(|(n, _)| n).collect();
+        assert!(ns.is_empty());
+        // ALWAYS_VISIBLE edges survive any cutoff.
+        let r = g.edge_type_by_name("rev_placed").unwrap();
+        assert_eq!(g.neighbors_before(r, 1, i64::MIN).count(), 0);
+        assert_eq!(g.neighbors_before(r, 1, 20).count(), 1);
+    }
+
+    #[test]
+    fn node_times_default_and_set() {
+        let g = demo();
+        let u = g.node_type_by_name("user").unwrap();
+        let o = g.node_type_by_name("order").unwrap();
+        assert_eq!(g.node_time(u, 0), ALWAYS_VISIBLE);
+        assert_eq!(g.node_time(o, 2), 30);
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        let mut b = HeteroGraphBuilder::new();
+        let u = b.add_node_type("u", 1);
+        let e = b.add_edge_type("e", u, u);
+        b.add_edge(e, 0, 5, 0);
+        assert!(matches!(b.finish(), Err(GraphError::NodeOutOfRange { .. })));
+    }
+
+    #[test]
+    fn bad_times_length_rejected() {
+        let mut b = HeteroGraphBuilder::new();
+        let u = b.add_node_type("u", 2);
+        b.set_node_times(u, vec![0]);
+        assert!(matches!(b.finish(), Err(GraphError::TimesLengthMismatch { .. })));
+    }
+
+    #[test]
+    fn bad_feature_shape_rejected() {
+        let mut b = HeteroGraphBuilder::new();
+        let u = b.add_node_type("u", 2);
+        b.set_features(u, FeatureMatrix::zeros(3, 4));
+        assert!(matches!(b.finish(), Err(GraphError::FeatureShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = HeteroGraphBuilder::new();
+        b.add_node_type("u", 1);
+        b.add_node_type("u", 1);
+        assert!(matches!(b.finish(), Err(GraphError::DuplicateTypeName(_))));
+    }
+
+    #[test]
+    fn summary_mentions_types() {
+        let g = demo();
+        let s = g.summary();
+        assert!(s.contains("user") && s.contains("placed"));
+    }
+}

@@ -1,0 +1,47 @@
+//! # relgraph-graph
+//!
+//! Heterogeneous **temporal** graphs: the representation the
+//! databases-as-graphs pipeline compiles a relational database into.
+//!
+//! * node types and edge types are first-class ([`NodeTypeId`],
+//!   [`EdgeTypeId`]); each edge type connects one source node type to one
+//!   destination node type (an FK direction or its reverse);
+//! * adjacency is stored per edge type in CSR form, with a timestamp per
+//!   edge recording *when the edge came into existence* ([`HeteroGraph`]);
+//! * nodes carry a creation timestamp and a dense feature vector
+//!   ([`features::FeatureMatrix`]);
+//! * [`sampler::TemporalSampler`] extracts k-hop subgraphs around seed nodes
+//!   such that **no sampled node or edge postdates the seed's anchor time**
+//!   — the leakage-safety property the paper's training protocol relies on.
+//!
+//! ## Example
+//!
+//! ```
+//! use relgraph_graph::{HeteroGraphBuilder, ALWAYS_VISIBLE};
+//!
+//! let mut b = HeteroGraphBuilder::new();
+//! let user = b.add_node_type("user", 2);
+//! let order = b.add_node_type("order", 3);
+//! let placed = b.add_edge_type("placed", user, order);
+//! b.set_node_times(user, vec![0, 0]);
+//! b.set_node_times(order, vec![10, 20, 30]);
+//! b.add_edge(placed, 0, 0, 10);
+//! b.add_edge(placed, 0, 1, 20);
+//! b.add_edge(placed, 1, 2, 30);
+//! let g = b.finish().unwrap();
+//! assert_eq!(g.num_nodes(user), 2);
+//! assert_eq!(g.out_degree(placed, 0), 2);
+//! let _ = ALWAYS_VISIBLE;
+//! ```
+
+pub mod error;
+pub mod features;
+pub mod hetero;
+pub mod sampler;
+
+pub use error::{GraphError, GraphResult};
+pub use features::FeatureMatrix;
+pub use hetero::{
+    EdgeTypeId, EdgeTypeMeta, HeteroGraph, HeteroGraphBuilder, NodeTypeId, ALWAYS_VISIBLE,
+};
+pub use sampler::{SampledSubgraph, SamplerConfig, Seed, TemporalSampler};

@@ -1,0 +1,378 @@
+//! Temporal neighbor sampling.
+//!
+//! [`TemporalSampler`] extracts a k-hop subgraph around each seed node such
+//! that every included edge (and node) was already visible at the seed's
+//! *anchor time*. This is the leakage-safety property of the paper's
+//! training protocol: features for a prediction anchored at time `t` may
+//! only come from the past of `t`.
+//!
+//! Per hop, at most `fanout[h]` neighbors are kept per (node, edge type);
+//! when more are visible, the **most recent** ones are kept (recency
+//! sampling — deterministic and the common choice for temporal GNNs).
+//!
+//! Each seed gets its own disjoint subgraph; a batch of seeds is returned as
+//! one block-diagonal [`SampledSubgraph`] so that every sampled node has a
+//! well-defined anchor time (used for relative-age features downstream).
+
+use std::collections::HashMap;
+
+use crate::hetero::{EdgeTypeId, HeteroGraph, NodeTypeId};
+
+/// Look-back windows (days) for the per-node visible-degree features; the
+/// last entry (`0`) means all history. Multi-scale counts are what mean
+/// aggregation cannot recover on its own.
+pub const DEGREE_WINDOWS_DAYS: [i64; 4] = [7, 30, 90, 0];
+
+const SECONDS_PER_DAY: i64 = 86_400;
+
+/// One prediction seed: a node and the anchor time of the prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Seed {
+    /// Node type of the seed entity.
+    pub node_type: NodeTypeId,
+    /// Node index within its type.
+    pub node: usize,
+    /// Anchor time: only strictly-past-or-equal data may be used.
+    pub time: i64,
+}
+
+/// Sampler configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SamplerConfig {
+    /// Maximum kept neighbors per (node, edge type), one entry per hop.
+    /// `fanouts.len()` is the number of hops.
+    pub fanouts: Vec<usize>,
+    /// When `false`, the time constraint is ignored (deliberately *leaky* —
+    /// used only by the leakage-ablation experiment).
+    pub temporal: bool,
+    /// Emit per-node windowed visible-degree counts (default). Disabled
+    /// only by the depth ablation to isolate what raw entity features can
+    /// do without any structural signal.
+    pub degree_features: bool,
+}
+
+impl SamplerConfig {
+    /// Temporal sampling with the given per-hop fanouts.
+    pub fn new(fanouts: Vec<usize>) -> Self {
+        SamplerConfig { fanouts, temporal: true, degree_features: true }
+    }
+
+    /// Variant without degree features (for ablations).
+    pub fn without_degree_features(mut self) -> Self {
+        self.degree_features = false;
+        self
+    }
+
+    /// Leaky variant of this configuration (for ablations).
+    pub fn leaky(mut self) -> Self {
+        self.temporal = false;
+        self
+    }
+
+    /// Number of hops.
+    pub fn hops(&self) -> usize {
+        self.fanouts.len()
+    }
+}
+
+/// A sampled block-diagonal subgraph over the same type registries as the
+/// originating [`HeteroGraph`].
+#[derive(Debug, Clone)]
+pub struct SampledSubgraph {
+    /// Per node type: global node index of each local node.
+    pub nodes: Vec<Vec<usize>>,
+    /// Per node type: anchor time (of the owning seed) per local node.
+    pub anchors: Vec<Vec<i64>>,
+    /// Per edge type: `(src_local, dst_local)` pairs. Aggregation flows
+    /// dst → src (a node gathers messages from its sampled out-neighbors).
+    pub edges: Vec<Vec<(u32, u32)>>,
+    /// Per node type, per local node: the node's *temporally visible*
+    /// out-degree under every edge type and every [`DEGREE_WINDOWS_DAYS`]
+    /// window (not capped by fanout), laid out as
+    /// `edge_type * NUM_WINDOWS + window`. Mean aggregation is
+    /// degree-invariant, so event counts must be explicit features.
+    pub degrees: Vec<Vec<Vec<u32>>>,
+    /// Node type shared by all seeds.
+    pub seed_type: NodeTypeId,
+    /// Local index (within `nodes[seed_type]`) of each seed, in input order.
+    pub seed_locals: Vec<usize>,
+}
+
+impl SampledSubgraph {
+    /// Total number of sampled nodes across all types.
+    pub fn total_nodes(&self) -> usize {
+        self.nodes.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of sampled edges across all edge types.
+    pub fn total_edges(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+}
+
+/// Samples temporally-consistent k-hop neighborhoods from a [`HeteroGraph`].
+#[derive(Debug, Clone)]
+pub struct TemporalSampler<'g> {
+    graph: &'g HeteroGraph,
+    config: SamplerConfig,
+}
+
+impl<'g> TemporalSampler<'g> {
+    /// Create a sampler over `graph` with `config`.
+    pub fn new(graph: &'g HeteroGraph, config: SamplerConfig) -> Self {
+        TemporalSampler { graph, config }
+    }
+
+    /// The sampler's configuration.
+    pub fn config(&self) -> &SamplerConfig {
+        &self.config
+    }
+
+    /// Sample a batch of seeds (all of the same node type) into one
+    /// block-diagonal subgraph.
+    ///
+    /// # Panics
+    /// Panics if seeds have differing node types (a programming error in the
+    /// batching layer).
+    pub fn sample(&self, seeds: &[Seed]) -> SampledSubgraph {
+        let g = self.graph;
+        let seed_type = seeds.first().map_or(NodeTypeId(0), |s| s.node_type);
+        assert!(
+            seeds.iter().all(|s| s.node_type == seed_type),
+            "all seeds in a batch must share one node type"
+        );
+        let mut nodes: Vec<Vec<usize>> = vec![Vec::new(); g.num_node_types()];
+        let mut anchors: Vec<Vec<i64>> = vec![Vec::new(); g.num_node_types()];
+        let mut edges: Vec<Vec<(u32, u32)>> = vec![Vec::new(); g.num_edge_types()];
+        let mut seed_locals = Vec::with_capacity(seeds.len());
+
+        // Scratch map reused per seed: (type, global) -> local.
+        let mut local: HashMap<(usize, usize), u32> = HashMap::new();
+        for seed in seeds {
+            local.clear();
+            let anchor = seed.time;
+            let intern = |ty: NodeTypeId,
+                              global: usize,
+                              nodes: &mut Vec<Vec<usize>>,
+                              anchors: &mut Vec<Vec<i64>>,
+                              local: &mut HashMap<(usize, usize), u32>|
+             -> u32 {
+                *local.entry((ty.0, global)).or_insert_with(|| {
+                    let l = nodes[ty.0].len() as u32;
+                    nodes[ty.0].push(global);
+                    anchors[ty.0].push(anchor);
+                    l
+                })
+            };
+            let seed_local =
+                intern(seed_type, seed.node, &mut nodes, &mut anchors, &mut local);
+            seed_locals.push(seed_local as usize);
+
+            let mut frontier: Vec<(NodeTypeId, usize, u32)> =
+                vec![(seed_type, seed.node, seed_local)];
+            for &fanout in &self.config.fanouts {
+                let mut next = Vec::new();
+                for &(ty, global, src_local) in &frontier {
+                    for et in 0..g.num_edge_types() {
+                        let meta = g.edge_type(EdgeTypeId(et));
+                        if meta.src != ty {
+                            continue;
+                        }
+                        // Visible neighbors, time-ascending; keep the most
+                        // recent `fanout` (the tail).
+                        let visible: Vec<(usize, i64)> = if self.config.temporal {
+                            g.neighbors_before(EdgeTypeId(et), global, anchor).collect()
+                        } else {
+                            g.neighbors(EdgeTypeId(et), global).collect()
+                        };
+                        let start = visible.len().saturating_sub(fanout);
+                        for &(nbr, _) in &visible[start..] {
+                            if self.config.temporal && g.node_time(meta.dst, nbr) > anchor {
+                                continue;
+                            }
+                            let known = local.contains_key(&(meta.dst.0, nbr));
+                            let dst_local =
+                                intern(meta.dst, nbr, &mut nodes, &mut anchors, &mut local);
+                            edges[et].push((src_local, dst_local));
+                            if !known {
+                                next.push((meta.dst, nbr, dst_local));
+                            }
+                        }
+                    }
+                }
+                frontier = next;
+                if frontier.is_empty() {
+                    break;
+                }
+            }
+        }
+        // Post-pass: windowed visible degrees per sampled node & edge type.
+        let nw = DEGREE_WINDOWS_DAYS.len();
+        let mut degrees: Vec<Vec<Vec<u32>>> = Vec::with_capacity(g.num_node_types());
+        for t in 0..g.num_node_types() {
+            let mut per_node = Vec::with_capacity(nodes[t].len());
+            for (l, &global) in nodes[t].iter().enumerate() {
+                let anchor = anchors[t][l];
+                let mut degs = vec![0u32; g.num_edge_types() * nw];
+                if !self.config.degree_features {
+                    per_node.push(degs);
+                    continue;
+                }
+                for et in 0..g.num_edge_types() {
+                    if g.edge_type(EdgeTypeId(et)).src.0 != t {
+                        continue;
+                    }
+                    for (w, &days) in DEGREE_WINDOWS_DAYS.iter().enumerate() {
+                        let hi = if self.config.temporal { anchor } else { i64::MAX };
+                        let lo = if days == 0 {
+                            i64::MIN
+                        } else {
+                            hi.saturating_sub(days * SECONDS_PER_DAY)
+                        };
+                        degs[et * nw + w] =
+                            g.degree_between(EdgeTypeId(et), global, lo, hi) as u32;
+                    }
+                }
+                per_node.push(degs);
+            }
+            degrees.push(per_node);
+        }
+        SampledSubgraph { nodes, anchors, edges, degrees, seed_type, seed_locals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hetero::HeteroGraphBuilder;
+
+    /// user(2) -placed-> order(4) -of-> product(2), plus reverses.
+    fn demo() -> HeteroGraph {
+        let mut b = HeteroGraphBuilder::new();
+        let u = b.add_node_type("user", 2);
+        let o = b.add_node_type("order", 4);
+        let p = b.add_node_type("product", 2);
+        let placed = b.add_edge_type("placed", u, o);
+        let placed_by = b.add_edge_type("placed_by", o, u);
+        let of = b.add_edge_type("of", o, p);
+        b.set_node_times(o, vec![10, 20, 30, 40]);
+        // user 0 placed orders 0,1,2; user 1 placed order 3.
+        for (user, order, t) in [(0, 0, 10), (0, 1, 20), (0, 2, 30), (1, 3, 40)] {
+            b.add_edge(placed, user, order, t);
+            b.add_edge(placed_by, order, user, t);
+        }
+        // orders reference products.
+        for (order, product, t) in [(0, 0, 10), (1, 1, 20), (2, 0, 30), (3, 1, 40)] {
+            b.add_edge(of, order, product, t);
+        }
+        b.finish().unwrap()
+    }
+
+    fn seed(node: usize, time: i64) -> Seed {
+        Seed { node_type: NodeTypeId(0), node, time }
+    }
+
+    #[test]
+    fn respects_anchor_time() {
+        let g = demo();
+        let s = TemporalSampler::new(&g, SamplerConfig::new(vec![10, 10]));
+        // Anchor 25: user 0 sees orders 0,1 (t=10,20) but not 2 (t=30).
+        let sub = s.sample(&[seed(0, 25)]);
+        let order_ty = g.node_type_by_name("order").unwrap();
+        let mut orders = sub.nodes[order_ty.0].clone();
+        orders.sort_unstable();
+        assert_eq!(orders, vec![0, 1]);
+        // Hop 2 reaches products 0 and 1 via those orders.
+        let prod_ty = g.node_type_by_name("product").unwrap();
+        assert_eq!(sub.nodes[prod_ty.0].len(), 2);
+    }
+
+    #[test]
+    fn no_future_nodes_ever_leak() {
+        let g = demo();
+        let s = TemporalSampler::new(&g, SamplerConfig::new(vec![10, 10, 10]));
+        for t in [5, 15, 25, 35, 45] {
+            let sub = s.sample(&[seed(0, t), seed(1, t)]);
+            let order_ty = g.node_type_by_name("order").unwrap();
+            for &o in &sub.nodes[order_ty.0] {
+                assert!(g.node_time(order_ty, o) <= t, "order {o} leaked at anchor {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn leaky_mode_sees_the_future() {
+        let g = demo();
+        let s = TemporalSampler::new(&g, SamplerConfig::new(vec![10]).leaky());
+        let sub = s.sample(&[seed(0, 5)]);
+        let order_ty = g.node_type_by_name("order").unwrap();
+        // Anchor 5 predates every order, yet leaky sampling returns them.
+        assert_eq!(sub.nodes[order_ty.0].len(), 3);
+        let temporal = TemporalSampler::new(&g, SamplerConfig::new(vec![10]));
+        assert_eq!(temporal.sample(&[seed(0, 5)]).nodes[order_ty.0].len(), 0);
+    }
+
+    #[test]
+    fn fanout_keeps_most_recent() {
+        let g = demo();
+        let s = TemporalSampler::new(&g, SamplerConfig::new(vec![2]));
+        let sub = s.sample(&[seed(0, 100)]);
+        let order_ty = g.node_type_by_name("order").unwrap();
+        let mut orders = sub.nodes[order_ty.0].clone();
+        orders.sort_unstable();
+        // Orders 1 (t=20) and 2 (t=30) are the two most recent of user 0.
+        assert_eq!(orders, vec![1, 2]);
+    }
+
+    #[test]
+    fn batch_is_block_diagonal_with_per_seed_anchor() {
+        let g = demo();
+        let s = TemporalSampler::new(&g, SamplerConfig::new(vec![10]));
+        let sub = s.sample(&[seed(0, 15), seed(0, 45)]);
+        // Same seed node twice → two separate local copies.
+        assert_eq!(sub.seed_locals.len(), 2);
+        assert_ne!(sub.seed_locals[0], sub.seed_locals[1]);
+        let user_ty = g.node_type_by_name("user").unwrap();
+        assert_eq!(sub.anchors[user_ty.0].len(), sub.nodes[user_ty.0].len());
+        // First copy anchored at 15, second at 45.
+        assert_eq!(sub.anchors[user_ty.0][sub.seed_locals[0]], 15);
+        assert_eq!(sub.anchors[user_ty.0][sub.seed_locals[1]], 45);
+        let order_ty = g.node_type_by_name("order").unwrap();
+        // Anchor 15 sees 1 order; anchor 45 sees 3.
+        assert_eq!(sub.nodes[order_ty.0].len(), 4);
+    }
+
+    #[test]
+    fn edge_endpoints_are_in_range() {
+        let g = demo();
+        let s = TemporalSampler::new(&g, SamplerConfig::new(vec![10, 10]));
+        let sub = s.sample(&[seed(0, 100), seed(1, 100)]);
+        for (et, pairs) in sub.edges.iter().enumerate() {
+            let meta = g.edge_type(EdgeTypeId(et));
+            for &(a, b) in pairs {
+                assert!((a as usize) < sub.nodes[meta.src.0].len());
+                assert!((b as usize) < sub.nodes[meta.dst.0].len());
+            }
+        }
+        assert!(sub.total_edges() > 0);
+        assert!(sub.total_nodes() > 0);
+    }
+
+    #[test]
+    fn zero_hops_returns_only_seeds() {
+        let g = demo();
+        let s = TemporalSampler::new(&g, SamplerConfig::new(vec![]));
+        let sub = s.sample(&[seed(0, 100)]);
+        assert_eq!(sub.total_nodes(), 1);
+        assert_eq!(sub.total_edges(), 0);
+    }
+
+    #[test]
+    fn empty_seed_batch() {
+        let g = demo();
+        let s = TemporalSampler::new(&g, SamplerConfig::new(vec![5]));
+        let sub = s.sample(&[]);
+        assert_eq!(sub.total_nodes(), 0);
+        assert!(sub.seed_locals.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Binary-classification metrics.
+
+/// Area under the ROC curve, with mid-rank tie handling.
+///
+/// `scores[i]` is the predicted score for example `i`; `labels[i]` is the
+/// true binary label. Returns `None` when either class is absent (AUROC is
+/// undefined) or the inputs are mismatched/empty.
+pub fn auroc(scores: &[f64], labels: &[bool]) -> Option<f64> {
+    if scores.len() != labels.len() || scores.is_empty() {
+        return None;
+    }
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return None;
+    }
+    // Rank the scores ascending; ties get the average rank.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based; the tied block [i..=j] shares the mid rank.
+        let mid = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = mid;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 =
+        ranks.iter().zip(labels).filter(|(_, &l)| l).map(|(&r, _)| r).sum();
+    let auc = (rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0) / (n_pos * n_neg) as f64;
+    Some(auc)
+}
+
+/// Fraction of correct predictions at threshold 0.5 on probabilities (or 0.0
+/// on margins — pass `threshold` accordingly).
+pub fn accuracy(scores: &[f64], labels: &[bool], threshold: f64) -> f64 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let correct = scores
+        .iter()
+        .zip(labels)
+        .filter(|(&s, &l)| (s >= threshold) == l)
+        .count();
+    correct as f64 / scores.len() as f64
+}
+
+/// F1 score at the given threshold. Returns 0 when precision+recall is 0.
+pub fn f1_score(scores: &[f64], labels: &[bool], threshold: f64) -> f64 {
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut fn_ = 0.0;
+    for (&s, &l) in scores.iter().zip(labels) {
+        let p = s >= threshold;
+        match (p, l) {
+            (true, true) => tp += 1.0,
+            (true, false) => fp += 1.0,
+            (false, true) => fn_ += 1.0,
+            (false, false) => {}
+        }
+    }
+    if tp == 0.0 {
+        return 0.0;
+    }
+    let precision = tp / (tp + fp);
+    let recall = tp / (tp + fn_);
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Mean negative log-likelihood of probabilities clamped to `[1e-12, 1-1e-12]`.
+pub fn log_loss(probs: &[f64], labels: &[bool]) -> f64 {
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = probs
+        .iter()
+        .zip(labels)
+        .map(|(&p, &l)| {
+            let p = p.clamp(1e-12, 1.0 - 1e-12);
+            if l {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum();
+    total / probs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auroc_perfect_and_inverted() {
+        let scores = [0.1, 0.4, 0.35, 0.8];
+        let labels = [false, false, true, true];
+        // 0.35 < 0.4 → one inversion out of 4 pairs → 0.75.
+        assert!((auroc(&scores, &labels).unwrap() - 0.75).abs() < 1e-12);
+        let perfect = [0.1, 0.2, 0.8, 0.9];
+        assert_eq!(auroc(&perfect, &labels), Some(1.0));
+        let inverted = [0.9, 0.8, 0.2, 0.1];
+        assert_eq!(auroc(&inverted, &labels), Some(0.0));
+    }
+
+    #[test]
+    fn auroc_random_is_half_with_ties() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        assert!((auroc(&scores, &labels).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auroc_undefined_cases() {
+        assert_eq!(auroc(&[], &[]), None);
+        assert_eq!(auroc(&[0.1, 0.2], &[true, true]), None);
+        assert_eq!(auroc(&[0.1], &[true, false]), None);
+    }
+
+    #[test]
+    fn auroc_in_unit_interval_on_random_input() {
+        // A deterministic pseudo-random sequence.
+        let mut x = 123456789u64;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let scores: Vec<f64> = (0..200).map(|_| next()).collect();
+        let labels: Vec<bool> = (0..200).map(|_| next() > 0.5).collect();
+        let a = auroc(&scores, &labels).unwrap();
+        assert!((0.0..=1.0).contains(&a));
+        assert!((a - 0.5).abs() < 0.15, "random scores should be near 0.5, got {a}");
+    }
+
+    #[test]
+    fn accuracy_and_f1() {
+        let scores = [0.9, 0.8, 0.3, 0.1];
+        let labels = [true, false, true, false];
+        assert_eq!(accuracy(&scores, &labels, 0.5), 0.5);
+        // tp=1 (0.9), fp=1 (0.8), fn=1 (0.3) → P=0.5 R=0.5 F1=0.5.
+        assert!((f1_score(&scores, &labels, 0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(f1_score(&[0.1], &[true], 0.5), 0.0);
+    }
+
+    #[test]
+    fn log_loss_limits() {
+        assert!(log_loss(&[1.0, 0.0], &[true, false]) < 1e-9);
+        assert!(log_loss(&[0.0], &[true]) > 10.0);
+        assert_eq!(log_loss(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! # relgraph-metrics
+//!
+//! Evaluation metrics for the three predictive-query task families:
+//!
+//! * binary classification — [`classification`]: AUROC, accuracy, F1,
+//!   log-loss;
+//! * multiclass classification — [`multiclass`]: accuracy, macro-F1,
+//!   confusion matrices;
+//! * regression — [`regression`]: MAE, RMSE, R²;
+//! * ranking / recommendation — [`ranking`]: MAP@K, Recall@K, NDCG@K, MRR.
+//!
+//! All functions are pure and allocation-light; ties are handled by the
+//! standard mid-rank convention where relevant (AUROC).
+
+pub mod classification;
+pub mod multiclass;
+pub mod ranking;
+pub mod regression;
+
+pub use classification::{accuracy, auroc, f1_score, log_loss};
+pub use multiclass::{confusion_matrix, macro_f1, multiclass_accuracy};
+pub use ranking::{map_at_k, mrr, ndcg_at_k, recall_at_k};
+pub use regression::{mae, r_squared, rmse};

@@ -1,0 +1,87 @@
+//! Multiclass-classification metrics (class labels as `usize` indices).
+
+/// Fraction of exact matches.
+pub fn multiclass_accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(truth).filter(|(a, b)| a == b).count() as f64 / pred.len() as f64
+}
+
+/// Confusion matrix `m[truth][pred]` over `n_classes`.
+pub fn confusion_matrix(pred: &[usize], truth: &[usize], n_classes: usize) -> Vec<Vec<usize>> {
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (&p, &t) in pred.iter().zip(truth) {
+        if p < n_classes && t < n_classes {
+            m[t][p] += 1;
+        }
+    }
+    m
+}
+
+/// Macro-averaged F1: the unweighted mean of per-class F1 over classes that
+/// appear in the truth (classes absent from the truth are skipped).
+pub fn macro_f1(pred: &[usize], truth: &[usize], n_classes: usize) -> f64 {
+    let m = confusion_matrix(pred, truth, n_classes);
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for c in 0..n_classes {
+        let tp = m[c][c] as f64;
+        let fn_: f64 = (0..n_classes).filter(|&p| p != c).map(|p| m[c][p] as f64).sum();
+        let fp: f64 = (0..n_classes).filter(|&t| t != c).map(|t| m[t][c] as f64).sum();
+        if tp + fn_ == 0.0 {
+            continue; // class absent from truth
+        }
+        counted += 1;
+        if tp == 0.0 {
+            continue; // f1 = 0
+        }
+        let precision = tp / (tp + fp);
+        let recall = tp / (tp + fn_);
+        total += 2.0 * precision * recall / (precision + recall);
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = [0, 1, 2, 1];
+        assert_eq!(multiclass_accuracy(&y, &y), 1.0);
+        assert_eq!(macro_f1(&y, &y, 3), 1.0);
+    }
+
+    #[test]
+    fn known_confusion() {
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 1, 1, 1];
+        let m = confusion_matrix(&pred, &truth, 2);
+        assert_eq!(m, vec![vec![1, 1], vec![0, 2]]);
+        assert_eq!(multiclass_accuracy(&pred, &truth), 0.75);
+        // class 0: P=1, R=0.5, F1=2/3; class 1: P=2/3, R=1, F1=0.8.
+        assert!((macro_f1(&pred, &truth, 2) - (2.0 / 3.0 + 0.8) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_classes_skipped() {
+        let truth = [0, 0];
+        let pred = [0, 0];
+        assert_eq!(macro_f1(&pred, &truth, 5), 1.0);
+        assert_eq!(multiclass_accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn all_wrong_is_zero() {
+        let truth = [0, 1];
+        let pred = [1, 0];
+        assert_eq!(multiclass_accuracy(&pred, &truth), 0.0);
+        assert_eq!(macro_f1(&pred, &truth, 2), 0.0);
+    }
+}

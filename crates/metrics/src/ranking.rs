@@ -1,0 +1,164 @@
+//! Ranking / recommendation metrics.
+//!
+//! Each function takes, per query (user), a ranked list of recommended item
+//! ids and the set of relevant (ground-truth) item ids, and averages over
+//! queries. Queries with no relevant items are skipped.
+
+use std::collections::HashSet;
+
+/// Recall@K averaged over queries: fraction of each query's relevant items
+/// found in its top-K recommendations.
+pub fn recall_at_k(recommended: &[Vec<u64>], relevant: &[HashSet<u64>], k: usize) -> f64 {
+    average_over_queries(recommended, relevant, |recs, rel| {
+        let mut seen = HashSet::new();
+        let hits = recs
+            .iter()
+            .take(k)
+            .filter(|&&r| rel.contains(&r) && seen.insert(r))
+            .count();
+        hits as f64 / rel.len() as f64
+    })
+}
+
+/// Mean average precision at K.
+pub fn map_at_k(recommended: &[Vec<u64>], relevant: &[HashSet<u64>], k: usize) -> f64 {
+    average_over_queries(recommended, relevant, |recs, rel| {
+        let mut seen = HashSet::new();
+        let mut hits = 0.0;
+        let mut sum_prec = 0.0;
+        for (i, &r) in recs.iter().take(k).enumerate() {
+            if rel.contains(&r) && seen.insert(r) {
+                hits += 1.0;
+                sum_prec += hits / (i + 1) as f64;
+            }
+        }
+        sum_prec / rel.len().min(k) as f64
+    })
+}
+
+/// Normalized discounted cumulative gain at K (binary relevance).
+pub fn ndcg_at_k(recommended: &[Vec<u64>], relevant: &[HashSet<u64>], k: usize) -> f64 {
+    average_over_queries(recommended, relevant, |recs, rel| {
+        let mut seen = HashSet::new();
+        let dcg: f64 = recs
+            .iter()
+            .take(k)
+            .enumerate()
+            .filter(|&(_, &r)| rel.contains(&r) && seen.insert(r))
+            .map(|(i, _)| 1.0 / ((i + 2) as f64).log2())
+            .sum();
+        let ideal: f64 =
+            (0..rel.len().min(k)).map(|i| 1.0 / ((i + 2) as f64).log2()).sum();
+        dcg / ideal
+    })
+}
+
+/// Mean reciprocal rank (of the first relevant item, unbounded depth).
+pub fn mrr(recommended: &[Vec<u64>], relevant: &[HashSet<u64>]) -> f64 {
+    average_over_queries(recommended, relevant, |recs, rel| {
+        recs.iter()
+            .position(|r| rel.contains(r))
+            .map_or(0.0, |i| 1.0 / (i + 1) as f64)
+    })
+}
+
+fn average_over_queries(
+    recommended: &[Vec<u64>],
+    relevant: &[HashSet<u64>],
+    per_query: impl Fn(&[u64], &HashSet<u64>) -> f64,
+) -> f64 {
+    assert_eq!(recommended.len(), relevant.len(), "one relevance set per query");
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (recs, rel) in recommended.iter().zip(relevant) {
+        if rel.is_empty() {
+            continue;
+        }
+        total += per_query(recs, rel);
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(items: &[u64]) -> HashSet<u64> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let recs = vec![vec![1, 2, 3]];
+        let relevant = vec![rel(&[1, 2, 3])];
+        assert_eq!(recall_at_k(&recs, &relevant, 3), 1.0);
+        assert_eq!(map_at_k(&recs, &relevant, 3), 1.0);
+        assert!((ndcg_at_k(&recs, &relevant, 3) - 1.0).abs() < 1e-12);
+        assert_eq!(mrr(&recs, &relevant), 1.0);
+    }
+
+    #[test]
+    fn zero_when_nothing_relevant_is_recommended() {
+        let recs = vec![vec![7, 8, 9]];
+        let relevant = vec![rel(&[1])];
+        assert_eq!(recall_at_k(&recs, &relevant, 3), 0.0);
+        assert_eq!(map_at_k(&recs, &relevant, 3), 0.0);
+        assert_eq!(ndcg_at_k(&recs, &relevant, 3), 0.0);
+        assert_eq!(mrr(&recs, &relevant), 0.0);
+    }
+
+    #[test]
+    fn partial_hits() {
+        // Relevant at positions 1 and 3 (0-indexed 0 and 2).
+        let recs = vec![vec![1, 9, 2, 8]];
+        let relevant = vec![rel(&[1, 2])];
+        assert_eq!(recall_at_k(&recs, &relevant, 4), 1.0);
+        assert_eq!(recall_at_k(&recs, &relevant, 1), 0.5);
+        // AP = (1/1 + 2/3)/2 = 5/6.
+        assert!((map_at_k(&recs, &relevant, 4) - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(mrr(&recs, &relevant), 1.0);
+        let recs = vec![vec![9, 1]];
+        assert_eq!(mrr(&recs, &relevant), 0.5);
+    }
+
+    #[test]
+    fn queries_without_relevance_are_skipped() {
+        let recs = vec![vec![1], vec![2]];
+        let relevant = vec![rel(&[1]), rel(&[])];
+        assert_eq!(recall_at_k(&recs, &relevant, 1), 1.0);
+    }
+
+    #[test]
+    fn averages_over_queries() {
+        let recs = vec![vec![1], vec![9]];
+        let relevant = vec![rel(&[1]), rel(&[2])];
+        assert_eq!(recall_at_k(&recs, &relevant, 1), 0.5);
+    }
+
+    #[test]
+    fn ndcg_discounts_late_hits() {
+        let early = vec![vec![1, 8, 9]];
+        let late = vec![vec![8, 9, 1]];
+        let relevant = vec![rel(&[1])];
+        assert!(ndcg_at_k(&early, &relevant, 3) > ndcg_at_k(&late, &relevant, 3));
+    }
+
+    #[test]
+    fn metrics_bounded_by_one() {
+        let recs = vec![vec![1, 1, 1, 2]]; // duplicates should not inflate
+        let relevant = vec![rel(&[1, 2])];
+        for v in [
+            recall_at_k(&recs, &relevant, 4),
+            map_at_k(&recs, &relevant, 4),
+            ndcg_at_k(&recs, &relevant, 4),
+            mrr(&recs, &relevant),
+        ] {
+            assert!((0.0..=1.0 + 1e-9).contains(&v), "metric {v} out of range");
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Regression metrics.
+
+/// Mean absolute error.
+pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(truth).map(|(&p, &t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    if pred.is_empty() {
+        return 0.0;
+    }
+    (pred.iter().zip(truth).map(|(&p, &t)| (p - t) * (p - t)).sum::<f64>() / pred.len() as f64)
+        .sqrt()
+}
+
+/// Coefficient of determination `R² = 1 − SS_res / SS_tot`. Returns `None`
+/// when the truth is constant (undefined).
+pub fn r_squared(pred: &[f64], truth: &[f64]) -> Option<f64> {
+    if pred.is_empty() || pred.len() != truth.len() {
+        return None;
+    }
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|&t| (t - mean) * (t - mean)).sum();
+    if ss_tot == 0.0 {
+        return None;
+    }
+    let ss_res: f64 = pred.iter().zip(truth).map(|(&p, &t)| (p - t) * (p - t)).sum();
+    Some(1.0 - ss_res / ss_tot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let t = [1.0, 2.0, 3.0];
+        assert_eq!(mae(&t, &t), 0.0);
+        assert_eq!(rmse(&t, &t), 0.0);
+        assert_eq!(r_squared(&t, &t), Some(1.0));
+    }
+
+    #[test]
+    fn known_values() {
+        let p = [2.0, 4.0];
+        let t = [1.0, 1.0];
+        assert_eq!(mae(&p, &t), 2.0);
+        assert!((rmse(&p, &t) - (5.0_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_of_mean_predictor_is_zero() {
+        let t = [1.0, 2.0, 3.0, 4.0];
+        let p = [2.5; 4];
+        assert!((r_squared(&p, &t).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_undefined_for_constant_truth() {
+        assert_eq!(r_squared(&[1.0, 2.0], &[5.0, 5.0]), None);
+        assert_eq!(r_squared(&[], &[]), None);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(mae(&[], &[]), 0.0);
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+}

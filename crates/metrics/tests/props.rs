@@ -1,0 +1,115 @@
+//! Property-based tests for the metric implementations.
+
+use proptest::prelude::*;
+use relgraph_metrics::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn auroc_in_unit_interval(
+        scores in proptest::collection::vec(-10.0f64..10.0, 2..100),
+        flip in proptest::collection::vec(any::<bool>(), 2..100),
+    ) {
+        let n = scores.len().min(flip.len());
+        let scores = &scores[..n];
+        let labels = &flip[..n];
+        if let Some(a) = auroc(scores, labels) {
+            prop_assert!((0.0..=1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn auroc_invariant_under_monotone_transform(
+        scores in proptest::collection::vec(-5.0f64..5.0, 4..60),
+        labels in proptest::collection::vec(any::<bool>(), 4..60),
+    ) {
+        let n = scores.len().min(labels.len());
+        let s = &scores[..n];
+        let l = &labels[..n];
+        let transformed: Vec<f64> = s.iter().map(|&x| (x * 0.5).exp()).collect();
+        prop_assert_eq!(auroc(s, l).map(|v| (v * 1e12).round()),
+                        auroc(&transformed, l).map(|v| (v * 1e12).round()));
+    }
+
+    #[test]
+    fn auroc_flipping_scores_complements(
+        scores in proptest::collection::vec(-5.0f64..5.0, 4..60),
+        labels in proptest::collection::vec(any::<bool>(), 4..60),
+    ) {
+        let n = scores.len().min(labels.len());
+        let s = &scores[..n];
+        let l = &labels[..n];
+        let negated: Vec<f64> = s.iter().map(|&x| -x).collect();
+        if let (Some(a), Some(b)) = (auroc(s, l), auroc(&negated, l)) {
+            prop_assert!((a + b - 1.0).abs() < 1e-9, "{a} + {b} != 1");
+        }
+    }
+
+    #[test]
+    fn perfect_separation_scores_one(n_pos in 1usize..20, n_neg in 1usize..20) {
+        let mut scores = vec![0.1; n_neg];
+        scores.extend(vec![0.9; n_pos]);
+        let mut labels = vec![false; n_neg];
+        labels.extend(vec![true; n_pos]);
+        prop_assert_eq!(auroc(&scores, &labels), Some(1.0));
+        prop_assert_eq!(accuracy(&scores, &labels, 0.5), 1.0);
+        prop_assert_eq!(f1_score(&scores, &labels, 0.5), 1.0);
+    }
+
+    #[test]
+    fn regression_metrics_nonnegative_and_consistent(
+        pairs in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..50),
+    ) {
+        let (pred, truth): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let m = mae(&pred, &truth);
+        let r = rmse(&pred, &truth);
+        prop_assert!(m >= 0.0 && r >= 0.0);
+        // RMSE dominates MAE (Jensen).
+        prop_assert!(r >= m - 1e-9, "rmse {r} < mae {m}");
+    }
+
+    #[test]
+    fn ranking_metrics_bounded(
+        recs in proptest::collection::vec(
+            proptest::collection::vec(0u64..30, 0..15), 1..10),
+        rels in proptest::collection::vec(
+            proptest::collection::hash_set(0u64..30, 0..8), 1..10),
+        k in 1usize..12,
+    ) {
+        let n = recs.len().min(rels.len());
+        let recs = &recs[..n];
+        let rels: Vec<HashSet<u64>> = rels[..n].to_vec();
+        for v in [
+            recall_at_k(recs, &rels, k),
+            map_at_k(recs, &rels, k),
+            ndcg_at_k(recs, &rels, k),
+            mrr(recs, &rels),
+        ] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&v), "metric {v} out of bounds");
+        }
+    }
+
+    #[test]
+    fn recall_monotone_in_k(
+        recs in proptest::collection::vec(0u64..30, 1..20),
+        rel in proptest::collection::hash_set(0u64..30, 1..10),
+    ) {
+        let recs = vec![recs];
+        let rels = vec![rel];
+        let mut prev = 0.0;
+        for k in 1..=20 {
+            let r = recall_at_k(&recs, &rels, k);
+            prop_assert!(r >= prev - 1e-12, "recall decreased at k={k}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn log_loss_minimized_by_truth(labels in proptest::collection::vec(any::<bool>(), 1..40)) {
+        let truth: Vec<f64> = labels.iter().map(|&l| if l { 1.0 } else { 0.0 }).collect();
+        let uniform = vec![0.5; labels.len()];
+        prop_assert!(log_loss(&truth, &labels) <= log_loss(&uniform, &labels) + 1e-12);
+    }
+}

@@ -1,0 +1,56 @@
+//! Weight initialization (seeded, deterministic).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relgraph_tensor::Tensor;
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
+    let a = (6.0 / (rows + cols) as f64).sqrt();
+    let data = (0..rows * cols).map(|_| rng.gen_range(-a..=a)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Kaiming/He uniform initialization for ReLU fan-in:
+/// `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+pub fn kaiming_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
+    let a = (6.0 / rows as f64).sqrt();
+    let data = (0..rows * cols).map(|_| rng.gen_range(-a..=a)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// A deterministic RNG from a seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = xavier_uniform(4, 3, &mut rng(7));
+        let b = xavier_uniform(4, 3, &mut rng(7));
+        assert_eq!(a, b);
+        let c = xavier_uniform(4, 3, &mut rng(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn values_within_bound() {
+        let t = xavier_uniform(10, 10, &mut rng(0));
+        let bound = (6.0 / 20.0_f64).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= bound));
+        let t = kaiming_uniform(10, 4, &mut rng(0));
+        let bound = (6.0 / 10.0_f64).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn not_all_zero() {
+        let t = xavier_uniform(5, 5, &mut rng(1));
+        assert!(t.norm() > 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # relgraph-nn
+//!
+//! Neural-network building blocks over `relgraph-tensor`: persistent
+//! parameter storage ([`ParamSet`]), layers ([`Linear`], [`Mlp`]), loss
+//! functions ([`loss`]), optimizers ([`Sgd`], [`Adam`]) and weight
+//! initialization ([`init`]).
+//!
+//! The training contract is define-by-run:
+//!
+//! 1. create a fresh [`Graph`](relgraph_tensor::Graph) and a [`Binding`];
+//! 2. run the model's `forward`, which binds parameters into the graph;
+//! 3. compute a scalar loss and call `backward`;
+//! 4. [`Binding::accumulate_grads`] copies gradients back into the
+//!    [`ParamSet`];
+//! 5. the optimizer consumes and zeroes those gradients.
+//!
+//! ## Example
+//!
+//! ```
+//! use relgraph_nn::{Adam, Binding, Mlp, Activation, Optimizer, ParamSet, loss};
+//! use relgraph_tensor::{Graph, Tensor};
+//!
+//! let mut ps = ParamSet::new();
+//! let mlp = Mlp::new(&mut ps, &[2, 8, 1], Activation::Relu, 42);
+//! let mut opt = Adam::new(0.05);
+//! let x = Tensor::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+//! let y = Tensor::from_rows(&[&[0.0], &[1.0]]);
+//! for _ in 0..50 {
+//!     let mut g = Graph::new();
+//!     let mut b = Binding::new();
+//!     let xv = g.constant(x.clone());
+//!     let out = mlp.forward(&mut g, &mut b, &ps, xv);
+//!     let yv = g.constant(y.clone());
+//!     let l = loss::mse(&mut g, out, yv);
+//!     g.backward(l).unwrap();
+//!     b.accumulate_grads(&g, &mut ps);
+//!     opt.step(&mut ps);
+//! }
+//! ```
+
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod param;
+
+pub use layers::{Activation, Linear, Mlp};
+pub use optim::{clip_global_norm, Adam, Optimizer, Sgd};
+pub use param::{Binding, ParamId, ParamSet};

@@ -1,0 +1,101 @@
+//! Loss functions, built from differentiable tape primitives.
+
+use relgraph_tensor::{Graph, Var};
+
+/// Binary cross-entropy with logits, mean-reduced:
+/// `mean(softplus(x) − x·y)` for targets `y ∈ {0,1}` (the numerically stable
+/// form of `−[y·ln σ(x) + (1−y)·ln(1−σ(x))]`).
+pub fn bce_with_logits(g: &mut Graph, logits: Var, targets: Var) -> Var {
+    let sp = g.softplus(logits);
+    let xy = g.mul(logits, targets);
+    let diff = g.sub(sp, xy);
+    g.mean_all(diff)
+}
+
+/// Multi-class cross-entropy from logits (`n×k`) and one-hot targets
+/// (`n×k`), mean-reduced over rows.
+pub fn softmax_cross_entropy(g: &mut Graph, logits: Var, one_hot: Var) -> Var {
+    let rows = g.value(logits).rows().max(1) as f64;
+    let ls = g.log_softmax(logits);
+    let picked = g.mul(ls, one_hot);
+    let total = g.sum_all(picked);
+    g.scale(total, -1.0 / rows)
+}
+
+/// Mean squared error.
+pub fn mse(g: &mut Graph, pred: Var, target: Var) -> Var {
+    let d = g.sub(pred, target);
+    let sq = g.mul(d, d);
+    g.mean_all(sq)
+}
+
+/// Mean Huber loss with threshold `delta` (robust regression).
+pub fn huber(g: &mut Graph, pred: Var, target: Var, delta: f64) -> Var {
+    let h = g.huber(pred, target, delta).expect("huber shape mismatch");
+    g.mean_all(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgraph_tensor::Tensor;
+
+    #[test]
+    fn bce_matches_manual_computation() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_rows(&[&[0.0], &[2.0]]));
+        let y = g.constant(Tensor::from_rows(&[&[1.0], &[0.0]]));
+        let l = bce_with_logits(&mut g, x, y);
+        // x=0,y=1: softplus(0) - 0 = ln 2. x=2,y=0: softplus(2).
+        let expected = ((2.0_f64).ln() + (1.0 + 2.0_f64.exp()).ln()) / 2.0;
+        assert!((g.value(l).item() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bce_is_zero_for_perfect_confident_predictions() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_rows(&[&[50.0], &[-50.0]]));
+        let y = g.constant(Tensor::from_rows(&[&[1.0], &[0.0]]));
+        let l = bce_with_logits(&mut g, x, y);
+        assert!(g.value(l).item() < 1e-9);
+    }
+
+    #[test]
+    fn cross_entropy_equals_neg_log_prob() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_rows(&[&[1.0, 2.0, 3.0]]));
+        let y = g.constant(Tensor::from_rows(&[&[0.0, 0.0, 1.0]]));
+        let l = softmax_cross_entropy(&mut g, x, y);
+        let z: f64 = [1.0, 2.0, 3.0].iter().map(|&v: &f64| v.exp()).sum();
+        let expected = -(3.0_f64.exp() / z).ln();
+        assert!((g.value(l).item() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let mut g = Graph::new();
+        let p = g.leaf(Tensor::from_rows(&[&[1.0, 3.0]]));
+        let t = g.constant(Tensor::from_rows(&[&[0.0, 0.0]]));
+        let l = mse(&mut g, p, t);
+        assert!((g.value(l).item() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn losses_are_differentiable() {
+        for which in 0..4 {
+            let mut g = Graph::new();
+            let p = g.leaf(Tensor::from_rows(&[&[0.3, -0.7]]));
+            let t = g.constant(Tensor::from_rows(&[&[1.0, 0.0]]));
+            let l = match which {
+                0 => bce_with_logits(&mut g, p, t),
+                1 => softmax_cross_entropy(&mut g, p, t),
+                2 => mse(&mut g, p, t),
+                _ => huber(&mut g, p, t, 1.0),
+            };
+            g.backward(l).unwrap();
+            let grad = g.grad(p).expect("gradient exists");
+            assert!(grad.all_finite());
+            assert!(grad.norm() > 0.0, "loss {which} has zero gradient");
+        }
+    }
+}

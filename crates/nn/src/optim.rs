@@ -1,0 +1,246 @@
+//! Optimizers: SGD (with momentum) and Adam, plus gradient clipping.
+
+use relgraph_tensor::Tensor;
+
+use crate::param::ParamSet;
+
+/// Common optimizer interface: consume accumulated gradients, update
+/// parameter values, and zero the gradients.
+pub trait Optimizer {
+    /// Apply one update step using the gradients currently stored in `ps`.
+    fn step(&mut self, ps: &mut ParamSet);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Set the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f64);
+}
+
+/// Stochastic gradient descent with optional classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f64) -> Self {
+        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f64, momentum: f64) -> Self {
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, ps: &mut ParamSet) {
+        let ids: Vec<_> = ps.ids().collect();
+        if self.momentum > 0.0 && self.velocity.len() < ids.len() {
+            for id in ids.iter().skip(self.velocity.len()) {
+                let (r, c) = ps.value(*id).shape();
+                self.velocity.push(Tensor::zeros(r, c));
+            }
+        }
+        for (i, id) in ids.into_iter().enumerate() {
+            let grad = ps.grad(id).clone();
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                v.scale_assign(self.momentum);
+                v.add_assign(&grad);
+                let upd = v.map(|x| -self.lr * x);
+                ps.value_mut(id).add_assign(&upd);
+            } else {
+                let upd = grad.map(|x| -self.lr * x);
+                ps.value_mut(id).add_assign(&upd);
+            }
+        }
+        ps.zero_grads();
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9, 0.999) and eps 1e-8.
+    pub fn new(lr: f64) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Fully parameterized constructor.
+    pub fn with_params(lr: f64, beta1: f64, beta2: f64, eps: f64) -> Self {
+        Adam { lr, beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, ps: &mut ParamSet) {
+        let ids: Vec<_> = ps.ids().collect();
+        while self.m.len() < ids.len() {
+            let (r, c) = ps.value(ids[self.m.len()]).shape();
+            self.m.push(Tensor::zeros(r, c));
+            self.v.push(Tensor::zeros(r, c));
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, id) in ids.into_iter().enumerate() {
+            let grad = ps.grad(id).clone();
+            let m = &mut self.m[i];
+            for (mi, &gi) in m.data_mut().iter_mut().zip(grad.data()) {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+            }
+            let v = &mut self.v[i];
+            for (vi, &gi) in v.data_mut().iter_mut().zip(grad.data()) {
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            }
+            let value = ps.value_mut(id);
+            for ((x, &mi), &vi) in
+                value.data_mut().iter_mut().zip(self.m[i].data()).zip(self.v[i].data())
+            {
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                *x -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+        ps.zero_grads();
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+/// Scale all gradients down so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_global_norm(ps: &mut ParamSet, max_norm: f64) -> f64 {
+    let norm = ps.grad_norm();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        let ids: Vec<_> = ps.ids().collect();
+        for id in ids {
+            ps.grad_mut(id).scale_assign(scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_step(ps: &mut ParamSet, opt: &mut dyn Optimizer) -> f64 {
+        // loss = sum_i value_i² → grad = 2·value
+        let ids: Vec<_> = ps.ids().collect();
+        let mut loss = 0.0;
+        for id in ids {
+            let v = ps.value(id).clone();
+            loss += v.data().iter().map(|x| x * x).sum::<f64>();
+            let g = v.map(|x| 2.0 * x);
+            ps.grad_mut(id).add_assign(&g);
+        }
+        opt.step(ps);
+        loss
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let mut ps = ParamSet::new();
+        ps.register("x", Tensor::from_rows(&[&[5.0, -3.0]]));
+        let mut opt = Sgd::new(0.1);
+        let first = quadratic_step(&mut ps, &mut opt);
+        let mut last = first;
+        for _ in 0..50 {
+            last = quadratic_step(&mut ps, &mut opt);
+        }
+        assert!(last < first * 1e-4, "SGD failed to descend: {first} → {last}");
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let run = |mut opt: Sgd| {
+            let mut ps = ParamSet::new();
+            ps.register("x", Tensor::scalar(10.0));
+            let mut last = 0.0;
+            for _ in 0..20 {
+                last = quadratic_step(&mut ps, &mut opt);
+            }
+            last
+        };
+        let plain = run(Sgd::new(0.02));
+        let momentum = run(Sgd::with_momentum(0.02, 0.9));
+        assert!(momentum < plain, "momentum {momentum} should beat plain {plain}");
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut ps = ParamSet::new();
+        ps.register("x", Tensor::from_rows(&[&[5.0, -3.0, 0.5]]));
+        let mut opt = Adam::new(0.3);
+        let first = quadratic_step(&mut ps, &mut opt);
+        let mut last = first;
+        for _ in 0..200 {
+            last = quadratic_step(&mut ps, &mut opt);
+        }
+        assert!(last < 1e-3, "Adam failed to descend: {first} → {last}");
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut ps = ParamSet::new();
+        let id = ps.register("x", Tensor::scalar(1.0));
+        ps.grad_mut(id).data_mut()[0] = 1.0;
+        Sgd::new(0.1).step(&mut ps);
+        assert_eq!(ps.grad(id).item(), 0.0);
+    }
+
+    #[test]
+    fn clip_respects_max_norm() {
+        let mut ps = ParamSet::new();
+        let a = ps.register("a", Tensor::scalar(0.0));
+        let b = ps.register("b", Tensor::scalar(0.0));
+        ps.grad_mut(a).data_mut()[0] = 3.0;
+        ps.grad_mut(b).data_mut()[0] = 4.0;
+        let pre = clip_global_norm(&mut ps, 1.0);
+        assert!((pre - 5.0).abs() < 1e-12);
+        assert!((ps.grad_norm() - 1.0).abs() < 1e-12);
+        // Below the cap nothing changes.
+        let pre = clip_global_norm(&mut ps, 10.0);
+        assert!((pre - 1.0).abs() < 1e-12);
+        assert!((ps.grad_norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut o = Adam::new(0.01);
+        assert_eq!(o.learning_rate(), 0.01);
+        o.set_learning_rate(0.5);
+        assert_eq!(o.learning_rate(), 0.5);
+    }
+}

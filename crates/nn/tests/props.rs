@@ -1,0 +1,144 @@
+//! Property-based tests for layers, losses and optimizers.
+
+use proptest::prelude::*;
+use relgraph_nn::{
+    clip_global_norm, loss, Activation, Adam, Binding, Linear, Mlp, Optimizer, ParamSet, Sgd,
+};
+use relgraph_tensor::{Graph, Tensor};
+
+fn input_tensor() -> impl Strategy<Value = Tensor> {
+    (1usize..6, 1usize..5).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-2.0f64..2.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn linear_forward_shape_and_determinism(x in input_tensor(), seed in 0u64..1000) {
+        let mut ps = ParamSet::new();
+        let l = Linear::new(&mut ps, "l", x.cols(), 3, seed);
+        let run = |ps: &ParamSet| {
+            let mut g = Graph::new();
+            let mut b = Binding::new();
+            let xv = g.constant(x.clone());
+            let y = l.forward(&mut g, &mut b, ps, xv);
+            g.value(y).clone()
+        };
+        let a = run(&ps);
+        prop_assert_eq!(a.shape(), (x.rows(), 3));
+        prop_assert_eq!(a, run(&ps)); // same params, same output
+    }
+
+    #[test]
+    fn mlp_output_finite(x in input_tensor(), seed in 0u64..1000) {
+        let mut ps = ParamSet::new();
+        let mlp = Mlp::new(&mut ps, &[x.cols(), 8, 2], Activation::Relu, seed);
+        let mut g = Graph::new();
+        let mut b = Binding::new();
+        let xv = g.constant(x.clone());
+        let y = mlp.forward(&mut g, &mut b, &ps, xv);
+        prop_assert!(g.value(y).all_finite());
+        prop_assert_eq!(g.value(y).shape(), (x.rows(), 2));
+    }
+
+    #[test]
+    fn bce_nonnegative_and_zero_iff_perfect(
+        logits in proptest::collection::vec(-5.0f64..5.0, 1..20),
+        labels in proptest::collection::vec(any::<bool>(), 1..20),
+    ) {
+        let n = logits.len().min(labels.len());
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(n, 1, logits[..n].to_vec()));
+        let y = g.constant(Tensor::from_vec(
+            n,
+            1,
+            labels[..n].iter().map(|&l| if l { 1.0 } else { 0.0 }).collect(),
+        ));
+        let l = loss::bce_with_logits(&mut g, x, y);
+        prop_assert!(g.value(l).item() >= 0.0);
+    }
+
+    #[test]
+    fn mse_is_symmetric(
+        a in proptest::collection::vec(-5.0f64..5.0, 1..20),
+        b in proptest::collection::vec(-5.0f64..5.0, 1..20),
+    ) {
+        let n = a.len().min(b.len());
+        let run = |p: &[f64], t: &[f64]| {
+            let mut g = Graph::new();
+            let pv = g.leaf(Tensor::from_vec(n, 1, p[..n].to_vec()));
+            let tv = g.constant(Tensor::from_vec(n, 1, t[..n].to_vec()));
+            let l = loss::mse(&mut g, pv, tv);
+            g.value(l).item()
+        };
+        let ab = run(&a, &b);
+        let ba = run(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab >= 0.0);
+    }
+
+    #[test]
+    fn sgd_step_moves_against_gradient(start in -5.0f64..5.0, lr in 0.001f64..0.1) {
+        // loss = x², grad = 2x: one step must shrink |x| (lr < 1/L).
+        let mut ps = ParamSet::new();
+        let id = ps.register("x", Tensor::scalar(start));
+        ps.grad_mut(id).data_mut()[0] = 2.0 * start;
+        Sgd::new(lr).step(&mut ps);
+        prop_assert!(ps.value(id).item().abs() <= start.abs() + 1e-12);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic(start in -10.0f64..10.0) {
+        let mut ps = ParamSet::new();
+        let id = ps.register("x", Tensor::scalar(start));
+        let mut opt = Adam::new(0.3);
+        for _ in 0..300 {
+            let x = ps.value(id).item();
+            ps.grad_mut(id).data_mut()[0] = 2.0 * x;
+            opt.step(&mut ps);
+        }
+        prop_assert!(ps.value(id).item().abs() < 0.1, "ended at {}", ps.value(id).item());
+    }
+
+    #[test]
+    fn clip_never_increases_norm(
+        grads in proptest::collection::vec(-10.0f64..10.0, 1..10),
+        cap in 0.1f64..20.0,
+    ) {
+        let mut ps = ParamSet::new();
+        for (i, &gv) in grads.iter().enumerate() {
+            let id = ps.register(format!("p{i}"), Tensor::scalar(0.0));
+            ps.grad_mut(id).data_mut()[0] = gv;
+        }
+        let before = ps.grad_norm();
+        clip_global_norm(&mut ps, cap);
+        let after = ps.grad_norm();
+        prop_assert!(after <= before + 1e-9);
+        prop_assert!(after <= cap + 1e-9);
+        // Direction is preserved (scaling only).
+        if before > 0.0 {
+            let scale = after / before;
+            for (id, &gv) in ps.ids().collect::<Vec<_>>().iter().zip(&grads) {
+                prop_assert!((ps.grad(*id).item() - gv * scale).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips(vals in proptest::collection::vec(-3.0f64..3.0, 1..8)) {
+        let mut ps = ParamSet::new();
+        let ids: Vec<_> =
+            vals.iter().enumerate().map(|(i, &v)| ps.register(format!("p{i}"), Tensor::scalar(v))).collect();
+        let snap = ps.snapshot();
+        for &id in &ids {
+            ps.value_mut(id).data_mut()[0] = 99.0;
+        }
+        ps.restore(&snap);
+        for (id, &v) in ids.iter().zip(&vals) {
+            prop_assert_eq!(ps.value(*id).item(), v);
+        }
+    }
+}

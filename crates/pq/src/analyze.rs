@@ -1,0 +1,475 @@
+//! Semantic analysis: binds a parsed query to a database schema, resolves
+//! the foreign-key join path from the target table to the entity table,
+//! infers the task type, and compiles the `WHERE` filter.
+
+use std::collections::{HashMap, VecDeque};
+
+use relgraph_store::{DataType, Database, Predicate, Value};
+
+use crate::ast::{Agg, Cond, Literal, PredictiveQuery};
+use crate::error::{PqError, PqResult};
+
+/// The ML task a query compiles into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskType {
+    /// Aggregate + comparison, or `EXISTS` ⇒ binary label.
+    Classification,
+    /// Bare numeric aggregate ⇒ scalar label.
+    Regression,
+    /// `LIST_DISTINCT` over an FK column ⇒ ranking over the item table.
+    Recommendation,
+    /// `MODE` over a categorical column ⇒ k-way classification.
+    Multiclass,
+}
+
+impl std::fmt::Display for TaskType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TaskType::Classification => "binary classification",
+            TaskType::Regression => "regression",
+            TaskType::Recommendation => "recommendation",
+            TaskType::Multiclass => "multiclass classification",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One hop of the target→entity join chain: `table.fk_column` references
+/// the next table in the chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinStep {
+    pub table: String,
+    pub fk_column: String,
+}
+
+/// A schema-validated query, ready for training-table construction.
+#[derive(Debug, Clone)]
+pub struct AnalyzedQuery {
+    /// The original query.
+    pub query: PredictiveQuery,
+    /// Inferred task type.
+    pub task: TaskType,
+    /// `FOR EACH` table.
+    pub entity_table: String,
+    /// Table the aggregate ranges over.
+    pub target_table: String,
+    /// FK chain from `target_table` up to (excluding) `entity_table`;
+    /// empty when the target *is* the entity table.
+    pub join_path: Vec<JoinStep>,
+    /// Resolved aggregate column (`None` for `*`).
+    pub value_column: Option<String>,
+    /// For recommendation: the item table the `LIST_DISTINCT` column
+    /// references.
+    pub item_table: Option<String>,
+    /// Compiled entity filter.
+    pub filter: Option<Predicate>,
+    /// Compiled conditional-aggregate filter over the target table.
+    pub target_filter: Option<Predicate>,
+}
+
+/// Shortest FK chain from `from` to `to` (following FK direction only).
+fn fk_path(db: &Database, from: &str, to: &str) -> Option<Vec<JoinStep>> {
+    if from == to {
+        return Some(Vec::new());
+    }
+    // BFS over "table --fk--> referenced table".
+    let mut prev: HashMap<String, JoinStep> = HashMap::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(from.to_string());
+    let mut visited = vec![from.to_string()];
+    while let Some(cur) = queue.pop_front() {
+        let Ok(table) = db.table(&cur) else { continue };
+        for fk in table.schema().foreign_keys() {
+            let next = &fk.referenced_table;
+            if visited.iter().any(|v| v == next) {
+                continue;
+            }
+            visited.push(next.clone());
+            prev.insert(next.clone(), JoinStep { table: cur.clone(), fk_column: fk.column.clone() });
+            if next == to {
+                // Reconstruct path back from `to`.
+                let mut path = Vec::new();
+                let mut node = to.to_string();
+                while node != from {
+                    let step = prev.get(&node).expect("bfs predecessor").clone();
+                    node = step.table.clone();
+                    path.push(step);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(next.clone());
+        }
+    }
+    None
+}
+
+fn compile_filter(db: &Database, entity_table: &str, cond: &Cond) -> PqResult<Predicate> {
+    let table = db.table(entity_table).map_err(|e| PqError::Analyze(e.to_string()))?;
+    let col_type = |name: &str| -> PqResult<DataType> {
+        table
+            .schema()
+            .column(name)
+            .map(|c| c.data_type)
+            .ok_or_else(|| {
+                PqError::Analyze(format!(
+                    "WHERE references `{name}`, which is not a column of `{entity_table}`"
+                ))
+            })
+    };
+    Ok(match cond {
+        Cond::Cmp { column, op, value } => {
+            let ty = col_type(column)?;
+            let v = match (value, ty) {
+                (Literal::Num(x), DataType::Int) if x.fract() == 0.0 => Value::Int(*x as i64),
+                (Literal::Num(x), DataType::Int) => {
+                    return Err(PqError::Analyze(format!(
+                        "column `{column}` is INT but compared with non-integer {x}"
+                    )))
+                }
+                (Literal::Num(x), DataType::Float) => Value::Float(*x),
+                (Literal::Num(x), DataType::Timestamp) if x.fract() == 0.0 => {
+                    Value::Timestamp(*x as i64)
+                }
+                (Literal::Str(s), DataType::Text) => Value::Text(s.clone()),
+                (Literal::Bool(b), DataType::Bool) => Value::Bool(*b),
+                (lit, ty) => {
+                    return Err(PqError::Analyze(format!(
+                        "cannot compare column `{column}` ({ty}) with literal {lit}"
+                    )))
+                }
+            };
+            Predicate::Compare { column: column.clone(), op: *op, value: v }
+        }
+        Cond::IsNull { column, negated } => {
+            col_type(column)?;
+            if *negated {
+                Predicate::IsNotNull(column.clone())
+            } else {
+                Predicate::IsNull(column.clone())
+            }
+        }
+        Cond::And(a, b) => Predicate::And(
+            Box::new(compile_filter(db, entity_table, a)?),
+            Box::new(compile_filter(db, entity_table, b)?),
+        ),
+        Cond::Or(a, b) => Predicate::Or(
+            Box::new(compile_filter(db, entity_table, a)?),
+            Box::new(compile_filter(db, entity_table, b)?),
+        ),
+        Cond::Not(c) => Predicate::Not(Box::new(compile_filter(db, entity_table, c)?)),
+    })
+}
+
+/// Validate `query` against `db` and produce an [`AnalyzedQuery`].
+pub fn analyze(db: &Database, query: PredictiveQuery) -> PqResult<AnalyzedQuery> {
+    // Entity side.
+    let entity_table = query.entity.table.clone();
+    let entity =
+        db.table(&entity_table).map_err(|_| {
+            PqError::Analyze(format!("unknown entity table `{entity_table}`"))
+        })?;
+    match entity.schema().primary_key() {
+        Some(pk) if pk == query.entity.column => {}
+        Some(pk) => {
+            return Err(PqError::Analyze(format!(
+                "FOR EACH must name the primary key of `{entity_table}` (`{pk}`), got `{}`",
+                query.entity.column
+            )))
+        }
+        None => {
+            return Err(PqError::Analyze(format!(
+                "entity table `{entity_table}` has no primary key"
+            )))
+        }
+    }
+
+    // Target side.
+    let target_table = query.target.target.table.clone();
+    let target = db.table(&target_table).map_err(|_| {
+        PqError::Analyze(format!("unknown target table `{target_table}`"))
+    })?;
+    if target.schema().time_column().is_none() {
+        return Err(PqError::Analyze(format!(
+            "target table `{target_table}` has no time column; a predictive window needs one"
+        )));
+    }
+    if query.target.start_days < 0 || query.target.end_days <= query.target.start_days {
+        return Err(PqError::Analyze(format!(
+            "window ({}, {}] must satisfy 0 ≤ start < end",
+            query.target.start_days, query.target.end_days
+        )));
+    }
+
+    // Aggregate column.
+    let agg = query.target.agg;
+    let value_column = if query.target.target.column == "*" {
+        if agg.needs_column() {
+            return Err(PqError::Analyze(format!("{agg} requires a column, not `*`")));
+        }
+        None
+    } else {
+        let col = target.schema().column(&query.target.target.column).ok_or_else(|| {
+            PqError::Analyze(format!(
+                "unknown column `{}` in target table `{target_table}`",
+                query.target.target.column
+            ))
+        })?;
+        if agg.needs_numeric() && !col.data_type.is_numeric() {
+            return Err(PqError::Analyze(format!(
+                "{agg} needs a numeric column; `{}` is {}",
+                col.name, col.data_type
+            )));
+        }
+        Some(col.name.clone())
+    };
+
+    // Join path target → entity.
+    let join_path = fk_path(db, &target_table, &entity_table).ok_or_else(|| {
+        PqError::Analyze(format!(
+            "no foreign-key path from `{target_table}` to `{entity_table}`"
+        ))
+    })?;
+
+    // Task type + recommendation item table.
+    let mut item_table = None;
+    let task = match (agg, &query.target.compare) {
+        (Agg::ListDistinct, Some(_)) => {
+            return Err(PqError::Analyze(
+                "LIST_DISTINCT cannot be compared with a constant".into(),
+            ))
+        }
+        (Agg::ListDistinct, None) => {
+            let col = value_column.as_deref().ok_or_else(|| {
+                PqError::Analyze("LIST_DISTINCT requires a column".into())
+            })?;
+            let fk = target.schema().foreign_key_on(col).ok_or_else(|| {
+                PqError::Analyze(format!(
+                    "LIST_DISTINCT column `{col}` must be a foreign key (the item reference)"
+                ))
+            })?;
+            item_table = Some(fk.referenced_table.clone());
+            TaskType::Recommendation
+        }
+        (Agg::Mode, Some(_)) => {
+            return Err(PqError::Analyze(
+                "MODE predicts a class; it cannot be compared with a number".into(),
+            ))
+        }
+        (Agg::Mode, None) => {
+            let col = value_column.as_deref().ok_or_else(|| {
+                PqError::Analyze("MODE requires a column".into())
+            })?;
+            let def = target.schema().column(col).expect("validated above");
+            if def.data_type == DataType::Float {
+                return Err(PqError::Analyze(format!(
+                    "MODE needs a categorical column; `{col}` is FLOAT"
+                )));
+            }
+            if target.schema().foreign_key_on(col).is_some() {
+                return Err(PqError::Analyze(format!(
+                    "MODE over the foreign key `{col}` — use LIST_DISTINCT for item ranking"
+                )));
+            }
+            TaskType::Multiclass
+        }
+        (Agg::Exists, None) => TaskType::Classification,
+        (Agg::Exists, Some(_)) => {
+            return Err(PqError::Analyze("EXISTS is already boolean; drop the comparison".into()))
+        }
+        (_, Some(_)) => TaskType::Classification,
+        (_, None) => TaskType::Regression,
+    };
+
+    // Filters: WHERE over the entity table, aggregate-WHERE over the
+    // target table.
+    let filter = match &query.filter {
+        Some(c) => Some(compile_filter(db, &entity_table, c)?),
+        None => None,
+    };
+    let target_filter = match &query.target.filter {
+        Some(c) => Some(compile_filter(db, &target_table, c)?),
+        None => None,
+    };
+
+    Ok(AnalyzedQuery {
+        query,
+        task,
+        entity_table,
+        target_table,
+        join_path,
+        value_column,
+        item_table,
+        filter,
+        target_filter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use relgraph_datagen::{generate_clinic, generate_ecommerce, ClinicConfig, EcommerceConfig};
+
+    fn shop() -> Database {
+        generate_ecommerce(&EcommerceConfig { customers: 20, products: 10, ..Default::default() })
+            .unwrap()
+    }
+
+    fn run(db: &Database, q: &str) -> PqResult<AnalyzedQuery> {
+        analyze(db, parse(q).unwrap())
+    }
+
+    #[test]
+    fn classification_task_inferred() {
+        let db = shop();
+        let a =
+            run(&db, "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id").unwrap();
+        assert_eq!(a.task, TaskType::Classification);
+        assert_eq!(a.join_path.len(), 1);
+        assert_eq!(a.join_path[0].table, "orders");
+        assert_eq!(a.join_path[0].fk_column, "customer_id");
+        assert!(a.value_column.is_none());
+    }
+
+    #[test]
+    fn regression_task_inferred() {
+        let db = shop();
+        let a = run(&db, "PREDICT SUM(orders.amount, 0, 30) FOR EACH customers.customer_id")
+            .unwrap();
+        assert_eq!(a.task, TaskType::Regression);
+        assert_eq!(a.value_column.as_deref(), Some("amount"));
+    }
+
+    #[test]
+    fn recommendation_task_inferred() {
+        let db = shop();
+        let a = run(
+            &db,
+            "PREDICT LIST_DISTINCT(orders.product_id, 0, 30) FOR EACH customers.customer_id",
+        )
+        .unwrap();
+        assert_eq!(a.task, TaskType::Recommendation);
+        assert_eq!(a.item_table.as_deref(), Some("products"));
+    }
+
+    #[test]
+    fn two_hop_join_path() {
+        let db = generate_clinic(&ClinicConfig { patients: 15, ..Default::default() }).unwrap();
+        let a =
+            run(&db, "PREDICT COUNT(prescriptions.*, 0, 60) FOR EACH patients.patient_id").unwrap();
+        assert_eq!(a.join_path.len(), 2);
+        assert_eq!(a.join_path[0].table, "prescriptions");
+        assert_eq!(a.join_path[1].table, "visits");
+    }
+
+    #[test]
+    fn exists_is_classification() {
+        let db = shop();
+        let a = run(&db, "PREDICT EXISTS(orders.*, 0, 30) FOR EACH customers.customer_id").unwrap();
+        assert_eq!(a.task, TaskType::Classification);
+    }
+
+    #[test]
+    fn filter_compiles_with_types() {
+        let db = shop();
+        let a = run(
+            &db,
+            "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id \
+             WHERE region = 'north' AND signup_time < 1000000",
+        )
+        .unwrap();
+        assert!(a.filter.is_some());
+    }
+
+    #[test]
+    fn rejects_bad_queries() {
+        let db = shop();
+        for (q, why) in [
+            ("PREDICT COUNT(nope.*, 0, 30) FOR EACH customers.customer_id", "unknown target"),
+            ("PREDICT COUNT(orders.*, 0, 30) FOR EACH nope.id", "unknown entity"),
+            ("PREDICT COUNT(orders.*, 0, 30) FOR EACH customers.region", "non-pk entity column"),
+            ("PREDICT COUNT(orders.*, 30, 10) FOR EACH customers.customer_id", "inverted window"),
+            ("PREDICT SUM(orders.*, 0, 30) FOR EACH customers.customer_id", "sum needs column"),
+            (
+                "PREDICT SUM(customers.region, 0, 30) FOR EACH customers.customer_id",
+                "sum needs numeric",
+            ),
+            (
+                "PREDICT LIST_DISTINCT(orders.amount, 0, 30) FOR EACH customers.customer_id",
+                "list_distinct needs fk",
+            ),
+            (
+                "PREDICT EXISTS(orders.*, 0, 30) > 0 FOR EACH customers.customer_id",
+                "exists with comparison",
+            ),
+            (
+                "PREDICT COUNT(orders.*, 0, 30) FOR EACH customers.customer_id WHERE nope = 1",
+                "unknown filter column",
+            ),
+            (
+                "PREDICT COUNT(orders.*, 0, 30) FOR EACH customers.customer_id WHERE region = 1",
+                "filter type mismatch",
+            ),
+            (
+                "PREDICT COUNT(customers.*, 0, 30) FOR EACH products.product_id",
+                "no fk path",
+            ),
+        ] {
+            assert!(run(&db, q).is_err(), "should reject: {why}: {q}");
+        }
+    }
+
+    #[test]
+    fn conditional_aggregate_binds_to_target_table() {
+        let db = shop();
+        let a = run(
+            &db,
+            "PREDICT COUNT(orders.* WHERE amount > 50, 0, 30) > 0 \
+             FOR EACH customers.customer_id",
+        )
+        .unwrap();
+        assert!(a.target_filter.is_some());
+        // `amount` is an orders column, not a customers column — it must
+        // resolve against the target table, and fail on the entity side.
+        assert!(run(
+            &db,
+            "PREDICT COUNT(orders.*, 0, 30) FOR EACH customers.customer_id WHERE amount > 50",
+        )
+        .is_err());
+        // Unknown target column rejected.
+        assert!(run(
+            &db,
+            "PREDICT COUNT(orders.* WHERE bogus > 1, 0, 30) FOR EACH customers.customer_id",
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn target_without_time_column_rejected() {
+        let db = shop();
+        // `products` has a time column in the generator; use a custom table.
+        let mut db2 = Database::new("d");
+        db2.create_table(
+            relgraph_store::TableSchema::builder("entities")
+                .column("id", DataType::Int)
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db2.create_table(
+            relgraph_store::TableSchema::builder("facts")
+                .column("id", DataType::Int)
+                .column("entity_id", DataType::Int)
+                .primary_key("id")
+                .foreign_key("entity_id", "entities")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let err = run(&db2, "PREDICT COUNT(facts.*, 0, 30) FOR EACH entities.id").unwrap_err();
+        assert!(matches!(err, PqError::Analyze(_)));
+        let _ = db;
+    }
+}

@@ -1,0 +1,171 @@
+//! Abstract syntax of predictive queries.
+
+use std::fmt;
+
+pub use relgraph_store::CmpOp;
+
+/// `table.column` reference. `column == "*"` is allowed for `COUNT`/`EXISTS`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    pub table: String,
+    pub column: String,
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+/// Aggregates usable in the `PREDICT` target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    Count,
+    CountDistinct,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    Exists,
+    /// Distinct FK values in the window — defines a recommendation task.
+    ListDistinct,
+    /// Most frequent value of a categorical column in the window — defines
+    /// a multiclass classification task.
+    Mode,
+}
+
+impl Agg {
+    /// Keyword spelling.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Agg::Count => "COUNT",
+            Agg::CountDistinct => "COUNT_DISTINCT",
+            Agg::Sum => "SUM",
+            Agg::Avg => "AVG",
+            Agg::Min => "MIN",
+            Agg::Max => "MAX",
+            Agg::Exists => "EXISTS",
+            Agg::ListDistinct => "LIST_DISTINCT",
+            Agg::Mode => "MODE",
+        }
+    }
+
+    /// Whether this aggregate needs a real (non-`*`) column.
+    pub fn needs_column(self) -> bool {
+        !matches!(self, Agg::Count | Agg::Exists)
+    }
+
+    /// Whether this aggregate requires a numeric column.
+    pub fn needs_numeric(self) -> bool {
+        matches!(self, Agg::Sum | Agg::Avg | Agg::Min | Agg::Max)
+    }
+}
+
+impl fmt::Display for Agg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// The `PREDICT` target: an aggregate over a relative future window, with
+/// an optional comparison turning it into a binary label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetExpr {
+    pub agg: Agg,
+    pub target: ColumnRef,
+    /// Optional conditional-aggregate filter over the *target table's*
+    /// columns: `COUNT(orders.* WHERE amount > 50, 0, 30)`.
+    pub filter: Option<Cond>,
+    /// Window start offset in days (exclusive bound at `anchor + start`).
+    pub start_days: i64,
+    /// Window end offset in days (inclusive bound at `anchor + end`).
+    pub end_days: i64,
+    /// `> 0`, `<= 5`, … ⇒ binary classification.
+    pub compare: Option<(CmpOp, f64)>,
+}
+
+impl fmt::Display for TargetExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}", self.agg, self.target)?;
+        if let Some(c) = &self.filter {
+            write!(f, " WHERE {c}")?;
+        }
+        write!(f, ", {}, {})", self.start_days, self.end_days)?;
+        if let Some((op, v)) = &self.compare {
+            write!(f, " {op} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Literal values in `WHERE`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Num(v) => write!(f, "{v}"),
+            Literal::Str(s) => write!(f, "'{s}'"),
+            Literal::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// Boolean filter over entity-table columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    Cmp { column: String, op: CmpOp, value: Literal },
+    IsNull { column: String, negated: bool },
+    And(Box<Cond>, Box<Cond>),
+    Or(Box<Cond>, Box<Cond>),
+    Not(Box<Cond>),
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::Cmp { column, op, value } => write!(f, "{column} {op} {value}"),
+            Cond::IsNull { column, negated } => {
+                write!(f, "{column} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Cond::And(a, b) => write!(f, "({a} AND {b})"),
+            Cond::Or(a, b) => write!(f, "({a} OR {b})"),
+            Cond::Not(c) => write!(f, "(NOT {c})"),
+        }
+    }
+}
+
+/// A complete predictive query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictiveQuery {
+    pub target: TargetExpr,
+    /// `FOR EACH table.primary_key`.
+    pub entity: ColumnRef,
+    pub filter: Option<Cond>,
+    /// `USING key = value, …` (model/hyper-parameter overrides).
+    pub options: Vec<(String, String)>,
+}
+
+impl fmt::Display for PredictiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PREDICT {} FOR EACH {}", self.target, self.entity)?;
+        if let Some(c) = &self.filter {
+            write!(f, " WHERE {c}")?;
+        }
+        if !self.options.is_empty() {
+            write!(f, " USING ")?;
+            for (i, (k, v)) in self.options.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{k} = {v}")?;
+            }
+        }
+        Ok(())
+    }
+}

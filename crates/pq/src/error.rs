@@ -1,0 +1,58 @@
+//! Error types for the predictive-query pipeline.
+
+use std::fmt;
+
+/// Result alias for predictive-query operations.
+pub type PqResult<T> = Result<T, PqError>;
+
+/// Errors across the whole compile-and-execute pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PqError {
+    /// Lexing/parsing failure with byte position.
+    Parse { position: usize, message: String },
+    /// Query is well-formed but inconsistent with the schema.
+    Analyze(String),
+    /// Training-table construction failed (no anchors, no labels, …).
+    TrainingTable(String),
+    /// Execution-layer failure (wraps the lower crates' messages).
+    Execution(String),
+}
+
+impl fmt::Display for PqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PqError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            PqError::Analyze(m) => write!(f, "semantic error: {m}"),
+            PqError::TrainingTable(m) => write!(f, "training-table error: {m}"),
+            PqError::Execution(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PqError {}
+
+impl From<relgraph_store::StoreError> for PqError {
+    fn from(e: relgraph_store::StoreError) -> Self {
+        PqError::Execution(format!("store: {e}"))
+    }
+}
+
+impl From<relgraph_db2graph::ConvertError> for PqError {
+    fn from(e: relgraph_db2graph::ConvertError) -> Self {
+        PqError::Execution(format!("db2graph: {e}"))
+    }
+}
+
+impl From<relgraph_gnn::GnnError> for PqError {
+    fn from(e: relgraph_gnn::GnnError) -> Self {
+        PqError::Execution(format!("gnn: {e}"))
+    }
+}
+
+impl From<relgraph_baselines::BaselineError> for PqError {
+    fn from(e: relgraph_baselines::BaselineError) -> Self {
+        PqError::Execution(format!("baseline: {e}"))
+    }
+}

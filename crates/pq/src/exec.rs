@@ -1,0 +1,1095 @@
+//! Query execution: compile an analyzed query into a trained model,
+//! evaluate it on the temporal test split, and produce deploy-time
+//! predictions.
+
+use std::collections::{HashMap, HashSet};
+
+use relgraph_baselines::{
+    CoVisitRecommender, FeatureConfig, FeatureEngineer, Gbdt, GbdtConfig, GbdtObjective,
+    LinearConfig, LinearRegressor, LogisticRegressor, MajorityClass, MeanRegressor,
+    MulticlassGbdt, MulticlassLogReg, PopularityRecommender, PriorClassifier,
+};
+use relgraph_db2graph::{build_graph, ConvertOptions};
+use relgraph_gnn::{
+    train_multiclass_model, train_node_model, train_two_tower, Aggregation, TaskKind,
+    TrainConfig, TwoTowerConfig,
+};
+use relgraph_graph::Seed;
+use relgraph_metrics as metrics;
+use relgraph_store::{Database, Timestamp, Value};
+
+use crate::analyze::{analyze, AnalyzedQuery, TaskType};
+use crate::error::{PqError, PqResult};
+use crate::explain::explain;
+use crate::parser::parse;
+use crate::traintable::{build_training_table, Example, TrainTableConfig, TrainingTable};
+
+/// Which model family executes the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelChoice {
+    /// Temporal heterogeneous GNN (the paper's approach; default).
+    Gnn,
+    /// Gradient-boosted trees on engineered features.
+    Gbdt,
+    /// Logistic regression on engineered features (classification).
+    LogReg,
+    /// Ridge linear regression on engineered features (regression).
+    LinReg,
+    /// Class prior / global mean (sanity floor).
+    Trivial,
+    /// Popularity recommender (recommendation only).
+    Popularity,
+    /// Co-visitation recommender (recommendation only).
+    CoVisit,
+}
+
+impl ModelChoice {
+    fn from_str(s: &str) -> PqResult<Self> {
+        Ok(match s.to_ascii_lowercase().as_str() {
+            "gnn" | "rdl" => ModelChoice::Gnn,
+            "gbdt" | "boosted" | "trees" => ModelChoice::Gbdt,
+            "logreg" | "logistic" => ModelChoice::LogReg,
+            "linreg" | "linear" => ModelChoice::LinReg,
+            "trivial" | "prior" | "mean" => ModelChoice::Trivial,
+            "popularity" | "pop" => ModelChoice::Popularity,
+            "covisit" | "cooccurrence" => ModelChoice::CoVisit,
+            other => {
+                return Err(PqError::Analyze(format!(
+                    "unknown model `{other}` (expected gnn, gbdt, logreg, linreg, trivial, \
+                     popularity or covisit)"
+                )))
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for ModelChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ModelChoice::Gnn => "gnn",
+            ModelChoice::Gbdt => "gbdt",
+            ModelChoice::LogReg => "logreg",
+            ModelChoice::LinReg => "linreg",
+            ModelChoice::Trivial => "trivial",
+            ModelChoice::Popularity => "popularity",
+            ModelChoice::CoVisit => "covisit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Execution configuration. `USING` options in the query override the
+/// corresponding fields.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Training-table construction.
+    pub traintable: TrainTableConfig,
+    /// Model family (overridden by `USING model = …`).
+    pub model: ModelChoice,
+    /// GNN epochs.
+    pub epochs: usize,
+    /// GNN hidden width.
+    pub hidden_dim: usize,
+    /// GNN per-hop fanouts (layer count = length).
+    pub fanouts: Vec<usize>,
+    /// Learning rate (GNN).
+    pub lr: f64,
+    /// Mini-batch size (GNN).
+    pub batch_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Temporal (leak-free) sampling; `false` only for the leakage ablation.
+    pub temporal: bool,
+    /// Degree-count features in GNN inputs (default); `false` only for the
+    /// depth ablation.
+    pub degree_features: bool,
+    /// GNN neighborhood aggregation (mean / sum / max).
+    pub aggregation: Aggregation,
+    /// Recommendation list length.
+    pub top_k: usize,
+    /// GBDT boosting rounds.
+    pub gbdt_rounds: usize,
+    /// Feature-engineering windows (days; 0 = all history).
+    pub feature_windows: Vec<i64>,
+    /// Cap on engineered features (the F4 effort sweep).
+    pub max_features: Option<usize>,
+    /// Cap on deploy-time predictions returned (None = all entities).
+    pub max_predictions: Option<usize>,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            traintable: TrainTableConfig::default(),
+            model: ModelChoice::Gnn,
+            epochs: 15,
+            hidden_dim: 32,
+            fanouts: vec![10, 10],
+            lr: 0.01,
+            batch_size: 64,
+            seed: 17,
+            temporal: true,
+            degree_features: true,
+            aggregation: Aggregation::Mean,
+            top_k: 10,
+            gbdt_rounds: 120,
+            feature_windows: vec![7, 30, 90, 0],
+            max_features: None,
+            max_predictions: Some(500),
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Apply `USING key = value` overrides from the query.
+    fn apply_options(&mut self, options: &[(String, String)]) -> PqResult<()> {
+        for (key, value) in options {
+            let bad = || {
+                PqError::Analyze(format!("invalid value `{value}` for option `{key}`"))
+            };
+            match key.as_str() {
+                "model" => self.model = ModelChoice::from_str(value)?,
+                "epochs" => self.epochs = value.parse().map_err(|_| bad())?,
+                "hidden" | "hidden_dim" => self.hidden_dim = value.parse().map_err(|_| bad())?,
+                "lr" => self.lr = value.parse().map_err(|_| bad())?,
+                "batch" | "batch_size" => self.batch_size = value.parse().map_err(|_| bad())?,
+                "seed" => self.seed = value.parse().map_err(|_| bad())?,
+                "layers" | "hops" => {
+                    let n: usize = value.parse().map_err(|_| bad())?;
+                    let fanout = self.fanouts.first().copied().unwrap_or(10);
+                    self.fanouts = vec![fanout; n];
+                }
+                "fanout" => {
+                    let f: usize = value.parse().map_err(|_| bad())?;
+                    self.fanouts = self.fanouts.iter().map(|_| f).collect();
+                }
+                "anchors" => self.traintable.num_anchors = value.parse().map_err(|_| bad())?,
+                "top_k" | "k" => self.top_k = value.parse().map_err(|_| bad())?,
+                "rounds" | "gbdt_rounds" => self.gbdt_rounds = value.parse().map_err(|_| bad())?,
+                "temporal" => {
+                    self.temporal = match value.as_str() {
+                        "true" | "1" => true,
+                        "false" | "0" => false,
+                        _ => return Err(bad()),
+                    }
+                }
+                "max_features" => self.max_features = Some(value.parse().map_err(|_| bad())?),
+                "agg" | "aggregation" => {
+                    self.aggregation = match value.to_ascii_lowercase().as_str() {
+                        "mean" => Aggregation::Mean,
+                        "sum" => Aggregation::Sum,
+                        "max" => Aggregation::Max,
+                        _ => return Err(bad()),
+                    }
+                }
+                "degrees" | "degree_features" => {
+                    self.degree_features = match value.as_str() {
+                        "true" | "1" => true,
+                        "false" | "0" => false,
+                        _ => return Err(bad()),
+                    }
+                }
+                other => {
+                    return Err(PqError::Analyze(format!("unknown USING option `{other}`")))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One deploy-time prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// The entity's primary-key value.
+    pub entity_key: Value,
+    /// Probability / predicted value, or ranked item primary keys.
+    pub value: PredictionValue,
+}
+
+/// The predicted quantity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredictionValue {
+    /// Probability (classification) or value (regression).
+    Score(f64),
+    /// Ranked item primary keys (recommendation).
+    Items(Vec<Value>),
+    /// Predicted class (MODE queries).
+    Class(String),
+}
+
+/// Result of executing a predictive query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Inferred task.
+    pub task: TaskType,
+    /// Model that ran.
+    pub model: ModelChoice,
+    /// Test-split metrics, e.g. `("auroc", 0.81)`.
+    pub metrics: Vec<(String, f64)>,
+    /// Deploy-time predictions (anchored at the database's latest time).
+    pub predictions: Vec<Prediction>,
+    /// The compiled plan, human-readable.
+    pub explain: String,
+    /// Split sizes.
+    pub train_size: usize,
+    pub val_size: usize,
+    pub test_size: usize,
+}
+
+impl QueryOutcome {
+    /// Look up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// One-paragraph human summary.
+    pub fn summary(&self) -> String {
+        let metrics: Vec<String> =
+            self.metrics.iter().map(|(n, v)| format!("{n}={v:.4}")).collect();
+        format!(
+            "{} via {} | train/val/test = {}/{}/{} | {} | {} predictions",
+            self.task,
+            self.model,
+            self.train_size,
+            self.val_size,
+            self.test_size,
+            metrics.join(" "),
+            self.predictions.len()
+        )
+    }
+}
+
+/// Parse, analyze, compile, train, evaluate, predict.
+pub fn execute(db: &Database, query_text: &str, config: &ExecConfig) -> PqResult<QueryOutcome> {
+    let query = parse(query_text)?;
+    let mut cfg = config.clone();
+    cfg.apply_options(&query.options)?;
+    let aq = analyze(db, query)?;
+    let table = build_training_table(db, &aq, &cfg.traintable)?;
+    execute_analyzed(db, &aq, &table, &cfg)
+}
+
+/// Execute a pre-analyzed query with a pre-built training table (used by
+/// the experiment harness to share work across model variants).
+pub fn execute_analyzed(
+    db: &Database,
+    aq: &AnalyzedQuery,
+    table: &TrainingTable,
+    cfg: &ExecConfig,
+) -> PqResult<QueryOutcome> {
+    let explain_text = explain(db, aq, Some(table));
+    let (metrics, predictions) = match aq.task {
+        TaskType::Classification | TaskType::Regression => {
+            run_node_task(db, aq, table, cfg)?
+        }
+        TaskType::Recommendation => run_recommendation(db, aq, table, cfg)?,
+        TaskType::Multiclass => run_multiclass(db, aq, table, cfg)?,
+    };
+    Ok(QueryOutcome {
+        task: aq.task,
+        model: cfg.model,
+        metrics,
+        predictions,
+        explain: explain_text,
+        train_size: table.train.len(),
+        val_size: table.val.len(),
+        test_size: table.test.len(),
+    })
+}
+
+/// Deploy anchor: the latest timestamp in the database.
+fn deploy_anchor(db: &Database) -> Timestamp {
+    db.time_span().map(|(_, hi)| hi).unwrap_or(0)
+}
+
+/// Entities alive at `anchor` and passing the filter, as row indices.
+fn alive_entities(db: &Database, aq: &AnalyzedQuery, anchor: Timestamp) -> PqResult<Vec<usize>> {
+    let entity = db.table(&aq.entity_table)?;
+    let mut out = Vec::new();
+    for row in 0..entity.len() {
+        if let Some(p) = &aq.filter {
+            if !p.eval(entity, row).map_err(|e| PqError::Analyze(e.to_string()))? {
+                continue;
+            }
+        }
+        if let Some(t) = entity.row_timestamp(row) {
+            if t > anchor {
+                continue;
+            }
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+fn entity_key(db: &Database, aq: &AnalyzedQuery, row: usize) -> Value {
+    let entity = db.table(&aq.entity_table).expect("entity table exists");
+    let pk = entity.schema().primary_key_index().expect("analyzer checked the pk");
+    entity.value(row, pk)
+}
+
+fn node_metrics(task: TaskType, preds: &[f64], truth: &[f64]) -> Vec<(String, f64)> {
+    match task {
+        TaskType::Classification => {
+            let labels: Vec<bool> = truth.iter().map(|&v| v > 0.5).collect();
+            let mut m = Vec::new();
+            if let Some(a) = metrics::auroc(preds, &labels) {
+                m.push(("auroc".to_string(), a));
+            }
+            m.push(("accuracy".to_string(), metrics::accuracy(preds, &labels, 0.5)));
+            m.push(("logloss".to_string(), metrics::log_loss(preds, &labels)));
+            m
+        }
+        TaskType::Regression => {
+            let mut m = vec![
+                ("mae".to_string(), metrics::mae(preds, truth)),
+                ("rmse".to_string(), metrics::rmse(preds, truth)),
+            ];
+            if let Some(r2) = metrics::r_squared(preds, truth) {
+                m.push(("r2".to_string(), r2));
+            }
+            m
+        }
+        TaskType::Recommendation | TaskType::Multiclass => {
+            unreachable!("node metrics on a ranking/multiclass task")
+        }
+    }
+}
+
+/// Execute a MODE (multiclass) query: class vocabulary from the training
+/// split; unseen test classes keep their own indices (never predictable,
+/// always counted as errors).
+fn run_multiclass(
+    db: &Database,
+    aq: &AnalyzedQuery,
+    table: &TrainingTable,
+    cfg: &ExecConfig,
+) -> PqResult<(Vec<(String, f64)>, Vec<Prediction>)> {
+    let mut classes: Vec<String> = Vec::new();
+    let class_index = |name: &str, classes: &mut Vec<String>| -> usize {
+        match classes.iter().position(|c| c == name) {
+            Some(i) => i,
+            None => {
+                classes.push(name.to_string());
+                classes.len() - 1
+            }
+        }
+    };
+    let train_idx: Vec<usize> =
+        table.train.iter().map(|e| class_index(e.label.class(), &mut classes)).collect();
+    let val_idx: Vec<usize> =
+        table.val.iter().map(|e| class_index(e.label.class(), &mut classes)).collect();
+    let k = classes.len();
+    if k < 2 {
+        return Err(PqError::TrainingTable(format!(
+            "MODE training split contains {k} distinct class(es); need at least 2"
+        )));
+    }
+    // Test truth may extend the vocabulary (unseen classes stay wrong).
+    let mut ext_classes = classes.clone();
+    let test_idx: Vec<usize> =
+        table.test.iter().map(|e| class_index(e.label.class(), &mut ext_classes)).collect();
+    let n_ext = ext_classes.len();
+
+    let deploy = deploy_anchor(db);
+    let deploy_rows = {
+        let mut rows = alive_entities(db, aq, deploy)?;
+        if let Some(cap) = cfg.max_predictions {
+            rows.truncate(cap);
+        }
+        rows
+    };
+
+    let (test_pred, deploy_pred): (Vec<usize>, Vec<usize>) = match cfg.model {
+        ModelChoice::Gnn => {
+            let (graph, mapping) = build_graph(db, &ConvertOptions::default())?;
+            let node_type = mapping
+                .node_type(&aq.entity_table)
+                .ok_or_else(|| PqError::Execution("entity table missing from graph".into()))?;
+            let to_seed = |e: &Example| Seed { node_type, node: e.entity_row, time: e.anchor };
+            let train: Vec<(Seed, usize)> =
+                table.train.iter().map(to_seed).zip(train_idx.iter().copied()).collect();
+            let val: Vec<(Seed, usize)> =
+                table.val.iter().map(to_seed).zip(val_idx.iter().copied()).collect();
+            let tc = TrainConfig {
+                epochs: cfg.epochs,
+                batch_size: cfg.batch_size,
+                lr: cfg.lr,
+                fanouts: cfg.fanouts.clone(),
+                hidden_dim: cfg.hidden_dim,
+                seed: cfg.seed,
+                temporal: cfg.temporal,
+                degree_features: cfg.degree_features,
+                aggregation: cfg.aggregation,
+                ..Default::default()
+            };
+            let model = train_multiclass_model(&graph, classes.clone(), &train, &val, &tc)?;
+            let test_seeds: Vec<Seed> = table.test.iter().map(to_seed).collect();
+            let deploy_seeds: Vec<Seed> = deploy_rows
+                .iter()
+                .map(|&r| Seed { node_type, node: r, time: deploy })
+                .collect();
+            (model.predict(&graph, &test_seeds), model.predict(&graph, &deploy_seeds))
+        }
+        ModelChoice::Trivial => {
+            let m = MajorityClass::fit(&train_idx, k)
+                .map_err(|e| PqError::Execution(e.to_string()))?;
+            (m.predict(table.test.len()), m.predict(deploy_rows.len()))
+        }
+        ModelChoice::Gbdt | ModelChoice::LogReg => {
+            let fe = FeatureEngineer::new(
+                db,
+                &aq.entity_table,
+                FeatureConfig {
+                    windows_days: cfg.feature_windows.clone(),
+                    max_features: cfg.max_features,
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| PqError::Execution(e.to_string()))?;
+            let seeds_of = |ex: &[Example]| -> Vec<(usize, Timestamp)> {
+                ex.iter().map(|e| (e.entity_row, e.anchor)).collect()
+            };
+            let x_train = fe
+                .compute(db, &seeds_of(&table.train))
+                .map_err(|e| PqError::Execution(e.to_string()))?;
+            let x_test = fe
+                .compute(db, &seeds_of(&table.test))
+                .map_err(|e| PqError::Execution(e.to_string()))?;
+            let deploy_pairs: Vec<(usize, Timestamp)> =
+                deploy_rows.iter().map(|&r| (r, deploy)).collect();
+            let x_deploy =
+                fe.compute(db, &deploy_pairs).map_err(|e| PqError::Execution(e.to_string()))?;
+            match cfg.model {
+                ModelChoice::Gbdt => {
+                    let m = MulticlassGbdt::fit(
+                        &x_train,
+                        &train_idx,
+                        k,
+                        &GbdtConfig { rounds: cfg.gbdt_rounds, ..Default::default() },
+                    )?;
+                    (m.predict(&x_test), m.predict(&x_deploy))
+                }
+                _ => {
+                    let m =
+                        MulticlassLogReg::fit(&x_train, &train_idx, k, &LinearConfig::default())?;
+                    (m.predict(&x_test), m.predict(&x_deploy))
+                }
+            }
+        }
+        other => {
+            return Err(PqError::Analyze(format!(
+                "model `{other}` does not support MODE (multiclass) queries"
+            )))
+        }
+    };
+
+    let metrics = vec![
+        ("accuracy".to_string(), metrics::multiclass_accuracy(&test_pred, &test_idx)),
+        ("macro_f1".to_string(), metrics::macro_f1(&test_pred, &test_idx, n_ext)),
+        ("classes".to_string(), k as f64),
+    ];
+    let predictions = deploy_rows
+        .iter()
+        .zip(&deploy_pred)
+        .map(|(&row, &c)| Prediction {
+            entity_key: entity_key(db, aq, row),
+            value: PredictionValue::Class(classes[c].clone()),
+        })
+        .collect();
+    Ok((metrics, predictions))
+}
+
+fn run_node_task(
+    db: &Database,
+    aq: &AnalyzedQuery,
+    table: &TrainingTable,
+    cfg: &ExecConfig,
+) -> PqResult<(Vec<(String, f64)>, Vec<Prediction>)> {
+    let test_truth: Vec<f64> = table.test.iter().map(|e| e.label.scalar()).collect();
+    let deploy = deploy_anchor(db);
+    let deploy_rows = {
+        let mut rows = alive_entities(db, aq, deploy)?;
+        if let Some(cap) = cfg.max_predictions {
+            rows.truncate(cap);
+        }
+        rows
+    };
+
+    let (test_preds, deploy_preds) = match cfg.model {
+        ModelChoice::Gnn => {
+            let (graph, mapping) = build_graph(db, &ConvertOptions::default())?;
+            let node_type = mapping
+                .node_type(&aq.entity_table)
+                .ok_or_else(|| PqError::Execution("entity table missing from graph".into()))?;
+            let to_seed = |e: &Example| Seed { node_type, node: e.entity_row, time: e.anchor };
+            let train: Vec<(Seed, f64)> =
+                table.train.iter().map(|e| (to_seed(e), e.label.scalar())).collect();
+            let val: Vec<(Seed, f64)> =
+                table.val.iter().map(|e| (to_seed(e), e.label.scalar())).collect();
+            let task = match aq.task {
+                TaskType::Classification => TaskKind::Binary,
+                _ => TaskKind::Regression,
+            };
+            let tc = TrainConfig {
+                epochs: cfg.epochs,
+                batch_size: cfg.batch_size,
+                lr: cfg.lr,
+                fanouts: cfg.fanouts.clone(),
+                hidden_dim: cfg.hidden_dim,
+                seed: cfg.seed,
+                temporal: cfg.temporal,
+                degree_features: cfg.degree_features,
+                aggregation: cfg.aggregation,
+                ..Default::default()
+            };
+            let model = train_node_model(&graph, task, &train, &val, &tc)?;
+            let test_seeds: Vec<Seed> = table.test.iter().map(to_seed).collect();
+            let test_preds = model.predict(&graph, &test_seeds);
+            let deploy_seeds: Vec<Seed> = deploy_rows
+                .iter()
+                .map(|&r| Seed { node_type, node: r, time: deploy })
+                .collect();
+            let deploy_preds = model.predict(&graph, &deploy_seeds);
+            (test_preds, deploy_preds)
+        }
+        ModelChoice::Trivial => {
+            let train_labels: Vec<f64> = table.train.iter().map(|e| e.label.scalar()).collect();
+            match aq.task {
+                TaskType::Classification => {
+                    let m = PriorClassifier::fit(&train_labels);
+                    (m.predict(table.test.len()), m.predict(deploy_rows.len()))
+                }
+                _ => {
+                    let m = MeanRegressor::fit(&train_labels);
+                    (m.predict(table.test.len()), m.predict(deploy_rows.len()))
+                }
+            }
+        }
+        ModelChoice::Gbdt | ModelChoice::LogReg | ModelChoice::LinReg => {
+            let fe = FeatureEngineer::new(
+                db,
+                &aq.entity_table,
+                FeatureConfig {
+                    windows_days: cfg.feature_windows.clone(),
+                    max_features: cfg.max_features,
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| PqError::Execution(e.to_string()))?;
+            let seeds_of = |ex: &[Example]| -> Vec<(usize, Timestamp)> {
+                ex.iter().map(|e| (e.entity_row, e.anchor)).collect()
+            };
+            let x_train =
+                fe.compute(db, &seeds_of(&table.train)).map_err(|e| PqError::Execution(e.to_string()))?;
+            let y_train: Vec<f64> = table.train.iter().map(|e| e.label.scalar()).collect();
+            let x_test =
+                fe.compute(db, &seeds_of(&table.test)).map_err(|e| PqError::Execution(e.to_string()))?;
+            let deploy_pairs: Vec<(usize, Timestamp)> =
+                deploy_rows.iter().map(|&r| (r, deploy)).collect();
+            let x_deploy =
+                fe.compute(db, &deploy_pairs).map_err(|e| PqError::Execution(e.to_string()))?;
+            match (cfg.model, aq.task) {
+                (ModelChoice::Gbdt, TaskType::Classification) => {
+                    let m = Gbdt::fit(
+                        &x_train,
+                        &y_train,
+                        GbdtObjective::Binary,
+                        &GbdtConfig { rounds: cfg.gbdt_rounds, ..Default::default() },
+                    )?;
+                    (m.predict(&x_test), m.predict(&x_deploy))
+                }
+                (ModelChoice::Gbdt, _) => {
+                    let m = Gbdt::fit(
+                        &x_train,
+                        &y_train,
+                        GbdtObjective::Regression,
+                        &GbdtConfig { rounds: cfg.gbdt_rounds, ..Default::default() },
+                    )?;
+                    (m.predict(&x_test), m.predict(&x_deploy))
+                }
+                (ModelChoice::LogReg, _) => {
+                    let m = LogisticRegressor::fit(&x_train, &y_train, &LinearConfig::default())?;
+                    (m.predict_proba(&x_test), m.predict_proba(&x_deploy))
+                }
+                (ModelChoice::LinReg, _) => {
+                    let m = LinearRegressor::fit(&x_train, &y_train, &LinearConfig::default())?;
+                    (m.predict(&x_test), m.predict(&x_deploy))
+                }
+                _ => unreachable!(),
+            }
+        }
+        ModelChoice::Popularity | ModelChoice::CoVisit => {
+            return Err(PqError::Analyze(format!(
+                "model `{}` only applies to recommendation queries",
+                cfg.model
+            )))
+        }
+    };
+
+    let metrics = node_metrics(aq.task, &test_preds, &test_truth);
+    let predictions = deploy_rows
+        .iter()
+        .zip(&deploy_preds)
+        .map(|(&row, &score)| Prediction {
+            entity_key: entity_key(db, aq, row),
+            value: PredictionValue::Score(score),
+        })
+        .collect();
+    Ok((metrics, predictions))
+}
+
+/// Entity → time-sorted (interaction time, item row) pairs, derived from
+/// the target table (used for history exclusion and baseline training).
+fn interaction_index(
+    db: &Database,
+    aq: &AnalyzedQuery,
+) -> PqResult<HashMap<usize, Vec<(Timestamp, usize)>>> {
+    let target = db.table(&aq.target_table)?;
+    let entity = db.table(&aq.entity_table)?;
+    let item_table = db.table(aq.item_table.as_deref().expect("recommendation has an item table"))?;
+    let item_col = target
+        .column_by_name(aq.value_column.as_deref().expect("list_distinct has a column"))
+        .expect("analyzer validated the column");
+    // Recommendation targets join to the entity directly via the first step.
+    let fk_col_name = &aq
+        .join_path
+        .first()
+        .ok_or_else(|| {
+            PqError::Analyze("recommendation target must reference the entity table".into())
+        })?
+        .fk_column;
+    let fk_col = target.column_by_name(fk_col_name).expect("fk column exists");
+    let mut index: HashMap<usize, Vec<(Timestamp, usize)>> = HashMap::new();
+    for row in 0..target.len() {
+        let ekey = fk_col.get(row);
+        let ikey = item_col.get(row);
+        if ekey.is_null() || ikey.is_null() {
+            continue;
+        }
+        let (Some(erow), Some(irow), Some(t)) =
+            (entity.row_by_key(&ekey), item_table.row_by_key(&ikey), target.row_timestamp(row))
+        else {
+            continue;
+        };
+        index.entry(erow).or_insert_with(Vec::new).push((t, irow));
+    }
+    for v in index.values_mut() {
+        v.sort_unstable();
+    }
+    Ok(index)
+}
+
+fn history_before(
+    index: &HashMap<usize, Vec<(Timestamp, usize)>>,
+    entity: usize,
+    anchor: Timestamp,
+) -> Vec<usize> {
+    match index.get(&entity) {
+        Some(rows) => {
+            let hi = rows.partition_point(|&(t, _)| t <= anchor);
+            rows[..hi].iter().map(|&(_, i)| i).collect()
+        }
+        None => Vec::new(),
+    }
+}
+
+fn run_recommendation(
+    db: &Database,
+    aq: &AnalyzedQuery,
+    table: &TrainingTable,
+    cfg: &ExecConfig,
+) -> PqResult<(Vec<(String, f64)>, Vec<Prediction>)> {
+    let item_table_name = aq.item_table.as_deref().expect("recommendation item table");
+    let item_table = db.table(item_table_name)?;
+    let index = interaction_index(db, aq)?;
+    let k = cfg.top_k;
+    let deploy = deploy_anchor(db);
+    let deploy_rows = {
+        let mut rows = alive_entities(db, aq, deploy)?;
+        if let Some(cap) = cfg.max_predictions {
+            rows.truncate(cap);
+        }
+        rows
+    };
+
+    // Evaluation targets: test examples with at least one future positive.
+    let eval: Vec<&Example> =
+        table.test.iter().filter(|e| !e.label.items().is_empty()).collect();
+    if eval.is_empty() {
+        return Err(PqError::TrainingTable(
+            "no test-split entities with future interactions to evaluate on".into(),
+        ));
+    }
+    let relevant: Vec<HashSet<u64>> = eval
+        .iter()
+        .map(|e| e.label.items().iter().map(|&i| i as u64).collect())
+        .collect();
+
+    let (recommended, deploy_recs): (Vec<Vec<u64>>, Vec<Vec<usize>>) = match cfg.model {
+        ModelChoice::Gnn => {
+            let (graph, mapping) = build_graph(db, &ConvertOptions::default())?;
+            let node_type = mapping
+                .node_type(&aq.entity_table)
+                .ok_or_else(|| PqError::Execution("entity table missing from graph".into()))?;
+            let item_type = mapping
+                .node_type(item_table_name)
+                .ok_or_else(|| PqError::Execution("item table missing from graph".into()))?;
+            let to_pairs = |examples: &[Example]| {
+                let mut pairs = Vec::new();
+                for e in examples {
+                    let seed = Seed { node_type, node: e.entity_row, time: e.anchor };
+                    for &item in e.label.items() {
+                        pairs.push((seed, item));
+                    }
+                }
+                pairs
+            };
+            let pairs = to_pairs(&table.train);
+            let val_pairs = to_pairs(&table.val);
+            let tt_cfg = TwoTowerConfig {
+                embed_dim: cfg.hidden_dim.min(32),
+                hidden_dim: cfg.hidden_dim,
+                fanouts: cfg.fanouts.clone(),
+                epochs: cfg.epochs,
+                batch_size: cfg.batch_size,
+                // BPR is step-size sensitive; cap below the node-task rate.
+                lr: cfg.lr.min(0.005),
+                eval_k: cfg.top_k,
+                seed: cfg.seed,
+                ..Default::default()
+            };
+            let model = train_two_tower(&graph, item_type, &pairs, &val_pairs, &tt_cfg)?;
+            let seeds: Vec<Seed> = eval
+                .iter()
+                .map(|e| Seed { node_type, node: e.entity_row, time: e.anchor })
+                .collect();
+            let exclude: Vec<HashSet<usize>> = eval
+                .iter()
+                .map(|e| history_before(&index, e.entity_row, e.anchor).into_iter().collect())
+                .collect();
+            let recs = model.recommend(&graph, &seeds, k, &exclude);
+            let deploy_seeds: Vec<Seed> = deploy_rows
+                .iter()
+                .map(|&r| Seed { node_type, node: r, time: deploy })
+                .collect();
+            let deploy_exclude: Vec<HashSet<usize>> = deploy_rows
+                .iter()
+                .map(|&r| history_before(&index, r, deploy).into_iter().collect())
+                .collect();
+            let deploy_recs = model.recommend(&graph, &deploy_seeds, k, &deploy_exclude);
+            (
+                recs.into_iter().map(|r| r.into_iter().map(|i| i as u64).collect()).collect(),
+                deploy_recs,
+            )
+        }
+        ModelChoice::Popularity | ModelChoice::CoVisit | ModelChoice::Trivial => {
+            // Fit on interactions visible at the *latest training anchor*.
+            let train_cut = table
+                .train
+                .iter()
+                .chain(&table.val)
+                .map(|e| e.anchor)
+                .max()
+                .unwrap_or(deploy);
+            let mut interactions: Vec<(u64, u64)> = Vec::new();
+            for (&erow, rows) in &index {
+                for &(t, item) in rows {
+                    if t <= train_cut {
+                        interactions.push((erow as u64, item as u64));
+                    }
+                }
+            }
+            let recommend_for = |entity: usize, anchor: Timestamp| -> Vec<u64> {
+                let history: Vec<u64> = history_before(&index, entity, anchor)
+                    .into_iter()
+                    .map(|i| i as u64)
+                    .collect();
+                match cfg.model {
+                    ModelChoice::CoVisit => {
+                        CO_VISIT.with(|c| c.borrow().as_ref().expect("fitted").recommend(&history, k))
+                    }
+                    _ => {
+                        let seen: HashSet<u64> = history.into_iter().collect();
+                        POPULARITY.with(|c| c.borrow().as_ref().expect("fitted").recommend(k, &seen))
+                    }
+                }
+            };
+            // Fit once into thread-locals (simple memo for the two closures).
+            POPULARITY.with(|c| *c.borrow_mut() = Some(PopularityRecommender::fit(&interactions)));
+            CO_VISIT.with(|c| *c.borrow_mut() = Some(CoVisitRecommender::fit(&interactions)));
+            let recs: Vec<Vec<u64>> =
+                eval.iter().map(|e| recommend_for(e.entity_row, e.anchor)).collect();
+            let deploy_recs: Vec<Vec<usize>> = deploy_rows
+                .iter()
+                .map(|&r| {
+                    recommend_for(r, deploy).into_iter().map(|i| i as usize).collect()
+                })
+                .collect();
+            (recs, deploy_recs)
+        }
+        _ => {
+            return Err(PqError::Analyze(format!(
+                "model `{}` does not support recommendation queries",
+                cfg.model
+            )))
+        }
+    };
+
+    let metrics = vec![
+        (format!("map@{k}"), metrics::map_at_k(&recommended, &relevant, k)),
+        (format!("recall@{k}"), metrics::recall_at_k(&recommended, &relevant, k)),
+        (format!("ndcg@{k}"), metrics::ndcg_at_k(&recommended, &relevant, k)),
+    ];
+    let item_pk = item_table.schema().primary_key_index().ok_or_else(|| {
+        PqError::Analyze(format!("item table `{item_table_name}` needs a primary key"))
+    })?;
+    let predictions = deploy_rows
+        .iter()
+        .zip(deploy_recs)
+        .map(|(&row, items)| Prediction {
+            entity_key: entity_key(db, aq, row),
+            value: PredictionValue::Items(
+                items.into_iter().map(|i| item_table.value(i, item_pk)).collect(),
+            ),
+        })
+        .collect();
+    Ok((metrics, predictions))
+}
+
+thread_local! {
+    static POPULARITY: std::cell::RefCell<Option<PopularityRecommender>> =
+        const { std::cell::RefCell::new(None) };
+    static CO_VISIT: std::cell::RefCell<Option<CoVisitRecommender>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relgraph_datagen::{generate_ecommerce, EcommerceConfig};
+
+    fn shop() -> Database {
+        generate_ecommerce(&EcommerceConfig {
+            customers: 60,
+            products: 20,
+            seed: 5,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    fn fast() -> ExecConfig {
+        ExecConfig {
+            epochs: 4,
+            hidden_dim: 16,
+            fanouts: vec![5, 5],
+            max_predictions: Some(20),
+            gbdt_rounds: 40,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn classification_end_to_end_gnn() {
+        let db = shop();
+        let out = execute(
+            &db,
+            "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id",
+            &fast(),
+        )
+        .unwrap();
+        assert_eq!(out.task, TaskType::Classification);
+        assert_eq!(out.model, ModelChoice::Gnn);
+        assert!(out.metric("accuracy").is_some());
+        assert!(!out.predictions.is_empty());
+        for p in &out.predictions {
+            match &p.value {
+                PredictionValue::Score(s) => assert!((0.0..=1.0).contains(s)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(out.summary().contains("classification"));
+        assert!(out.explain.contains("Join path"));
+    }
+
+    #[test]
+    fn using_clause_switches_models() {
+        let db = shop();
+        for model in ["gbdt", "logreg", "trivial"] {
+            let out = execute(
+                &db,
+                &format!(
+                    "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id \
+                     USING model = {model}"
+                ),
+                &fast(),
+            )
+            .unwrap();
+            assert!(out.metric("accuracy").is_some(), "{model} produced no metrics");
+        }
+    }
+
+    #[test]
+    fn regression_end_to_end() {
+        let db = shop();
+        for model in ["gnn", "gbdt", "linreg", "trivial"] {
+            let out = execute(
+                &db,
+                &format!(
+                    "PREDICT COUNT(orders.*, 0, 30) FOR EACH customers.customer_id \
+                     USING model = {model}"
+                ),
+                &fast(),
+            )
+            .unwrap();
+            assert_eq!(out.task, TaskType::Regression);
+            assert!(out.metric("mae").is_some(), "{model} produced no MAE");
+        }
+    }
+
+    #[test]
+    fn recommendation_end_to_end() {
+        let db = shop();
+        for model in ["gnn", "popularity", "covisit"] {
+            let out = execute(
+                &db,
+                &format!(
+                    "PREDICT LIST_DISTINCT(orders.product_id, 0, 60) \
+                     FOR EACH customers.customer_id USING model = {model}, k = 5"
+                ),
+                &fast(),
+            )
+            .unwrap();
+            assert_eq!(out.task, TaskType::Recommendation);
+            let recall = out.metric("recall@5").unwrap();
+            assert!((0.0..=1.0).contains(&recall), "{model} recall {recall}");
+            for p in &out.predictions {
+                match &p.value {
+                    PredictionValue::Items(items) => assert!(items.len() <= 5),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn where_filter_limits_predictions() {
+        let db = shop();
+        let all = execute(
+            &db,
+            "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id USING model = trivial",
+            &ExecConfig { max_predictions: None, ..fast() },
+        )
+        .unwrap();
+        let north = execute(
+            &db,
+            "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id \
+             WHERE region = 'north' USING model = trivial",
+            &ExecConfig { max_predictions: None, ..fast() },
+        )
+        .unwrap();
+        assert!(north.predictions.len() < all.predictions.len());
+        assert!(!north.predictions.is_empty());
+    }
+
+    #[test]
+    fn mode_multiclass_end_to_end() {
+        let db = shop();
+        for model in ["gnn", "gbdt", "logreg", "trivial"] {
+            let out = execute(
+                &db,
+                &format!(
+                    "PREDICT MODE(orders.channel, 0, 60) FOR EACH customers.customer_id \
+                     USING model = {model}"
+                ),
+                &fast(),
+            )
+            .unwrap_or_else(|e| panic!("{model}: {e}"));
+            assert_eq!(out.task, TaskType::Multiclass);
+            let acc = out.metric("accuracy").unwrap();
+            assert!((0.0..=1.0).contains(&acc), "{model} accuracy {acc}");
+            assert!(out.metric("macro_f1").is_some());
+            assert!(out.metric("classes").unwrap() >= 2.0);
+            for p in &out.predictions {
+                match &p.value {
+                    PredictionValue::Class(c) => {
+                        assert!(["web", "app", "store"].contains(&c.as_str()))
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mode_beats_majority_class() {
+        // The sticky-channel signal is in each customer's history.
+        let db = shop();
+        let q = "PREDICT MODE(orders.channel, 0, 90) FOR EACH customers.customer_id";
+        let trivial = execute(&db, &format!("{q} USING model = trivial"), &fast()).unwrap();
+        let gbdt = execute(&db, &format!("{q} USING model = gbdt"), &fast()).unwrap();
+        assert!(
+            gbdt.metric("accuracy").unwrap() > trivial.metric("accuracy").unwrap(),
+            "gbdt {:?} should beat majority {:?}",
+            gbdt.metric("accuracy"),
+            trivial.metric("accuracy")
+        );
+    }
+
+    #[test]
+    fn mode_rejects_bad_columns() {
+        let db = shop();
+        // FLOAT column.
+        assert!(execute(
+            &db,
+            "PREDICT MODE(orders.amount, 0, 30) FOR EACH customers.customer_id",
+            &fast()
+        )
+        .is_err());
+        // FK column.
+        assert!(execute(
+            &db,
+            "PREDICT MODE(orders.product_id, 0, 30) FOR EACH customers.customer_id",
+            &fast()
+        )
+        .is_err());
+        // Comparison.
+        assert!(execute(
+            &db,
+            "PREDICT MODE(orders.channel, 0, 30) > 1 FOR EACH customers.customer_id",
+            &fast()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn bad_using_option_rejected() {
+        let db = shop();
+        assert!(execute(
+            &db,
+            "PREDICT COUNT(orders.*, 0, 30) FOR EACH customers.customer_id USING bogus = 1",
+            &fast()
+        )
+        .is_err());
+        assert!(execute(
+            &db,
+            "PREDICT COUNT(orders.*, 0, 30) FOR EACH customers.customer_id USING model = nope",
+            &fast()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn popularity_on_node_task_rejected() {
+        let db = shop();
+        let err = execute(
+            &db,
+            "PREDICT COUNT(orders.*, 0, 30) FOR EACH customers.customer_id USING model = popularity",
+            &fast(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PqError::Analyze(_)));
+    }
+}

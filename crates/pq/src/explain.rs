@@ -1,0 +1,102 @@
+//! Human-readable rendering of a compiled predictive query.
+
+use relgraph_store::Database;
+
+use crate::analyze::AnalyzedQuery;
+use crate::traintable::TrainingTable;
+
+/// Render the compiled plan: task, label definition, join path, anchor
+/// schedule and split sizes.
+pub fn explain(db: &Database, aq: &AnalyzedQuery, table: Option<&TrainingTable>) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Predictive query : {}\n", aq.query));
+    out.push_str(&format!("Task             : {}\n", aq.task));
+    out.push_str(&format!(
+        "Entity set       : {} rows of `{}`{}\n",
+        db.table(&aq.entity_table).map(|t| t.len()).unwrap_or(0),
+        aq.entity_table,
+        if aq.filter.is_some() { " (filtered)" } else { "" }
+    ));
+    out.push_str(&format!(
+        "Label            : {}({}{}) over ({}d, {}d] after each anchor{}\n",
+        aq.query.target.agg,
+        aq.value_column.as_deref().unwrap_or("*"),
+        match &aq.query.target.filter {
+            Some(c) => format!(" WHERE {c}"),
+            None => String::new(),
+        },
+        aq.query.target.start_days,
+        aq.query.target.end_days,
+        match &aq.query.target.compare {
+            Some((op, v)) => format!(", thresholded {op} {v}"),
+            None => String::new(),
+        }
+    ));
+    if aq.join_path.is_empty() {
+        out.push_str(&format!("Join path        : `{}` is the entity table\n", aq.target_table));
+    } else {
+        let mut path = aq.target_table.clone();
+        for (i, step) in aq.join_path.iter().enumerate() {
+            let next = aq
+                .join_path
+                .get(i + 1)
+                .map(|s| s.table.as_str())
+                .unwrap_or(&aq.entity_table);
+            path.push_str(&format!(" --{}.{}--> {}", step.table, step.fk_column, next));
+        }
+        out.push_str(&format!("Join path        : {path}\n"));
+    }
+    if let Some(item) = &aq.item_table {
+        out.push_str(&format!("Item table       : `{item}` (ranking target)\n"));
+    }
+    if let Some(t) = table {
+        out.push_str(&format!(
+            "Anchors          : {} ({} … {})\n",
+            t.anchors.len(),
+            t.anchors.first().copied().unwrap_or(0),
+            t.anchors.last().copied().unwrap_or(0)
+        ));
+        out.push_str(&format!(
+            "Training table   : {} train / {} val / {} test examples (temporal split)\n",
+            t.train.len(),
+            t.val.len(),
+            t.test.len()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::parser::parse;
+    use crate::traintable::{build_training_table, TrainTableConfig};
+    use relgraph_datagen::{generate_ecommerce, EcommerceConfig};
+
+    #[test]
+    fn explain_mentions_all_parts() {
+        let db = generate_ecommerce(&EcommerceConfig {
+            customers: 30,
+            products: 10,
+            ..Default::default()
+        })
+        .unwrap();
+        let aq = analyze(
+            &db,
+            parse(
+                "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id \
+                 WHERE region = 'north'",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let tt = build_training_table(&db, &aq, &TrainTableConfig::default()).unwrap();
+        let s = explain(&db, &aq, Some(&tt));
+        for needle in
+            ["binary classification", "orders", "customers", "filtered", "Anchors", "train /"]
+        {
+            assert!(s.contains(needle), "missing `{needle}` in:\n{s}");
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Tokenizer for the predictive-query language.
+
+use crate::error::{PqError, PqResult};
+
+/// A lexical token with its byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub position: usize,
+}
+
+/// Token kinds. Keywords are case-insensitive; identifiers preserve case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Keywords.
+    Predict,
+    For,
+    Each,
+    Where,
+    Using,
+    And,
+    Or,
+    Not,
+    Is,
+    Null,
+    True,
+    False,
+    /// Aggregate keyword, stored canonically.
+    Aggregate(crate::ast::Agg),
+    // Literals / names.
+    Ident(String),
+    Number(f64),
+    Str(String),
+    // Punctuation.
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Number(v) => format!("number `{v}`"),
+            TokenKind::Str(s) => format!("string '{s}'"),
+            TokenKind::Aggregate(a) => format!("aggregate `{a}`"),
+            TokenKind::Eof => "end of query".to_string(),
+            other => format!("{other:?}").to_uppercase(),
+        }
+    }
+}
+
+fn keyword(word: &str) -> Option<TokenKind> {
+    use crate::ast::Agg;
+    let up = word.to_ascii_uppercase();
+    Some(match up.as_str() {
+        "PREDICT" => TokenKind::Predict,
+        "FOR" => TokenKind::For,
+        "EACH" => TokenKind::Each,
+        "WHERE" => TokenKind::Where,
+        "USING" => TokenKind::Using,
+        "AND" => TokenKind::And,
+        "OR" => TokenKind::Or,
+        "NOT" => TokenKind::Not,
+        "IS" => TokenKind::Is,
+        "NULL" => TokenKind::Null,
+        "TRUE" => TokenKind::True,
+        "FALSE" => TokenKind::False,
+        "COUNT" => TokenKind::Aggregate(Agg::Count),
+        "COUNT_DISTINCT" => TokenKind::Aggregate(Agg::CountDistinct),
+        "SUM" => TokenKind::Aggregate(Agg::Sum),
+        "AVG" => TokenKind::Aggregate(Agg::Avg),
+        "MIN" => TokenKind::Aggregate(Agg::Min),
+        "MAX" => TokenKind::Aggregate(Agg::Max),
+        "EXISTS" => TokenKind::Aggregate(Agg::Exists),
+        "LIST_DISTINCT" => TokenKind::Aggregate(Agg::ListDistinct),
+        "MODE" => TokenKind::Aggregate(Agg::Mode),
+        _ => return None,
+    })
+}
+
+/// Tokenize a query string.
+pub fn tokenize(input: &str) -> PqResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, position: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, position: start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, position: start });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, position: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, position: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, position: start });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ne, position: start });
+                    i += 2;
+                } else {
+                    return Err(PqError::Parse {
+                        position: start,
+                        message: "expected `!=`".to_string(),
+                    });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Le, position: start });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::Ne, position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, position: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, position: start });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut j = i + 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(j) {
+                        Some(b'\'') if bytes.get(j + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            j += 2;
+                        }
+                        Some(b'\'') => {
+                            j += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            j += 1;
+                        }
+                        None => {
+                            return Err(PqError::Parse {
+                                position: start,
+                                message: "unterminated string literal".to_string(),
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), position: start });
+                i = j;
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) =>
+            {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.' || bytes[j] == b'e'
+                        || bytes[j] == b'E'
+                        || (j > i
+                            && (bytes[j] == b'-' || bytes[j] == b'+')
+                            && (bytes[j - 1] == b'e' || bytes[j - 1] == b'E')))
+                {
+                    j += 1;
+                }
+                let text = &input[i..j];
+                let v: f64 = text.parse().map_err(|_| PqError::Parse {
+                    position: start,
+                    message: format!("invalid number `{text}`"),
+                })?;
+                tokens.push(Token { kind: TokenKind::Number(v), position: start });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &input[i..j];
+                let kind =
+                    keyword(word).unwrap_or_else(|| TokenKind::Ident(word.to_string()));
+                tokens.push(Token { kind, position: start });
+                i = j;
+            }
+            other => {
+                return Err(PqError::Parse {
+                    position: start,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, position: input.len() });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Agg;
+
+    fn kinds(s: &str) -> Vec<TokenKind> {
+        tokenize(s).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            kinds("predict Count FOR each"),
+            vec![
+                TokenKind::Predict,
+                TokenKind::Aggregate(Agg::Count),
+                TokenKind::For,
+                TokenKind::Each,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_strings_idents() {
+        assert_eq!(
+            kinds("orders 3.5 -2 'a b' 1e3"),
+            vec![
+                TokenKind::Ident("orders".into()),
+                TokenKind::Number(3.5),
+                TokenKind::Number(-2.0),
+                TokenKind::Str("a b".into()),
+                TokenKind::Number(1000.0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= != < <= > >= <>"),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Ne,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_quote_escapes() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::Str("it's".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn punctuation_and_star() {
+        assert_eq!(
+            kinds("a.b(*, c)"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("b".into()),
+                TokenKind::LParen,
+                TokenKind::Star,
+                TokenKind::Comma,
+                TokenKind::Ident("c".into()),
+                TokenKind::RParen,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        match tokenize("abc $") {
+            Err(PqError::Parse { position, .. }) => assert_eq!(position, 4),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(tokenize("'open").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+}

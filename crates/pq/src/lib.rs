@@ -1,0 +1,65 @@
+//! # relgraph-pq — predictive queries for declarative machine learning
+//!
+//! The paper's primary contribution: a declarative query language whose
+//! answers are *predictions* rather than stored facts, compiled end-to-end
+//! into an ML pipeline over the database-as-a-graph.
+//!
+//! ```text
+//! PREDICT COUNT(orders.order_id, 0, 30) > 0
+//! FOR EACH customers.customer_id
+//! WHERE customers.region = 'north'
+//! USING model = gnn, epochs = 20
+//! ```
+//!
+//! reads: *for each (north-region) customer, predict whether they will
+//! place at least one order in the next 30 days.* The query text alone
+//! determines:
+//!
+//! * the **entity set** (`FOR EACH` table + filter),
+//! * the **label computation** (aggregate over a future time window,
+//!   joined to the entity through foreign keys),
+//! * the **task type** — comparison ⇒ binary classification, bare numeric
+//!   aggregate ⇒ regression, `LIST_DISTINCT` over an FK column ⇒
+//!   recommendation,
+//! * the **training-table construction** (historical anchor times, labels
+//!   from each anchor's future, features from its past, temporal
+//!   train/val/test split),
+//! * and the **model** (temporal hetero-GNN by default; feature-engineered
+//!   tabular baselines by request).
+//!
+//! Pipeline stages, one module each: [`lexer`] → [`parser`] →
+//! [`mod@analyze`] → [`traintable`] → [`exec`], with [`mod@explain`]
+//! rendering the compiled plan for humans.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use relgraph_pq::{execute, ExecConfig};
+//! use relgraph_datagen::{generate_ecommerce, EcommerceConfig};
+//!
+//! let db = generate_ecommerce(&EcommerceConfig::default()).unwrap();
+//! let outcome = execute(
+//!     &db,
+//!     "PREDICT COUNT(orders.order_id, 0, 30) > 0 FOR EACH customers.customer_id",
+//!     &ExecConfig::default(),
+//! )
+//! .unwrap();
+//! println!("{}", outcome.summary());
+//! ```
+
+pub mod analyze;
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod explain;
+pub mod lexer;
+pub mod parser;
+pub mod traintable;
+
+pub use analyze::{analyze, AnalyzedQuery, TaskType};
+pub use ast::{Agg, CmpOp, ColumnRef, Cond, Literal, PredictiveQuery, TargetExpr};
+pub use error::{PqError, PqResult};
+pub use exec::{execute, ExecConfig, ModelChoice, Prediction, PredictionValue, QueryOutcome};
+pub use explain::explain;
+pub use parser::parse;
+pub use traintable::{build_training_table, Example, Label, SplitSpec, TrainingTable};

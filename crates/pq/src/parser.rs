@@ -1,0 +1,411 @@
+//! Recursive-descent parser for predictive queries.
+//!
+//! ```text
+//! query    := PREDICT target FOR EACH colref [WHERE cond] [USING opts]
+//! target   := AGG '(' colref [WHERE cond] ',' num ',' num ')' [cmpop num]
+//! colref   := ident '.' (ident | '*')
+//! cond     := or ; or := and (OR and)* ; and := unary (AND unary)*
+//! unary    := NOT unary | '(' cond ')' | predicate
+//! predicate:= ident cmpop literal | ident IS [NOT] NULL
+//! opts     := ident '=' (ident | num | string) {',' …}
+//! ```
+
+use crate::ast::{CmpOp, ColumnRef, Cond, Literal, PredictiveQuery, TargetExpr};
+use crate::error::{PqError, PqResult};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn position(&self) -> usize {
+        self.tokens[self.pos].position
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> PqResult<T> {
+        Err(PqError::Parse { position: self.position(), message: message.into() })
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> PqResult<()> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {}", self.peek().describe()))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> PqResult<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected {what}, found {}", other.describe())),
+        }
+    }
+
+    fn number(&mut self, what: &str) -> PqResult<f64> {
+        match *self.peek() {
+            TokenKind::Number(v) => {
+                self.bump();
+                Ok(v)
+            }
+            ref other => self.err(format!("expected {what}, found {}", other.describe())),
+        }
+    }
+
+    fn colref(&mut self) -> PqResult<ColumnRef> {
+        let table = self.ident("a table name")?;
+        self.expect(&TokenKind::Dot, "`.`")?;
+        let column = match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                s
+            }
+            TokenKind::Star => {
+                self.bump();
+                "*".to_string()
+            }
+            other => return self.err(format!("expected a column name, found {}", other.describe())),
+        };
+        Ok(ColumnRef { table, column })
+    }
+
+    fn cmp_op(&mut self) -> Option<CmpOp> {
+        let op = match self.peek() {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            _ => return None,
+        };
+        self.bump();
+        Some(op)
+    }
+
+    fn target(&mut self) -> PqResult<TargetExpr> {
+        let agg = match self.peek().clone() {
+            TokenKind::Aggregate(a) => {
+                self.bump();
+                a
+            }
+            other => {
+                return self.err(format!(
+                    "expected an aggregate (COUNT, SUM, …), found {}",
+                    other.describe()
+                ))
+            }
+        };
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let target = self.colref()?;
+        let filter = if *self.peek() == TokenKind::Where {
+            self.bump();
+            Some(self.cond_or()?)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::Comma, "`,`")?;
+        let start = self.number("the window start (days)")?;
+        self.expect(&TokenKind::Comma, "`,`")?;
+        let end = self.number("the window end (days)")?;
+        self.expect(&TokenKind::RParen, "`)`")?;
+        if start.fract() != 0.0 || end.fract() != 0.0 {
+            return self.err("window offsets must be whole days");
+        }
+        let compare = match self.cmp_op() {
+            Some(op) => Some((op, self.number("a comparison constant")?)),
+            None => None,
+        };
+        Ok(TargetExpr {
+            agg,
+            target,
+            filter,
+            start_days: start as i64,
+            end_days: end as i64,
+            compare,
+        })
+    }
+
+    fn literal(&mut self) -> PqResult<Literal> {
+        match self.peek().clone() {
+            TokenKind::Number(v) => {
+                self.bump();
+                Ok(Literal::Num(v))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Literal::Str(s))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Literal::Bool(true))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Literal::Bool(false))
+            }
+            other => self.err(format!("expected a literal, found {}", other.describe())),
+        }
+    }
+
+    fn predicate(&mut self) -> PqResult<Cond> {
+        let column = self.ident("a column name")?;
+        if *self.peek() == TokenKind::Is {
+            self.bump();
+            let negated = if *self.peek() == TokenKind::Not {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            self.expect(&TokenKind::Null, "NULL")?;
+            return Ok(Cond::IsNull { column, negated });
+        }
+        let Some(op) = self.cmp_op() else {
+            return self.err(format!(
+                "expected a comparison operator, found {}",
+                self.peek().describe()
+            ));
+        };
+        let value = self.literal()?;
+        Ok(Cond::Cmp { column, op, value })
+    }
+
+    fn cond_unary(&mut self) -> PqResult<Cond> {
+        match self.peek() {
+            TokenKind::Not => {
+                self.bump();
+                Ok(Cond::Not(Box::new(self.cond_unary()?)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let c = self.cond_or()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(c)
+            }
+            _ => self.predicate(),
+        }
+    }
+
+    fn cond_and(&mut self) -> PqResult<Cond> {
+        let mut left = self.cond_unary()?;
+        while *self.peek() == TokenKind::And {
+            self.bump();
+            let right = self.cond_unary()?;
+            left = Cond::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn cond_or(&mut self) -> PqResult<Cond> {
+        let mut left = self.cond_and()?;
+        while *self.peek() == TokenKind::Or {
+            self.bump();
+            let right = self.cond_and()?;
+            left = Cond::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn options(&mut self) -> PqResult<Vec<(String, String)>> {
+        let mut opts = Vec::new();
+        loop {
+            let key = self.ident("an option name")?;
+            self.expect(&TokenKind::Eq, "`=`")?;
+            let value = match self.peek().clone() {
+                TokenKind::Ident(s) => {
+                    self.bump();
+                    s
+                }
+                TokenKind::Number(v) => {
+                    self.bump();
+                    if v.fract() == 0.0 {
+                        format!("{}", v as i64)
+                    } else {
+                        format!("{v}")
+                    }
+                }
+                TokenKind::Str(s) => {
+                    self.bump();
+                    s
+                }
+                TokenKind::True => {
+                    self.bump();
+                    "true".to_string()
+                }
+                TokenKind::False => {
+                    self.bump();
+                    "false".to_string()
+                }
+                // Aggregate keywords double as plain option values
+                // (`USING agg = sum`).
+                TokenKind::Aggregate(a) => {
+                    self.bump();
+                    a.keyword().to_ascii_lowercase()
+                }
+                other => {
+                    return self.err(format!(
+                        "expected an option value, found {}",
+                        other.describe()
+                    ))
+                }
+            };
+            opts.push((key.to_ascii_lowercase(), value));
+            if *self.peek() == TokenKind::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(opts)
+    }
+
+    fn query(&mut self) -> PqResult<PredictiveQuery> {
+        self.expect(&TokenKind::Predict, "PREDICT")?;
+        let target = self.target()?;
+        self.expect(&TokenKind::For, "FOR")?;
+        self.expect(&TokenKind::Each, "EACH")?;
+        let entity = self.colref()?;
+        let filter = if *self.peek() == TokenKind::Where {
+            self.bump();
+            Some(self.cond_or()?)
+        } else {
+            None
+        };
+        let options = if *self.peek() == TokenKind::Using {
+            self.bump();
+            self.options()?
+        } else {
+            Vec::new()
+        };
+        if *self.peek() != TokenKind::Eof {
+            return self.err(format!("unexpected trailing {}", self.peek().describe()));
+        }
+        Ok(PredictiveQuery { target, entity, filter, options })
+    }
+}
+
+/// Parse a predictive query.
+pub fn parse(input: &str) -> PqResult<PredictiveQuery> {
+    let tokens = tokenize(input)?;
+    Parser { tokens, pos: 0 }.query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Agg;
+
+    #[test]
+    fn minimal_query() {
+        let q = parse("PREDICT COUNT(orders.*, 0, 30) FOR EACH customers.customer_id").unwrap();
+        assert_eq!(q.target.agg, Agg::Count);
+        assert_eq!(q.target.target.table, "orders");
+        assert_eq!(q.target.target.column, "*");
+        assert_eq!(q.target.start_days, 0);
+        assert_eq!(q.target.end_days, 30);
+        assert!(q.target.compare.is_none());
+        assert_eq!(q.entity.table, "customers");
+        assert!(q.filter.is_none());
+        assert!(q.options.is_empty());
+    }
+
+    #[test]
+    fn classification_via_comparison() {
+        let q = parse("PREDICT COUNT(orders.order_id, 0, 30) > 0 FOR EACH customers.customer_id")
+            .unwrap();
+        assert_eq!(q.target.compare, Some((CmpOp::Gt, 0.0)));
+    }
+
+    #[test]
+    fn where_clause_with_precedence() {
+        let q = parse(
+            "PREDICT SUM(orders.amount, 0, 7) FOR EACH customers.customer_id \
+             WHERE region = 'north' AND age > 20 OR NOT vip = true",
+        )
+        .unwrap();
+        // AND binds tighter than OR.
+        match q.filter.unwrap() {
+            Cond::Or(left, right) => {
+                assert!(matches!(*left, Cond::And(_, _)));
+                assert!(matches!(*right, Cond::Not(_)));
+            }
+            other => panic!("wrong tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn is_null_predicates() {
+        let q = parse(
+            "PREDICT EXISTS(orders.*, 0, 30) FOR EACH customers.customer_id \
+             WHERE email IS NOT NULL AND phone IS NULL",
+        )
+        .unwrap();
+        let f = q.filter.unwrap().to_string();
+        assert!(f.contains("email IS NOT NULL"));
+        assert!(f.contains("phone IS NULL"));
+    }
+
+    #[test]
+    fn using_options() {
+        let q = parse(
+            "PREDICT COUNT(orders.*, 0, 30) FOR EACH customers.customer_id \
+             USING model = gbdt, epochs = 20, lr = 0.05",
+        )
+        .unwrap();
+        assert_eq!(
+            q.options,
+            vec![
+                ("model".to_string(), "gbdt".to_string()),
+                ("epochs".to_string(), "20".to_string()),
+                ("lr".to_string(), "0.05".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_print_parse_fixpoint() {
+        let texts = [
+            "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id",
+            "PREDICT SUM(orders.amount, 7, 37) FOR EACH customers.customer_id WHERE region = 'north'",
+            "PREDICT LIST_DISTINCT(orders.product_id, 0, 14) FOR EACH customers.customer_id USING model = gnn",
+        ];
+        for t in texts {
+            let q1 = parse(t).unwrap();
+            let q2 = parse(&q1.to_string()).unwrap();
+            assert_eq!(q1, q2, "fixpoint failed for `{t}`");
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("").is_err());
+        assert!(parse("SELECT * FROM x").is_err());
+        assert!(parse("PREDICT COUNT(orders.*, 0) FOR EACH c.id").is_err());
+        assert!(parse("PREDICT COUNT(orders.*, 0, 30) FOR EACH c.id extra").is_err());
+        assert!(parse("PREDICT COUNT(orders.*, 0.5, 30) FOR EACH c.id").is_err());
+        assert!(parse("PREDICT COUNT(orders.*, 0, 30) WHERE x = 1").is_err());
+        // Errors carry positions.
+        match parse("PREDICT BOGUS(orders.*, 0, 30) FOR EACH c.id") {
+            Err(PqError::Parse { position, .. }) => assert_eq!(position, 8),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the predictive-query language.
+
+use proptest::prelude::*;
+use relgraph_pq::{parse, Agg, CmpOp, ColumnRef, Cond, Literal, PredictiveQuery, TargetExpr};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}".prop_filter("avoid keywords", |s| {
+        !matches!(
+            s.to_ascii_uppercase().as_str(),
+            "PREDICT" | "FOR" | "EACH" | "WHERE" | "USING" | "AND" | "OR" | "NOT" | "IS"
+                | "NULL" | "TRUE" | "FALSE" | "COUNT" | "SUM" | "AVG" | "MIN" | "MAX"
+                | "EXISTS" | "COUNT_DISTINCT" | "LIST_DISTINCT"
+        )
+    })
+}
+
+fn agg() -> impl Strategy<Value = Agg> {
+    prop_oneof![
+        Just(Agg::Count),
+        Just(Agg::CountDistinct),
+        Just(Agg::Sum),
+        Just(Agg::Avg),
+        Just(Agg::Min),
+        Just(Agg::Max),
+        Just(Agg::Exists),
+        Just(Agg::ListDistinct),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(|v| Literal::Num(v as f64)),
+        "[a-z]{0,8}".prop_map(Literal::Str),
+        any::<bool>().prop_map(Literal::Bool),
+    ]
+}
+
+fn cond(depth: u32) -> BoxedStrategy<Cond> {
+    let leaf = prop_oneof![
+        (ident(), cmp_op(), literal())
+            .prop_map(|(column, op, value)| Cond::Cmp { column, op, value }),
+        (ident(), any::<bool>()).prop_map(|(column, negated)| Cond::IsNull { column, negated }),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        let inner = cond(depth - 1);
+        prop_oneof![
+            leaf,
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Cond::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Cond::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|c| Cond::Not(Box::new(c))),
+        ]
+        .boxed()
+    }
+}
+
+fn query() -> impl Strategy<Value = PredictiveQuery> {
+    (
+        agg(),
+        ident(),
+        prop_oneof![ident(), Just("*".to_string())],
+        0i64..100,
+        1i64..100,
+        proptest::option::of((cmp_op(), -100i64..100)),
+        ident(),
+        ident(),
+        proptest::option::of(cond(2)),
+        proptest::option::of(cond(1)),
+    )
+        .prop_map(
+            |(agg, t_table, t_col, start, extra, compare, e_table, e_col, filter, tfilter)| {
+                let needs_col = agg.needs_column();
+                PredictiveQuery {
+                    target: TargetExpr {
+                        agg,
+                        target: ColumnRef {
+                            table: t_table,
+                            column: if needs_col && t_col == "*" {
+                                "c".to_string()
+                            } else {
+                                t_col
+                            },
+                        },
+                        filter: tfilter,
+                        start_days: start,
+                        end_days: start + extra,
+                        compare: compare.map(|(op, v)| (op, v as f64)),
+                    },
+                    entity: ColumnRef { table: e_table, column: e_col },
+                    filter,
+                    options: Vec::new(),
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The language round-trips: printing any AST and re-parsing it yields
+    /// the same AST (print∘parse is the identity on the image of print).
+    #[test]
+    fn parse_print_parse_fixpoint(q in query()) {
+        let text = q.to_string();
+        let reparsed = parse(&text).unwrap_or_else(|e| panic!("`{text}` failed: {e}"));
+        prop_assert_eq!(reparsed, q);
+    }
+
+    /// The parser never panics on arbitrary printable input.
+    #[test]
+    fn parser_total_on_garbage(s in "[ -~]{0,80}") {
+        let _ = parse(&s);
+    }
+
+    /// Whitespace normalization does not change parses.
+    #[test]
+    fn whitespace_insensitive(q in query()) {
+        let text = q.to_string();
+        let spaced = text.replace(' ', "   ");
+        prop_assert_eq!(parse(&text).unwrap(), parse(&spaced).unwrap());
+    }
+
+    /// Keyword case does not change parses.
+    #[test]
+    fn keyword_case_insensitive(q in query()) {
+        let text = q.to_string();
+        // Lowercasing keywords only (identifiers are already lowercase).
+        let lowered = text
+            .replace("PREDICT", "predict")
+            .replace("FOR EACH", "for each")
+            .replace("WHERE", "where");
+        prop_assert_eq!(parse(&text).unwrap(), parse(&lowered).unwrap());
+    }
+}

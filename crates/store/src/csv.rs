@@ -1,0 +1,283 @@
+//! Minimal CSV import/export (RFC-4180 subset: quoted fields, embedded
+//! commas, doubled quotes; no embedded newlines inside fields).
+
+use std::io::{BufRead, Write};
+
+use crate::error::{StoreError, StoreResult};
+use crate::row::Row;
+use crate::table::Table;
+use crate::value::{DataType, Value};
+
+/// Split one CSV line into `(field, was_quoted)` pairs, honouring double
+/// quotes. Quoting matters semantically: an unquoted empty field is NULL,
+/// a quoted empty field is the empty string.
+pub fn split_line_quoted(line: &str) -> Vec<(String, bool)> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut quoted = false;
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => {
+                in_quotes = true;
+                quoted = true;
+            }
+            ',' if !in_quotes => {
+                fields.push((std::mem::take(&mut cur), quoted));
+                quoted = false;
+            }
+            _ => cur.push(c),
+        }
+    }
+    fields.push((cur, quoted));
+    fields
+}
+
+/// Split one CSV line into fields, honouring double quotes.
+pub fn split_line(line: &str) -> Vec<String> {
+    split_line_quoted(line).into_iter().map(|(f, _)| f).collect()
+}
+
+/// Quote a field if it needs quoting (empty fields are quoted so they stay
+/// distinguishable from NULL).
+pub fn quote_field(field: &str) -> String {
+    if field.is_empty() || field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Parse a textual field into a value of type `ty`. An *unquoted* empty
+/// field is NULL; a quoted empty field is the empty string (text columns
+/// only).
+pub fn parse_field_quoted(
+    field: &str,
+    quoted: bool,
+    ty: DataType,
+    line: usize,
+) -> StoreResult<Value> {
+    if field.is_empty() && !quoted {
+        return Ok(Value::Null);
+    }
+    if field.is_empty() && ty != DataType::Text {
+        return Ok(Value::Null);
+    }
+    let err = |msg: String| StoreError::Csv { line, message: msg };
+    match ty {
+        DataType::Int => field
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| err(format!("`{field}` is not an INT"))),
+        DataType::Float => field
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| err(format!("`{field}` is not a FLOAT"))),
+        DataType::Text => Ok(Value::Text(field.to_string())),
+        DataType::Bool => match field {
+            "true" | "TRUE" | "1" | "t" => Ok(Value::Bool(true)),
+            "false" | "FALSE" | "0" | "f" => Ok(Value::Bool(false)),
+            _ => Err(err(format!("`{field}` is not a BOOL"))),
+        },
+        DataType::Timestamp => field
+            .parse::<i64>()
+            .map(Value::Timestamp)
+            .map_err(|_| err(format!("`{field}` is not a TIMESTAMP"))),
+    }
+}
+
+/// Parse a textual field into a value of type `ty`. Empty string is NULL.
+pub fn parse_field(field: &str, ty: DataType, line: usize) -> StoreResult<Value> {
+    parse_field_quoted(field, false, ty, line)
+}
+
+/// Load CSV data from `reader` into `table`.
+///
+/// The first line must be a header naming a subset-free permutation of the
+/// table's columns. Returns the number of rows inserted.
+pub fn load_csv<R: BufRead>(table: &mut Table, reader: R) -> StoreResult<usize> {
+    let mut lines = reader.lines().enumerate();
+    let header = match lines.next() {
+        Some((_, Ok(h))) => h,
+        Some((i, Err(e))) => return Err(StoreError::Csv { line: i + 1, message: e.to_string() }),
+        None => return Ok(0),
+    };
+    let names = split_line(header.trim_end_matches('\r'));
+    let schema = table.schema().clone();
+    if names.len() != schema.arity() {
+        return Err(StoreError::Csv {
+            line: 1,
+            message: format!(
+                "header has {} columns, table `{}` has {}",
+                names.len(),
+                schema.name(),
+                schema.arity()
+            ),
+        });
+    }
+    // Map header position -> schema column index.
+    let mut mapping = Vec::with_capacity(names.len());
+    for n in &names {
+        let idx = schema.column_index(n).ok_or_else(|| StoreError::Csv {
+            line: 1,
+            message: format!("header column `{n}` not in table `{}`", schema.name()),
+        })?;
+        if mapping.contains(&idx) {
+            return Err(StoreError::Csv {
+                line: 1,
+                message: format!("duplicate header column `{n}`"),
+            });
+        }
+        mapping.push(idx);
+    }
+    let mut inserted = 0;
+    for (i, line) in lines {
+        let lineno = i + 1;
+        let line = line.map_err(|e| StoreError::Csv { line: lineno, message: e.to_string() })?;
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_line_quoted(line);
+        if fields.len() != mapping.len() {
+            return Err(StoreError::Csv {
+                line: lineno,
+                message: format!("expected {} fields, got {}", mapping.len(), fields.len()),
+            });
+        }
+        let mut cells = vec![Value::Null; schema.arity()];
+        for (pos, (field, quoted)) in fields.iter().enumerate() {
+            let col = mapping[pos];
+            cells[col] =
+                parse_field_quoted(field, *quoted, schema.columns()[col].data_type, lineno)?;
+        }
+        table.insert(Row::from(cells))?;
+        inserted += 1;
+    }
+    Ok(inserted)
+}
+
+/// Write `table` to `writer` as CSV (header + one line per row).
+pub fn write_csv<W: Write>(table: &Table, writer: &mut W) -> std::io::Result<()> {
+    let header: Vec<String> =
+        table.schema().columns().iter().map(|c| quote_field(&c.name)).collect();
+    writeln!(writer, "{}", header.join(","))?;
+    for i in 0..table.len() {
+        let mut fields = Vec::with_capacity(table.schema().arity());
+        for c in 0..table.schema().arity() {
+            let v = table.value(i, c);
+            // NULL stays a bare empty field; everything else is quoted as
+            // needed (including the empty string, which must stay distinct
+            // from NULL).
+            let s = match v {
+                Value::Null => String::new(),
+                Value::Timestamp(t) => quote_field(&t.to_string()),
+                other => quote_field(&other.to_string()),
+            };
+            fields.push(s);
+        }
+        writeln!(writer, "{}", fields.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+
+    fn people() -> Table {
+        Table::new(
+            TableSchema::builder("people")
+                .column("id", DataType::Int)
+                .nullable_column("name", DataType::Text)
+                .nullable_column("score", DataType::Float)
+                .column("joined", DataType::Timestamp)
+                .primary_key("id")
+                .time_column("joined")
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn split_handles_quotes_and_commas() {
+        assert_eq!(split_line("a,b,c"), vec!["a", "b", "c"]);
+        assert_eq!(split_line(r#""a,b",c"#), vec!["a,b", "c"]);
+        assert_eq!(split_line(r#""say ""hi""",x"#), vec![r#"say "hi""#, "x"]);
+        assert_eq!(split_line(""), vec![""]);
+        assert_eq!(split_line(",,"), vec!["", "", ""]);
+    }
+
+    #[test]
+    fn quote_round_trip() {
+        for s in ["plain", "a,b", "q\"q", ""] {
+            let quoted = quote_field(s);
+            let back = split_line(&quoted);
+            assert_eq!(back, vec![s.to_string()]);
+        }
+    }
+
+    #[test]
+    fn load_basic() {
+        let mut t = people();
+        let data = "id,name,score,joined\n1,ann,2.5,100\n2,\"bo,b\",,200\n";
+        let n = load_csv(&mut t, data.as_bytes()).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(t.value_by_name(1, "name").unwrap(), Value::Text("bo,b".into()));
+        assert_eq!(t.value_by_name(1, "score").unwrap(), Value::Null);
+        assert_eq!(t.row_timestamp(0), Some(100));
+    }
+
+    #[test]
+    fn load_permuted_header() {
+        let mut t = people();
+        let data = "joined,id,score,name\n100,7,1.0,x\n";
+        load_csv(&mut t, data.as_bytes()).unwrap();
+        assert_eq!(t.value_by_name(0, "id").unwrap(), Value::Int(7));
+        assert_eq!(t.value_by_name(0, "name").unwrap(), Value::Text("x".into()));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let mut t = people();
+        assert!(load_csv(&mut t, "id,nope,score,joined\n".as_bytes()).is_err());
+        let mut t = people();
+        assert!(load_csv(&mut t, "id,name\n".as_bytes()).is_err());
+        let mut t = people();
+        assert!(load_csv(&mut t, "id,id,score,joined\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn bad_field_reports_line() {
+        let mut t = people();
+        let err = load_csv(&mut t, "id,name,score,joined\nxyz,a,1.0,0\n".as_bytes()).unwrap_err();
+        match err {
+            StoreError::Csv { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_then_load_round_trip() {
+        let mut t = people();
+        let data = "id,name,score,joined\n1,ann,2.5,100\n2,\"bo,b\",,200\n";
+        load_csv(&mut t, data.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let mut t2 = people();
+        load_csv(&mut t2, buf.as_slice()).unwrap();
+        assert_eq!(t2.len(), 2);
+        assert_eq!(t2.value_by_name(1, "name").unwrap(), Value::Text("bo,b".into()));
+        assert_eq!(t2.row_timestamp(1), Some(200));
+    }
+}

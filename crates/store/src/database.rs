@@ -1,0 +1,271 @@
+//! A named collection of tables with referential-integrity checking.
+
+use std::collections::HashMap;
+
+use crate::error::{StoreError, StoreResult};
+use crate::row::Row;
+use crate::schema::TableSchema;
+use crate::table::Table;
+use crate::value::Timestamp;
+
+/// An in-memory relational database: a set of tables plus their schemas.
+#[derive(Debug, Clone)]
+pub struct Database {
+    name: String,
+    tables: Vec<Table>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new(name: impl Into<String>) -> Self {
+        Database { name: name.into(), tables: Vec::new(), by_name: HashMap::new() }
+    }
+
+    /// Database name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Create a table from `schema`. Foreign keys may reference tables that
+    /// do not exist yet; they are checked by [`validate`](Self::validate) and
+    /// at graph-construction time.
+    pub fn create_table(&mut self, schema: TableSchema) -> StoreResult<()> {
+        if self.by_name.contains_key(schema.name()) {
+            return Err(StoreError::TableExists(schema.name().to_string()));
+        }
+        self.by_name.insert(schema.name().to_string(), self.tables.len());
+        self.tables.push(Table::new(schema));
+        Ok(())
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// All tables, in creation order.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Names of all tables, in creation order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.iter().map(Table::name).collect()
+    }
+
+    /// Table by name.
+    pub fn table(&self, name: &str) -> StoreResult<&Table> {
+        self.by_name
+            .get(name)
+            .map(|&i| &self.tables[i])
+            .ok_or_else(|| StoreError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable table by name.
+    pub fn table_mut(&mut self, name: &str) -> StoreResult<&mut Table> {
+        match self.by_name.get(name) {
+            Some(&i) => Ok(&mut self.tables[i]),
+            None => Err(StoreError::UnknownTable(name.to_string())),
+        }
+    }
+
+    /// Insert a row into the named table.
+    pub fn insert(&mut self, table: &str, row: Row) -> StoreResult<usize> {
+        self.table_mut(table)?.insert(row)
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(Table::len).sum()
+    }
+
+    /// Total number of foreign-key constraints across all schemas.
+    pub fn total_foreign_keys(&self) -> usize {
+        self.tables.iter().map(|t| t.schema().foreign_keys().len()).sum()
+    }
+
+    /// The minimum and maximum timestamps present in any time column.
+    pub fn time_span(&self) -> Option<(Timestamp, Timestamp)> {
+        let mut span: Option<(Timestamp, Timestamp)> = None;
+        for t in &self.tables {
+            if let Some((lo, hi)) = t.time_span() {
+                span = Some(match span {
+                    None => (lo, hi),
+                    Some((a, b)) => (a.min(lo), b.max(hi)),
+                });
+            }
+        }
+        span
+    }
+
+    /// Check referential integrity: every foreign key must reference an
+    /// existing table with a primary key, and every non-null FK cell must
+    /// match an existing referenced row. Returns the number of checked FK
+    /// cells.
+    pub fn validate(&self) -> StoreResult<usize> {
+        let mut checked = 0;
+        for t in &self.tables {
+            for fk in t.schema().foreign_keys() {
+                let target = self.table(&fk.referenced_table)?;
+                if target.schema().primary_key().is_none() {
+                    return Err(StoreError::InvalidSchema(format!(
+                        "foreign key `{}`.`{}` references table `{}` which has no primary key",
+                        t.name(),
+                        fk.column,
+                        fk.referenced_table
+                    )));
+                }
+                let col = t
+                    .column_by_name(&fk.column)
+                    .expect("schema guarantees the FK column exists");
+                for i in 0..col.len() {
+                    let v = col.get(i);
+                    if v.is_null() {
+                        continue;
+                    }
+                    if target.row_by_key(&v).is_none() {
+                        return Err(StoreError::ForeignKeyViolation {
+                            table: t.name().to_string(),
+                            column: fk.column.clone(),
+                            referenced_table: fk.referenced_table.clone(),
+                            key: v.to_string(),
+                        });
+                    }
+                    checked += 1;
+                }
+            }
+        }
+        Ok(checked)
+    }
+
+    /// A human-readable multi-line summary (used by the dataset-inventory
+    /// experiment and `EXPLAIN`).
+    pub fn summary(&self) -> String {
+        let mut out = format!("DATABASE {} ({} tables, {} rows)\n", self.name, self.table_count(), self.total_rows());
+        for t in &self.tables {
+            out.push_str(&format!("  {} [{} rows]\n", t.schema(), t.len()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{DataType, Value};
+
+    fn shop() -> Database {
+        let mut db = Database::new("shop");
+        db.create_table(
+            TableSchema::builder("customers")
+                .column("customer_id", DataType::Int)
+                .column("signup_time", DataType::Timestamp)
+                .primary_key("customer_id")
+                .time_column("signup_time")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("orders")
+                .column("order_id", DataType::Int)
+                .column("customer_id", DataType::Int)
+                .column("placed_at", DataType::Timestamp)
+                .primary_key("order_id")
+                .time_column("placed_at")
+                .foreign_key("customer_id", "customers")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_and_insert() {
+        let mut db = shop();
+        db.insert("customers", Row::new().push(1i64).push(Value::Timestamp(0))).unwrap();
+        db.insert("orders", Row::new().push(10i64).push(1i64).push(Value::Timestamp(5)))
+            .unwrap();
+        assert_eq!(db.total_rows(), 2);
+        assert_eq!(db.validate().unwrap(), 1);
+        assert_eq!(db.time_span(), Some((0, 5)));
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = shop();
+        let schema = TableSchema::builder("orders").column("x", DataType::Int).build().unwrap();
+        assert!(matches!(db.create_table(schema), Err(StoreError::TableExists(_))));
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        let mut db = shop();
+        assert!(matches!(
+            db.insert("nope", Row::new().push(1i64)),
+            Err(StoreError::UnknownTable(_))
+        ));
+        assert!(db.table("nope").is_err());
+    }
+
+    #[test]
+    fn dangling_fk_detected() {
+        let mut db = shop();
+        db.insert("orders", Row::new().push(10i64).push(42i64).push(Value::Timestamp(5)))
+            .unwrap();
+        assert!(matches!(db.validate(), Err(StoreError::ForeignKeyViolation { .. })));
+    }
+
+    #[test]
+    fn null_fk_cells_are_allowed() {
+        let mut db = Database::new("d");
+        db.create_table(
+            TableSchema::builder("a")
+                .column("id", DataType::Int)
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("b")
+                .column("id", DataType::Int)
+                .nullable_column("a_id", DataType::Int)
+                .primary_key("id")
+                .foreign_key("a_id", "a")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert("b", Row::new().push(1i64).push(Value::Null)).unwrap();
+        assert_eq!(db.validate().unwrap(), 0);
+    }
+
+    #[test]
+    fn fk_to_table_without_pk_rejected() {
+        let mut db = Database::new("d");
+        db.create_table(TableSchema::builder("a").column("x", DataType::Int).build().unwrap())
+            .unwrap();
+        db.create_table(
+            TableSchema::builder("b")
+                .column("id", DataType::Int)
+                .column("a_x", DataType::Int)
+                .primary_key("id")
+                .foreign_key("a_x", "a")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(db.validate(), Err(StoreError::InvalidSchema(_))));
+    }
+
+    #[test]
+    fn summary_lists_tables() {
+        let db = shop();
+        let s = db.summary();
+        assert!(s.contains("customers"));
+        assert!(s.contains("orders"));
+    }
+}

@@ -1,0 +1,383 @@
+//! A tiny DDL dialect for declaring schemas in text files, plus
+//! directory-level database I/O (one `schema.ddl` + one CSV per table).
+//!
+//! The dialect is exactly what [`TableSchema`]'s `Display` prints, so
+//! schemas round-trip:
+//!
+//! ```text
+//! -- comments start with `--` or `#`
+//! TABLE customers (
+//!     customer_id INT PRIMARY KEY,
+//!     signup_time TIMESTAMP TIME,
+//!     region TEXT,
+//!     nickname TEXT NULL
+//! )
+//! TABLE orders (
+//!     order_id INT PRIMARY KEY,
+//!     customer_id INT REFERENCES customers,
+//!     amount FLOAT,
+//!     placed_at TIMESTAMP TIME
+//! )
+//! ```
+//!
+//! Column modifiers: `PRIMARY KEY`, `TIME` (the table's event-time column),
+//! `REFERENCES <table>`, `NULL` (nullable; columns default to non-null).
+
+use std::fs;
+use std::io::BufReader;
+use std::path::Path;
+
+use crate::csv::{load_csv, write_csv};
+use crate::database::Database;
+use crate::error::{StoreError, StoreResult};
+use crate::schema::TableSchema;
+use crate::value::DataType;
+
+fn strip_comments(text: &str) -> String {
+    text.lines()
+        .map(|l| {
+            let l = match l.find("--") {
+                Some(i) => &l[..i],
+                None => l,
+            };
+            match l.find('#') {
+                Some(i) => &l[..i],
+                None => l,
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Parse a DDL document into table schemas (in declaration order).
+pub fn parse_ddl(text: &str) -> StoreResult<Vec<TableSchema>> {
+    let text = strip_comments(text);
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        match c {
+            '(' | ')' | ',' => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+                tokens.push(c.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+
+    let err = |msg: String| StoreError::InvalidSchema(msg);
+    let mut schemas = Vec::new();
+    let mut pos = 0usize;
+    let peek = |pos: usize| tokens.get(pos).map(String::as_str);
+    while pos < tokens.len() {
+        if !tokens[pos].eq_ignore_ascii_case("table") {
+            return Err(err(format!("expected TABLE, found `{}`", tokens[pos])));
+        }
+        pos += 1;
+        let name = tokens
+            .get(pos)
+            .ok_or_else(|| err("expected a table name after TABLE".into()))?
+            .clone();
+        pos += 1;
+        if peek(pos) != Some("(") {
+            return Err(err(format!("expected `(` after table name `{name}`")));
+        }
+        pos += 1;
+        let mut builder = TableSchema::builder(&name);
+        loop {
+            let col = tokens
+                .get(pos)
+                .ok_or_else(|| err(format!("unterminated column list in `{name}`")))?
+                .clone();
+            if col == ")" {
+                pos += 1;
+                break;
+            }
+            pos += 1;
+            let ty = tokens
+                .get(pos)
+                .ok_or_else(|| err(format!("column `{col}` needs a type")))?;
+            let data_type = match ty.to_ascii_uppercase().as_str() {
+                "INT" | "INTEGER" | "BIGINT" => DataType::Int,
+                "FLOAT" | "DOUBLE" | "REAL" => DataType::Float,
+                "TEXT" | "STRING" | "VARCHAR" => DataType::Text,
+                "BOOL" | "BOOLEAN" => DataType::Bool,
+                "TIMESTAMP" | "TIME_COLUMN" => DataType::Timestamp,
+                other => return Err(err(format!("unknown type `{other}` for `{name}`.`{col}`"))),
+            };
+            pos += 1;
+            // Modifiers until `,` or `)`.
+            let mut nullable = false;
+            let mut is_pk = false;
+            let mut is_time = false;
+            let mut references: Option<String> = None;
+            loop {
+                match peek(pos).map(str::to_ascii_uppercase).as_deref() {
+                    Some(",") => {
+                        pos += 1;
+                        break;
+                    }
+                    Some(")") => break,
+                    Some("PRIMARY") => {
+                        pos += 1;
+                        if peek(pos).map(str::to_ascii_uppercase).as_deref() != Some("KEY") {
+                            return Err(err("PRIMARY must be followed by KEY".into()));
+                        }
+                        pos += 1;
+                        is_pk = true;
+                    }
+                    Some("TIME") => {
+                        pos += 1;
+                        is_time = true;
+                    }
+                    Some("NULL") => {
+                        pos += 1;
+                        nullable = true;
+                    }
+                    Some("NOT") => {
+                        pos += 1;
+                        if peek(pos).map(str::to_ascii_uppercase).as_deref() != Some("NULL") {
+                            return Err(err("NOT must be followed by NULL".into()));
+                        }
+                        pos += 1;
+                    }
+                    Some("REFERENCES") => {
+                        pos += 1;
+                        let t = tokens
+                            .get(pos)
+                            .ok_or_else(|| err("REFERENCES needs a table name".into()))?;
+                        references = Some(t.clone());
+                        pos += 1;
+                    }
+                    Some(other) => {
+                        return Err(err(format!(
+                            "unexpected token `{other}` in column `{name}`.`{col}`"
+                        )))
+                    }
+                    None => return Err(err(format!("unterminated column list in `{name}`"))),
+                }
+            }
+            builder = if nullable {
+                builder.nullable_column(&col, data_type)
+            } else {
+                builder.column(&col, data_type)
+            };
+            if is_pk {
+                builder = builder.primary_key(&col);
+            }
+            if is_time {
+                builder = builder.time_column(&col);
+            }
+            if let Some(t) = references {
+                builder = builder.foreign_key(&col, t);
+            }
+        }
+        schemas.push(builder.build()?);
+    }
+    if schemas.is_empty() {
+        return Err(err("DDL document declares no tables".into()));
+    }
+    Ok(schemas)
+}
+
+/// Render schemas back to DDL text (inverse of [`parse_ddl`]).
+pub fn render_ddl(schemas: &[TableSchema]) -> String {
+    let mut out = String::new();
+    for s in schemas {
+        out.push_str(&format!("TABLE {} (\n", s.name()));
+        for (i, c) in s.columns().iter().enumerate() {
+            out.push_str(&format!("    {} {}", c.name, c.data_type));
+            if Some(c.name.as_str()) == s.primary_key() {
+                out.push_str(" PRIMARY KEY");
+            }
+            if Some(c.name.as_str()) == s.time_column() {
+                out.push_str(" TIME");
+            }
+            if let Some(fk) = s.foreign_key_on(&c.name) {
+                out.push_str(&format!(" REFERENCES {}", fk.referenced_table));
+            }
+            if c.nullable {
+                out.push_str(" NULL");
+            }
+            if i + 1 < s.columns().len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str(")\n\n");
+    }
+    out
+}
+
+/// Load a database from a directory: `schema.ddl` plus one
+/// `<table>.csv` per declared table (missing CSVs mean empty tables).
+/// Runs referential-integrity validation before returning.
+pub fn load_database_dir(dir: impl AsRef<Path>) -> StoreResult<Database> {
+    let dir = dir.as_ref();
+    let ddl_path = dir.join("schema.ddl");
+    let text = fs::read_to_string(&ddl_path).map_err(|e| {
+        StoreError::InvalidSchema(format!("cannot read {}: {e}", ddl_path.display()))
+    })?;
+    let name = dir
+        .file_name()
+        .map(|n| n.to_string_lossy().to_string())
+        .unwrap_or_else(|| "database".to_string());
+    let mut db = Database::new(name);
+    for schema in parse_ddl(&text)? {
+        db.create_table(schema)?;
+    }
+    for table_name in db.table_names().into_iter().map(str::to_string).collect::<Vec<_>>() {
+        let csv_path = dir.join(format!("{table_name}.csv"));
+        if !csv_path.exists() {
+            continue;
+        }
+        let file = fs::File::open(&csv_path).map_err(|e| StoreError::Csv {
+            line: 0,
+            message: format!("cannot open {}: {e}", csv_path.display()),
+        })?;
+        load_csv(db.table_mut(&table_name)?, BufReader::new(file))?;
+    }
+    db.validate()?;
+    Ok(db)
+}
+
+/// Save a database to a directory as `schema.ddl` + one CSV per table.
+pub fn save_database_dir(db: &Database, dir: impl AsRef<Path>) -> StoreResult<()> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir).map_err(|e| {
+        StoreError::InvalidSchema(format!("cannot create {}: {e}", dir.display()))
+    })?;
+    let schemas: Vec<TableSchema> = db.tables().iter().map(|t| t.schema().clone()).collect();
+    fs::write(dir.join("schema.ddl"), render_ddl(&schemas)).map_err(|e| {
+        StoreError::InvalidSchema(format!("cannot write schema.ddl: {e}"))
+    })?;
+    for table in db.tables() {
+        let mut buf = Vec::new();
+        write_csv(table, &mut buf).map_err(|e| StoreError::Csv {
+            line: 0,
+            message: format!("cannot serialize `{}`: {e}", table.name()),
+        })?;
+        fs::write(dir.join(format!("{}.csv", table.name())), buf).map_err(|e| {
+            StoreError::Csv {
+                line: 0,
+                message: format!("cannot write `{}`.csv: {e}", table.name()),
+            }
+        })?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::Row;
+    use crate::value::Value;
+
+    const DDL: &str = "
+        -- a shop
+        TABLE customers (
+            customer_id INT PRIMARY KEY,
+            signup_time TIMESTAMP TIME,
+            region TEXT,
+            nickname TEXT NULL
+        )
+        TABLE orders (
+            order_id INT PRIMARY KEY,
+            customer_id INT REFERENCES customers,
+            amount FLOAT,
+            placed_at TIMESTAMP TIME  # event time
+        )
+    ";
+
+    #[test]
+    fn parses_tables_and_constraints() {
+        let schemas = parse_ddl(DDL).unwrap();
+        assert_eq!(schemas.len(), 2);
+        let c = &schemas[0];
+        assert_eq!(c.name(), "customers");
+        assert_eq!(c.primary_key(), Some("customer_id"));
+        assert_eq!(c.time_column(), Some("signup_time"));
+        assert!(c.column("nickname").unwrap().nullable);
+        assert!(!c.column("region").unwrap().nullable);
+        let o = &schemas[1];
+        assert_eq!(o.foreign_key_on("customer_id").unwrap().referenced_table, "customers");
+    }
+
+    #[test]
+    fn ddl_round_trips() {
+        let schemas = parse_ddl(DDL).unwrap();
+        let rendered = render_ddl(&schemas);
+        let back = parse_ddl(&rendered).unwrap();
+        assert_eq!(back, schemas);
+    }
+
+    #[test]
+    fn rejects_malformed_ddl() {
+        assert!(parse_ddl("").is_err());
+        assert!(parse_ddl("TABLE t").is_err());
+        assert!(parse_ddl("TABLE t (a WIBBLE)").is_err());
+        assert!(parse_ddl("TABLE t (a INT PRIMARY)").is_err());
+        assert!(parse_ddl("NOT_TABLE t (a INT)").is_err());
+        assert!(parse_ddl("TABLE t (a INT").is_err());
+    }
+
+    #[test]
+    fn directory_round_trip() {
+        let dir = std::env::temp_dir().join(format!("relgraph_ddl_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut db = Database::new("shop");
+        for s in parse_ddl(DDL).unwrap() {
+            db.create_table(s).unwrap();
+        }
+        db.insert(
+            "customers",
+            Row::new().push(1i64).push(Value::Timestamp(5)).push("north").push(Value::Null),
+        )
+        .unwrap();
+        db.insert(
+            "orders",
+            Row::new().push(10i64).push(1i64).push(9.5).push(Value::Timestamp(8)),
+        )
+        .unwrap();
+        save_database_dir(&db, &dir).unwrap();
+        let loaded = load_database_dir(&dir).unwrap();
+        assert_eq!(loaded.table_count(), 2);
+        assert_eq!(loaded.table("customers").unwrap().len(), 1);
+        assert_eq!(loaded.table("orders").unwrap().len(), 1);
+        assert_eq!(
+            loaded.table("orders").unwrap().value_by_name(0, "amount").unwrap(),
+            Value::Float(9.5)
+        );
+        loaded.validate().unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_detects_fk_violations() {
+        let dir =
+            std::env::temp_dir().join(format!("relgraph_ddl_bad_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("schema.ddl"), DDL).unwrap();
+        fs::write(dir.join("customers.csv"), "customer_id,signup_time,region,nickname\n").unwrap();
+        fs::write(
+            dir.join("orders.csv"),
+            "order_id,customer_id,amount,placed_at\n1,42,5.0,10\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            load_database_dir(&dir),
+            Err(StoreError::ForeignKeyViolation { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,104 @@
+//! Error types for the store crate.
+
+use std::fmt;
+
+use crate::value::DataType;
+
+/// Result alias for store operations.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// Errors produced by the relational store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// A table with this name already exists.
+    TableExists(String),
+    /// No table with this name.
+    UnknownTable(String),
+    /// No column with this name in the named table.
+    UnknownColumn { table: String, column: String },
+    /// A row's arity does not match the schema.
+    ArityMismatch { table: String, expected: usize, got: usize },
+    /// A cell value does not conform to its column type.
+    TypeMismatch {
+        table: String,
+        column: String,
+        expected: DataType,
+        got: Option<DataType>,
+    },
+    /// Duplicate primary key on insert.
+    DuplicateKey { table: String, key: String },
+    /// A primary-key cell was NULL.
+    NullKey { table: String },
+    /// Foreign-key violation: referenced row does not exist.
+    ForeignKeyViolation {
+        table: String,
+        column: String,
+        referenced_table: String,
+        key: String,
+    },
+    /// Schema construction problem (bad PK/FK/time column definitions).
+    InvalidSchema(String),
+    /// CSV parsing problem.
+    Csv { line: usize, message: String },
+    /// A query referenced something invalid.
+    InvalidQuery(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::TableExists(t) => write!(f, "table `{t}` already exists"),
+            StoreError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            StoreError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            StoreError::ArityMismatch { table, expected, got } => write!(
+                f,
+                "row arity mismatch for table `{table}`: expected {expected} values, got {got}"
+            ),
+            StoreError::TypeMismatch { table, column, expected, got } => match got {
+                Some(g) => write!(
+                    f,
+                    "type mismatch in `{table}`.`{column}`: expected {expected}, got {g}"
+                ),
+                None => write!(
+                    f,
+                    "type mismatch in `{table}`.`{column}`: expected {expected}, got NULL"
+                ),
+            },
+            StoreError::DuplicateKey { table, key } => {
+                write!(f, "duplicate primary key `{key}` in table `{table}`")
+            }
+            StoreError::NullKey { table } => {
+                write!(f, "NULL primary key in table `{table}`")
+            }
+            StoreError::ForeignKeyViolation { table, column, referenced_table, key } => write!(
+                f,
+                "foreign key violation: `{table}`.`{column}` = `{key}` has no match in `{referenced_table}`"
+            ),
+            StoreError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            StoreError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            StoreError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_identifiers() {
+        let e = StoreError::UnknownColumn { table: "t".into(), column: "c".into() };
+        assert!(e.to_string().contains('t') && e.to_string().contains('c'));
+        let e = StoreError::TypeMismatch {
+            table: "t".into(),
+            column: "c".into(),
+            expected: DataType::Int,
+            got: None,
+        };
+        assert!(e.to_string().contains("NULL"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Row values: a thin wrapper over a vector of cells.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::value::Value;
+
+/// A single row of cell values, in schema column order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// An empty row.
+    pub fn new() -> Self {
+        Row { values: Vec::new() }
+    }
+
+    /// Construct from cells.
+    pub fn from(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    /// Number of cells.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Cell at position `i`.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// All cells.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consume into cells.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Append a cell (builder style).
+    pub fn push(mut self, v: impl Into<Value>) -> Self {
+        self.values.push(v.into());
+        self
+    }
+}
+
+impl Index<usize> for Row {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Row { values: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_style_construction() {
+        let r = Row::new().push(1i64).push("x").push(true);
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r[0], Value::Int(1));
+        assert_eq!(r[1], Value::Text("x".into()));
+        assert_eq!(r[2], Value::Bool(true));
+    }
+
+    #[test]
+    fn display_formats_tuple() {
+        let r = Row::from(vec![Value::Int(1), Value::Null]);
+        assert_eq!(r.to_string(), "(1, NULL)");
+    }
+
+    #[test]
+    fn get_is_bounds_checked() {
+        let r = Row::from(vec![Value::Int(1)]);
+        assert!(r.get(0).is_some());
+        assert!(r.get(1).is_none());
+    }
+}

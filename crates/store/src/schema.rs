@@ -1,0 +1,355 @@
+//! Table schemas: columns, primary keys, foreign keys and time columns.
+
+use std::fmt;
+
+use crate::error::{StoreError, StoreResult};
+use crate::value::DataType;
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name, unique within the table.
+    pub name: String,
+    /// Declared type.
+    pub data_type: DataType,
+    /// Whether NULLs are allowed. Primary-key columns are implicitly
+    /// non-nullable regardless of this flag.
+    pub nullable: bool,
+}
+
+/// A foreign-key constraint: `column` in this table references the primary
+/// key of `referenced_table`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing column in the owning table.
+    pub column: String,
+    /// Table whose primary key is referenced.
+    pub referenced_table: String,
+}
+
+/// Schema of a single table.
+///
+/// Invariants (enforced by [`TableSchemaBuilder::build`]):
+/// * column names are unique;
+/// * the primary key, if declared, names an existing column;
+/// * the time column, if declared, names an existing `Timestamp` column;
+/// * each foreign key names an existing column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    name: String,
+    columns: Vec<ColumnDef>,
+    primary_key: Option<usize>,
+    time_column: Option<usize>,
+    foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchema {
+    /// Start building a schema for a table called `name`.
+    pub fn builder(name: impl Into<String>) -> TableSchemaBuilder {
+        TableSchemaBuilder {
+            name: name.into(),
+            columns: Vec::new(),
+            primary_key: None,
+            time_column: None,
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All column definitions, in declaration order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of the named column.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Definition of the named column.
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Index of the primary-key column, if any.
+    pub fn primary_key_index(&self) -> Option<usize> {
+        self.primary_key
+    }
+
+    /// Name of the primary-key column, if any.
+    pub fn primary_key(&self) -> Option<&str> {
+        self.primary_key.map(|i| self.columns[i].name.as_str())
+    }
+
+    /// Index of the time column, if any.
+    pub fn time_column_index(&self) -> Option<usize> {
+        self.time_column
+    }
+
+    /// Name of the time column, if any.
+    pub fn time_column(&self) -> Option<&str> {
+        self.time_column.map(|i| self.columns[i].name.as_str())
+    }
+
+    /// Declared foreign keys.
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// The foreign key on the named column, if any.
+    pub fn foreign_key_on(&self, column: &str) -> Option<&ForeignKey> {
+        self.foreign_keys.iter().find(|fk| fk.column == column)
+    }
+}
+
+impl fmt::Display for TableSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TABLE {} (", self.name)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{} {}", c.name, c.data_type)?;
+            if Some(i) == self.primary_key {
+                f.write_str(" PRIMARY KEY")?;
+            }
+            if Some(i) == self.time_column {
+                f.write_str(" TIME")?;
+            }
+            if let Some(fk) = self.foreign_key_on(&c.name) {
+                write!(f, " REFERENCES {}", fk.referenced_table)?;
+            }
+        }
+        f.write_str(")")
+    }
+}
+
+/// Builder for [`TableSchema`]; validates invariants at [`build`](Self::build).
+#[derive(Debug, Clone)]
+pub struct TableSchemaBuilder {
+    name: String,
+    columns: Vec<ColumnDef>,
+    primary_key: Option<String>,
+    time_column: Option<String>,
+    foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchemaBuilder {
+    /// Add a non-nullable column.
+    pub fn column(mut self, name: impl Into<String>, data_type: DataType) -> Self {
+        self.columns.push(ColumnDef { name: name.into(), data_type, nullable: false });
+        self
+    }
+
+    /// Add a nullable column.
+    pub fn nullable_column(mut self, name: impl Into<String>, data_type: DataType) -> Self {
+        self.columns.push(ColumnDef { name: name.into(), data_type, nullable: true });
+        self
+    }
+
+    /// Declare the primary-key column.
+    pub fn primary_key(mut self, name: impl Into<String>) -> Self {
+        self.primary_key = Some(name.into());
+        self
+    }
+
+    /// Declare the time column (creation/event time of each row).
+    pub fn time_column(mut self, name: impl Into<String>) -> Self {
+        self.time_column = Some(name.into());
+        self
+    }
+
+    /// Declare a foreign key from `column` to the primary key of `table`.
+    pub fn foreign_key(mut self, column: impl Into<String>, table: impl Into<String>) -> Self {
+        self.foreign_keys.push(ForeignKey {
+            column: column.into(),
+            referenced_table: table.into(),
+        });
+        self
+    }
+
+    /// Validate and produce the schema.
+    pub fn build(self) -> StoreResult<TableSchema> {
+        if self.name.is_empty() {
+            return Err(StoreError::InvalidSchema("table name must be non-empty".into()));
+        }
+        if self.columns.is_empty() {
+            return Err(StoreError::InvalidSchema(format!(
+                "table `{}` must have at least one column",
+                self.name
+            )));
+        }
+        for (i, c) in self.columns.iter().enumerate() {
+            if c.name.is_empty() {
+                return Err(StoreError::InvalidSchema(format!(
+                    "table `{}` has an empty column name",
+                    self.name
+                )));
+            }
+            if self.columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(StoreError::InvalidSchema(format!(
+                    "duplicate column `{}` in table `{}`",
+                    c.name, self.name
+                )));
+            }
+        }
+        let find = |col: &str| self.columns.iter().position(|c| c.name == col);
+
+        let primary_key = match &self.primary_key {
+            Some(pk) => Some(find(pk).ok_or_else(|| {
+                StoreError::InvalidSchema(format!(
+                    "primary key `{pk}` is not a column of `{}`",
+                    self.name
+                ))
+            })?),
+            None => None,
+        };
+        let time_column = match &self.time_column {
+            Some(tc) => {
+                let idx = find(tc).ok_or_else(|| {
+                    StoreError::InvalidSchema(format!(
+                        "time column `{tc}` is not a column of `{}`",
+                        self.name
+                    ))
+                })?;
+                if self.columns[idx].data_type != DataType::Timestamp {
+                    return Err(StoreError::InvalidSchema(format!(
+                        "time column `{tc}` of `{}` must have type TIMESTAMP",
+                        self.name
+                    )));
+                }
+                Some(idx)
+            }
+            None => None,
+        };
+        for fk in &self.foreign_keys {
+            if find(&fk.column).is_none() {
+                return Err(StoreError::InvalidSchema(format!(
+                    "foreign-key column `{}` is not a column of `{}`",
+                    fk.column, self.name
+                )));
+            }
+        }
+        let mut seen_fk: Vec<&str> = Vec::new();
+        for fk in &self.foreign_keys {
+            if seen_fk.contains(&fk.column.as_str()) {
+                return Err(StoreError::InvalidSchema(format!(
+                    "column `{}` of `{}` has more than one foreign key",
+                    fk.column, self.name
+                )));
+            }
+            seen_fk.push(&fk.column);
+        }
+        Ok(TableSchema {
+            name: self.name,
+            columns: self.columns,
+            primary_key,
+            time_column,
+            foreign_keys: self.foreign_keys,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> TableSchema {
+        TableSchema::builder("orders")
+            .column("order_id", DataType::Int)
+            .column("customer_id", DataType::Int)
+            .nullable_column("note", DataType::Text)
+            .column("placed_at", DataType::Timestamp)
+            .primary_key("order_id")
+            .time_column("placed_at")
+            .foreign_key("customer_id", "customers")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_expected_schema() {
+        let s = demo();
+        assert_eq!(s.name(), "orders");
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.primary_key(), Some("order_id"));
+        assert_eq!(s.time_column(), Some("placed_at"));
+        assert_eq!(s.column_index("customer_id"), Some(1));
+        assert_eq!(s.foreign_key_on("customer_id").unwrap().referenced_table, "customers");
+        assert!(s.foreign_key_on("order_id").is_none());
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let err = TableSchema::builder("t")
+            .column("a", DataType::Int)
+            .column("a", DataType::Int)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, StoreError::InvalidSchema(_)));
+    }
+
+    #[test]
+    fn missing_pk_column_rejected() {
+        let err = TableSchema::builder("t")
+            .column("a", DataType::Int)
+            .primary_key("b")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, StoreError::InvalidSchema(_)));
+    }
+
+    #[test]
+    fn non_timestamp_time_column_rejected() {
+        let err = TableSchema::builder("t")
+            .column("a", DataType::Int)
+            .time_column("a")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, StoreError::InvalidSchema(_)));
+    }
+
+    #[test]
+    fn fk_on_unknown_column_rejected() {
+        let err = TableSchema::builder("t")
+            .column("a", DataType::Int)
+            .foreign_key("missing", "other")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, StoreError::InvalidSchema(_)));
+    }
+
+    #[test]
+    fn duplicate_fk_rejected() {
+        let err = TableSchema::builder("t")
+            .column("a", DataType::Int)
+            .foreign_key("a", "x")
+            .foreign_key("a", "y")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, StoreError::InvalidSchema(_)));
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        assert!(TableSchema::builder("t").build().is_err());
+        assert!(TableSchema::builder("").column("a", DataType::Int).build().is_err());
+    }
+
+    #[test]
+    fn display_includes_constraints() {
+        let s = demo().to_string();
+        assert!(s.contains("PRIMARY KEY"));
+        assert!(s.contains("REFERENCES customers"));
+        assert!(s.contains("TIME"));
+    }
+}

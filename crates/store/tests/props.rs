@@ -1,0 +1,162 @@
+//! Property-based tests for the relational store.
+
+use proptest::prelude::*;
+use relgraph_store::{csv, DataType, Database, Row, Table, TableSchema, Value};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        (-1e6f64..1e6).prop_map(Value::Float),
+        "[a-z ,']{0,12}".prop_map(Value::Text),
+        any::<bool>().prop_map(Value::Bool),
+        (0i64..1_000_000).prop_map(Value::Timestamp),
+    ]
+}
+
+fn schema() -> TableSchema {
+    TableSchema::builder("t")
+        .column("id", DataType::Int)
+        .nullable_column("num", DataType::Float)
+        .nullable_column("txt", DataType::Text)
+        .nullable_column("flag", DataType::Bool)
+        .column("at", DataType::Timestamp)
+        .primary_key("id")
+        .time_column("at")
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn insert_then_read_back_exact(
+        rows in proptest::collection::vec(
+            (any::<i64>(), proptest::option::of(-1e6f64..1e6),
+             proptest::option::of("[a-z]{0,8}"), proptest::option::of(any::<bool>()),
+             0i64..1_000_000),
+            1..30,
+        )
+    ) {
+        let mut t = Table::new(schema());
+        let mut expected = Vec::new();
+        let mut seen_ids = std::collections::HashSet::new();
+        for (id, num, txt, flag, at) in rows {
+            if !seen_ids.insert(id) {
+                continue; // duplicate PKs are rejected by design
+            }
+            let row = Row::from(vec![
+                Value::Int(id),
+                num.map_or(Value::Null, Value::Float),
+                txt.clone().map_or(Value::Null, Value::Text),
+                flag.map_or(Value::Null, Value::Bool),
+                Value::Timestamp(at),
+            ]);
+            t.insert(row.clone()).unwrap();
+            expected.push(row);
+        }
+        prop_assert_eq!(t.len(), expected.len());
+        for (i, row) in expected.iter().enumerate() {
+            prop_assert_eq!(&t.row(i).unwrap(), row);
+            // PK index agrees.
+            prop_assert_eq!(t.row_by_key(&row[0]), Some(i));
+        }
+    }
+
+    #[test]
+    fn csv_round_trip(
+        rows in proptest::collection::vec(
+            (0i64..10_000, proptest::option::of(-1e3f64..1e3),
+             proptest::option::of("[a-z ,']{0,10}"), proptest::option::of(any::<bool>()),
+             0i64..1_000_000),
+            0..25,
+        )
+    ) {
+        let mut t = Table::new(schema());
+        let mut seen = std::collections::HashSet::new();
+        for (id, num, txt, flag, at) in rows {
+            if !seen.insert(id) {
+                continue;
+            }
+            t.insert(Row::from(vec![
+                Value::Int(id),
+                num.map_or(Value::Null, Value::Float),
+                txt.map_or(Value::Null, Value::Text),
+                flag.map_or(Value::Null, Value::Bool),
+                Value::Timestamp(at),
+            ]))
+            .unwrap();
+        }
+        let mut buf = Vec::new();
+        csv::write_csv(&t, &mut buf).unwrap();
+        let mut back = Table::new(schema());
+        csv::load_csv(&mut back, buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), t.len());
+        for i in 0..t.len() {
+            prop_assert_eq!(back.row(i), t.row(i));
+        }
+    }
+
+    #[test]
+    fn csv_field_quoting_round_trips(s in "[ -~]{0,20}") {
+        // Any printable-ASCII field survives quote/split.
+        let quoted = csv::quote_field(&s);
+        let back = csv::split_line(&quoted);
+        prop_assert_eq!(back, vec![s]);
+    }
+
+    #[test]
+    fn group_key_injective_within_sample(a in value_strategy(), b in value_strategy()) {
+        if a.group_key() == b.group_key() {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn time_span_bounds_every_row(ts in proptest::collection::vec(0i64..1_000_000, 1..40)) {
+        let mut t = Table::new(schema());
+        for (i, &at) in ts.iter().enumerate() {
+            t.insert(Row::from(vec![
+                Value::Int(i as i64),
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Timestamp(at),
+            ]))
+            .unwrap();
+        }
+        let (lo, hi) = t.time_span().unwrap();
+        prop_assert_eq!(lo, *ts.iter().min().unwrap());
+        prop_assert_eq!(hi, *ts.iter().max().unwrap());
+    }
+
+    #[test]
+    fn validate_accepts_consistent_fk_data(n_parents in 1usize..10, n_children in 0usize..30) {
+        let mut db = Database::new("d");
+        db.create_table(
+            TableSchema::builder("p")
+                .column("id", DataType::Int)
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("c")
+                .column("id", DataType::Int)
+                .column("p_id", DataType::Int)
+                .primary_key("id")
+                .foreign_key("p_id", "p")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for i in 0..n_parents {
+            db.insert("p", Row::new().push(i as i64)).unwrap();
+        }
+        for i in 0..n_children {
+            db.insert("c", Row::new().push(i as i64).push((i % n_parents) as i64)).unwrap();
+        }
+        prop_assert_eq!(db.validate().unwrap(), n_children);
+    }
+}

@@ -1,0 +1,40 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+/// Result alias for tensor operations.
+pub type TensorResult<T> = Result<T, TensorError>;
+
+/// Errors from tensor / autodiff operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that had to agree did not.
+    ShapeMismatch { op: &'static str, lhs: (usize, usize), rhs: (usize, usize) },
+    /// An index (row gather, segment id) exceeded its bound.
+    IndexOutOfRange { op: &'static str, index: usize, bound: usize },
+    /// `backward` called on a non-scalar node.
+    NonScalarLoss { shape: (usize, usize) },
+    /// A numeric problem (NaN/Inf encountered where forbidden).
+    NonFinite { op: &'static str },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in `{op}`: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::IndexOutOfRange { op, index, bound } => {
+                write!(f, "index {index} out of range {bound} in `{op}`")
+            }
+            TensorError::NonScalarLoss { shape } => {
+                write!(f, "backward requires a 1x1 loss, got {}x{}", shape.0, shape.1)
+            }
+            TensorError::NonFinite { op } => write!(f, "non-finite value produced by `{op}`"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,235 @@
+//! Finite-difference gradient checking.
+//!
+//! Every autodiff backward rule in [`crate::tape`] is verified against a
+//! centered finite difference. The checker rebuilds the graph per
+//! perturbation via a user-supplied closure, so it works for any op
+//! combination, including index-carrying ops like gather and segment
+//! aggregation.
+
+use crate::tape::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Result of a gradient check: max absolute and relative deviations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheck {
+    /// Largest absolute difference between analytic and numeric gradient.
+    pub max_abs_err: f64,
+    /// Largest relative difference (scaled by magnitude).
+    pub max_rel_err: f64,
+}
+
+impl GradCheck {
+    /// True when both deviations are below `tol`.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_abs_err < tol || self.max_rel_err < tol
+    }
+}
+
+/// Check the gradient of a scalar function of one input tensor.
+///
+/// `f` receives a fresh [`Graph`] and the input leaf, and must return the
+/// scalar loss node. The analytic gradient from `backward` is compared to a
+/// centered finite difference with step `eps`.
+///
+/// # Panics
+/// Panics if `f` returns a non-scalar node.
+pub fn check_gradient(
+    input: &Tensor,
+    eps: f64,
+    f: impl Fn(&mut Graph, Var) -> Var,
+) -> GradCheck {
+    // Analytic gradient.
+    let mut g = Graph::new();
+    let x = g.leaf(input.clone());
+    let loss = f(&mut g, x);
+    g.backward(loss).expect("loss must be scalar");
+    let analytic = g.grad(x).cloned().unwrap_or_else(|| Tensor::zeros(input.rows(), input.cols()));
+
+    let eval = |t: &Tensor| -> f64 {
+        let mut g = Graph::new();
+        let x = g.leaf(t.clone());
+        let loss = f(&mut g, x);
+        g.value(loss).item()
+    };
+
+    let mut max_abs: f64 = 0.0;
+    let mut max_rel: f64 = 0.0;
+    for i in 0..input.len() {
+        let mut plus = input.clone();
+        plus.data_mut()[i] += eps;
+        let mut minus = input.clone();
+        minus.data_mut()[i] -= eps;
+        let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+        let a = analytic.data()[i];
+        let abs = (a - numeric).abs();
+        let rel = abs / a.abs().max(numeric.abs()).max(1e-8);
+        max_abs = max_abs.max(abs);
+        max_rel = max_rel.max(rel);
+    }
+    GradCheck { max_abs_err: max_abs, max_rel_err: max_rel }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-5;
+    const TOL: f64 = 1e-6;
+
+    fn input() -> Tensor {
+        Tensor::from_rows(&[&[0.3, -1.2, 0.7], &[2.1, 0.05, -0.4]])
+    }
+
+    #[test]
+    fn relu_gradient() {
+        let r = check_gradient(&input(), EPS, |g, x| {
+            let y = g.relu(x);
+            g.sum_all(y)
+        });
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn leaky_relu_gradient() {
+        let r = check_gradient(&input(), EPS, |g, x| {
+            let y = g.leaky_relu(x, 0.1);
+            g.mean_all(y)
+        });
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn sigmoid_tanh_softplus_gradients() {
+        for op in [0, 1, 2] {
+            let r = check_gradient(&input(), EPS, move |g, x| {
+                let y = match op {
+                    0 => g.sigmoid(x),
+                    1 => g.tanh(x),
+                    _ => g.softplus(x),
+                };
+                g.sum_all(y)
+            });
+            assert!(r.passes(TOL), "op {op}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn matmul_gradient_both_sides() {
+        let w = Tensor::from_rows(&[&[0.5, -1.0], &[2.0, 0.3], &[-0.7, 1.1]]);
+        let r = check_gradient(&input(), EPS, move |g, x| {
+            let wv = g.constant(w.clone());
+            let y = g.matmul(x, wv);
+            let s = g.sigmoid(y);
+            g.mean_all(s)
+        });
+        assert!(r.passes(TOL), "{r:?}");
+        // And as the right operand.
+        let a = Tensor::from_rows(&[&[1.0, -0.5], &[0.2, 0.9]]);
+        let rhs = Tensor::from_rows(&[&[0.1, 0.4, -0.2], &[0.6, -0.3, 0.8]]);
+        let r = check_gradient(&rhs, EPS, move |g, x| {
+            let av = g.constant(a.clone());
+            let y = g.matmul(av, x);
+            let t = g.tanh(y);
+            g.sum_all(t)
+        });
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn add_row_gradient_for_bias() {
+        let bias = Tensor::from_rows(&[&[0.3, -0.6, 0.9]]);
+        let r = check_gradient(&bias, EPS, |g, b| {
+            let a = g.constant(Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]));
+            let y = g.add_row(a, b);
+            let s = g.sigmoid(y);
+            g.sum_all(s)
+        });
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn gather_segment_concat_pipeline_gradient() {
+        let r = check_gradient(&input(), EPS, |g, x| {
+            let gathered = g.gather_rows(x, vec![0, 1, 1, 0]).unwrap();
+            let agg = g.segment_mean(gathered, vec![0, 0, 1, 1], 2).unwrap();
+            let cat = g.concat_cols(vec![agg, agg]).unwrap();
+            let act = g.tanh(cat);
+            g.mean_all(act)
+        });
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn segment_max_gradient() {
+        // Avoid exact ties so the argmax subgradient is well-defined at
+        // the finite-difference scale.
+        let t = Tensor::from_rows(&[&[0.31, -1.2], &[2.1, 0.07], &[-0.4, 0.9]]);
+        let r = check_gradient(&t, 1e-6, |g, x| {
+            let m = g.segment_max(x, vec![0, 0, 1], 2).unwrap();
+            let s = g.sigmoid(m);
+            g.sum_all(s)
+        });
+        assert!(r.passes(1e-5), "{r:?}");
+    }
+
+    #[test]
+    fn segment_sum_gradient() {
+        let r = check_gradient(&input(), EPS, |g, x| {
+            let agg = g.segment_sum(x, vec![1, 0], 3).unwrap();
+            let s = g.sigmoid(agg);
+            g.sum_all(s)
+        });
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn log_softmax_gradient() {
+        let r = check_gradient(&input(), EPS, |g, x| {
+            let ls = g.log_softmax(x);
+            // Weighted NLL-style objective.
+            let w = g.constant(Tensor::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0]]));
+            let p = g.mul(ls, w);
+            let s = g.sum_all(p);
+            g.scale(s, -1.0)
+        });
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn huber_gradient_smooth_region_and_linear_region() {
+        let preds = Tensor::from_rows(&[&[0.2, -0.4, 3.0, -5.0]]);
+        let r = check_gradient(&preds, EPS, |g, x| {
+            let t = g.constant(Tensor::from_rows(&[&[0.0, 0.1, 0.0, 0.0]]));
+            let h = g.huber(x, t, 1.0).unwrap();
+            g.mean_all(h)
+        });
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn composite_mlp_like_gradient() {
+        let r = check_gradient(&input(), EPS, |g, x| {
+            let w1 = g.constant(Tensor::from_rows(&[&[0.2, -0.1], &[0.5, 0.7], &[-0.3, 0.4]]));
+            let b1 = g.constant(Tensor::from_rows(&[&[0.05, -0.05]]));
+            let h = g.matmul(x, w1);
+            let h = g.add_row(h, b1);
+            let h = g.relu(h);
+            let w2 = g.constant(Tensor::from_rows(&[&[1.0], &[-1.0]]));
+            let o = g.matmul(h, w2);
+            let sp = g.softplus(o);
+            g.mean_all(sp)
+        });
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn scale_sub_mul_gradients() {
+        let r = check_gradient(&input(), EPS, |g, x| {
+            let y = g.scale(x, -2.5);
+            let z = g.sub(x, y);
+            let w = g.mul(z, x);
+            g.mean_all(w)
+        });
+        assert!(r.passes(TOL), "{r:?}");
+    }
+}

@@ -1,0 +1,847 @@
+//! Define-by-run reverse-mode autodiff over [`Tensor`]s.
+//!
+//! A [`Graph`] is a tape of eagerly-evaluated operations; [`Var`] indexes a
+//! node. Calling [`Graph::backward`] on a scalar node fills the gradient of
+//! every node that (transitively) requires one.
+//!
+//! The op set is a closed enum so every backward rule is visible in one
+//! `match` and individually gradient-checked (see [`crate::gradcheck`]).
+
+use crate::error::{TensorError, TensorResult};
+use crate::tensor::Tensor;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// The operation that produced a node.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Differentiable input (parameter or feature tensor).
+    Leaf,
+    /// Non-differentiable input (targets, masks).
+    Constant,
+    /// Matrix product.
+    MatMul(Var, Var),
+    /// Elementwise sum of same-shape tensors.
+    Add(Var, Var),
+    /// Elementwise difference.
+    Sub(Var, Var),
+    /// Elementwise (Hadamard) product.
+    Mul(Var, Var),
+    /// Multiply by a compile-time scalar.
+    Scale(Var, f64),
+    /// Add a `1×d` row vector to every row of an `n×d` tensor.
+    AddRow(Var, Var),
+    /// Rectified linear unit.
+    Relu(Var),
+    /// Leaky ReLU with the given negative slope.
+    LeakyRelu(Var, f64),
+    /// Logistic sigmoid.
+    Sigmoid(Var),
+    /// Hyperbolic tangent.
+    Tanh(Var),
+    /// `ln(1+e^x)`, numerically stabilized.
+    Softplus(Var),
+    /// Select rows by index (with repetition) from an `n×d` tensor.
+    GatherRows(Var, Vec<usize>),
+    /// Sum rows into `num_segments` buckets: `out[seg[i]] += in[i]`.
+    SegmentSum { input: Var, segments: Vec<usize>, num_segments: usize },
+    /// Mean of rows per bucket (empty buckets stay zero).
+    SegmentMean { input: Var, segments: Vec<usize>, num_segments: usize },
+    /// Columnwise max of rows per bucket (empty buckets stay zero);
+    /// gradient flows to the (first) argmax row per (bucket, column).
+    SegmentMax { input: Var, segments: Vec<usize>, num_segments: usize },
+    /// Concatenate tensors with equal row counts along columns.
+    ConcatCols(Vec<Var>),
+    /// Sum of all elements (`1×1`).
+    SumAll(Var),
+    /// Mean of all elements (`1×1`).
+    MeanAll(Var),
+    /// Row-wise log-softmax.
+    LogSoftmax(Var),
+    /// Elementwise Huber loss between prediction and target.
+    Huber { pred: Var, target: Var, delta: f64 },
+}
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+    requires_grad: bool,
+}
+
+/// A tape of eagerly-evaluated tensor operations supporting reverse-mode
+/// differentiation. Create one per forward pass.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
+        self.nodes.push(Node { value, grad: None, op, requires_grad });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn rg(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient of a node, if `backward` has produced one.
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Insert a differentiable leaf (parameter / input).
+    pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, true)
+    }
+
+    /// Insert a constant (no gradient is computed for it).
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Constant, false)
+    }
+
+    /// Matrix product `a × b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        self.try_matmul(a, b).expect("matmul shape mismatch")
+    }
+
+    /// Checked matrix product.
+    pub fn try_matmul(&mut self, a: Var, b: Var) -> TensorResult<Var> {
+        let (ar, ac) = self.value(a).shape();
+        let (br, bc) = self.value(b).shape();
+        if ac != br {
+            return Err(TensorError::ShapeMismatch { op: "matmul", lhs: (ar, ac), rhs: (br, bc) });
+        }
+        let v = self.value(a).matmul(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        Ok(self.push(v, Op::MatMul(a, b), rg))
+    }
+
+    fn binary_same_shape(
+        &mut self,
+        op_name: &'static str,
+        a: Var,
+        b: Var,
+        f: impl Fn(f64, f64) -> f64,
+        mk: impl Fn(Var, Var) -> Op,
+    ) -> TensorResult<Var> {
+        if self.value(a).shape() != self.value(b).shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: op_name,
+                lhs: self.value(a).shape(),
+                rhs: self.value(b).shape(),
+            });
+        }
+        let v = self.value(a).zip_map(self.value(b), f);
+        let rg = self.rg(a) || self.rg(b);
+        Ok(self.push(v, mk(a, b), rg))
+    }
+
+    /// Elementwise `a + b`.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        self.binary_same_shape("add", a, b, |x, y| x + y, Op::Add).expect("add shape mismatch")
+    }
+
+    /// Elementwise `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        self.binary_same_shape("sub", a, b, |x, y| x - y, Op::Sub).expect("sub shape mismatch")
+    }
+
+    /// Elementwise `a * b`.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        self.binary_same_shape("mul", a, b, |x, y| x * y, Op::Mul).expect("mul shape mismatch")
+    }
+
+    /// `a * c` for scalar constant `c`.
+    pub fn scale(&mut self, a: Var, c: f64) -> Var {
+        let v = self.value(a).map(|x| x * c);
+        let rg = self.rg(a);
+        self.push(v, Op::Scale(a, c), rg)
+    }
+
+    /// Add row vector `b` (`1×d`) to every row of `a` (`n×d`).
+    pub fn add_row(&mut self, a: Var, b: Var) -> Var {
+        self.try_add_row(a, b).expect("add_row shape mismatch")
+    }
+
+    /// Checked broadcasting row add.
+    pub fn try_add_row(&mut self, a: Var, b: Var) -> TensorResult<Var> {
+        let (ar, ac) = self.value(a).shape();
+        let (br, bc) = self.value(b).shape();
+        if br != 1 || bc != ac {
+            return Err(TensorError::ShapeMismatch { op: "add_row", lhs: (ar, ac), rhs: (br, bc) });
+        }
+        let mut v = self.value(a).clone();
+        let brow: Vec<f64> = self.value(b).row(0).to_vec();
+        for i in 0..ar {
+            for (x, &bv) in v.row_mut(i).iter_mut().zip(&brow) {
+                *x += bv;
+            }
+        }
+        let rg = self.rg(a) || self.rg(b);
+        Ok(self.push(v, Op::AddRow(a, b), rg))
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        let rg = self.rg(a);
+        self.push(v, Op::Relu(a), rg)
+    }
+
+    /// Elementwise leaky ReLU.
+    pub fn leaky_relu(&mut self, a: Var, slope: f64) -> Var {
+        let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
+        let rg = self.rg(a);
+        self.push(v, Op::LeakyRelu(a, slope), rg)
+    }
+
+    /// Elementwise sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(sigmoid);
+        let rg = self.rg(a);
+        self.push(v, Op::Sigmoid(a), rg)
+    }
+
+    /// Elementwise tanh.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f64::tanh);
+        let rg = self.rg(a);
+        self.push(v, Op::Tanh(a), rg)
+    }
+
+    /// Elementwise softplus `ln(1+e^x)`.
+    pub fn softplus(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(softplus);
+        let rg = self.rg(a);
+        self.push(v, Op::Softplus(a), rg)
+    }
+
+    /// Gather rows of `a` by `indices` (repetition allowed).
+    pub fn gather_rows(&mut self, a: Var, indices: Vec<usize>) -> TensorResult<Var> {
+        let (n, d) = self.value(a).shape();
+        if let Some(&bad) = indices.iter().find(|&&i| i >= n) {
+            return Err(TensorError::IndexOutOfRange { op: "gather_rows", index: bad, bound: n });
+        }
+        let mut v = Tensor::zeros(indices.len(), d);
+        for (r, &i) in indices.iter().enumerate() {
+            v.row_mut(r).copy_from_slice(self.value(a).row(i));
+        }
+        let rg = self.rg(a);
+        Ok(self.push(v, Op::GatherRows(a, indices), rg))
+    }
+
+    /// Sum rows of `a` into `num_segments` buckets keyed by `segments`.
+    pub fn segment_sum(
+        &mut self,
+        a: Var,
+        segments: Vec<usize>,
+        num_segments: usize,
+    ) -> TensorResult<Var> {
+        let (n, d) = self.value(a).shape();
+        if segments.len() != n {
+            return Err(TensorError::ShapeMismatch {
+                op: "segment_sum",
+                lhs: (n, d),
+                rhs: (segments.len(), 1),
+            });
+        }
+        if let Some(&bad) = segments.iter().find(|&&s| s >= num_segments) {
+            return Err(TensorError::IndexOutOfRange {
+                op: "segment_sum",
+                index: bad,
+                bound: num_segments,
+            });
+        }
+        let mut v = Tensor::zeros(num_segments, d);
+        for (i, &s) in segments.iter().enumerate() {
+            let src = self.value(a).row(i).to_vec();
+            for (x, y) in v.row_mut(s).iter_mut().zip(src) {
+                *x += y;
+            }
+        }
+        let rg = self.rg(a);
+        Ok(self.push(v, Op::SegmentSum { input: a, segments, num_segments }, rg))
+    }
+
+    /// Mean of rows of `a` per bucket (empty buckets are zero rows).
+    pub fn segment_mean(
+        &mut self,
+        a: Var,
+        segments: Vec<usize>,
+        num_segments: usize,
+    ) -> TensorResult<Var> {
+        let (n, d) = self.value(a).shape();
+        if segments.len() != n {
+            return Err(TensorError::ShapeMismatch {
+                op: "segment_mean",
+                lhs: (n, d),
+                rhs: (segments.len(), 1),
+            });
+        }
+        if let Some(&bad) = segments.iter().find(|&&s| s >= num_segments) {
+            return Err(TensorError::IndexOutOfRange {
+                op: "segment_mean",
+                index: bad,
+                bound: num_segments,
+            });
+        }
+        let mut v = Tensor::zeros(num_segments, d);
+        let mut counts = vec![0usize; num_segments];
+        for (i, &s) in segments.iter().enumerate() {
+            counts[s] += 1;
+            let src = self.value(a).row(i).to_vec();
+            for (x, y) in v.row_mut(s).iter_mut().zip(src) {
+                *x += y;
+            }
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            if c > 1 {
+                let inv = 1.0 / c as f64;
+                for x in v.row_mut(s) {
+                    *x *= inv;
+                }
+            }
+        }
+        let rg = self.rg(a);
+        Ok(self.push(v, Op::SegmentMean { input: a, segments, num_segments }, rg))
+    }
+
+    /// Columnwise max of rows of `a` per bucket (empty buckets are zero
+    /// rows — callers should ensure features are non-negative or treat
+    /// empty buckets separately).
+    pub fn segment_max(
+        &mut self,
+        a: Var,
+        segments: Vec<usize>,
+        num_segments: usize,
+    ) -> TensorResult<Var> {
+        let (n, d) = self.value(a).shape();
+        if segments.len() != n {
+            return Err(TensorError::ShapeMismatch {
+                op: "segment_max",
+                lhs: (n, d),
+                rhs: (segments.len(), 1),
+            });
+        }
+        if let Some(&bad) = segments.iter().find(|&&s| s >= num_segments) {
+            return Err(TensorError::IndexOutOfRange {
+                op: "segment_max",
+                index: bad,
+                bound: num_segments,
+            });
+        }
+        let mut v = Tensor::zeros(num_segments, d);
+        let mut seen = vec![false; num_segments];
+        for (i, &s) in segments.iter().enumerate() {
+            let src = self.value(a).row(i).to_vec();
+            if !seen[s] {
+                v.row_mut(s).copy_from_slice(&src);
+                seen[s] = true;
+            } else {
+                for (x, y) in v.row_mut(s).iter_mut().zip(src) {
+                    if y > *x {
+                        *x = y;
+                    }
+                }
+            }
+        }
+        let rg = self.rg(a);
+        Ok(self.push(v, Op::SegmentMax { input: a, segments, num_segments }, rg))
+    }
+
+    /// Concatenate along columns (all inputs must share the row count).
+    pub fn concat_cols(&mut self, parts: Vec<Var>) -> TensorResult<Var> {
+        assert!(!parts.is_empty(), "concat_cols needs at least one input");
+        let rows = self.value(parts[0]).rows();
+        let mut total_cols = 0;
+        for &p in &parts {
+            let (r, c) = self.value(p).shape();
+            if r != rows {
+                return Err(TensorError::ShapeMismatch {
+                    op: "concat_cols",
+                    lhs: (rows, 0),
+                    rhs: (r, c),
+                });
+            }
+            total_cols += c;
+        }
+        let mut v = Tensor::zeros(rows, total_cols);
+        let mut off = 0;
+        for &p in &parts {
+            let t = self.value(p);
+            let c = t.cols();
+            for i in 0..rows {
+                let dst_start = i * total_cols + off;
+                v.data_mut()[dst_start..dst_start + c].copy_from_slice(t.row(i));
+            }
+            off += c;
+        }
+        let rg = parts.iter().any(|&p| self.rg(p));
+        Ok(self.push(v, Op::ConcatCols(parts), rg))
+    }
+
+    /// Sum of all elements (scalar).
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).sum());
+        let rg = self.rg(a);
+        self.push(v, Op::SumAll(a), rg)
+    }
+
+    /// Mean of all elements (scalar).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let n = self.value(a).len().max(1) as f64;
+        let v = Tensor::scalar(self.value(a).sum() / n);
+        let rg = self.rg(a);
+        self.push(v, Op::MeanAll(a), rg)
+    }
+
+    /// Row-wise log-softmax.
+    pub fn log_softmax(&mut self, a: Var) -> Var {
+        let t = self.value(a);
+        let (n, d) = t.shape();
+        let mut v = Tensor::zeros(n, d);
+        for i in 0..n {
+            let row = t.row(i);
+            let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f64>().ln();
+            for (j, &x) in row.iter().enumerate() {
+                v.set(i, j, x - lse);
+            }
+        }
+        let rg = self.rg(a);
+        self.push(v, Op::LogSoftmax(a), rg)
+    }
+
+    /// Elementwise Huber loss `h_δ(pred - target)`.
+    pub fn huber(&mut self, pred: Var, target: Var, delta: f64) -> TensorResult<Var> {
+        if self.value(pred).shape() != self.value(target).shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "huber",
+                lhs: self.value(pred).shape(),
+                rhs: self.value(target).shape(),
+            });
+        }
+        let v = self.value(pred).zip_map(self.value(target), |p, t| {
+            let e = p - t;
+            if e.abs() <= delta {
+                0.5 * e * e
+            } else {
+                delta * (e.abs() - 0.5 * delta)
+            }
+        });
+        let rg = self.rg(pred) || self.rg(target);
+        Ok(self.push(v, Op::Huber { pred, target, delta }, rg))
+    }
+
+    fn accumulate(&mut self, v: Var, delta: Tensor) {
+        if !self.nodes[v.0].requires_grad {
+            return;
+        }
+        match &mut self.nodes[v.0].grad {
+            Some(g) => g.add_assign(&delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    /// Run reverse-mode differentiation from the scalar node `loss`,
+    /// populating gradients for every grad-requiring ancestor.
+    pub fn backward(&mut self, loss: Var) -> TensorResult<()> {
+        let shape = self.value(loss).shape();
+        if shape != (1, 1) {
+            return Err(TensorError::NonScalarLoss { shape });
+        }
+        self.nodes[loss.0].grad = Some(Tensor::scalar(1.0));
+        for idx in (0..=loss.0).rev() {
+            if !self.nodes[idx].requires_grad {
+                continue;
+            }
+            let Some(g) = self.nodes[idx].grad.clone() else { continue };
+            let op = self.nodes[idx].op.clone();
+            match op {
+                Op::Leaf | Op::Constant => {}
+                Op::MatMul(a, b) => {
+                    if self.rg(a) {
+                        let bt = self.value(b).transpose();
+                        self.accumulate(a, g.matmul(&bt));
+                    }
+                    if self.rg(b) {
+                        let at = self.value(a).transpose();
+                        self.accumulate(b, at.matmul(&g));
+                    }
+                }
+                Op::Add(a, b) => {
+                    self.accumulate(a, g.clone());
+                    self.accumulate(b, g);
+                }
+                Op::Sub(a, b) => {
+                    self.accumulate(a, g.clone());
+                    self.accumulate(b, g.map(|x| -x));
+                }
+                Op::Mul(a, b) => {
+                    if self.rg(a) {
+                        let d = g.zip_map(self.value(b), |x, y| x * y);
+                        self.accumulate(a, d);
+                    }
+                    if self.rg(b) {
+                        let d = g.zip_map(self.value(a), |x, y| x * y);
+                        self.accumulate(b, d);
+                    }
+                }
+                Op::Scale(a, c) => self.accumulate(a, g.map(|x| x * c)),
+                Op::AddRow(a, b) => {
+                    if self.rg(a) {
+                        self.accumulate(a, g.clone());
+                    }
+                    if self.rg(b) {
+                        let (n, d) = g.shape();
+                        let mut col = Tensor::zeros(1, d);
+                        for i in 0..n {
+                            for j in 0..d {
+                                col.data_mut()[j] += g.get(i, j);
+                            }
+                        }
+                        self.accumulate(b, col);
+                    }
+                }
+                Op::Relu(a) => {
+                    let d = g.zip_map(self.value(a), |gx, x| if x > 0.0 { gx } else { 0.0 });
+                    self.accumulate(a, d);
+                }
+                Op::LeakyRelu(a, slope) => {
+                    let d =
+                        g.zip_map(self.value(a), |gx, x| if x > 0.0 { gx } else { slope * gx });
+                    self.accumulate(a, d);
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[idx].value;
+                    let d = g.zip_map(y, |gx, s| gx * s * (1.0 - s));
+                    self.accumulate(a, d);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[idx].value;
+                    let d = g.zip_map(y, |gx, t| gx * (1.0 - t * t));
+                    self.accumulate(a, d);
+                }
+                Op::Softplus(a) => {
+                    let d = g.zip_map(self.value(a), |gx, x| gx * sigmoid(x));
+                    self.accumulate(a, d);
+                }
+                Op::GatherRows(a, indices) => {
+                    let (n, d) = self.value(a).shape();
+                    let mut da = Tensor::zeros(n, d);
+                    for (r, &i) in indices.iter().enumerate() {
+                        let src = g.row(r).to_vec();
+                        for (x, y) in da.row_mut(i).iter_mut().zip(src) {
+                            *x += y;
+                        }
+                    }
+                    self.accumulate(a, da);
+                }
+                Op::SegmentSum { input, segments, .. } => {
+                    let (n, d) = self.value(input).shape();
+                    let mut da = Tensor::zeros(n, d);
+                    for (i, &s) in segments.iter().enumerate() {
+                        da.row_mut(i).copy_from_slice(g.row(s));
+                    }
+                    self.accumulate(input, da);
+                }
+                Op::SegmentMean { input, segments, num_segments } => {
+                    let (n, d) = self.value(input).shape();
+                    let mut counts = vec![0usize; num_segments];
+                    for &s in &segments {
+                        counts[s] += 1;
+                    }
+                    let mut da = Tensor::zeros(n, d);
+                    for (i, &s) in segments.iter().enumerate() {
+                        let inv = 1.0 / counts[s] as f64;
+                        for (x, &y) in da.row_mut(i).iter_mut().zip(g.row(s)) {
+                            *x = y * inv;
+                        }
+                    }
+                    self.accumulate(input, da);
+                }
+                Op::SegmentMax { input, segments, num_segments } => {
+                    let (n, d) = self.value(input).shape();
+                    // Recompute the argmax row per (segment, column).
+                    let mut arg: Vec<Vec<Option<usize>>> = vec![vec![None; d]; num_segments];
+                    for (i, &s) in segments.iter().enumerate() {
+                        for c in 0..d {
+                            let x = self.value(input).get(i, c);
+                            match arg[s][c] {
+                                None => arg[s][c] = Some(i),
+                                Some(j) if x > self.value(input).get(j, c) => {
+                                    arg[s][c] = Some(i)
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    let mut da = Tensor::zeros(n, d);
+                    for (s, cols) in arg.iter().enumerate() {
+                        for (c, &winner) in cols.iter().enumerate() {
+                            if let Some(i) = winner {
+                                da.set(i, c, da.get(i, c) + g.get(s, c));
+                            }
+                        }
+                    }
+                    self.accumulate(input, da);
+                }
+                Op::ConcatCols(parts) => {
+                    let rows = g.rows();
+                    let mut off = 0;
+                    for &p in &parts {
+                        let c = self.value(p).cols();
+                        if self.rg(p) {
+                            let mut dp = Tensor::zeros(rows, c);
+                            for i in 0..rows {
+                                let src = &g.row(i)[off..off + c];
+                                dp.row_mut(i).copy_from_slice(src);
+                            }
+                            self.accumulate(p, dp);
+                        }
+                        off += c;
+                    }
+                }
+                Op::SumAll(a) => {
+                    let (n, d) = self.value(a).shape();
+                    self.accumulate(a, Tensor::full(n, d, g.item()));
+                }
+                Op::MeanAll(a) => {
+                    let (n, d) = self.value(a).shape();
+                    let scale = g.item() / (n * d).max(1) as f64;
+                    self.accumulate(a, Tensor::full(n, d, scale));
+                }
+                Op::LogSoftmax(a) => {
+                    // dL/dx = g - softmax(x) * rowsum(g)
+                    let y = self.nodes[idx].value.clone();
+                    let (n, d) = y.shape();
+                    let mut da = Tensor::zeros(n, d);
+                    for i in 0..n {
+                        let gsum: f64 = g.row(i).iter().sum();
+                        for j in 0..d {
+                            da.set(i, j, g.get(i, j) - y.get(i, j).exp() * gsum);
+                        }
+                    }
+                    self.accumulate(a, da);
+                }
+                Op::Huber { pred, target, delta } => {
+                    let e = self.value(pred).zip_map(self.value(target), |p, t| p - t);
+                    let clip = e.map(|x| x.clamp(-delta, delta));
+                    if self.rg(pred) {
+                        self.accumulate(pred, g.zip_map(&clip, |gx, c| gx * c));
+                    }
+                    if self.rg(target) {
+                        self.accumulate(target, g.zip_map(&clip, |gx, c| -gx * c));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[inline]
+fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically-stable `ln(1+e^x)`.
+#[inline]
+fn softplus(x: f64) -> f64 {
+    if x > 30.0 {
+        x
+    } else if x < -30.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_chain_gradient() {
+        // loss = mean((x*2)^2) over 1x2; d/dx = 4x (mean of 2 elements → 4x/2·…)
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_rows(&[&[1.0, -3.0]]));
+        let y = g.scale(x, 2.0);
+        let sq = g.mul(y, y);
+        let loss = g.mean_all(sq);
+        g.backward(loss).unwrap();
+        // loss = (4x²)/2 summed…  mean over 2 elements: d/dx_i = 8x_i/2 = 4x_i
+        let grad = g.grad(x).unwrap();
+        assert!((grad.get(0, 0) - 4.0).abs() < 1e-12);
+        assert!((grad.get(0, 1) + 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_gradients_match_closed_form() {
+        // loss = sum(A·B); dA = 1·Bᵀ, dB = Aᵀ·1
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = g.leaf(Tensor::from_rows(&[&[5.0], &[6.0]]));
+        let y = g.matmul(a, b);
+        let loss = g.sum_all(y);
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(a).unwrap(), &Tensor::from_rows(&[&[5.0, 6.0], &[5.0, 6.0]]));
+        assert_eq!(g.grad(b).unwrap(), &Tensor::from_rows(&[&[4.0], &[6.0]]));
+    }
+
+    #[test]
+    fn constants_get_no_grad() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::scalar(2.0));
+        let c = g.constant(Tensor::scalar(3.0));
+        let y = g.mul(x, c);
+        let loss = g.sum_all(y);
+        g.backward(loss).unwrap();
+        assert!(g.grad(c).is_none());
+        assert_eq!(g.grad(x).unwrap().item(), 3.0);
+    }
+
+    #[test]
+    fn shared_subexpression_accumulates() {
+        // loss = sum(x + x) → dx = 2
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::scalar(1.5));
+        let y = g.add(x, x);
+        let loss = g.sum_all(y);
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(x).unwrap().item(), 2.0);
+    }
+
+    #[test]
+    fn non_scalar_loss_rejected() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::zeros(2, 2));
+        assert!(matches!(g.backward(x), Err(TensorError::NonScalarLoss { .. })));
+    }
+
+    #[test]
+    fn gather_and_segment_round_trip() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0]]));
+        let gathered = g.gather_rows(x, vec![2, 0, 2]).unwrap();
+        assert_eq!(g.value(gathered).row(0), &[3.0, 30.0]);
+        let summed = g.segment_sum(gathered, vec![0, 0, 1], 2).unwrap();
+        assert_eq!(g.value(summed).row(0), &[4.0, 40.0]);
+        assert_eq!(g.value(summed).row(1), &[3.0, 30.0]);
+        let loss = g.sum_all(summed);
+        g.backward(loss).unwrap();
+        // Row 2 was gathered twice → gradient 2; row 0 once; row 1 never.
+        let gx = g.grad(x).unwrap();
+        assert_eq!(gx.row(0), &[1.0, 1.0]);
+        assert_eq!(gx.row(1), &[0.0, 0.0]);
+        assert_eq!(gx.row(2), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn segment_mean_handles_empty_segments() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_rows(&[&[2.0], &[4.0]]));
+        let m = g.segment_mean(x, vec![0, 0], 3).unwrap();
+        assert_eq!(g.value(m).row(0), &[3.0]);
+        assert_eq!(g.value(m).row(1), &[0.0]);
+        assert_eq!(g.value(m).row(2), &[0.0]);
+        let loss = g.sum_all(m);
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(x).unwrap().row(0), &[0.5]);
+    }
+
+    #[test]
+    fn concat_cols_splits_gradient() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::from_rows(&[&[1.0], &[2.0]]));
+        let b = g.leaf(Tensor::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]));
+        let c = g.concat_cols(vec![a, b]).unwrap();
+        assert_eq!(g.value(c).shape(), (2, 3));
+        assert_eq!(g.value(c).row(1), &[2.0, 5.0, 6.0]);
+        let w = g.constant(Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]]));
+        let p = g.mul(c, w);
+        let loss = g.sum_all(p);
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(a).unwrap(), &Tensor::from_rows(&[&[1.0], &[1.0]]));
+        assert_eq!(g.grad(b).unwrap(), &Tensor::from_rows(&[&[2.0, 3.0], &[2.0, 3.0]]));
+    }
+
+    #[test]
+    fn log_softmax_rows_sum_to_one_in_prob_space() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[1000.0, 0.0, -1000.0]]));
+        let y = g.log_softmax(x);
+        for i in 0..2 {
+            let p: f64 = g.value(y).row(i).iter().map(|&v| v.exp()).sum();
+            assert!((p - 1.0).abs() < 1e-9, "row {i} sums to {p}");
+        }
+        assert!(g.value(y).all_finite());
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::zeros(2, 3));
+        let b = g.leaf(Tensor::zeros(2, 3));
+        assert!(g.try_matmul(a, b).is_err());
+        assert!(g.gather_rows(a, vec![5]).is_err());
+        assert!(g.segment_sum(a, vec![0], 1).is_err());
+        assert!(g.segment_sum(a, vec![9, 9], 1).is_err());
+        let c = g.leaf(Tensor::zeros(3, 3));
+        assert!(g.concat_cols(vec![a, c]).is_err());
+        assert!(g.huber(a, c, 1.0).is_err());
+        assert!(g.try_add_row(a, c).is_err());
+    }
+
+    #[test]
+    fn huber_matches_quadratic_then_linear() {
+        let mut g = Graph::new();
+        let p = g.leaf(Tensor::from_rows(&[&[0.5, 3.0]]));
+        let t = g.constant(Tensor::from_rows(&[&[0.0, 0.0]]));
+        let h = g.huber(p, t, 1.0).unwrap();
+        assert!((g.value(h).get(0, 0) - 0.125).abs() < 1e-12);
+        assert!((g.value(h).get(0, 1) - 2.5).abs() < 1e-12);
+        let loss = g.sum_all(h);
+        g.backward(loss).unwrap();
+        let grad = g.grad(p).unwrap();
+        assert!((grad.get(0, 0) - 0.5).abs() < 1e-12);
+        assert!((grad.get(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert!(sigmoid(-1000.0).abs() < 1e-300);
+        assert!((softplus(1000.0) - 1000.0).abs() < 1e-9);
+        assert!(softplus(-1000.0) >= 0.0);
+    }
+}

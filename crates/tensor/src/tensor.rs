@@ -1,0 +1,275 @@
+//! Dense row-major 2-D `f64` tensors with the handful of BLAS-like kernels
+//! the autodiff engine needs.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f64`. Vectors are `1×d` or `n×1` tensors;
+/// scalars are `1×1`.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// All-zero tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Tensor filled with `v`.
+    pub fn full(rows: usize, cols: usize, v: f64) -> Self {
+        Tensor { rows, cols, data: vec![v; rows * cols] }
+    }
+
+    /// A `1×1` scalar.
+    pub fn scalar(v: f64) -> Self {
+        Tensor { rows: 1, cols: 1, data: vec![v] }
+    }
+
+    /// From raw row-major data. Panics if the length is not `rows*cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "tensor data must have rows*cols elements");
+        Tensor { rows, cols, data }
+    }
+
+    /// From row slices. Panics on ragged input.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |x| x.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Tensor { rows: r, cols: c, data }
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at (`r`, `c`).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Set element at (`r`, `c`).
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Raw data (row-major).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data (row-major).
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// The single element of a `1×1` tensor. Panics otherwise.
+    pub fn item(&self) -> f64 {
+        assert_eq!(self.shape(), (1, 1), "item() requires a 1x1 tensor");
+        self.data[0]
+    }
+
+    /// Matrix product `self × rhs` (naive ikj loop). Panics on shape
+    /// mismatch — shape checking happens in the tape layer.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.cols, rhs.rows, "matmul inner dimensions must agree");
+        let mut out = Tensor::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                for (j, &b) in b_row.iter().enumerate() {
+                    out_row[j] += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Elementwise binary map (panics on shape mismatch).
+    pub fn zip_map(&self, rhs: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        assert_eq!(self.shape(), rhs.shape(), "zip_map shapes must agree");
+        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect();
+        Tensor { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Elementwise unary map.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&a| f(a)).collect() }
+    }
+
+    /// In-place `self += rhs` (panics on shape mismatch).
+    pub fn add_assign(&mut self, rhs: &Tensor) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign shapes must agree");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self *= c`.
+    pub fn scale_assign(&mut self, c: f64) {
+        for a in &mut self.data {
+            *a *= c;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|&a| a * a).sum::<f64>().sqrt()
+    }
+
+    /// True if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|a| a.is_finite())
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Tensor {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8;
+        for i in 0..self.rows.min(max_rows) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(8) {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.4}", self.get(i, j))?;
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(t.shape(), (2, 2));
+        assert_eq!(t.get(1, 0), 3.0);
+        assert_eq!(t.row(0), &[1.0, 2.0]);
+        assert_eq!(Tensor::scalar(5.0).item(), 5.0);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Tensor::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::from_rows(&[&[1.0, 0.0, 2.0]]);
+        let b = Tensor::from_rows(&[&[1.0], &[1.0], &[1.0]]);
+        assert_eq!(a.matmul(&b), Tensor::scalar(3.0));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn elementwise_helpers() {
+        let a = Tensor::from_rows(&[&[1.0, -2.0]]);
+        let b = Tensor::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(a.zip_map(&b, |x, y| x * y), Tensor::from_rows(&[&[3.0, -8.0]]));
+        assert_eq!(a.map(f64::abs), Tensor::from_rows(&[&[1.0, 2.0]]));
+        let mut c = a.clone();
+        c.add_assign(&b);
+        assert_eq!(c, Tensor::from_rows(&[&[4.0, 2.0]]));
+        c.scale_assign(0.5);
+        assert_eq!(c, Tensor::from_rows(&[&[2.0, 1.0]]));
+        assert_eq!(b.sum(), 7.0);
+        assert!(a.all_finite());
+        assert!(!Tensor::scalar(f64::NAN).all_finite());
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_from_vec_panics() {
+        let _ = Tensor::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn item_on_matrix_panics() {
+        let _ = Tensor::zeros(2, 2).item();
+    }
+}

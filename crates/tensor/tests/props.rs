@@ -1,0 +1,112 @@
+//! Property-based tests for the tensor/autodiff substrate.
+
+use proptest::prelude::*;
+use relgraph_tensor::gradcheck::check_gradient;
+use relgraph_tensor::{Graph, Tensor};
+
+fn small_tensor() -> impl Strategy<Value = Tensor> {
+    ((1usize..5, 1usize..5)).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-3.0f64..3.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_shapes_compose((a, b, c) in (1usize..6, 1usize..6, 1usize..6)) {
+        let x = Tensor::full(a, b, 1.0);
+        let y = Tensor::full(b, c, 2.0);
+        let z = x.matmul(&y);
+        prop_assert_eq!(z.shape(), (a, c));
+        // Every entry is b * 1 * 2.
+        prop_assert!(z.data().iter().all(|&v| (v - 2.0 * b as f64).abs() < 1e-12));
+    }
+
+    #[test]
+    fn transpose_is_involutive(t in small_tensor()) {
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(t in small_tensor()) {
+        // (AᵀA) is symmetric.
+        let ata = t.transpose().matmul(&t);
+        let (n, m) = ata.shape();
+        prop_assert_eq!(n, m);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((ata.get(i, j) - ata.get(j, i)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn activation_chain_gradients_check(t in small_tensor()) {
+        let r = check_gradient(&t, 1e-5, |g, x| {
+            let a = g.tanh(x);
+            let b = g.sigmoid(a);
+            let c = g.softplus(b);
+            g.mean_all(c)
+        });
+        prop_assert!(r.passes(1e-5), "{r:?}");
+    }
+
+    #[test]
+    fn linear_layer_gradients_check(t in small_tensor()) {
+        let cols = t.cols();
+        let w = Tensor::full(cols, 3, 0.37);
+        let r = check_gradient(&t, 1e-5, move |g, x| {
+            let wv = g.leaf(w.clone());
+            let y = g.matmul(x, wv);
+            let z = g.relu(y);
+            g.sum_all(z)
+        });
+        prop_assert!(r.passes(1e-5), "{r:?}");
+    }
+
+    #[test]
+    fn segment_mean_preserves_total_when_uniform(rows in 1usize..8, segs in 1usize..4) {
+        // All rows to one segment: mean of all rows.
+        let t = Tensor::full(rows, 2, 3.5);
+        let mut g = Graph::new();
+        let x = g.constant(t);
+        let m = g.segment_mean(x, vec![0; rows], segs).unwrap();
+        prop_assert!((g.value(m).get(0, 0) - 3.5).abs() < 1e-12);
+        for s in 1..segs {
+            prop_assert_eq!(g.value(m).get(s, 0), 0.0);
+        }
+    }
+
+    #[test]
+    fn sum_all_equals_manual_sum(t in small_tensor()) {
+        let mut g = Graph::new();
+        let x = g.constant(t.clone());
+        let s = g.sum_all(x);
+        prop_assert!((g.value(s).item() - t.sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backward_gradients_are_finite(t in small_tensor()) {
+        let mut g = Graph::new();
+        let x = g.leaf(t);
+        let a = g.leaky_relu(x, 0.01);
+        let b = g.mul(a, a);
+        let l = g.mean_all(b);
+        g.backward(l).unwrap();
+        prop_assert!(g.grad(x).unwrap().all_finite());
+    }
+
+    #[test]
+    fn gather_rows_matches_manual(t in small_tensor(), seed in 0usize..100) {
+        let n = t.rows();
+        let idx: Vec<usize> = (0..4).map(|k| (seed + k) % n).collect();
+        let mut g = Graph::new();
+        let x = g.constant(t.clone());
+        let got = g.gather_rows(x, idx.clone()).unwrap();
+        for (r, &i) in idx.iter().enumerate() {
+            prop_assert_eq!(g.value(got).row(r), t.row(i));
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Customer-churn prediction: the paper's headline comparison on one task.
+//!
+//! The same predictive query — "will this customer stay active over the
+//! next 30 days?" — is executed with the relational GNN and with three
+//! tabular baselines (gradient-boosted trees and logistic regression on
+//! hand-style engineered features, plus the class prior), printing an
+//! AUROC leaderboard.
+//!
+//! Run with: `cargo run --release --example churn_prediction`
+
+use relgraph::pq::{execute, ExecConfig};
+use relgraph::prelude::*;
+
+fn main() {
+    let db = generate_ecommerce(&EcommerceConfig {
+        customers: 400,
+        products: 50,
+        seed: 21,
+        ..Default::default()
+    })
+    .expect("generate database");
+    println!(
+        "shop database: {} customers, {} orders\n",
+        db.table("customers").unwrap().len(),
+        db.table("orders").unwrap().len()
+    );
+
+    let query = "PREDICT EXISTS(orders.*, 0, 30) FOR EACH customers.customer_id";
+    let cfg = ExecConfig { epochs: 25, fanouts: vec![8, 8], ..Default::default() };
+
+    println!("{:<12} {:>8} {:>10} {:>10}", "model", "auroc", "accuracy", "logloss");
+    for model in ["gnn", "gbdt", "logreg", "trivial"] {
+        let outcome = execute(&db, &format!("{query} USING model = {model}"), &cfg)
+            .unwrap_or_else(|e| panic!("model {model} failed: {e}"));
+        println!(
+            "{:<12} {:>8.4} {:>10.4} {:>10.4}",
+            model,
+            outcome.metric("auroc").unwrap_or(f64::NAN),
+            outcome.metric("accuracy").unwrap_or(f64::NAN),
+            outcome.metric("logloss").unwrap_or(f64::NAN),
+        );
+    }
+    println!(
+        "\nExpected shape (paper): gnn ≥ gbdt ≥ logreg > trivial on AUROC — the \
+         relational model sees multi-hop signal (product quality via other \
+         customers' reviews) that flat features miss."
+    );
+}

@@ -1,0 +1,111 @@
+//! Bring your own database: build a schema and rows through the public
+//! API (or a `schema.ddl` + CSVs directory), then ask predictive queries —
+//! including the multiclass `MODE` form.
+//!
+//! Run with: `cargo run --release --example custom_database`
+
+use relgraph::pq::{execute, ExecConfig};
+use relgraph::store::{render_ddl, Database, DataType, Row, TableSchema, Value};
+
+const DAY: i64 = 86_400;
+
+/// A small streaming service: users watch shows of different genres.
+fn build_database() -> Database {
+    let mut db = Database::new("streaming");
+    db.create_table(
+        TableSchema::builder("users")
+            .column("user_id", DataType::Int)
+            .column("joined_at", DataType::Timestamp)
+            .column("plan", DataType::Text)
+            .primary_key("user_id")
+            .time_column("joined_at")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::builder("watches")
+            .column("watch_id", DataType::Int)
+            .column("user_id", DataType::Int)
+            .column("genre", DataType::Text)
+            .column("minutes", DataType::Int)
+            .column("watched_at", DataType::Timestamp)
+            .primary_key("watch_id")
+            .time_column("watched_at")
+            .foreign_key("user_id", "users")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+
+    // 120 users; binge-watchers favour one genre, casual users roam.
+    let genres = ["drama", "comedy", "documentary", "anime"];
+    let plans = ["free", "basic", "premium"];
+    let mut watch_id = 0i64;
+    for user in 0..120i64 {
+        let joined = (user % 60) * DAY;
+        db.insert(
+            "users",
+            Row::new()
+                .push(user)
+                .push(Value::Timestamp(joined))
+                .push(plans[(user % 3) as usize]),
+        )
+        .unwrap();
+        let favourite = (user % 4) as usize;
+        let intensity = 1 + (user % 5); // watches per 10 days
+        let mut t = joined;
+        while t < 180 * DAY {
+            for k in 0..intensity {
+                // Favourite genre 70% of the time (deterministic pattern).
+                let genre =
+                    if (user + k + t / DAY) % 10 < 7 { favourite } else { ((user + k) % 4) as usize };
+                db.insert(
+                    "watches",
+                    Row::new()
+                        .push(watch_id)
+                        .push(user)
+                        .push(genres[genre])
+                        .push(20 + (watch_id % 70))
+                        .push(Value::Timestamp(t + k * DAY)),
+                )
+                .unwrap();
+                watch_id += 1;
+            }
+            t += 10 * DAY;
+        }
+    }
+    db.validate().expect("referential integrity");
+    db
+}
+
+fn main() {
+    let db = build_database();
+    println!("{}", db.summary());
+
+    // The same schema as portable DDL (save with `save_database_dir`).
+    let schemas: Vec<_> = db.tables().iter().map(|t| t.schema().clone()).collect();
+    println!("Portable schema.ddl:\n{}", render_ddl(&schemas));
+
+    let cfg = ExecConfig { epochs: 10, max_predictions: Some(5), ..Default::default() };
+
+    // 1. Will this user watch anything next week? (binary)
+    let q1 = "PREDICT EXISTS(watches.*, 0, 7) FOR EACH users.user_id USING model = gbdt";
+    let out = execute(&db, q1, &cfg).expect("q1");
+    println!("Q1 {}\n   → {}\n", q1, out.summary());
+
+    // 2. How many minutes will they watch next month? (regression,
+    //    conditional aggregate: long sessions only)
+    let q2 = "PREDICT SUM(watches.minutes WHERE minutes > 30, 0, 30) \
+              FOR EACH users.user_id USING model = gnn, epochs = 8";
+    let out = execute(&db, q2, &cfg).expect("q2");
+    println!("Q2 {}\n   → {}\n", q2, out.summary());
+
+    // 3. Which genre will dominate their next month? (multiclass MODE)
+    let q3 = "PREDICT MODE(watches.genre, 0, 30) FOR EACH users.user_id USING model = gnn";
+    let out = execute(&db, q3, &cfg).expect("q3");
+    println!("Q3 {}\n   → {}", q3, out.summary());
+    for p in out.predictions.iter().take(5) {
+        println!("     user {} → {:?}", p.entity_key, p.value);
+    }
+}

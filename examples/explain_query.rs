@@ -1,0 +1,54 @@
+//! EXPLAIN-style tour of the predictive query compiler: parse, analyze and
+//! print the compiled plan for a range of queries — including the errors
+//! the analyzer raises for ill-typed ones — without training any model.
+//!
+//! Run with: `cargo run --example explain_query`
+
+use relgraph::pq::{analyze, build_training_table, explain, parse};
+use relgraph::pq::traintable::TrainTableConfig;
+use relgraph::prelude::*;
+
+fn main() {
+    let db = generate_ecommerce(&EcommerceConfig {
+        customers: 120,
+        products: 30,
+        seed: 2,
+        ..Default::default()
+    })
+    .expect("generate database");
+
+    let queries = [
+        // Classification via thresholded count.
+        "PREDICT COUNT(orders.order_id, 0, 30) > 0 FOR EACH customers.customer_id",
+        // Regression on future spend.
+        "PREDICT SUM(orders.amount, 0, 30) FOR EACH customers.customer_id",
+        // Recommendation.
+        "PREDICT LIST_DISTINCT(orders.product_id, 0, 14) FOR EACH customers.customer_id",
+        // Filtered entity set with boolean structure.
+        "PREDICT EXISTS(reviews.*, 0, 60) FOR EACH customers.customer_id \
+         WHERE region = 'north' OR region = 'south'",
+        // Average future rating (skips entities with empty windows).
+        "PREDICT AVG(reviews.rating, 0, 90) FOR EACH customers.customer_id",
+    ];
+    for q in queries {
+        println!("─────────────────────────────────────────────────────────");
+        let parsed = parse(q).expect("parse");
+        let analyzed = analyze(&db, parsed).expect("analyze");
+        let table = build_training_table(&db, &analyzed, &TrainTableConfig::default())
+            .expect("training table");
+        println!("{}", explain(&db, &analyzed, Some(&table)));
+    }
+
+    println!("─────────────────────────────────────────────────────────");
+    println!("And what the analyzer rejects:\n");
+    let bad = [
+        "PREDICT COUNT(orders.*, 30, 10) FOR EACH customers.customer_id",
+        "PREDICT SUM(customers.region, 0, 30) FOR EACH customers.customer_id",
+        "PREDICT COUNT(customers.*, 0, 30) FOR EACH products.product_id",
+        "PREDICT COUNT(orders.*, 0, 30) FOR EACH customers.customer_id WHERE bogus = 1",
+    ];
+    for q in bad {
+        let err = parse(q).and_then(|p| analyze(&db, p)).unwrap_err();
+        println!("  {q}\n    ✗ {err}\n");
+    }
+}

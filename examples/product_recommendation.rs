@@ -1,0 +1,59 @@
+//! Product recommendation as a predictive query.
+//!
+//! `LIST_DISTINCT(orders.product_id, 0, 60)` asks: *which products will
+//! each customer buy in the next 60 days?* The executor infers a ranking
+//! task, trains a two-tower GNN, and is compared against popularity and
+//! co-visitation recommenders.
+//!
+//! Run with: `cargo run --release --example product_recommendation`
+
+use relgraph::pq::{execute, ExecConfig, PredictionValue};
+use relgraph::prelude::*;
+
+fn main() {
+    let db = generate_ecommerce(&EcommerceConfig {
+        customers: 300,
+        products: 60,
+        seed: 33,
+        ..Default::default()
+    })
+    .expect("generate database");
+
+    let query = "PREDICT LIST_DISTINCT(orders.product_id, 0, 60) \
+                 FOR EACH customers.customer_id";
+    let cfg = ExecConfig { epochs: 30, lr: 0.02, hidden_dim: 48, top_k: 10, ..Default::default() };
+
+    println!("{:<12} {:>9} {:>11} {:>9}", "model", "map@10", "recall@10", "ndcg@10");
+    let mut sample: Option<Vec<String>> = None;
+    for model in ["gnn", "covisit", "popularity"] {
+        let outcome = execute(&db, &format!("{query} USING model = {model}"), &cfg)
+            .unwrap_or_else(|e| panic!("model {model} failed: {e}"));
+        println!(
+            "{:<12} {:>9.4} {:>11.4} {:>9.4}",
+            model,
+            outcome.metric("map@10").unwrap_or(f64::NAN),
+            outcome.metric("recall@10").unwrap_or(f64::NAN),
+            outcome.metric("ndcg@10").unwrap_or(f64::NAN),
+        );
+        if model == "gnn" {
+            sample = outcome.predictions.first().map(|p| {
+                let items = match &p.value {
+                    PredictionValue::Items(items) => {
+                        items.iter().map(ToString::to_string).collect()
+                    }
+                    _ => vec![],
+                };
+                items
+            });
+        }
+    }
+    if let Some(items) = sample {
+        println!("\nGNN top-10 for the first customer: {}", items.join(", "));
+    }
+    println!(
+        "\nExpected shape: both learned/heuristic personalized models clearly beat \
+         popularity; co-visitation is a notoriously strong heuristic on \
+         repeat-purchase domains and can edge out the two-tower GNN — the same \
+         finding RelBench reports for its link-prediction tasks."
+    );
+}

@@ -1,0 +1,163 @@
+//! `relgraph` — the command-line front end: load a relational database
+//! from a directory (or generate a demo one) and run predictive queries
+//! against it.
+//!
+//! ```text
+//! USAGE:
+//!   relgraph --demo ecommerce --query "PREDICT EXISTS(orders.*, 0, 30) FOR EACH customers.customer_id"
+//!   relgraph --data ./mydb    --query "…" [--explain-only] [--top 20] [--export-demo DIR]
+//!
+//! OPTIONS:
+//!   --data <DIR>        load <DIR>/schema.ddl + <table>.csv files
+//!   --demo <NAME>       generate a demo database: ecommerce | forum | clinic
+//!   --query <PQL>       the predictive query to run (required unless --export-demo)
+//!   --explain-only      compile and print the plan without training
+//!   --top <N>           print the N highest-scoring predictions (default 10)
+//!   --seed <N>          generator/model seed (default 7)
+//!   --export-demo <DIR> write the demo database to DIR (schema.ddl + CSVs) and exit
+//! ```
+//!
+//! Model and hyper-parameters are controlled from the query's `USING`
+//! clause (e.g. `USING model = gbdt, epochs = 20`).
+
+use std::process::ExitCode;
+
+use relgraph::datagen::{
+    generate_clinic, generate_ecommerce, generate_forum, ClinicConfig, EcommerceConfig,
+    ForumConfig,
+};
+use relgraph::pq::traintable::TrainTableConfig;
+use relgraph::pq::{analyze, build_training_table, execute, explain, parse, ExecConfig, PredictionValue};
+use relgraph::store::{load_database_dir, save_database_dir, Database};
+
+struct Args {
+    data: Option<String>,
+    demo: Option<String>,
+    query: Option<String>,
+    explain_only: bool,
+    top: usize,
+    seed: u64,
+    export_demo: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: relgraph (--data DIR | --demo ecommerce|forum|clinic) \
+     --query 'PREDICT …' [--explain-only] [--top N] [--seed N] [--export-demo DIR]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        data: None,
+        demo: None,
+        query: None,
+        explain_only: false,
+        top: 10,
+        seed: 7,
+        export_demo: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--data" => args.data = Some(value("--data")?),
+            "--demo" => args.demo = Some(value("--demo")?),
+            "--query" | "-q" => args.query = Some(value("--query")?),
+            "--explain-only" => args.explain_only = true,
+            "--top" => {
+                args.top = value("--top")?.parse().map_err(|_| "--top needs a number".to_string())?
+            }
+            "--seed" => {
+                args.seed =
+                    value("--seed")?.parse().map_err(|_| "--seed needs a number".to_string())?
+            }
+            "--export-demo" => args.export_demo = Some(value("--export-demo")?),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn load(args: &Args) -> Result<Database, String> {
+    match (&args.data, &args.demo) {
+        (Some(dir), None) => load_database_dir(dir).map_err(|e| format!("loading {dir}: {e}")),
+        (None, Some(demo)) => match demo.as_str() {
+            "ecommerce" => generate_ecommerce(&EcommerceConfig { seed: args.seed, ..Default::default() })
+                .map_err(|e| e.to_string()),
+            "forum" => generate_forum(&ForumConfig { seed: args.seed, ..Default::default() })
+                .map_err(|e| e.to_string()),
+            "clinic" => generate_clinic(&ClinicConfig { seed: args.seed, ..Default::default() })
+                .map_err(|e| e.to_string()),
+            other => Err(format!("unknown demo `{other}` (ecommerce | forum | clinic)")),
+        },
+        _ => Err(format!("need exactly one of --data or --demo\n{}", usage())),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let db = load(&args)?;
+    eprintln!("{}", db.summary());
+
+    if let Some(dir) = &args.export_demo {
+        save_database_dir(&db, dir).map_err(|e| e.to_string())?;
+        println!("exported database to {dir}/ (schema.ddl + CSVs)");
+        return Ok(());
+    }
+
+    let query_text =
+        args.query.as_deref().ok_or_else(|| format!("--query is required\n{}", usage()))?;
+
+    if args.explain_only {
+        let parsed = parse(query_text).map_err(|e| e.to_string())?;
+        let analyzed = analyze(&db, parsed).map_err(|e| e.to_string())?;
+        let table = build_training_table(&db, &analyzed, &TrainTableConfig::default())
+            .map_err(|e| e.to_string())?;
+        println!("{}", explain(&db, &analyzed, Some(&table)));
+        return Ok(());
+    }
+
+    let cfg = ExecConfig { seed: args.seed, max_predictions: None, ..Default::default() };
+    let outcome = execute(&db, query_text, &cfg).map_err(|e| e.to_string())?;
+    println!("{}", outcome.explain);
+    println!("Backtest ({} test examples):", outcome.test_size);
+    for (name, v) in &outcome.metrics {
+        println!("  {name:<12} {v:.4}");
+    }
+
+    // Highest-scoring predictions first (ranking lists as-is).
+    let mut preds = outcome.predictions;
+    preds.sort_by(|a, b| {
+        let score = |p: &relgraph::pq::Prediction| match &p.value {
+            PredictionValue::Score(s) => *s,
+            PredictionValue::Items(_) | PredictionValue::Class(_) => 0.0,
+        };
+        score(b).partial_cmp(&score(a)).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    println!("\nTop {} predictions (anchored at the latest time in the data):", args.top);
+    for p in preds.iter().take(args.top) {
+        match &p.value {
+            PredictionValue::Score(s) => println!("  {:<12} {s:.4}", p.entity_key.to_string()),
+            PredictionValue::Items(items) => {
+                let list: Vec<String> = items.iter().map(ToString::to_string).collect();
+                println!("  {:<12} [{}]", p.entity_key.to_string(), list.join(", "));
+            }
+            PredictionValue::Class(c) => {
+                println!("  {:<12} {c}", p.entity_key.to_string());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("relgraph: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! # relgraph — databases as graphs, predictive queries for declarative ML
+//!
+//! A from-scratch Rust implementation of the *relational deep learning*
+//! vision ("Databases as Graphs: Predictive Queries for Declarative Machine
+//! Learning", PODS 2023): treat a relational database as a heterogeneous
+//! temporal graph and answer declaratively-specified *predictive queries*
+//! by compiling them into leak-free GNN training pipelines — no manual
+//! feature engineering.
+//!
+//! ```text
+//! ┌────────────┐   db2graph   ┌──────────────┐   sampler    ┌───────────┐
+//! │ relational │ ───────────▶ │ hetero       │ ───────────▶ │ temporal  │
+//! │ database   │              │ temporal     │              │ GNN       │
+//! │ (store)    │              │ graph        │              │ (gnn/nn)  │
+//! └────────────┘              └──────────────┘              └───────────┘
+//!       ▲                            ▲                            ▲
+//!       └──────── PREDICT … FOR EACH … WHERE … USING …  (pq) ─────┘
+//! ```
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use relgraph::datagen::{generate_ecommerce, EcommerceConfig};
+//! use relgraph::pq::{execute, ExecConfig};
+//!
+//! let db = generate_ecommerce(&EcommerceConfig {
+//!     customers: 60, products: 20, ..Default::default()
+//! }).unwrap();
+//! let outcome = execute(
+//!     &db,
+//!     "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id \
+//!      USING model = trivial",
+//!     &ExecConfig::default(),
+//! ).unwrap();
+//! assert!(outcome.metric("accuracy").is_some());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`store`] | `relgraph-store` | in-memory columnar relational DB |
+//! | [`graph`] | `relgraph-graph` | heterogeneous temporal graph + sampler |
+//! | [`db2graph`] | `relgraph-db2graph` | DB → graph compiler + featurizer |
+//! | [`tensor`] | `relgraph-tensor` | dense tensors + reverse-mode autodiff |
+//! | [`nn`] | `relgraph-nn` | layers, losses, optimizers |
+//! | [`gnn`] | `relgraph-gnn` | hetero-SAGE models, trainers, two-tower |
+//! | [`pq`] | `relgraph-pq` | the predictive query language + executor |
+//! | [`baselines`] | `relgraph-baselines` | feature engineering + tabular models |
+//! | [`datagen`] | `relgraph-datagen` | seeded synthetic databases |
+//! | [`metrics`] | `relgraph-metrics` | AUROC / MAE / MAP@K … |
+
+pub use relgraph_baselines as baselines;
+pub use relgraph_datagen as datagen;
+pub use relgraph_db2graph as db2graph;
+pub use relgraph_gnn as gnn;
+pub use relgraph_graph as graph;
+pub use relgraph_metrics as metrics;
+pub use relgraph_nn as nn;
+pub use relgraph_pq as pq;
+pub use relgraph_store as store;
+pub use relgraph_tensor as tensor;
+
+/// Most commonly used items, importable in one line.
+pub mod prelude {
+    pub use relgraph_datagen::{
+        generate_clinic, generate_ecommerce, generate_forum, ClinicConfig, EcommerceConfig,
+        ForumConfig,
+    };
+    pub use relgraph_db2graph::{build_graph, snapshot_at, ConvertOptions};
+    pub use relgraph_graph::{HeteroGraph, SamplerConfig, Seed, TemporalSampler};
+    pub use relgraph_pq::{execute, ExecConfig, ModelChoice, PredictiveQuery, QueryOutcome, TaskType};
+    pub use relgraph_store::{Database, DataType, Row, TableSchema, Value};
+}

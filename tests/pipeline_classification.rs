@@ -1,0 +1,103 @@
+//! End-to-end pipeline tests: database generation → predictive query →
+//! trained model → metrics, across every classification model family.
+
+use relgraph::pq::{execute, ExecConfig, ModelChoice, PredictionValue, TaskType};
+use relgraph::prelude::*;
+
+fn small_db(seed: u64) -> Database {
+    generate_ecommerce(&EcommerceConfig {
+        customers: 80,
+        products: 25,
+        seed,
+        ..Default::default()
+    })
+    .expect("generate")
+}
+
+fn fast_cfg() -> ExecConfig {
+    ExecConfig {
+        epochs: 5,
+        hidden_dim: 16,
+        fanouts: vec![5, 5],
+        max_predictions: Some(25),
+        gbdt_rounds: 40,
+        ..Default::default()
+    }
+}
+
+const QUERY: &str = "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id";
+
+#[test]
+fn every_model_beats_nothing_and_stays_bounded() {
+    let db = small_db(1);
+    for model in ["gnn", "gbdt", "logreg", "trivial"] {
+        let out = execute(&db, &format!("{QUERY} USING model = {model}"), &fast_cfg())
+            .unwrap_or_else(|e| panic!("{model}: {e}"));
+        assert_eq!(out.task, TaskType::Classification);
+        let acc = out.metric("accuracy").expect("accuracy");
+        assert!((0.0..=1.0).contains(&acc), "{model} accuracy {acc}");
+        if let Some(auc) = out.metric("auroc") {
+            assert!((0.0..=1.0).contains(&auc), "{model} auroc {auc}");
+        }
+        for p in &out.predictions {
+            match p.value {
+                PredictionValue::Score(s) => {
+                    assert!((0.0..=1.0).contains(&s), "{model} probability {s}")
+                }
+                _ => panic!("classification must produce scores"),
+            }
+        }
+    }
+}
+
+#[test]
+fn learned_models_beat_the_prior() {
+    let db = small_db(2);
+    let trivial = execute(&db, &format!("{QUERY} USING model = trivial"), &fast_cfg()).unwrap();
+    let gnn = execute(&db, &format!("{QUERY} USING model = gnn, epochs = 12"), &fast_cfg()).unwrap();
+    let t = trivial.metric("logloss").unwrap();
+    let g = gnn.metric("logloss").unwrap();
+    assert!(g < t, "GNN logloss {g} should beat prior {t}");
+    assert!(gnn.metric("auroc").unwrap() > 0.6, "GNN should be informative");
+}
+
+#[test]
+fn execution_is_deterministic_given_seed() {
+    let db = small_db(3);
+    let run = || {
+        execute(&db, &format!("{QUERY} USING model = gnn, seed = 5"), &fast_cfg())
+            .unwrap()
+            .predictions
+            .iter()
+            .map(|p| match p.value {
+                PredictionValue::Score(s) => s,
+                _ => unreachable!(),
+            })
+            .collect::<Vec<f64>>()
+    };
+    assert_eq!(run(), run(), "same seed must reproduce identical predictions");
+}
+
+#[test]
+fn summary_and_explain_are_informative() {
+    let db = small_db(4);
+    let out = execute(&db, &format!("{QUERY} USING model = trivial"), &fast_cfg()).unwrap();
+    let s = out.summary();
+    assert!(s.contains("classification") && s.contains("trivial"));
+    assert!(out.explain.contains("Join path"));
+    assert!(out.explain.contains("Anchors"));
+    assert_eq!(out.model, ModelChoice::Trivial);
+    assert!(out.train_size > 0 && out.test_size > 0);
+}
+
+#[test]
+fn using_overrides_change_behavior() {
+    let db = small_db(5);
+    let one = execute(&db, &format!("{QUERY} USING model = gnn, hops = 1, epochs = 2"), &fast_cfg())
+        .unwrap();
+    let zero = execute(&db, &format!("{QUERY} USING model = gnn, hops = 0, epochs = 2"), &fast_cfg())
+        .unwrap();
+    // Both run; they are different models over the same data.
+    assert!(one.metric("accuracy").is_some());
+    assert!(zero.metric("accuracy").is_some());
+}

@@ -1,0 +1,153 @@
+//! Temporal-safety integration tests: the leakage guarantees the paper's
+//! protocol depends on, checked across crate boundaries.
+
+use relgraph::db2graph::{build_graph, snapshot_at, ConvertOptions};
+use relgraph::graph::{NodeTypeId, SamplerConfig, Seed, TemporalSampler};
+use relgraph::pq::traintable::TrainTableConfig;
+use relgraph::pq::{analyze, build_training_table, parse};
+use relgraph::prelude::*;
+
+fn db() -> Database {
+    generate_ecommerce(&EcommerceConfig {
+        customers: 60,
+        products: 20,
+        seed: 17,
+        ..Default::default()
+    })
+    .expect("generate")
+}
+
+#[test]
+fn sampler_never_returns_future_nodes_on_real_data() {
+    let db = db();
+    let (graph, mapping) = build_graph(&db, &ConvertOptions::default()).unwrap();
+    let cust = mapping.node_type("customers").unwrap();
+    let sampler = TemporalSampler::new(&graph, SamplerConfig::new(vec![10, 10]));
+    let (lo, hi) = db.time_span().unwrap();
+    for (i, anchor) in [(0usize, lo + (hi - lo) / 3), (5, lo + (hi - lo) / 2), (9, hi)] {
+        // Only anchor after the seed entity exists (the training-table
+        // layer guarantees this for real pipelines).
+        let anchor = anchor.max(graph.node_time(cust, i));
+        let sub = sampler.sample(&[Seed { node_type: cust, node: i, time: anchor }]);
+        for t in 0..graph.num_node_types() {
+            for &node in &sub.nodes[t] {
+                let nt = graph.node_time(NodeTypeId(t), node);
+                assert!(
+                    nt <= anchor,
+                    "node of type {t} created at {nt} leaked into anchor {anchor}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sampled_subgraph_matches_snapshot_database() {
+    // Sampling the full graph at time t must see exactly the rows that a
+    // database truncated at t would contain (for the seed's neighborhood).
+    let db = db();
+    let (graph, mapping) = build_graph(&db, &ConvertOptions::default()).unwrap();
+    let cust = mapping.node_type("customers").unwrap();
+    let (lo, hi) = db.time_span().unwrap();
+    let t_mid = lo + (hi - lo) / 2;
+
+    let snapshot = snapshot_at(&db, t_mid).unwrap();
+    let orders_at_t: usize = snapshot.table("orders").unwrap().len();
+    assert!(orders_at_t < db.table("orders").unwrap().len());
+
+    // Count orders visible from each customer via the temporal sampler.
+    let sampler = TemporalSampler::new(&graph, SamplerConfig::new(vec![usize::MAX]));
+    let mut visible = 0usize;
+    for c in 0..graph.num_nodes(cust) {
+        let sub = sampler.sample(&[Seed { node_type: cust, node: c, time: t_mid }]);
+        let ord_ty = mapping.node_type("orders").unwrap();
+        visible += sub.nodes[ord_ty.0].len();
+    }
+    assert_eq!(visible, orders_at_t, "sampler and snapshot disagree about visibility");
+}
+
+#[test]
+fn training_table_labels_use_only_the_future_window() {
+    let db = db();
+    let aq = analyze(
+        &db,
+        parse("PREDICT COUNT(orders.*, 0, 30) FOR EACH customers.customer_id").unwrap(),
+    )
+    .unwrap();
+    let table = build_training_table(&db, &aq, &TrainTableConfig::default()).unwrap();
+    let orders = db.table("orders").unwrap();
+    let customers = db.table("customers").unwrap();
+    // Recompute each label by brute force from the raw table.
+    const DAY: i64 = 86_400;
+    for e in table.train.iter().chain(&table.val).chain(&table.test).take(500) {
+        let key = customers.value_by_name(e.entity_row, "customer_id").unwrap();
+        let mut expected = 0.0;
+        for i in 0..orders.len() {
+            if orders.value_by_name(i, "customer_id").unwrap() != key {
+                continue;
+            }
+            let t = orders.row_timestamp(i).unwrap();
+            if t > e.anchor && t <= e.anchor + 30 * DAY {
+                expected += 1.0;
+            }
+        }
+        assert_eq!(e.label.scalar(), expected, "label mismatch for entity row {}", e.entity_row);
+    }
+}
+
+#[test]
+fn temporal_split_orders_anchors() {
+    let db = db();
+    let aq = analyze(
+        &db,
+        parse("PREDICT EXISTS(orders.*, 0, 30) FOR EACH customers.customer_id").unwrap(),
+    )
+    .unwrap();
+    let table = build_training_table(&db, &aq, &TrainTableConfig::default()).unwrap();
+    let max_train = table.train.iter().map(|e| e.anchor).max().unwrap();
+    let min_val = table.val.iter().map(|e| e.anchor).min().unwrap_or(i64::MAX);
+    let min_test = table.test.iter().map(|e| e.anchor).min().unwrap();
+    assert!(max_train < min_val.min(min_test));
+    if !table.val.is_empty() {
+        let max_val = table.val.iter().map(|e| e.anchor).max().unwrap();
+        assert!(max_val < min_test);
+    }
+}
+
+#[test]
+fn leaky_sampling_inflates_offline_metrics() {
+    // The F2 experiment's core assertion, as a regression test.
+    use relgraph::gnn::{train_node_model, TaskKind, TrainConfig};
+    use relgraph::metrics::auroc;
+    let db = db();
+    let aq = analyze(
+        &db,
+        parse("PREDICT EXISTS(orders.*, 0, 30) FOR EACH customers.customer_id").unwrap(),
+    )
+    .unwrap();
+    let table = build_training_table(&db, &aq, &TrainTableConfig::default()).unwrap();
+    let (graph, mapping) = build_graph(&db, &ConvertOptions::default()).unwrap();
+    let cust = mapping.node_type("customers").unwrap();
+    let to_seed =
+        |e: &relgraph::pq::Example| Seed { node_type: cust, node: e.entity_row, time: e.anchor };
+    let train: Vec<(Seed, f64)> =
+        table.train.iter().map(|e| (to_seed(e), e.label.scalar())).collect();
+    let test_seeds: Vec<Seed> = table.test.iter().map(to_seed).collect();
+    let labels: Vec<bool> = table.test.iter().map(|e| e.label.scalar() > 0.5).collect();
+    let cfg = |temporal| TrainConfig {
+        epochs: 6,
+        hidden_dim: 16,
+        fanouts: vec![5, 5],
+        temporal,
+        ..Default::default()
+    };
+    let honest = train_node_model(&graph, TaskKind::Binary, &train, &[], &cfg(true)).unwrap();
+    let leaky = train_node_model(&graph, TaskKind::Binary, &train, &[], &cfg(false)).unwrap();
+    let honest_auc = auroc(&honest.predict(&graph, &test_seeds), &labels).unwrap();
+    let leaky_auc = auroc(&leaky.predict(&graph, &test_seeds), &labels).unwrap();
+    assert!(
+        leaky_auc > honest_auc + 0.03,
+        "leaky ({leaky_auc}) should visibly inflate over honest ({honest_auc})"
+    );
+    assert!(leaky_auc > 0.85, "leaky sampling should look near-perfect, got {leaky_auc}");
+}
