@@ -23,7 +23,10 @@ impl fmt::Display for BaselineError {
         match self {
             BaselineError::DegenerateTrainingSet(m) => write!(f, "degenerate training set: {m}"),
             BaselineError::RaggedFeatures { expected, got } => {
-                write!(f, "ragged feature rows: expected width {expected}, got {got}")
+                write!(
+                    f,
+                    "ragged feature rows: expected width {expected}, got {got}"
+                )
             }
             BaselineError::Store(e) => write!(f, "store error: {e}"),
         }

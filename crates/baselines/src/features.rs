@@ -32,7 +32,11 @@ pub struct FeatureConfig {
 
 impl Default for FeatureConfig {
     fn default() -> Self {
-        FeatureConfig { windows_days: vec![7, 30, 90, 0], text_hash_dim: 4, max_features: None }
+        FeatureConfig {
+            windows_days: vec![7, 30, 90, 0],
+            text_hash_dim: 4,
+            max_features: None,
+        }
     }
 }
 
@@ -42,19 +46,46 @@ enum Template {
     /// Entity numeric column.
     OwnNumeric { col: usize },
     /// Entity text column, one-hot bucket.
-    OwnTextBucket { col: usize, bucket: usize, dim: usize },
+    OwnTextBucket {
+        col: usize,
+        bucket: usize,
+        dim: usize,
+    },
     /// `ln(1 + days since entity creation)`.
     OwnAgeDays,
     /// Count of fact rows in window (fact index, window days).
     FactCount { fact: usize, window: i64 },
     /// Sum / mean of a fact numeric column in window.
-    FactSum { fact: usize, col: usize, window: i64 },
-    FactMean { fact: usize, col: usize, window: i64 },
+    FactSum {
+        fact: usize,
+        col: usize,
+        window: i64,
+    },
+    FactMean {
+        fact: usize,
+        col: usize,
+        window: i64,
+    },
+    /// Share of in-window fact rows whose text column hashes to `bucket`
+    /// (a leak-free histogram of the categorical event attribute — e.g.
+    /// the channel mix of a customer's past orders).
+    FactTextShare {
+        fact: usize,
+        col: usize,
+        bucket: usize,
+        dim: usize,
+        window: i64,
+    },
     /// `ln(1 + days since last fact)` over all history.
     FactRecency { fact: usize },
     /// Mean over in-window fact rows of a referenced dimension's numeric
     /// column (`dim_join` indexes the fact's FK list).
-    DimMean { fact: usize, dim_join: usize, dim_col: usize, window: i64 },
+    DimMean {
+        fact: usize,
+        dim_join: usize,
+        dim_col: usize,
+        window: i64,
+    },
 }
 
 /// Precomputed per-fact-table index.
@@ -121,20 +152,33 @@ impl FeatureEngineer {
     /// Plan and index features for `entity_table` over `db`.
     pub fn new(db: &Database, entity_table: &str, config: FeatureConfig) -> StoreResult<Self> {
         let entity = db.table(entity_table)?;
-        let entity_pk = entity.schema().primary_key().map(str::to_string).ok_or_else(|| {
-            StoreError::InvalidQuery(format!("entity table `{entity_table}` needs a primary key"))
-        })?;
+        let entity_pk = entity
+            .schema()
+            .primary_key()
+            .map(str::to_string)
+            .ok_or_else(|| {
+                StoreError::InvalidQuery(format!(
+                    "entity table `{entity_table}` needs a primary key"
+                ))
+            })?;
         let mut templates = Vec::new();
         let mut names = Vec::new();
 
         // Entity-own features.
         for col in numeric_feature_cols(entity) {
             templates.push(Template::OwnNumeric { col });
-            names.push(format!("{entity_table}.{}", entity.schema().columns()[col].name));
+            names.push(format!(
+                "{entity_table}.{}",
+                entity.schema().columns()[col].name
+            ));
         }
         for col in text_feature_cols(entity) {
             for bucket in 0..config.text_hash_dim {
-                templates.push(Template::OwnTextBucket { col, bucket, dim: config.text_hash_dim });
+                templates.push(Template::OwnTextBucket {
+                    col,
+                    bucket,
+                    dim: config.text_hash_dim,
+                });
                 names.push(format!(
                     "{entity_table}.{}#h{bucket}",
                     entity.schema().columns()[col].name
@@ -149,8 +193,11 @@ impl FeatureEngineer {
         // Fact tables: any table with an FK to the entity table.
         let mut facts = Vec::new();
         for table in db.tables() {
-            let Some(fk) =
-                table.schema().foreign_keys().iter().find(|f| f.referenced_table == entity_table)
+            let Some(fk) = table
+                .schema()
+                .foreign_keys()
+                .iter()
+                .find(|f| f.referenced_table == entity_table)
             else {
                 continue;
             };
@@ -166,21 +213,28 @@ impl FeatureEngineer {
                 if key.is_null() {
                     continue;
                 }
-                let Some(erow) = entity.row_by_key(&key) else { continue };
-                let Some(t) = table.row_timestamp(row) else { continue };
+                let Some(erow) = entity.row_by_key(&key) else {
+                    continue;
+                };
+                let Some(t) = table.row_timestamp(row) else {
+                    continue;
+                };
                 by_entity.entry(erow).or_default().push((t, row));
             }
             for v in by_entity.values_mut() {
                 v.sort_unstable();
             }
             let numeric_cols = numeric_feature_cols(table);
+            let text_cols = text_feature_cols(table);
             // Dimension joins (FKs of the fact table to other tables).
             let mut dims = Vec::new();
             for dfk in table.schema().foreign_keys() {
                 if dfk.referenced_table == entity_table {
                     continue;
                 }
-                let Ok(dim) = db.table(&dfk.referenced_table) else { continue };
+                let Ok(dim) = db.table(&dfk.referenced_table) else {
+                    continue;
+                };
                 if dim.schema().primary_key().is_none() {
                     continue;
                 }
@@ -209,20 +263,47 @@ impl FeatureEngineer {
             // Templates per window.
             let tname = table.name();
             for &w in &config.windows_days {
-                let suffix = if w == 0 { "all".to_string() } else { format!("{w}d") };
-                templates.push(Template::FactCount { fact: fact_idx, window: w });
+                let suffix = if w == 0 {
+                    "all".to_string()
+                } else {
+                    format!("{w}d")
+                };
+                templates.push(Template::FactCount {
+                    fact: fact_idx,
+                    window: w,
+                });
                 names.push(format!("{tname}.count_{suffix}"));
                 for &col in &numeric_cols {
                     let cname = &table.schema().columns()[col].name;
-                    templates.push(Template::FactSum { fact: fact_idx, col, window: w });
+                    templates.push(Template::FactSum {
+                        fact: fact_idx,
+                        col,
+                        window: w,
+                    });
                     names.push(format!("{tname}.{cname}_sum_{suffix}"));
-                    templates.push(Template::FactMean { fact: fact_idx, col, window: w });
+                    templates.push(Template::FactMean {
+                        fact: fact_idx,
+                        col,
+                        window: w,
+                    });
                     names.push(format!("{tname}.{cname}_mean_{suffix}"));
+                }
+                for &col in &text_cols {
+                    let cname = &table.schema().columns()[col].name;
+                    for bucket in 0..config.text_hash_dim {
+                        templates.push(Template::FactTextShare {
+                            fact: fact_idx,
+                            col,
+                            bucket,
+                            dim: config.text_hash_dim,
+                            window: w,
+                        });
+                        names.push(format!("{tname}.{cname}#h{bucket}_share_{suffix}"));
+                    }
                 }
                 for (j, dj) in dims.iter().enumerate() {
                     for &dc in &dj.numeric_cols {
-                        let dname =
-                            &db.table(&dj.dim_table)?.schema().columns()[dc].name;
+                        let dname = &db.table(&dj.dim_table)?.schema().columns()[dc].name;
                         templates.push(Template::DimMean {
                             fact: fact_idx,
                             dim_join: j,
@@ -236,7 +317,11 @@ impl FeatureEngineer {
             templates.push(Template::FactRecency { fact: fact_idx });
             names.push(format!("{tname}.days_since_last"));
 
-            facts.push(FactIndex { table: tname.to_string(), by_entity, dims });
+            facts.push(FactIndex {
+                table: tname.to_string(),
+                by_entity,
+                dims,
+            });
         }
 
         if let Some(n) = config.max_features {
@@ -244,7 +329,13 @@ impl FeatureEngineer {
             names.truncate(n);
         }
         let _ = entity_pk;
-        Ok(FeatureEngineer { entity_table: entity_table.to_string(), config, templates, names, facts })
+        Ok(FeatureEngineer {
+            entity_table: entity_table.to_string(),
+            config,
+            templates,
+            names,
+            facts,
+        })
     }
 
     /// Number of features produced per example.
@@ -264,23 +355,34 @@ impl FeatureEngineer {
         seeds: &[(usize, Timestamp)],
     ) -> StoreResult<Vec<Vec<f64>>> {
         let entity = db.table(&self.entity_table)?;
-        let fact_tables: Vec<&Table> =
-            self.facts.iter().map(|f| db.table(&f.table)).collect::<StoreResult<_>>()?;
+        let fact_tables: Vec<&Table> = self
+            .facts
+            .iter()
+            .map(|f| db.table(&f.table))
+            .collect::<StoreResult<_>>()?;
         let dim_tables: Vec<Vec<&Table>> = self
             .facts
             .iter()
-            .map(|f| f.dims.iter().map(|d| db.table(&d.dim_table)).collect::<StoreResult<_>>())
+            .map(|f| {
+                f.dims
+                    .iter()
+                    .map(|d| db.table(&d.dim_table))
+                    .collect::<StoreResult<_>>()
+            })
             .collect::<StoreResult<_>>()?;
         let mut out = Vec::with_capacity(seeds.len());
         for &(erow, anchor) in seeds {
             let mut row = Vec::with_capacity(self.templates.len());
             for tpl in &self.templates {
                 let v = match tpl {
-                    Template::OwnNumeric { col } => {
-                        entity.column(*col).and_then(|c| c.get_f64(erow)).unwrap_or(0.0)
-                    }
+                    Template::OwnNumeric { col } => entity
+                        .column(*col)
+                        .and_then(|c| c.get_f64(erow))
+                        .unwrap_or(0.0),
                     Template::OwnTextBucket { col, bucket, dim } => {
-                        let s = entity.column(*col).and_then(|c| c.get_str(erow).map(str::to_string));
+                        let s = entity
+                            .column(*col)
+                            .and_then(|c| c.get_str(erow).map(str::to_string));
                         match s {
                             Some(s) if hash_bucket(&s, *dim) == *bucket => 1.0,
                             _ => 0.0,
@@ -315,6 +417,26 @@ impl FeatureEngineer {
                             vals.iter().sum::<f64>() / vals.len() as f64
                         }
                     }
+                    Template::FactTextShare {
+                        fact,
+                        col,
+                        bucket,
+                        dim,
+                        window,
+                    } => {
+                        let table = fact_tables[*fact];
+                        let rows = self.window_rows(*fact, erow, anchor, *window);
+                        if rows.is_empty() {
+                            0.0
+                        } else {
+                            let hits = rows
+                                .iter()
+                                .filter_map(|&(_, r)| table.column(*col).and_then(|c| c.get_str(r)))
+                                .filter(|s| hash_bucket(s, *dim) == *bucket)
+                                .count();
+                            hits as f64 / rows.len() as f64
+                        }
+                    }
                     Template::FactRecency { fact } => {
                         let rows = self.window_rows(*fact, erow, anchor, 0);
                         match rows.last() {
@@ -324,7 +446,12 @@ impl FeatureEngineer {
                             None => (1.0 + 3650.0f64).ln(), // "never" sentinel ≈ 10y
                         }
                     }
-                    Template::DimMean { fact, dim_join, dim_col, window } => {
+                    Template::DimMean {
+                        fact,
+                        dim_join,
+                        dim_col,
+                        window,
+                    } => {
                         let dj = &self.facts[*fact].dims[*dim_join];
                         let dim = dim_tables[*fact][*dim_join];
                         let vals: Vec<f64> = self
@@ -349,9 +476,17 @@ impl FeatureEngineer {
 
     /// Fact rows of `fact` for entity `erow` in `(anchor − window, anchor]`
     /// (`window == 0` ⇒ all history up to anchor), time-sorted.
-    fn window_rows(&self, fact: usize, erow: usize, anchor: Timestamp, window: i64) -> &[(Timestamp, usize)] {
+    fn window_rows(
+        &self,
+        fact: usize,
+        erow: usize,
+        anchor: Timestamp,
+        window: i64,
+    ) -> &[(Timestamp, usize)] {
         static EMPTY: &[(Timestamp, usize)] = &[];
-        let Some(rows) = self.facts[fact].by_entity.get(&erow) else { return EMPTY };
+        let Some(rows) = self.facts[fact].by_entity.get(&erow) else {
+            return EMPTY;
+        };
         let hi = rows.partition_point(|&(t, _)| t <= anchor);
         let lo = if window == 0 {
             0
@@ -420,15 +555,26 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        db.insert("customers", Row::new().push(1i64).push(Value::Timestamp(0)).push("north"))
-            .unwrap();
         db.insert(
             "customers",
-            Row::new().push(2i64).push(Value::Timestamp(SECONDS_PER_DAY)).push("south"),
+            Row::new()
+                .push(1i64)
+                .push(Value::Timestamp(0))
+                .push("north"),
         )
         .unwrap();
-        db.insert("products", Row::new().push(100i64).push(10.0)).unwrap();
-        db.insert("products", Row::new().push(101i64).push(30.0)).unwrap();
+        db.insert(
+            "customers",
+            Row::new()
+                .push(2i64)
+                .push(Value::Timestamp(SECONDS_PER_DAY))
+                .push("south"),
+        )
+        .unwrap();
+        db.insert("products", Row::new().push(100i64).push(10.0))
+            .unwrap();
+        db.insert("products", Row::new().push(101i64).push(30.0))
+            .unwrap();
         // Customer 1: orders on day 1 (p100, $10) and day 20 (p101, $30).
         db.insert(
             "orders",
@@ -454,9 +600,10 @@ mod tests {
     }
 
     fn find(fe: &FeatureEngineer, name: &str) -> usize {
-        fe.names().iter().position(|n| n == name).unwrap_or_else(|| {
-            panic!("feature `{name}` not found in {:?}", fe.names())
-        })
+        fe.names()
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("feature `{name}` not found in {:?}", fe.names()))
     }
 
     #[test]
@@ -483,7 +630,7 @@ mod tests {
         let count_7 = find(&fe, "orders.count_7d");
         assert_eq!(rows[0][count_all], 1.0);
         assert_eq!(rows[0][count_7], 0.0); // day-1 order is 9 days old
-        // Anchor day 21: both orders visible; 7d window catches the day-20 one.
+                                           // Anchor day 21: both orders visible; 7d window catches the day-20 one.
         let rows = fe.compute(&db, &[(0, 21 * SECONDS_PER_DAY)]).unwrap();
         assert_eq!(rows[0][count_all], 2.0);
         assert_eq!(rows[0][count_7], 1.0);
@@ -526,7 +673,10 @@ mod tests {
     #[test]
     fn max_features_truncates() {
         let db = shop();
-        let cfg = FeatureConfig { max_features: Some(5), ..Default::default() };
+        let cfg = FeatureConfig {
+            max_features: Some(5),
+            ..Default::default()
+        };
         let fe = FeatureEngineer::new(&db, "customers", cfg).unwrap();
         assert_eq!(fe.num_features(), 5);
         let rows = fe.compute(&db, &[(0, 10 * SECONDS_PER_DAY)]).unwrap();

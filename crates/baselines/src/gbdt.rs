@@ -33,21 +33,37 @@ pub struct GbdtConfig {
 
 impl Default for GbdtConfig {
     fn default() -> Self {
-        GbdtConfig { rounds: 150, learning_rate: 0.1, quantiles: 16, min_leaf: 5, max_depth: 2 }
+        GbdtConfig {
+            rounds: 150,
+            learning_rate: 0.1,
+            quantiles: 16,
+            min_leaf: 5,
+            max_depth: 2,
+        }
     }
 }
 
 #[derive(Debug, Clone)]
 enum Node {
     Leaf(f64),
-    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
 }
 
 impl Node {
     fn eval(&self, row: &[f64]) -> f64 {
         match self {
             Node::Leaf(v) => *v,
-            Node::Split { feature, threshold, left, right } => {
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 if row[*feature] <= *threshold {
                     left.eval(row)
                 } else {
@@ -58,7 +74,13 @@ impl Node {
     }
 
     fn count_feature_usage(&self, counts: &mut [usize]) {
-        if let Node::Split { feature, left, right, .. } = self {
+        if let Node::Split {
+            feature,
+            left,
+            right,
+            ..
+        } = self
+        {
             counts[*feature] += 1;
             left.count_feature_usage(counts);
             right.count_feature_usage(counts);
@@ -105,15 +127,16 @@ fn build_tree(
                 continue;
             }
             let right_sum = sum - left_sum;
-            let gain = left_sum * left_sum / left_n as f64
-                + right_sum * right_sum / right_n as f64
+            let gain = left_sum * left_sum / left_n as f64 + right_sum * right_sum / right_n as f64
                 - sum * sum / rows.len() as f64;
-            if best.map_or(true, |(g, _, _)| gain > g) {
+            if best.is_none_or(|(g, _, _)| gain > g) {
                 best = Some((gain, f, t));
             }
         }
     }
-    let Some((gain, feature, threshold)) = best else { return Node::Leaf(mean) };
+    let Some((gain, feature, threshold)) = best else {
+        return Node::Leaf(mean);
+    };
     if gain <= 1e-12 {
         return Node::Leaf(mean);
     }
@@ -121,7 +144,12 @@ fn build_tree(
         rows.iter().partition(|&&r| x[r][feature] <= threshold);
     let left = build_tree(x, grad, &left_rows, candidates, depth - 1, cfg);
     let right = build_tree(x, grad, &right_rows, candidates, depth - 1, cfg);
-    Node::Split { feature, threshold, left: Box::new(left), right: Box::new(right) }
+    Node::Split {
+        feature,
+        threshold,
+        left: Box::new(left),
+        right: Box::new(right),
+    }
 }
 
 impl Gbdt {
@@ -142,7 +170,10 @@ impl Gbdt {
         let d = x[0].len();
         for row in x {
             if row.len() != d {
-                return Err(BaselineError::RaggedFeatures { expected: d, got: row.len() });
+                return Err(BaselineError::RaggedFeatures {
+                    expected: d,
+                    got: row.len(),
+                });
             }
         }
         if objective == GbdtObjective::Binary {
@@ -175,7 +206,7 @@ impl Gbdt {
                 for k in 1..=q {
                     let idx = k * (vals.len() - 1) / (q + 1);
                     let t = (vals[idx] + vals[idx + 1]) / 2.0;
-                    if cs.last().map_or(true, |&l: &f64| l != t) {
+                    if cs.last().is_none_or(|&l: &f64| l != t) {
                         cs.push(t);
                     }
                 }
@@ -188,9 +219,7 @@ impl Gbdt {
         let mut trees = Vec::with_capacity(cfg.rounds);
         for _ in 0..cfg.rounds {
             let grad: Vec<f64> = match objective {
-                GbdtObjective::Regression => {
-                    score.iter().zip(y).map(|(&s, &t)| t - s).collect()
-                }
+                GbdtObjective::Regression => score.iter().zip(y).map(|(&s, &t)| t - s).collect(),
                 GbdtObjective::Binary => {
                     score.iter().zip(y).map(|(&s, &t)| t - sigmoid(s)).collect()
                 }
@@ -204,16 +233,19 @@ impl Gbdt {
             }
             trees.push(tree);
         }
-        Ok(Gbdt { objective, base, trees, learning_rate: cfg.learning_rate })
+        Ok(Gbdt {
+            objective,
+            base,
+            trees,
+            learning_rate: cfg.learning_rate,
+        })
     }
 
     /// Raw score per row (log-odds for binary).
     pub fn score(&self, x: &[Vec<f64>]) -> Vec<f64> {
         x.iter()
             .map(|row| {
-                self.base
-                    + self.learning_rate
-                        * self.trees.iter().map(|t| t.eval(row)).sum::<f64>()
+                self.base + self.learning_rate * self.trees.iter().map(|t| t.eval(row)).sum::<f64>()
             })
             .collect()
     }
@@ -279,7 +311,11 @@ mod tests {
         let m = Gbdt::fit(&x, &y, GbdtObjective::Binary, &GbdtConfig::default()).unwrap();
         let (xt, yt) = xor_data(200, 2);
         let p = m.predict(&xt);
-        let acc = p.iter().zip(&yt).filter(|(&pi, &ti)| (pi > 0.5) == (ti > 0.5)).count();
+        let acc = p
+            .iter()
+            .zip(&yt)
+            .filter(|(&pi, &ti)| (pi > 0.5) == (ti > 0.5))
+            .count();
         assert!(acc > 170, "accuracy {acc}/200");
         assert!(m.num_trees() > 10);
     }
@@ -287,11 +323,18 @@ mod tests {
     #[test]
     fn depth_one_stumps_fail_xor() {
         let (x, y) = xor_data(400, 1);
-        let cfg = GbdtConfig { max_depth: 1, ..Default::default() };
+        let cfg = GbdtConfig {
+            max_depth: 1,
+            ..Default::default()
+        };
         let m = Gbdt::fit(&x, &y, GbdtObjective::Binary, &cfg).unwrap();
         let (xt, yt) = xor_data(200, 2);
         let p = m.predict(&xt);
-        let acc = p.iter().zip(&yt).filter(|(&pi, &ti)| (pi > 0.5) == (ti > 0.5)).count();
+        let acc = p
+            .iter()
+            .zip(&yt)
+            .filter(|(&pi, &ti)| (pi > 0.5) == (ti > 0.5))
+            .count();
         assert!(acc < 140, "stumps should not solve XOR, got {acc}/200");
     }
 
@@ -301,8 +344,7 @@ mod tests {
         let y: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 5.0 }).collect();
         let m = Gbdt::fit(&x, &y, GbdtObjective::Regression, &GbdtConfig::default()).unwrap();
         let p = m.predict(&x);
-        let mae: f64 =
-            p.iter().zip(&y).map(|(&a, &b)| (a - b).abs()).sum::<f64>() / y.len() as f64;
+        let mae: f64 = p.iter().zip(&y).map(|(&a, &b)| (a - b).abs()).sum::<f64>() / y.len() as f64;
         assert!(mae < 0.2, "MAE {mae}");
     }
 
@@ -331,7 +373,10 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..200)
             .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
             .collect();
-        let y: Vec<f64> = x.iter().map(|r| if r[0] > 0.2 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] > 0.2 { 1.0 } else { 0.0 })
+            .collect();
         let m = Gbdt::fit(&x, &y, GbdtObjective::Binary, &GbdtConfig::default()).unwrap();
         let usage = m.feature_usage(2);
         assert!(usage[0] > usage[1], "usage {usage:?}");
@@ -345,7 +390,12 @@ mod tests {
         assert!(Gbdt::fit(&x, &y, GbdtObjective::Binary, &GbdtConfig::default()).is_err());
         let ragged = vec![vec![1.0], vec![1.0, 2.0]];
         assert!(matches!(
-            Gbdt::fit(&ragged, &[0.0, 1.0], GbdtObjective::Binary, &GbdtConfig::default()),
+            Gbdt::fit(
+                &ragged,
+                &[0.0, 1.0],
+                GbdtObjective::Binary,
+                &GbdtConfig::default()
+            ),
             Err(BaselineError::RaggedFeatures { .. })
         ));
     }

@@ -16,7 +16,11 @@ pub struct LinearConfig {
 
 impl Default for LinearConfig {
     fn default() -> Self {
-        LinearConfig { iterations: 300, lr: 0.5, l2: 1e-3 }
+        LinearConfig {
+            iterations: 300,
+            lr: 0.5,
+            l2: 1e-3,
+        }
     }
 }
 
@@ -56,7 +60,11 @@ impl Scaler {
     }
 
     fn apply(&self, row: &[f64]) -> Vec<f64> {
-        row.iter().zip(&self.mean).zip(&self.std).map(|((&v, &m), &s)| (v - m) / s).collect()
+        row.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((&v, &m), &s)| (v - m) / s)
+            .collect()
     }
 }
 
@@ -71,7 +79,10 @@ fn check_shapes(x: &[Vec<f64>], y: &[f64]) -> BaselineResult<usize> {
     let d = x[0].len();
     for row in x {
         if row.len() != d {
-            return Err(BaselineError::RaggedFeatures { expected: d, got: row.len() });
+            return Err(BaselineError::RaggedFeatures {
+                expected: d,
+                got: row.len(),
+            });
         }
     }
     Ok(d)
@@ -118,7 +129,11 @@ impl LogisticRegressor {
             }
             b -= cfg.lr * gb / n;
         }
-        Ok(LogisticRegressor { weights: w, bias: b, scaler })
+        Ok(LogisticRegressor {
+            weights: w,
+            bias: b,
+            scaler,
+        })
     }
 
     /// Predicted probability per row.
@@ -126,8 +141,12 @@ impl LogisticRegressor {
         x.iter()
             .map(|row| {
                 let row = self.scaler.apply(row);
-                let z: f64 =
-                    self.bias + row.iter().zip(&self.weights).map(|(&a, &w)| a * w).sum::<f64>();
+                let z: f64 = self.bias
+                    + row
+                        .iter()
+                        .zip(&self.weights)
+                        .map(|(&a, &w)| a * w)
+                        .sum::<f64>();
                 sigmoid(z)
             })
             .collect()
@@ -176,6 +195,7 @@ impl LinearRegressor {
             }
         }
         let ridge = cfg.l2.max(1e-8);
+        #[allow(clippy::needless_range_loop)] // mirrors/scales across two rows of `a`
         for i in 0..d {
             for j in 0..i {
                 a[i][j] = a[j][i];
@@ -189,7 +209,13 @@ impl LinearRegressor {
         let w = solve_linear_system(a, b_vec).ok_or_else(|| {
             BaselineError::DegenerateTrainingSet("singular normal equations".into())
         })?;
-        Ok(LinearRegressor { weights: w, bias: 0.0, scaler, y_mean, y_std })
+        Ok(LinearRegressor {
+            weights: w,
+            bias: 0.0,
+            scaler,
+            y_mean,
+            y_std,
+        })
     }
 
     /// Predicted value per row (original scale).
@@ -197,8 +223,12 @@ impl LinearRegressor {
         x.iter()
             .map(|row| {
                 let row = self.scaler.apply(row);
-                let z: f64 =
-                    self.bias + row.iter().zip(&self.weights).map(|(&a, &w)| a * w).sum::<f64>();
+                let z: f64 = self.bias
+                    + row
+                        .iter()
+                        .zip(&self.weights)
+                        .map(|(&a, &w)| a * w)
+                        .sum::<f64>();
                 z * self.y_std + self.y_mean
             })
             .collect()
@@ -207,12 +237,16 @@ impl LinearRegressor {
 
 /// Solve `A·x = b` by Gaussian elimination with partial pivoting. Returns
 /// `None` when the matrix is numerically singular.
+#[allow(clippy::needless_range_loop)] // elimination touches two rows of `a` per step
 fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
     for col in 0..n {
         // Pivot.
         let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap_or(std::cmp::Ordering::Equal)
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
         })?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
@@ -282,8 +316,11 @@ mod tests {
         let model = LogisticRegressor::fit(&x, &y, &LinearConfig::default()).unwrap();
         let (xt, _, yt) = linear_data(100, 2);
         let p = model.predict_proba(&xt);
-        let correct =
-            p.iter().zip(&yt).filter(|(&pi, &ti)| (pi > 0.5) == (ti > 0.5)).count();
+        let correct = p
+            .iter()
+            .zip(&yt)
+            .filter(|(&pi, &ti)| (pi > 0.5) == (ti > 0.5))
+            .count();
         assert!(correct >= 90, "accuracy {correct}/100");
         assert_eq!(model.weights().len(), 3);
     }
@@ -313,7 +350,12 @@ mod tests {
 
     #[test]
     fn constant_feature_does_not_nan() {
-        let x = vec![vec![5.0, 1.0], vec![5.0, -1.0], vec![5.0, 1.0], vec![5.0, -1.0]];
+        let x = vec![
+            vec![5.0, 1.0],
+            vec![5.0, -1.0],
+            vec![5.0, 1.0],
+            vec![5.0, -1.0],
+        ];
         let y = vec![1.0, 0.0, 1.0, 0.0];
         let m = LogisticRegressor::fit(&x, &y, &LinearConfig::default()).unwrap();
         let p = m.predict_proba(&x);

@@ -45,7 +45,9 @@ impl MajorityClass {
         for &c in y {
             counts[c] += 1;
         }
-        Ok(MajorityClass { class: argmax(&counts.iter().map(|&c| c as f64).collect::<Vec<_>>()) })
+        Ok(MajorityClass {
+            class: argmax(&counts.iter().map(|&c| c as f64).collect::<Vec<_>>()),
+        })
     }
 
     /// The constant prediction.
@@ -78,8 +80,10 @@ impl MulticlassGbdt {
         check_classes(y, n_classes)?;
         let mut per_class = Vec::with_capacity(n_classes);
         for c in 0..n_classes {
-            let labels: Vec<f64> =
-                y.iter().map(|&yc| if yc == c { 1.0 } else { 0.0 }).collect();
+            let labels: Vec<f64> = y
+                .iter()
+                .map(|&yc| if yc == c { 1.0 } else { 0.0 })
+                .collect();
             let pos = labels.iter().filter(|&&v| v > 0.5).count();
             if pos == 0 || pos == labels.len() {
                 per_class.push(None);
@@ -88,7 +92,10 @@ impl MulticlassGbdt {
             }
         }
         let fallback = MajorityClass::fit(y, n_classes)?.class();
-        Ok(MulticlassGbdt { per_class, fallback })
+        Ok(MulticlassGbdt {
+            per_class,
+            fallback,
+        })
     }
 
     /// Per-class one-vs-rest scores (log-odds; absent classes get −∞).
@@ -138,8 +145,10 @@ impl MulticlassLogReg {
         check_classes(y, n_classes)?;
         let mut per_class = Vec::with_capacity(n_classes);
         for c in 0..n_classes {
-            let labels: Vec<f64> =
-                y.iter().map(|&yc| if yc == c { 1.0 } else { 0.0 }).collect();
+            let labels: Vec<f64> = y
+                .iter()
+                .map(|&yc| if yc == c { 1.0 } else { 0.0 })
+                .collect();
             let pos = labels.iter().filter(|&&v| v > 0.5).count();
             if pos == 0 || pos == labels.len() {
                 per_class.push(None);
@@ -148,7 +157,10 @@ impl MulticlassLogReg {
             }
         }
         let fallback = MajorityClass::fit(y, n_classes)?.class();
-        Ok(MulticlassLogReg { per_class, fallback })
+        Ok(MulticlassLogReg {
+            per_class,
+            fallback,
+        })
     }
 
     /// Argmax class per row (by one-vs-rest probability).
@@ -189,7 +201,10 @@ mod tests {
         let mut y = Vec::new();
         for _ in 0..n {
             let c = rng.gen_range(0..3usize);
-            x.push(vec![c as f64 * 3.0 + rng.gen_range(-0.8..0.8), rng.gen_range(-1.0..1.0)]);
+            x.push(vec![
+                c as f64 * 3.0 + rng.gen_range(-0.8..0.8),
+                rng.gen_range(-1.0..1.0),
+            ]);
             y.push(c);
         }
         (x, y)

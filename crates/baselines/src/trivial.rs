@@ -35,7 +35,11 @@ pub struct MeanRegressor {
 impl MeanRegressor {
     /// Fit on targets.
     pub fn fit(y: &[f64]) -> Self {
-        let mean = if y.is_empty() { 0.0 } else { y.iter().sum::<f64>() / y.len() as f64 };
+        let mean = if y.is_empty() {
+            0.0
+        } else {
+            y.iter().sum::<f64>() / y.len() as f64
+        };
         MeanRegressor { mean }
     }
 
@@ -66,12 +70,19 @@ impl PopularityRecommender {
         let mut ranked: Vec<(u64, usize)> = counts.into_iter().collect();
         // Stable deterministic order: by count desc, then item id.
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        PopularityRecommender { ranked: ranked.into_iter().map(|(i, _)| i).collect() }
+        PopularityRecommender {
+            ranked: ranked.into_iter().map(|(i, _)| i).collect(),
+        }
     }
 
     /// Top-`k` items, optionally excluding a user's already-seen set.
     pub fn recommend(&self, k: usize, exclude: &HashSet<u64>) -> Vec<u64> {
-        self.ranked.iter().copied().filter(|i| !exclude.contains(i)).take(k).collect()
+        self.ranked
+            .iter()
+            .copied()
+            .filter(|i| !exclude.contains(i))
+            .take(k)
+            .collect()
     }
 }
 
@@ -103,7 +114,10 @@ impl CoVisitRecommender {
                 }
             }
         }
-        CoVisitRecommender { co, fallback: PopularityRecommender::fit(interactions) }
+        CoVisitRecommender {
+            co,
+            fallback: PopularityRecommender::fit(interactions),
+        }
     }
 
     /// Top-`k` recommendations given the user's interaction history,

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use relgraph_baselines::{FeatureConfig, FeatureEngineer};
-use relgraph_store::{Database, DataType, Row, TableSchema, Value, SECONDS_PER_DAY};
+use relgraph_store::{DataType, Database, Row, TableSchema, Value, SECONDS_PER_DAY};
 
 fn schema_db() -> Database {
     let mut db = Database::new("d");
@@ -42,7 +42,8 @@ fn events_strategy() -> impl Strategy<Value = Vec<(usize, f64, i64)>> {
 fn build(events: &[(usize, f64, i64)]) -> Database {
     let mut db = schema_db();
     for u in 0..3i64 {
-        db.insert("users", Row::new().push(u).push(Value::Timestamp(0))).unwrap();
+        db.insert("users", Row::new().push(u).push(Value::Timestamp(0)))
+            .unwrap();
     }
     for (i, &(u, amount, day)) in events.iter().enumerate() {
         db.insert(

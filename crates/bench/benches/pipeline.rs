@@ -1,9 +1,13 @@
 //! Micro-benchmarks for the data path: generation, graph compilation,
-//! temporal sampling, feature engineering and query compilation.
+//! temporal sampling, feature engineering and query compilation — plus the
+//! before/after hot-path snapshot written to `BENCH_pipeline.json`.
 //!
-//! Run with `cargo bench -p relgraph-bench --bench pipeline`.
+//! Run with `cargo bench -p relgraph-bench --bench pipeline`. Set
+//! `RELGRAPH_QUICK=1` for a ~4× smaller smoke pass, and
+//! `RELGRAPH_BENCH_OUT` to redirect the JSON snapshot (default
+//! `BENCH_pipeline.json` in the working directory).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use relgraph_baselines::{FeatureConfig, FeatureEngineer};
 use relgraph_datagen::{generate_ecommerce, EcommerceConfig};
 use relgraph_db2graph::{build_graph, ConvertOptions};
@@ -53,7 +57,11 @@ fn bench_sampler(c: &mut Criterion) {
     let cust = mapping.node_type("customers").unwrap();
     let (_, hi) = database.time_span().unwrap();
     let seeds: Vec<Seed> = (0..64)
-        .map(|i| Seed { node_type: cust, node: i * 3, time: hi })
+        .map(|i| Seed {
+            node_type: cust,
+            node: i * 3,
+            time: hi,
+        })
         .collect();
     let mut g = c.benchmark_group("sampler");
     for hops in [1usize, 2, 3] {
@@ -97,7 +105,11 @@ fn bench_pq_compile(c: &mut Criterion) {
     });
     let aq = analyze(&database, parse(query).unwrap()).unwrap();
     g.bench_function("training_table", |b| {
-        b.iter(|| build_training_table(&database, &aq, &TrainTableConfig::default()).unwrap().len())
+        b.iter(|| {
+            build_training_table(&database, &aq, &TrainTableConfig::default())
+                .unwrap()
+                .len()
+        })
     });
     g.finish();
 }
@@ -110,4 +122,34 @@ criterion_group!(
     bench_feature_engineering,
     bench_pq_compile
 );
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    // Before/after snapshot of the parallel hot-path work, written with a
+    // stable schema so successive runs can be diffed.
+    // cargo bench runs from the package directory; default to the
+    // workspace root so the snapshot lands next to EXPERIMENTS.md.
+    let out = std::env::var("RELGRAPH_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json").to_string()
+    });
+    let quick = std::env::var("RELGRAPH_QUICK").is_ok_and(|v| v != "0");
+    let snap = relgraph_bench::write_snapshot(&out, quick).expect("write snapshot");
+    for s in &snap.sections {
+        println!(
+            "{:<12} {:>12.1} -> {:>12.1} {} ({:.2}x)",
+            s.name,
+            s.before,
+            s.after,
+            s.unit,
+            if s.before > 0.0 {
+                s.after / s.before
+            } else {
+                0.0
+            }
+        );
+    }
+    println!(
+        "end-to-end epoch speedup: {:.2}x -> {out}",
+        snap.end_to_end_speedup
+    );
+}

@@ -61,7 +61,16 @@ fn bench_train_epoch(c: &mut Criterion) {
     let train: Vec<(Seed, f64)> = table
         .train
         .iter()
-        .map(|e| (Seed { node_type: cust, node: e.entity_row, time: e.anchor }, e.label.scalar()))
+        .map(|e| {
+            (
+                Seed {
+                    node_type: cust,
+                    node: e.entity_row,
+                    time: e.anchor,
+                },
+                e.label.scalar(),
+            )
+        })
         .collect();
     let mut g = c.benchmark_group("gnn_training");
     g.sample_size(10);
@@ -87,14 +96,28 @@ fn bench_gbdt(c: &mut Criterion) {
     let n = 500;
     let d = 20;
     let x: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..d).map(|j| ((i * 31 + j * 17) % 97) as f64 / 97.0).collect())
+        .map(|i| {
+            (0..d)
+                .map(|j| ((i * 31 + j * 17) % 97) as f64 / 97.0)
+                .collect()
+        })
         .collect();
-    let y: Vec<f64> = x.iter().map(|r| if r[0] + r[3] > 1.0 { 1.0 } else { 0.0 }).collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|r| if r[0] + r[3] > 1.0 { 1.0 } else { 0.0 })
+        .collect();
     let mut g = c.benchmark_group("gbdt");
     g.sample_size(10);
     g.bench_function("fit_500x20_60rounds", |b| {
-        let cfg = GbdtConfig { rounds: 60, ..Default::default() };
-        b.iter(|| Gbdt::fit(&x, &y, GbdtObjective::Binary, &cfg).unwrap().num_trees())
+        let cfg = GbdtConfig {
+            rounds: 60,
+            ..Default::default()
+        };
+        b.iter(|| {
+            Gbdt::fit(&x, &y, GbdtObjective::Binary, &cfg)
+                .unwrap()
+                .num_trees()
+        })
     });
     g.finish();
 }

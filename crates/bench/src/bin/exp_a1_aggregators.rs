@@ -36,8 +36,8 @@ fn main() {
                 max_predictions: Some(0),
                 ..Default::default()
             };
-            let outcome = execute(db, &format!("{query} USING agg = {agg}"), &cfg)
-                .expect("execute");
+            let outcome =
+                execute(db, &format!("{query} USING agg = {agg}"), &cfg).expect("execute");
             row.push(Table::metric(outcome.metric("auroc")));
         }
         t.row(row);

@@ -24,7 +24,10 @@ fn main() {
                 hidden_dim: 48,
                 fanouts: vec![8, 8],
                 max_predictions: Some(0),
-                traintable: TrainTableConfig { num_anchors: anchors, ..Default::default() },
+                traintable: TrainTableConfig {
+                    num_anchors: anchors,
+                    ..Default::default()
+                },
                 ..Default::default()
             };
             execute(&db, &format!("{query} USING model = {model}"), &cfg).expect("execute")

@@ -6,12 +6,21 @@
 //! (`auroc − 0.5`), so "+20%" means a fifth more discriminative power;
 //! for regression it is MAE reduction.
 
-use relgraph_bench::{canonical_tasks, models_for, run_models, standard_exec_config, task_db, Table, TaskFamily};
+use relgraph_bench::{
+    canonical_tasks, models_for, run_models, standard_exec_config, task_db, Table, TaskFamily,
+};
 use relgraph_pq::ModelChoice;
 
 fn main() {
     println!("F1 — GNN improvement over the best tabular baseline\n");
-    let mut table = Table::new(&["task", "family", "gnn", "best baseline", "baseline", "improvement"]);
+    let mut table = Table::new(&[
+        "task",
+        "family",
+        "gnn",
+        "best baseline",
+        "baseline",
+        "improvement",
+    ]);
     for task in canonical_tasks() {
         if task.family == TaskFamily::Recommendation {
             continue; // covered by T4
@@ -42,7 +51,9 @@ fn main() {
                 .cloned()
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()),
         };
-        let (Some(g), Some((bm, bv))) = (gnn, best) else { continue };
+        let (Some(g), Some((bm, bv))) = (gnn, best) else {
+            continue;
+        };
         let improvement = match task.family {
             // Excess-over-chance AUROC gain.
             TaskFamily::Classification => ((g - 0.5) / (bv - 0.5).max(1e-9) - 1.0) * 100.0,

@@ -28,11 +28,21 @@ fn main() {
     let table = build_training_table(&db, &aq, &TrainTableConfig::default()).expect("train table");
     let (graph, mapping) = build_graph(&db, &ConvertOptions::default()).expect("graph");
     let node_type = mapping.node_type("customers").unwrap();
-    let to_seed = |e: &relgraph_pq::Example| Seed { node_type, node: e.entity_row, time: e.anchor };
-    let train: Vec<(Seed, f64)> =
-        table.train.iter().map(|e| (to_seed(e), e.label.scalar())).collect();
-    let val: Vec<(Seed, f64)> =
-        table.val.iter().map(|e| (to_seed(e), e.label.scalar())).collect();
+    let to_seed = |e: &relgraph_pq::Example| Seed {
+        node_type,
+        node: e.entity_row,
+        time: e.anchor,
+    };
+    let train: Vec<(Seed, f64)> = table
+        .train
+        .iter()
+        .map(|e| (to_seed(e), e.label.scalar()))
+        .collect();
+    let val: Vec<(Seed, f64)> = table
+        .val
+        .iter()
+        .map(|e| (to_seed(e), e.label.scalar()))
+        .collect();
     let test_seeds: Vec<Seed> = table.test.iter().map(to_seed).collect();
     let test_labels: Vec<bool> = table.test.iter().map(|e| e.label.scalar() > 0.5).collect();
 
@@ -60,8 +70,18 @@ fn main() {
         SamplerConfig::new(fanouts.clone()),
     ));
 
-    let mut t = Table::new(&["condition", "sampling (train)", "sampling (serve)", "test AUROC"]);
-    t.row(vec!["honest".into(), "temporal".into(), "temporal".into(), format!("{honest_auc:.4}")]);
+    let mut t = Table::new(&[
+        "condition",
+        "sampling (train)",
+        "sampling (serve)",
+        "test AUROC",
+    ]);
+    t.row(vec![
+        "honest".into(),
+        "temporal".into(),
+        "temporal".into(),
+        format!("{honest_auc:.4}"),
+    ]);
     t.row(vec![
         "leaky offline".into(),
         "leaky".into(),

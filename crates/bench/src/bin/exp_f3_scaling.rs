@@ -14,10 +14,19 @@ use relgraph_pq::{execute, ExecConfig};
 
 fn main() {
     println!("F3 — Scaling with database size (shop-active task)\n");
-    let sizes: Vec<usize> =
-        if is_quick() { vec![100, 200] } else { vec![125, 250, 500, 1000, 2000] };
+    let sizes: Vec<usize> = if is_quick() {
+        vec![100, 200]
+    } else {
+        vec![125, 250, 500, 1000, 2000]
+    };
     let mut t = Table::new(&[
-        "customers", "rows", "gen (s)", "graph (s)", "edges", "train+eval (s)", "auroc",
+        "customers",
+        "rows",
+        "gen (s)",
+        "graph (s)",
+        "edges",
+        "train+eval (s)",
+        "auroc",
     ]);
     for &n in &sizes {
         let t0 = Instant::now();

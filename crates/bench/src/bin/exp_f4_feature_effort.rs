@@ -24,11 +24,22 @@ fn main() {
     };
 
     // Zero-effort reference: the GNN consumes the raw database.
-    let gnn = execute(&db, query, &ExecConfig { model: ModelChoice::Gnn, ..base.clone() })
-        .expect("gnn run");
+    let gnn = execute(
+        &db,
+        query,
+        &ExecConfig {
+            model: ModelChoice::Gnn,
+            ..base.clone()
+        },
+    )
+    .expect("gnn run");
     let gnn_auc = gnn.metric("auroc").unwrap_or(f64::NAN);
 
-    let mut t = Table::new(&["hand-built features", "gbdt AUROC", "gnn AUROC (0 features)"]);
+    let mut t = Table::new(&[
+        "hand-built features",
+        "gbdt AUROC",
+        "gnn AUROC (0 features)",
+    ]);
     for &n in &[2usize, 5, 10, 20, 40, 80] {
         let cfg = ExecConfig {
             model: ModelChoice::Gbdt,

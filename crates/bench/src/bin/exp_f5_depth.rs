@@ -33,12 +33,10 @@ fn main() {
             "PREDICT EXISTS(visits.*, 0, 60) FOR EACH patients.patient_id",
         ),
     ];
-    let mut t =
-        Table::new(&["task", "raw feats", "hops 0", "hops 1", "hops 2", "hops 3"]);
+    let mut t = Table::new(&["task", "raw feats", "hops 0", "hops 1", "hops 2", "hops 3"]);
     for (id, db, query) in &tasks {
         let mut row = vec![id.to_string()];
-        for (hops, degree_features) in
-            [(0usize, false), (0, true), (1, true), (2, true), (3, true)]
+        for (hops, degree_features) in [(0usize, false), (0, true), (1, true), (2, true), (3, true)]
         {
             let cfg = ExecConfig {
                 epochs: if is_quick() { 5 } else { 20 },

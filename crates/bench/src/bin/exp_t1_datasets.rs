@@ -10,7 +10,14 @@ use relgraph_store::SECONDS_PER_DAY;
 fn main() {
     println!("T1 — Dataset inventory\n");
     let mut t = Table::new(&[
-        "dataset", "tables", "rows", "fk cols", "span (days)", "nodes", "edges", "node types",
+        "dataset",
+        "tables",
+        "rows",
+        "fk cols",
+        "span (days)",
+        "nodes",
+        "edges",
+        "node types",
         "edge types",
     ]);
     for (name, db) in [

@@ -5,7 +5,9 @@
 //! largest on tasks whose planted signal is relational (neighbor
 //! attributes) rather than own-history counts.
 
-use relgraph_bench::{canonical_tasks, models_for, run_models, standard_exec_config, task_db, Table, TaskFamily};
+use relgraph_bench::{
+    canonical_tasks, models_for, run_models, standard_exec_config, task_db, Table, TaskFamily,
+};
 
 fn main() {
     println!("T2 — Entity classification (AUROC)\n");

@@ -2,7 +2,9 @@
 //!
 //! Expected shape: gnn ≤ gbdt ≤ linreg ≪ trivial (predict-the-mean).
 
-use relgraph_bench::{canonical_tasks, models_for, run_models, standard_exec_config, task_db, Table, TaskFamily};
+use relgraph_bench::{
+    canonical_tasks, models_for, run_models, standard_exec_config, task_db, Table, TaskFamily,
+};
 
 fn main() {
     println!("T3 — Entity regression (MAE; lower is better)\n");

@@ -5,7 +5,9 @@
 //! repeat-purchase data and may edge the GNN — the finding RelBench also
 //! reports on its link-prediction tasks.
 
-use relgraph_bench::{canonical_tasks, models_for, run_models, standard_exec_config, task_db, Table, TaskFamily};
+use relgraph_bench::{
+    canonical_tasks, models_for, run_models, standard_exec_config, task_db, Table, TaskFamily,
+};
 use relgraph_pq::ExecConfig;
 
 fn main() {
@@ -18,7 +20,10 @@ fn main() {
     let mut table = Table::new(&["task", "model", "map@10", "recall@10", "ndcg@10", "secs"]);
     for task in &tasks {
         let db = task_db(task, 7);
-        let cfg = ExecConfig { epochs: 30, ..standard_exec_config() };
+        let cfg = ExecConfig {
+            epochs: 30,
+            ..standard_exec_config()
+        };
         let runs = run_models(&db, task.query, &models, &cfg);
         for r in &runs {
             table.row(vec![

@@ -6,7 +6,9 @@
 //! majority class; the GNN and the feature baselines are comparable (the
 //! signal is 1-hop).
 
-use relgraph_bench::{canonical_tasks, models_for, run_models, standard_exec_config, task_db, Table, TaskFamily};
+use relgraph_bench::{
+    canonical_tasks, models_for, run_models, standard_exec_config, task_db, Table, TaskFamily,
+};
 
 fn main() {
     println!("T5 — Multiclass (MODE) classification\n");
@@ -25,7 +27,10 @@ fn main() {
                 r.model.to_string(),
                 Table::metric(r.outcome.metric("accuracy")),
                 Table::metric(r.outcome.metric("macro_f1")),
-                format!("{}", r.outcome.metric("classes").unwrap_or(f64::NAN) as usize),
+                format!(
+                    "{}",
+                    r.outcome.metric("classes").unwrap_or(f64::NAN) as usize
+                ),
             ]);
         }
     }

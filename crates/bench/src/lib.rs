@@ -20,9 +20,11 @@
 //! or individually. Set `RELGRAPH_QUICK=1` to shrink workloads ~4× for a
 //! smoke pass.
 
+pub mod perf;
 pub mod report;
 pub mod tasks;
 
+pub use perf::{run_snapshot, write_snapshot, Snapshot};
 pub use report::Table;
 pub use tasks::{
     canonical_tasks, clinic_db, ecommerce_db, forum_db, is_quick, models_for, quick_scale,

@@ -1,0 +1,289 @@
+//! Before/after throughput snapshot for the parallel hot-path engine.
+//!
+//! Measures, in a single run, the pre-optimization baselines kept in-tree
+//! (full-edge-list scan sampling, serial naive matmul with materialized
+//! transposes) against the current implementations (temporal CSR sampling
+//! with rayon fan-out, cache-blocked fused matmul kernels), and writes the
+//! results to `BENCH_pipeline.json` with a stable schema:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "unix_time": 1700000000,
+//!   "threads": 8,
+//!   "sections": [
+//!     {"name": "...", "unit": "...", "before": 1.0, "after": 3.0,
+//!      "speedup": 3.0},
+//!     ...
+//!   ],
+//!   "end_to_end_speedup": 3.0
+//! }
+//! ```
+//!
+//! `before`/`after` are throughputs (higher is better); `speedup` is
+//! `after / before`. The `epoch` section is the end-to-end number the
+//! optimization work is judged by.
+
+use std::time::Instant;
+
+use relgraph_datagen::{generate_ecommerce, EcommerceConfig};
+use relgraph_db2graph::{build_graph, ConvertOptions};
+use relgraph_gnn::batch::{build_batch, input_dims};
+use relgraph_gnn::{Aggregation, GnnConfig, HeteroGnn};
+use relgraph_graph::{SamplerConfig, Seed, TemporalSampler};
+use relgraph_nn::{clip_global_norm, loss, Activation, Adam, Binding, Optimizer, ParamSet};
+use relgraph_pq::traintable::TrainTableConfig;
+use relgraph_pq::{analyze, build_training_table, parse};
+use relgraph_tensor::{set_baseline_matmul, Graph, Tensor};
+
+/// One before/after measurement.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Stable section name (`sample`, `traintable`, `matmul_*`, `epoch`).
+    pub name: String,
+    /// Throughput unit (higher is better).
+    pub unit: String,
+    /// Pre-optimization throughput.
+    pub before: f64,
+    /// Current throughput.
+    pub after: f64,
+}
+
+impl Section {
+    fn speedup(&self) -> f64 {
+        if self.before > 0.0 {
+            self.after / self.before
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Full snapshot: sections plus the headline end-to-end speedup.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub sections: Vec<Section>,
+    pub end_to_end_speedup: f64,
+}
+
+impl Snapshot {
+    /// Serialize with the stable schema (hand-rolled: the workspace has no
+    /// JSON dependency).
+    pub fn to_json(&self) -> String {
+        let unix_time = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema_version\": 1,\n");
+        out.push_str(&format!("  \"unix_time\": {unix_time},\n"));
+        out.push_str(&format!(
+            "  \"threads\": {},\n",
+            rayon::current_num_threads()
+        ));
+        out.push_str("  \"sections\": [\n");
+        for (i, s) in self.sections.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"unit\": \"{}\", \"before\": {:.3}, \
+                 \"after\": {:.3}, \"speedup\": {:.3}}}{}\n",
+                s.name,
+                s.unit,
+                s.before,
+                s.after,
+                s.speedup(),
+                if i + 1 < self.sections.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"end_to_end_speedup\": {:.3}\n",
+            self.end_to_end_speedup
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Best-of-`reps` wall time for `f`, after one warmup call.
+fn best_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Run the full pipeline snapshot. `quick` shrinks workloads ~4× (smoke
+/// pass / CI); the committed snapshot uses `quick = false`.
+pub fn run_snapshot(quick: bool) -> Snapshot {
+    let customers = if quick { 200 } else { 800 };
+    let reps = if quick { 2 } else { 3 };
+    let db = generate_ecommerce(&EcommerceConfig {
+        customers,
+        products: (customers / 8).max(20),
+        seed: 7,
+        ..Default::default()
+    })
+    .expect("generate");
+    let (graph, mapping) = build_graph(&db, &ConvertOptions::default()).unwrap();
+    let cust = mapping.node_type("customers").unwrap();
+    let (_, hi) = db.time_span().unwrap();
+    let mut sections = Vec::new();
+
+    // --- sample: full-edge-list scan vs temporal CSR + rayon fan-out.
+    let sampler = TemporalSampler::new(&graph, SamplerConfig::new(vec![10, 10]));
+    let seeds: Vec<Seed> = (0..customers)
+        .map(|i| Seed {
+            node_type: cust,
+            node: i,
+            time: hi,
+        })
+        .collect();
+    let before = best_secs(reps, || sampler.sample_scan_baseline(&seeds).total_nodes());
+    let after = best_secs(reps, || sampler.sample(&seeds).total_nodes());
+    sections.push(Section {
+        name: "sample".into(),
+        unit: "seeds/s".into(),
+        before: seeds.len() as f64 / before,
+        after: seeds.len() as f64 / after,
+    });
+
+    // --- traintable: serial vs rayon per-anchor fan-out (same algorithm;
+    // the gap is thread scaling, so it is ~1 on a single-core host).
+    let aq = analyze(
+        &db,
+        parse("PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id").unwrap(),
+    )
+    .unwrap();
+    let tt_cfg = TrainTableConfig::default();
+    let n_examples = build_training_table(&db, &aq, &tt_cfg).unwrap().len() as f64;
+    let prev = std::env::var("RAYON_NUM_THREADS").ok();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let before = best_secs(reps, || {
+        build_training_table(&db, &aq, &tt_cfg).unwrap().len()
+    });
+    match &prev {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    let after = best_secs(reps, || {
+        build_training_table(&db, &aq, &tt_cfg).unwrap().len()
+    });
+    sections.push(Section {
+        name: "traintable".into(),
+        unit: "examples/s".into(),
+        before: n_examples / before,
+        after: n_examples / after,
+    });
+
+    // --- matmul: serial naive ikj vs cache-blocked parallel kernel.
+    for &dim in &[128usize, 256] {
+        let fill = |m0: usize, m1: usize, md: i64| {
+            let data: Vec<f64> = (0..dim * dim)
+                .map(|x| ((x / dim * m0 + x % dim * m1) as i64 % md - md / 2) as f64)
+                .collect();
+            Tensor::from_vec(dim, dim, data)
+        };
+        let a = fill(31, 7, 13);
+        let b = fill(17, 3, 11);
+        let gflop = 2.0 * (dim * dim * dim) as f64 / 1e9;
+        let before = best_secs(reps, || a.matmul_naive(&b).get(0, 0));
+        let after = best_secs(reps, || a.matmul(&b).get(0, 0));
+        sections.push(Section {
+            name: format!("matmul_{dim}"),
+            unit: "gflop/s".into(),
+            before: gflop / before,
+            after: gflop / after,
+        });
+    }
+
+    // --- epoch: one end-to-end training epoch (sample → batch → forward →
+    // backward → Adam step), before = scan sampling + pre-optimization
+    // matmul path, after = CSR sampling + blocked fused kernels.
+    let examples: Vec<(Seed, f64)> = {
+        let t = build_training_table(&db, &aq, &tt_cfg).unwrap();
+        t.train
+            .iter()
+            .map(|e| {
+                (
+                    Seed {
+                        node_type: cust,
+                        node: e.entity_row,
+                        time: e.anchor,
+                    },
+                    e.label.scalar(),
+                )
+            })
+            .collect()
+    };
+    let n_epoch = examples.len() as f64;
+    let gnn_cfg = GnnConfig {
+        hidden_dim: 32,
+        layers: 2,
+        out_dim: 1,
+        activation: Activation::Relu,
+        aggregation: Aggregation::Mean,
+        seed: 17,
+    };
+    let run_epoch = |baseline: bool| {
+        set_baseline_matmul(baseline);
+        let mut ps = ParamSet::new();
+        let gnn = HeteroGnn::new(
+            &mut ps,
+            &input_dims(&graph),
+            graph.edge_types(),
+            cust.0,
+            &gnn_cfg,
+        );
+        let mut opt = Adam::new(0.01);
+        let mut total = 0.0;
+        for chunk in examples.chunks(64) {
+            let chunk_seeds: Vec<Seed> = chunk.iter().map(|&(s, _)| s).collect();
+            let sub = if baseline {
+                sampler.sample_scan_baseline(&chunk_seeds)
+            } else {
+                sampler.sample(&chunk_seeds)
+            };
+            let batch = build_batch(&graph, &sub);
+            let mut g = Graph::new();
+            let mut binding = Binding::new();
+            let pred = gnn.forward(&mut g, &mut binding, &ps, &batch);
+            let labels: Vec<f64> = chunk.iter().map(|&(_, y)| y).collect();
+            let target = g.constant(Tensor::from_vec(labels.len(), 1, labels));
+            let l = loss::bce_with_logits(&mut g, pred, target);
+            total += g.value(l).item();
+            g.backward(l).unwrap();
+            binding.accumulate_grads(&g, &mut ps);
+            clip_global_norm(&mut ps, 5.0);
+            opt.step(&mut ps);
+        }
+        set_baseline_matmul(false);
+        total
+    };
+    let before = best_secs(reps.min(2), || run_epoch(true));
+    let after = best_secs(reps.min(2), || run_epoch(false));
+    let epoch = Section {
+        name: "epoch".into(),
+        unit: "examples/s".into(),
+        before: n_epoch / before,
+        after: n_epoch / after,
+    };
+    let end_to_end = epoch.speedup();
+    sections.push(epoch);
+
+    Snapshot {
+        sections,
+        end_to_end_speedup: end_to_end,
+    }
+}
+
+/// Run the snapshot and write it to `path` (typically
+/// `BENCH_pipeline.json` at the workspace root).
+pub fn write_snapshot(path: &str, quick: bool) -> std::io::Result<Snapshot> {
+    let snap = run_snapshot(quick);
+    std::fs::write(path, snap.to_json())?;
+    Ok(snap)
+}

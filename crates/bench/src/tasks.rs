@@ -1,15 +1,16 @@
 //! Canonical experiment tasks and the shared model-comparison runner.
 
 use relgraph_datagen::{
-    generate_clinic, generate_ecommerce, generate_forum, ClinicConfig, EcommerceConfig,
-    ForumConfig,
+    generate_clinic, generate_ecommerce, generate_forum, ClinicConfig, EcommerceConfig, ForumConfig,
 };
 use relgraph_pq::{execute, ExecConfig, ModelChoice, QueryOutcome};
 use relgraph_store::Database;
 
 /// True when `RELGRAPH_QUICK=1` (shrinks every workload ~4×).
 pub fn is_quick() -> bool {
-    std::env::var("RELGRAPH_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("RELGRAPH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Scale a size down in quick mode.
@@ -34,14 +35,22 @@ pub fn ecommerce_db(seed: u64) -> Database {
 
 /// The standard forum evaluation database.
 pub fn forum_db(seed: u64) -> Database {
-    generate_forum(&ForumConfig { users: quick_scale(400), seed, ..Default::default() })
-        .expect("generate forum")
+    generate_forum(&ForumConfig {
+        users: quick_scale(400),
+        seed,
+        ..Default::default()
+    })
+    .expect("generate forum")
 }
 
 /// The standard clinic evaluation database.
 pub fn clinic_db(seed: u64) -> Database {
-    generate_clinic(&ClinicConfig { patients: quick_scale(400), seed, ..Default::default() })
-        .expect("generate clinic")
+    generate_clinic(&ClinicConfig {
+        patients: quick_scale(400),
+        seed,
+        ..Default::default()
+    })
+    .expect("generate clinic")
 }
 
 /// Which leaderboard a task belongs to.
@@ -165,7 +174,11 @@ pub fn models_for(family: TaskFamily) -> Vec<ModelChoice> {
             ModelChoice::Trivial,
         ],
         TaskFamily::Recommendation => {
-            vec![ModelChoice::Gnn, ModelChoice::CoVisit, ModelChoice::Popularity]
+            vec![
+                ModelChoice::Gnn,
+                ModelChoice::CoVisit,
+                ModelChoice::Popularity,
+            ]
         }
         TaskFamily::Multiclass => vec![
             ModelChoice::Gnn,
@@ -194,11 +207,18 @@ pub fn run_models(
     models
         .iter()
         .map(|&model| {
-            let cfg = ExecConfig { model, ..base.clone() };
+            let cfg = ExecConfig {
+                model,
+                ..base.clone()
+            };
             let start = std::time::Instant::now();
             let outcome = execute(db, query, &cfg)
                 .unwrap_or_else(|e| panic!("{model} failed on `{query}`: {e}"));
-            ModelRun { model, outcome, seconds: start.elapsed().as_secs_f64() }
+            ModelRun {
+                model,
+                outcome,
+                seconds: start.elapsed().as_secs_f64(),
+            }
         })
         .collect()
 }
@@ -216,7 +236,10 @@ mod tests {
             TaskFamily::Recommendation,
             TaskFamily::Multiclass,
         ] {
-            assert!(tasks.iter().any(|t| t.family == family), "missing {family:?}");
+            assert!(
+                tasks.iter().any(|t| t.family == family),
+                "missing {family:?}"
+            );
             assert!(!models_for(family).is_empty());
         }
         // Ids unique.

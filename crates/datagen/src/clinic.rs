@@ -8,7 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use relgraph_store::{Database, DataType, Row, StoreResult, TableSchema, Timestamp, Value};
+use relgraph_store::{DataType, Database, Row, StoreResult, TableSchema, Timestamp, Value};
 
 use crate::util::{normal_with, poisson, uniform_time, SECONDS_PER_DAY};
 
@@ -41,7 +41,12 @@ pub struct ClinicConfig {
 
 impl Default for ClinicConfig {
     fn default() -> Self {
-        ClinicConfig { seed: 23, patients: 400, horizon_days: 540, base_visit_rate: 0.008 }
+        ClinicConfig {
+            seed: 23,
+            patients: 400,
+            horizon_days: 540,
+            base_visit_rate: 0.008,
+        }
     }
 }
 
@@ -125,17 +130,16 @@ pub fn generate_clinic(cfg: &ClinicConfig) -> StoreResult<Database> {
             let risk_boost = if recent_rx.is_empty() {
                 1.0
             } else {
-                let mean_risk: f64 = recent_rx.iter().map(|&(_, r)| r).sum::<f64>()
-                    / recent_rx.len() as f64;
+                let mean_risk: f64 =
+                    recent_rx.iter().map(|&(_, r)| r).sum::<f64>() / recent_rx.len() as f64;
                 1.0 + 5.0 * mean_risk
             };
             let lambda = cfg.base_visit_rate * (0.5 + 2.5 * chronic[pid]) * risk_boost * days;
             let n_visits = poisson(&mut rng, lambda);
             for _ in 0..n_visits {
                 let admitted = uniform_time(&mut rng, t, block_end);
-                let severity = (0.25 + 0.6 * chronic[pid]
-                    + normal_with(&mut rng, 0.0, 0.15))
-                .clamp(0.0, 1.0);
+                let severity =
+                    (0.25 + 0.6 * chronic[pid] + normal_with(&mut rng, 0.0, 0.15)).clamp(0.0, 1.0);
                 db.insert(
                     "visits",
                     Row::new()
@@ -178,7 +182,11 @@ mod tests {
     use super::*;
 
     fn small() -> ClinicConfig {
-        ClinicConfig { patients: 60, seed: 3, ..Default::default() }
+        ClinicConfig {
+            patients: 60,
+            seed: 3,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -186,7 +194,10 @@ mod tests {
         let db = generate_clinic(&small()).unwrap();
         assert_eq!(db.table("patients").unwrap().len(), 60);
         assert!(db.table("visits").unwrap().len() > 50, "too few visits");
-        assert!(db.table("prescriptions").unwrap().len() > 50, "too few prescriptions");
+        assert!(
+            db.table("prescriptions").unwrap().len() > 50,
+            "too few prescriptions"
+        );
         db.validate().expect("referential integrity");
     }
 

@@ -13,13 +13,23 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use relgraph_store::{Database, DataType, Row, StoreResult, TableSchema, Timestamp, Value};
+use relgraph_store::{DataType, Database, Row, StoreResult, TableSchema, Timestamp, Value};
 
-use crate::util::{log_normal, normal_with, poisson, uniform_time, weighted_index, SECONDS_PER_DAY};
+use crate::util::{
+    log_normal, normal_with, poisson, uniform_time, weighted_index, SECONDS_PER_DAY,
+};
 
 /// Product categories with fixed "hotness" multipliers (index-aligned).
-const CATEGORIES: [&str; 8] =
-    ["electronics", "books", "fashion", "home", "toys", "sports", "beauty", "grocery"];
+const CATEGORIES: [&str; 8] = [
+    "electronics",
+    "books",
+    "fashion",
+    "home",
+    "toys",
+    "sports",
+    "beauty",
+    "grocery",
+];
 const HOTNESS: [f64; 8] = [1.5, 1.3, 1.1, 1.0, 0.9, 0.8, 0.7, 0.6];
 const REGIONS: [&str; 4] = ["north", "south", "east", "west"];
 const AGE_GROUPS: [&str; 4] = ["18-25", "26-40", "41-60", "60+"];
@@ -191,8 +201,8 @@ pub fn generate_ecommerce(cfg: &EcommerceConfig) -> StoreResult<Database> {
                 let n = recent.len() as f64;
                 let mean_hot: f64 = recent.iter().map(|&(h, _)| h).sum::<f64>() / n;
                 let mean_q: f64 = recent.iter().map(|&(_, q)| q).sum::<f64>() / n;
-                let hazard = (0.02 + 0.55 * (1.0 - mean_hot) + 0.35 * (0.5 - mean_q))
-                    .clamp(0.005, 0.75);
+                let hazard =
+                    (0.02 + 0.55 * (1.0 - mean_hot) + 0.35 * (0.5 - mean_q)).clamp(0.005, 0.75);
                 if rng.gen_bool(hazard) {
                     break; // churned: no further orders, ever
                 }
@@ -205,7 +215,11 @@ pub fn generate_ecommerce(cfg: &EcommerceConfig) -> StoreResult<Database> {
                 // customer's preferred point are more likely.
                 for (p, w) in weights.iter_mut().enumerate() {
                     let price_gap = (product_price[p].ln() - price_pref[cid].ln()).abs();
-                    let taste = if product_category[p] == cat_pref[cid] { 4.0 } else { 1.0 };
+                    let taste = if product_category[p] == cat_pref[cid] {
+                        4.0
+                    } else {
+                        1.0
+                    };
                     *w = taste * (-price_gap).exp();
                 }
                 let p = weighted_index(&mut rng, &weights);
@@ -235,9 +249,8 @@ pub fn generate_ecommerce(cfg: &EcommerceConfig) -> StoreResult<Database> {
                     recent.remove(0);
                 }
                 if rng.gen_bool(cfg.review_prob) {
-                    let rating = (1.0 + 4.0 * product_quality[p]
-                        + normal_with(&mut rng, 0.0, 0.7))
-                    .clamp(1.0, 5.0);
+                    let rating = (1.0 + 4.0 * product_quality[p] + normal_with(&mut rng, 0.0, 0.7))
+                        .clamp(1.0, 5.0);
                     let written = placed + rng.gen_range(1..=5) * SECONDS_PER_DAY;
                     db.insert(
                         "reviews",
@@ -262,7 +275,12 @@ mod tests {
     use super::*;
 
     fn small() -> EcommerceConfig {
-        EcommerceConfig { customers: 50, products: 20, seed: 11, ..Default::default() }
+        EcommerceConfig {
+            customers: 50,
+            products: 20,
+            seed: 11,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -279,13 +297,23 @@ mod tests {
     fn deterministic_per_seed() {
         let a = generate_ecommerce(&small()).unwrap();
         let b = generate_ecommerce(&small()).unwrap();
-        assert_eq!(a.table("orders").unwrap().len(), b.table("orders").unwrap().len());
+        assert_eq!(
+            a.table("orders").unwrap().len(),
+            b.table("orders").unwrap().len()
+        );
         assert_eq!(
             a.table("orders").unwrap().row(5).unwrap(),
             b.table("orders").unwrap().row(5).unwrap()
         );
-        let c = generate_ecommerce(&EcommerceConfig { seed: 12, ..small() }).unwrap();
-        assert_ne!(a.table("orders").unwrap().len(), c.table("orders").unwrap().len());
+        let c = generate_ecommerce(&EcommerceConfig {
+            seed: 12,
+            ..small()
+        })
+        .unwrap();
+        assert_ne!(
+            a.table("orders").unwrap().len(),
+            c.table("orders").unwrap().len()
+        );
     }
 
     #[test]
@@ -338,6 +366,9 @@ mod tests {
         let max = counts.values().copied().max().unwrap_or(0);
         let active = counts.len();
         assert!(max >= 10, "expected a heavy buyer, max={max}");
-        assert!(active < 50 || counts.values().any(|&c| c <= 3), "expected light buyers");
+        assert!(
+            active < 50 || counts.values().any(|&c| c <= 3),
+            "expected light buyers"
+        );
     }
 }

@@ -8,7 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use relgraph_store::{Database, DataType, Row, StoreResult, TableSchema, Timestamp, Value};
+use relgraph_store::{DataType, Database, Row, StoreResult, TableSchema, Timestamp, Value};
 
 use crate::util::{normal_with, poisson, uniform_time, weighted_index, SECONDS_PER_DAY};
 
@@ -167,7 +167,11 @@ mod tests {
     use super::*;
 
     fn small() -> ForumConfig {
-        ForumConfig { users: 60, seed: 5, ..Default::default() }
+        ForumConfig {
+            users: 60,
+            seed: 5,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -183,7 +187,10 @@ mod tests {
     fn deterministic_per_seed() {
         let a = generate_forum(&small()).unwrap();
         let b = generate_forum(&small()).unwrap();
-        assert_eq!(a.table("posts").unwrap().len(), b.table("posts").unwrap().len());
+        assert_eq!(
+            a.table("posts").unwrap().len(),
+            b.table("posts").unwrap().len()
+        );
     }
 
     #[test]
@@ -222,6 +229,9 @@ mod tests {
             *indeg.entry(col.get_i64(i).unwrap()).or_insert(0usize) += 1;
         }
         let max = indeg.values().copied().max().unwrap_or(0);
-        assert!(max >= 5, "preferential attachment should create hubs, max in-degree {max}");
+        assert!(
+            max >= 5,
+            "preferential attachment should create hubs, max in-degree {max}"
+        );
     }
 }

@@ -26,6 +26,6 @@ pub mod ecommerce;
 pub mod forum;
 pub mod util;
 
-pub use clinic::{ClinicConfig, generate_clinic};
-pub use ecommerce::{EcommerceConfig, generate_ecommerce};
-pub use forum::{ForumConfig, generate_forum};
+pub use clinic::{generate_clinic, ClinicConfig};
+pub use ecommerce::{generate_ecommerce, EcommerceConfig};
+pub use forum::{generate_forum, ForumConfig};

@@ -4,8 +4,7 @@
 
 use proptest::prelude::*;
 use relgraph_datagen::{
-    generate_clinic, generate_ecommerce, generate_forum, ClinicConfig, EcommerceConfig,
-    ForumConfig,
+    generate_clinic, generate_ecommerce, generate_forum, ClinicConfig, EcommerceConfig, ForumConfig,
 };
 use relgraph_store::SECONDS_PER_DAY;
 

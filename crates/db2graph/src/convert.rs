@@ -19,7 +19,10 @@ pub struct ConvertOptions {
 
 impl Default for ConvertOptions {
     fn default() -> Self {
-        ConvertOptions { text_hash_dim: 16, reverse_edges: true }
+        ConvertOptions {
+            text_hash_dim: 16,
+            reverse_edges: true,
+        }
     }
 }
 
@@ -53,7 +56,10 @@ pub struct GraphMapping {
 impl GraphMapping {
     /// Node type for a table name.
     pub fn node_type(&self, table: &str) -> Option<NodeTypeId> {
-        self.node_types.iter().find(|(n, _)| n == table).map(|&(_, id)| id)
+        self.node_types
+            .iter()
+            .find(|(n, _)| n == table)
+            .map(|&(_, id)| id)
     }
 }
 
@@ -63,7 +69,10 @@ impl GraphMapping {
 /// referenced row) and, if enabled, one reverse edge; both carry the
 /// *referencing* row's timestamp (when the fact became known), falling back
 /// to [`ALWAYS_VISIBLE`] for tables without a time column.
-pub fn build_graph(db: &Database, options: &ConvertOptions) -> ConvertResult<(HeteroGraph, GraphMapping)> {
+pub fn build_graph(
+    db: &Database,
+    options: &ConvertOptions,
+) -> ConvertResult<(HeteroGraph, GraphMapping)> {
     let mut builder = HeteroGraphBuilder::new();
     let mut node_types = Vec::new();
     let mut feature_specs = Vec::new();
@@ -96,11 +105,14 @@ pub fn build_graph(db: &Database, options: &ConvertOptions) -> ConvertResult<(He
         for fk in table.schema().foreign_keys() {
             let target = db.table(&fk.referenced_table)?;
             if target.schema().primary_key().is_none() {
-                return Err(ConvertError::MissingPrimaryKey { table: target.name().to_string() });
+                return Err(ConvertError::MissingPrimaryKey {
+                    table: target.name().to_string(),
+                });
             }
-            let dst_nt = node_type(target.name()).ok_or_else(|| {
-                ConvertError::MissingPrimaryKey { table: target.name().to_string() }
-            })?;
+            let dst_nt =
+                node_type(target.name()).ok_or_else(|| ConvertError::MissingPrimaryKey {
+                    table: target.name().to_string(),
+                })?;
             let fwd_name = format!("{}.{}->{}", table.name(), fk.column, target.name());
             let fwd = builder.add_edge_type(&fwd_name, src_nt, dst_nt);
             edge_bindings.push(EdgeBinding {
@@ -136,13 +148,14 @@ pub fn build_graph(db: &Database, options: &ConvertOptions) -> ConvertResult<(He
                 if key.is_null() {
                     continue;
                 }
-                let dst = target.row_by_key(&key).ok_or_else(|| {
-                    ConvertError::DanglingReference {
-                        table: table.name().to_string(),
-                        column: fk.column.clone(),
-                        key: key.to_string(),
-                    }
-                })?;
+                let dst =
+                    target
+                        .row_by_key(&key)
+                        .ok_or_else(|| ConvertError::DanglingReference {
+                            table: table.name().to_string(),
+                            column: fk.column.clone(),
+                            key: key.to_string(),
+                        })?;
                 let time = table.row_timestamp(row).unwrap_or(ALWAYS_VISIBLE);
                 builder.add_edge(fwd, row, dst, time);
                 if let Some(rev) = rev {
@@ -152,7 +165,14 @@ pub fn build_graph(db: &Database, options: &ConvertOptions) -> ConvertResult<(He
         }
     }
     let graph = builder.finish()?;
-    Ok((graph, GraphMapping { node_types, edge_bindings, feature_specs }))
+    Ok((
+        graph,
+        GraphMapping {
+            node_types,
+            edge_bindings,
+            feature_specs,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -193,10 +213,18 @@ mod tests {
             )
             .unwrap();
         }
-        for (oid, cid, amount, t) in [(10i64, 1i64, 5.0, 150i64), (11, 1, 7.0, 250), (12, 2, 9.0, 300)] {
+        for (oid, cid, amount, t) in [
+            (10i64, 1i64, 5.0, 150i64),
+            (11, 1, 7.0, 250),
+            (12, 2, 9.0, 300),
+        ] {
             db.insert(
                 "orders",
-                Row::new().push(oid).push(cid).push(amount).push(Value::Timestamp(t)),
+                Row::new()
+                    .push(oid)
+                    .push(cid)
+                    .push(amount)
+                    .push(Value::Timestamp(t)),
             )
             .unwrap();
         }
@@ -223,7 +251,9 @@ mod tests {
     fn edge_times_come_from_referencing_row() {
         let (g, m) = build_graph(&shop(), &ConvertOptions::default()).unwrap();
         let cust = m.node_type("customers").unwrap();
-        let rev = g.edge_type_by_name("customers<-orders.customer_id").unwrap();
+        let rev = g
+            .edge_type_by_name("customers<-orders.customer_id")
+            .unwrap();
         // Customer 0 (id 1) has orders at t=150 and t=250.
         let ns: Vec<(usize, i64)> = g.neighbors(rev, 0).collect();
         assert_eq!(ns.len(), 2);
@@ -234,8 +264,14 @@ mod tests {
 
     #[test]
     fn features_have_expected_dims() {
-        let (g, m) = build_graph(&shop(), &ConvertOptions { text_hash_dim: 4, reverse_edges: true })
-            .unwrap();
+        let (g, m) = build_graph(
+            &shop(),
+            &ConvertOptions {
+                text_hash_dim: 4,
+                reverse_edges: true,
+            },
+        )
+        .unwrap();
         let cust = m.node_type("customers").unwrap();
         // region: 4 hash slots + bias = 5.
         assert_eq!(g.features(cust).dim(), 5);
@@ -247,8 +283,14 @@ mod tests {
 
     #[test]
     fn no_reverse_edges_option() {
-        let (g, _) = build_graph(&shop(), &ConvertOptions { reverse_edges: false, ..Default::default() })
-            .unwrap();
+        let (g, _) = build_graph(
+            &shop(),
+            &ConvertOptions {
+                reverse_edges: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(g.num_edge_types(), 1);
         assert_eq!(g.total_edges(), 3);
     }
@@ -258,7 +300,11 @@ mod tests {
         let mut db = shop();
         db.insert(
             "orders",
-            Row::new().push(99i64).push(42i64).push(1.0).push(Value::Timestamp(10)),
+            Row::new()
+                .push(99i64)
+                .push(42i64)
+                .push(1.0)
+                .push(Value::Timestamp(10)),
         )
         .unwrap();
         let err = build_graph(&db, &ConvertOptions::default()).unwrap_err();
@@ -268,8 +314,13 @@ mod tests {
     #[test]
     fn fk_to_pkless_table_detected() {
         let mut db = Database::new("d");
-        db.create_table(TableSchema::builder("a").column("x", DataType::Int).build().unwrap())
-            .unwrap();
+        db.create_table(
+            TableSchema::builder("a")
+                .column("x", DataType::Int)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
         db.create_table(
             TableSchema::builder("b")
                 .column("id", DataType::Int)
@@ -306,7 +357,8 @@ mod tests {
         )
         .unwrap();
         db.insert("a", Row::new().push(1i64)).unwrap();
-        db.insert("b", Row::new().push(1i64).push(Value::Null)).unwrap();
+        db.insert("b", Row::new().push(1i64).push(Value::Null))
+            .unwrap();
         db.insert("b", Row::new().push(2i64).push(1i64)).unwrap();
         let (g, _) = build_graph(&db, &ConvertOptions::default()).unwrap();
         assert_eq!(g.total_edges(), 2); // one forward + one reverse

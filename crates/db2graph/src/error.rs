@@ -14,7 +14,11 @@ pub enum ConvertError {
     /// A foreign key references a table that has no primary key.
     MissingPrimaryKey { table: String },
     /// A non-null FK cell had no matching referenced row.
-    DanglingReference { table: String, column: String, key: String },
+    DanglingReference {
+        table: String,
+        column: String,
+        key: String,
+    },
     /// Underlying store error.
     Store(StoreError),
     /// Underlying graph construction error.
@@ -25,7 +29,10 @@ impl fmt::Display for ConvertError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConvertError::MissingPrimaryKey { table } => {
-                write!(f, "table `{table}` is referenced by a foreign key but has no primary key")
+                write!(
+                    f,
+                    "table `{table}` is referenced by a foreign key but has no primary key"
+                )
             }
             ConvertError::DanglingReference { table, column, key } => {
                 write!(f, "dangling reference `{table}`.`{column}` = {key}")

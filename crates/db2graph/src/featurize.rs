@@ -11,6 +11,7 @@
 //! * a trailing constant `1.0` bias slot, so even key-only tables get a
 //!   non-degenerate feature vector.
 
+use rayon::prelude::*;
 use relgraph_graph::FeatureMatrix;
 use relgraph_store::{Column, DataType, Table};
 
@@ -117,61 +118,92 @@ pub fn featurize_table(table: &Table, text_hash_dim: usize) -> (TableFeatureSpec
         match def.data_type {
             DataType::Int | DataType::Float | DataType::Timestamp => {
                 let (mean, std) = column_stats(col);
-                specs.push(ColumnFeature::Numeric { column: def.name.clone(), mean, std });
+                specs.push(ColumnFeature::Numeric {
+                    column: def.name.clone(),
+                    mean,
+                    std,
+                });
             }
-            DataType::Bool => specs.push(ColumnFeature::Boolean { column: def.name.clone() }),
-            DataType::Text => {
-                specs.push(ColumnFeature::TextHash { column: def.name.clone(), dim: text_hash_dim })
-            }
+            DataType::Bool => specs.push(ColumnFeature::Boolean {
+                column: def.name.clone(),
+            }),
+            DataType::Text => specs.push(ColumnFeature::TextHash {
+                column: def.name.clone(),
+                dim: text_hash_dim,
+            }),
         }
     }
     specs.push(ColumnFeature::Bias);
-    let spec = TableFeatureSpec { table: schema.name().to_string(), columns: specs };
+    let spec = TableFeatureSpec {
+        table: schema.name().to_string(),
+        columns: specs,
+    };
 
     let dim = spec.dim();
+    // Resolve each encoding's column once (not once per row), then fill
+    // rows in parallel — each row is a disjoint `dim`-wide chunk of the
+    // matrix, so the writes never alias.
+    let resolved: Vec<(&ColumnFeature, Option<&Column>)> = spec
+        .columns
+        .iter()
+        .map(|cf| {
+            let col = match cf {
+                ColumnFeature::Numeric { column, .. }
+                | ColumnFeature::Boolean { column }
+                | ColumnFeature::TextHash { column, .. } => {
+                    Some(table.column_by_name(column).expect("column exists"))
+                }
+                ColumnFeature::Bias => None,
+            };
+            (cf, col)
+        })
+        .collect();
     let mut features = FeatureMatrix::zeros(table.len(), dim);
-    for row in 0..table.len() {
-        let out = features.row_mut(row);
-        let mut off = 0;
-        for cf in &spec.columns {
-            match cf {
-                ColumnFeature::Numeric { column, mean, std } => {
-                    let col = table.column_by_name(column).expect("column exists");
-                    match col.get_f64(row) {
-                        Some(x) => {
-                            out[off] = ((x - mean) / std) as f32;
-                            out[off + 1] = 0.0;
+    features
+        .data_mut()
+        .par_chunks_mut(dim)
+        .enumerate()
+        .for_each(|(row, out)| {
+            let mut off = 0;
+            for &(cf, col) in &resolved {
+                match cf {
+                    ColumnFeature::Numeric { mean, std, .. } => {
+                        let col = col.expect("numeric column resolved");
+                        match col.get_f64(row) {
+                            Some(x) => {
+                                out[off] = ((x - mean) / std) as f32;
+                                out[off + 1] = 0.0;
+                            }
+                            None => {
+                                out[off] = 0.0;
+                                out[off + 1] = 1.0;
+                            }
                         }
-                        None => {
-                            out[off] = 0.0;
-                            out[off + 1] = 1.0;
+                        off += 2;
+                    }
+                    ColumnFeature::Boolean { .. } => {
+                        let col = col.expect("bool column resolved");
+                        out[off] = match col.get(row).as_bool() {
+                            Some(true) => 1.0,
+                            Some(false) => 0.0,
+                            None => 0.5,
+                        };
+                        off += 1;
+                    }
+                    ColumnFeature::TextHash { dim, .. } => {
+                        let col = col.expect("text column resolved");
+                        if let Some(s) = col.get_str(row) {
+                            out[off + hash_bucket(s, *dim)] = 1.0;
                         }
+                        off += dim;
                     }
-                    off += 2;
-                }
-                ColumnFeature::Boolean { column } => {
-                    let col = table.column_by_name(column).expect("column exists");
-                    out[off] = match col.get(row).as_bool() {
-                        Some(true) => 1.0,
-                        Some(false) => 0.0,
-                        None => 0.5,
-                    };
-                    off += 1;
-                }
-                ColumnFeature::TextHash { column, dim } => {
-                    let col = table.column_by_name(column).expect("column exists");
-                    if let Some(s) = col.get_str(row) {
-                        out[off + hash_bucket(s, *dim)] = 1.0;
+                    ColumnFeature::Bias => {
+                        out[off] = 1.0;
+                        off += 1;
                     }
-                    off += dim;
-                }
-                ColumnFeature::Bias => {
-                    out[off] = 1.0;
-                    off += 1;
                 }
             }
-        }
-    }
+        });
     (spec, features)
 }
 
@@ -195,9 +227,11 @@ mod tests {
                 .build()
                 .unwrap(),
         );
-        for (id, price, kind, active) in
-            [(1, 10.0, "a", true), (2, 20.0, "b", false), (3, 30.0, "a", true)]
-        {
+        for (id, price, kind, active) in [
+            (1, 10.0, "a", true),
+            (2, 20.0, "b", false),
+            (3, 30.0, "a", true),
+        ] {
             t.insert(Row::from(vec![
                 Value::Int(id),
                 Value::Float(price),
@@ -269,8 +303,10 @@ mod tests {
                 .build()
                 .unwrap(),
         );
-        t.insert(Row::from(vec![Value::Int(1), Value::Float(5.0)])).unwrap();
-        t.insert(Row::from(vec![Value::Int(2), Value::Null])).unwrap();
+        t.insert(Row::from(vec![Value::Int(1), Value::Float(5.0)]))
+            .unwrap();
+        t.insert(Row::from(vec![Value::Int(2), Value::Null]))
+            .unwrap();
         let (_, f) = featurize_table(&t, 4);
         assert_eq!(f.row(0)[1], 0.0);
         assert_eq!(f.row(1)[0], 0.0);
@@ -288,7 +324,8 @@ mod tests {
                 .unwrap(),
         );
         for i in 0..3 {
-            t.insert(Row::from(vec![Value::Int(i), Value::Int(7)])).unwrap();
+            t.insert(Row::from(vec![Value::Int(i), Value::Int(7)]))
+                .unwrap();
         }
         let (_, f) = featurize_table(&t, 2);
         for r in 0..3 {

@@ -58,7 +58,8 @@ mod tests {
         )
         .unwrap();
         for (id, t) in [(1i64, 10i64), (2, 20), (3, 30)] {
-            db.insert("events", Row::new().push(id).push(Value::Timestamp(t))).unwrap();
+            db.insert("events", Row::new().push(id).push(Value::Timestamp(t)))
+                .unwrap();
         }
         db.insert("static", Row::new().push(7i64)).unwrap();
         db
@@ -73,14 +74,31 @@ mod tests {
 
     #[test]
     fn full_and_empty_snapshots() {
-        assert_eq!(snapshot_at(&db(), 1000).unwrap().table("events").unwrap().len(), 3);
-        assert_eq!(snapshot_at(&db(), 0).unwrap().table("events").unwrap().len(), 0);
+        assert_eq!(
+            snapshot_at(&db(), 1000)
+                .unwrap()
+                .table("events")
+                .unwrap()
+                .len(),
+            3
+        );
+        assert_eq!(
+            snapshot_at(&db(), 0)
+                .unwrap()
+                .table("events")
+                .unwrap()
+                .len(),
+            0
+        );
     }
 
     #[test]
     fn snapshot_keeps_schema() {
         let s = snapshot_at(&db(), 20).unwrap();
-        assert_eq!(s.table("events").unwrap().schema().time_column(), Some("at"));
+        assert_eq!(
+            s.table("events").unwrap().schema().time_column(),
+            Some("at")
+        );
         assert!(s.name().contains("@20"));
     }
 }

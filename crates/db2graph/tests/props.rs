@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use relgraph_db2graph::{build_graph, snapshot_at, ConvertOptions};
-use relgraph_store::{Database, DataType, Row, TableSchema, Value};
+use relgraph_store::{DataType, Database, Row, TableSchema, Value};
 
 /// A two-table DB: `parents(id, t)` and `children(id, parent_id, x, t)`,
 /// with child→parent assignments and times drawn from the inputs.
@@ -32,7 +32,11 @@ fn build_db(n_parents: usize, children: &[(usize, f64, i64)]) -> Database {
     )
     .unwrap();
     for p in 0..n_parents {
-        db.insert("parents", Row::new().push(p as i64).push(Value::Timestamp(0))).unwrap();
+        db.insert(
+            "parents",
+            Row::new().push(p as i64).push(Value::Timestamp(0)),
+        )
+        .unwrap();
     }
     for (i, &(parent, x, t)) in children.iter().enumerate() {
         db.insert(

@@ -43,7 +43,9 @@ impl Batch {
 pub fn input_dims(graph: &HeteroGraph) -> Vec<usize> {
     (0..graph.num_node_types())
         .map(|t| {
-            graph.features(NodeTypeId(t)).dim() + 2 + graph.num_edge_types() * DEGREE_WINDOWS_DAYS.len()
+            graph.features(NodeTypeId(t)).dim()
+                + 2
+                + graph.num_edge_types() * DEGREE_WINDOWS_DAYS.len()
         })
         .collect()
 }
@@ -91,18 +93,22 @@ pub fn build_batch(graph: &HeteroGraph, sub: &SampledSubgraph) -> Batch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use relgraph_graph::{
-        FeatureMatrix, HeteroGraphBuilder, SamplerConfig, Seed, TemporalSampler,
-    };
+    use relgraph_graph::{FeatureMatrix, HeteroGraphBuilder, SamplerConfig, Seed, TemporalSampler};
 
     fn graph() -> HeteroGraph {
         let mut b = HeteroGraphBuilder::new();
         let u = b.add_node_type("user", 2);
         let o = b.add_node_type("order", 3);
         let e = b.add_edge_type("placed", u, o);
-        b.set_node_times(o, vec![SECONDS_PER_DAY, 2 * SECONDS_PER_DAY, 3 * SECONDS_PER_DAY]);
+        b.set_node_times(
+            o,
+            vec![SECONDS_PER_DAY, 2 * SECONDS_PER_DAY, 3 * SECONDS_PER_DAY],
+        );
         b.set_features(u, FeatureMatrix::from_rows(2, 1, vec![0.5, -0.5]));
-        b.set_features(o, FeatureMatrix::from_rows(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        b.set_features(
+            o,
+            FeatureMatrix::from_rows(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+        );
         for (user, order) in [(0, 0), (0, 1), (1, 2)] {
             b.add_edge(e, user, order, (order as i64 + 1) * SECONDS_PER_DAY);
         }
@@ -114,7 +120,11 @@ mod tests {
         let g = graph();
         let sampler = TemporalSampler::new(&g, SamplerConfig::new(vec![10]));
         let anchor = 3 * SECONDS_PER_DAY;
-        let sub = sampler.sample(&[Seed { node_type: NodeTypeId(0), node: 0, time: anchor }]);
+        let sub = sampler.sample(&[Seed {
+            node_type: NodeTypeId(0),
+            node: 0,
+            time: anchor,
+        }]);
         let batch = build_batch(&g, &sub);
         assert_eq!(batch.num_seeds(), 1);
         // user features: 1 raw + 2 temporal + 4 degree slots (one edge
@@ -137,7 +147,10 @@ mod tests {
         // covers both → ln(3) in each of the four degree slots.
         let urow = batch.features[0].row(batch.seed_locals[0]);
         for w in 0..4 {
-            assert!((urow[3 + w] - (3.0f64).ln()).abs() < 1e-9, "slot {w}: {urow:?}");
+            assert!(
+                (urow[3 + w] - (3.0f64).ln()).abs() < 1e-9,
+                "slot {w}: {urow:?}"
+            );
         }
         assert_eq!(input_dims(&g), vec![7, 8]);
     }
@@ -146,7 +159,11 @@ mod tests {
     fn empty_types_give_zero_row_tensors() {
         let g = graph();
         let sampler = TemporalSampler::new(&g, SamplerConfig::new(vec![]));
-        let sub = sampler.sample(&[Seed { node_type: NodeTypeId(0), node: 1, time: 0 }]);
+        let sub = sampler.sample(&[Seed {
+            node_type: NodeTypeId(0),
+            node: 1,
+            time: 0,
+        }]);
         let batch = build_batch(&g, &sub);
         assert_eq!(batch.features[1].rows(), 0);
         assert_eq!(batch.features[0].rows(), 1);

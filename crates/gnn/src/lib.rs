@@ -27,8 +27,8 @@ pub mod train;
 pub use batch::{build_batch, Batch};
 pub use error::{GnnError, GnnResult};
 pub use model::{GnnConfig, HeteroGnn};
-pub use sage::Aggregation;
 pub use recommend::{train_two_tower, TwoTowerConfig, TwoTowerModel};
+pub use sage::Aggregation;
 pub use train::{
     train_multiclass_model, train_node_model, MulticlassModel, NodeModel, TaskKind, TrainConfig,
     TrainReport,

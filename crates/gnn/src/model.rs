@@ -75,14 +75,23 @@ impl HeteroGnn {
             dims = vec![config.hidden_dim; in_dims.len()];
             layers.push(layer);
         }
-        let head_in = if config.layers > 0 { config.hidden_dim } else { in_dims[seed_type] };
+        let head_in = if config.layers > 0 {
+            config.hidden_dim
+        } else {
+            in_dims[seed_type]
+        };
         let head = Mlp::new(
             ps,
             &[head_in, config.hidden_dim, config.out_dim],
             config.activation,
             config.seed.wrapping_add(9999),
         );
-        HeteroGnn { layers, head, seed_type, edge_types: edge_types.to_vec() }
+        HeteroGnn {
+            layers,
+            head,
+            seed_type,
+            edge_types: edge_types.to_vec(),
+        }
     }
 
     /// Number of message-passing layers.
@@ -91,7 +100,13 @@ impl HeteroGnn {
     }
 
     /// Forward a batch to per-seed outputs (`num_seeds × out_dim`).
-    pub fn forward(&self, g: &mut Graph, binding: &mut Binding, ps: &ParamSet, batch: &Batch) -> Var {
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        binding: &mut Binding,
+        ps: &ParamSet,
+        batch: &Batch,
+    ) -> Var {
         let emb = self.embed(g, binding, ps, batch);
         self.head.forward(g, binding, ps, emb)
     }
@@ -100,8 +115,11 @@ impl HeteroGnn {
     /// (`num_seeds × hidden` — or raw seed dim for a 0-layer model). Used
     /// by the two-tower recommender.
     pub fn embed(&self, g: &mut Graph, binding: &mut Binding, ps: &ParamSet, batch: &Batch) -> Var {
-        let mut reps: Vec<Var> =
-            batch.features.iter().map(|t| g.constant(t.clone())).collect();
+        let mut reps: Vec<Var> = batch
+            .features
+            .iter()
+            .map(|t| g.constant(t.clone()))
+            .collect();
         for layer in &self.layers {
             reps = layer.forward(g, binding, ps, &reps, &batch.edges, &self.edge_types);
         }
@@ -117,7 +135,11 @@ mod tests {
     use relgraph_tensor::Tensor;
 
     fn edge_types() -> Vec<EdgeTypeMeta> {
-        vec![EdgeTypeMeta { name: "e".into(), src: NodeTypeId(0), dst: NodeTypeId(1) }]
+        vec![EdgeTypeMeta {
+            name: "e".into(),
+            src: NodeTypeId(0),
+            dst: NodeTypeId(1),
+        }]
     }
 
     fn batch() -> Batch {
@@ -132,7 +154,11 @@ mod tests {
     #[test]
     fn forward_produces_one_row_per_seed() {
         let mut ps = ParamSet::new();
-        let cfg = GnnConfig { hidden_dim: 8, layers: 2, ..Default::default() };
+        let cfg = GnnConfig {
+            hidden_dim: 8,
+            layers: 2,
+            ..Default::default()
+        };
         let gnn = HeteroGnn::new(&mut ps, &[4, 6], &edge_types(), 0, &cfg);
         assert_eq!(gnn.num_layers(), 2);
         let mut g = Graph::new();
@@ -145,7 +171,11 @@ mod tests {
     #[test]
     fn zero_layer_model_is_feature_mlp() {
         let mut ps = ParamSet::new();
-        let cfg = GnnConfig { hidden_dim: 8, layers: 0, ..Default::default() };
+        let cfg = GnnConfig {
+            hidden_dim: 8,
+            layers: 0,
+            ..Default::default()
+        };
         let gnn = HeteroGnn::new(&mut ps, &[4, 6], &edge_types(), 0, &cfg);
         let mut g = Graph::new();
         let mut b = Binding::new();
@@ -156,7 +186,12 @@ mod tests {
     #[test]
     fn multi_class_head() {
         let mut ps = ParamSet::new();
-        let cfg = GnnConfig { hidden_dim: 8, layers: 1, out_dim: 3, ..Default::default() };
+        let cfg = GnnConfig {
+            hidden_dim: 8,
+            layers: 1,
+            out_dim: 3,
+            ..Default::default()
+        };
         let gnn = HeteroGnn::new(&mut ps, &[4, 6], &edge_types(), 0, &cfg);
         let mut g = Graph::new();
         let mut b = Binding::new();
@@ -167,7 +202,11 @@ mod tests {
     #[test]
     fn gradients_reach_every_parameter() {
         let mut ps = ParamSet::new();
-        let cfg = GnnConfig { hidden_dim: 4, layers: 2, ..Default::default() };
+        let cfg = GnnConfig {
+            hidden_dim: 4,
+            layers: 2,
+            ..Default::default()
+        };
         let gnn = HeteroGnn::new(&mut ps, &[4, 6], &edge_types(), 0, &cfg);
         let mut g = Graph::new();
         let mut b = Binding::new();
@@ -178,6 +217,10 @@ mod tests {
         // The edge transform for the only edge type must receive gradient
         // (information flowed through the message path).
         let touched = ps.ids().filter(|&id| ps.grad(id).norm() > 0.0).count();
-        assert!(touched > ps.len() / 2, "only {touched}/{} params got gradient", ps.len());
+        assert!(
+            touched > ps.len() / 2,
+            "only {touched}/{} params got gradient",
+            ps.len()
+        );
     }
 }

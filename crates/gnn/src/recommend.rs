@@ -5,10 +5,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use relgraph_graph::{HeteroGraph, NodeTypeId, SamplerConfig, Seed, TemporalSampler};
-use relgraph_nn::{
-    clip_global_norm, init, Activation, Adam, Binding, Linear, Optimizer, ParamSet,
-};
-use relgraph_nn::{ParamId};
+use relgraph_nn::ParamId;
+use relgraph_nn::{clip_global_norm, init, Activation, Adam, Binding, Linear, Optimizer, ParamSet};
 use relgraph_tensor::{Graph, Tensor};
 
 use crate::batch::{build_batch, input_dims};
@@ -91,7 +89,9 @@ impl TwoTowerModel {
             let batch = build_batch(graph, &sub);
             let mut g = Graph::new();
             let mut binding = Binding::new();
-            let u = self.user_gnn.forward(&mut g, &mut binding, &self.ps, &batch);
+            let u = self
+                .user_gnn
+                .forward(&mut g, &mut binding, &self.ps, &batch);
             let u = g.value(u).clone();
             let scores = u.matmul(&item_t);
             for r in 0..scores.rows() {
@@ -116,10 +116,12 @@ impl TwoTowerModel {
             .map(|(i, scores)| {
                 let skip = exclude.get(i);
                 let mut idx: Vec<usize> = (0..scores.len())
-                    .filter(|item| skip.map_or(true, |s| !s.contains(item)))
+                    .filter(|item| skip.is_none_or(|s| !s.contains(item)))
                     .collect();
                 idx.sort_by(|&a, &b| {
-                    scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+                    scores[b]
+                        .partial_cmp(&scores[a])
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 });
                 idx.truncate(k);
                 idx
@@ -166,7 +168,9 @@ pub fn train_two_tower(
     }
     let n_items = graph.num_nodes(item_type);
     if n_items < 2 {
-        return Err(GnnError::DegenerateTrainingSet("need at least two items".into()));
+        return Err(GnnError::DegenerateTrainingSet(
+            "need at least two items".into(),
+        ));
     }
     let item_features = raw_item_features(graph, item_type);
     let mut ps = ParamSet::new();
@@ -179,8 +183,13 @@ pub fn train_two_tower(
         seed: cfg.seed,
     };
     let seed_type = train[0].0.node_type.0;
-    let user_gnn =
-        HeteroGnn::new(&mut ps, &input_dims(graph), graph.edge_types(), seed_type, &gnn_cfg);
+    let user_gnn = HeteroGnn::new(
+        &mut ps,
+        &input_dims(graph),
+        graph.edge_types(),
+        seed_type,
+        &gnn_cfg,
+    );
     let item_proj = Linear::new(
         &mut ps,
         "item_proj",
@@ -217,7 +226,9 @@ pub fn train_two_tower(
         let proj = item_proj.forward(g, binding, ps, items);
         let free = binding.bind(g, ps, item_embed);
         let item_emb = g.add(proj, free);
-        let p = g.gather_rows(item_emb, pos.clone()).expect("pos item in range");
+        let p = g
+            .gather_rows(item_emb, pos.clone())
+            .expect("pos item in range");
         let ones_v = g.constant(ones.clone());
         let up = g.mul(u, p);
         let s_pos = g.matmul(up, ones_v);
@@ -315,7 +326,15 @@ pub fn train_two_tower(
     if !val_groups.is_empty() {
         ps.restore(&best_snapshot);
     }
-    Ok(TwoTowerModel { ps, user_gnn, item_proj, item_embed, item_type, item_features, sampler_cfg })
+    Ok(TwoTowerModel {
+        ps,
+        user_gnn,
+        item_proj,
+        item_embed,
+        item_type,
+        item_features,
+        sampler_cfg,
+    })
 }
 
 /// Move-free "view" helper: [`TwoTowerModel`] owns its `ParamSet`, so the
@@ -368,7 +387,14 @@ mod tests {
             }
             // Future positive: another in-group item.
             let pos = (rng.gen_range(0..n_items / 2) * 2 + group) % n_items;
-            train.push((Seed { node_type: NodeTypeId(0), node: user, time: 100 }, pos));
+            train.push((
+                Seed {
+                    node_type: NodeTypeId(0),
+                    node: user,
+                    time: 100,
+                },
+                pos,
+            ));
         }
         (b.finish().unwrap(), train, user_group)
     }
@@ -402,7 +428,10 @@ mod tests {
             }
         }
         let frac = in_group as f64 / total as f64;
-        assert!(frac > 0.8, "two-tower should respect taste groups, got {frac}");
+        assert!(
+            frac > 0.8,
+            "two-tower should respect taste groups, got {frac}"
+        );
         assert_eq!(model.item_type(), NodeTypeId(1));
     }
 
@@ -412,7 +441,7 @@ mod tests {
         let model = train_two_tower(&g, NodeTypeId(1), &train, &[], &fast_cfg()).unwrap();
         let seeds = vec![train[0].0];
         let all: HashSet<usize> = (0..8).collect();
-        let recs = model.recommend(&g, &seeds, 5, &[all.clone()]);
+        let recs = model.recommend(&g, &seeds, 5, std::slice::from_ref(&all));
         assert!(recs[0].iter().all(|i| !all.contains(i)));
         assert_eq!(recs[0].len(), 2); // only items 8 and 9 remain
     }

@@ -53,6 +53,7 @@ impl SageLayer {
     /// Build a layer mapping per-type `in_dims` to a uniform `out_dim`.
     /// `edge_types` must be the graph's edge-type metadata, index-aligned
     /// with batch edge lists.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         ps: &mut ParamSet,
         name: &str,
@@ -67,7 +68,13 @@ impl SageLayer {
             .iter()
             .enumerate()
             .map(|(t, &d)| {
-                Linear::new(ps, &format!("{name}.self{t}"), d, out_dim, seed.wrapping_add(t as u64))
+                Linear::new(
+                    ps,
+                    &format!("{name}.self{t}"),
+                    d,
+                    out_dim,
+                    seed.wrapping_add(t as u64),
+                )
             })
             .collect();
         let edge_lin = edge_types
@@ -83,7 +90,13 @@ impl SageLayer {
                 )
             })
             .collect();
-        SageLayer { self_lin, edge_lin, activation, aggregation, out_dim }
+        SageLayer {
+            self_lin,
+            edge_lin,
+            activation,
+            aggregation,
+            out_dim,
+        }
     }
 
     /// Output dimension (uniform across node types).
@@ -129,27 +142,46 @@ impl SageLayer {
             .expect("sampler guarantees segments in range");
             acc[meta.src.0] = g.add(acc[meta.src.0], agg);
         }
-        acc.into_iter().map(|h| self.activation.apply(g, h)).collect()
+        acc.into_iter()
+            .map(|h| self.activation.apply(g, h))
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use relgraph_tensor::Tensor;
     use relgraph_graph::NodeTypeId;
+    use relgraph_tensor::Tensor;
 
     fn edge_types() -> Vec<EdgeTypeMeta> {
         vec![
-            EdgeTypeMeta { name: "u->o".into(), src: NodeTypeId(0), dst: NodeTypeId(1) },
-            EdgeTypeMeta { name: "o->u".into(), src: NodeTypeId(1), dst: NodeTypeId(0) },
+            EdgeTypeMeta {
+                name: "u->o".into(),
+                src: NodeTypeId(0),
+                dst: NodeTypeId(1),
+            },
+            EdgeTypeMeta {
+                name: "o->u".into(),
+                src: NodeTypeId(1),
+                dst: NodeTypeId(0),
+            },
         ]
     }
 
     #[test]
     fn forward_shapes() {
         let mut ps = ParamSet::new();
-        let layer = SageLayer::new(&mut ps, "l0", &[3, 5], &edge_types(), 8, Activation::Relu, Aggregation::Mean, 1);
+        let layer = SageLayer::new(
+            &mut ps,
+            "l0",
+            &[3, 5],
+            &edge_types(),
+            8,
+            Activation::Relu,
+            Aggregation::Mean,
+            1,
+        );
         assert_eq!(layer.out_dim(), 8);
         let mut g = Graph::new();
         let mut b = Binding::new();
@@ -164,8 +196,16 @@ mod tests {
     #[test]
     fn empty_edges_use_self_term_only() {
         let mut ps = ParamSet::new();
-        let layer =
-            SageLayer::new(&mut ps, "l0", &[3, 5], &edge_types(), 4, Activation::Identity, Aggregation::Mean, 2);
+        let layer = SageLayer::new(
+            &mut ps,
+            "l0",
+            &[3, 5],
+            &edge_types(),
+            4,
+            Activation::Identity,
+            Aggregation::Mean,
+            2,
+        );
         let mut g = Graph::new();
         let mut b = Binding::new();
         let users = g.constant(Tensor::full(1, 3, 1.0));
@@ -182,8 +222,16 @@ mod tests {
         // Two identical users with different neighbors must get different
         // outputs; identical neighbors → identical outputs.
         let mut ps = ParamSet::new();
-        let layer =
-            SageLayer::new(&mut ps, "l0", &[2, 2], &edge_types(), 4, Activation::Identity, Aggregation::Mean, 3);
+        let layer = SageLayer::new(
+            &mut ps,
+            "l0",
+            &[2, 2],
+            &edge_types(),
+            4,
+            Activation::Identity,
+            Aggregation::Mean,
+            3,
+        );
         let run = |orders: Tensor, edges: Vec<(u32, u32)>| {
             let mut g = Graph::new();
             let mut b = Binding::new();
@@ -194,7 +242,7 @@ mod tests {
                 &mut b,
                 &ps,
                 &[users, ov],
-                &vec![edges, vec![]],
+                &[edges, vec![]],
                 &edge_types(),
             );
             g.value(out[0]).clone()
@@ -210,8 +258,16 @@ mod tests {
     fn mean_aggregation_is_degree_invariant() {
         // A user with the same neighbor repeated twice equals one with it once.
         let mut ps = ParamSet::new();
-        let layer =
-            SageLayer::new(&mut ps, "l0", &[2, 2], &edge_types(), 4, Activation::Identity, Aggregation::Mean, 4);
+        let layer = SageLayer::new(
+            &mut ps,
+            "l0",
+            &[2, 2],
+            &edge_types(),
+            4,
+            Activation::Identity,
+            Aggregation::Mean,
+            4,
+        );
         let mut g = Graph::new();
         let mut b = Binding::new();
         let users = g.constant(Tensor::full(2, 2, 1.0));

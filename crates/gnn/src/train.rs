@@ -4,6 +4,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use relgraph_graph::{HeteroGraph, SamplerConfig, Seed, TemporalSampler};
 use relgraph_nn::{clip_global_norm, loss, Activation, Adam, Binding, Optimizer, ParamSet};
 use relgraph_tensor::{Graph, Tensor};
@@ -122,23 +123,30 @@ impl NodeModel {
         sampler_cfg: SamplerConfig,
     ) -> Vec<f64> {
         let sampler = TemporalSampler::new(graph, sampler_cfg);
-        let mut out = Vec::with_capacity(seeds.len());
-        for chunk in seeds.chunks(256) {
-            let sub = sampler.sample(chunk);
-            let batch = build_batch(graph, &sub);
-            let mut g = Graph::new();
-            let mut binding = Binding::new();
-            let pred = self.gnn.forward(&mut g, &mut binding, &self.ps, &batch);
-            let v = g.value(pred);
-            for r in 0..v.rows() {
-                let x = v.get(r, 0);
-                out.push(match self.task {
-                    TaskKind::Binary => 1.0 / (1.0 + (-x).exp()),
-                    TaskKind::Regression => x * self.label_std + self.label_mean,
-                });
-            }
-        }
-        out
+        // Chunks are independent forward passes; run them in parallel and
+        // flatten in chunk order — identical output to the serial loop.
+        let chunks: Vec<&[Seed]> = seeds.chunks(256).collect();
+        let per_chunk: Vec<Vec<f64>> = chunks
+            .par_iter()
+            .map(|chunk| {
+                let sub = sampler.sample(chunk);
+                let batch = build_batch(graph, &sub);
+                let mut g = Graph::new();
+                let mut binding = Binding::new();
+                let pred = self.gnn.forward(&mut g, &mut binding, &self.ps, &batch);
+                let v = g.value(pred);
+                (0..v.rows())
+                    .map(|r| {
+                        let x = v.get(r, 0);
+                        match self.task {
+                            TaskKind::Binary => 1.0 / (1.0 + (-x).exp()),
+                            TaskKind::Regression => x * self.label_std + self.label_mean,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        per_chunk.into_iter().flatten().collect()
     }
 }
 
@@ -162,20 +170,23 @@ impl MulticlassModel {
     /// Per-seed class probabilities (`softmax` over the head logits).
     pub fn predict_proba(&self, graph: &HeteroGraph, seeds: &[Seed]) -> Vec<Vec<f64>> {
         let sampler = TemporalSampler::new(graph, self.sampler_cfg.clone());
-        let mut out = Vec::with_capacity(seeds.len());
-        for chunk in seeds.chunks(256) {
-            let sub = sampler.sample(chunk);
-            let batch = build_batch(graph, &sub);
-            let mut g = Graph::new();
-            let mut binding = Binding::new();
-            let logits = self.gnn.forward(&mut g, &mut binding, &self.ps, &batch);
-            let ls = g.log_softmax(logits);
-            let v = g.value(ls);
-            for r in 0..v.rows() {
-                out.push(v.row(r).iter().map(|&x| x.exp()).collect());
-            }
-        }
-        out
+        let chunks: Vec<&[Seed]> = seeds.chunks(256).collect();
+        let per_chunk: Vec<Vec<Vec<f64>>> = chunks
+            .par_iter()
+            .map(|chunk| {
+                let sub = sampler.sample(chunk);
+                let batch = build_batch(graph, &sub);
+                let mut g = Graph::new();
+                let mut binding = Binding::new();
+                let logits = self.gnn.forward(&mut g, &mut binding, &self.ps, &batch);
+                let ls = g.log_softmax(logits);
+                let v = g.value(ls);
+                (0..v.rows())
+                    .map(|r| v.row(r).iter().map(|&x| x.exp()).collect())
+                    .collect()
+            })
+            .collect();
+        per_chunk.into_iter().flatten().collect()
     }
 
     /// Per-seed argmax class index.
@@ -203,7 +214,9 @@ pub fn train_multiclass_model(
     cfg: &TrainConfig,
 ) -> GnnResult<MulticlassModel> {
     if train.is_empty() {
-        return Err(GnnError::DegenerateTrainingSet("no training examples".into()));
+        return Err(GnnError::DegenerateTrainingSet(
+            "no training examples".into(),
+        ));
     }
     let k = classes.len();
     if k < 2 {
@@ -237,7 +250,13 @@ pub fn train_multiclass_model(
         seed: cfg.seed,
     };
     let seed_type = train[0].0.node_type.0;
-    let gnn = HeteroGnn::new(&mut ps, &input_dims(graph), graph.edge_types(), seed_type, &gnn_cfg);
+    let gnn = HeteroGnn::new(
+        &mut ps,
+        &input_dims(graph),
+        graph.edge_types(),
+        seed_type,
+        &gnn_cfg,
+    );
     let mut opt = Adam::new(cfg.lr);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
@@ -288,15 +307,21 @@ pub fn train_multiclass_model(
         let val_loss = if val.is_empty() {
             train_loss
         } else {
-            let mut total = 0.0;
-            let mut n = 0.0;
-            for chunk in val.chunks(cfg.batch_size) {
-                let mut g = Graph::new();
-                let mut binding = Binding::new();
-                let l = ce_loss(&mut g, &mut binding, &ps, chunk);
-                total += g.value(l).item() * chunk.len() as f64;
-                n += chunk.len() as f64;
-            }
+            // Forward-only and per-chunk independent: evaluate chunks in
+            // parallel, reduce in chunk order (deterministic sum).
+            let chunks: Vec<&[(Seed, usize)]> = val.chunks(cfg.batch_size).collect();
+            let stats: Vec<(f64, f64)> = chunks
+                .par_iter()
+                .map(|chunk| {
+                    let mut g = Graph::new();
+                    let mut binding = Binding::new();
+                    let l = ce_loss(&mut g, &mut binding, &ps, chunk);
+                    (g.value(l).item() * chunk.len() as f64, chunk.len() as f64)
+                })
+                .collect();
+            let (total, n) = stats
+                .iter()
+                .fold((0.0, 0.0), |(t, n), &(dt, dn)| (t + dt, n + dn));
             total / n.max(1.0)
         };
         report.val_losses.push(val_loss);
@@ -314,9 +339,16 @@ pub fn train_multiclass_model(
     }
     ps.restore(&best_snapshot);
     report.best_val_loss = best_val;
-    Ok(MulticlassModel { ps, gnn, classes, sampler_cfg, report })
+    Ok(MulticlassModel {
+        ps,
+        gnn,
+        classes,
+        sampler_cfg,
+        report,
+    })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn batch_loss(
     g: &mut Graph,
     binding: &mut Binding,
@@ -361,7 +393,9 @@ pub fn train_node_model(
     cfg: &TrainConfig,
 ) -> GnnResult<NodeModel> {
     if train.is_empty() {
-        return Err(GnnError::DegenerateTrainingSet("no training examples".into()));
+        return Err(GnnError::DegenerateTrainingSet(
+            "no training examples".into(),
+        ));
     }
     if task == TaskKind::Binary {
         let pos = train.iter().filter(|&&(_, y)| y > 0.5).count();
@@ -378,7 +412,11 @@ pub fn train_node_model(
         TaskKind::Regression => {
             let n = train.len() as f64;
             let mean = train.iter().map(|&(_, y)| y).sum::<f64>() / n;
-            let var = train.iter().map(|&(_, y)| (y - mean) * (y - mean)).sum::<f64>() / n;
+            let var = train
+                .iter()
+                .map(|&(_, y)| (y - mean) * (y - mean))
+                .sum::<f64>()
+                / n;
             (mean, var.sqrt().max(1e-9))
         }
     };
@@ -404,7 +442,13 @@ pub fn train_node_model(
         seed: cfg.seed,
     };
     let seed_type = train[0].0.node_type.0;
-    let gnn = HeteroGnn::new(&mut ps, &input_dims(graph), graph.edge_types(), seed_type, &gnn_cfg);
+    let gnn = HeteroGnn::new(
+        &mut ps,
+        &input_dims(graph),
+        graph.edge_types(),
+        seed_type,
+        &gnn_cfg,
+    );
     let mut opt = Adam::new(cfg.lr);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
@@ -423,7 +467,15 @@ pub fn train_node_model(
             let mut g = Graph::new();
             let mut binding = Binding::new();
             let l = batch_loss(
-                &mut g, &mut binding, &ps, &gnn, graph, &sampler, &examples, task, label_mean,
+                &mut g,
+                &mut binding,
+                &ps,
+                &gnn,
+                graph,
+                &sampler,
+                &examples,
+                task,
+                label_mean,
                 label_std,
             );
             let lv = g.value(l).item();
@@ -440,22 +492,35 @@ pub fn train_node_model(
         let train_loss = epoch_loss / batches.max(1.0);
         report.train_losses.push(train_loss);
 
-        // Validation (forward only).
+        // Validation (forward only): chunks are independent, so evaluate
+        // them in parallel and reduce in chunk order (deterministic sum).
         let val_loss = if val.is_empty() {
             train_loss
         } else {
-            let mut total = 0.0;
-            let mut n = 0.0;
-            for chunk in val.chunks(cfg.batch_size) {
-                let mut g = Graph::new();
-                let mut binding = Binding::new();
-                let l = batch_loss(
-                    &mut g, &mut binding, &ps, &gnn, graph, &sampler, chunk, task, label_mean,
-                    label_std,
-                );
-                total += g.value(l).item() * chunk.len() as f64;
-                n += chunk.len() as f64;
-            }
+            let chunks: Vec<&[(Seed, f64)]> = val.chunks(cfg.batch_size).collect();
+            let stats: Vec<(f64, f64)> = chunks
+                .par_iter()
+                .map(|chunk| {
+                    let mut g = Graph::new();
+                    let mut binding = Binding::new();
+                    let l = batch_loss(
+                        &mut g,
+                        &mut binding,
+                        &ps,
+                        &gnn,
+                        graph,
+                        &sampler,
+                        chunk,
+                        task,
+                        label_mean,
+                        label_std,
+                    );
+                    (g.value(l).item() * chunk.len() as f64, chunk.len() as f64)
+                })
+                .collect();
+            let (total, n) = stats
+                .iter()
+                .fold((0.0, 0.0), |(t, n), &(dt, dn)| (t + dt, n + dn));
             total / n.max(1.0)
         };
         report.val_losses.push(val_loss);
@@ -474,7 +539,15 @@ pub fn train_node_model(
     }
     ps.restore(&best_snapshot);
     report.best_val_loss = best_val;
-    Ok(NodeModel { ps, gnn, task, label_mean, label_std, sampler_cfg, report })
+    Ok(NodeModel {
+        ps,
+        gnn,
+        task,
+        label_mean,
+        label_std,
+        sampler_cfg,
+        report,
+    })
 }
 
 #[cfg(test)]
@@ -513,7 +586,16 @@ mod tests {
         let examples = labels
             .into_iter()
             .enumerate()
-            .map(|(n, y)| (Seed { node_type: NodeTypeId(0), node: n, time: 10 }, y))
+            .map(|(n, y)| {
+                (
+                    Seed {
+                        node_type: NodeTypeId(0),
+                        node: n,
+                        time: 10,
+                    },
+                    y,
+                )
+            })
             .collect();
         (g, examples)
     }
@@ -539,7 +621,10 @@ mod tests {
         let probs = model.predict(&g, &seeds);
         let labels: Vec<bool> = test.iter().map(|&(_, y)| y > 0.5).collect();
         let auc = metrics::auroc(&probs, &labels).unwrap();
-        assert!(auc > 0.85, "1-hop GNN should learn neighbor labels, AUROC {auc}");
+        assert!(
+            auc > 0.85,
+            "1-hop GNN should learn neighbor labels, AUROC {auc}"
+        );
         assert_eq!(model.task(), TaskKind::Binary);
         assert!(model.num_params() > 0);
         assert!(model.report.epochs_run > 0);
@@ -563,8 +648,7 @@ mod tests {
     fn regression_recovers_neighbor_mean() {
         let (g, examples) = neighbor_label_graph(120, 3);
         // Regression target: 10 * label + 5 (checks de-standardization too).
-        let reg: Vec<(Seed, f64)> =
-            examples.iter().map(|&(s, y)| (s, 10.0 * y + 5.0)).collect();
+        let reg: Vec<(Seed, f64)> = examples.iter().map(|&(s, y)| (s, 10.0 * y + 5.0)).collect();
         let (train, test) = reg.split_at(90);
         let model = train_node_model(&g, TaskKind::Regression, train, &[], &cfg()).unwrap();
         let seeds: Vec<Seed> = test.iter().map(|&(s, _)| s).collect();
@@ -574,7 +658,10 @@ mod tests {
         assert!(mae < 3.0, "regression MAE too high: {mae}");
         // Predictions must live on the original scale.
         let mean_pred = preds.iter().sum::<f64>() / preds.len() as f64;
-        assert!((mean_pred - 10.0).abs() < 4.0, "mean prediction {mean_pred} off scale");
+        assert!(
+            (mean_pred - 10.0).abs() < 4.0,
+            "mean prediction {mean_pred} off scale"
+        );
     }
 
     #[test]
@@ -616,7 +703,16 @@ mod tests {
         let examples: Vec<(Seed, usize)> = labels
             .into_iter()
             .enumerate()
-            .map(|(n, c)| (Seed { node_type: relgraph_graph::NodeTypeId(0), node: n, time: 10 }, c))
+            .map(|(n, c)| {
+                (
+                    Seed {
+                        node_type: relgraph_graph::NodeTypeId(0),
+                        node: n,
+                        time: 10,
+                    },
+                    c,
+                )
+            })
             .collect();
         let (train, test) = examples.split_at(90);
         let classes = vec!["a".to_string(), "b".to_string(), "c".to_string()];
@@ -638,17 +734,13 @@ mod tests {
         let (g, examples) = neighbor_label_graph(20, 9);
         let pairs: Vec<(Seed, usize)> = examples.iter().map(|&(s, _)| (s, 0)).collect();
         assert!(train_multiclass_model(&g, vec!["a".into()], &pairs, &[], &cfg()).is_err());
-        assert!(train_multiclass_model(
-            &g,
-            vec!["a".into(), "b".into()],
-            &[],
-            &[],
-            &cfg()
-        )
-        .is_err());
+        assert!(
+            train_multiclass_model(&g, vec!["a".into(), "b".into()], &[], &[], &cfg()).is_err()
+        );
         let bad = vec![(pairs[0].0, 7usize)];
-        assert!(train_multiclass_model(&g, vec!["a".into(), "b".into()], &bad, &[], &cfg())
-            .is_err());
+        assert!(
+            train_multiclass_model(&g, vec!["a".into(), "b".into()], &bad, &[], &cfg()).is_err()
+        );
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Timestamp-sorted CSR adjacency for one edge type.
+//!
+//! Neighbor lists are sorted by edge timestamp ascending, so the
+//! "visible at time `t`" prefix of any node's list is a contiguous range
+//! found by binary search — the sampler's hot path borrows these ranges
+//! as slices without allocating. The structure is immutable once built;
+//! [`Csr::rebuild_with`] produces a fresh index for an edge type whose
+//! edge set changed, leaving every other edge type's index untouched.
+
+/// CSR adjacency for one edge type, neighbor lists time-sorted.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Csr {
+    /// `offsets[i]..offsets[i + 1]` is node `i`'s slice of `neighbors`.
+    offsets: Vec<usize>,
+    /// Destination node index (within the destination type).
+    neighbors: Vec<u32>,
+    /// Edge visibility timestamp, parallel to `neighbors`.
+    times: Vec<i64>,
+}
+
+impl Csr {
+    /// Build from unordered `(src, dst, time)` triples. Sorts by
+    /// `(src, time, dst)` so each neighbor list is time-ascending and ties
+    /// break deterministically.
+    pub(crate) fn from_triples(n_src: usize, mut triples: Vec<(u32, u32, i64)>) -> Self {
+        triples.sort_unstable_by_key(|&(s, d, t)| (s, t, d));
+        let mut offsets = vec![0usize; n_src + 1];
+        for &(s, _, _) in &triples {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 0..n_src {
+            offsets[i + 1] += offsets[i];
+        }
+        let neighbors: Vec<u32> = triples.iter().map(|&(_, d, _)| d).collect();
+        let times: Vec<i64> = triples.iter().map(|&(_, _, t)| t).collect();
+        Csr {
+            offsets,
+            neighbors,
+            times,
+        }
+    }
+
+    /// Total number of edges.
+    pub(crate) fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Node `i`'s full `(neighbors, times)` slices, time-ascending.
+    pub(crate) fn all(&self, i: usize) -> (&[u32], &[i64]) {
+        let (lo, hi) = (self.offsets[i], self.offsets[i + 1]);
+        (&self.neighbors[lo..hi], &self.times[lo..hi])
+    }
+
+    /// Node `i`'s temporally visible prefix: neighbors whose edge time is
+    /// `≤ t`, as borrowed slices (no allocation).
+    pub(crate) fn visible(&self, i: usize, t: i64) -> (&[u32], &[i64]) {
+        let (lo, hi) = (self.offsets[i], self.offsets[i + 1]);
+        let cut = self.times[lo..hi].partition_point(|&et| et <= t);
+        (&self.neighbors[lo..lo + cut], &self.times[lo..lo + cut])
+    }
+
+    /// Number of node `i`'s edges with time in `(lo, hi]`.
+    pub(crate) fn degree_between(&self, i: usize, lo: i64, hi: i64) -> usize {
+        let slice = &self.times[self.offsets[i]..self.offsets[i + 1]];
+        slice.partition_point(|&t| t <= hi) - slice.partition_point(|&t| t <= lo)
+    }
+
+    /// Iterate every `(src, dst, time)` triple in CSR order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (usize, usize, i64)> + '_ {
+        (0..self.offsets.len().saturating_sub(1)).flat_map(move |i| {
+            (self.offsets[i]..self.offsets[i + 1])
+                .map(move |k| (i, self.neighbors[k] as usize, self.times[k]))
+        })
+    }
+
+    /// Recover the `(src, dst, time)` triples (in CSR order).
+    pub(crate) fn triples(&self) -> Vec<(u32, u32, i64)> {
+        let mut out = Vec::with_capacity(self.len());
+        for i in 0..self.offsets.len() - 1 {
+            for k in self.offsets[i]..self.offsets[i + 1] {
+                out.push((i as u32, self.neighbors[k], self.times[k]));
+            }
+        }
+        out
+    }
+
+    /// Rebuild this edge type's index with `extra` edges appended — the
+    /// invalidation path when a graph is mutated after construction.
+    pub(crate) fn rebuild_with(&self, n_src: usize, extra: &[(u32, u32, i64)]) -> Self {
+        let mut triples = self.triples();
+        triples.extend_from_slice(extra);
+        Csr::from_triples(n_src, triples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Csr {
+        Csr::from_triples(3, vec![(0, 5, 30), (0, 1, 10), (2, 2, 20), (0, 3, 20)])
+    }
+
+    #[test]
+    fn lists_are_time_sorted() {
+        let c = demo();
+        assert_eq!(c.len(), 4);
+        let (ns, ts) = c.all(0);
+        assert_eq!(ns, &[1, 3, 5]);
+        assert_eq!(ts, &[10, 20, 30]);
+        assert_eq!(c.all(1).0, &[] as &[u32]);
+        assert_eq!(c.all(2).0, &[2]);
+    }
+
+    #[test]
+    fn visible_prefix_is_inclusive() {
+        let c = demo();
+        assert_eq!(c.visible(0, 20).0, &[1, 3]);
+        assert_eq!(c.visible(0, 19).0, &[1]);
+        assert_eq!(c.visible(0, 9).0, &[] as &[u32]);
+        assert_eq!(c.visible(0, i64::MAX).0, &[1, 3, 5]);
+    }
+
+    #[test]
+    fn degree_between_half_open() {
+        let c = demo();
+        assert_eq!(c.degree_between(0, 10, 30), 2); // (10, 30] → times 20, 30
+        assert_eq!(c.degree_between(0, i64::MIN, i64::MAX), 3);
+        assert_eq!(c.degree_between(1, i64::MIN, i64::MAX), 0);
+    }
+
+    #[test]
+    fn rebuild_merges_new_edges() {
+        let c = demo();
+        let c2 = c.rebuild_with(3, &[(0, 9, 15), (1, 0, 5)]);
+        assert_eq!(c2.len(), 6);
+        let (ns, ts) = c2.all(0);
+        assert_eq!(ns, &[1, 9, 3, 5]);
+        assert_eq!(ts, &[10, 15, 20, 30]);
+        assert_eq!(c2.all(1).0, &[0]);
+        // Round trip: rebuilding with nothing is the identity.
+        assert_eq!(c2.rebuild_with(3, &[]), c2);
+    }
+}

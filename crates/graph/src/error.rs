@@ -13,11 +13,23 @@ pub enum GraphError {
     /// Edge type id out of range.
     UnknownEdgeType(usize),
     /// A node index exceeded its type's node count.
-    NodeOutOfRange { node_type: String, index: usize, count: usize },
+    NodeOutOfRange {
+        node_type: String,
+        index: usize,
+        count: usize,
+    },
     /// Node timestamps vector length did not match the node count.
-    TimesLengthMismatch { node_type: String, expected: usize, got: usize },
+    TimesLengthMismatch {
+        node_type: String,
+        expected: usize,
+        got: usize,
+    },
     /// Feature matrix shape did not match the node count.
-    FeatureShapeMismatch { node_type: String, expected_rows: usize, got_rows: usize },
+    FeatureShapeMismatch {
+        node_type: String,
+        expected_rows: usize,
+        got_rows: usize,
+    },
     /// Duplicate type name.
     DuplicateTypeName(String),
 }
@@ -27,15 +39,27 @@ impl fmt::Display for GraphError {
         match self {
             GraphError::UnknownNodeType(i) => write!(f, "unknown node type #{i}"),
             GraphError::UnknownEdgeType(i) => write!(f, "unknown edge type #{i}"),
-            GraphError::NodeOutOfRange { node_type, index, count } => write!(
+            GraphError::NodeOutOfRange {
+                node_type,
+                index,
+                count,
+            } => write!(
                 f,
                 "node index {index} out of range for type `{node_type}` ({count} nodes)"
             ),
-            GraphError::TimesLengthMismatch { node_type, expected, got } => write!(
+            GraphError::TimesLengthMismatch {
+                node_type,
+                expected,
+                got,
+            } => write!(
                 f,
                 "timestamps for `{node_type}`: expected {expected} entries, got {got}"
             ),
-            GraphError::FeatureShapeMismatch { node_type, expected_rows, got_rows } => write!(
+            GraphError::FeatureShapeMismatch {
+                node_type,
+                expected_rows,
+                got_rows,
+            } => write!(
                 f,
                 "features for `{node_type}`: expected {expected_rows} rows, got {got_rows}"
             ),

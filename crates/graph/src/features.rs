@@ -12,12 +12,20 @@ pub struct FeatureMatrix {
 impl FeatureMatrix {
     /// All-zero features for `rows` nodes of dimensionality `dim`.
     pub fn zeros(rows: usize, dim: usize) -> Self {
-        FeatureMatrix { rows, dim, data: vec![0.0; rows * dim] }
+        FeatureMatrix {
+            rows,
+            dim,
+            data: vec![0.0; rows * dim],
+        }
     }
 
     /// Build from raw row-major data. Panics if `data.len() != rows * dim`.
     pub fn from_rows(rows: usize, dim: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * dim, "feature data length must equal rows*dim");
+        assert_eq!(
+            data.len(),
+            rows * dim,
+            "feature data length must equal rows*dim"
+        );
         FeatureMatrix { rows, dim, data }
     }
 
@@ -44,6 +52,12 @@ impl FeatureMatrix {
     /// Raw row-major data.
     pub fn data(&self) -> &[f32] {
         &self.data
+    }
+
+    /// Raw row-major data, mutable — rows are disjoint `dim`-wide chunks,
+    /// so callers can fill them in parallel with `par_chunks_mut(dim)`.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
     }
 
     /// Gather rows by index into a fresh matrix (used when assembling

@@ -2,6 +2,9 @@
 
 use std::collections::HashMap;
 
+use rayon::prelude::*;
+
+use crate::csr::Csr;
 use crate::error::{GraphError, GraphResult};
 use crate::features::FeatureMatrix;
 
@@ -29,20 +32,10 @@ pub struct EdgeTypeMeta {
     pub dst: NodeTypeId,
 }
 
-/// CSR adjacency for one edge type. Neighbor lists are sorted by edge
-/// timestamp ascending, so the "most recent ≤ t" prefix is a contiguous
-/// range found by binary search.
-#[derive(Debug, Clone, PartialEq)]
-struct Csr {
-    offsets: Vec<usize>,
-    /// Destination node index (within the destination type).
-    neighbors: Vec<u32>,
-    /// Edge visibility timestamp, parallel to `neighbors`.
-    times: Vec<i64>,
-}
-
-/// An immutable heterogeneous temporal graph. Build with
-/// [`HeteroGraphBuilder`].
+/// A heterogeneous temporal graph. Build with [`HeteroGraphBuilder`];
+/// after construction the adjacency indexes are immutable except through
+/// [`HeteroGraph::extend_edges`], which rebuilds only the touched edge
+/// type's CSR.
 #[derive(Debug, Clone)]
 pub struct HeteroGraph {
     node_type_names: Vec<String>,
@@ -52,7 +45,21 @@ pub struct HeteroGraph {
     /// Feature matrix per node type.
     features: Vec<FeatureMatrix>,
     edge_types: Vec<EdgeTypeMeta>,
+    /// Timestamp-sorted CSR per edge type, built once in
+    /// [`HeteroGraphBuilder::finish`] and cached for the graph's lifetime.
     adjacency: Vec<Csr>,
+    /// Per node type: the edge types whose source is that type. Lets the
+    /// sampler visit only relevant relations instead of scanning every
+    /// edge type per frontier node.
+    by_src: Vec<Vec<EdgeTypeId>>,
+}
+
+fn index_by_src(num_node_types: usize, edge_types: &[EdgeTypeMeta]) -> Vec<Vec<EdgeTypeId>> {
+    let mut by_src = vec![Vec::new(); num_node_types];
+    for (i, et) in edge_types.iter().enumerate() {
+        by_src[et.src.0].push(EdgeTypeId(i));
+    }
+    by_src
 }
 
 impl HeteroGraph {
@@ -73,12 +80,18 @@ impl HeteroGraph {
 
     /// Find a node type by name.
     pub fn node_type_by_name(&self, name: &str) -> Option<NodeTypeId> {
-        self.node_type_names.iter().position(|n| n == name).map(NodeTypeId)
+        self.node_type_names
+            .iter()
+            .position(|n| n == name)
+            .map(NodeTypeId)
     }
 
     /// Find an edge type by name.
     pub fn edge_type_by_name(&self, name: &str) -> Option<EdgeTypeId> {
-        self.edge_types.iter().position(|e| e.name == name).map(EdgeTypeId)
+        self.edge_types
+            .iter()
+            .position(|e| e.name == name)
+            .map(EdgeTypeId)
     }
 
     /// Metadata of an edge type.
@@ -103,12 +116,17 @@ impl HeteroGraph {
 
     /// Total edges across all edge types.
     pub fn total_edges(&self) -> usize {
-        self.adjacency.iter().map(|a| a.neighbors.len()).sum()
+        self.adjacency.iter().map(Csr::len).sum()
     }
 
     /// Number of edges of one type.
     pub fn num_edges(&self, e: EdgeTypeId) -> usize {
-        self.adjacency[e.0].neighbors.len()
+        self.adjacency[e.0].len()
+    }
+
+    /// Edge types whose source node type is `t` (precomputed index).
+    pub fn edge_types_from(&self, t: NodeTypeId) -> &[EdgeTypeId] {
+        &self.by_src[t.0]
     }
 
     /// Creation timestamp of a node.
@@ -123,17 +141,14 @@ impl HeteroGraph {
 
     /// Out-degree of node `i` under edge type `e` (ignoring time).
     pub fn out_degree(&self, e: EdgeTypeId, i: usize) -> usize {
-        let csr = &self.adjacency[e.0];
-        csr.offsets[i + 1] - csr.offsets[i]
+        self.adjacency[e.0].all(i).0.len()
     }
 
     /// All `(neighbor, edge_time)` pairs of node `i` under edge type `e`,
     /// sorted by time ascending.
     pub fn neighbors(&self, e: EdgeTypeId, i: usize) -> impl Iterator<Item = (usize, i64)> + '_ {
-        let csr = &self.adjacency[e.0];
-        let lo = csr.offsets[i];
-        let hi = csr.offsets[i + 1];
-        (lo..hi).map(move |k| (csr.neighbors[k] as usize, csr.times[k]))
+        let (ns, ts) = self.adjacency[e.0].all(i);
+        ns.iter().zip(ts).map(|(&n, &t)| (n as usize, t))
     }
 
     /// Neighbors of node `i` whose edge time is `≤ t` (the temporally
@@ -144,20 +159,69 @@ impl HeteroGraph {
         i: usize,
         t: i64,
     ) -> impl Iterator<Item = (usize, i64)> + '_ {
-        let csr = &self.adjacency[e.0];
-        let lo = csr.offsets[i];
-        let hi = csr.offsets[i + 1];
-        // Binary search for the first edge with time > t.
-        let slice = &csr.times[lo..hi];
-        let cut = slice.partition_point(|&et| et <= t);
-        (lo..lo + cut).map(move |k| (csr.neighbors[k] as usize, csr.times[k]))
+        let (ns, ts) = self.adjacency[e.0].visible(i, t);
+        ns.iter().zip(ts).map(|(&n, &t)| (n as usize, t))
+    }
+
+    /// Node `i`'s full neighbor list under edge type `e`, as borrowed
+    /// `(neighbors, times)` slices sorted by time ascending (no allocation).
+    pub fn neighbor_slices(&self, e: EdgeTypeId, i: usize) -> (&[u32], &[i64]) {
+        self.adjacency[e.0].all(i)
+    }
+
+    /// Node `i`'s temporally visible neighbor prefix (edge time `≤ t`)
+    /// under edge type `e`, as borrowed slices (no allocation). This is the
+    /// sampler's hot-path accessor: one binary search, zero copies.
+    pub fn visible_slices(&self, e: EdgeTypeId, i: usize, t: i64) -> (&[u32], &[i64]) {
+        self.adjacency[e.0].visible(i, t)
     }
 
     /// Number of edges of type `e` out of node `i` with time in `(lo, hi]`.
     pub fn degree_between(&self, e: EdgeTypeId, i: usize, lo: i64, hi: i64) -> usize {
-        let csr = &self.adjacency[e.0];
-        let slice = &csr.times[csr.offsets[i]..csr.offsets[i + 1]];
-        slice.partition_point(|&t| t <= hi) - slice.partition_point(|&t| t <= lo)
+        self.adjacency[e.0].degree_between(i, lo, hi)
+    }
+
+    /// Iterate every `(src, dst, time)` edge of type `e`. This is a full
+    /// scan — kept for whole-graph passes and as the un-indexed baseline in
+    /// benchmarks; point queries should use [`Self::visible_slices`].
+    pub fn edges_of(&self, e: EdgeTypeId) -> impl Iterator<Item = (usize, usize, i64)> + '_ {
+        self.adjacency[e.0].iter()
+    }
+
+    /// Append edges to an existing edge type, rebuilding that edge type's
+    /// cached CSR (and only that one — other edge types' indexes are
+    /// untouched). Endpoints are validated like in the builder.
+    pub fn extend_edges(
+        &mut self,
+        e: EdgeTypeId,
+        edges: &[(usize, usize, i64)],
+    ) -> GraphResult<()> {
+        if edges.is_empty() {
+            return Ok(());
+        }
+        let meta = self.edge_types[e.0].clone();
+        let n_src = self.node_counts[meta.src.0];
+        let n_dst = self.node_counts[meta.dst.0];
+        let mut extra = Vec::with_capacity(edges.len());
+        for &(s, d, t) in edges {
+            if s >= n_src {
+                return Err(GraphError::NodeOutOfRange {
+                    node_type: self.node_type_names[meta.src.0].clone(),
+                    index: s,
+                    count: n_src,
+                });
+            }
+            if d >= n_dst {
+                return Err(GraphError::NodeOutOfRange {
+                    node_type: self.node_type_names[meta.dst.0].clone(),
+                    index: d,
+                    count: n_dst,
+                });
+            }
+            extra.push((s as u32, d as u32, t));
+        }
+        self.adjacency[e.0] = self.adjacency[e.0].rebuild_with(n_src, &extra);
+        Ok(())
     }
 
     /// A one-line per-type summary (used by EXPLAIN output).
@@ -176,7 +240,7 @@ impl HeteroGraph {
                 et.name,
                 self.node_type_names[et.src.0],
                 self.node_type_names[et.dst.0],
-                self.adjacency[i].neighbors.len()
+                self.adjacency[i].len()
             ));
         }
         s
@@ -221,7 +285,11 @@ impl HeteroGraphBuilder {
         dst: NodeTypeId,
     ) -> EdgeTypeId {
         let id = EdgeTypeId(self.edge_types.len());
-        self.edge_types.push(EdgeTypeMeta { name: name.into(), src, dst });
+        self.edge_types.push(EdgeTypeMeta {
+            name: name.into(),
+            src,
+            dst,
+        });
         self.edges.push(Vec::new());
         id
     }
@@ -283,13 +351,15 @@ impl HeteroGraphBuilder {
             }
             features.push(f);
         }
-        // Build CSR per edge type, neighbor lists sorted by time.
-        let mut adjacency = Vec::with_capacity(self.edges.len());
-        for (ei, mut triples) in self.edges.into_iter().enumerate() {
-            let meta = &self.edge_types[ei];
+        // Build the timestamp-sorted CSR per edge type (validate, then sort
+        // and index each edge type independently in parallel).
+        type EdgeBatch = (usize, Vec<(u32, u32, i64)>);
+        let edge_batches: Vec<EdgeBatch> = self.edges.into_iter().enumerate().collect();
+        for (ei, triples) in &edge_batches {
+            let meta = &self.edge_types[*ei];
             let n_src = self.node_counts[meta.src.0];
             let n_dst = self.node_counts[meta.dst.0];
-            for &(s, d, _) in &triples {
+            for &(s, d, _) in triples {
                 if s as usize >= n_src {
                     return Err(GraphError::NodeOutOfRange {
                         node_type: self.node_type_names[meta.src.0].clone(),
@@ -305,19 +375,17 @@ impl HeteroGraphBuilder {
                     });
                 }
             }
-            // Sort by (src, time, dst) for CSR layout + temporal prefix.
-            triples.sort_unstable_by_key(|&(s, d, t)| (s, t, d));
-            let mut offsets = vec![0usize; n_src + 1];
-            for &(s, _, _) in &triples {
-                offsets[s as usize + 1] += 1;
-            }
-            for i in 0..n_src {
-                offsets[i + 1] += offsets[i];
-            }
-            let neighbors: Vec<u32> = triples.iter().map(|&(_, d, _)| d).collect();
-            let times: Vec<i64> = triples.iter().map(|&(_, _, t)| t).collect();
-            adjacency.push(Csr { offsets, neighbors, times });
         }
+        let edge_types = &self.edge_types;
+        let node_counts = &self.node_counts;
+        let adjacency: Vec<Csr> = edge_batches
+            .into_par_iter()
+            .map(|(ei, triples)| {
+                let n_src = node_counts[edge_types[ei].src.0];
+                Csr::from_triples(n_src, triples)
+            })
+            .collect();
+        let by_src = index_by_src(self.node_type_names.len(), &self.edge_types);
         Ok(HeteroGraph {
             node_type_names: self.node_type_names,
             node_counts: self.node_counts,
@@ -325,6 +393,7 @@ impl HeteroGraphBuilder {
             features,
             edge_types: self.edge_types,
             adjacency,
+            by_src,
         })
     }
 }
@@ -411,7 +480,10 @@ mod tests {
         let mut b = HeteroGraphBuilder::new();
         let u = b.add_node_type("u", 2);
         b.set_node_times(u, vec![0]);
-        assert!(matches!(b.finish(), Err(GraphError::TimesLengthMismatch { .. })));
+        assert!(matches!(
+            b.finish(),
+            Err(GraphError::TimesLengthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -419,7 +491,10 @@ mod tests {
         let mut b = HeteroGraphBuilder::new();
         let u = b.add_node_type("u", 2);
         b.set_features(u, FeatureMatrix::zeros(3, 4));
-        assert!(matches!(b.finish(), Err(GraphError::FeatureShapeMismatch { .. })));
+        assert!(matches!(
+            b.finish(),
+            Err(GraphError::FeatureShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! let _ = ALWAYS_VISIBLE;
 //! ```
 
+mod csr;
 pub mod error;
 pub mod features;
 pub mod hetero;

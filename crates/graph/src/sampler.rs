@@ -13,8 +13,17 @@
 //! Each seed gets its own disjoint subgraph; a batch of seeds is returned as
 //! one block-diagonal [`SampledSubgraph`] so that every sampled node has a
 //! well-defined anchor time (used for relative-age features downstream).
+//!
+//! Because seeds are disjoint, a batch fans out across threads: each seed's
+//! subgraph is extracted independently and the results are merged in seed
+//! order. The merged output is **bit-identical** to a serial run (sampling
+//! is recency-based with no randomness, and the merge preserves the
+//! traversal order a serial implementation would produce), so thread count
+//! never affects results — see `DESIGN.md`'s parallelism section.
 
 use std::collections::HashMap;
+
+use rayon::prelude::*;
 
 use crate::hetero::{EdgeTypeId, HeteroGraph, NodeTypeId};
 
@@ -54,7 +63,11 @@ pub struct SamplerConfig {
 impl SamplerConfig {
     /// Temporal sampling with the given per-hop fanouts.
     pub fn new(fanouts: Vec<usize>) -> Self {
-        SamplerConfig { fanouts, temporal: true, degree_features: true }
+        SamplerConfig {
+            fanouts,
+            temporal: true,
+            degree_features: true,
+        }
     }
 
     /// Variant without degree features (for ablations).
@@ -77,7 +90,7 @@ impl SamplerConfig {
 
 /// A sampled block-diagonal subgraph over the same type registries as the
 /// originating [`HeteroGraph`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SampledSubgraph {
     /// Per node type: global node index of each local node.
     pub nodes: Vec<Vec<usize>>,
@@ -131,10 +144,170 @@ impl<'g> TemporalSampler<'g> {
     /// Sample a batch of seeds (all of the same node type) into one
     /// block-diagonal subgraph.
     ///
+    /// Seeds are expanded in parallel (each seed's subgraph is independent)
+    /// and merged in seed order; the result is bit-identical regardless of
+    /// thread count.
+    ///
     /// # Panics
     /// Panics if seeds have differing node types (a programming error in the
     /// batching layer).
     pub fn sample(&self, seeds: &[Seed]) -> SampledSubgraph {
+        let seed_type = seeds.first().map_or(NodeTypeId(0), |s| s.node_type);
+        assert!(
+            seeds.iter().all(|s| s.node_type == seed_type),
+            "all seeds in a batch must share one node type"
+        );
+        let locals: Vec<LocalSample> = seeds.par_iter().map(|seed| self.sample_one(seed)).collect();
+        self.merge(seeds, seed_type, locals)
+    }
+
+    /// Expand one seed into its private subgraph (local indices are 0-based
+    /// within this seed's block).
+    fn sample_one(&self, seed: &Seed) -> LocalSample {
+        let g = self.graph;
+        let anchor = seed.time;
+        let mut nodes: Vec<Vec<usize>> = vec![Vec::new(); g.num_node_types()];
+        let mut edges: Vec<Vec<(u32, u32)>> = vec![Vec::new(); g.num_edge_types()];
+        let mut local: HashMap<(usize, usize), u32> = HashMap::new();
+        let intern = |ty: NodeTypeId,
+                      global: usize,
+                      nodes: &mut Vec<Vec<usize>>,
+                      local: &mut HashMap<(usize, usize), u32>|
+         -> u32 {
+            *local.entry((ty.0, global)).or_insert_with(|| {
+                let l = nodes[ty.0].len() as u32;
+                nodes[ty.0].push(global);
+                l
+            })
+        };
+        let seed_local = intern(seed.node_type, seed.node, &mut nodes, &mut local);
+
+        let mut frontier: Vec<(NodeTypeId, usize, u32)> =
+            vec![(seed.node_type, seed.node, seed_local)];
+        for &fanout in &self.config.fanouts {
+            let mut next = Vec::new();
+            for &(ty, global, src_local) in &frontier {
+                for &et in g.edge_types_from(ty) {
+                    let meta = g.edge_type(et);
+                    // Visible neighbors as a borrowed time-ascending slice
+                    // (one binary search, no allocation); keep the most
+                    // recent `fanout` — the tail.
+                    let (visible, _) = if self.config.temporal {
+                        g.visible_slices(et, global, anchor)
+                    } else {
+                        g.neighbor_slices(et, global)
+                    };
+                    let start = visible.len().saturating_sub(fanout);
+                    for &nbr in &visible[start..] {
+                        let nbr = nbr as usize;
+                        if self.config.temporal && g.node_time(meta.dst, nbr) > anchor {
+                            continue;
+                        }
+                        let known = local.contains_key(&(meta.dst.0, nbr));
+                        let dst_local = intern(meta.dst, nbr, &mut nodes, &mut local);
+                        edges[et.0].push((src_local, dst_local));
+                        if !known {
+                            next.push((meta.dst, nbr, dst_local));
+                        }
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        LocalSample { nodes, edges }
+    }
+
+    /// Concatenate per-seed blocks in seed order, shifting local indices,
+    /// then attach the windowed-degree features.
+    fn merge(
+        &self,
+        seeds: &[Seed],
+        seed_type: NodeTypeId,
+        locals: Vec<LocalSample>,
+    ) -> SampledSubgraph {
+        let g = self.graph;
+        let mut nodes: Vec<Vec<usize>> = vec![Vec::new(); g.num_node_types()];
+        let mut anchors: Vec<Vec<i64>> = vec![Vec::new(); g.num_node_types()];
+        let mut edges: Vec<Vec<(u32, u32)>> = vec![Vec::new(); g.num_edge_types()];
+        let mut seed_locals = Vec::with_capacity(seeds.len());
+        for (seed, block) in seeds.iter().zip(locals) {
+            let base: Vec<u32> = nodes.iter().map(|v| v.len() as u32).collect();
+            // The seed is always the first node interned in its block.
+            seed_locals.push(base[seed_type.0] as usize);
+            for (t, globals) in block.nodes.into_iter().enumerate() {
+                anchors[t].extend(std::iter::repeat_n(seed.time, globals.len()));
+                nodes[t].extend(globals);
+            }
+            for (et, pairs) in block.edges.into_iter().enumerate() {
+                let (sb, db) = (
+                    base[g.edge_type(EdgeTypeId(et)).src.0],
+                    base[g.edge_type(EdgeTypeId(et)).dst.0],
+                );
+                edges[et].extend(pairs.into_iter().map(|(s, d)| (s + sb, d + db)));
+            }
+        }
+        let degrees = self.windowed_degrees(&nodes, &anchors);
+        SampledSubgraph {
+            nodes,
+            anchors,
+            edges,
+            degrees,
+            seed_type,
+            seed_locals,
+        }
+    }
+
+    /// Windowed visible degrees per sampled node & edge type, computed in
+    /// parallel over the nodes of each type.
+    fn windowed_degrees(&self, nodes: &[Vec<usize>], anchors: &[Vec<i64>]) -> Vec<Vec<Vec<u32>>> {
+        let g = self.graph;
+        let nw = DEGREE_WINDOWS_DAYS.len();
+        (0..g.num_node_types())
+            .map(|t| {
+                let pairs: Vec<(usize, i64)> = nodes[t]
+                    .iter()
+                    .zip(&anchors[t])
+                    .map(|(&global, &anchor)| (global, anchor))
+                    .collect();
+                pairs
+                    .par_iter()
+                    .with_min_len(64)
+                    .map(|&(global, anchor)| {
+                        let mut degs = vec![0u32; g.num_edge_types() * nw];
+                        if !self.config.degree_features {
+                            return degs;
+                        }
+                        for &et in g.edge_types_from(NodeTypeId(t)) {
+                            for (w, &days) in DEGREE_WINDOWS_DAYS.iter().enumerate() {
+                                let hi = if self.config.temporal {
+                                    anchor
+                                } else {
+                                    i64::MAX
+                                };
+                                let lo = if days == 0 {
+                                    i64::MIN
+                                } else {
+                                    hi.saturating_sub(days * SECONDS_PER_DAY)
+                                };
+                                degs[et.0 * nw + w] = g.degree_between(et, global, lo, hi) as u32;
+                            }
+                        }
+                        degs
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Reference implementation without the CSR index: visible neighbors
+    /// are found by a **linear scan over every edge of the edge type**, and
+    /// windowed degrees by linear counting. Semantically identical to
+    /// [`Self::sample`] (used by tests to cross-check and by benches as the
+    /// pre-index baseline); orders of magnitude slower on large graphs.
+    pub fn sample_scan_baseline(&self, seeds: &[Seed]) -> SampledSubgraph {
         let g = self.graph;
         let seed_type = seeds.first().map_or(NodeTypeId(0), |s| s.node_type);
         assert!(
@@ -145,17 +318,15 @@ impl<'g> TemporalSampler<'g> {
         let mut anchors: Vec<Vec<i64>> = vec![Vec::new(); g.num_node_types()];
         let mut edges: Vec<Vec<(u32, u32)>> = vec![Vec::new(); g.num_edge_types()];
         let mut seed_locals = Vec::with_capacity(seeds.len());
-
-        // Scratch map reused per seed: (type, global) -> local.
         let mut local: HashMap<(usize, usize), u32> = HashMap::new();
         for seed in seeds {
             local.clear();
             let anchor = seed.time;
             let intern = |ty: NodeTypeId,
-                              global: usize,
-                              nodes: &mut Vec<Vec<usize>>,
-                              anchors: &mut Vec<Vec<i64>>,
-                              local: &mut HashMap<(usize, usize), u32>|
+                          global: usize,
+                          nodes: &mut Vec<Vec<usize>>,
+                          anchors: &mut Vec<Vec<i64>>,
+                          local: &mut HashMap<(usize, usize), u32>|
              -> u32 {
                 *local.entry((ty.0, global)).or_insert_with(|| {
                     let l = nodes[ty.0].len() as u32;
@@ -164,36 +335,35 @@ impl<'g> TemporalSampler<'g> {
                     l
                 })
             };
-            let seed_local =
-                intern(seed_type, seed.node, &mut nodes, &mut anchors, &mut local);
+            let seed_local = intern(seed_type, seed.node, &mut nodes, &mut anchors, &mut local);
             seed_locals.push(seed_local as usize);
-
             let mut frontier: Vec<(NodeTypeId, usize, u32)> =
                 vec![(seed_type, seed.node, seed_local)];
             for &fanout in &self.config.fanouts {
                 let mut next = Vec::new();
                 for &(ty, global, src_local) in &frontier {
-                    for et in 0..g.num_edge_types() {
+                    for (et, edge_list) in edges.iter_mut().enumerate() {
                         let meta = g.edge_type(EdgeTypeId(et));
                         if meta.src != ty {
                             continue;
                         }
-                        // Visible neighbors, time-ascending; keep the most
-                        // recent `fanout` (the tail).
-                        let visible: Vec<(usize, i64)> = if self.config.temporal {
-                            g.neighbors_before(EdgeTypeId(et), global, anchor).collect()
-                        } else {
-                            g.neighbors(EdgeTypeId(et), global).collect()
-                        };
+                        // Pre-index behavior: scan the whole edge list.
+                        let visible: Vec<usize> = g
+                            .edges_of(EdgeTypeId(et))
+                            .filter(|&(s, _, t)| {
+                                s == global && (!self.config.temporal || t <= anchor)
+                            })
+                            .map(|(_, d, _)| d)
+                            .collect();
                         let start = visible.len().saturating_sub(fanout);
-                        for &(nbr, _) in &visible[start..] {
+                        for &nbr in &visible[start..] {
                             if self.config.temporal && g.node_time(meta.dst, nbr) > anchor {
                                 continue;
                             }
                             let known = local.contains_key(&(meta.dst.0, nbr));
                             let dst_local =
                                 intern(meta.dst, nbr, &mut nodes, &mut anchors, &mut local);
-                            edges[et].push((src_local, dst_local));
+                            edge_list.push((src_local, dst_local));
                             if !known {
                                 next.push((meta.dst, nbr, dst_local));
                             }
@@ -206,7 +376,7 @@ impl<'g> TemporalSampler<'g> {
                 }
             }
         }
-        // Post-pass: windowed visible degrees per sampled node & edge type.
+        // Windowed degrees by linear counting over the full neighbor list.
         let nw = DEGREE_WINDOWS_DAYS.len();
         let mut degrees: Vec<Vec<Vec<u32>>> = Vec::with_capacity(g.num_node_types());
         for t in 0..g.num_node_types() {
@@ -214,31 +384,49 @@ impl<'g> TemporalSampler<'g> {
             for (l, &global) in nodes[t].iter().enumerate() {
                 let anchor = anchors[t][l];
                 let mut degs = vec![0u32; g.num_edge_types() * nw];
-                if !self.config.degree_features {
-                    per_node.push(degs);
-                    continue;
-                }
-                for et in 0..g.num_edge_types() {
-                    if g.edge_type(EdgeTypeId(et)).src.0 != t {
-                        continue;
-                    }
-                    for (w, &days) in DEGREE_WINDOWS_DAYS.iter().enumerate() {
-                        let hi = if self.config.temporal { anchor } else { i64::MAX };
-                        let lo = if days == 0 {
-                            i64::MIN
-                        } else {
-                            hi.saturating_sub(days * SECONDS_PER_DAY)
-                        };
-                        degs[et * nw + w] =
-                            g.degree_between(EdgeTypeId(et), global, lo, hi) as u32;
+                if self.config.degree_features {
+                    for et in 0..g.num_edge_types() {
+                        if g.edge_type(EdgeTypeId(et)).src.0 != t {
+                            continue;
+                        }
+                        let (_, times) = g.neighbor_slices(EdgeTypeId(et), global);
+                        for (w, &days) in DEGREE_WINDOWS_DAYS.iter().enumerate() {
+                            let hi = if self.config.temporal {
+                                anchor
+                            } else {
+                                i64::MAX
+                            };
+                            let lo = if days == 0 {
+                                i64::MIN
+                            } else {
+                                hi.saturating_sub(days * SECONDS_PER_DAY)
+                            };
+                            degs[et * nw + w] =
+                                times.iter().filter(|&&x| x > lo && x <= hi).count() as u32;
+                        }
                     }
                 }
                 per_node.push(degs);
             }
             degrees.push(per_node);
         }
-        SampledSubgraph { nodes, anchors, edges, degrees, seed_type, seed_locals }
+        SampledSubgraph {
+            nodes,
+            anchors,
+            edges,
+            degrees,
+            seed_type,
+            seed_locals,
+        }
     }
+}
+
+/// One seed's private block before merging.
+struct LocalSample {
+    /// Per node type: global index of each local node.
+    nodes: Vec<Vec<usize>>,
+    /// Per edge type: `(src_local, dst_local)` within this block.
+    edges: Vec<Vec<(u32, u32)>>,
 }
 
 #[cfg(test)]
@@ -269,7 +457,11 @@ mod tests {
     }
 
     fn seed(node: usize, time: i64) -> Seed {
-        Seed { node_type: NodeTypeId(0), node, time }
+        Seed {
+            node_type: NodeTypeId(0),
+            node,
+            time,
+        }
     }
 
     #[test]
@@ -295,7 +487,10 @@ mod tests {
             let sub = s.sample(&[seed(0, t), seed(1, t)]);
             let order_ty = g.node_type_by_name("order").unwrap();
             for &o in &sub.nodes[order_ty.0] {
-                assert!(g.node_time(order_ty, o) <= t, "order {o} leaked at anchor {t}");
+                assert!(
+                    g.node_time(order_ty, o) <= t,
+                    "order {o} leaked at anchor {t}"
+                );
             }
         }
     }
@@ -365,6 +560,46 @@ mod tests {
         let sub = s.sample(&[seed(0, 100)]);
         assert_eq!(sub.total_nodes(), 1);
         assert_eq!(sub.total_edges(), 0);
+    }
+
+    #[test]
+    fn scan_baseline_matches_indexed_sampler() {
+        let g = demo();
+        for config in [
+            SamplerConfig::new(vec![10, 10]),
+            SamplerConfig::new(vec![2]),
+            SamplerConfig::new(vec![1, 3, 2]),
+            SamplerConfig::new(vec![10]).leaky(),
+            SamplerConfig::new(vec![10, 10]).without_degree_features(),
+        ] {
+            let s = TemporalSampler::new(&g, config);
+            for anchors in [vec![25i64], vec![15, 45], vec![5, 25, 100, 100]] {
+                let seeds: Vec<Seed> = anchors
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &t)| seed(i % 2, t))
+                    .collect();
+                assert_eq!(s.sample(&seeds), s.sample_scan_baseline(&seeds));
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let g = demo();
+        let s = TemporalSampler::new(&g, SamplerConfig::new(vec![10, 10]));
+        let seeds: Vec<Seed> = (0..16).map(|i| seed(i % 2, 10 + 7 * i as i64)).collect();
+        let old = std::env::var("RAYON_NUM_THREADS").ok();
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let serial = s.sample(&seeds);
+        for threads in ["2", "4", "7"] {
+            std::env::set_var("RAYON_NUM_THREADS", threads);
+            assert_eq!(s.sample(&seeds), serial, "differs at {threads} threads");
+        }
+        match old {
+            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
     }
 
     #[test]

@@ -7,11 +7,7 @@ use relgraph_graph::{
 
 /// A random two-type graph: `a` (entities) and `b` (events), with edges
 /// a→b and b→a carrying random times.
-fn random_graph(
-    n_a: usize,
-    n_b: usize,
-    edges: &[(usize, usize, i64)],
-) -> HeteroGraph {
+fn random_graph(n_a: usize, n_b: usize, edges: &[(usize, usize, i64)]) -> HeteroGraph {
     let mut builder = HeteroGraphBuilder::new();
     let a = builder.add_node_type("a", n_a);
     let b = builder.add_node_type("b", n_b);

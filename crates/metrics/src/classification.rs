@@ -16,7 +16,11 @@ pub fn auroc(scores: &[f64], labels: &[bool]) -> Option<f64> {
     }
     // Rank the scores ascending; ties get the average rank.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut ranks = vec![0.0; scores.len()];
     let mut i = 0;
     while i < order.len() {
@@ -31,8 +35,12 @@ pub fn auroc(scores: &[f64], labels: &[bool]) -> Option<f64> {
         }
         i = j + 1;
     }
-    let rank_sum_pos: f64 =
-        ranks.iter().zip(labels).filter(|(_, &l)| l).map(|(&r, _)| r).sum();
+    let rank_sum_pos: f64 = ranks
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| l)
+        .map(|(&r, _)| r)
+        .sum();
     let auc = (rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0) / (n_pos * n_neg) as f64;
     Some(auc)
 }
@@ -128,14 +136,19 @@ mod tests {
         // A deterministic pseudo-random sequence.
         let mut x = 123456789u64;
         let mut next = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 33) as f64 / (1u64 << 31) as f64
         };
         let scores: Vec<f64> = (0..200).map(|_| next()).collect();
         let labels: Vec<bool> = (0..200).map(|_| next() > 0.5).collect();
         let a = auroc(&scores, &labels).unwrap();
         assert!((0.0..=1.0).contains(&a));
-        assert!((a - 0.5).abs() < 0.15, "random scores should be near 0.5, got {a}");
+        assert!(
+            (a - 0.5).abs() < 0.15,
+            "random scores should be near 0.5, got {a}"
+        );
     }
 
     #[test]

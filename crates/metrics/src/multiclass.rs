@@ -25,10 +25,17 @@ pub fn macro_f1(pred: &[usize], truth: &[usize], n_classes: usize) -> f64 {
     let m = confusion_matrix(pred, truth, n_classes);
     let mut total = 0.0;
     let mut counted = 0usize;
+    #[allow(clippy::needless_range_loop)] // reads row `c` and column `c` of `m`
     for c in 0..n_classes {
         let tp = m[c][c] as f64;
-        let fn_: f64 = (0..n_classes).filter(|&p| p != c).map(|p| m[c][p] as f64).sum();
-        let fp: f64 = (0..n_classes).filter(|&t| t != c).map(|t| m[t][c] as f64).sum();
+        let fn_: f64 = (0..n_classes)
+            .filter(|&p| p != c)
+            .map(|p| m[c][p] as f64)
+            .sum();
+        let fp: f64 = (0..n_classes)
+            .filter(|&t| t != c)
+            .map(|t| m[t][c] as f64)
+            .sum();
         if tp + fn_ == 0.0 {
             continue; // class absent from truth
         }

@@ -47,8 +47,9 @@ pub fn ndcg_at_k(recommended: &[Vec<u64>], relevant: &[HashSet<u64>], k: usize) 
             .filter(|&(_, &r)| rel.contains(&r) && seen.insert(r))
             .map(|(i, _)| 1.0 / ((i + 2) as f64).log2())
             .sum();
-        let ideal: f64 =
-            (0..rel.len().min(k)).map(|i| 1.0 / ((i + 2) as f64).log2()).sum();
+        let ideal: f64 = (0..rel.len().min(k))
+            .map(|i| 1.0 / ((i + 2) as f64).log2())
+            .sum();
         dcg / ideal
     })
 }
@@ -67,7 +68,11 @@ fn average_over_queries(
     relevant: &[HashSet<u64>],
     per_query: impl Fn(&[u64], &HashSet<u64>) -> f64,
 ) -> f64 {
-    assert_eq!(recommended.len(), relevant.len(), "one relevance set per query");
+    assert_eq!(
+        recommended.len(),
+        relevant.len(),
+        "one relevance set per query"
+    );
     let mut total = 0.0;
     let mut n = 0usize;
     for (recs, rel) in recommended.iter().zip(relevant) {

@@ -5,7 +5,11 @@ pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    pred.iter().zip(truth).map(|(&p, &t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+    pred.iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
 }
 
 /// Root mean squared error.
@@ -13,7 +17,12 @@ pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    (pred.iter().zip(truth).map(|(&p, &t)| (p - t) * (p - t)).sum::<f64>() / pred.len() as f64)
+    (pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64)
         .sqrt()
 }
 
@@ -28,7 +37,11 @@ pub fn r_squared(pred: &[f64], truth: &[f64]) -> Option<f64> {
     if ss_tot == 0.0 {
         return None;
     }
-    let ss_res: f64 = pred.iter().zip(truth).map(|(&p, &t)| (p - t) * (p - t)).sum();
+    let ss_res: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum();
     Some(1.0 - ss_res / ss_tot)
 }
 

@@ -43,9 +43,17 @@ impl Linear {
     /// parameters under `name` in `ps`.
     pub fn new(ps: &mut ParamSet, name: &str, in_dim: usize, out_dim: usize, seed: u64) -> Self {
         let mut rng = init::rng(seed);
-        let w = ps.register(format!("{name}.w"), init::xavier_uniform(in_dim, out_dim, &mut rng));
+        let w = ps.register(
+            format!("{name}.w"),
+            init::xavier_uniform(in_dim, out_dim, &mut rng),
+        );
         let b = ps.register(format!("{name}.b"), Tensor::zeros(1, out_dim));
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input dimensionality.
@@ -82,11 +90,22 @@ impl Mlp {
     /// # Panics
     /// Panics if fewer than two dims are given.
     pub fn new(ps: &mut ParamSet, dims: &[usize], activation: Activation, seed: u64) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         let layers = dims
             .windows(2)
             .enumerate()
-            .map(|(i, w)| Linear::new(ps, &format!("mlp{i}"), w[0], w[1], seed.wrapping_add(i as u64)))
+            .map(|(i, w)| {
+                Linear::new(
+                    ps,
+                    &format!("mlp{i}"),
+                    w[0],
+                    w[1],
+                    seed.wrapping_add(i as u64),
+                )
+            })
             .collect();
         Mlp { layers, activation }
     }

@@ -28,12 +28,20 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD.
     pub fn new(lr: f64) -> Self {
-        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// SGD with momentum.
     pub fn with_momentum(lr: f64, momentum: f64) -> Self {
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -86,12 +94,28 @@ pub struct Adam {
 impl Adam {
     /// Adam with standard betas (0.9, 0.999) and eps 1e-8.
     pub fn new(lr: f64) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Fully parameterized constructor.
     pub fn with_params(lr: f64, beta1: f64, beta2: f64, eps: f64) -> Self {
-        Adam { lr, beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
@@ -117,8 +141,11 @@ impl Optimizer for Adam {
                 *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
             }
             let value = ps.value_mut(id);
-            for ((x, &mi), &vi) in
-                value.data_mut().iter_mut().zip(self.m[i].data()).zip(self.v[i].data())
+            for ((x, &mi), &vi) in value
+                .data_mut()
+                .iter_mut()
+                .zip(self.m[i].data())
+                .zip(self.v[i].data())
             {
                 let mhat = mi / bc1;
                 let vhat = vi / bc2;
@@ -179,7 +206,10 @@ mod tests {
         for _ in 0..50 {
             last = quadratic_step(&mut ps, &mut opt);
         }
-        assert!(last < first * 1e-4, "SGD failed to descend: {first} → {last}");
+        assert!(
+            last < first * 1e-4,
+            "SGD failed to descend: {first} → {last}"
+        );
     }
 
     #[test]
@@ -195,7 +225,10 @@ mod tests {
         };
         let plain = run(Sgd::new(0.02));
         let momentum = run(Sgd::with_momentum(0.02, 0.9));
-        assert!(momentum < plain, "momentum {momentum} should beat plain {plain}");
+        assert!(
+            momentum < plain,
+            "momentum {momentum} should beat plain {plain}"
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ impl ParamSet {
     /// Register a parameter with an initial value.
     pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
         let (r, c) = value.shape();
-        self.slots.push(ParamSlot { name: name.into(), value, grad: Tensor::zeros(r, c) });
+        self.slots.push(ParamSlot {
+            name: name.into(),
+            value,
+            grad: Tensor::zeros(r, c),
+        });
         ParamId(self.slots.len() - 1)
     }
 
@@ -95,7 +99,11 @@ impl ParamSet {
     /// # Panics
     /// Panics if the snapshot length does not match.
     pub fn restore(&mut self, snapshot: &[Tensor]) {
-        assert_eq!(snapshot.len(), self.slots.len(), "snapshot/param-set mismatch");
+        assert_eq!(
+            snapshot.len(),
+            self.slots.len(),
+            "snapshot/param-set mismatch"
+        );
         for (slot, value) in self.slots.iter_mut().zip(snapshot) {
             slot.value = value.clone();
         }
@@ -103,7 +111,11 @@ impl ParamSet {
 
     /// Global L2 norm of all gradients.
     pub fn grad_norm(&self) -> f64 {
-        self.slots.iter().map(|s| s.grad.data().iter().map(|&x| x * x).sum::<f64>()).sum::<f64>().sqrt()
+        self.slots
+            .iter()
+            .map(|s| s.grad.data().iter().map(|&x| x * x).sum::<f64>())
+            .sum::<f64>()
+            .sqrt()
     }
 }
 

@@ -85,7 +85,13 @@ fn fk_path(db: &Database, from: &str, to: &str) -> Option<Vec<JoinStep>> {
                 continue;
             }
             visited.push(next.clone());
-            prev.insert(next.clone(), JoinStep { table: cur.clone(), fk_column: fk.column.clone() });
+            prev.insert(
+                next.clone(),
+                JoinStep {
+                    table: cur.clone(),
+                    fk_column: fk.column.clone(),
+                },
+            );
             if next == to {
                 // Reconstruct path back from `to`.
                 let mut path = Vec::new();
@@ -105,7 +111,9 @@ fn fk_path(db: &Database, from: &str, to: &str) -> Option<Vec<JoinStep>> {
 }
 
 fn compile_filter(db: &Database, entity_table: &str, cond: &Cond) -> PqResult<Predicate> {
-    let table = db.table(entity_table).map_err(|e| PqError::Analyze(e.to_string()))?;
+    let table = db
+        .table(entity_table)
+        .map_err(|e| PqError::Analyze(e.to_string()))?;
     let col_type = |name: &str| -> PqResult<DataType> {
         table
             .schema()
@@ -139,7 +147,11 @@ fn compile_filter(db: &Database, entity_table: &str, cond: &Cond) -> PqResult<Pr
                     )))
                 }
             };
-            Predicate::Compare { column: column.clone(), op: *op, value: v }
+            Predicate::Compare {
+                column: column.clone(),
+                op: *op,
+                value: v,
+            }
         }
         Cond::IsNull { column, negated } => {
             col_type(column)?;
@@ -165,10 +177,9 @@ fn compile_filter(db: &Database, entity_table: &str, cond: &Cond) -> PqResult<Pr
 pub fn analyze(db: &Database, query: PredictiveQuery) -> PqResult<AnalyzedQuery> {
     // Entity side.
     let entity_table = query.entity.table.clone();
-    let entity =
-        db.table(&entity_table).map_err(|_| {
-            PqError::Analyze(format!("unknown entity table `{entity_table}`"))
-        })?;
+    let entity = db
+        .table(&entity_table)
+        .map_err(|_| PqError::Analyze(format!("unknown entity table `{entity_table}`")))?;
     match entity.schema().primary_key() {
         Some(pk) if pk == query.entity.column => {}
         Some(pk) => {
@@ -186,9 +197,9 @@ pub fn analyze(db: &Database, query: PredictiveQuery) -> PqResult<AnalyzedQuery>
 
     // Target side.
     let target_table = query.target.target.table.clone();
-    let target = db.table(&target_table).map_err(|_| {
-        PqError::Analyze(format!("unknown target table `{target_table}`"))
-    })?;
+    let target = db
+        .table(&target_table)
+        .map_err(|_| PqError::Analyze(format!("unknown target table `{target_table}`")))?;
     if target.schema().time_column().is_none() {
         return Err(PqError::Analyze(format!(
             "target table `{target_table}` has no time column; a predictive window needs one"
@@ -205,16 +216,21 @@ pub fn analyze(db: &Database, query: PredictiveQuery) -> PqResult<AnalyzedQuery>
     let agg = query.target.agg;
     let value_column = if query.target.target.column == "*" {
         if agg.needs_column() {
-            return Err(PqError::Analyze(format!("{agg} requires a column, not `*`")));
+            return Err(PqError::Analyze(format!(
+                "{agg} requires a column, not `*`"
+            )));
         }
         None
     } else {
-        let col = target.schema().column(&query.target.target.column).ok_or_else(|| {
-            PqError::Analyze(format!(
-                "unknown column `{}` in target table `{target_table}`",
-                query.target.target.column
-            ))
-        })?;
+        let col = target
+            .schema()
+            .column(&query.target.target.column)
+            .ok_or_else(|| {
+                PqError::Analyze(format!(
+                    "unknown column `{}` in target table `{target_table}`",
+                    query.target.target.column
+                ))
+            })?;
         if agg.needs_numeric() && !col.data_type.is_numeric() {
             return Err(PqError::Analyze(format!(
                 "{agg} needs a numeric column; `{}` is {}",
@@ -240,9 +256,9 @@ pub fn analyze(db: &Database, query: PredictiveQuery) -> PqResult<AnalyzedQuery>
             ))
         }
         (Agg::ListDistinct, None) => {
-            let col = value_column.as_deref().ok_or_else(|| {
-                PqError::Analyze("LIST_DISTINCT requires a column".into())
-            })?;
+            let col = value_column
+                .as_deref()
+                .ok_or_else(|| PqError::Analyze("LIST_DISTINCT requires a column".into()))?;
             let fk = target.schema().foreign_key_on(col).ok_or_else(|| {
                 PqError::Analyze(format!(
                     "LIST_DISTINCT column `{col}` must be a foreign key (the item reference)"
@@ -257,9 +273,9 @@ pub fn analyze(db: &Database, query: PredictiveQuery) -> PqResult<AnalyzedQuery>
             ))
         }
         (Agg::Mode, None) => {
-            let col = value_column.as_deref().ok_or_else(|| {
-                PqError::Analyze("MODE requires a column".into())
-            })?;
+            let col = value_column
+                .as_deref()
+                .ok_or_else(|| PqError::Analyze("MODE requires a column".into()))?;
             let def = target.schema().column(col).expect("validated above");
             if def.data_type == DataType::Float {
                 return Err(PqError::Analyze(format!(
@@ -275,7 +291,9 @@ pub fn analyze(db: &Database, query: PredictiveQuery) -> PqResult<AnalyzedQuery>
         }
         (Agg::Exists, None) => TaskType::Classification,
         (Agg::Exists, Some(_)) => {
-            return Err(PqError::Analyze("EXISTS is already boolean; drop the comparison".into()))
+            return Err(PqError::Analyze(
+                "EXISTS is already boolean; drop the comparison".into(),
+            ))
         }
         (_, Some(_)) => TaskType::Classification,
         (_, None) => TaskType::Regression,
@@ -312,8 +330,12 @@ mod tests {
     use relgraph_datagen::{generate_clinic, generate_ecommerce, ClinicConfig, EcommerceConfig};
 
     fn shop() -> Database {
-        generate_ecommerce(&EcommerceConfig { customers: 20, products: 10, ..Default::default() })
-            .unwrap()
+        generate_ecommerce(&EcommerceConfig {
+            customers: 20,
+            products: 10,
+            ..Default::default()
+        })
+        .unwrap()
     }
 
     fn run(db: &Database, q: &str) -> PqResult<AnalyzedQuery> {
@@ -323,8 +345,11 @@ mod tests {
     #[test]
     fn classification_task_inferred() {
         let db = shop();
-        let a =
-            run(&db, "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id").unwrap();
+        let a = run(
+            &db,
+            "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id",
+        )
+        .unwrap();
         assert_eq!(a.task, TaskType::Classification);
         assert_eq!(a.join_path.len(), 1);
         assert_eq!(a.join_path[0].table, "orders");
@@ -335,8 +360,11 @@ mod tests {
     #[test]
     fn regression_task_inferred() {
         let db = shop();
-        let a = run(&db, "PREDICT SUM(orders.amount, 0, 30) FOR EACH customers.customer_id")
-            .unwrap();
+        let a = run(
+            &db,
+            "PREDICT SUM(orders.amount, 0, 30) FOR EACH customers.customer_id",
+        )
+        .unwrap();
         assert_eq!(a.task, TaskType::Regression);
         assert_eq!(a.value_column.as_deref(), Some("amount"));
     }
@@ -355,9 +383,16 @@ mod tests {
 
     #[test]
     fn two_hop_join_path() {
-        let db = generate_clinic(&ClinicConfig { patients: 15, ..Default::default() }).unwrap();
-        let a =
-            run(&db, "PREDICT COUNT(prescriptions.*, 0, 60) FOR EACH patients.patient_id").unwrap();
+        let db = generate_clinic(&ClinicConfig {
+            patients: 15,
+            ..Default::default()
+        })
+        .unwrap();
+        let a = run(
+            &db,
+            "PREDICT COUNT(prescriptions.*, 0, 60) FOR EACH patients.patient_id",
+        )
+        .unwrap();
         assert_eq!(a.join_path.len(), 2);
         assert_eq!(a.join_path[0].table, "prescriptions");
         assert_eq!(a.join_path[1].table, "visits");
@@ -366,7 +401,11 @@ mod tests {
     #[test]
     fn exists_is_classification() {
         let db = shop();
-        let a = run(&db, "PREDICT EXISTS(orders.*, 0, 30) FOR EACH customers.customer_id").unwrap();
+        let a = run(
+            &db,
+            "PREDICT EXISTS(orders.*, 0, 30) FOR EACH customers.customer_id",
+        )
+        .unwrap();
         assert_eq!(a.task, TaskType::Classification);
     }
 
@@ -386,11 +425,26 @@ mod tests {
     fn rejects_bad_queries() {
         let db = shop();
         for (q, why) in [
-            ("PREDICT COUNT(nope.*, 0, 30) FOR EACH customers.customer_id", "unknown target"),
-            ("PREDICT COUNT(orders.*, 0, 30) FOR EACH nope.id", "unknown entity"),
-            ("PREDICT COUNT(orders.*, 0, 30) FOR EACH customers.region", "non-pk entity column"),
-            ("PREDICT COUNT(orders.*, 30, 10) FOR EACH customers.customer_id", "inverted window"),
-            ("PREDICT SUM(orders.*, 0, 30) FOR EACH customers.customer_id", "sum needs column"),
+            (
+                "PREDICT COUNT(nope.*, 0, 30) FOR EACH customers.customer_id",
+                "unknown target",
+            ),
+            (
+                "PREDICT COUNT(orders.*, 0, 30) FOR EACH nope.id",
+                "unknown entity",
+            ),
+            (
+                "PREDICT COUNT(orders.*, 0, 30) FOR EACH customers.region",
+                "non-pk entity column",
+            ),
+            (
+                "PREDICT COUNT(orders.*, 30, 10) FOR EACH customers.customer_id",
+                "inverted window",
+            ),
+            (
+                "PREDICT SUM(orders.*, 0, 30) FOR EACH customers.customer_id",
+                "sum needs column",
+            ),
             (
                 "PREDICT SUM(customers.region, 0, 30) FOR EACH customers.customer_id",
                 "sum needs numeric",

@@ -119,8 +119,15 @@ impl fmt::Display for Literal {
 /// Boolean filter over entity-table columns.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Cond {
-    Cmp { column: String, op: CmpOp, value: Literal },
-    IsNull { column: String, negated: bool },
+    Cmp {
+        column: String,
+        op: CmpOp,
+        value: Literal,
+    },
+    IsNull {
+        column: String,
+        negated: bool,
+    },
     And(Box<Cond>, Box<Cond>),
     Or(Box<Cond>, Box<Cond>),
     Not(Box<Cond>),

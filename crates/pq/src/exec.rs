@@ -6,13 +6,13 @@ use std::collections::{HashMap, HashSet};
 
 use relgraph_baselines::{
     CoVisitRecommender, FeatureConfig, FeatureEngineer, Gbdt, GbdtConfig, GbdtObjective,
-    LinearConfig, LinearRegressor, LogisticRegressor, MajorityClass, MeanRegressor,
-    MulticlassGbdt, MulticlassLogReg, PopularityRecommender, PriorClassifier,
+    LinearConfig, LinearRegressor, LogisticRegressor, MajorityClass, MeanRegressor, MulticlassGbdt,
+    MulticlassLogReg, PopularityRecommender, PriorClassifier,
 };
 use relgraph_db2graph::{build_graph, ConvertOptions};
 use relgraph_gnn::{
-    train_multiclass_model, train_node_model, train_two_tower, Aggregation, TaskKind,
-    TrainConfig, TwoTowerConfig,
+    train_multiclass_model, train_node_model, train_two_tower, Aggregation, TaskKind, TrainConfig,
+    TwoTowerConfig,
 };
 use relgraph_graph::Seed;
 use relgraph_metrics as metrics;
@@ -23,6 +23,10 @@ use crate::error::{PqError, PqResult};
 use crate::explain::explain;
 use crate::parser::parse;
 use crate::traintable::{build_training_table, Example, TrainTableConfig, TrainingTable};
+
+/// Named metrics plus per-entity predictions — every `run_*` family
+/// returns this pair.
+type MetricsAndPredictions = (Vec<(String, f64)>, Vec<Prediction>);
 
 /// Which model family executes the query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,9 +148,7 @@ impl ExecConfig {
     /// Apply `USING key = value` overrides from the query.
     fn apply_options(&mut self, options: &[(String, String)]) -> PqResult<()> {
         for (key, value) in options {
-            let bad = || {
-                PqError::Analyze(format!("invalid value `{value}` for option `{key}`"))
-            };
+            let bad = || PqError::Analyze(format!("invalid value `{value}` for option `{key}`"));
             match key.as_str() {
                 "model" => self.model = ModelChoice::from_str(value)?,
                 "epochs" => self.epochs = value.parse().map_err(|_| bad())?,
@@ -189,9 +191,7 @@ impl ExecConfig {
                         _ => return Err(bad()),
                     }
                 }
-                other => {
-                    return Err(PqError::Analyze(format!("unknown USING option `{other}`")))
-                }
+                other => return Err(PqError::Analyze(format!("unknown USING option `{other}`"))),
             }
         }
         Ok(())
@@ -240,13 +240,19 @@ pub struct QueryOutcome {
 impl QueryOutcome {
     /// Look up a metric by name.
     pub fn metric(&self, name: &str) -> Option<f64> {
-        self.metrics.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
     }
 
     /// One-paragraph human summary.
     pub fn summary(&self) -> String {
-        let metrics: Vec<String> =
-            self.metrics.iter().map(|(n, v)| format!("{n}={v:.4}")).collect();
+        let metrics: Vec<String> = self
+            .metrics
+            .iter()
+            .map(|(n, v)| format!("{n}={v:.4}"))
+            .collect();
         format!(
             "{} via {} | train/val/test = {}/{}/{} | {} | {} predictions",
             self.task,
@@ -280,9 +286,7 @@ pub fn execute_analyzed(
 ) -> PqResult<QueryOutcome> {
     let explain_text = explain(db, aq, Some(table));
     let (metrics, predictions) = match aq.task {
-        TaskType::Classification | TaskType::Regression => {
-            run_node_task(db, aq, table, cfg)?
-        }
+        TaskType::Classification | TaskType::Regression => run_node_task(db, aq, table, cfg)?,
         TaskType::Recommendation => run_recommendation(db, aq, table, cfg)?,
         TaskType::Multiclass => run_multiclass(db, aq, table, cfg)?,
     };
@@ -309,7 +313,10 @@ fn alive_entities(db: &Database, aq: &AnalyzedQuery, anchor: Timestamp) -> PqRes
     let mut out = Vec::new();
     for row in 0..entity.len() {
         if let Some(p) = &aq.filter {
-            if !p.eval(entity, row).map_err(|e| PqError::Analyze(e.to_string()))? {
+            if !p
+                .eval(entity, row)
+                .map_err(|e| PqError::Analyze(e.to_string()))?
+            {
                 continue;
             }
         }
@@ -325,7 +332,10 @@ fn alive_entities(db: &Database, aq: &AnalyzedQuery, anchor: Timestamp) -> PqRes
 
 fn entity_key(db: &Database, aq: &AnalyzedQuery, row: usize) -> Value {
     let entity = db.table(&aq.entity_table).expect("entity table exists");
-    let pk = entity.schema().primary_key_index().expect("analyzer checked the pk");
+    let pk = entity
+        .schema()
+        .primary_key_index()
+        .expect("analyzer checked the pk");
     entity.value(row, pk)
 }
 
@@ -337,7 +347,10 @@ fn node_metrics(task: TaskType, preds: &[f64], truth: &[f64]) -> Vec<(String, f6
             if let Some(a) = metrics::auroc(preds, &labels) {
                 m.push(("auroc".to_string(), a));
             }
-            m.push(("accuracy".to_string(), metrics::accuracy(preds, &labels, 0.5)));
+            m.push((
+                "accuracy".to_string(),
+                metrics::accuracy(preds, &labels, 0.5),
+            ));
             m.push(("logloss".to_string(), metrics::log_loss(preds, &labels)));
             m
         }
@@ -365,7 +378,7 @@ fn run_multiclass(
     aq: &AnalyzedQuery,
     table: &TrainingTable,
     cfg: &ExecConfig,
-) -> PqResult<(Vec<(String, f64)>, Vec<Prediction>)> {
+) -> PqResult<MetricsAndPredictions> {
     let mut classes: Vec<String> = Vec::new();
     let class_index = |name: &str, classes: &mut Vec<String>| -> usize {
         match classes.iter().position(|c| c == name) {
@@ -376,10 +389,16 @@ fn run_multiclass(
             }
         }
     };
-    let train_idx: Vec<usize> =
-        table.train.iter().map(|e| class_index(e.label.class(), &mut classes)).collect();
-    let val_idx: Vec<usize> =
-        table.val.iter().map(|e| class_index(e.label.class(), &mut classes)).collect();
+    let train_idx: Vec<usize> = table
+        .train
+        .iter()
+        .map(|e| class_index(e.label.class(), &mut classes))
+        .collect();
+    let val_idx: Vec<usize> = table
+        .val
+        .iter()
+        .map(|e| class_index(e.label.class(), &mut classes))
+        .collect();
     let k = classes.len();
     if k < 2 {
         return Err(PqError::TrainingTable(format!(
@@ -388,8 +407,11 @@ fn run_multiclass(
     }
     // Test truth may extend the vocabulary (unseen classes stay wrong).
     let mut ext_classes = classes.clone();
-    let test_idx: Vec<usize> =
-        table.test.iter().map(|e| class_index(e.label.class(), &mut ext_classes)).collect();
+    let test_idx: Vec<usize> = table
+        .test
+        .iter()
+        .map(|e| class_index(e.label.class(), &mut ext_classes))
+        .collect();
     let n_ext = ext_classes.len();
 
     let deploy = deploy_anchor(db);
@@ -407,11 +429,23 @@ fn run_multiclass(
             let node_type = mapping
                 .node_type(&aq.entity_table)
                 .ok_or_else(|| PqError::Execution("entity table missing from graph".into()))?;
-            let to_seed = |e: &Example| Seed { node_type, node: e.entity_row, time: e.anchor };
-            let train: Vec<(Seed, usize)> =
-                table.train.iter().map(to_seed).zip(train_idx.iter().copied()).collect();
-            let val: Vec<(Seed, usize)> =
-                table.val.iter().map(to_seed).zip(val_idx.iter().copied()).collect();
+            let to_seed = |e: &Example| Seed {
+                node_type,
+                node: e.entity_row,
+                time: e.anchor,
+            };
+            let train: Vec<(Seed, usize)> = table
+                .train
+                .iter()
+                .map(to_seed)
+                .zip(train_idx.iter().copied())
+                .collect();
+            let val: Vec<(Seed, usize)> = table
+                .val
+                .iter()
+                .map(to_seed)
+                .zip(val_idx.iter().copied())
+                .collect();
             let tc = TrainConfig {
                 epochs: cfg.epochs,
                 batch_size: cfg.batch_size,
@@ -428,13 +462,20 @@ fn run_multiclass(
             let test_seeds: Vec<Seed> = table.test.iter().map(to_seed).collect();
             let deploy_seeds: Vec<Seed> = deploy_rows
                 .iter()
-                .map(|&r| Seed { node_type, node: r, time: deploy })
+                .map(|&r| Seed {
+                    node_type,
+                    node: r,
+                    time: deploy,
+                })
                 .collect();
-            (model.predict(&graph, &test_seeds), model.predict(&graph, &deploy_seeds))
+            (
+                model.predict(&graph, &test_seeds),
+                model.predict(&graph, &deploy_seeds),
+            )
         }
         ModelChoice::Trivial => {
-            let m = MajorityClass::fit(&train_idx, k)
-                .map_err(|e| PqError::Execution(e.to_string()))?;
+            let m =
+                MajorityClass::fit(&train_idx, k).map_err(|e| PqError::Execution(e.to_string()))?;
             (m.predict(table.test.len()), m.predict(deploy_rows.len()))
         }
         ModelChoice::Gbdt | ModelChoice::LogReg => {
@@ -459,15 +500,19 @@ fn run_multiclass(
                 .map_err(|e| PqError::Execution(e.to_string()))?;
             let deploy_pairs: Vec<(usize, Timestamp)> =
                 deploy_rows.iter().map(|&r| (r, deploy)).collect();
-            let x_deploy =
-                fe.compute(db, &deploy_pairs).map_err(|e| PqError::Execution(e.to_string()))?;
+            let x_deploy = fe
+                .compute(db, &deploy_pairs)
+                .map_err(|e| PqError::Execution(e.to_string()))?;
             match cfg.model {
                 ModelChoice::Gbdt => {
                     let m = MulticlassGbdt::fit(
                         &x_train,
                         &train_idx,
                         k,
-                        &GbdtConfig { rounds: cfg.gbdt_rounds, ..Default::default() },
+                        &GbdtConfig {
+                            rounds: cfg.gbdt_rounds,
+                            ..Default::default()
+                        },
                     )?;
                     (m.predict(&x_test), m.predict(&x_deploy))
                 }
@@ -486,8 +531,14 @@ fn run_multiclass(
     };
 
     let metrics = vec![
-        ("accuracy".to_string(), metrics::multiclass_accuracy(&test_pred, &test_idx)),
-        ("macro_f1".to_string(), metrics::macro_f1(&test_pred, &test_idx, n_ext)),
+        (
+            "accuracy".to_string(),
+            metrics::multiclass_accuracy(&test_pred, &test_idx),
+        ),
+        (
+            "macro_f1".to_string(),
+            metrics::macro_f1(&test_pred, &test_idx, n_ext),
+        ),
         ("classes".to_string(), k as f64),
     ];
     let predictions = deploy_rows
@@ -506,7 +557,7 @@ fn run_node_task(
     aq: &AnalyzedQuery,
     table: &TrainingTable,
     cfg: &ExecConfig,
-) -> PqResult<(Vec<(String, f64)>, Vec<Prediction>)> {
+) -> PqResult<MetricsAndPredictions> {
     let test_truth: Vec<f64> = table.test.iter().map(|e| e.label.scalar()).collect();
     let deploy = deploy_anchor(db);
     let deploy_rows = {
@@ -523,11 +574,21 @@ fn run_node_task(
             let node_type = mapping
                 .node_type(&aq.entity_table)
                 .ok_or_else(|| PqError::Execution("entity table missing from graph".into()))?;
-            let to_seed = |e: &Example| Seed { node_type, node: e.entity_row, time: e.anchor };
-            let train: Vec<(Seed, f64)> =
-                table.train.iter().map(|e| (to_seed(e), e.label.scalar())).collect();
-            let val: Vec<(Seed, f64)> =
-                table.val.iter().map(|e| (to_seed(e), e.label.scalar())).collect();
+            let to_seed = |e: &Example| Seed {
+                node_type,
+                node: e.entity_row,
+                time: e.anchor,
+            };
+            let train: Vec<(Seed, f64)> = table
+                .train
+                .iter()
+                .map(|e| (to_seed(e), e.label.scalar()))
+                .collect();
+            let val: Vec<(Seed, f64)> = table
+                .val
+                .iter()
+                .map(|e| (to_seed(e), e.label.scalar()))
+                .collect();
             let task = match aq.task {
                 TaskType::Classification => TaskKind::Binary,
                 _ => TaskKind::Regression,
@@ -549,7 +610,11 @@ fn run_node_task(
             let test_preds = model.predict(&graph, &test_seeds);
             let deploy_seeds: Vec<Seed> = deploy_rows
                 .iter()
-                .map(|&r| Seed { node_type, node: r, time: deploy })
+                .map(|&r| Seed {
+                    node_type,
+                    node: r,
+                    time: deploy,
+                })
                 .collect();
             let deploy_preds = model.predict(&graph, &deploy_seeds);
             (test_preds, deploy_preds)
@@ -581,22 +646,28 @@ fn run_node_task(
             let seeds_of = |ex: &[Example]| -> Vec<(usize, Timestamp)> {
                 ex.iter().map(|e| (e.entity_row, e.anchor)).collect()
             };
-            let x_train =
-                fe.compute(db, &seeds_of(&table.train)).map_err(|e| PqError::Execution(e.to_string()))?;
+            let x_train = fe
+                .compute(db, &seeds_of(&table.train))
+                .map_err(|e| PqError::Execution(e.to_string()))?;
             let y_train: Vec<f64> = table.train.iter().map(|e| e.label.scalar()).collect();
-            let x_test =
-                fe.compute(db, &seeds_of(&table.test)).map_err(|e| PqError::Execution(e.to_string()))?;
+            let x_test = fe
+                .compute(db, &seeds_of(&table.test))
+                .map_err(|e| PqError::Execution(e.to_string()))?;
             let deploy_pairs: Vec<(usize, Timestamp)> =
                 deploy_rows.iter().map(|&r| (r, deploy)).collect();
-            let x_deploy =
-                fe.compute(db, &deploy_pairs).map_err(|e| PqError::Execution(e.to_string()))?;
+            let x_deploy = fe
+                .compute(db, &deploy_pairs)
+                .map_err(|e| PqError::Execution(e.to_string()))?;
             match (cfg.model, aq.task) {
                 (ModelChoice::Gbdt, TaskType::Classification) => {
                     let m = Gbdt::fit(
                         &x_train,
                         &y_train,
                         GbdtObjective::Binary,
-                        &GbdtConfig { rounds: cfg.gbdt_rounds, ..Default::default() },
+                        &GbdtConfig {
+                            rounds: cfg.gbdt_rounds,
+                            ..Default::default()
+                        },
                     )?;
                     (m.predict(&x_test), m.predict(&x_deploy))
                 }
@@ -605,7 +676,10 @@ fn run_node_task(
                         &x_train,
                         &y_train,
                         GbdtObjective::Regression,
-                        &GbdtConfig { rounds: cfg.gbdt_rounds, ..Default::default() },
+                        &GbdtConfig {
+                            rounds: cfg.gbdt_rounds,
+                            ..Default::default()
+                        },
                     )?;
                     (m.predict(&x_test), m.predict(&x_deploy))
                 }
@@ -648,9 +722,17 @@ fn interaction_index(
 ) -> PqResult<HashMap<usize, Vec<(Timestamp, usize)>>> {
     let target = db.table(&aq.target_table)?;
     let entity = db.table(&aq.entity_table)?;
-    let item_table = db.table(aq.item_table.as_deref().expect("recommendation has an item table"))?;
+    let item_table = db.table(
+        aq.item_table
+            .as_deref()
+            .expect("recommendation has an item table"),
+    )?;
     let item_col = target
-        .column_by_name(aq.value_column.as_deref().expect("list_distinct has a column"))
+        .column_by_name(
+            aq.value_column
+                .as_deref()
+                .expect("list_distinct has a column"),
+        )
         .expect("analyzer validated the column");
     // Recommendation targets join to the entity directly via the first step.
     let fk_col_name = &aq
@@ -660,7 +742,9 @@ fn interaction_index(
             PqError::Analyze("recommendation target must reference the entity table".into())
         })?
         .fk_column;
-    let fk_col = target.column_by_name(fk_col_name).expect("fk column exists");
+    let fk_col = target
+        .column_by_name(fk_col_name)
+        .expect("fk column exists");
     let mut index: HashMap<usize, Vec<(Timestamp, usize)>> = HashMap::new();
     for row in 0..target.len() {
         let ekey = fk_col.get(row);
@@ -668,12 +752,14 @@ fn interaction_index(
         if ekey.is_null() || ikey.is_null() {
             continue;
         }
-        let (Some(erow), Some(irow), Some(t)) =
-            (entity.row_by_key(&ekey), item_table.row_by_key(&ikey), target.row_timestamp(row))
-        else {
+        let (Some(erow), Some(irow), Some(t)) = (
+            entity.row_by_key(&ekey),
+            item_table.row_by_key(&ikey),
+            target.row_timestamp(row),
+        ) else {
             continue;
         };
-        index.entry(erow).or_insert_with(Vec::new).push((t, irow));
+        index.entry(erow).or_default().push((t, irow));
     }
     for v in index.values_mut() {
         v.sort_unstable();
@@ -700,7 +786,7 @@ fn run_recommendation(
     aq: &AnalyzedQuery,
     table: &TrainingTable,
     cfg: &ExecConfig,
-) -> PqResult<(Vec<(String, f64)>, Vec<Prediction>)> {
+) -> PqResult<MetricsAndPredictions> {
     let item_table_name = aq.item_table.as_deref().expect("recommendation item table");
     let item_table = db.table(item_table_name)?;
     let index = interaction_index(db, aq)?;
@@ -715,8 +801,11 @@ fn run_recommendation(
     };
 
     // Evaluation targets: test examples with at least one future positive.
-    let eval: Vec<&Example> =
-        table.test.iter().filter(|e| !e.label.items().is_empty()).collect();
+    let eval: Vec<&Example> = table
+        .test
+        .iter()
+        .filter(|e| !e.label.items().is_empty())
+        .collect();
     if eval.is_empty() {
         return Err(PqError::TrainingTable(
             "no test-split entities with future interactions to evaluate on".into(),
@@ -739,7 +828,11 @@ fn run_recommendation(
             let to_pairs = |examples: &[Example]| {
                 let mut pairs = Vec::new();
                 for e in examples {
-                    let seed = Seed { node_type, node: e.entity_row, time: e.anchor };
+                    let seed = Seed {
+                        node_type,
+                        node: e.entity_row,
+                        time: e.anchor,
+                    };
                     for &item in e.label.items() {
                         pairs.push((seed, item));
                     }
@@ -763,16 +856,28 @@ fn run_recommendation(
             let model = train_two_tower(&graph, item_type, &pairs, &val_pairs, &tt_cfg)?;
             let seeds: Vec<Seed> = eval
                 .iter()
-                .map(|e| Seed { node_type, node: e.entity_row, time: e.anchor })
+                .map(|e| Seed {
+                    node_type,
+                    node: e.entity_row,
+                    time: e.anchor,
+                })
                 .collect();
             let exclude: Vec<HashSet<usize>> = eval
                 .iter()
-                .map(|e| history_before(&index, e.entity_row, e.anchor).into_iter().collect())
+                .map(|e| {
+                    history_before(&index, e.entity_row, e.anchor)
+                        .into_iter()
+                        .collect()
+                })
                 .collect();
             let recs = model.recommend(&graph, &seeds, k, &exclude);
             let deploy_seeds: Vec<Seed> = deploy_rows
                 .iter()
-                .map(|&r| Seed { node_type, node: r, time: deploy })
+                .map(|&r| Seed {
+                    node_type,
+                    node: r,
+                    time: deploy,
+                })
                 .collect();
             let deploy_exclude: Vec<HashSet<usize>> = deploy_rows
                 .iter()
@@ -780,7 +885,9 @@ fn run_recommendation(
                 .collect();
             let deploy_recs = model.recommend(&graph, &deploy_seeds, k, &deploy_exclude);
             (
-                recs.into_iter().map(|r| r.into_iter().map(|i| i as u64).collect()).collect(),
+                recs.into_iter()
+                    .map(|r| r.into_iter().map(|i| i as u64).collect())
+                    .collect(),
                 deploy_recs,
             )
         }
@@ -807,24 +914,29 @@ fn run_recommendation(
                     .map(|i| i as u64)
                     .collect();
                 match cfg.model {
-                    ModelChoice::CoVisit => {
-                        CO_VISIT.with(|c| c.borrow().as_ref().expect("fitted").recommend(&history, k))
-                    }
+                    ModelChoice::CoVisit => CO_VISIT
+                        .with(|c| c.borrow().as_ref().expect("fitted").recommend(&history, k)),
                     _ => {
                         let seen: HashSet<u64> = history.into_iter().collect();
-                        POPULARITY.with(|c| c.borrow().as_ref().expect("fitted").recommend(k, &seen))
+                        POPULARITY
+                            .with(|c| c.borrow().as_ref().expect("fitted").recommend(k, &seen))
                     }
                 }
             };
             // Fit once into thread-locals (simple memo for the two closures).
             POPULARITY.with(|c| *c.borrow_mut() = Some(PopularityRecommender::fit(&interactions)));
             CO_VISIT.with(|c| *c.borrow_mut() = Some(CoVisitRecommender::fit(&interactions)));
-            let recs: Vec<Vec<u64>> =
-                eval.iter().map(|e| recommend_for(e.entity_row, e.anchor)).collect();
+            let recs: Vec<Vec<u64>> = eval
+                .iter()
+                .map(|e| recommend_for(e.entity_row, e.anchor))
+                .collect();
             let deploy_recs: Vec<Vec<usize>> = deploy_rows
                 .iter()
                 .map(|&r| {
-                    recommend_for(r, deploy).into_iter().map(|i| i as usize).collect()
+                    recommend_for(r, deploy)
+                        .into_iter()
+                        .map(|i| i as usize)
+                        .collect()
                 })
                 .collect();
             (recs, deploy_recs)
@@ -838,12 +950,23 @@ fn run_recommendation(
     };
 
     let metrics = vec![
-        (format!("map@{k}"), metrics::map_at_k(&recommended, &relevant, k)),
-        (format!("recall@{k}"), metrics::recall_at_k(&recommended, &relevant, k)),
-        (format!("ndcg@{k}"), metrics::ndcg_at_k(&recommended, &relevant, k)),
+        (
+            format!("map@{k}"),
+            metrics::map_at_k(&recommended, &relevant, k),
+        ),
+        (
+            format!("recall@{k}"),
+            metrics::recall_at_k(&recommended, &relevant, k),
+        ),
+        (
+            format!("ndcg@{k}"),
+            metrics::ndcg_at_k(&recommended, &relevant, k),
+        ),
     ];
     let item_pk = item_table.schema().primary_key_index().ok_or_else(|| {
-        PqError::Analyze(format!("item table `{item_table_name}` needs a primary key"))
+        PqError::Analyze(format!(
+            "item table `{item_table_name}` needs a primary key"
+        ))
     })?;
     let predictions = deploy_rows
         .iter()
@@ -851,7 +974,10 @@ fn run_recommendation(
         .map(|(&row, items)| Prediction {
             entity_key: entity_key(db, aq, row),
             value: PredictionValue::Items(
-                items.into_iter().map(|i| item_table.value(i, item_pk)).collect(),
+                items
+                    .into_iter()
+                    .map(|i| item_table.value(i, item_pk))
+                    .collect(),
             ),
         })
         .collect();
@@ -927,7 +1053,10 @@ mod tests {
                 &fast(),
             )
             .unwrap();
-            assert!(out.metric("accuracy").is_some(), "{model} produced no metrics");
+            assert!(
+                out.metric("accuracy").is_some(),
+                "{model} produced no metrics"
+            );
         }
     }
 
@@ -987,7 +1116,10 @@ mod tests {
             &db,
             "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id \
              WHERE region = 'north' USING model = trivial",
-            &ExecConfig { max_predictions: None, ..fast() },
+            &ExecConfig {
+                max_predictions: None,
+                ..fast()
+            },
         )
         .unwrap();
         assert!(north.predictions.len() < all.predictions.len());
@@ -1025,11 +1157,24 @@ mod tests {
 
     #[test]
     fn mode_beats_majority_class() {
-        // The sticky-channel signal is in each customer's history.
-        let db = shop();
+        // The sticky-channel signal is in each customer's history. Use a
+        // larger fixture than `shop()`: with 60 customers the eval split is
+        // ~24 rows and the comparison is at the mercy of sampling noise.
+        let db = generate_ecommerce(&EcommerceConfig {
+            customers: 150,
+            products: 20,
+            seed: 5,
+            ..Default::default()
+        })
+        .unwrap();
+        let cfg = ExecConfig {
+            max_predictions: Some(20),
+            gbdt_rounds: 60,
+            ..Default::default()
+        };
         let q = "PREDICT MODE(orders.channel, 0, 90) FOR EACH customers.customer_id";
-        let trivial = execute(&db, &format!("{q} USING model = trivial"), &fast()).unwrap();
-        let gbdt = execute(&db, &format!("{q} USING model = gbdt"), &fast()).unwrap();
+        let trivial = execute(&db, &format!("{q} USING model = trivial"), &cfg).unwrap();
+        let gbdt = execute(&db, &format!("{q} USING model = gbdt"), &cfg).unwrap();
         assert!(
             gbdt.metric("accuracy").unwrap() > trivial.metric("accuracy").unwrap(),
             "gbdt {:?} should beat majority {:?}",

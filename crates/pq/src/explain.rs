@@ -15,7 +15,11 @@ pub fn explain(db: &Database, aq: &AnalyzedQuery, table: Option<&TrainingTable>)
         "Entity set       : {} rows of `{}`{}\n",
         db.table(&aq.entity_table).map(|t| t.len()).unwrap_or(0),
         aq.entity_table,
-        if aq.filter.is_some() { " (filtered)" } else { "" }
+        if aq.filter.is_some() {
+            " (filtered)"
+        } else {
+            ""
+        }
     ));
     out.push_str(&format!(
         "Label            : {}({}{}) over ({}d, {}d] after each anchor{}\n",
@@ -33,7 +37,10 @@ pub fn explain(db: &Database, aq: &AnalyzedQuery, table: Option<&TrainingTable>)
         }
     ));
     if aq.join_path.is_empty() {
-        out.push_str(&format!("Join path        : `{}` is the entity table\n", aq.target_table));
+        out.push_str(&format!(
+            "Join path        : `{}` is the entity table\n",
+            aq.target_table
+        ));
     } else {
         let mut path = aq.target_table.clone();
         for (i, step) in aq.join_path.iter().enumerate() {
@@ -93,9 +100,14 @@ mod tests {
         .unwrap();
         let tt = build_training_table(&db, &aq, &TrainTableConfig::default()).unwrap();
         let s = explain(&db, &aq, Some(&tt));
-        for needle in
-            ["binary classification", "orders", "customers", "filtered", "Anchors", "train /"]
-        {
+        for needle in [
+            "binary classification",
+            "orders",
+            "customers",
+            "filtered",
+            "Anchors",
+            "train /",
+        ] {
             assert!(s.contains(needle), "missing `{needle}` in:\n{s}");
         }
     }

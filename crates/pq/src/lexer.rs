@@ -102,32 +102,53 @@ pub fn tokenize(input: &str) -> PqResult<Vec<Token>> {
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    position: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    position: start,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    position: start,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Dot, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    position: start,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    position: start,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Eq, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    position: start,
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ne, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        position: start,
+                    });
                     i += 2;
                 } else {
                     return Err(PqError::Parse {
@@ -138,22 +159,37 @@ pub fn tokenize(input: &str) -> PqResult<Vec<Token>> {
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Le, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        position: start,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(Token { kind: TokenKind::Ne, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        position: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        position: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ge, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        position: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        position: start,
+                    });
                     i += 1;
                 }
             }
@@ -182,7 +218,10 @@ pub fn tokenize(input: &str) -> PqResult<Vec<Token>> {
                         }
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    position: start,
+                });
                 i = j;
             }
             c if c.is_ascii_digit()
@@ -190,7 +229,9 @@ pub fn tokenize(input: &str) -> PqResult<Vec<Token>> {
             {
                 let mut j = i + 1;
                 while j < bytes.len()
-                    && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.' || bytes[j] == b'e'
+                    && ((bytes[j] as char).is_ascii_digit()
+                        || bytes[j] == b'.'
+                        || bytes[j] == b'e'
                         || bytes[j] == b'E'
                         || (j > i
                             && (bytes[j] == b'-' || bytes[j] == b'+')
@@ -203,7 +244,10 @@ pub fn tokenize(input: &str) -> PqResult<Vec<Token>> {
                     position: start,
                     message: format!("invalid number `{text}`"),
                 })?;
-                tokens.push(Token { kind: TokenKind::Number(v), position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Number(v),
+                    position: start,
+                });
                 i = j;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -214,9 +258,11 @@ pub fn tokenize(input: &str) -> PqResult<Vec<Token>> {
                     j += 1;
                 }
                 let word = &input[i..j];
-                let kind =
-                    keyword(word).unwrap_or_else(|| TokenKind::Ident(word.to_string()));
-                tokens.push(Token { kind, position: start });
+                let kind = keyword(word).unwrap_or_else(|| TokenKind::Ident(word.to_string()));
+                tokens.push(Token {
+                    kind,
+                    position: start,
+                });
                 i = j;
             }
             other => {
@@ -227,7 +273,10 @@ pub fn tokenize(input: &str) -> PqResult<Vec<Token>> {
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, position: input.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        position: input.len(),
+    });
     Ok(tokens)
 }
 

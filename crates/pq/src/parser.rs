@@ -37,7 +37,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> PqResult<T> {
-        Err(PqError::Parse { position: self.position(), message: message.into() })
+        Err(PqError::Parse {
+            position: self.position(),
+            message: message.into(),
+        })
     }
 
     fn expect(&mut self, kind: &TokenKind, what: &str) -> PqResult<()> {
@@ -81,7 +84,12 @@ impl Parser {
                 self.bump();
                 "*".to_string()
             }
-            other => return self.err(format!("expected a column name, found {}", other.describe())),
+            other => {
+                return self.err(format!(
+                    "expected a column name, found {}",
+                    other.describe()
+                ))
+            }
         };
         Ok(ColumnRef { table, column })
     }
@@ -298,7 +306,12 @@ impl Parser {
         if *self.peek() != TokenKind::Eof {
             return self.err(format!("unexpected trailing {}", self.peek().describe()));
         }
-        Ok(PredictiveQuery { target, entity, filter, options })
+        Ok(PredictiveQuery {
+            target,
+            entity,
+            filter,
+            options,
+        })
     }
 }
 

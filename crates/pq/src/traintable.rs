@@ -14,6 +14,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use rayon::prelude::*;
 use relgraph_store::{Database, Timestamp, SECONDS_PER_DAY};
 
 use crate::analyze::{AnalyzedQuery, TaskType};
@@ -77,7 +78,10 @@ pub struct SplitSpec {
 
 impl Default for SplitSpec {
     fn default() -> Self {
-        SplitSpec { train_frac: 0.6, val_frac: 0.2 }
+        SplitSpec {
+            train_frac: 0.6,
+            val_frac: 0.2,
+        }
     }
 }
 
@@ -94,7 +98,11 @@ pub struct TrainTableConfig {
 
 impl Default for TrainTableConfig {
     fn default() -> Self {
-        TrainTableConfig { num_anchors: 8, min_history_days: 30, split: SplitSpec::default() }
+        TrainTableConfig {
+            num_anchors: 8,
+            min_history_days: 30,
+            split: SplitSpec::default(),
+        }
     }
 }
 
@@ -131,10 +139,7 @@ impl TrainingTable {
 }
 
 /// Map every target-table row to its entity row by following the FK chain.
-fn map_target_rows_to_entity(
-    db: &Database,
-    aq: &AnalyzedQuery,
-) -> PqResult<Vec<Option<usize>>> {
+fn map_target_rows_to_entity(db: &Database, aq: &AnalyzedQuery) -> PqResult<Vec<Option<usize>>> {
     let target = db.table(&aq.target_table)?;
     if aq.join_path.is_empty() {
         return Ok((0..target.len()).map(Some).collect());
@@ -145,14 +150,19 @@ fn map_target_rows_to_entity(
     for step in &aq.join_path {
         debug_assert_eq!(step.table, current_table);
         let table = db.table(&step.table)?;
-        let fk = table.schema().foreign_key_on(&step.fk_column).ok_or_else(|| {
-            PqError::Analyze(format!(
-                "internal: `{}`.`{}` lost its foreign key",
-                step.table, step.fk_column
-            ))
-        })?;
+        let fk = table
+            .schema()
+            .foreign_key_on(&step.fk_column)
+            .ok_or_else(|| {
+                PqError::Analyze(format!(
+                    "internal: `{}`.`{}` lost its foreign key",
+                    step.table, step.fk_column
+                ))
+            })?;
         let next = db.table(&fk.referenced_table)?;
-        let col = table.column_by_name(&step.fk_column).expect("fk column exists");
+        let col = table
+            .column_by_name(&step.fk_column)
+            .expect("fk column exists");
         current = current
             .into_iter()
             .map(|row| {
@@ -195,7 +205,9 @@ pub fn build_training_table(
     let first = t0 + cfg.min_history_days * SECONDS_PER_DAY;
     let last = t1 - end_offset;
     if cfg.num_anchors == 0 {
-        return Err(PqError::TrainingTable("num_anchors must be positive".into()));
+        return Err(PqError::TrainingTable(
+            "num_anchors must be positive".into(),
+        ));
     }
     if last <= first {
         return Err(PqError::TrainingTable(format!(
@@ -215,15 +227,22 @@ pub fn build_training_table(
     // Entity → time-sorted (target time, payload).
     let target_to_entity = map_target_rows_to_entity(db, aq)?;
     let value_col = aq.value_column.as_ref().map(|c| {
-        target.column_by_name(c).expect("analyzer validated the value column")
+        target
+            .column_by_name(c)
+            .expect("analyzer validated the value column")
     });
     let item_table = aq.item_table.as_ref().map(|t| db.table(t)).transpose()?;
     let mut by_entity: HashMap<usize, Vec<(Timestamp, usize)>> = HashMap::new();
     for (row, ent) in target_to_entity.iter().enumerate() {
         let Some(ent) = ent else { continue };
-        let Some(t) = target.row_timestamp(row) else { continue };
+        let Some(t) = target.row_timestamp(row) else {
+            continue;
+        };
         if let Some(p) = &aq.target_filter {
-            if !p.eval(target, row).map_err(|e| PqError::Analyze(e.to_string()))? {
+            if !p
+                .eval(target, row)
+                .map_err(|e| PqError::Analyze(e.to_string()))?
+            {
                 continue; // conditional aggregate: row doesn't qualify
             }
         }
@@ -278,111 +297,116 @@ pub fn build_training_table(
         None => vec![true; entity.len()],
     };
 
-    // Emit examples per anchor.
+    // Emit examples per anchor. Anchors are independent (each reads only
+    // the pre-sorted per-entity event lists), so they run in parallel and
+    // collect back in anchor order — identical output to the serial loop.
     let start_offset = aq.query.target.start_days * SECONDS_PER_DAY;
     let empty: Vec<(Timestamp, usize)> = Vec::new();
-    let mut per_anchor: Vec<Vec<Example>> = Vec::with_capacity(anchors.len());
-    for &anchor in &anchors {
-        let mut examples = Vec::new();
-        for erow in 0..entity.len() {
-            if !filter_pass[erow] {
-                continue;
-            }
-            if let Some(et) = entity.row_timestamp(erow) {
-                if et > anchor {
-                    continue; // entity does not exist yet
+    let per_anchor: Vec<Vec<Example>> = anchors
+        .par_iter()
+        .map(|&anchor| {
+            let mut examples = Vec::new();
+            for (erow, &pass) in filter_pass.iter().enumerate() {
+                if !pass {
+                    continue;
                 }
-            }
-            let rows = by_entity.get(&erow).unwrap_or(&empty);
-            let lo = rows.partition_point(|&(t, _)| t <= anchor + start_offset);
-            let hi = rows.partition_point(|&(t, _)| t <= anchor + end_offset);
-            let window = &rows[lo..hi];
-            let label = match aq.query.target.agg {
-                Agg::Count => Some(window.len() as f64),
-                Agg::Exists => Some(if window.is_empty() { 0.0 } else { 1.0 }),
-                Agg::CountDistinct => {
-                    let mut set = HashSet::new();
-                    for &(_, r) in window {
-                        if let Payload::Key(k) = payload(r) {
-                            set.insert(k);
+                if let Some(et) = entity.row_timestamp(erow) {
+                    if et > anchor {
+                        continue; // entity does not exist yet
+                    }
+                }
+                let rows = by_entity.get(&erow).unwrap_or(&empty);
+                let lo = rows.partition_point(|&(t, _)| t <= anchor + start_offset);
+                let hi = rows.partition_point(|&(t, _)| t <= anchor + end_offset);
+                let window = &rows[lo..hi];
+                let label = match aq.query.target.agg {
+                    Agg::Count => Some(window.len() as f64),
+                    Agg::Exists => Some(if window.is_empty() { 0.0 } else { 1.0 }),
+                    Agg::CountDistinct => {
+                        let mut set = HashSet::new();
+                        for &(_, r) in window {
+                            if let Payload::Key(k) = payload(r) {
+                                set.insert(k);
+                            }
+                        }
+                        Some(set.len() as f64)
+                    }
+                    Agg::Sum => Some(
+                        window
+                            .iter()
+                            .filter_map(|&(_, r)| match payload(r) {
+                                Payload::Value(v) => Some(v),
+                                _ => None,
+                            })
+                            .sum(),
+                    ),
+                    Agg::Avg | Agg::Min | Agg::Max => {
+                        let vals: Vec<f64> = window
+                            .iter()
+                            .filter_map(|&(_, r)| match payload(r) {
+                                Payload::Value(v) => Some(v),
+                                _ => None,
+                            })
+                            .collect();
+                        if vals.is_empty() {
+                            None // aggregate undefined: skip this example
+                        } else {
+                            Some(match aq.query.target.agg {
+                                Agg::Avg => vals.iter().sum::<f64>() / vals.len() as f64,
+                                Agg::Min => vals.iter().cloned().fold(f64::INFINITY, f64::min),
+                                _ => vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                            })
                         }
                     }
-                    Some(set.len() as f64)
-                }
-                Agg::Sum => Some(
-                    window
-                        .iter()
-                        .filter_map(|&(_, r)| match payload(r) {
-                            Payload::Value(v) => Some(v),
-                            _ => None,
-                        })
-                        .sum(),
-                ),
-                Agg::Avg | Agg::Min | Agg::Max => {
-                    let vals: Vec<f64> = window
-                        .iter()
-                        .filter_map(|&(_, r)| match payload(r) {
-                            Payload::Value(v) => Some(v),
-                            _ => None,
-                        })
-                        .collect();
-                    if vals.is_empty() {
-                        None // aggregate undefined: skip this example
-                    } else {
-                        Some(match aq.query.target.agg {
-                            Agg::Avg => vals.iter().sum::<f64>() / vals.len() as f64,
-                            Agg::Min => vals.iter().cloned().fold(f64::INFINITY, f64::min),
-                            _ => vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
-                        })
-                    }
-                }
-                Agg::Mode => {
-                    // Most frequent value; ties break to the smallest
-                    // string for determinism. Empty windows are skipped.
-                    let mut counts: HashMap<String, usize> = HashMap::new();
-                    for &(_, r) in window {
-                        if let Payload::Key(k) = payload(r) {
-                            *counts.entry(k).or_insert(0) += 1;
+                    Agg::Mode => {
+                        // Most frequent value; ties break to the smallest
+                        // string for determinism. Empty windows are skipped.
+                        let mut counts: HashMap<String, usize> = HashMap::new();
+                        for &(_, r) in window {
+                            if let Payload::Key(k) = payload(r) {
+                                *counts.entry(k).or_insert(0) += 1;
+                            }
                         }
-                    }
-                    let best = counts
-                        .into_iter()
-                        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)));
-                    match best {
-                        Some((class, _)) => {
+                        let best = counts
+                            .into_iter()
+                            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)));
+                        if let Some((class, _)) = best {
                             examples.push(Example {
                                 entity_row: erow,
                                 anchor,
                                 label: Label::Class(class),
                             });
                         }
-                        None => {}
+                        continue;
                     }
-                    continue;
-                }
-                Agg::ListDistinct => {
-                    let mut seen = HashSet::new();
-                    let mut items = Vec::new();
-                    for &(_, r) in window {
-                        if let Payload::Item(i) = payload(r) {
-                            if seen.insert(i) {
-                                items.push(i);
+                    Agg::ListDistinct => {
+                        let mut seen = HashSet::new();
+                        let mut items = Vec::new();
+                        for &(_, r) in window {
+                            if let Payload::Item(i) = payload(r) {
+                                if seen.insert(i) {
+                                    items.push(i);
+                                }
                             }
                         }
+                        per_anchor_push_items(&mut examples, erow, anchor, items);
+                        continue;
                     }
-                    per_anchor_push_items(&mut examples, erow, anchor, items);
-                    continue;
+                };
+                let Some(mut v) = label else { continue };
+                if let Some((op, c)) = &aq.query.target.compare {
+                    let ord = v.partial_cmp(c).unwrap_or(std::cmp::Ordering::Equal);
+                    v = if op.eval(ord) { 1.0 } else { 0.0 };
                 }
-            };
-            let Some(mut v) = label else { continue };
-            if let Some((op, c)) = &aq.query.target.compare {
-                let ord = v.partial_cmp(c).unwrap_or(std::cmp::Ordering::Equal);
-                v = if op.eval(ord) { 1.0 } else { 0.0 };
+                examples.push(Example {
+                    entity_row: erow,
+                    anchor,
+                    label: Label::Scalar(v),
+                });
             }
-            examples.push(Example { entity_row: erow, anchor, label: Label::Scalar(v) });
-        }
-        per_anchor.push(examples);
-    }
+            examples
+        })
+        .collect();
 
     // Temporal split over anchors.
     let n = anchors.len();
@@ -406,7 +430,9 @@ pub fn build_training_table(
         bucket.extend(examples);
     }
     if table.train.is_empty() {
-        return Err(PqError::TrainingTable("no training examples were generated".into()));
+        return Err(PqError::TrainingTable(
+            "no training examples were generated".into(),
+        ));
     }
     Ok(table)
 }
@@ -417,7 +443,11 @@ fn per_anchor_push_items(
     anchor: Timestamp,
     items: Vec<usize>,
 ) {
-    examples.push(Example { entity_row, anchor, label: Label::Items(items) });
+    examples.push(Example {
+        entity_row,
+        anchor,
+        label: Label::Items(items),
+    });
 }
 
 #[cfg(test)]
@@ -506,11 +536,15 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        db.insert("customers", Row::new().push(1i64).push(Value::Timestamp(0))).unwrap();
+        db.insert("customers", Row::new().push(1i64).push(Value::Timestamp(0)))
+            .unwrap();
         for (oid, day) in [(1i64, 10i64), (2, 40), (3, 70)] {
             db.insert(
                 "orders",
-                Row::new().push(oid).push(1i64).push(Value::Timestamp(day * SECONDS_PER_DAY)),
+                Row::new()
+                    .push(oid)
+                    .push(1i64)
+                    .push(Value::Timestamp(day * SECONDS_PER_DAY)),
             )
             .unwrap();
         }
@@ -522,7 +556,10 @@ mod tests {
         let cfg = TrainTableConfig {
             num_anchors: 2,
             min_history_days: 5,
-            split: SplitSpec { train_frac: 0.5, val_frac: 0.0 },
+            split: SplitSpec {
+                train_frac: 0.5,
+                val_frac: 0.0,
+            },
         };
         let t = build_training_table(&db, &aq, &cfg).unwrap();
         // Anchors: day 5 and day 40. Window (anchor, anchor+30]:

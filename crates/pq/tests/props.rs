@@ -7,9 +7,26 @@ fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,10}".prop_filter("avoid keywords", |s| {
         !matches!(
             s.to_ascii_uppercase().as_str(),
-            "PREDICT" | "FOR" | "EACH" | "WHERE" | "USING" | "AND" | "OR" | "NOT" | "IS"
-                | "NULL" | "TRUE" | "FALSE" | "COUNT" | "SUM" | "AVG" | "MIN" | "MAX"
-                | "EXISTS" | "COUNT_DISTINCT" | "LIST_DISTINCT"
+            "PREDICT"
+                | "FOR"
+                | "EACH"
+                | "WHERE"
+                | "USING"
+                | "AND"
+                | "OR"
+                | "NOT"
+                | "IS"
+                | "NULL"
+                | "TRUE"
+                | "FALSE"
+                | "COUNT"
+                | "SUM"
+                | "AVG"
+                | "MIN"
+                | "MAX"
+                | "EXISTS"
+                | "COUNT_DISTINCT"
+                | "LIST_DISTINCT"
         )
     })
 }
@@ -48,8 +65,11 @@ fn literal() -> impl Strategy<Value = Literal> {
 
 fn cond(depth: u32) -> BoxedStrategy<Cond> {
     let leaf = prop_oneof![
-        (ident(), cmp_op(), literal())
-            .prop_map(|(column, op, value)| Cond::Cmp { column, op, value }),
+        (ident(), cmp_op(), literal()).prop_map(|(column, op, value)| Cond::Cmp {
+            column,
+            op,
+            value
+        }),
         (ident(), any::<bool>()).prop_map(|(column, negated)| Cond::IsNull { column, negated }),
     ];
     if depth == 0 {
@@ -58,10 +78,8 @@ fn cond(depth: u32) -> BoxedStrategy<Cond> {
         let inner = cond(depth - 1);
         prop_oneof![
             leaf,
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Cond::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Cond::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Cond::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Cond::Or(Box::new(a), Box::new(b))),
             inner.prop_map(|c| Cond::Not(Box::new(c))),
         ]
         .boxed()
@@ -100,7 +118,10 @@ fn query() -> impl Strategy<Value = PredictiveQuery> {
                         end_days: start + extra,
                         compare: compare.map(|(op, v)| (op, v as f64)),
                     },
-                    entity: ColumnRef { table: e_table, column: e_col },
+                    entity: ColumnRef {
+                        table: e_table,
+                        column: e_col,
+                    },
                     filter,
                     options: Vec::new(),
                 }

@@ -8,35 +8,78 @@ use crate::value::{DataType, Timestamp, Value};
 /// A typed column of cells with a validity (non-null) mask.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Column {
-    Int { data: Vec<i64>, valid: Vec<bool> },
-    Float { data: Vec<f64>, valid: Vec<bool> },
-    Text { data: Vec<String>, valid: Vec<bool> },
-    Bool { data: Vec<bool>, valid: Vec<bool> },
-    Timestamp { data: Vec<Timestamp>, valid: Vec<bool> },
+    Int {
+        data: Vec<i64>,
+        valid: Vec<bool>,
+    },
+    Float {
+        data: Vec<f64>,
+        valid: Vec<bool>,
+    },
+    Text {
+        data: Vec<String>,
+        valid: Vec<bool>,
+    },
+    Bool {
+        data: Vec<bool>,
+        valid: Vec<bool>,
+    },
+    Timestamp {
+        data: Vec<Timestamp>,
+        valid: Vec<bool>,
+    },
 }
 
 impl Column {
     /// An empty column of the given type.
     pub fn new(ty: DataType) -> Self {
         match ty {
-            DataType::Int => Column::Int { data: Vec::new(), valid: Vec::new() },
-            DataType::Float => Column::Float { data: Vec::new(), valid: Vec::new() },
-            DataType::Text => Column::Text { data: Vec::new(), valid: Vec::new() },
-            DataType::Bool => Column::Bool { data: Vec::new(), valid: Vec::new() },
-            DataType::Timestamp => Column::Timestamp { data: Vec::new(), valid: Vec::new() },
+            DataType::Int => Column::Int {
+                data: Vec::new(),
+                valid: Vec::new(),
+            },
+            DataType::Float => Column::Float {
+                data: Vec::new(),
+                valid: Vec::new(),
+            },
+            DataType::Text => Column::Text {
+                data: Vec::new(),
+                valid: Vec::new(),
+            },
+            DataType::Bool => Column::Bool {
+                data: Vec::new(),
+                valid: Vec::new(),
+            },
+            DataType::Timestamp => Column::Timestamp {
+                data: Vec::new(),
+                valid: Vec::new(),
+            },
         }
     }
 
     /// An empty column with pre-reserved capacity.
     pub fn with_capacity(ty: DataType, cap: usize) -> Self {
         match ty {
-            DataType::Int => Column::Int { data: Vec::with_capacity(cap), valid: Vec::with_capacity(cap) },
-            DataType::Float => Column::Float { data: Vec::with_capacity(cap), valid: Vec::with_capacity(cap) },
-            DataType::Text => Column::Text { data: Vec::with_capacity(cap), valid: Vec::with_capacity(cap) },
-            DataType::Bool => Column::Bool { data: Vec::with_capacity(cap), valid: Vec::with_capacity(cap) },
-            DataType::Timestamp => {
-                Column::Timestamp { data: Vec::with_capacity(cap), valid: Vec::with_capacity(cap) }
-            }
+            DataType::Int => Column::Int {
+                data: Vec::with_capacity(cap),
+                valid: Vec::with_capacity(cap),
+            },
+            DataType::Float => Column::Float {
+                data: Vec::with_capacity(cap),
+                valid: Vec::with_capacity(cap),
+            },
+            DataType::Text => Column::Text {
+                data: Vec::with_capacity(cap),
+                valid: Vec::with_capacity(cap),
+            },
+            DataType::Bool => Column::Bool {
+                data: Vec::with_capacity(cap),
+                valid: Vec::with_capacity(cap),
+            },
+            DataType::Timestamp => Column::Timestamp {
+                data: Vec::with_capacity(cap),
+                valid: Vec::with_capacity(cap),
+            },
         }
     }
 

@@ -44,7 +44,10 @@ pub fn split_line_quoted(line: &str) -> Vec<(String, bool)> {
 
 /// Split one CSV line into fields, honouring double quotes.
 pub fn split_line(line: &str) -> Vec<String> {
-    split_line_quoted(line).into_iter().map(|(f, _)| f).collect()
+    split_line_quoted(line)
+        .into_iter()
+        .map(|(f, _)| f)
+        .collect()
 }
 
 /// Quote a field if it needs quoting (empty fields are quoted so they stay
@@ -108,7 +111,12 @@ pub fn load_csv<R: BufRead>(table: &mut Table, reader: R) -> StoreResult<usize> 
     let mut lines = reader.lines().enumerate();
     let header = match lines.next() {
         Some((_, Ok(h))) => h,
-        Some((i, Err(e))) => return Err(StoreError::Csv { line: i + 1, message: e.to_string() }),
+        Some((i, Err(e))) => {
+            return Err(StoreError::Csv {
+                line: i + 1,
+                message: e.to_string(),
+            })
+        }
         None => return Ok(0),
     };
     let names = split_line(header.trim_end_matches('\r'));
@@ -142,7 +150,10 @@ pub fn load_csv<R: BufRead>(table: &mut Table, reader: R) -> StoreResult<usize> 
     let mut inserted = 0;
     for (i, line) in lines {
         let lineno = i + 1;
-        let line = line.map_err(|e| StoreError::Csv { line: lineno, message: e.to_string() })?;
+        let line = line.map_err(|e| StoreError::Csv {
+            line: lineno,
+            message: e.to_string(),
+        })?;
         let line = line.trim_end_matches('\r');
         if line.is_empty() {
             continue;
@@ -168,8 +179,12 @@ pub fn load_csv<R: BufRead>(table: &mut Table, reader: R) -> StoreResult<usize> 
 
 /// Write `table` to `writer` as CSV (header + one line per row).
 pub fn write_csv<W: Write>(table: &Table, writer: &mut W) -> std::io::Result<()> {
-    let header: Vec<String> =
-        table.schema().columns().iter().map(|c| quote_field(&c.name)).collect();
+    let header: Vec<String> = table
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| quote_field(&c.name))
+        .collect();
     writeln!(writer, "{}", header.join(","))?;
     for i in 0..table.len() {
         let mut fields = Vec::with_capacity(table.schema().arity());
@@ -233,7 +248,10 @@ mod tests {
         let data = "id,name,score,joined\n1,ann,2.5,100\n2,\"bo,b\",,200\n";
         let n = load_csv(&mut t, data.as_bytes()).unwrap();
         assert_eq!(n, 2);
-        assert_eq!(t.value_by_name(1, "name").unwrap(), Value::Text("bo,b".into()));
+        assert_eq!(
+            t.value_by_name(1, "name").unwrap(),
+            Value::Text("bo,b".into())
+        );
         assert_eq!(t.value_by_name(1, "score").unwrap(), Value::Null);
         assert_eq!(t.row_timestamp(0), Some(100));
     }
@@ -277,7 +295,10 @@ mod tests {
         let mut t2 = people();
         load_csv(&mut t2, buf.as_slice()).unwrap();
         assert_eq!(t2.len(), 2);
-        assert_eq!(t2.value_by_name(1, "name").unwrap(), Value::Text("bo,b".into()));
+        assert_eq!(
+            t2.value_by_name(1, "name").unwrap(),
+            Value::Text("bo,b".into())
+        );
         assert_eq!(t2.row_timestamp(1), Some(200));
     }
 }

@@ -19,7 +19,11 @@ pub struct Database {
 impl Database {
     /// Create an empty database.
     pub fn new(name: impl Into<String>) -> Self {
-        Database { name: name.into(), tables: Vec::new(), by_name: HashMap::new() }
+        Database {
+            name: name.into(),
+            tables: Vec::new(),
+            by_name: HashMap::new(),
+        }
     }
 
     /// Database name.
@@ -34,7 +38,8 @@ impl Database {
         if self.by_name.contains_key(schema.name()) {
             return Err(StoreError::TableExists(schema.name().to_string()));
         }
-        self.by_name.insert(schema.name().to_string(), self.tables.len());
+        self.by_name
+            .insert(schema.name().to_string(), self.tables.len());
         self.tables.push(Table::new(schema));
         Ok(())
     }
@@ -82,7 +87,10 @@ impl Database {
 
     /// Total number of foreign-key constraints across all schemas.
     pub fn total_foreign_keys(&self) -> usize {
-        self.tables.iter().map(|t| t.schema().foreign_keys().len()).sum()
+        self.tables
+            .iter()
+            .map(|t| t.schema().foreign_keys().len())
+            .sum()
     }
 
     /// The minimum and maximum timestamps present in any time column.
@@ -142,7 +150,12 @@ impl Database {
     /// A human-readable multi-line summary (used by the dataset-inventory
     /// experiment and `EXPLAIN`).
     pub fn summary(&self) -> String {
-        let mut out = format!("DATABASE {} ({} tables, {} rows)\n", self.name, self.table_count(), self.total_rows());
+        let mut out = format!(
+            "DATABASE {} ({} tables, {} rows)\n",
+            self.name,
+            self.table_count(),
+            self.total_rows()
+        );
         for t in &self.tables {
             out.push_str(&format!("  {} [{} rows]\n", t.schema(), t.len()));
         }
@@ -185,9 +198,13 @@ mod tests {
     #[test]
     fn create_and_insert() {
         let mut db = shop();
-        db.insert("customers", Row::new().push(1i64).push(Value::Timestamp(0))).unwrap();
-        db.insert("orders", Row::new().push(10i64).push(1i64).push(Value::Timestamp(5)))
+        db.insert("customers", Row::new().push(1i64).push(Value::Timestamp(0)))
             .unwrap();
+        db.insert(
+            "orders",
+            Row::new().push(10i64).push(1i64).push(Value::Timestamp(5)),
+        )
+        .unwrap();
         assert_eq!(db.total_rows(), 2);
         assert_eq!(db.validate().unwrap(), 1);
         assert_eq!(db.time_span(), Some((0, 5)));
@@ -196,8 +213,14 @@ mod tests {
     #[test]
     fn duplicate_table_rejected() {
         let mut db = shop();
-        let schema = TableSchema::builder("orders").column("x", DataType::Int).build().unwrap();
-        assert!(matches!(db.create_table(schema), Err(StoreError::TableExists(_))));
+        let schema = TableSchema::builder("orders")
+            .column("x", DataType::Int)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            db.create_table(schema),
+            Err(StoreError::TableExists(_))
+        ));
     }
 
     #[test]
@@ -213,9 +236,15 @@ mod tests {
     #[test]
     fn dangling_fk_detected() {
         let mut db = shop();
-        db.insert("orders", Row::new().push(10i64).push(42i64).push(Value::Timestamp(5)))
-            .unwrap();
-        assert!(matches!(db.validate(), Err(StoreError::ForeignKeyViolation { .. })));
+        db.insert(
+            "orders",
+            Row::new().push(10i64).push(42i64).push(Value::Timestamp(5)),
+        )
+        .unwrap();
+        assert!(matches!(
+            db.validate(),
+            Err(StoreError::ForeignKeyViolation { .. })
+        ));
     }
 
     #[test]
@@ -239,15 +268,21 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        db.insert("b", Row::new().push(1i64).push(Value::Null)).unwrap();
+        db.insert("b", Row::new().push(1i64).push(Value::Null))
+            .unwrap();
         assert_eq!(db.validate().unwrap(), 0);
     }
 
     #[test]
     fn fk_to_table_without_pk_rejected() {
         let mut db = Database::new("d");
-        db.create_table(TableSchema::builder("a").column("x", DataType::Int).build().unwrap())
-            .unwrap();
+        db.create_table(
+            TableSchema::builder("a")
+                .column("x", DataType::Int)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
         db.create_table(
             TableSchema::builder("b")
                 .column("id", DataType::Int)

@@ -235,7 +235,12 @@ pub fn load_database_dir(dir: impl AsRef<Path>) -> StoreResult<Database> {
     for schema in parse_ddl(&text)? {
         db.create_table(schema)?;
     }
-    for table_name in db.table_names().into_iter().map(str::to_string).collect::<Vec<_>>() {
+    for table_name in db
+        .table_names()
+        .into_iter()
+        .map(str::to_string)
+        .collect::<Vec<_>>()
+    {
         let csv_path = dir.join(format!("{table_name}.csv"));
         if !csv_path.exists() {
             continue;
@@ -253,24 +258,20 @@ pub fn load_database_dir(dir: impl AsRef<Path>) -> StoreResult<Database> {
 /// Save a database to a directory as `schema.ddl` + one CSV per table.
 pub fn save_database_dir(db: &Database, dir: impl AsRef<Path>) -> StoreResult<()> {
     let dir = dir.as_ref();
-    fs::create_dir_all(dir).map_err(|e| {
-        StoreError::InvalidSchema(format!("cannot create {}: {e}", dir.display()))
-    })?;
+    fs::create_dir_all(dir)
+        .map_err(|e| StoreError::InvalidSchema(format!("cannot create {}: {e}", dir.display())))?;
     let schemas: Vec<TableSchema> = db.tables().iter().map(|t| t.schema().clone()).collect();
-    fs::write(dir.join("schema.ddl"), render_ddl(&schemas)).map_err(|e| {
-        StoreError::InvalidSchema(format!("cannot write schema.ddl: {e}"))
-    })?;
+    fs::write(dir.join("schema.ddl"), render_ddl(&schemas))
+        .map_err(|e| StoreError::InvalidSchema(format!("cannot write schema.ddl: {e}")))?;
     for table in db.tables() {
         let mut buf = Vec::new();
         write_csv(table, &mut buf).map_err(|e| StoreError::Csv {
             line: 0,
             message: format!("cannot serialize `{}`: {e}", table.name()),
         })?;
-        fs::write(dir.join(format!("{}.csv", table.name())), buf).map_err(|e| {
-            StoreError::Csv {
-                line: 0,
-                message: format!("cannot write `{}`.csv: {e}", table.name()),
-            }
+        fs::write(dir.join(format!("{}.csv", table.name())), buf).map_err(|e| StoreError::Csv {
+            line: 0,
+            message: format!("cannot write `{}`.csv: {e}", table.name()),
         })?;
     }
     Ok(())
@@ -309,7 +310,10 @@ mod tests {
         assert!(c.column("nickname").unwrap().nullable);
         assert!(!c.column("region").unwrap().nullable);
         let o = &schemas[1];
-        assert_eq!(o.foreign_key_on("customer_id").unwrap().referenced_table, "customers");
+        assert_eq!(
+            o.foreign_key_on("customer_id").unwrap().referenced_table,
+            "customers"
+        );
     }
 
     #[test]
@@ -340,12 +344,20 @@ mod tests {
         }
         db.insert(
             "customers",
-            Row::new().push(1i64).push(Value::Timestamp(5)).push("north").push(Value::Null),
+            Row::new()
+                .push(1i64)
+                .push(Value::Timestamp(5))
+                .push("north")
+                .push(Value::Null),
         )
         .unwrap();
         db.insert(
             "orders",
-            Row::new().push(10i64).push(1i64).push(9.5).push(Value::Timestamp(8)),
+            Row::new()
+                .push(10i64)
+                .push(1i64)
+                .push(9.5)
+                .push(Value::Timestamp(8)),
         )
         .unwrap();
         save_database_dir(&db, &dir).unwrap();
@@ -354,7 +366,11 @@ mod tests {
         assert_eq!(loaded.table("customers").unwrap().len(), 1);
         assert_eq!(loaded.table("orders").unwrap().len(), 1);
         assert_eq!(
-            loaded.table("orders").unwrap().value_by_name(0, "amount").unwrap(),
+            loaded
+                .table("orders")
+                .unwrap()
+                .value_by_name(0, "amount")
+                .unwrap(),
             Value::Float(9.5)
         );
         loaded.validate().unwrap();
@@ -363,12 +379,15 @@ mod tests {
 
     #[test]
     fn load_detects_fk_violations() {
-        let dir =
-            std::env::temp_dir().join(format!("relgraph_ddl_bad_{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("relgraph_ddl_bad_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         fs::write(dir.join("schema.ddl"), DDL).unwrap();
-        fs::write(dir.join("customers.csv"), "customer_id,signup_time,region,nickname\n").unwrap();
+        fs::write(
+            dir.join("customers.csv"),
+            "customer_id,signup_time,region,nickname\n",
+        )
+        .unwrap();
         fs::write(
             dir.join("orders.csv"),
             "order_id,customer_id,amount,placed_at\n1,42,5.0,10\n",

@@ -17,7 +17,11 @@ pub enum StoreError {
     /// No column with this name in the named table.
     UnknownColumn { table: String, column: String },
     /// A row's arity does not match the schema.
-    ArityMismatch { table: String, expected: usize, got: usize },
+    ArityMismatch {
+        table: String,
+        expected: usize,
+        got: usize,
+    },
     /// A cell value does not conform to its column type.
     TypeMismatch {
         table: String,
@@ -91,7 +95,10 @@ mod tests {
 
     #[test]
     fn messages_mention_identifiers() {
-        let e = StoreError::UnknownColumn { table: "t".into(), column: "c".into() };
+        let e = StoreError::UnknownColumn {
+            table: "t".into(),
+            column: "c".into(),
+        };
         assert!(e.to_string().contains('t') && e.to_string().contains('c'));
         let e = StoreError::TypeMismatch {
             table: "t".into(),

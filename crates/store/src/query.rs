@@ -56,7 +56,11 @@ impl std::fmt::Display for CmpOp {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Predicate {
     /// `column op constant`; NULL cells never match (SQL semantics).
-    Compare { column: String, op: CmpOp, value: Value },
+    Compare {
+        column: String,
+        op: CmpOp,
+        value: Value,
+    },
     /// `column IS NULL`.
     IsNull(String),
     /// `column IS NOT NULL`.
@@ -71,7 +75,11 @@ pub enum Predicate {
 impl Predicate {
     /// Convenience constructor for `column op value`.
     pub fn cmp(column: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Self {
-        Predicate::Compare { column: column.into(), op, value: value.into() }
+        Predicate::Compare {
+            column: column.into(),
+            op,
+            value: value.into(),
+        }
     }
 
     /// Evaluate against row `i` of `table`.
@@ -125,14 +133,18 @@ pub fn hash_join(
     right: &Table,
     right_col: &str,
 ) -> StoreResult<JoinedRows> {
-    let lcol = left.column_by_name(left_col).ok_or_else(|| StoreError::UnknownColumn {
-        table: left.name().to_string(),
-        column: left_col.to_string(),
-    })?;
-    let rcol = right.column_by_name(right_col).ok_or_else(|| StoreError::UnknownColumn {
-        table: right.name().to_string(),
-        column: right_col.to_string(),
-    })?;
+    let lcol = left
+        .column_by_name(left_col)
+        .ok_or_else(|| StoreError::UnknownColumn {
+            table: left.name().to_string(),
+            column: left_col.to_string(),
+        })?;
+    let rcol = right
+        .column_by_name(right_col)
+        .ok_or_else(|| StoreError::UnknownColumn {
+            table: right.name().to_string(),
+            column: right_col.to_string(),
+        })?;
     // Build on the smaller side.
     let mut index: HashMap<String, Vec<usize>> = HashMap::with_capacity(right.len());
     for j in 0..rcol.len() {
@@ -209,22 +221,26 @@ impl GroupQuery {
     /// group value's [`Value::group_key`]. Groups with no rows are absent.
     pub fn run(&self, table: &Table) -> StoreResult<HashMap<String, f64>> {
         let gcol =
-            table.column_by_name(&self.group_column).ok_or_else(|| StoreError::UnknownColumn {
-                table: table.name().to_string(),
-                column: self.group_column.clone(),
-            })?;
-        let vcol = match &self.value_column {
-            Some(name) => Some(table.column_by_name(name).ok_or_else(|| {
-                StoreError::UnknownColumn {
+            table
+                .column_by_name(&self.group_column)
+                .ok_or_else(|| StoreError::UnknownColumn {
                     table: table.name().to_string(),
-                    column: name.clone(),
-                }
-            })?),
+                    column: self.group_column.clone(),
+                })?;
+        let vcol = match &self.value_column {
+            Some(name) => {
+                Some(
+                    table
+                        .column_by_name(name)
+                        .ok_or_else(|| StoreError::UnknownColumn {
+                            table: table.name().to_string(),
+                            column: name.clone(),
+                        })?,
+                )
+            }
             None => None,
         };
-        if vcol.is_none()
-            && !matches!(self.aggregation, Aggregation::Count | Aggregation::Exists)
-        {
+        if vcol.is_none() && !matches!(self.aggregation, Aggregation::Count | Aggregation::Exists) {
             return Err(StoreError::InvalidQuery(format!(
                 "{} requires a value column",
                 self.aggregation
@@ -377,8 +393,12 @@ mod tests {
     fn null_never_matches_compare() {
         let t = events();
         // Row 2 has NULL amount; neither < nor >= matches it.
-        let lt = Predicate::cmp("amount", CmpOp::Lt, 100.0).filter(&t).unwrap();
-        let ge = Predicate::cmp("amount", CmpOp::Ge, 100.0).filter(&t).unwrap();
+        let lt = Predicate::cmp("amount", CmpOp::Lt, 100.0)
+            .filter(&t)
+            .unwrap();
+        let ge = Predicate::cmp("amount", CmpOp::Ge, 100.0)
+            .filter(&t)
+            .unwrap();
         assert_eq!(lt.len() + ge.len(), 4);
     }
 

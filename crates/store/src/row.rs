@@ -71,7 +71,9 @@ impl fmt::Display for Row {
 
 impl FromIterator<Value> for Row {
     fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
-        Row { values: iter.into_iter().collect() }
+        Row {
+            values: iter.into_iter().collect(),
+        }
     }
 }
 

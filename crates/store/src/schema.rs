@@ -146,13 +146,21 @@ pub struct TableSchemaBuilder {
 impl TableSchemaBuilder {
     /// Add a non-nullable column.
     pub fn column(mut self, name: impl Into<String>, data_type: DataType) -> Self {
-        self.columns.push(ColumnDef { name: name.into(), data_type, nullable: false });
+        self.columns.push(ColumnDef {
+            name: name.into(),
+            data_type,
+            nullable: false,
+        });
         self
     }
 
     /// Add a nullable column.
     pub fn nullable_column(mut self, name: impl Into<String>, data_type: DataType) -> Self {
-        self.columns.push(ColumnDef { name: name.into(), data_type, nullable: true });
+        self.columns.push(ColumnDef {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        });
         self
     }
 
@@ -180,7 +188,9 @@ impl TableSchemaBuilder {
     /// Validate and produce the schema.
     pub fn build(self) -> StoreResult<TableSchema> {
         if self.name.is_empty() {
-            return Err(StoreError::InvalidSchema("table name must be non-empty".into()));
+            return Err(StoreError::InvalidSchema(
+                "table name must be non-empty".into(),
+            ));
         }
         if self.columns.is_empty() {
             return Err(StoreError::InvalidSchema(format!(
@@ -284,7 +294,10 @@ mod tests {
         assert_eq!(s.primary_key(), Some("order_id"));
         assert_eq!(s.time_column(), Some("placed_at"));
         assert_eq!(s.column_index("customer_id"), Some(1));
-        assert_eq!(s.foreign_key_on("customer_id").unwrap().referenced_table, "customers");
+        assert_eq!(
+            s.foreign_key_on("customer_id").unwrap().referenced_table,
+            "customers"
+        );
         assert!(s.foreign_key_on("order_id").is_none());
     }
 
@@ -342,7 +355,10 @@ mod tests {
     #[test]
     fn empty_table_rejected() {
         assert!(TableSchema::builder("t").build().is_err());
-        assert!(TableSchema::builder("").column("a", DataType::Int).build().is_err());
+        assert!(TableSchema::builder("")
+            .column("a", DataType::Int)
+            .build()
+            .is_err());
     }
 
     #[test]

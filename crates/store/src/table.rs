@@ -23,8 +23,16 @@ pub struct Table {
 impl Table {
     /// Create an empty table for `schema`.
     pub fn new(schema: TableSchema) -> Self {
-        let columns = schema.columns().iter().map(|c| Column::new(c.data_type)).collect();
-        Table { schema, columns, pk_index: HashMap::new() }
+        let columns = schema
+            .columns()
+            .iter()
+            .map(|c| Column::new(c.data_type))
+            .collect();
+        Table {
+            schema,
+            columns,
+            pk_index: HashMap::new(),
+        }
     }
 
     /// The table's schema.
@@ -96,7 +104,9 @@ impl Table {
         if let Some(pk) = self.schema.primary_key_index() {
             let key = &row[pk];
             if key.is_null() {
-                return Err(StoreError::NullKey { table: self.name().to_string() });
+                return Err(StoreError::NullKey {
+                    table: self.name().to_string(),
+                });
             }
             let gk = key.group_key();
             if self.pk_index.contains_key(&gk) {
@@ -121,7 +131,9 @@ impl Table {
 
     /// Column by name.
     pub fn column_by_name(&self, name: &str) -> Option<&Column> {
-        self.schema.column_index(name).and_then(|i| self.columns.get(i))
+        self.schema
+            .column_index(name)
+            .and_then(|i| self.columns.get(i))
     }
 
     /// Cell value at (`row`, `column` index).
@@ -131,10 +143,13 @@ impl Table {
 
     /// Cell value at (`row`, named column).
     pub fn value_by_name(&self, row: usize, column: &str) -> StoreResult<Value> {
-        let i = self.schema.column_index(column).ok_or_else(|| StoreError::UnknownColumn {
-            table: self.name().to_string(),
-            column: column.to_string(),
-        })?;
+        let i = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| StoreError::UnknownColumn {
+                table: self.name().to_string(),
+                column: column.to_string(),
+            })?;
         Ok(self.value(row, i))
     }
 
@@ -201,7 +216,12 @@ mod tests {
     }
 
     fn row(id: i64, cust: i64, t: i64) -> Row {
-        Row::from(vec![Value::Int(id), Value::Int(cust), Value::Null, Value::Timestamp(t)])
+        Row::from(vec![
+            Value::Int(id),
+            Value::Int(cust),
+            Value::Null,
+            Value::Timestamp(t),
+        ])
     }
 
     #[test]
@@ -221,7 +241,14 @@ mod tests {
     fn arity_mismatch_rejected() {
         let mut t = orders();
         let err = t.insert(Row::from(vec![Value::Int(1)])).unwrap_err();
-        assert!(matches!(err, StoreError::ArityMismatch { expected: 4, got: 1, .. }));
+        assert!(matches!(
+            err,
+            StoreError::ArityMismatch {
+                expected: 4,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -242,7 +269,12 @@ mod tests {
     fn null_in_non_nullable_column_rejected() {
         let mut t = orders();
         let err = t
-            .insert(Row::from(vec![Value::Int(1), Value::Null, Value::Null, Value::Timestamp(0)]))
+            .insert(Row::from(vec![
+                Value::Int(1),
+                Value::Null,
+                Value::Null,
+                Value::Timestamp(0),
+            ]))
             .unwrap_err();
         assert!(matches!(err, StoreError::TypeMismatch { .. }));
     }
@@ -260,7 +292,12 @@ mod tests {
     fn null_key_rejected() {
         let mut t = orders();
         let err = t
-            .insert(Row::from(vec![Value::Null, Value::Int(1), Value::Null, Value::Timestamp(0)]))
+            .insert(Row::from(vec![
+                Value::Null,
+                Value::Int(1),
+                Value::Null,
+                Value::Timestamp(0),
+            ]))
             .unwrap_err();
         assert!(matches!(err, StoreError::NullKey { .. }));
         assert_eq!(t.len(), 0);

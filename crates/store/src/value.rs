@@ -265,7 +265,10 @@ mod tests {
             Value::Text("b".into()).partial_cmp_value(&Value::Text("a".into())),
             Some(Ordering::Greater)
         );
-        assert_eq!(Value::Text("b".into()).partial_cmp_value(&Value::Int(1)), None);
+        assert_eq!(
+            Value::Text("b".into()).partial_cmp_value(&Value::Int(1)),
+            None
+        );
     }
 
     #[test]

@@ -9,9 +9,17 @@ pub type TensorResult<T> = Result<T, TensorError>;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TensorError {
     /// Two shapes that had to agree did not.
-    ShapeMismatch { op: &'static str, lhs: (usize, usize), rhs: (usize, usize) },
+    ShapeMismatch {
+        op: &'static str,
+        lhs: (usize, usize),
+        rhs: (usize, usize),
+    },
     /// An index (row gather, segment id) exceeded its bound.
-    IndexOutOfRange { op: &'static str, index: usize, bound: usize },
+    IndexOutOfRange {
+        op: &'static str,
+        index: usize,
+        bound: usize,
+    },
     /// `backward` called on a non-scalar node.
     NonScalarLoss { shape: (usize, usize) },
     /// A numeric problem (NaN/Inf encountered where forbidden).
@@ -30,7 +38,11 @@ impl fmt::Display for TensorError {
                 write!(f, "index {index} out of range {bound} in `{op}`")
             }
             TensorError::NonScalarLoss { shape } => {
-                write!(f, "backward requires a 1x1 loss, got {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "backward requires a 1x1 loss, got {}x{}",
+                    shape.0, shape.1
+                )
             }
             TensorError::NonFinite { op } => write!(f, "non-finite value produced by `{op}`"),
         }

@@ -33,17 +33,16 @@ impl GradCheck {
 ///
 /// # Panics
 /// Panics if `f` returns a non-scalar node.
-pub fn check_gradient(
-    input: &Tensor,
-    eps: f64,
-    f: impl Fn(&mut Graph, Var) -> Var,
-) -> GradCheck {
+pub fn check_gradient(input: &Tensor, eps: f64, f: impl Fn(&mut Graph, Var) -> Var) -> GradCheck {
     // Analytic gradient.
     let mut g = Graph::new();
     let x = g.leaf(input.clone());
     let loss = f(&mut g, x);
     g.backward(loss).expect("loss must be scalar");
-    let analytic = g.grad(x).cloned().unwrap_or_else(|| Tensor::zeros(input.rows(), input.cols()));
+    let analytic = g
+        .grad(x)
+        .cloned()
+        .unwrap_or_else(|| Tensor::zeros(input.rows(), input.cols()));
 
     let eval = |t: &Tensor| -> f64 {
         let mut g = Graph::new();
@@ -66,7 +65,10 @@ pub fn check_gradient(
         max_abs = max_abs.max(abs);
         max_rel = max_rel.max(rel);
     }
-    GradCheck { max_abs_err: max_abs, max_rel_err: max_rel }
+    GradCheck {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+    }
 }
 
 #[cfg(test)]
@@ -209,7 +211,11 @@ mod tests {
     #[test]
     fn composite_mlp_like_gradient() {
         let r = check_gradient(&input(), EPS, |g, x| {
-            let w1 = g.constant(Tensor::from_rows(&[&[0.2, -0.1], &[0.5, 0.7], &[-0.3, 0.4]]));
+            let w1 = g.constant(Tensor::from_rows(&[
+                &[0.2, -0.1],
+                &[0.5, 0.7],
+                &[-0.3, 0.4],
+            ]));
             let b1 = g.constant(Tensor::from_rows(&[&[0.05, -0.05]]));
             let h = g.matmul(x, w1);
             let h = g.add_row(h, b1);

@@ -38,4 +38,4 @@ pub mod tensor;
 
 pub use error::{TensorError, TensorResult};
 pub use tape::{Graph, Op, Var};
-pub use tensor::Tensor;
+pub use tensor::{set_baseline_matmul, Tensor};

@@ -46,12 +46,24 @@ pub enum Op {
     /// Select rows by index (with repetition) from an `n×d` tensor.
     GatherRows(Var, Vec<usize>),
     /// Sum rows into `num_segments` buckets: `out[seg[i]] += in[i]`.
-    SegmentSum { input: Var, segments: Vec<usize>, num_segments: usize },
+    SegmentSum {
+        input: Var,
+        segments: Vec<usize>,
+        num_segments: usize,
+    },
     /// Mean of rows per bucket (empty buckets stay zero).
-    SegmentMean { input: Var, segments: Vec<usize>, num_segments: usize },
+    SegmentMean {
+        input: Var,
+        segments: Vec<usize>,
+        num_segments: usize,
+    },
     /// Columnwise max of rows per bucket (empty buckets stay zero);
     /// gradient flows to the (first) argmax row per (bucket, column).
-    SegmentMax { input: Var, segments: Vec<usize>, num_segments: usize },
+    SegmentMax {
+        input: Var,
+        segments: Vec<usize>,
+        num_segments: usize,
+    },
     /// Concatenate tensors with equal row counts along columns.
     ConcatCols(Vec<Var>),
     /// Sum of all elements (`1×1`).
@@ -95,7 +107,12 @@ impl Graph {
     }
 
     fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
-        self.nodes.push(Node { value, grad: None, op, requires_grad });
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            requires_grad,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -133,7 +150,11 @@ impl Graph {
         let (ar, ac) = self.value(a).shape();
         let (br, bc) = self.value(b).shape();
         if ac != br {
-            return Err(TensorError::ShapeMismatch { op: "matmul", lhs: (ar, ac), rhs: (br, bc) });
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: (ar, ac),
+                rhs: (br, bc),
+            });
         }
         let v = self.value(a).matmul(self.value(b));
         let rg = self.rg(a) || self.rg(b);
@@ -162,17 +183,20 @@ impl Graph {
 
     /// Elementwise `a + b`.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        self.binary_same_shape("add", a, b, |x, y| x + y, Op::Add).expect("add shape mismatch")
+        self.binary_same_shape("add", a, b, |x, y| x + y, Op::Add)
+            .expect("add shape mismatch")
     }
 
     /// Elementwise `a - b`.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        self.binary_same_shape("sub", a, b, |x, y| x - y, Op::Sub).expect("sub shape mismatch")
+        self.binary_same_shape("sub", a, b, |x, y| x - y, Op::Sub)
+            .expect("sub shape mismatch")
     }
 
     /// Elementwise `a * b`.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        self.binary_same_shape("mul", a, b, |x, y| x * y, Op::Mul).expect("mul shape mismatch")
+        self.binary_same_shape("mul", a, b, |x, y| x * y, Op::Mul)
+            .expect("mul shape mismatch")
     }
 
     /// `a * c` for scalar constant `c`.
@@ -192,7 +216,11 @@ impl Graph {
         let (ar, ac) = self.value(a).shape();
         let (br, bc) = self.value(b).shape();
         if br != 1 || bc != ac {
-            return Err(TensorError::ShapeMismatch { op: "add_row", lhs: (ar, ac), rhs: (br, bc) });
+            return Err(TensorError::ShapeMismatch {
+                op: "add_row",
+                lhs: (ar, ac),
+                rhs: (br, bc),
+            });
         }
         let mut v = self.value(a).clone();
         let brow: Vec<f64> = self.value(b).row(0).to_vec();
@@ -244,7 +272,11 @@ impl Graph {
     pub fn gather_rows(&mut self, a: Var, indices: Vec<usize>) -> TensorResult<Var> {
         let (n, d) = self.value(a).shape();
         if let Some(&bad) = indices.iter().find(|&&i| i >= n) {
-            return Err(TensorError::IndexOutOfRange { op: "gather_rows", index: bad, bound: n });
+            return Err(TensorError::IndexOutOfRange {
+                op: "gather_rows",
+                index: bad,
+                bound: n,
+            });
         }
         let mut v = Tensor::zeros(indices.len(), d);
         for (r, &i) in indices.iter().enumerate() {
@@ -284,7 +316,15 @@ impl Graph {
             }
         }
         let rg = self.rg(a);
-        Ok(self.push(v, Op::SegmentSum { input: a, segments, num_segments }, rg))
+        Ok(self.push(
+            v,
+            Op::SegmentSum {
+                input: a,
+                segments,
+                num_segments,
+            },
+            rg,
+        ))
     }
 
     /// Mean of rows of `a` per bucket (empty buckets are zero rows).
@@ -327,7 +367,15 @@ impl Graph {
             }
         }
         let rg = self.rg(a);
-        Ok(self.push(v, Op::SegmentMean { input: a, segments, num_segments }, rg))
+        Ok(self.push(
+            v,
+            Op::SegmentMean {
+                input: a,
+                segments,
+                num_segments,
+            },
+            rg,
+        ))
     }
 
     /// Columnwise max of rows of `a` per bucket (empty buckets are zero
@@ -370,7 +418,15 @@ impl Graph {
             }
         }
         let rg = self.rg(a);
-        Ok(self.push(v, Op::SegmentMax { input: a, segments, num_segments }, rg))
+        Ok(self.push(
+            v,
+            Op::SegmentMax {
+                input: a,
+                segments,
+                num_segments,
+            },
+            rg,
+        ))
     }
 
     /// Concatenate along columns (all inputs must share the row count).
@@ -454,21 +510,24 @@ impl Graph {
             }
         });
         let rg = self.rg(pred) || self.rg(target);
-        Ok(self.push(v, Op::Huber { pred, target, delta }, rg))
-    }
-
-    fn accumulate(&mut self, v: Var, delta: Tensor) {
-        if !self.nodes[v.0].requires_grad {
-            return;
-        }
-        match &mut self.nodes[v.0].grad {
-            Some(g) => g.add_assign(&delta),
-            slot @ None => *slot = Some(delta),
-        }
+        Ok(self.push(
+            v,
+            Op::Huber {
+                pred,
+                target,
+                delta,
+            },
+            rg,
+        ))
     }
 
     /// Run reverse-mode differentiation from the scalar node `loss`,
     /// populating gradients for every grad-requiring ancestor.
+    ///
+    /// The sweep borrows each node's gradient and op in place (children
+    /// always have smaller indices, so `split_at_mut` separates the node
+    /// being differentiated from the ancestors it accumulates into) — no
+    /// per-node gradient or op clones.
     pub fn backward(&mut self, loss: Var) -> TensorResult<()> {
         let shape = self.value(loss).shape();
         if shape != (1, 1) {
@@ -476,103 +535,120 @@ impl Graph {
         }
         self.nodes[loss.0].grad = Some(Tensor::scalar(1.0));
         for idx in (0..=loss.0).rev() {
-            if !self.nodes[idx].requires_grad {
+            let (anc, rest) = self.nodes.split_at_mut(idx);
+            let node = &rest[0];
+            if !node.requires_grad {
                 continue;
             }
-            let Some(g) = self.nodes[idx].grad.clone() else { continue };
-            let op = self.nodes[idx].op.clone();
-            match op {
+            let Some(g) = node.grad.as_ref() else {
+                continue;
+            };
+            match &node.op {
                 Op::Leaf | Op::Constant => {}
                 Op::MatMul(a, b) => {
-                    if self.rg(a) {
-                        let bt = self.value(b).transpose();
-                        self.accumulate(a, g.matmul(&bt));
+                    if anc[a.0].requires_grad {
+                        // dA = g·Bᵀ, fused (no transpose materialized).
+                        let da = g.matmul_nt(&anc[b.0].value);
+                        accumulate(anc, *a, da);
                     }
-                    if self.rg(b) {
-                        let at = self.value(a).transpose();
-                        self.accumulate(b, at.matmul(&g));
+                    if anc[b.0].requires_grad {
+                        // dB = Aᵀ·g, fused.
+                        let db = anc[a.0].value.matmul_tn(g);
+                        accumulate(anc, *b, db);
                     }
                 }
                 Op::Add(a, b) => {
-                    self.accumulate(a, g.clone());
-                    self.accumulate(b, g);
+                    accumulate_ref(anc, *a, g);
+                    accumulate_ref(anc, *b, g);
                 }
                 Op::Sub(a, b) => {
-                    self.accumulate(a, g.clone());
-                    self.accumulate(b, g.map(|x| -x));
+                    accumulate_ref(anc, *a, g);
+                    if anc[b.0].requires_grad {
+                        let d = g.map(|x| -x);
+                        accumulate(anc, *b, d);
+                    }
                 }
                 Op::Mul(a, b) => {
-                    if self.rg(a) {
-                        let d = g.zip_map(self.value(b), |x, y| x * y);
-                        self.accumulate(a, d);
+                    if anc[a.0].requires_grad {
+                        let d = g.zip_map(&anc[b.0].value, |x, y| x * y);
+                        accumulate(anc, *a, d);
                     }
-                    if self.rg(b) {
-                        let d = g.zip_map(self.value(a), |x, y| x * y);
-                        self.accumulate(b, d);
+                    if anc[b.0].requires_grad {
+                        let d = g.zip_map(&anc[a.0].value, |x, y| x * y);
+                        accumulate(anc, *b, d);
                     }
                 }
-                Op::Scale(a, c) => self.accumulate(a, g.map(|x| x * c)),
-                Op::AddRow(a, b) => {
-                    if self.rg(a) {
-                        self.accumulate(a, g.clone());
+                Op::Scale(a, c) => {
+                    if anc[a.0].requires_grad {
+                        let d = g.map(|x| x * c);
+                        accumulate(anc, *a, d);
                     }
-                    if self.rg(b) {
+                }
+                Op::AddRow(a, b) => {
+                    accumulate_ref(anc, *a, g);
+                    if anc[b.0].requires_grad {
                         let (n, d) = g.shape();
                         let mut col = Tensor::zeros(1, d);
                         for i in 0..n {
-                            for j in 0..d {
-                                col.data_mut()[j] += g.get(i, j);
+                            for (x, &gv) in col.data_mut().iter_mut().zip(g.row(i)) {
+                                *x += gv;
                             }
                         }
-                        self.accumulate(b, col);
+                        accumulate(anc, *b, col);
                     }
                 }
                 Op::Relu(a) => {
-                    let d = g.zip_map(self.value(a), |gx, x| if x > 0.0 { gx } else { 0.0 });
-                    self.accumulate(a, d);
+                    let d = g.zip_map(&anc[a.0].value, |gx, x| if x > 0.0 { gx } else { 0.0 });
+                    accumulate(anc, *a, d);
                 }
                 Op::LeakyRelu(a, slope) => {
-                    let d =
-                        g.zip_map(self.value(a), |gx, x| if x > 0.0 { gx } else { slope * gx });
-                    self.accumulate(a, d);
+                    let slope = *slope;
+                    let d = g.zip_map(
+                        &anc[a.0].value,
+                        |gx, x| if x > 0.0 { gx } else { slope * gx },
+                    );
+                    accumulate(anc, *a, d);
                 }
                 Op::Sigmoid(a) => {
-                    let y = &self.nodes[idx].value;
-                    let d = g.zip_map(y, |gx, s| gx * s * (1.0 - s));
-                    self.accumulate(a, d);
+                    let d = g.zip_map(&node.value, |gx, s| gx * s * (1.0 - s));
+                    accumulate(anc, *a, d);
                 }
                 Op::Tanh(a) => {
-                    let y = &self.nodes[idx].value;
-                    let d = g.zip_map(y, |gx, t| gx * (1.0 - t * t));
-                    self.accumulate(a, d);
+                    let d = g.zip_map(&node.value, |gx, t| gx * (1.0 - t * t));
+                    accumulate(anc, *a, d);
                 }
                 Op::Softplus(a) => {
-                    let d = g.zip_map(self.value(a), |gx, x| gx * sigmoid(x));
-                    self.accumulate(a, d);
+                    let d = g.zip_map(&anc[a.0].value, |gx, x| gx * sigmoid(x));
+                    accumulate(anc, *a, d);
                 }
                 Op::GatherRows(a, indices) => {
-                    let (n, d) = self.value(a).shape();
+                    let (n, d) = anc[a.0].value.shape();
                     let mut da = Tensor::zeros(n, d);
                     for (r, &i) in indices.iter().enumerate() {
-                        let src = g.row(r).to_vec();
-                        for (x, y) in da.row_mut(i).iter_mut().zip(src) {
+                        for (x, &y) in da.row_mut(i).iter_mut().zip(g.row(r)) {
                             *x += y;
                         }
                     }
-                    self.accumulate(a, da);
+                    accumulate(anc, *a, da);
                 }
-                Op::SegmentSum { input, segments, .. } => {
-                    let (n, d) = self.value(input).shape();
+                Op::SegmentSum {
+                    input, segments, ..
+                } => {
+                    let (n, d) = anc[input.0].value.shape();
                     let mut da = Tensor::zeros(n, d);
                     for (i, &s) in segments.iter().enumerate() {
                         da.row_mut(i).copy_from_slice(g.row(s));
                     }
-                    self.accumulate(input, da);
+                    accumulate(anc, *input, da);
                 }
-                Op::SegmentMean { input, segments, num_segments } => {
-                    let (n, d) = self.value(input).shape();
-                    let mut counts = vec![0usize; num_segments];
-                    for &s in &segments {
+                Op::SegmentMean {
+                    input,
+                    segments,
+                    num_segments,
+                } => {
+                    let (n, d) = anc[input.0].value.shape();
+                    let mut counts = vec![0usize; *num_segments];
+                    for &s in segments {
                         counts[s] += 1;
                     }
                     let mut da = Tensor::zeros(n, d);
@@ -582,20 +658,23 @@ impl Graph {
                             *x = y * inv;
                         }
                     }
-                    self.accumulate(input, da);
+                    accumulate(anc, *input, da);
                 }
-                Op::SegmentMax { input, segments, num_segments } => {
-                    let (n, d) = self.value(input).shape();
+                Op::SegmentMax {
+                    input,
+                    segments,
+                    num_segments,
+                } => {
+                    let value = &anc[input.0].value;
+                    let (n, d) = value.shape();
                     // Recompute the argmax row per (segment, column).
-                    let mut arg: Vec<Vec<Option<usize>>> = vec![vec![None; d]; num_segments];
+                    let mut arg: Vec<Vec<Option<usize>>> = vec![vec![None; d]; *num_segments];
                     for (i, &s) in segments.iter().enumerate() {
-                        for c in 0..d {
-                            let x = self.value(input).get(i, c);
-                            match arg[s][c] {
-                                None => arg[s][c] = Some(i),
-                                Some(j) if x > self.value(input).get(j, c) => {
-                                    arg[s][c] = Some(i)
-                                }
+                        for (c, slot) in arg[s].iter_mut().enumerate() {
+                            let x = value.get(i, c);
+                            match *slot {
+                                None => *slot = Some(i),
+                                Some(j) if x > value.get(j, c) => *slot = Some(i),
                                 _ => {}
                             }
                         }
@@ -608,36 +687,36 @@ impl Graph {
                             }
                         }
                     }
-                    self.accumulate(input, da);
+                    accumulate(anc, *input, da);
                 }
                 Op::ConcatCols(parts) => {
                     let rows = g.rows();
                     let mut off = 0;
-                    for &p in &parts {
-                        let c = self.value(p).cols();
-                        if self.rg(p) {
+                    for &p in parts {
+                        let c = anc[p.0].value.cols();
+                        if anc[p.0].requires_grad {
                             let mut dp = Tensor::zeros(rows, c);
                             for i in 0..rows {
-                                let src = &g.row(i)[off..off + c];
-                                dp.row_mut(i).copy_from_slice(src);
+                                dp.row_mut(i).copy_from_slice(&g.row(i)[off..off + c]);
                             }
-                            self.accumulate(p, dp);
+                            accumulate(anc, p, dp);
                         }
                         off += c;
                     }
                 }
                 Op::SumAll(a) => {
-                    let (n, d) = self.value(a).shape();
-                    self.accumulate(a, Tensor::full(n, d, g.item()));
+                    let (n, d) = anc[a.0].value.shape();
+                    let da = Tensor::full(n, d, g.item());
+                    accumulate(anc, *a, da);
                 }
                 Op::MeanAll(a) => {
-                    let (n, d) = self.value(a).shape();
+                    let (n, d) = anc[a.0].value.shape();
                     let scale = g.item() / (n * d).max(1) as f64;
-                    self.accumulate(a, Tensor::full(n, d, scale));
+                    accumulate(anc, *a, Tensor::full(n, d, scale));
                 }
                 Op::LogSoftmax(a) => {
                     // dL/dx = g - softmax(x) * rowsum(g)
-                    let y = self.nodes[idx].value.clone();
+                    let y = &node.value;
                     let (n, d) = y.shape();
                     let mut da = Tensor::zeros(n, d);
                     for i in 0..n {
@@ -646,21 +725,53 @@ impl Graph {
                             da.set(i, j, g.get(i, j) - y.get(i, j).exp() * gsum);
                         }
                     }
-                    self.accumulate(a, da);
+                    accumulate(anc, *a, da);
                 }
-                Op::Huber { pred, target, delta } => {
-                    let e = self.value(pred).zip_map(self.value(target), |p, t| p - t);
-                    let clip = e.map(|x| x.clamp(-delta, delta));
-                    if self.rg(pred) {
-                        self.accumulate(pred, g.zip_map(&clip, |gx, c| gx * c));
+                Op::Huber {
+                    pred,
+                    target,
+                    delta,
+                } => {
+                    let delta = *delta;
+                    let clip = anc[pred.0]
+                        .value
+                        .zip_map(&anc[target.0].value, |p, t| (p - t).clamp(-delta, delta));
+                    if anc[pred.0].requires_grad {
+                        let d = g.zip_map(&clip, |gx, c| gx * c);
+                        accumulate(anc, *pred, d);
                     }
-                    if self.rg(target) {
-                        self.accumulate(target, g.zip_map(&clip, |gx, c| -gx * c));
+                    if anc[target.0].requires_grad {
+                        let d = g.zip_map(&clip, |gx, c| -gx * c);
+                        accumulate(anc, *target, d);
                     }
                 }
             }
         }
         Ok(())
+    }
+}
+
+/// Add `delta` into `v`'s gradient slot, taking ownership: the first
+/// consumer moves the tensor in, later consumers add in place.
+fn accumulate(nodes: &mut [Node], v: Var, delta: Tensor) {
+    if !nodes[v.0].requires_grad {
+        return;
+    }
+    match &mut nodes[v.0].grad {
+        Some(g) => g.add_assign(&delta),
+        slot @ None => *slot = Some(delta),
+    }
+}
+
+/// Like [`accumulate`], for a borrowed upstream gradient that flows through
+/// unchanged (Add/Sub/AddRow): clones only when the slot is empty.
+fn accumulate_ref(nodes: &mut [Node], v: Var, delta: &Tensor) {
+    if !nodes[v.0].requires_grad {
+        return;
+    }
+    match &mut nodes[v.0].grad {
+        Some(g) => g.add_assign(delta),
+        slot @ None => *slot = Some(delta.clone()),
     }
 }
 
@@ -714,7 +825,10 @@ mod tests {
         let y = g.matmul(a, b);
         let loss = g.sum_all(y);
         g.backward(loss).unwrap();
-        assert_eq!(g.grad(a).unwrap(), &Tensor::from_rows(&[&[5.0, 6.0], &[5.0, 6.0]]));
+        assert_eq!(
+            g.grad(a).unwrap(),
+            &Tensor::from_rows(&[&[5.0, 6.0], &[5.0, 6.0]])
+        );
         assert_eq!(g.grad(b).unwrap(), &Tensor::from_rows(&[&[4.0], &[6.0]]));
     }
 
@@ -745,13 +859,20 @@ mod tests {
     fn non_scalar_loss_rejected() {
         let mut g = Graph::new();
         let x = g.leaf(Tensor::zeros(2, 2));
-        assert!(matches!(g.backward(x), Err(TensorError::NonScalarLoss { .. })));
+        assert!(matches!(
+            g.backward(x),
+            Err(TensorError::NonScalarLoss { .. })
+        ));
     }
 
     #[test]
     fn gather_and_segment_round_trip() {
         let mut g = Graph::new();
-        let x = g.leaf(Tensor::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0]]));
+        let x = g.leaf(Tensor::from_rows(&[
+            &[1.0, 10.0],
+            &[2.0, 20.0],
+            &[3.0, 30.0],
+        ]));
         let gathered = g.gather_rows(x, vec![2, 0, 2]).unwrap();
         assert_eq!(g.value(gathered).row(0), &[3.0, 30.0]);
         let summed = g.segment_sum(gathered, vec![0, 0, 1], 2).unwrap();
@@ -792,13 +913,19 @@ mod tests {
         let loss = g.sum_all(p);
         g.backward(loss).unwrap();
         assert_eq!(g.grad(a).unwrap(), &Tensor::from_rows(&[&[1.0], &[1.0]]));
-        assert_eq!(g.grad(b).unwrap(), &Tensor::from_rows(&[&[2.0, 3.0], &[2.0, 3.0]]));
+        assert_eq!(
+            g.grad(b).unwrap(),
+            &Tensor::from_rows(&[&[2.0, 3.0], &[2.0, 3.0]])
+        );
     }
 
     #[test]
     fn log_softmax_rows_sum_to_one_in_prob_space() {
         let mut g = Graph::new();
-        let x = g.leaf(Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[1000.0, 0.0, -1000.0]]));
+        let x = g.leaf(Tensor::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[1000.0, 0.0, -1000.0],
+        ]));
         let y = g.log_softmax(x);
         for i in 0..2 {
             let p: f64 = g.value(y).row(i).iter().map(|&v| v.exp()).sum();

@@ -1,7 +1,42 @@
 //! Dense row-major 2-D `f64` tensors with the handful of BLAS-like kernels
 //! the autodiff engine needs.
+//!
+//! [`Tensor::matmul`] is cache-blocked and parallelizes over disjoint
+//! output-row blocks. Every kernel accumulates each output element in
+//! ascending inner-index order regardless of blocking or thread count, so
+//! results are **bit-identical** to the naive serial kernels — blocking
+//! changes the traversal, never the floating-point summation order per
+//! element. The fused [`Tensor::matmul_nt`] / [`Tensor::matmul_tn`] avoid
+//! materializing transposes in the autodiff backward pass.
 
 use std::fmt;
+
+use rayon::prelude::*;
+
+/// Below this many multiply-adds a matmul runs single-threaded — thread
+/// fan-out costs more than the multiplication itself.
+/// Benchmark hook: when set, every matmul variant routes through the
+/// pre-optimization path (serial naive ikj kernel, transposes materialized)
+/// so the pipeline bench can measure before/after in a single run.
+static BASELINE_MATMUL: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Toggle the pre-optimization matmul path (benchmarks only; thread-global).
+pub fn set_baseline_matmul(on: bool) {
+    BASELINE_MATMUL.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+fn baseline_matmul() -> bool {
+    BASELINE_MATMUL.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+const PAR_FLOPS_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Output rows per parallel task (also the unit of A-row cache reuse).
+const ROW_BLOCK: usize = 32;
+
+/// Inner-dimension block: one block of B rows (`K_BLOCK × cols` values)
+/// stays resident in cache while a row block of A streams over it.
+const K_BLOCK: usize = 128;
 
 /// A dense row-major matrix of `f64`. Vectors are `1×d` or `n×1` tensors;
 /// scalars are `1×1`.
@@ -15,22 +50,38 @@ pub struct Tensor {
 impl Tensor {
     /// All-zero tensor.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Tensor filled with `v`.
     pub fn full(rows: usize, cols: usize, v: f64) -> Self {
-        Tensor { rows, cols, data: vec![v; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
     }
 
     /// A `1×1` scalar.
     pub fn scalar(v: f64) -> Self {
-        Tensor { rows: 1, cols: 1, data: vec![v] }
+        Tensor {
+            rows: 1,
+            cols: 1,
+            data: vec![v],
+        }
     }
 
     /// From raw row-major data. Panics if the length is not `rows*cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "tensor data must have rows*cols elements");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "tensor data must have rows*cols elements"
+        );
         Tensor { rows, cols, data }
     }
 
@@ -43,7 +94,11 @@ impl Tensor {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Tensor { rows: r, cols: c, data }
+        Tensor {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// `(rows, cols)`.
@@ -111,9 +166,52 @@ impl Tensor {
         self.data[0]
     }
 
-    /// Matrix product `self × rhs` (naive ikj loop). Panics on shape
+    /// Matrix product `self × rhs`: cache-blocked, parallel over output-row
+    /// blocks for large shapes, falling back to the naive kernel when the
+    /// work wouldn't cover the fan-out cost. Bit-identical to
+    /// [`Tensor::matmul_naive`] at any thread count (per-element
+    /// accumulation order is ascending `k` in both). Panics on shape
     /// mismatch — shape checking happens in the tape layer.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.cols, rhs.rows, "matmul inner dimensions must agree");
+        let (m, n, kd) = (self.rows, rhs.cols, self.cols);
+        if baseline_matmul() || m * n * kd < PAR_FLOPS_THRESHOLD || n == 0 {
+            return self.matmul_naive(rhs);
+        }
+        let mut out = Tensor::zeros(m, n);
+        out.data
+            .par_chunks_mut(ROW_BLOCK * n)
+            .enumerate()
+            .for_each(|(chunk, out_block)| {
+                let i0 = chunk * ROW_BLOCK;
+                let rows_here = out_block.len() / n;
+                // k-blocking: one B block stays cache-resident while every row
+                // of this A block streams over it. Per output element the
+                // accumulation order is still ascending k.
+                for k0 in (0..kd).step_by(K_BLOCK) {
+                    let k1 = (k0 + K_BLOCK).min(kd);
+                    for di in 0..rows_here {
+                        let a_row = &self.row(i0 + di)[k0..k1];
+                        let out_row = &mut out_block[di * n..(di + 1) * n];
+                        for (dk, &a) in a_row.iter().enumerate() {
+                            if a == 0.0 {
+                                continue;
+                            }
+                            let b_row = rhs.row(k0 + dk);
+                            for (o, &b) in out_row.iter_mut().zip(b_row) {
+                                *o += a * b;
+                            }
+                        }
+                    }
+                }
+            });
+        out
+    }
+
+    /// Reference matmul: the plain serial ikj loop. Kept public as the
+    /// ground truth for property tests and the pre-optimization baseline in
+    /// benchmarks.
+    pub fn matmul_naive(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.cols, rhs.rows, "matmul inner dimensions must agree");
         let mut out = Tensor::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
@@ -132,6 +230,86 @@ impl Tensor {
         out
     }
 
+    /// Fused `self × rhsᵀ` (`m×k · (n×k)ᵀ → m×n`) without materializing the
+    /// transpose: every output element is a dot product of two contiguous
+    /// rows, accumulated in ascending `k` order (thread count never affects
+    /// the result).
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.cols, rhs.cols, "matmul_nt inner dimensions must agree");
+        if baseline_matmul() {
+            return self.matmul_naive(&rhs.transpose());
+        }
+        let (m, n) = (self.rows, rhs.rows);
+        let mut out = Tensor::zeros(m, n);
+        if n == 0 {
+            return out;
+        }
+        let serial = m * n * self.cols < PAR_FLOPS_THRESHOLD;
+        let body = |(i, out_row): (usize, &mut [f64])| {
+            let a_row = self.row(i);
+            for (o, j) in out_row.iter_mut().zip(0..n) {
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(rhs.row(j)) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        };
+        if serial {
+            out.data.chunks_mut(n).enumerate().for_each(body);
+        } else {
+            out.data.par_chunks_mut(n).enumerate().for_each(body);
+        }
+        out
+    }
+
+    /// Fused `selfᵀ × rhs` (`(m×k)ᵀ · m×n → k×n`) without materializing the
+    /// transpose. Parallel tasks own disjoint output-row blocks and each
+    /// accumulates over the shared dimension in ascending order, so the
+    /// result matches `self.transpose().matmul(rhs)` bit-for-bit.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rows, rhs.rows, "matmul_tn outer dimensions must agree");
+        if baseline_matmul() {
+            return self.transpose().matmul_naive(rhs);
+        }
+        let (kd, n, m) = (self.cols, rhs.cols, self.rows);
+        let mut out = Tensor::zeros(kd, n);
+        if n == 0 || kd == 0 {
+            return out;
+        }
+        let serial = m * n * kd < PAR_FLOPS_THRESHOLD;
+        let body = |(chunk, out_block): (usize, &mut [f64])| {
+            let p0 = chunk * ROW_BLOCK;
+            let rows_here = out_block.len() / n;
+            for i in 0..m {
+                let a_row = self.row(i);
+                let b_row = rhs.row(i);
+                for dp in 0..rows_here {
+                    let a = a_row[p0 + dp];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out_block[dp * n..(dp + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            }
+        };
+        if serial {
+            out.data
+                .chunks_mut(ROW_BLOCK * n)
+                .enumerate()
+                .for_each(body);
+        } else {
+            out.data
+                .par_chunks_mut(ROW_BLOCK * n)
+                .enumerate()
+                .for_each(body);
+        }
+        out
+    }
+
     /// Transpose.
     pub fn transpose(&self) -> Tensor {
         let mut out = Tensor::zeros(self.cols, self.rows);
@@ -146,13 +324,26 @@ impl Tensor {
     /// Elementwise binary map (panics on shape mismatch).
     pub fn zip_map(&self, rhs: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
         assert_eq!(self.shape(), rhs.shape(), "zip_map shapes must agree");
-        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect();
-        Tensor { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Elementwise unary map.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
-        Tensor { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&a| f(a)).collect() }
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&a| f(a)).collect(),
+        }
     }
 
     /// In-place `self += rhs` (panics on shape mismatch).
@@ -249,7 +440,10 @@ mod tests {
     fn elementwise_helpers() {
         let a = Tensor::from_rows(&[&[1.0, -2.0]]);
         let b = Tensor::from_rows(&[&[3.0, 4.0]]);
-        assert_eq!(a.zip_map(&b, |x, y| x * y), Tensor::from_rows(&[&[3.0, -8.0]]));
+        assert_eq!(
+            a.zip_map(&b, |x, y| x * y),
+            Tensor::from_rows(&[&[3.0, -8.0]])
+        );
         assert_eq!(a.map(f64::abs), Tensor::from_rows(&[&[1.0, 2.0]]));
         let mut c = a.clone();
         c.add_assign(&b);

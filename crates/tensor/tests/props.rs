@@ -2,13 +2,35 @@
 
 use proptest::prelude::*;
 use relgraph_tensor::gradcheck::check_gradient;
-use relgraph_tensor::{Graph, Tensor};
+use relgraph_tensor::{set_baseline_matmul, Graph, Tensor};
 
 fn small_tensor() -> impl Strategy<Value = Tensor> {
-    ((1usize..5, 1usize..5)).prop_flat_map(|(r, c)| {
+    (1usize..5, 1usize..5).prop_flat_map(|(r, c)| {
         proptest::collection::vec(-3.0f64..3.0, r * c)
             .prop_map(move |data| Tensor::from_vec(r, c, data))
     })
+}
+
+/// A compatible `(A: m×k, B: k×n)` pair with dims large enough to cross the
+/// blocked/parallel kernel's flop threshold on some cases.
+fn matmul_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1usize..80, 1usize..80, 1usize..80).prop_flat_map(|(m, k, n)| {
+        (
+            proptest::collection::vec(-2.0f64..2.0, m * k)
+                .prop_map(move |d| Tensor::from_vec(m, k, d)),
+            proptest::collection::vec(-2.0f64..2.0, k * n)
+                .prop_map(move |d| Tensor::from_vec(k, n, d)),
+        )
+    })
+}
+
+fn max_abs_diff(a: &Tensor, b: &Tensor) -> f64 {
+    assert_eq!(a.shape(), b.shape());
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 proptest! {
@@ -96,6 +118,49 @@ proptest! {
         let l = g.mean_all(b);
         g.backward(l).unwrap();
         prop_assert!(g.grad(x).unwrap().all_finite());
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_naive((a, b) in matmul_pair()) {
+        // The blocked/parallel kernel accumulates every output element in
+        // ascending-k order, exactly like the naive ikj loop — the results
+        // must match bitwise, not just within tolerance.
+        prop_assert_eq!(a.matmul(&b), a.matmul_naive(&b));
+    }
+
+    #[test]
+    fn fused_transpose_kernels_match_materialized((a, b) in matmul_pair()) {
+        // A·Bᵀ via the fused kernel vs transposing B and multiplying.
+        let bt = b.transpose();
+        prop_assert!(max_abs_diff(&a.matmul_nt(&bt), &a.matmul(&b)) <= 1e-10);
+        // Aᵀ·C via the fused kernel vs transposing A and multiplying
+        // (C = A·B shares A's row count, as matmul_tn requires).
+        let c = a.matmul(&b);
+        prop_assert!(
+            max_abs_diff(&a.matmul_tn(&c), &a.transpose().matmul(&c)) <= 1e-10
+        );
+    }
+
+    #[test]
+    fn fused_backward_matches_baseline_backward((a, b) in matmul_pair()) {
+        // Gradients through the fused backward (matmul_nt / matmul_tn, no
+        // materialized transposes) vs the pre-optimization path.
+        let run = |baseline: bool| {
+            set_baseline_matmul(baseline);
+            let mut g = Graph::new();
+            let x = g.leaf(a.clone());
+            let w = g.leaf(b.clone());
+            let y = g.matmul(x, w);
+            let l = g.sum_all(y);
+            g.backward(l).unwrap();
+            let out = (g.grad(x).unwrap().clone(), g.grad(w).unwrap().clone());
+            set_baseline_matmul(false);
+            out
+        };
+        let (dx_new, dw_new) = run(false);
+        let (dx_old, dw_old) = run(true);
+        prop_assert!(max_abs_diff(&dx_new, &dx_old) <= 1e-10);
+        prop_assert!(max_abs_diff(&dw_new, &dw_old) <= 1e-10);
     }
 
     #[test]

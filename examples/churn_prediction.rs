@@ -26,9 +26,16 @@ fn main() {
     );
 
     let query = "PREDICT EXISTS(orders.*, 0, 30) FOR EACH customers.customer_id";
-    let cfg = ExecConfig { epochs: 25, fanouts: vec![8, 8], ..Default::default() };
+    let cfg = ExecConfig {
+        epochs: 25,
+        fanouts: vec![8, 8],
+        ..Default::default()
+    };
 
-    println!("{:<12} {:>8} {:>10} {:>10}", "model", "auroc", "accuracy", "logloss");
+    println!(
+        "{:<12} {:>8} {:>10} {:>10}",
+        "model", "auroc", "accuracy", "logloss"
+    );
     for model in ["gnn", "gbdt", "logreg", "trivial"] {
         let outcome = execute(&db, &format!("{query} USING model = {model}"), &cfg)
             .unwrap_or_else(|e| panic!("model {model} failed: {e}"));

@@ -11,8 +11,12 @@ use relgraph::pq::{execute, ExecConfig};
 use relgraph::prelude::*;
 
 fn main() {
-    let db = generate_clinic(&ClinicConfig { patients: 300, seed: 9, ..Default::default() })
-        .expect("generate database");
+    let db = generate_clinic(&ClinicConfig {
+        patients: 300,
+        seed: 9,
+        ..Default::default()
+    })
+    .expect("generate database");
     println!(
         "clinic database: {} patients, {} visits, {} prescriptions\n",
         db.table("patients").unwrap().len(),
@@ -25,8 +29,22 @@ fn main() {
     println!("{query}\n");
     println!("{:<22} {:>8} {:>10}", "model", "auroc", "accuracy");
     let runs: [(&str, ExecConfig); 4] = [
-        ("gnn (2 hops)", ExecConfig { epochs: 10, fanouts: vec![8, 8], ..Default::default() }),
-        ("gnn (1 hop)", ExecConfig { epochs: 10, fanouts: vec![8], ..Default::default() }),
+        (
+            "gnn (2 hops)",
+            ExecConfig {
+                epochs: 10,
+                fanouts: vec![8, 8],
+                ..Default::default()
+            },
+        ),
+        (
+            "gnn (1 hop)",
+            ExecConfig {
+                epochs: 10,
+                fanouts: vec![8],
+                ..Default::default()
+            },
+        ),
         ("gbdt", ExecConfig::default()),
         ("trivial", ExecConfig::default()),
     ];

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example custom_database`
 
 use relgraph::pq::{execute, ExecConfig};
-use relgraph::store::{render_ddl, Database, DataType, Row, TableSchema, Value};
+use relgraph::store::{render_ddl, DataType, Database, Row, TableSchema, Value};
 
 const DAY: i64 = 86_400;
 
@@ -58,8 +58,11 @@ fn build_database() -> Database {
         while t < 180 * DAY {
             for k in 0..intensity {
                 // Favourite genre 70% of the time (deterministic pattern).
-                let genre =
-                    if (user + k + t / DAY) % 10 < 7 { favourite } else { ((user + k) % 4) as usize };
+                let genre = if (user + k + t / DAY) % 10 < 7 {
+                    favourite
+                } else {
+                    ((user + k) % 4) as usize
+                };
                 db.insert(
                     "watches",
                     Row::new()
@@ -87,7 +90,11 @@ fn main() {
     let schemas: Vec<_> = db.tables().iter().map(|t| t.schema().clone()).collect();
     println!("Portable schema.ddl:\n{}", render_ddl(&schemas));
 
-    let cfg = ExecConfig { epochs: 10, max_predictions: Some(5), ..Default::default() };
+    let cfg = ExecConfig {
+        epochs: 10,
+        max_predictions: Some(5),
+        ..Default::default()
+    };
 
     // 1. Will this user watch anything next week? (binary)
     let q1 = "PREDICT EXISTS(watches.*, 0, 7) FOR EACH users.user_id USING model = gbdt";

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --example explain_query`
 
-use relgraph::pq::{analyze, build_training_table, explain, parse};
 use relgraph::pq::traintable::TrainTableConfig;
+use relgraph::pq::{analyze, build_training_table, explain, parse};
 use relgraph::prelude::*;
 
 fn main() {

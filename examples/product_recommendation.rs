@@ -21,9 +21,18 @@ fn main() {
 
     let query = "PREDICT LIST_DISTINCT(orders.product_id, 0, 60) \
                  FOR EACH customers.customer_id";
-    let cfg = ExecConfig { epochs: 30, lr: 0.02, hidden_dim: 48, top_k: 10, ..Default::default() };
+    let cfg = ExecConfig {
+        epochs: 30,
+        lr: 0.02,
+        hidden_dim: 48,
+        top_k: 10,
+        ..Default::default()
+    };
 
-    println!("{:<12} {:>9} {:>11} {:>9}", "model", "map@10", "recall@10", "ndcg@10");
+    println!(
+        "{:<12} {:>9} {:>11} {:>9}",
+        "model", "map@10", "recall@10", "ndcg@10"
+    );
     let mut sample: Option<Vec<String>> = None;
     for model in ["gnn", "covisit", "popularity"] {
         let outcome = execute(&db, &format!("{query} USING model = {model}"), &cfg)

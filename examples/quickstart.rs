@@ -23,7 +23,11 @@ fn main() {
     //    model task.
     let query = "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id \
                  USING model = gnn, epochs = 8";
-    let cfg = ExecConfig { fanouts: vec![8, 8], hidden_dim: 24, ..Default::default() };
+    let cfg = ExecConfig {
+        fanouts: vec![8, 8],
+        hidden_dim: 24,
+        ..Default::default()
+    };
     let outcome = execute(&db, query, &cfg).expect("execute query");
 
     // 3. The compiled plan, backtest metrics, and deploy-time answers.
@@ -32,7 +36,11 @@ fn main() {
     println!("\nFirst 10 live predictions (anchored at the latest DB time):");
     for p in outcome.predictions.iter().take(10) {
         if let PredictionValue::Score(s) = p.value {
-            println!("  customer {:>5} → P(order in 30d) = {:.3}", p.entity_key.to_string(), s);
+            println!(
+                "  customer {:>5} → P(order in 30d) = {:.3}",
+                p.entity_key.to_string(),
+                s
+            );
         }
     }
 }

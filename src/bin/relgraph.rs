@@ -23,11 +23,12 @@
 use std::process::ExitCode;
 
 use relgraph::datagen::{
-    generate_clinic, generate_ecommerce, generate_forum, ClinicConfig, EcommerceConfig,
-    ForumConfig,
+    generate_clinic, generate_ecommerce, generate_forum, ClinicConfig, EcommerceConfig, ForumConfig,
 };
 use relgraph::pq::traintable::TrainTableConfig;
-use relgraph::pq::{analyze, build_training_table, execute, explain, parse, ExecConfig, PredictionValue};
+use relgraph::pq::{
+    analyze, build_training_table, execute, explain, parse, ExecConfig, PredictionValue,
+};
 use relgraph::store::{load_database_dir, save_database_dir, Database};
 
 struct Args {
@@ -58,7 +59,8 @@ fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
         };
         match flag.as_str() {
             "--data" => args.data = Some(value("--data")?),
@@ -66,11 +68,14 @@ fn parse_args() -> Result<Args, String> {
             "--query" | "-q" => args.query = Some(value("--query")?),
             "--explain-only" => args.explain_only = true,
             "--top" => {
-                args.top = value("--top")?.parse().map_err(|_| "--top needs a number".to_string())?
+                args.top = value("--top")?
+                    .parse()
+                    .map_err(|_| "--top needs a number".to_string())?
             }
             "--seed" => {
-                args.seed =
-                    value("--seed")?.parse().map_err(|_| "--seed needs a number".to_string())?
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs a number".to_string())?
             }
             "--export-demo" => args.export_demo = Some(value("--export-demo")?),
             "--help" | "-h" => return Err(usage().to_string()),
@@ -84,13 +89,24 @@ fn load(args: &Args) -> Result<Database, String> {
     match (&args.data, &args.demo) {
         (Some(dir), None) => load_database_dir(dir).map_err(|e| format!("loading {dir}: {e}")),
         (None, Some(demo)) => match demo.as_str() {
-            "ecommerce" => generate_ecommerce(&EcommerceConfig { seed: args.seed, ..Default::default() })
-                .map_err(|e| e.to_string()),
-            "forum" => generate_forum(&ForumConfig { seed: args.seed, ..Default::default() })
-                .map_err(|e| e.to_string()),
-            "clinic" => generate_clinic(&ClinicConfig { seed: args.seed, ..Default::default() })
-                .map_err(|e| e.to_string()),
-            other => Err(format!("unknown demo `{other}` (ecommerce | forum | clinic)")),
+            "ecommerce" => generate_ecommerce(&EcommerceConfig {
+                seed: args.seed,
+                ..Default::default()
+            })
+            .map_err(|e| e.to_string()),
+            "forum" => generate_forum(&ForumConfig {
+                seed: args.seed,
+                ..Default::default()
+            })
+            .map_err(|e| e.to_string()),
+            "clinic" => generate_clinic(&ClinicConfig {
+                seed: args.seed,
+                ..Default::default()
+            })
+            .map_err(|e| e.to_string()),
+            other => Err(format!(
+                "unknown demo `{other}` (ecommerce | forum | clinic)"
+            )),
         },
         _ => Err(format!("need exactly one of --data or --demo\n{}", usage())),
     }
@@ -107,8 +123,10 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
 
-    let query_text =
-        args.query.as_deref().ok_or_else(|| format!("--query is required\n{}", usage()))?;
+    let query_text = args
+        .query
+        .as_deref()
+        .ok_or_else(|| format!("--query is required\n{}", usage()))?;
 
     if args.explain_only {
         let parsed = parse(query_text).map_err(|e| e.to_string())?;
@@ -119,7 +137,11 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
 
-    let cfg = ExecConfig { seed: args.seed, max_predictions: None, ..Default::default() };
+    let cfg = ExecConfig {
+        seed: args.seed,
+        max_predictions: None,
+        ..Default::default()
+    };
     let outcome = execute(&db, query_text, &cfg).map_err(|e| e.to_string())?;
     println!("{}", outcome.explain);
     println!("Backtest ({} test examples):", outcome.test_size);
@@ -134,9 +156,14 @@ fn run() -> Result<(), String> {
             PredictionValue::Score(s) => *s,
             PredictionValue::Items(_) | PredictionValue::Class(_) => 0.0,
         };
-        score(b).partial_cmp(&score(a)).unwrap_or(std::cmp::Ordering::Equal)
+        score(b)
+            .partial_cmp(&score(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
-    println!("\nTop {} predictions (anchored at the latest time in the data):", args.top);
+    println!(
+        "\nTop {} predictions (anchored at the latest time in the data):",
+        args.top
+    );
     for p in preds.iter().take(args.top) {
         match &p.value {
             PredictionValue::Score(s) => println!("  {:<12} {s:.4}", p.entity_key.to_string()),

@@ -69,6 +69,8 @@ pub mod prelude {
     };
     pub use relgraph_db2graph::{build_graph, snapshot_at, ConvertOptions};
     pub use relgraph_graph::{HeteroGraph, SamplerConfig, Seed, TemporalSampler};
-    pub use relgraph_pq::{execute, ExecConfig, ModelChoice, PredictiveQuery, QueryOutcome, TaskType};
-    pub use relgraph_store::{Database, DataType, Row, TableSchema, Value};
+    pub use relgraph_pq::{
+        execute, ExecConfig, ModelChoice, PredictiveQuery, QueryOutcome, TaskType,
+    };
+    pub use relgraph_store::{DataType, Database, Row, TableSchema, Value};
 }

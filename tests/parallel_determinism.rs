@@ -1,0 +1,144 @@
+//! Parallelism-determinism integration tests: every rayon-parallelized
+//! stage must produce bit-identical results regardless of thread count.
+//!
+//! The engine's contract (see DESIGN.md, "Parallelism model") is that
+//! threads only ever change wall-clock time, never results: parallel
+//! stages partition work into order-preserving chunks and merge in input
+//! order. These tests pin that contract end-to-end — sampling, training
+//! tables, featurization, and full GNN training runs.
+
+use relgraph::db2graph::{build_graph, ConvertOptions};
+use relgraph::gnn::{train_node_model, TaskKind, TrainConfig};
+use relgraph::graph::{SamplerConfig, Seed, TemporalSampler};
+use relgraph::pq::traintable::TrainTableConfig;
+use relgraph::pq::{analyze, build_training_table, parse};
+use relgraph::prelude::*;
+
+/// Run `f` with `RAYON_NUM_THREADS` fixed to `n`, restoring the previous
+/// value afterwards. The shim reads the variable per call, so this
+/// controls every parallel region inside `f`.
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let prev = std::env::var("RAYON_NUM_THREADS").ok();
+    std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+    let out = f();
+    match prev {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    out
+}
+
+/// One combined test (not several) because `RAYON_NUM_THREADS` is
+/// process-global and the test harness runs `#[test]` fns concurrently.
+#[test]
+fn thread_count_never_changes_results() {
+    let db = generate_ecommerce(&EcommerceConfig {
+        customers: 60,
+        products: 20,
+        seed: 17,
+        ..Default::default()
+    })
+    .expect("generate");
+
+    // db2graph featurization (rayon per-row fill) + graph build (rayon
+    // per-edge-type CSR construction).
+    let (g1, m1) = with_threads(1, || build_graph(&db, &ConvertOptions::default()).unwrap());
+    for threads in [2, 4, 7] {
+        let (gn, _) = with_threads(threads, || {
+            build_graph(&db, &ConvertOptions::default()).unwrap()
+        });
+        for t in 0..g1.num_node_types() {
+            assert_eq!(
+                g1.features(relgraph::graph::NodeTypeId(t)),
+                gn.features(relgraph::graph::NodeTypeId(t)),
+                "features differ at {threads} threads"
+            );
+        }
+    }
+
+    // Temporal sampling (rayon per-seed fan-out, order-preserving merge).
+    let cust = m1.node_type("customers").unwrap();
+    let (_, hi) = db.time_span().unwrap();
+    let seeds: Vec<Seed> = (0..40)
+        .map(|i| Seed {
+            node_type: cust,
+            node: i,
+            time: hi,
+        })
+        .collect();
+    let sampler = TemporalSampler::new(&g1, SamplerConfig::new(vec![10, 10]));
+    let base = with_threads(1, || sampler.sample(&seeds));
+    for threads in [2, 4, 7] {
+        let sub = with_threads(threads, || sampler.sample(&seeds));
+        assert_eq!(base, sub, "sampled subgraph differs at {threads} threads");
+    }
+
+    // Training-table construction (rayon per-anchor fan-out).
+    let aq = analyze(
+        &db,
+        parse("PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id").unwrap(),
+    )
+    .unwrap();
+    let cfg = TrainTableConfig::default();
+    let t1 = with_threads(1, || build_training_table(&db, &aq, &cfg).unwrap());
+    let t4 = with_threads(4, || build_training_table(&db, &aq, &cfg).unwrap());
+    assert_eq!(t1.train, t4.train);
+    assert_eq!(t1.val, t4.val);
+    assert_eq!(t1.test, t4.test);
+
+    // Full GNN training (parallel sampling inside batch assembly, parallel
+    // validation chunks, parallel matmul in forward/backward): per-epoch
+    // losses must match exactly, not approximately.
+    let examples: Vec<(Seed, f64)> = t1
+        .train
+        .iter()
+        .map(|e| {
+            (
+                Seed {
+                    node_type: cust,
+                    node: e.entity_row,
+                    time: e.anchor,
+                },
+                e.label.scalar(),
+            )
+        })
+        .collect();
+    let val: Vec<(Seed, f64)> = t1
+        .val
+        .iter()
+        .map(|e| {
+            (
+                Seed {
+                    node_type: cust,
+                    node: e.entity_row,
+                    time: e.anchor,
+                },
+                e.label.scalar(),
+            )
+        })
+        .collect();
+    let tcfg = TrainConfig {
+        epochs: 3,
+        batch_size: 32,
+        seed: 5,
+        ..Default::default()
+    };
+    let r1 = with_threads(1, || {
+        train_node_model(&g1, TaskKind::Binary, &examples, &val, &tcfg)
+            .unwrap()
+            .report
+    });
+    let r4 = with_threads(4, || {
+        train_node_model(&g1, TaskKind::Binary, &examples, &val, &tcfg)
+            .unwrap()
+            .report
+    });
+    assert_eq!(
+        r1.train_losses, r4.train_losses,
+        "train losses diverge across threads"
+    );
+    assert_eq!(
+        r1.val_losses, r4.val_losses,
+        "val losses diverge across threads"
+    );
+}

@@ -54,28 +54,44 @@ fn every_model_beats_nothing_and_stays_bounded() {
 fn learned_models_beat_the_prior() {
     let db = small_db(2);
     let trivial = execute(&db, &format!("{QUERY} USING model = trivial"), &fast_cfg()).unwrap();
-    let gnn = execute(&db, &format!("{QUERY} USING model = gnn, epochs = 12"), &fast_cfg()).unwrap();
+    let gnn = execute(
+        &db,
+        &format!("{QUERY} USING model = gnn, epochs = 12"),
+        &fast_cfg(),
+    )
+    .unwrap();
     let t = trivial.metric("logloss").unwrap();
     let g = gnn.metric("logloss").unwrap();
     assert!(g < t, "GNN logloss {g} should beat prior {t}");
-    assert!(gnn.metric("auroc").unwrap() > 0.6, "GNN should be informative");
+    assert!(
+        gnn.metric("auroc").unwrap() > 0.6,
+        "GNN should be informative"
+    );
 }
 
 #[test]
 fn execution_is_deterministic_given_seed() {
     let db = small_db(3);
     let run = || {
-        execute(&db, &format!("{QUERY} USING model = gnn, seed = 5"), &fast_cfg())
-            .unwrap()
-            .predictions
-            .iter()
-            .map(|p| match p.value {
-                PredictionValue::Score(s) => s,
-                _ => unreachable!(),
-            })
-            .collect::<Vec<f64>>()
+        execute(
+            &db,
+            &format!("{QUERY} USING model = gnn, seed = 5"),
+            &fast_cfg(),
+        )
+        .unwrap()
+        .predictions
+        .iter()
+        .map(|p| match p.value {
+            PredictionValue::Score(s) => s,
+            _ => unreachable!(),
+        })
+        .collect::<Vec<f64>>()
     };
-    assert_eq!(run(), run(), "same seed must reproduce identical predictions");
+    assert_eq!(
+        run(),
+        run(),
+        "same seed must reproduce identical predictions"
+    );
 }
 
 #[test]
@@ -93,10 +109,18 @@ fn summary_and_explain_are_informative() {
 #[test]
 fn using_overrides_change_behavior() {
     let db = small_db(5);
-    let one = execute(&db, &format!("{QUERY} USING model = gnn, hops = 1, epochs = 2"), &fast_cfg())
-        .unwrap();
-    let zero = execute(&db, &format!("{QUERY} USING model = gnn, hops = 0, epochs = 2"), &fast_cfg())
-        .unwrap();
+    let one = execute(
+        &db,
+        &format!("{QUERY} USING model = gnn, hops = 1, epochs = 2"),
+        &fast_cfg(),
+    )
+    .unwrap();
+    let zero = execute(
+        &db,
+        &format!("{QUERY} USING model = gnn, hops = 0, epochs = 2"),
+        &fast_cfg(),
+    )
+    .unwrap();
     // Both run; they are different models over the same data.
     assert!(one.metric("accuracy").is_some());
     assert!(zero.metric("accuracy").is_some());

@@ -30,12 +30,15 @@ fn fast_cfg() -> ExecConfig {
 fn regression_models_beat_the_mean() {
     let db = small_db(11);
     let q = "PREDICT COUNT(orders.*, 0, 30) FOR EACH customers.customer_id";
-    let trivial =
-        execute(&db, &format!("{q} USING model = trivial"), &fast_cfg()).unwrap();
+    let trivial = execute(&db, &format!("{q} USING model = trivial"), &fast_cfg()).unwrap();
     let t_mae = trivial.metric("mae").unwrap();
     for model in ["gnn", "gbdt", "linreg"] {
-        let out = execute(&db, &format!("{q} USING model = {model}, epochs = 10"), &fast_cfg())
-            .unwrap_or_else(|e| panic!("{model}: {e}"));
+        let out = execute(
+            &db,
+            &format!("{q} USING model = {model}, epochs = 10"),
+            &fast_cfg(),
+        )
+        .unwrap_or_else(|e| panic!("{model}: {e}"));
         assert_eq!(out.task, TaskType::Regression);
         let mae = out.metric("mae").unwrap();
         // At this tiny scale (80 customers) a ~60-feature ridge model can
@@ -79,8 +82,7 @@ fn recommendation_returns_valid_product_keys() {
         match &p.value {
             PredictionValue::Items(items) => {
                 assert!(items.len() <= 5);
-                let distinct: HashSet<String> =
-                    items.iter().map(ToString::to_string).collect();
+                let distinct: HashSet<String> = items.iter().map(ToString::to_string).collect();
                 assert_eq!(distinct.len(), items.len(), "duplicate recommendations");
                 for item in items {
                     assert!(
@@ -101,7 +103,9 @@ fn heuristic_recommenders_report_all_ranking_metrics() {
     for model in ["popularity", "covisit"] {
         let out = execute(&db, &format!("{q} USING model = {model}"), &fast_cfg()).unwrap();
         for metric in ["map@10", "recall@10", "ndcg@10"] {
-            let v = out.metric(metric).unwrap_or_else(|| panic!("{model} missing {metric}"));
+            let v = out
+                .metric(metric)
+                .unwrap_or_else(|| panic!("{model} missing {metric}"));
             assert!((0.0..=1.0).contains(&v), "{model} {metric} = {v}");
         }
     }
@@ -109,8 +113,12 @@ fn heuristic_recommenders_report_all_ranking_metrics() {
 
 #[test]
 fn two_hop_query_on_clinic_runs_end_to_end() {
-    let db = generate_clinic(&ClinicConfig { patients: 70, seed: 5, ..Default::default() })
-        .expect("clinic");
+    let db = generate_clinic(&ClinicConfig {
+        patients: 70,
+        seed: 5,
+        ..Default::default()
+    })
+    .expect("clinic");
     let q = "PREDICT COUNT(prescriptions.*, 0, 90) FOR EACH patients.patient_id \
              USING model = gnn, epochs = 4";
     let out = execute(&db, q, &fast_cfg()).unwrap();
@@ -122,8 +130,12 @@ fn two_hop_query_on_clinic_runs_end_to_end() {
 
 #[test]
 fn forum_dataset_runs_end_to_end() {
-    let db = generate_forum(&ForumConfig { users: 70, seed: 6, ..Default::default() })
-        .expect("forum");
+    let db = generate_forum(&ForumConfig {
+        users: 70,
+        seed: 6,
+        ..Default::default()
+    })
+    .expect("forum");
     let q = "PREDICT COUNT(posts.*, 0, 30) > 1 FOR EACH users.user_id USING model = gbdt";
     let out = execute(&db, q, &fast_cfg()).unwrap();
     assert_eq!(out.task, TaskType::Classification);

@@ -24,11 +24,19 @@ fn sampler_never_returns_future_nodes_on_real_data() {
     let cust = mapping.node_type("customers").unwrap();
     let sampler = TemporalSampler::new(&graph, SamplerConfig::new(vec![10, 10]));
     let (lo, hi) = db.time_span().unwrap();
-    for (i, anchor) in [(0usize, lo + (hi - lo) / 3), (5, lo + (hi - lo) / 2), (9, hi)] {
+    for (i, anchor) in [
+        (0usize, lo + (hi - lo) / 3),
+        (5, lo + (hi - lo) / 2),
+        (9, hi),
+    ] {
         // Only anchor after the seed entity exists (the training-table
         // layer guarantees this for real pipelines).
         let anchor = anchor.max(graph.node_time(cust, i));
-        let sub = sampler.sample(&[Seed { node_type: cust, node: i, time: anchor }]);
+        let sub = sampler.sample(&[Seed {
+            node_type: cust,
+            node: i,
+            time: anchor,
+        }]);
         for t in 0..graph.num_node_types() {
             for &node in &sub.nodes[t] {
                 let nt = graph.node_time(NodeTypeId(t), node);
@@ -59,11 +67,18 @@ fn sampled_subgraph_matches_snapshot_database() {
     let sampler = TemporalSampler::new(&graph, SamplerConfig::new(vec![usize::MAX]));
     let mut visible = 0usize;
     for c in 0..graph.num_nodes(cust) {
-        let sub = sampler.sample(&[Seed { node_type: cust, node: c, time: t_mid }]);
+        let sub = sampler.sample(&[Seed {
+            node_type: cust,
+            node: c,
+            time: t_mid,
+        }]);
         let ord_ty = mapping.node_type("orders").unwrap();
         visible += sub.nodes[ord_ty.0].len();
     }
-    assert_eq!(visible, orders_at_t, "sampler and snapshot disagree about visibility");
+    assert_eq!(
+        visible, orders_at_t,
+        "sampler and snapshot disagree about visibility"
+    );
 }
 
 #[test]
@@ -79,8 +94,16 @@ fn training_table_labels_use_only_the_future_window() {
     let customers = db.table("customers").unwrap();
     // Recompute each label by brute force from the raw table.
     const DAY: i64 = 86_400;
-    for e in table.train.iter().chain(&table.val).chain(&table.test).take(500) {
-        let key = customers.value_by_name(e.entity_row, "customer_id").unwrap();
+    for e in table
+        .train
+        .iter()
+        .chain(&table.val)
+        .chain(&table.test)
+        .take(500)
+    {
+        let key = customers
+            .value_by_name(e.entity_row, "customer_id")
+            .unwrap();
         let mut expected = 0.0;
         for i in 0..orders.len() {
             if orders.value_by_name(i, "customer_id").unwrap() != key {
@@ -91,7 +114,12 @@ fn training_table_labels_use_only_the_future_window() {
                 expected += 1.0;
             }
         }
-        assert_eq!(e.label.scalar(), expected, "label mismatch for entity row {}", e.entity_row);
+        assert_eq!(
+            e.label.scalar(),
+            expected,
+            "label mismatch for entity row {}",
+            e.entity_row
+        );
     }
 }
 
@@ -128,10 +156,16 @@ fn leaky_sampling_inflates_offline_metrics() {
     let table = build_training_table(&db, &aq, &TrainTableConfig::default()).unwrap();
     let (graph, mapping) = build_graph(&db, &ConvertOptions::default()).unwrap();
     let cust = mapping.node_type("customers").unwrap();
-    let to_seed =
-        |e: &relgraph::pq::Example| Seed { node_type: cust, node: e.entity_row, time: e.anchor };
-    let train: Vec<(Seed, f64)> =
-        table.train.iter().map(|e| (to_seed(e), e.label.scalar())).collect();
+    let to_seed = |e: &relgraph::pq::Example| Seed {
+        node_type: cust,
+        node: e.entity_row,
+        time: e.anchor,
+    };
+    let train: Vec<(Seed, f64)> = table
+        .train
+        .iter()
+        .map(|e| (to_seed(e), e.label.scalar()))
+        .collect();
     let test_seeds: Vec<Seed> = table.test.iter().map(to_seed).collect();
     let labels: Vec<bool> = table.test.iter().map(|e| e.label.scalar() > 0.5).collect();
     let cfg = |temporal| TrainConfig {
@@ -149,5 +183,8 @@ fn leaky_sampling_inflates_offline_metrics() {
         leaky_auc > honest_auc + 0.03,
         "leaky ({leaky_auc}) should visibly inflate over honest ({honest_auc})"
     );
-    assert!(leaky_auc > 0.85, "leaky sampling should look near-perfect, got {leaky_auc}");
+    assert!(
+        leaky_auc > 0.85,
+        "leaky sampling should look near-perfect, got {leaky_auc}"
+    );
 }

@@ -1,0 +1,90 @@
+//! Collection strategies (`vec`, `hash_set`).
+
+use std::collections::HashSet;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Lengths accepted by [`vec`] / [`hash_set`]: an exact `usize` or a range.
+pub trait SizeRange {
+    /// Draw a length.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for std::ops::Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl SizeRange for std::ops::RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy producing `Vec`s of `element` values with a length from `size`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy producing `HashSet`s with a size drawn from `size` (best
+/// effort: duplicates are retried a bounded number of times).
+pub fn hash_set<S, R>(element: S, size: R) -> HashSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Hash + Eq + Debug,
+    R: SizeRange,
+{
+    HashSetStrategy { element, size }
+}
+
+/// See [`hash_set`].
+pub struct HashSetStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S, R> Strategy for HashSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Hash + Eq + Debug,
+    R: SizeRange,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let n = self.size.pick(rng);
+        let mut out = HashSet::with_capacity(n);
+        let mut attempts = 0usize;
+        while out.len() < n && attempts < n.saturating_mul(20) + 100 {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}

@@ -1,0 +1,174 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, implementing the API subset relgraph's property tests use.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs (all
+//!   strategies produce `Debug` values) but is not minimized.
+//! * **No persistence.** `*.proptest-regressions` files are ignored.
+//! * **Deterministic seeding.** Case `i` of test `t` derives its RNG from
+//!   `fnv64(t) ^ i`, so failures reproduce across runs without a seed file.
+//!
+//! Supported surface: range strategies over the primitive numeric types,
+//! tuple strategies (arity ≤ 6), `Just`, `any::<bool|i64|u64|...>()`,
+//! regex-literal string strategies (character classes with `{m,n}`
+//! repetition), `prop_map` / `prop_flat_map` / `prop_filter` / `boxed`,
+//! `prop_oneof!`, `proptest::collection::{vec, hash_set}`,
+//! `proptest::option::of`, the `proptest!` macro with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`, and the
+//! `prop_assert!` family.
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// FNV-1a hash used to derive per-test RNG seeds from the test name.
+pub fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Assert a condition inside a `proptest!` body; on failure the case (with
+/// its generated inputs) is reported and the test fails.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with a diff-style message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            lhs,
+            rhs,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// `prop_assert!(a != b)` with a diff-style message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            lhs
+        );
+    }};
+}
+
+/// Choose uniformly among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests. Mirrors `proptest::proptest!` for the
+/// `fn name(binding in strategy, ...) { body }` form, with an optional
+/// leading `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let base = $crate::fnv64(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::new(base ^ (case as u64));
+                let mut inputs = ::std::string::String::new();
+                let outcome = {
+                    $(
+                        let value =
+                            $crate::strategy::Strategy::generate(&$strat, &mut rng);
+                        inputs.push_str(&format!(
+                            "  {} = {:?}\n",
+                            stringify!($pat),
+                            value
+                        ));
+                        let $pat = value;
+                    )+
+                    let run = ::std::panic::AssertUnwindSafe(move ||
+                        -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    });
+                    ::std::panic::catch_unwind(run)
+                };
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => panic!(
+                        "proptest case {case}/{} failed: {e}\ninputs:\n{inputs}",
+                        config.cases
+                    ),
+                    Err(panic) => {
+                        let msg = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<non-string panic>".to_string());
+                        panic!(
+                            "proptest case {case}/{} panicked: {msg}\ninputs:\n{inputs}",
+                            config.cases
+                        )
+                    }
+                }
+            }
+        }
+    )*};
+}

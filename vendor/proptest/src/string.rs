@@ -1,0 +1,139 @@
+//! Regex-literal string strategies.
+//!
+//! Upstream proptest lets a `&str` literal act as a strategy generating
+//! strings matching the regex. This shim supports the subset relgraph's
+//! tests use: concatenations of atoms, where an atom is a character class
+//! (`[a-z0-9_]`, ranges and literal members, including space and
+//! punctuation as in `[ -~]`) or a literal character, optionally followed
+//! by a `{n}` / `{m,n}` repetition.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// Candidate characters (expanded from the class or a single literal).
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let members = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("unclosed `[` in pattern {pattern:?}"));
+            let inner = &chars[i + 1..i + close];
+            i += close + 1;
+            expand_class(inner, pattern)
+        } else {
+            let c = chars[i];
+            assert!(
+                !"()|*+?.\\^$".contains(c),
+                "unsupported regex construct {c:?} in pattern {pattern:?}"
+            );
+            i += 1;
+            vec![c]
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed `{{` in pattern {pattern:?}"));
+            let body: String = chars[i + 1..i + close].iter().collect();
+            i += close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("repetition lower bound"),
+                    hi.parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = body.parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom {
+            chars: members,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+fn expand_class(inner: &[char], pattern: &str) -> Vec<char> {
+    assert!(
+        inner.first() != Some(&'^'),
+        "negated classes are unsupported in pattern {pattern:?}"
+    );
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < inner.len() {
+        if i + 2 < inner.len() && inner[i + 1] == '-' {
+            let (lo, hi) = (inner[i] as u32, inner[i + 2] as u32);
+            assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+            for c in lo..=hi {
+                out.push(char::from_u32(c).expect("valid class char"));
+            }
+            i += 3;
+        } else {
+            out.push(inner[i]);
+            i += 1;
+        }
+    }
+    assert!(
+        !out.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    out
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                out.push(atom.chars[rng.gen_range(0..atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn generates_matching_strings() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z][a-z0-9_]{0,10}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 11);
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[ -~]{0,20}", &mut rng);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+        let exact = Strategy::generate(&"[a-c]{3}", &mut rng);
+        assert_eq!(exact.len(), 3);
+    }
+}

@@ -1,0 +1,555 @@
+//! Offline stand-in for [`rayon`](https://crates.io/crates/rayon): an
+//! order-preserving data-parallelism layer over `std::thread::scope`.
+//!
+//! The build environment has no network access, so relgraph vendors the
+//! API subset its hot paths use — `par_iter().map(..).collect()`,
+//! `par_iter().for_each(..)`, `par_chunks_mut(..).enumerate().for_each(..)`
+//! and `join` — with the same semantics rayon guarantees for them:
+//!
+//! * **Order preservation.** `collect()` returns results in input order,
+//!   regardless of thread count or scheduling.
+//! * **Determinism.** Work is split into contiguous chunks; each item is
+//!   processed exactly once by exactly one thread. Outputs are therefore
+//!   bit-identical to a serial run whenever the per-item function is a
+//!   pure function of its item.
+//!
+//! Differences from upstream: chunking is static (no work stealing), and
+//! threads are scoped per call instead of pooled. The thread count honors
+//! `RAYON_NUM_THREADS` (read per call, so tests can flip it at runtime),
+//! defaulting to `std::thread::available_parallelism`. Single-threaded
+//! configurations and small inputs run inline with zero spawn overhead —
+//! if the real rayon ever becomes available, swapping the path dependency
+//! back to the registry crate requires no source changes.
+
+use std::ops::Range;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSliceMut,
+    };
+}
+
+/// Number of worker threads: `RAYON_NUM_THREADS` when set to a positive
+/// integer, otherwise the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Run `a` and `b`, in parallel when worker threads are available.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        (a(), b())
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("parallel task panicked"))
+        })
+    }
+}
+
+/// Split `0..len` into at most `threads` contiguous ranges of near-equal
+/// size and run `work` on each, returning per-range results in order.
+fn run_ranges<R: Send>(
+    len: usize,
+    min_len: usize,
+    work: impl Fn(Range<usize>) -> R + Sync,
+) -> Vec<R> {
+    let threads = current_num_threads().min(len / min_len.max(1)).max(1);
+    if threads <= 1 || len == 0 {
+        return if len == 0 {
+            Vec::new()
+        } else {
+            vec![work(0..len)]
+        };
+    }
+    let chunk = len.div_ceil(threads);
+    let bounds: Vec<Range<usize>> = (0..threads)
+        .map(|t| (t * chunk).min(len)..((t + 1) * chunk).min(len))
+        .collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = bounds
+            .into_iter()
+            .filter(|r| !r.is_empty())
+            .map(|r| s.spawn(|| work(r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel task panicked"))
+            .collect()
+    })
+}
+
+/// Eager, order-preserving parallel iterator over borrowed items.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+    min_len: usize,
+}
+
+/// `par_iter()` on slices and `Vec`s.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type yielded by reference.
+    type Item: Sync + 'a;
+
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter {
+            items: self,
+            min_len: 1,
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter {
+            items: self,
+            min_len: 1,
+        }
+    }
+}
+
+/// `into_par_iter()` on index ranges.
+pub trait IntoParallelIterator {
+    /// Owned item type.
+    type Item: Send;
+    /// Concrete iterator type.
+    type Iter;
+
+    /// Consuming parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            range: self,
+            min_len: 1,
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec {
+            items: self,
+            min_len: 1,
+        }
+    }
+}
+
+/// Owning parallel iterator over a `Vec`.
+pub struct ParVec<T> {
+    items: Vec<T>,
+    min_len: usize,
+}
+
+impl<T: Send> ParVec<T> {
+    /// Split into at most `current_num_threads` contiguous owned batches.
+    fn batches(self) -> Vec<Vec<T>> {
+        let len = self.items.len();
+        let threads = current_num_threads().min(len / self.min_len.max(1)).max(1);
+        if threads <= 1 {
+            return if len == 0 {
+                Vec::new()
+            } else {
+                vec![self.items]
+            };
+        }
+        let chunk = len.div_ceil(threads);
+        let mut batches = Vec::with_capacity(threads);
+        let mut rest = self.items;
+        while !rest.is_empty() {
+            let tail = rest.split_off(chunk.min(rest.len()));
+            batches.push(rest);
+            rest = tail;
+        }
+        batches
+    }
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+
+    fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let batches = self.batches();
+        if batches.len() <= 1 {
+            for batch in batches {
+                batch.into_iter().for_each(&f);
+            }
+            return;
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = batches
+                .into_iter()
+                .map(|batch| {
+                    let f = &f;
+                    s.spawn(move || batch.into_iter().for_each(f))
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("parallel task panicked");
+            }
+        });
+    }
+}
+
+impl<T, R, F> ParMap<ParVec<T>, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Collect mapped results in input order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        let batches = self.inner.batches();
+        let f = &self.f;
+        if batches.len() <= 1 {
+            let chunks = batches
+                .into_iter()
+                .map(|b| b.into_iter().map(f).collect::<Vec<R>>())
+                .collect();
+            return C::from_chunks(chunks);
+        }
+        let chunks = std::thread::scope(|s| {
+            let handles: Vec<_> = batches
+                .into_iter()
+                .map(|batch| s.spawn(move || batch.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel task panicked"))
+                .collect()
+        });
+        C::from_chunks(chunks)
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+    min_len: usize,
+}
+
+/// Operations shared by the parallel iterators.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item;
+
+    /// Hint: never split below `min` items per thread.
+    fn with_min_len(self, min: usize) -> Self;
+
+    /// Map each item.
+    fn map<R, F>(self, f: F) -> ParMap<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        ParMap { inner: self, f }
+    }
+
+    /// Consume items for their side effects.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync;
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        run_ranges(self.items.len(), self.min_len, |r| {
+            for item in &self.items[r] {
+                f(item);
+            }
+        });
+    }
+}
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+
+    fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let base = self.range.start;
+        run_ranges(self.range.len(), self.min_len, |r| {
+            for i in r {
+                f(base + i);
+            }
+        });
+    }
+}
+
+/// Collection types buildable from a parallel mapping.
+pub trait FromParallelIterator<T> {
+    /// Assemble from ordered per-chunk outputs.
+    fn from_chunks(chunks: Vec<Vec<T>>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_chunks(chunks: Vec<Vec<T>>) -> Self {
+        let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        for c in chunks {
+            out.extend(c);
+        }
+        out
+    }
+}
+
+/// See [`ParallelIterator::map`].
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<ParIter<'a, T>, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Collect mapped results in input order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        let items = self.inner.items;
+        let f = &self.f;
+        let chunks = run_ranges(items.len(), self.inner.min_len, |r| {
+            items[r].iter().map(f).collect::<Vec<R>>()
+        });
+        C::from_chunks(chunks)
+    }
+}
+
+impl<R, F> ParMap<ParRange, F>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    /// Collect mapped results in input order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        let base = self.inner.range.start;
+        let f = &self.f;
+        let chunks = run_ranges(self.inner.range.len(), self.inner.min_len, |r| {
+            r.map(|i| f(base + i)).collect::<Vec<R>>()
+        });
+        C::from_chunks(chunks)
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(
+            chunk_size > 0,
+            "par_chunks_mut requires a positive chunk size"
+        );
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// See [`ParallelSliceMut::par_chunks_mut`].
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Run `f` on every chunk.
+    pub fn for_each(self, f: impl Fn(&mut [T]) + Sync) {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated mutable-chunk iterator.
+pub struct ParChunksMutEnumerate<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    /// Run `f` on every `(index, chunk)` pair.
+    pub fn for_each(self, f: impl Fn((usize, &mut [T])) + Sync) {
+        let threads = current_num_threads().min(self.chunks.len()).max(1);
+        if threads <= 1 {
+            for (i, chunk) in self.chunks.into_iter().enumerate() {
+                f((i, chunk));
+            }
+            return;
+        }
+        let n = self.chunks.len();
+        let per = n.div_ceil(threads);
+        let mut batches: Vec<(usize, Vec<&mut [T]>)> = Vec::with_capacity(threads);
+        let mut rest = self.chunks;
+        let mut start = 0;
+        while !rest.is_empty() {
+            let tail = rest.split_off(per.min(rest.len()));
+            batches.push((start, rest));
+            start += per;
+            rest = tail;
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = batches
+                .into_iter()
+                .map(|(base, chunk_batch)| {
+                    let f = &f;
+                    s.spawn(move || {
+                        for (off, chunk) in chunk_batch.into_iter().enumerate() {
+                            f((base + off, chunk));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("parallel task panicked");
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let old = std::env::var("RAYON_NUM_THREADS").ok();
+        std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+        let r = f();
+        match old {
+            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+        r
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for threads in [1, 2, 3, 8] {
+            let out: Vec<usize> =
+                with_threads(threads, || items.par_iter().map(|&x| x * 2).collect());
+            assert_eq!(
+                out,
+                (0..1000).map(|x| x * 2).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_collect_matches_serial() {
+        for threads in [1, 4] {
+            let out: Vec<usize> = with_threads(threads, || {
+                (10..50).into_par_iter().map(|i| i * i).collect()
+            });
+            assert_eq!(out, (10..50).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        let count = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..777).collect();
+        with_threads(4, || {
+            items.par_iter().for_each(|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 777);
+    }
+
+    #[test]
+    fn chunks_mut_writes_disjoint_rows() {
+        let mut data = vec![0u32; 12 * 5];
+        with_threads(3, || {
+            data.par_chunks_mut(5).enumerate().for_each(|(row, chunk)| {
+                for (i, x) in chunk.iter_mut().enumerate() {
+                    *x = (row * 10 + i) as u32;
+                }
+            })
+        });
+        for row in 0..12 {
+            for i in 0..5 {
+                assert_eq!(data[row * 5 + i], (row * 10 + i) as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        empty.par_iter().for_each(|_| panic!("no items"));
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = with_threads(2, || super::join(|| 1 + 1, || "x".repeat(3)));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+}
