@@ -354,6 +354,8 @@ impl FeatureEngineer {
         db: &Database,
         seeds: &[(usize, Timestamp)],
     ) -> StoreResult<Vec<Vec<f64>>> {
+        let _span = relgraph_obs::span("baselines.featurize");
+        relgraph_obs::add("baselines.featurize.rows", seeds.len() as u64);
         let entity = db.table(&self.entity_table)?;
         let fact_tables: Vec<&Table> = self
             .facts

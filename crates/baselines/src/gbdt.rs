@@ -160,6 +160,8 @@ impl Gbdt {
         objective: GbdtObjective,
         cfg: &GbdtConfig,
     ) -> BaselineResult<Self> {
+        let _span = relgraph_obs::span("baselines.gbdt_fit");
+        relgraph_obs::add("baselines.gbdt.rows", x.len() as u64);
         if x.is_empty() || x.len() != y.len() {
             return Err(BaselineError::DegenerateTrainingSet(format!(
                 "{} rows vs {} labels",

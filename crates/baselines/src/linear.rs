@@ -99,6 +99,8 @@ pub struct LogisticRegressor {
 impl LogisticRegressor {
     /// Fit on feature rows `x` and binary labels `y` (`0.0`/`1.0`).
     pub fn fit(x: &[Vec<f64>], y: &[f64], cfg: &LinearConfig) -> BaselineResult<Self> {
+        let _span = relgraph_obs::span("baselines.logistic_fit");
+        relgraph_obs::add("baselines.linear.rows", x.len() as u64);
         let d = check_shapes(x, y)?;
         let pos = y.iter().filter(|&&v| v > 0.5).count();
         if pos == 0 || pos == y.len() {
@@ -174,6 +176,8 @@ impl LinearRegressor {
     /// immune to the step-size divergence gradient descent risks on
     /// strongly correlated engineered features.
     pub fn fit(x: &[Vec<f64>], y: &[f64], cfg: &LinearConfig) -> BaselineResult<Self> {
+        let _span = relgraph_obs::span("baselines.ridge_fit");
+        relgraph_obs::add("baselines.linear.rows", x.len() as u64);
         let d = check_shapes(x, y)?;
         let scaler = Scaler::fit(x);
         let xs: Vec<Vec<f64>> = x.iter().map(|r| scaler.apply(r)).collect();

@@ -198,12 +198,16 @@ pub struct ModelRun {
 }
 
 /// Run `models` on (`db`, `query`) with per-model timing.
+///
+/// Honors `RELGRAPH_OBS`: with a sink configured, every model run emits a
+/// [`relgraph_obs::RunReport`] fingerprinted by query and model.
 pub fn run_models(
     db: &Database,
     query: &str,
     models: &[ModelChoice],
     base: &ExecConfig,
 ) -> Vec<ModelRun> {
+    relgraph_obs::init_from_env();
     models
         .iter()
         .map(|&model| {
@@ -214,6 +218,15 @@ pub fn run_models(
             let start = std::time::Instant::now();
             let outcome = execute(db, query, &cfg)
                 .unwrap_or_else(|e| panic!("{model} failed on `{query}`: {e}"));
+            relgraph_obs::emit_run_report(
+                "bench",
+                &[
+                    ("query", query),
+                    ("model", &model.to_string()),
+                    ("db", db.name()),
+                ],
+            );
+            relgraph_obs::reset();
             ModelRun {
                 model,
                 outcome,

@@ -73,6 +73,7 @@ pub fn build_graph(
     db: &Database,
     options: &ConvertOptions,
 ) -> ConvertResult<(HeteroGraph, GraphMapping)> {
+    let _span = relgraph_obs::span("db2graph.build_graph");
     let mut builder = HeteroGraphBuilder::new();
     let mut node_types = Vec::new();
     let mut feature_specs = Vec::new();
@@ -165,6 +166,12 @@ pub fn build_graph(
         }
     }
     let graph = builder.finish()?;
+    if relgraph_obs::enabled() {
+        relgraph_obs::add("db2graph.node_types", graph.num_node_types() as u64);
+        relgraph_obs::add("db2graph.edge_types", graph.num_edge_types() as u64);
+        relgraph_obs::add("db2graph.nodes", graph.total_nodes() as u64);
+        relgraph_obs::add("db2graph.edges", graph.total_edges() as u64);
+    }
     Ok((
         graph,
         GraphMapping {

@@ -16,6 +16,42 @@
 //!   Adam, gradient clipping and early stopping;
 //! * [`recommend`] trains a two-tower recommendation model (GNN user tower,
 //!   linear item tower) with a BPR ranking loss.
+//!
+//! Training and prediction report timings, per-epoch loss curves and
+//! sampler statistics through `relgraph-obs` when a sink is installed.
+//!
+//! ## Example
+//!
+//! ```
+//! use relgraph_gnn::{train_node_model, TaskKind, TrainConfig};
+//! use relgraph_graph::{HeteroGraphBuilder, Seed};
+//!
+//! // Ten users; the first five own an item, the rest own none.
+//! let mut b = HeteroGraphBuilder::new();
+//! let user = b.add_node_type("user", 10);
+//! let item = b.add_node_type("item", 5);
+//! let owns = b.add_edge_type("owns", user, item);
+//! for u in 0..5 {
+//!     b.add_edge(owns, u, u, 1);
+//! }
+//! let g = b.finish().unwrap();
+//!
+//! let examples: Vec<(Seed, f64)> = (0..10)
+//!     .map(|u| {
+//!         let seed = Seed { node_type: user, node: u, time: 10 };
+//!         (seed, if u < 5 { 1.0 } else { 0.0 })
+//!     })
+//!     .collect();
+//! let cfg = TrainConfig {
+//!     epochs: 4,
+//!     fanouts: vec![4],
+//!     hidden_dim: 8,
+//!     ..Default::default()
+//! };
+//! let model = train_node_model(&g, TaskKind::Binary, &examples, &[], &cfg).unwrap();
+//! let probs = model.predict(&g, &[examples[0].0, examples[9].0]);
+//! assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+//! ```
 
 pub mod batch;
 pub mod error;

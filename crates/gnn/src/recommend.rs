@@ -7,6 +7,7 @@ use rand::{Rng, SeedableRng};
 use relgraph_graph::{HeteroGraph, NodeTypeId, SamplerConfig, Seed, TemporalSampler};
 use relgraph_nn::ParamId;
 use relgraph_nn::{clip_global_norm, init, Activation, Adam, Binding, Linear, Optimizer, ParamSet};
+use relgraph_obs as obs;
 use relgraph_tensor::{Graph, Tensor};
 
 use crate::batch::{build_batch, input_dims};
@@ -274,7 +275,9 @@ pub fn train_two_tower(
     let mut best_val = f64::NEG_INFINITY;
     let mut best_snapshot = ps.snapshot();
     let mut since_best = 0usize;
+    let _train_span = obs::span("gnn.train_two_tower");
     for epoch in 0..cfg.epochs {
+        obs::add("gnn.train.epochs", 1);
         order.shuffle(&mut rng);
         for chunk in order.chunks(cfg.batch_size) {
             let pairs: Vec<(Seed, usize)> = chunk.iter().map(|&i| train[i]).collect();
@@ -309,6 +312,7 @@ pub fn train_two_tower(
                 recall += hit as f64 / truth.len() as f64;
             }
             let val_recall = recall / val_groups.len() as f64;
+            obs::series_push("gnn.val_recall", val_recall);
             // Reclaim the parameter set from the throwaway view.
             ps = model.ps;
             if val_recall > best_val + 1e-9 {

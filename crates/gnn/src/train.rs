@@ -7,6 +7,7 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 use relgraph_graph::{HeteroGraph, SamplerConfig, Seed, TemporalSampler};
 use relgraph_nn::{clip_global_norm, loss, Activation, Adam, Binding, Optimizer, ParamSet};
+use relgraph_obs as obs;
 use relgraph_tensor::{Graph, Tensor};
 
 use crate::batch::{build_batch, input_dims};
@@ -122,6 +123,7 @@ impl NodeModel {
         seeds: &[Seed],
         sampler_cfg: SamplerConfig,
     ) -> Vec<f64> {
+        let t0 = obs::enabled().then(std::time::Instant::now);
         let sampler = TemporalSampler::new(graph, sampler_cfg);
         // Chunks are independent forward passes; run them in parallel and
         // flatten in chunk order — identical output to the serial loop.
@@ -146,6 +148,10 @@ impl NodeModel {
                     .collect()
             })
             .collect();
+        if let Some(t0) = t0 {
+            obs::add("gnn.predict.seeds", seeds.len() as u64);
+            obs::record_ns("gnn.predict", t0.elapsed().as_nanos() as u64);
+        }
         per_chunk.into_iter().flatten().collect()
     }
 }
@@ -169,6 +175,7 @@ impl MulticlassModel {
 
     /// Per-seed class probabilities (`softmax` over the head logits).
     pub fn predict_proba(&self, graph: &HeteroGraph, seeds: &[Seed]) -> Vec<Vec<f64>> {
+        let t0 = obs::enabled().then(std::time::Instant::now);
         let sampler = TemporalSampler::new(graph, self.sampler_cfg.clone());
         let chunks: Vec<&[Seed]> = seeds.chunks(256).collect();
         let per_chunk: Vec<Vec<Vec<f64>>> = chunks
@@ -186,6 +193,10 @@ impl MulticlassModel {
                     .collect()
             })
             .collect();
+        if let Some(t0) = t0 {
+            obs::add("gnn.predict.seeds", seeds.len() as u64);
+            obs::record_ns("gnn.predict", t0.elapsed().as_nanos() as u64);
+        }
         per_chunk.into_iter().flatten().collect()
     }
 
@@ -201,6 +212,42 @@ impl MulticlassModel {
                     .unwrap_or(0)
             })
             .collect()
+    }
+}
+
+/// Record one training epoch's observability series: losses, mean pre-clip
+/// gradient norm, epoch duration and throughput. No-op when obs is off
+/// (`t0` is `None`).
+fn record_epoch_obs(
+    t0: Option<std::time::Instant>,
+    rows: usize,
+    batches: f64,
+    train_loss: f64,
+    val_loss: f64,
+    grad_norm_sum: f64,
+) {
+    let Some(t0) = t0 else { return };
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    obs::observe("gnn.epoch_ms", ms);
+    obs::series_push("gnn.train_loss", train_loss);
+    obs::series_push("gnn.val_loss", val_loss);
+    obs::series_push("gnn.grad_norm", grad_norm_sum / batches.max(1.0));
+    obs::series_push("gnn.rows_per_s", rows as f64 / (ms / 1e3).max(1e-9));
+    obs::add("gnn.train.epochs", 1);
+    obs::add("gnn.train.batches", batches as u64);
+}
+
+/// Close out a training run's observability: total examples seen and a
+/// synthetic `graph.sample` child span for the sampling time accumulated
+/// (inside worker threads) while the `gnn.train` span was open.
+fn close_train_obs(sample_ns0: u64, examples: usize) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::add("gnn.train.examples", examples as u64);
+    let sampled = obs::counter_value("graph.sample_ns").saturating_sub(sample_ns0);
+    if sampled > 0 {
+        obs::record_ns("graph.sample", sampled);
     }
 }
 
@@ -282,10 +329,14 @@ pub fn train_multiclass_model(
     let mut best_val = f64::INFINITY;
     let mut best_snapshot = ps.snapshot();
     let mut since_best = 0usize;
+    let _train_span = obs::span("gnn.train");
+    let sample_ns0 = obs::counter_value("graph.sample_ns");
     for epoch in 0..cfg.epochs {
+        let epoch_t0 = obs::enabled().then(std::time::Instant::now);
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         let mut batches: f64 = 0.0;
+        let mut grad_norm_sum = 0.0;
         for chunk in order.chunks(cfg.batch_size) {
             let examples: Vec<(Seed, usize)> = chunk.iter().map(|&i| train[i]).collect();
             let mut g = Graph::new();
@@ -297,7 +348,7 @@ pub fn train_multiclass_model(
             }
             g.backward(l)?;
             binding.accumulate_grads(&g, &mut ps);
-            clip_global_norm(&mut ps, cfg.clip_norm);
+            grad_norm_sum += clip_global_norm(&mut ps, cfg.clip_norm);
             opt.step(&mut ps);
             epoch_loss += lv;
             batches += 1.0;
@@ -326,6 +377,14 @@ pub fn train_multiclass_model(
         };
         report.val_losses.push(val_loss);
         report.epochs_run = epoch + 1;
+        record_epoch_obs(
+            epoch_t0,
+            train.len(),
+            batches,
+            train_loss,
+            val_loss,
+            grad_norm_sum,
+        );
         if val_loss < best_val - 1e-6 {
             best_val = val_loss;
             best_snapshot = ps.snapshot();
@@ -339,6 +398,7 @@ pub fn train_multiclass_model(
     }
     ps.restore(&best_snapshot);
     report.best_val_loss = best_val;
+    close_train_obs(sample_ns0, train.len() * report.epochs_run);
     Ok(MulticlassModel {
         ps,
         gnn,
@@ -458,10 +518,14 @@ pub fn train_node_model(
     let mut best_snapshot = ps.snapshot();
     let mut since_best = 0usize;
 
+    let _train_span = obs::span("gnn.train");
+    let sample_ns0 = obs::counter_value("graph.sample_ns");
     for epoch in 0..cfg.epochs {
+        let epoch_t0 = obs::enabled().then(std::time::Instant::now);
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         let mut batches: f64 = 0.0;
+        let mut grad_norm_sum = 0.0;
         for chunk in order.chunks(cfg.batch_size) {
             let examples: Vec<(Seed, f64)> = chunk.iter().map(|&i| train[i]).collect();
             let mut g = Graph::new();
@@ -484,7 +548,7 @@ pub fn train_node_model(
             }
             g.backward(l)?;
             binding.accumulate_grads(&g, &mut ps);
-            clip_global_norm(&mut ps, cfg.clip_norm);
+            grad_norm_sum += clip_global_norm(&mut ps, cfg.clip_norm);
             opt.step(&mut ps);
             epoch_loss += lv;
             batches += 1.0;
@@ -525,6 +589,14 @@ pub fn train_node_model(
         };
         report.val_losses.push(val_loss);
         report.epochs_run = epoch + 1;
+        record_epoch_obs(
+            epoch_t0,
+            train.len(),
+            batches,
+            train_loss,
+            val_loss,
+            grad_norm_sum,
+        );
 
         if val_loss < best_val - 1e-6 {
             best_val = val_loss;
@@ -539,6 +611,7 @@ pub fn train_node_model(
     }
     ps.restore(&best_snapshot);
     report.best_val_loss = best_val;
+    close_train_obs(sample_ns0, train.len() * report.epochs_run);
     Ok(NodeModel {
         ps,
         gnn,

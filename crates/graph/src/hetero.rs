@@ -221,6 +221,8 @@ impl HeteroGraph {
             extra.push((s as u32, d as u32, t));
         }
         self.adjacency[e.0] = self.adjacency[e.0].rebuild_with(n_src, &extra);
+        relgraph_obs::add("graph.csr.rebuilds", 1);
+        relgraph_obs::add("graph.csr.rebuilt_edges", extra.len() as u64);
         Ok(())
     }
 

@@ -24,6 +24,7 @@
 use std::collections::HashMap;
 
 use rayon::prelude::*;
+use relgraph_obs as obs;
 
 use crate::hetero::{EdgeTypeId, HeteroGraph, NodeTypeId};
 
@@ -157,8 +158,33 @@ impl<'g> TemporalSampler<'g> {
             seeds.iter().all(|s| s.node_type == seed_type),
             "all seeds in a batch must share one node type"
         );
+        // Observe-only accounting: workers tally locally (no shared atomics
+        // on the per-node path); one counter flush per batch below.
+        let t0 = obs::enabled().then(std::time::Instant::now);
         let locals: Vec<LocalSample> = seeds.par_iter().map(|seed| self.sample_one(seed)).collect();
-        self.merge(seeds, seed_type, locals)
+        if let Some(t0) = t0 {
+            let lookups: u64 = locals.iter().map(|l| l.csr_lookups).sum();
+            let hops = self.config.hops();
+            let mut hop_nodes = vec![0u64; hops];
+            for l in &locals {
+                for (h, &n) in l.hop_nodes.iter().enumerate() {
+                    hop_nodes[h] += n;
+                }
+            }
+            let sub = self.merge(seeds, seed_type, locals);
+            obs::add("graph.sample.batches", 1);
+            obs::add("graph.sample.seeds", seeds.len() as u64);
+            obs::add("graph.sample.nodes", sub.total_nodes() as u64);
+            obs::add("graph.sample.edges", sub.total_edges() as u64);
+            obs::add("graph.csr.lookups", lookups);
+            for (h, &n) in hop_nodes.iter().enumerate() {
+                obs::add(&format!("graph.sample.hop{h}.nodes"), n);
+            }
+            obs::add("graph.sample_ns", t0.elapsed().as_nanos() as u64);
+            sub
+        } else {
+            self.merge(seeds, seed_type, locals)
+        }
     }
 
     /// Expand one seed into its private subgraph (local indices are 0-based
@@ -181,6 +207,8 @@ impl<'g> TemporalSampler<'g> {
             })
         };
         let seed_local = intern(seed.node_type, seed.node, &mut nodes, &mut local);
+        let mut hop_nodes = Vec::with_capacity(self.config.hops());
+        let mut csr_lookups = 0u64;
 
         let mut frontier: Vec<(NodeTypeId, usize, u32)> =
             vec![(seed.node_type, seed.node, seed_local)];
@@ -189,6 +217,7 @@ impl<'g> TemporalSampler<'g> {
             for &(ty, global, src_local) in &frontier {
                 for &et in g.edge_types_from(ty) {
                     let meta = g.edge_type(et);
+                    csr_lookups += 1;
                     // Visible neighbors as a borrowed time-ascending slice
                     // (one binary search, no allocation); keep the most
                     // recent `fanout` — the tail.
@@ -213,11 +242,17 @@ impl<'g> TemporalSampler<'g> {
                 }
             }
             frontier = next;
+            hop_nodes.push(frontier.len() as u64);
             if frontier.is_empty() {
                 break;
             }
         }
-        LocalSample { nodes, edges }
+        LocalSample {
+            nodes,
+            edges,
+            hop_nodes,
+            csr_lookups,
+        }
     }
 
     /// Concatenate per-seed blocks in seed order, shifting local indices,
@@ -427,6 +462,12 @@ struct LocalSample {
     nodes: Vec<Vec<usize>>,
     /// Per edge type: `(src_local, dst_local)` within this block.
     edges: Vec<Vec<(u32, u32)>>,
+    /// Nodes newly discovered at each hop (observability tally; summed
+    /// per batch so the hot path touches no shared atomics).
+    hop_nodes: Vec<u64>,
+    /// Adjacency-index lookups performed (one per (frontier node, edge
+    /// type) pair).
+    csr_lookups: u64,
 }
 
 #[cfg(test)]

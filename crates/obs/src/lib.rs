@@ -1,0 +1,60 @@
+//! # relgraph-obs — pipeline observability for relgraph
+//!
+//! A zero-dependency, thread-safe instrumentation layer used by every stage
+//! of the query → train → eval pipeline:
+//!
+//! * **hierarchical span timers** — [`span`] returns an RAII guard backed by
+//!   a monotonic clock; nested spans form a tree that is delivered to the
+//!   active sink when the outermost (root) span closes;
+//! * **named metrics** — monotonic [`add`] counters, last-value [`gauge`]s,
+//!   [`observe`] histograms and ordered [`series_push`] series (e.g.
+//!   per-epoch training loss);
+//! * **pluggable sinks** — a stderr pretty-printer ([`StderrSink`]), a
+//!   JSON-lines writer ([`JsonLinesSink`]) and an in-memory collector for
+//!   tests ([`MemorySink`]), selected at runtime via the `RELGRAPH_OBS`
+//!   environment variable (see [`init_from_env`]);
+//! * **run reports** — [`emit_run_report`] snapshots every metric plus the
+//!   recorded stage tree into a machine-readable [`RunReport`] JSON document.
+//!
+//! Instrumentation is **observe-only**: enabling or disabling it never
+//! changes what the pipeline computes, and when disabled every call is a
+//! single relaxed atomic load (no allocation, no clock read).
+//!
+//! ## Example
+//!
+//! ```
+//! use relgraph_obs as obs;
+//!
+//! let sink = obs::MemorySink::install();
+//! {
+//!     let _run = obs::span("demo.run");
+//!     {
+//!         let _load = obs::span("demo.load");
+//!         obs::add("demo.rows", 128);
+//!     }
+//!     obs::gauge("demo.accuracy", 0.93);
+//! }
+//! let roots = sink.roots();
+//! assert_eq!(roots.len(), 1);
+//! assert_eq!(roots[0].name, "demo.run");
+//! assert_eq!(roots[0].children[0].name, "demo.load");
+//! let report = obs::emit_run_report("demo", &[("dataset", "toy")]).unwrap();
+//! assert!(report.to_json().contains("\"demo.rows\": 128"));
+//! obs::disable();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+mod registry;
+mod report;
+mod sink;
+mod span;
+
+pub use registry::{
+    add, counter_value, disable, enabled, gauge, init_from_env, init_from_env_or_stderr, install,
+    observe, reset, series_push, HistSummary,
+};
+pub use report::{emit_run_report, RunReport};
+pub use sink::{JsonLinesSink, MemorySink, Sink, StderrSink};
+pub use span::{record_ns, span, SpanGuard, SpanNode};

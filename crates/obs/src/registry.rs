@@ -1,0 +1,310 @@
+//! Global instrumentation state: the enabled flag, the active sink, and the
+//! metric registries (counters, gauges, histograms, series).
+//!
+//! All state lives in one process-wide [`Registry`] reachable through
+//! [`registry()`]. The fast path when observability is disabled is a single
+//! relaxed atomic load; when enabled, counters are lock-free atomic adds
+//! after a read-locked name lookup (names are interned once, then leaked so
+//! the hot path can hold a `&'static AtomicU64`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+use crate::sink::{JsonLinesSink, MemorySink, Sink, StderrSink};
+use crate::span::SpanNode;
+
+/// Summary statistics of a histogram (no bucket boundaries: the pipeline
+/// only needs count / sum / extremes / mean).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl HistSummary {
+    fn new() -> Self {
+        HistSummary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+pub(crate) struct Registry {
+    enabled: AtomicBool,
+    pub(crate) sink: RwLock<Option<Arc<dyn Sink>>>,
+    counters: RwLock<HashMap<String, &'static AtomicU64>>,
+    /// Gauges store `f64::to_bits`.
+    gauges: RwLock<HashMap<String, &'static AtomicU64>>,
+    histograms: Mutex<HashMap<String, HistSummary>>,
+    series: Mutex<HashMap<String, Vec<f64>>>,
+    /// Completed root span trees, oldest first (bounded).
+    pub(crate) roots: Mutex<Vec<SpanNode>>,
+    /// Monotonic origin for span start offsets.
+    pub(crate) epoch: OnceLock<Instant>,
+}
+
+/// Cap on retained root trees; pipeline runs produce a handful, and the cap
+/// keeps a pathological caller from growing memory without bound.
+const MAX_ROOTS: usize = 256;
+
+impl Registry {
+    fn new() -> Self {
+        Registry {
+            enabled: AtomicBool::new(false),
+            sink: RwLock::new(None),
+            counters: RwLock::new(HashMap::new()),
+            gauges: RwLock::new(HashMap::new()),
+            histograms: Mutex::new(HashMap::new()),
+            series: Mutex::new(HashMap::new()),
+            roots: Mutex::new(Vec::new()),
+            epoch: OnceLock::new(),
+        }
+    }
+
+    pub(crate) fn push_root(&self, root: SpanNode) {
+        let mut roots = self.roots.lock().unwrap();
+        if roots.len() >= MAX_ROOTS {
+            roots.remove(0);
+        }
+        roots.push(root);
+    }
+}
+
+pub(crate) fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// True when a sink is installed and instrumentation is recording.
+#[inline]
+pub fn enabled() -> bool {
+    registry().enabled.load(Ordering::Relaxed)
+}
+
+/// Install a sink and enable instrumentation. Replaces any previous sink.
+pub fn install(sink: Arc<dyn Sink>) {
+    let r = registry();
+    r.epoch.get_or_init(Instant::now);
+    *r.sink.write().unwrap() = Some(sink);
+    r.enabled.store(true, Ordering::Relaxed);
+}
+
+/// Disable instrumentation and drop the active sink. Recorded metrics are
+/// kept until [`reset`].
+pub fn disable() {
+    let r = registry();
+    r.enabled.store(false, Ordering::Relaxed);
+    *r.sink.write().unwrap() = None;
+}
+
+/// Clear every recorded metric, series and root span tree (counters reset
+/// to zero). The sink and enabled flag are untouched. Intended for tests
+/// and for separating consecutive runs within one process.
+pub fn reset() {
+    let r = registry();
+    for c in r.counters.read().unwrap().values() {
+        c.store(0, Ordering::Relaxed);
+    }
+    for g in r.gauges.read().unwrap().values() {
+        g.store(0.0f64.to_bits(), Ordering::Relaxed);
+    }
+    r.histograms.lock().unwrap().clear();
+    r.series.lock().unwrap().clear();
+    r.roots.lock().unwrap().clear();
+}
+
+/// Configure from the `RELGRAPH_OBS` environment variable:
+///
+/// * `stderr` — pretty-printed span trees and report summaries on stderr;
+/// * `json:<path>` — JSON-lines events appended to `<path>` (the final
+///   line of a run is the full [`RunReport`](crate::RunReport));
+/// * unset / empty / `off` / `0` — disabled.
+///
+/// Returns `true` when a sink was installed.
+pub fn init_from_env() -> bool {
+    match std::env::var("RELGRAPH_OBS") {
+        Ok(spec) => init_from_spec(&spec),
+        Err(_) => false,
+    }
+}
+
+/// Like [`init_from_env`], but falls back to the stderr sink when
+/// `RELGRAPH_OBS` is unset — used by the examples so a plain
+/// `cargo run --example quickstart` shows the per-stage breakdown.
+pub fn init_from_env_or_stderr() -> bool {
+    match std::env::var("RELGRAPH_OBS") {
+        Ok(spec) => init_from_spec(&spec),
+        Err(_) => init_from_spec("stderr"),
+    }
+}
+
+fn init_from_spec(spec: &str) -> bool {
+    let spec = spec.trim();
+    match spec {
+        "" | "off" | "0" | "none" => false,
+        "stderr" => {
+            install(Arc::new(StderrSink::new()));
+            true
+        }
+        "memory" => {
+            MemorySink::install();
+            true
+        }
+        _ => {
+            if let Some(path) = spec.strip_prefix("json:") {
+                match JsonLinesSink::create(path) {
+                    Ok(sink) => {
+                        install(Arc::new(sink));
+                        true
+                    }
+                    Err(e) => {
+                        eprintln!("relgraph-obs: cannot open `{path}`: {e}; obs disabled");
+                        false
+                    }
+                }
+            } else {
+                eprintln!(
+                    "relgraph-obs: unknown RELGRAPH_OBS value `{spec}` \
+                     (expected stderr, json:<path> or off); obs disabled"
+                );
+                false
+            }
+        }
+    }
+}
+
+/// Look up (or intern) a counter cell by name.
+fn counter_cell(name: &str) -> &'static AtomicU64 {
+    cell_in(&registry().counters, name)
+}
+
+fn cell_in(map: &RwLock<HashMap<String, &'static AtomicU64>>, name: &str) -> &'static AtomicU64 {
+    if let Some(c) = map.read().unwrap().get(name) {
+        return c;
+    }
+    let mut w = map.write().unwrap();
+    w.entry(name.to_string())
+        .or_insert_with(|| Box::leak(Box::new(AtomicU64::new(0))))
+}
+
+/// Add `delta` to the named monotonic counter. No-op when disabled.
+#[inline]
+pub fn add(name: &str, delta: u64) {
+    if enabled() {
+        counter_cell(name).fetch_add(delta, Ordering::Relaxed);
+    }
+}
+
+/// Current value of a counter (0 if never written or disabled).
+pub fn counter_value(name: &str) -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    counter_cell(name).load(Ordering::Relaxed)
+}
+
+/// Set the named gauge to `value` (last write wins). No-op when disabled.
+#[inline]
+pub fn gauge(name: &str, value: f64) {
+    if enabled() {
+        cell_in(&registry().gauges, name).store(value.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Record one observation into the named histogram. No-op when disabled.
+#[inline]
+pub fn observe(name: &str, value: f64) {
+    if enabled() {
+        let mut h = registry().histograms.lock().unwrap();
+        h.entry(name.to_string())
+            .or_insert_with(HistSummary::new)
+            .observe(value);
+    }
+}
+
+/// Append `value` to the named ordered series (e.g. per-epoch loss).
+/// No-op when disabled.
+#[inline]
+pub fn series_push(name: &str, value: f64) {
+    if enabled() {
+        let mut s = registry().series.lock().unwrap();
+        s.entry(name.to_string()).or_default().push(value);
+    }
+}
+
+/// Snapshot of every counter, sorted by name. Zero-valued counters that
+/// were never touched are included (they were interned by an earlier read).
+pub(crate) fn counters_snapshot() -> Vec<(String, u64)> {
+    let mut out: Vec<(String, u64)> = registry()
+        .counters
+        .read()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+        .collect();
+    out.sort();
+    out
+}
+
+pub(crate) fn gauges_snapshot() -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = registry()
+        .gauges
+        .read()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+pub(crate) fn histograms_snapshot() -> Vec<(String, HistSummary)> {
+    let mut out: Vec<(String, HistSummary)> = registry()
+        .histograms
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+pub(crate) fn series_snapshot() -> Vec<(String, Vec<f64>)> {
+    let mut out: Vec<(String, Vec<f64>)> = registry()
+        .series
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}

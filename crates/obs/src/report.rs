@@ -1,0 +1,181 @@
+//! Machine-readable run reports.
+//!
+//! A [`RunReport`] is the end-of-run snapshot of everything the
+//! instrumentation layer recorded: the stage (span) trees, every counter,
+//! gauge, histogram and series, plus a caller-supplied fingerprint
+//! (dataset, task, model, seed, …) that makes benchmark trajectories
+//! diagnosable per-stage rather than end-to-end.
+//!
+//! Schema (`schema_version` 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "name": "relgraph-cli",
+//!   "fingerprint": {"dataset": "demo:ecommerce", "task": "classification"},
+//!   "threads": 8,
+//!   "total_ms": 1234.5,
+//!   "stages": [{"name": "pq.execute", "start_ms": 0.1, "duration_ms": 9.0,
+//!               "counters": {"pq.anchors": 8}, "children": [...]}],
+//!   "counters": {"graph.sample.seeds": 960},
+//!   "gauges": {"metric.auroc": 0.81},
+//!   "histograms": {"gnn.epoch_ms": {"count": 8, "sum": 80.0,
+//!                   "min": 9.0, "max": 12.0, "mean": 10.0}},
+//!   "series": {"gnn.train_loss": [0.69, 0.52]}
+//! }
+//! ```
+
+use crate::json::{escape, num};
+use crate::registry::{
+    counters_snapshot, enabled, gauges_snapshot, histograms_snapshot, registry, series_snapshot,
+    HistSummary,
+};
+use crate::sink::span_to_json;
+use crate::span::SpanNode;
+
+/// End-of-run snapshot of all recorded instrumentation.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Run name (e.g. `relgraph-cli`, `quickstart`).
+    pub name: String,
+    /// Caller-supplied identity of the run: dataset, task, model, seed, ….
+    pub fingerprint: Vec<(String, String)>,
+    /// Worker threads available to the process.
+    pub threads: usize,
+    /// Wall time from the first instrumentation event to this snapshot, ms.
+    pub total_ms: f64,
+    /// Completed root span trees, oldest first.
+    pub stages: Vec<SpanNode>,
+    /// Monotonic counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Last-value gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries, sorted by name.
+    pub histograms: Vec<(String, HistSummary)>,
+    /// Ordered series (e.g. per-epoch losses), sorted by name.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl RunReport {
+    /// Serialize as a single JSON document (schema above).
+    pub fn to_json(&self) -> String {
+        let fingerprint: Vec<String> = self
+            .fingerprint
+            .iter()
+            .map(|(k, v)| format!("{}: {}", escape(k), escape(v)))
+            .collect();
+        let stages: Vec<String> = self.stages.iter().map(span_to_json).collect();
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("{}: {v}", escape(k)))
+            .collect();
+        let gauges: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| format!("{}: {}", escape(k), num(*v)))
+            .collect();
+        let histograms: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                format!(
+                    "{}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}}}",
+                    escape(k),
+                    h.count,
+                    num(h.sum),
+                    num(h.min),
+                    num(h.max),
+                    num(h.mean())
+                )
+            })
+            .collect();
+        let series: Vec<String> = self
+            .series
+            .iter()
+            .map(|(k, vs)| {
+                let vals: Vec<String> = vs.iter().map(|&v| num(v)).collect();
+                format!("{}: [{}]", escape(k), vals.join(", "))
+            })
+            .collect();
+        format!(
+            "{{\n  \"schema_version\": 1,\n  \"name\": {},\n  \"fingerprint\": {{{}}},\n  \
+             \"threads\": {},\n  \"total_ms\": {},\n  \"stages\": [{}],\n  \
+             \"counters\": {{{}}},\n  \"gauges\": {{{}}},\n  \"histograms\": {{{}}},\n  \
+             \"series\": {{{}}}\n}}",
+            escape(&self.name),
+            fingerprint.join(", "),
+            self.threads,
+            num(self.total_ms),
+            stages.join(", "),
+            counters.join(", "),
+            gauges.join(", "),
+            histograms.join(", "),
+            series.join(", ")
+        )
+    }
+
+    /// Short human-readable summary (what [`StderrSink`](crate::StderrSink)
+    /// prints when a report is emitted).
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "── run report: {} ({} threads, {:.1} ms total) ──",
+            self.name, self.threads, self.total_ms
+        );
+        for (k, v) in &self.fingerprint {
+            out.push_str(&format!("\n  {k}: {v}"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("\n  {k} = {v:.6}"));
+        }
+        let nonzero = self.counters.iter().filter(|(_, v)| *v > 0).count();
+        out.push_str(&format!(
+            "\n  {} stage tree(s), {} counter(s), {} series",
+            self.stages.len(),
+            nonzero,
+            self.series.len()
+        ));
+        out
+    }
+}
+
+/// Build a [`RunReport`] from everything recorded so far and hand it to
+/// the active sink. Returns `None` when observability is disabled.
+///
+/// `fingerprint` identifies the run (dataset, task, model, seed, …); pass
+/// whatever makes the run reproducible.
+pub fn emit_run_report(name: &str, fingerprint: &[(&str, &str)]) -> Option<RunReport> {
+    if !enabled() {
+        return None;
+    }
+    let r = registry();
+    let total_ms = r
+        .epoch
+        .get()
+        .map(|e| e.elapsed().as_secs_f64() * 1e3)
+        .unwrap_or(0.0);
+    let report = RunReport {
+        name: name.to_string(),
+        fingerprint: fingerprint
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        total_ms,
+        stages: r.roots.lock().unwrap().clone(),
+        counters: counters_snapshot()
+            .into_iter()
+            .filter(|(_, v)| *v > 0)
+            .collect(),
+        gauges: gauges_snapshot(),
+        histograms: histograms_snapshot(),
+        series: series_snapshot(),
+    };
+    let sink = r.sink.read().unwrap().clone();
+    if let Some(sink) = sink {
+        sink.on_report(&report);
+    }
+    Some(report)
+}

@@ -1,0 +1,196 @@
+//! Pluggable observability sinks.
+//!
+//! A [`Sink`] receives completed root span trees as they close and the
+//! final [`RunReport`] when a run finishes. Three implementations ship
+//! in-tree: [`StderrSink`] (human-readable trees for interactive runs),
+//! [`JsonLinesSink`] (machine-readable events appended to a file) and
+//! [`MemorySink`] (an in-process collector tests assert against).
+
+use std::fs::File;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use crate::report::RunReport;
+use crate::span::SpanNode;
+
+/// Receiver of observability events. Implementations must be thread-safe:
+/// spans may close on any thread.
+pub trait Sink: Send + Sync {
+    /// A root span (and its whole subtree) finished.
+    fn on_root(&self, root: &SpanNode);
+    /// A run finished and produced its report.
+    fn on_report(&self, report: &RunReport);
+}
+
+/// Pretty-prints span trees and report summaries to stderr.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl StderrSink {
+    /// New stderr sink.
+    pub fn new() -> Self {
+        StderrSink
+    }
+}
+
+fn fmt_ms(ms: f64) -> String {
+    if ms >= 1000.0 {
+        format!("{:.2} s", ms / 1000.0)
+    } else if ms >= 1.0 {
+        format!("{ms:.1} ms")
+    } else {
+        format!("{:.1} µs", ms * 1000.0)
+    }
+}
+
+fn render_tree(node: &SpanNode, prefix: &str, last: bool, top: bool, out: &mut String) {
+    let (branch, cont) = if top {
+        ("", "")
+    } else if last {
+        ("└─ ", "   ")
+    } else {
+        ("├─ ", "│  ")
+    };
+    let label = format!("{prefix}{branch}{}", node.name);
+    let counters = if node.counters.is_empty() {
+        String::new()
+    } else {
+        let parts: Vec<String> = node
+            .counters
+            .iter()
+            .map(|(k, v)| format!("{k}=+{v}"))
+            .collect();
+        format!("  [{}]", parts.join(" "))
+    };
+    out.push_str(&format!(
+        "{label:<44} {:>10}{counters}\n",
+        fmt_ms(node.duration_ms)
+    ));
+    let n = node.children.len();
+    for (i, c) in node.children.iter().enumerate() {
+        render_tree(c, &format!("{prefix}{cont}"), i + 1 == n, false, out);
+    }
+}
+
+impl Sink for StderrSink {
+    fn on_root(&self, root: &SpanNode) {
+        let mut out = String::from("");
+        render_tree(root, "", true, true, &mut out);
+        eprint!("{out}");
+    }
+
+    fn on_report(&self, report: &RunReport) {
+        eprintln!("{}", report.summary());
+    }
+}
+
+/// Appends one JSON object per line to a file: `{"event":"span",…}` for
+/// each completed root tree, then `{"event":"run_report",…}` — the full
+/// [`RunReport`] — when the run finishes. Every line parses standalone;
+/// the *last* `run_report` line is the document consumers want.
+pub struct JsonLinesSink {
+    file: Mutex<File>,
+}
+
+impl JsonLinesSink {
+    /// Create (truncate) `path` and return a sink writing to it.
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        Ok(JsonLinesSink {
+            file: Mutex::new(File::create(path)?),
+        })
+    }
+}
+
+impl Sink for JsonLinesSink {
+    fn on_root(&self, root: &SpanNode) {
+        let line = format!(
+            "{{\"event\": \"span\", \"span\": {}}}\n",
+            span_to_json(root)
+        );
+        let mut f = self.file.lock().unwrap();
+        let _ = f.write_all(line.as_bytes());
+        let _ = f.flush();
+    }
+
+    fn on_report(&self, report: &RunReport) {
+        // Reports pretty-print for humans; JSONL needs one physical line.
+        // Escaped strings never contain raw newlines, so this is safe.
+        let line = format!(
+            "{{\"event\": \"run_report\", \"report\": {}}}\n",
+            report.to_json().replace('\n', "")
+        );
+        let mut f = self.file.lock().unwrap();
+        let _ = f.write_all(line.as_bytes());
+        let _ = f.flush();
+    }
+}
+
+/// Serialize a span tree as a JSON object.
+pub(crate) fn span_to_json(node: &SpanNode) -> String {
+    use crate::json::{escape, num};
+    let counters: Vec<String> = node
+        .counters
+        .iter()
+        .map(|(k, v)| format!("{}: {v}", escape(k)))
+        .collect();
+    let children: Vec<String> = node.children.iter().map(span_to_json).collect();
+    format!(
+        "{{\"name\": {}, \"start_ms\": {}, \"duration_ms\": {}, \
+         \"counters\": {{{}}}, \"children\": [{}]}}",
+        escape(&node.name),
+        num(node.start_ms),
+        num(node.duration_ms),
+        counters.join(", "),
+        children.join(", ")
+    )
+}
+
+/// In-memory collector for tests: records every root tree and report.
+/// Keep the `Arc` returned by [`MemorySink::install`] to inspect events
+/// after the instrumented code ran.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    roots: Mutex<Vec<SpanNode>>,
+    reports: Mutex<Vec<RunReport>>,
+}
+
+impl MemorySink {
+    /// Create a sink, install it globally, and return a handle to it.
+    pub fn install() -> Arc<MemorySink> {
+        let sink = Arc::new(MemorySink::default());
+        crate::registry::install(sink.clone());
+        sink
+    }
+
+    /// All root span trees seen so far, in completion order.
+    pub fn roots(&self) -> Vec<SpanNode> {
+        self.roots.lock().unwrap().clone()
+    }
+
+    /// All run reports seen so far.
+    pub fn reports(&self) -> Vec<RunReport> {
+        self.reports.lock().unwrap().clone()
+    }
+
+    /// Pre-order span names across all recorded roots — the "stage
+    /// sequence" integration tests assert on.
+    pub fn span_names(&self) -> Vec<String> {
+        self.roots().iter().flat_map(|r| r.names()).collect()
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&self) {
+        self.roots.lock().unwrap().clear();
+        self.reports.lock().unwrap().clear();
+    }
+}
+
+impl Sink for MemorySink {
+    fn on_root(&self, root: &SpanNode) {
+        self.roots.lock().unwrap().push(root.clone());
+    }
+
+    fn on_report(&self, report: &RunReport) {
+        self.reports.lock().unwrap().push(report.clone());
+    }
+}

@@ -1,0 +1,237 @@
+//! Unit tests for the observability core: span nesting and timing
+//! monotonicity, counter merge under concurrent writers, sink routing and
+//! report serialization.
+//!
+//! The registry is process-global, so every test takes `LOCK` and starts
+//! from a clean slate.
+
+use std::sync::Mutex;
+
+use relgraph_obs as obs;
+use relgraph_obs::json;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn fresh() -> (
+    std::sync::Arc<obs::MemorySink>,
+    std::sync::MutexGuard<'static, ()>,
+) {
+    let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let sink = obs::MemorySink::install();
+    obs::reset();
+    (sink, guard)
+}
+
+#[test]
+fn spans_nest_and_time_monotonically() {
+    let (sink, _guard) = fresh();
+    {
+        let _outer = obs::span("outer");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        {
+            let _mid = obs::span("mid");
+            let _inner = obs::span("inner");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        {
+            let _second = obs::span("second");
+        }
+    }
+    let roots = sink.roots();
+    assert_eq!(roots.len(), 1, "one root tree");
+    let outer = &roots[0];
+    assert_eq!(outer.name, "outer");
+    assert_eq!(outer.children.len(), 2);
+    assert_eq!(outer.children[0].name, "mid");
+    assert_eq!(outer.children[0].children[0].name, "inner");
+    assert_eq!(outer.children[1].name, "second");
+
+    // Timing monotonicity: children start no earlier than their parent,
+    // fit inside it, and siblings are ordered by start time.
+    let mid = &outer.children[0];
+    let inner = &mid.children[0];
+    let second = &outer.children[1];
+    assert!(outer.duration_ms >= mid.duration_ms);
+    assert!(mid.duration_ms >= inner.duration_ms);
+    assert!(mid.start_ms >= outer.start_ms);
+    assert!(inner.start_ms >= mid.start_ms);
+    assert!(second.start_ms >= mid.start_ms + mid.duration_ms - 1e-3);
+    assert!(outer.duration_ms >= 4.0, "two 2 ms sleeps inside");
+    assert!(
+        mid.start_ms + mid.duration_ms <= outer.start_ms + outer.duration_ms + 1e-3,
+        "child must end within its parent"
+    );
+}
+
+#[test]
+fn span_counter_deltas_attach_to_the_open_span() {
+    let (sink, _guard) = fresh();
+    obs::add("pre", 5); // before any span: belongs to no span
+    {
+        let _outer = obs::span("outer");
+        obs::add("outer.work", 2);
+        {
+            let _inner = obs::span("inner");
+            obs::add("inner.work", 3);
+        }
+    }
+    let roots = sink.roots();
+    let outer = &roots[0];
+    // The outer span saw both increments; the inner only its own.
+    assert!(outer.counters.contains(&("outer.work".to_string(), 2)));
+    assert!(outer.counters.contains(&("inner.work".to_string(), 3)));
+    assert!(!outer.counters.iter().any(|(k, _)| k == "pre"));
+    let inner = &outer.children[0];
+    assert_eq!(inner.counters, vec![("inner.work".to_string(), 3)]);
+}
+
+#[test]
+fn counters_merge_under_concurrent_writers() {
+    let (_sink, _guard) = fresh();
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    obs::add("contended", 1);
+                    if i % 97 == 0 {
+                        obs::add(&format!("thread.{t}"), 1);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(obs::counter_value("contended"), THREADS as u64 * PER_THREAD);
+    for t in 0..THREADS {
+        assert_eq!(obs::counter_value(&format!("thread.{t}")), 104);
+    }
+}
+
+#[test]
+fn disabled_is_inert() {
+    let (_sink, _guard) = fresh();
+    obs::disable();
+    assert!(!obs::enabled());
+    {
+        let _s = obs::span("ignored");
+        obs::add("ignored", 1);
+        obs::gauge("ignored.g", 1.0);
+        obs::observe("ignored.h", 1.0);
+        obs::series_push("ignored.s", 1.0);
+        obs::record_ns("ignored.r", 500);
+    }
+    assert_eq!(obs::counter_value("ignored"), 0);
+    assert!(obs::emit_run_report("off", &[]).is_none());
+    // Re-enable: the sink sees nothing from the disabled period.
+    let sink = obs::MemorySink::install();
+    obs::reset();
+    assert!(sink.roots().is_empty());
+}
+
+#[test]
+fn record_ns_creates_synthetic_children() {
+    let (sink, _guard) = fresh();
+    {
+        let _outer = obs::span("outer");
+        obs::record_ns("accumulated", 3_000_000); // 3 ms
+    }
+    let outer = &sink.roots()[0];
+    let acc = outer.find("accumulated").expect("synthetic child present");
+    assert!((acc.duration_ms - 3.0).abs() < 1e-9);
+    // Standalone (no open span): becomes its own single-node root.
+    obs::record_ns("lone", 1_000_000);
+    assert!(sink.roots().iter().any(|r| r.name == "lone"));
+}
+
+#[test]
+fn run_report_serializes_and_parses() {
+    let (sink, _guard) = fresh();
+    {
+        let _s = obs::span("stage.a");
+        obs::add("rows", 42);
+    }
+    obs::gauge("metric.auroc", 0.75);
+    obs::observe("epoch_ms", 10.0);
+    obs::observe("epoch_ms", 20.0);
+    obs::series_push("loss", 0.9);
+    obs::series_push("loss", 0.5);
+    let report = obs::emit_run_report("test-run", &[("dataset", "toy"), ("seed", "7")]).unwrap();
+    assert_eq!(sink.reports().len(), 1);
+
+    let doc = json::parse(&report.to_json()).expect("report JSON parses");
+    assert_eq!(doc.get("schema_version").unwrap().as_f64(), Some(1.0));
+    assert_eq!(doc.get("name").unwrap().as_str(), Some("test-run"));
+    assert_eq!(
+        doc.get("fingerprint")
+            .unwrap()
+            .get("dataset")
+            .unwrap()
+            .as_str(),
+        Some("toy")
+    );
+    assert_eq!(
+        doc.get("counters").unwrap().get("rows").unwrap().as_f64(),
+        Some(42.0)
+    );
+    assert_eq!(
+        doc.get("gauges")
+            .unwrap()
+            .get("metric.auroc")
+            .unwrap()
+            .as_f64(),
+        Some(0.75)
+    );
+    let hist = doc.get("histograms").unwrap().get("epoch_ms").unwrap();
+    assert_eq!(hist.get("count").unwrap().as_f64(), Some(2.0));
+    assert_eq!(hist.get("mean").unwrap().as_f64(), Some(15.0));
+    let series = doc
+        .get("series")
+        .unwrap()
+        .get("loss")
+        .unwrap()
+        .as_arr()
+        .unwrap();
+    assert_eq!(series.len(), 2);
+    let stages = doc.get("stages").unwrap().as_arr().unwrap();
+    assert_eq!(stages[0].get("name").unwrap().as_str(), Some("stage.a"));
+    assert_eq!(
+        stages[0]
+            .get("counters")
+            .unwrap()
+            .get("rows")
+            .unwrap()
+            .as_f64(),
+        Some(42.0)
+    );
+}
+
+#[test]
+fn json_lines_sink_writes_parseable_events() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let path = std::env::temp_dir().join(format!("relgraph_obs_test_{}.jsonl", std::process::id()));
+    let path_str = path.to_str().unwrap();
+    obs::install(std::sync::Arc::new(
+        obs::JsonLinesSink::create(path_str).unwrap(),
+    ));
+    obs::reset();
+    {
+        let _s = obs::span("stage.sink");
+        obs::add("n", 1);
+    }
+    obs::emit_run_report("jsonl", &[("k", "v")]).unwrap();
+    obs::disable();
+    let content = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = content.lines().collect();
+    assert!(lines.len() >= 2);
+    for line in &lines {
+        json::parse(line).unwrap_or_else(|e| panic!("line not JSON ({e}): {line}"));
+    }
+    let last = json::parse(lines.last().unwrap()).unwrap();
+    assert_eq!(last.get("event").unwrap().as_str(), Some("run_report"));
+    assert_eq!(
+        last.get("report").unwrap().get("name").unwrap().as_str(),
+        Some("jsonl")
+    );
+    let _ = std::fs::remove_file(&path);
+}

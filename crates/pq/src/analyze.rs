@@ -38,7 +38,9 @@ impl std::fmt::Display for TaskType {
 /// the next table in the chain.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JoinStep {
+    /// The referencing table at this hop.
     pub table: String,
+    /// The FK column followed out of `table`.
     pub fk_column: String,
 }
 

@@ -7,7 +7,9 @@ pub use relgraph_store::CmpOp;
 /// `table.column` reference. `column == "*"` is allowed for `COUNT`/`EXISTS`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColumnRef {
+    /// Table name.
     pub table: String,
+    /// Column name (`*` for row-counting aggregates).
     pub column: String,
 }
 
@@ -20,12 +22,19 @@ impl fmt::Display for ColumnRef {
 /// Aggregates usable in the `PREDICT` target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Agg {
+    /// Row count in the window.
     Count,
+    /// Distinct values of a column in the window.
     CountDistinct,
+    /// Sum of a numeric column.
     Sum,
+    /// Mean of a numeric column.
     Avg,
+    /// Minimum of a numeric column.
     Min,
+    /// Maximum of a numeric column.
     Max,
+    /// Whether any row falls in the window.
     Exists,
     /// Distinct FK values in the window — defines a recommendation task.
     ListDistinct,
@@ -71,7 +80,9 @@ impl fmt::Display for Agg {
 /// an optional comparison turning it into a binary label.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TargetExpr {
+    /// The aggregate function.
     pub agg: Agg,
+    /// The aggregated `table.column`.
     pub target: ColumnRef,
     /// Optional conditional-aggregate filter over the *target table's*
     /// columns: `COUNT(orders.* WHERE amount > 50, 0, 30)`.
@@ -101,8 +112,11 @@ impl fmt::Display for TargetExpr {
 /// Literal values in `WHERE`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Literal {
+    /// Numeric literal.
     Num(f64),
+    /// Single-quoted string literal.
     Str(String),
+    /// `true` / `false`.
     Bool(bool),
 }
 
@@ -119,17 +133,27 @@ impl fmt::Display for Literal {
 /// Boolean filter over entity-table columns.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Cond {
+    /// `column <op> literal`.
     Cmp {
+        /// Column name in the filtered table.
         column: String,
+        /// Comparison operator.
         op: CmpOp,
+        /// Right-hand literal.
         value: Literal,
     },
+    /// `column IS [NOT] NULL`.
     IsNull {
+        /// Column name in the filtered table.
         column: String,
+        /// True for `IS NOT NULL`.
         negated: bool,
     },
+    /// Both conditions hold.
     And(Box<Cond>, Box<Cond>),
+    /// Either condition holds.
     Or(Box<Cond>, Box<Cond>),
+    /// The condition does not hold.
     Not(Box<Cond>),
 }
 
@@ -150,9 +174,11 @@ impl fmt::Display for Cond {
 /// A complete predictive query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PredictiveQuery {
+    /// What to predict.
     pub target: TargetExpr,
     /// `FOR EACH table.primary_key`.
     pub entity: ColumnRef,
+    /// Optional entity filter (`WHERE …`).
     pub filter: Option<Cond>,
     /// `USING key = value, …` (model/hyper-parameter overrides).
     pub options: Vec<(String, String)>,

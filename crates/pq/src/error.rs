@@ -9,7 +9,12 @@ pub type PqResult<T> = Result<T, PqError>;
 #[derive(Debug, Clone, PartialEq)]
 pub enum PqError {
     /// Lexing/parsing failure with byte position.
-    Parse { position: usize, message: String },
+    Parse {
+        /// Byte offset of the offending character/token.
+        position: usize,
+        /// What went wrong.
+        message: String,
+    },
     /// Query is well-formed but inconsistent with the schema.
     Analyze(String),
     /// Training-table construction failed (no anchors, no labels, …).

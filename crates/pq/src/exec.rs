@@ -16,6 +16,7 @@ use relgraph_gnn::{
 };
 use relgraph_graph::Seed;
 use relgraph_metrics as metrics;
+use relgraph_obs as obs;
 use relgraph_store::{Database, Timestamp, Value};
 
 use crate::analyze::{analyze, AnalyzedQuery, TaskType};
@@ -231,9 +232,11 @@ pub struct QueryOutcome {
     pub predictions: Vec<Prediction>,
     /// The compiled plan, human-readable.
     pub explain: String,
-    /// Split sizes.
+    /// Training-split size (examples).
     pub train_size: usize,
+    /// Validation-split size (examples).
     pub val_size: usize,
+    /// Test-split size (examples).
     pub test_size: usize,
 }
 
@@ -268,10 +271,17 @@ impl QueryOutcome {
 
 /// Parse, analyze, compile, train, evaluate, predict.
 pub fn execute(db: &Database, query_text: &str, config: &ExecConfig) -> PqResult<QueryOutcome> {
-    let query = parse(query_text)?;
+    let _root = obs::span("pq.execute");
+    let query = {
+        let _s = obs::span("pq.parse");
+        parse(query_text)?
+    };
     let mut cfg = config.clone();
     cfg.apply_options(&query.options)?;
-    let aq = analyze(db, query)?;
+    let aq = {
+        let _s = obs::span("pq.analyze");
+        analyze(db, query)?
+    };
     let table = build_training_table(db, &aq, &cfg.traintable)?;
     execute_analyzed(db, &aq, &table, &cfg)
 }
@@ -284,12 +294,19 @@ pub fn execute_analyzed(
     table: &TrainingTable,
     cfg: &ExecConfig,
 ) -> PqResult<QueryOutcome> {
+    let _span = obs::span("pq.run_task");
     let explain_text = explain(db, aq, Some(table));
     let (metrics, predictions) = match aq.task {
         TaskType::Classification | TaskType::Regression => run_node_task(db, aq, table, cfg)?,
         TaskType::Recommendation => run_recommendation(db, aq, table, cfg)?,
         TaskType::Multiclass => run_multiclass(db, aq, table, cfg)?,
     };
+    if obs::enabled() {
+        for (name, value) in &metrics {
+            obs::gauge(&format!("metric.{name}"), *value);
+        }
+        obs::add("pq.predictions", predictions.len() as u64);
+    }
     Ok(QueryOutcome {
         task: aq.task,
         model: cfg.model,
@@ -702,6 +719,7 @@ fn run_node_task(
         }
     };
 
+    let _eval = obs::span("pq.eval");
     let metrics = node_metrics(aq.task, &test_preds, &test_truth);
     let predictions = deploy_rows
         .iter()

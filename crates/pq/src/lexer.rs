@@ -5,44 +5,70 @@ use crate::error::{PqError, PqResult};
 /// A lexical token with its byte position.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
+    /// What was lexed.
     pub kind: TokenKind,
+    /// Byte offset of the token's first character in the query text.
     pub position: usize,
 }
 
 /// Token kinds. Keywords are case-insensitive; identifiers preserve case.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TokenKind {
-    // Keywords.
+    /// `PREDICT`.
     Predict,
+    /// `FOR`.
     For,
+    /// `EACH`.
     Each,
+    /// `WHERE`.
     Where,
+    /// `USING`.
     Using,
+    /// `AND`.
     And,
+    /// `OR`.
     Or,
+    /// `NOT`.
     Not,
+    /// `IS`.
     Is,
+    /// `NULL`.
     Null,
+    /// `TRUE`.
     True,
+    /// `FALSE`.
     False,
     /// Aggregate keyword, stored canonically.
     Aggregate(crate::ast::Agg),
-    // Literals / names.
+    /// Unquoted name (table, column, option key/value).
     Ident(String),
+    /// Numeric literal.
     Number(f64),
+    /// Single-quoted string literal (quotes stripped).
     Str(String),
-    // Punctuation.
+    /// `(`.
     LParen,
+    /// `)`.
     RParen,
+    /// `,`.
     Comma,
+    /// `.`.
     Dot,
+    /// `*`.
     Star,
+    /// `=`.
     Eq,
+    /// `!=` / `<>`.
     Ne,
+    /// `<`.
     Lt,
+    /// `<=`.
     Le,
+    /// `>`.
     Gt,
+    /// `>=`.
     Ge,
+    /// End of input.
     Eof,
 }
 

@@ -33,19 +33,24 @@
 //!
 //! ## Example
 //!
-//! ```no_run
+//! ```
 //! use relgraph_pq::{execute, ExecConfig};
 //! use relgraph_datagen::{generate_ecommerce, EcommerceConfig};
 //!
-//! let db = generate_ecommerce(&EcommerceConfig::default()).unwrap();
+//! let db = generate_ecommerce(&EcommerceConfig {
+//!     customers: 50, products: 15, ..Default::default()
+//! }).unwrap();
 //! let outcome = execute(
 //!     &db,
-//!     "PREDICT COUNT(orders.order_id, 0, 30) > 0 FOR EACH customers.customer_id",
+//!     "PREDICT COUNT(orders.order_id, 0, 30) > 0 FOR EACH customers.customer_id \
+//!      USING model = trivial",
 //!     &ExecConfig::default(),
 //! )
 //! .unwrap();
-//! println!("{}", outcome.summary());
+//! assert!(outcome.metric("accuracy").is_some());
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod analyze;
 pub mod ast;

@@ -25,6 +25,7 @@ use crate::error::{PqError, PqResult};
 /// recommendation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Label {
+    /// Numeric label (classification targets use `0.0`/`1.0`).
     Scalar(f64),
     /// Row indices in the item table (future positives).
     Items(Vec<usize>),
@@ -72,7 +73,9 @@ pub struct Example {
 /// Temporal split fractions (test takes the remainder).
 #[derive(Debug, Clone, Copy)]
 pub struct SplitSpec {
+    /// Fraction of anchors whose examples train the model.
     pub train_frac: f64,
+    /// Fraction of anchors used for validation/early stopping.
     pub val_frac: f64,
 }
 
@@ -109,8 +112,11 @@ impl Default for TrainTableConfig {
 /// The supervised dataset a query compiles into.
 #[derive(Debug, Clone)]
 pub struct TrainingTable {
+    /// Training examples (earliest anchors).
     pub train: Vec<Example>,
+    /// Validation examples (middle anchors).
     pub val: Vec<Example>,
+    /// Test examples (latest anchors).
     pub test: Vec<Example>,
     /// All anchors, ascending; train anchors precede val precede test.
     pub anchors: Vec<Timestamp>,
@@ -194,6 +200,7 @@ pub fn build_training_table(
     aq: &AnalyzedQuery,
     cfg: &TrainTableConfig,
 ) -> PqResult<TrainingTable> {
+    let _span = relgraph_obs::span("pq.traintable");
     let entity = db.table(&aq.entity_table)?;
     let target = db.table(&aq.target_table)?;
     let (t0, t1) = db
@@ -433,6 +440,26 @@ pub fn build_training_table(
         return Err(PqError::TrainingTable(
             "no training examples were generated".into(),
         ));
+    }
+    if relgraph_obs::enabled() {
+        relgraph_obs::add("pq.traintable.anchors", anchors.len() as u64);
+        relgraph_obs::add("pq.traintable.train_examples", table.train.len() as u64);
+        relgraph_obs::add("pq.traintable.val_examples", table.val.len() as u64);
+        relgraph_obs::add("pq.traintable.test_examples", table.test.len() as u64);
+        // Leakage-window stats: the label window each anchor reads from,
+        // in days, and the anchor schedule's span.
+        relgraph_obs::gauge(
+            "pq.traintable.window_start_days",
+            aq.query.target.start_days as f64,
+        );
+        relgraph_obs::gauge(
+            "pq.traintable.window_end_days",
+            aq.query.target.end_days as f64,
+        );
+        relgraph_obs::gauge(
+            "pq.traintable.anchor_span_days",
+            (last - first) as f64 / SECONDS_PER_DAY as f64,
+        );
     }
     Ok(table)
 }

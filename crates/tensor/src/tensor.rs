@@ -175,9 +175,15 @@ impl Tensor {
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.cols, rhs.rows, "matmul inner dimensions must agree");
         let (m, n, kd) = (self.rows, rhs.cols, self.cols);
+        if relgraph_obs::enabled() {
+            relgraph_obs::add("tensor.matmul.calls", 1);
+            relgraph_obs::add("tensor.matmul.flops", 2 * (m * n * kd) as u64);
+        }
         if baseline_matmul() || m * n * kd < PAR_FLOPS_THRESHOLD || n == 0 {
+            relgraph_obs::add("tensor.matmul.naive_calls", 1);
             return self.matmul_naive(rhs);
         }
+        relgraph_obs::add("tensor.matmul.blocked_calls", 1);
         let mut out = Tensor::zeros(m, n);
         out.data
             .par_chunks_mut(ROW_BLOCK * n)
@@ -236,6 +242,13 @@ impl Tensor {
     /// the result).
     pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.cols, rhs.cols, "matmul_nt inner dimensions must agree");
+        if relgraph_obs::enabled() {
+            relgraph_obs::add("tensor.matmul.calls", 1);
+            relgraph_obs::add(
+                "tensor.matmul.flops",
+                2 * (self.rows * rhs.rows * self.cols) as u64,
+            );
+        }
         if baseline_matmul() {
             return self.matmul_naive(&rhs.transpose());
         }
@@ -269,6 +282,13 @@ impl Tensor {
     /// result matches `self.transpose().matmul(rhs)` bit-for-bit.
     pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.rows, rhs.rows, "matmul_tn outer dimensions must agree");
+        if relgraph_obs::enabled() {
+            relgraph_obs::add("tensor.matmul.calls", 1);
+            relgraph_obs::add(
+                "tensor.matmul.flops",
+                2 * (self.cols * rhs.cols * self.rows) as u64,
+            );
+        }
         if baseline_matmul() {
             return self.transpose().matmul_naive(rhs);
         }

@@ -9,6 +9,8 @@ use relgraph::pq::{analyze, build_training_table, explain, parse};
 use relgraph::prelude::*;
 
 fn main() {
+    // Span trees on stderr show how long each compile stage takes.
+    relgraph::obs::init_from_env_or_stderr();
     let db = generate_ecommerce(&EcommerceConfig {
         customers: 120,
         products: 30,

@@ -2,11 +2,18 @@
 //! query, and inspect the compiled plan, test metrics and live predictions.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! The per-stage timing tree (parse → traintable → sample → train → eval)
+//! prints on stderr; set `RELGRAPH_OBS=json:<path>` for machine-readable
+//! span events plus a final run-report document instead.
 
 use relgraph::pq::{execute, ExecConfig, PredictionValue};
 use relgraph::prelude::*;
 
 fn main() {
+    // 0. Observability: stderr span trees unless RELGRAPH_OBS says otherwise.
+    relgraph::obs::init_from_env_or_stderr();
+
     // 1. A relational database: customers / products / orders / reviews.
     let db = generate_ecommerce(&EcommerceConfig {
         customers: 300,
@@ -29,6 +36,15 @@ fn main() {
         ..Default::default()
     };
     let outcome = execute(&db, query, &cfg).expect("execute query");
+    relgraph::obs::emit_run_report(
+        "quickstart",
+        &[
+            ("dataset", "demo:ecommerce"),
+            ("task", &outcome.task.to_string()),
+            ("model", &outcome.model.to_string()),
+            ("seed", "7"),
+        ],
+    );
 
     // 3. The compiled plan, backtest metrics, and deploy-time answers.
     println!("{}", outcome.explain);

@@ -17,6 +17,10 @@
 //!   --export-demo <DIR> write the demo database to DIR (schema.ddl + CSVs) and exit
 //! ```
 //!
+//! Set `RELGRAPH_OBS=stderr` for a per-stage timing tree on stderr, or
+//! `RELGRAPH_OBS=json:<path>` to write machine-readable span events plus a
+//! final `run_report` JSON document (see `relgraph::obs`).
+//!
 //! Model and hyper-parameters are controlled from the query's `USING`
 //! clause (e.g. `USING model = gbdt, epochs = 20`).
 
@@ -114,6 +118,7 @@ fn load(args: &Args) -> Result<Database, String> {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    relgraph::obs::init_from_env();
     let db = load(&args)?;
     eprintln!("{}", db.summary());
 
@@ -143,6 +148,21 @@ fn run() -> Result<(), String> {
         ..Default::default()
     };
     let outcome = execute(&db, query_text, &cfg).map_err(|e| e.to_string())?;
+    relgraph::obs::emit_run_report(
+        "relgraph-cli",
+        &[
+            (
+                "dataset",
+                args.demo
+                    .as_deref()
+                    .or(args.data.as_deref())
+                    .unwrap_or("unknown"),
+            ),
+            ("task", &outcome.task.to_string()),
+            ("model", &outcome.model.to_string()),
+            ("seed", &args.seed.to_string()),
+        ],
+    );
     println!("{}", outcome.explain);
     println!("Backtest ({} test examples):", outcome.test_size);
     for (name, v) in &outcome.metrics {

@@ -49,6 +49,7 @@
 //! | [`baselines`] | `relgraph-baselines` | feature engineering + tabular models |
 //! | [`datagen`] | `relgraph-datagen` | seeded synthetic databases |
 //! | [`metrics`] | `relgraph-metrics` | AUROC / MAE / MAP@K … |
+//! | [`obs`] | `relgraph-obs` | spans, counters, run reports (`RELGRAPH_OBS`) |
 
 pub use relgraph_baselines as baselines;
 pub use relgraph_datagen as datagen;
@@ -57,6 +58,7 @@ pub use relgraph_gnn as gnn;
 pub use relgraph_graph as graph;
 pub use relgraph_metrics as metrics;
 pub use relgraph_nn as nn;
+pub use relgraph_obs as obs;
 pub use relgraph_pq as pq;
 pub use relgraph_store as store;
 pub use relgraph_tensor as tensor;

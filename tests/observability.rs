@@ -1,0 +1,171 @@
+//! Observability integration tests: the instrumentation layer must see
+//! every pipeline stage, and must never change what the pipeline computes.
+//!
+//! The obs registry is process-global, so every test takes `OBS_LOCK` and
+//! resets the registry when done.
+
+use std::sync::Mutex;
+
+use relgraph::obs;
+use relgraph::pq::{execute, ExecConfig, PredictionValue};
+use relgraph::prelude::*;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+const QUERY: &str = "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id \
+                     USING model = gnn";
+
+fn small_db(seed: u64) -> Database {
+    generate_ecommerce(&EcommerceConfig {
+        customers: 70,
+        products: 20,
+        seed,
+        ..Default::default()
+    })
+    .expect("generate")
+}
+
+fn fast_cfg() -> ExecConfig {
+    ExecConfig {
+        epochs: 3,
+        hidden_dim: 12,
+        fanouts: vec![4, 4],
+        max_predictions: Some(10),
+        ..Default::default()
+    }
+}
+
+/// Fingerprint an outcome bit-exactly (scores via `to_bits`).
+fn fingerprint(outcome: &QueryOutcome) -> Vec<(String, u64)> {
+    outcome
+        .predictions
+        .iter()
+        .map(|p| {
+            let bits = match &p.value {
+                PredictionValue::Score(s) => s.to_bits(),
+                other => panic!("expected scores, got {other:?}"),
+            };
+            (format!("{:?}", p.entity_key), bits)
+        })
+        .collect()
+}
+
+#[test]
+fn memory_sink_sees_the_full_stage_sequence() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let sink = obs::MemorySink::install();
+
+    let db = small_db(11);
+    let outcome = execute(&db, QUERY, &fast_cfg()).expect("execute");
+    assert!(outcome.metric("accuracy").is_some());
+    obs::emit_run_report("test", &[("suite", "observability")]);
+
+    let roots = sink.roots();
+    assert_eq!(roots.len(), 1, "one root span per query execution");
+    let root = &roots[0];
+    assert_eq!(root.name, "pq.execute");
+
+    // Every pipeline stage must appear somewhere under the root, in spirit
+    // of the paper's query → train-table → train → eval compilation.
+    for stage in [
+        "pq.parse",
+        "pq.analyze",
+        "pq.traintable",
+        "pq.run_task",
+        "db2graph.build_graph",
+        "gnn.train",
+        "graph.sample",
+        "gnn.predict",
+        "pq.eval",
+    ] {
+        assert!(
+            root.find(stage).is_some(),
+            "stage `{stage}` missing from span tree {:?}",
+            root.names()
+        );
+    }
+
+    // Stage nesting: parse/analyze/traintable/run_task are direct children
+    // of the root; training and evaluation happen inside the task runner.
+    let child_names: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+    for direct in ["pq.parse", "pq.analyze", "pq.traintable", "pq.run_task"] {
+        assert!(
+            child_names.contains(&direct),
+            "`{direct}` should be a direct child of pq.execute, got {child_names:?}"
+        );
+    }
+    let run_task = root.find("pq.run_task").unwrap();
+    assert!(run_task.find("gnn.train").is_some());
+    assert!(run_task.find("pq.eval").is_some());
+    // Rayon-side sampling time is attributed to training via the counter
+    // delta, so the synthetic span must nest under gnn.train.
+    assert!(run_task
+        .find("gnn.train")
+        .unwrap()
+        .find("graph.sample")
+        .is_some());
+
+    // Durations are sane: children fit inside the root's wall time.
+    for child in &root.children {
+        assert!(
+            child.duration_ms <= root.duration_ms + 1.0,
+            "child {} ({} ms) exceeds root ({} ms)",
+            child.name,
+            child.duration_ms,
+            root.duration_ms
+        );
+    }
+
+    // The run report snapshots the headline counters and metrics.
+    let reports = sink.reports();
+    assert_eq!(reports.len(), 1);
+    let report = &reports[0];
+    assert_eq!(report.name, "test");
+    let counter = |name: &str| {
+        report
+            .counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    };
+    assert!(counter("pq.traintable.anchors").is_some());
+    assert!(counter("graph.sample.seeds").is_some());
+    assert!(counter("tensor.matmul.calls").is_some());
+    assert!(counter("gnn.train.epochs").unwrap_or(0) >= 1);
+    assert!(report.gauges.iter().any(|(k, _)| k.starts_with("metric.")));
+    assert!(report.series.iter().any(|(k, _)| k == "gnn.train_loss"));
+
+    obs::reset();
+    obs::disable();
+}
+
+#[test]
+fn observation_never_changes_predictions() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    obs::disable();
+
+    let db = small_db(12);
+    let plain = execute(&db, QUERY, &fast_cfg()).expect("obs-off run");
+
+    let sink = obs::MemorySink::install();
+    let observed = execute(&db, QUERY, &fast_cfg()).expect("obs-on run");
+    assert!(
+        !sink.span_names().is_empty(),
+        "sink must actually have observed the second run"
+    );
+    obs::reset();
+    obs::disable();
+
+    assert_eq!(
+        fingerprint(&plain),
+        fingerprint(&observed),
+        "instrumentation must be observe-only: bit-identical predictions"
+    );
+    for name in ["accuracy", "auroc"] {
+        assert_eq!(
+            plain.metric(name).map(f64::to_bits),
+            observed.metric(name).map(f64::to_bits),
+            "metric {name} must not change under observation"
+        );
+    }
+}

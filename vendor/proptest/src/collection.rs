@@ -8,7 +8,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use rand::Rng;
 
-/// Lengths accepted by [`vec`] / [`hash_set`]: an exact `usize` or a range.
+/// Lengths accepted by [`vec()`] / [`hash_set`]: an exact `usize` or a range.
 pub trait SizeRange {
     /// Draw a length.
     fn pick(&self, rng: &mut TestRng) -> usize;
@@ -37,7 +37,7 @@ pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> 
     VecStrategy { element, size }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S, R> {
     element: S,
     size: R,
