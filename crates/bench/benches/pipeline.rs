@@ -114,13 +114,76 @@ fn bench_pq_compile(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_ingest(c: &mut Criterion) {
+    use relgraph_db2graph::{update_graph, GraphCursor};
+    use relgraph_store::{Database, IngestPolicy, RowBatch};
+
+    let full = db(800);
+    let (lo, hi) = full.time_span().unwrap();
+    let t_cut = hi - (hi - lo) / 20;
+    let mut base = Database::new("bench-ingest");
+    for t in full.tables() {
+        base.create_table(t.schema().clone()).unwrap();
+    }
+    let mut late = Vec::new();
+    for t in full.tables() {
+        let streamed = matches!(t.name(), "orders" | "reviews");
+        for i in 0..t.len() {
+            let row = t.row(i).unwrap();
+            match t.row_timestamp(i) {
+                Some(rt) if streamed && rt > t_cut => late.push((t.name().to_string(), rt, row)),
+                _ => {
+                    base.insert(t.name(), row).unwrap();
+                }
+            }
+        }
+    }
+    late.sort_by_key(|&(_, rt, _)| rt);
+    let mut batch = RowBatch::new();
+    for (table, _, row) in late {
+        batch.push(table, row);
+    }
+    let n_rows = batch.len();
+    let opts = ConvertOptions::default();
+    let (g0, m0) = build_graph(&base, &opts).unwrap();
+    let c0 = GraphCursor::capture(&base);
+
+    let mut g = c.benchmark_group("ingest");
+    g.bench_function(&format!("validate_apply_{n_rows}rows"), |b| {
+        b.iter(|| {
+            let mut db = base.clone();
+            db.ingest(batch.clone(), &IngestPolicy::reject_all())
+                .unwrap()
+                .accepted
+        })
+    });
+    let mut db_after = base.clone();
+    db_after
+        .ingest(batch.clone(), &IngestPolicy::reject_all())
+        .unwrap();
+    g.bench_function("full_rebuild", |b| {
+        b.iter(|| build_graph(&db_after, &opts).unwrap().0.total_edges())
+    });
+    g.bench_function("incremental_delta", |b| {
+        b.iter_with_setup(
+            || (g0.clone(), m0.clone(), c0.clone()),
+            |(mut graph, mut mapping, mut cursor)| {
+                update_graph(&db_after, &mut graph, &mut mapping, &mut cursor, &opts).unwrap();
+                graph.total_edges()
+            },
+        )
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_datagen,
     bench_graph_build,
     bench_sampler,
     bench_feature_engineering,
-    bench_pq_compile
+    bench_pq_compile,
+    bench_ingest
 );
 
 fn main() {

@@ -27,13 +27,14 @@
 use std::time::Instant;
 
 use relgraph_datagen::{generate_ecommerce, EcommerceConfig};
-use relgraph_db2graph::{build_graph, ConvertOptions};
+use relgraph_db2graph::{build_graph, update_graph, ConvertOptions, GraphCursor};
 use relgraph_gnn::batch::{build_batch, input_dims};
 use relgraph_gnn::{Aggregation, GnnConfig, HeteroGnn};
 use relgraph_graph::{SamplerConfig, Seed, TemporalSampler};
 use relgraph_nn::{clip_global_norm, loss, Activation, Adam, Binding, Optimizer, ParamSet};
 use relgraph_pq::traintable::TrainTableConfig;
 use relgraph_pq::{analyze, build_training_table, parse};
+use relgraph_store::{IngestPolicy, RowBatch};
 use relgraph_tensor::{set_baseline_matmul, Graph, Tensor};
 
 /// One before/after measurement.
@@ -197,6 +198,79 @@ pub fn run_snapshot(quick: bool) -> Snapshot {
             unit: "gflop/s".into(),
             before: gflop / before,
             after: gflop / after,
+        });
+    }
+
+    // --- ingest: incremental graph maintenance vs full rebuild. A batch of
+    // late events (the newest ~5% of orders and reviews) arrives through the
+    // validated streaming path; `before` recompiles the whole graph from
+    // scratch after the batch lands, `after` applies the delta to the
+    // pre-batch graph. Both produce structurally identical graphs
+    // (asserted), so the speedup is pure maintenance savings.
+    {
+        let (lo2, hi2) = db.time_span().unwrap();
+        let t_cut = hi2 - (hi2 - lo2) / 20;
+        let mut base = relgraph_store::Database::new("bench-ingest-base");
+        for t in db.tables() {
+            base.create_table(t.schema().clone()).unwrap();
+        }
+        let mut late: Vec<(String, i64, relgraph_store::Row)> = Vec::new();
+        for t in db.tables() {
+            let streamed = matches!(t.name(), "orders" | "reviews");
+            for i in 0..t.len() {
+                let row = t.row(i).expect("index in range");
+                match t.row_timestamp(i) {
+                    Some(rt) if streamed && rt > t_cut => {
+                        late.push((t.name().to_string(), rt, row))
+                    }
+                    _ => {
+                        base.insert(t.name(), row).unwrap();
+                    }
+                }
+            }
+        }
+        // Stream arrival order: events arrive sorted by event time.
+        late.sort_by_key(|&(_, rt, _)| rt);
+        let mut batch = RowBatch::new();
+        for (table, _, row) in late {
+            batch.push(table, row);
+        }
+        let n_batch = batch.len() as f64;
+        let opts = ConvertOptions::default();
+        let (g0, m0) = build_graph(&base, &opts).unwrap();
+        let c0 = GraphCursor::capture(&base);
+        let mut db_after = base.clone();
+        db_after.ingest(batch, &IngestPolicy::reject_all()).unwrap();
+
+        // Both sides are sub-5ms, so extra reps are cheap and the delta
+        // side (sub-ms) needs them to measure above scheduler noise.
+        let ingest_reps = (reps * 5).max(10);
+        let before = best_secs(ingest_reps, || {
+            build_graph(&db_after, &opts).unwrap().0.total_edges()
+        });
+        // Fresh pre-batch state per call, cloned outside the timer.
+        let mut pool: Vec<_> = (0..ingest_reps + 1)
+            .map(|_| (g0.clone(), m0.clone(), c0.clone()))
+            .collect();
+        let after = best_secs(ingest_reps, || {
+            let (mut g, mut m, mut c) = pool.pop().expect("one clone per rep");
+            update_graph(&db_after, &mut g, &mut m, &mut c, &opts).unwrap();
+            g.total_edges()
+        });
+        // Correctness gate: the incremental graph must match a scratch
+        // compile of the post-ingest database exactly.
+        let (mut g1, mut m1, mut c1) = (g0.clone(), m0.clone(), c0);
+        update_graph(&db_after, &mut g1, &mut m1, &mut c1, &opts).unwrap();
+        let (scratch, _) = build_graph(&db_after, &opts).unwrap();
+        assert!(
+            g1.structural_eq(&scratch),
+            "incremental graph diverged from scratch rebuild"
+        );
+        sections.push(Section {
+            name: "ingest".into(),
+            unit: "rows/s".into(),
+            before: n_batch / before,
+            after: n_batch / after,
         });
     }
 

@@ -1,0 +1,37 @@
+//! Smoke test for the before/after performance snapshot.
+//!
+//! Ignored by default: the quick snapshot trains a small GNN, which is
+//! only reasonable under `--release`. Run with
+//! `cargo test --release -p relgraph-bench -- --ignored --nocapture`.
+
+use relgraph_bench::run_snapshot;
+
+#[test]
+#[ignore = "slow in debug builds; run with --release --ignored"]
+fn quick_snapshot_smoke() {
+    let snap = run_snapshot(true);
+    for s in &snap.sections {
+        eprintln!(
+            "{:<12} {:>12.1} -> {:>12.1} {} ({:.2}x)",
+            s.name,
+            s.before,
+            s.after,
+            s.unit,
+            s.after / s.before
+        );
+    }
+    let ingest = snap
+        .sections
+        .iter()
+        .find(|s| s.name == "ingest")
+        .expect("ingest section present");
+    // The structural_eq gate inside run_snapshot already asserts
+    // correctness; here we only sanity-check that the incremental path
+    // is not slower than a scratch rebuild.
+    assert!(
+        ingest.after > ingest.before,
+        "incremental maintenance slower than full rebuild: {} vs {} rows/s",
+        ingest.after,
+        ingest.before
+    );
+}

@@ -63,6 +63,18 @@ impl GraphMapping {
     }
 }
 
+/// Canonical forward edge-type name for one FK (referencing → referenced).
+/// Shared by the full converter and the incremental delta path so both
+/// resolve the same edge types.
+pub(crate) fn forward_edge_name(table: &str, fk_column: &str, target: &str) -> String {
+    format!("{table}.{fk_column}->{target}")
+}
+
+/// Canonical reverse edge-type name for one FK (referenced → referencing).
+pub(crate) fn reverse_edge_name(target: &str, table: &str, fk_column: &str) -> String {
+    format!("{target}<-{table}.{fk_column}")
+}
+
 /// Compile `db` into a heterogeneous temporal graph.
 ///
 /// Every non-null FK cell becomes one forward edge (referencing row →
@@ -114,7 +126,7 @@ pub fn build_graph(
                 node_type(target.name()).ok_or_else(|| ConvertError::MissingPrimaryKey {
                     table: target.name().to_string(),
                 })?;
-            let fwd_name = format!("{}.{}->{}", table.name(), fk.column, target.name());
+            let fwd_name = forward_edge_name(table.name(), &fk.column, target.name());
             let fwd = builder.add_edge_type(&fwd_name, src_nt, dst_nt);
             edge_bindings.push(EdgeBinding {
                 name: fwd_name,
@@ -124,7 +136,7 @@ pub fn build_graph(
                 reverse: false,
             });
             let rev = if options.reverse_edges {
-                let rev_name = format!("{}<-{}.{}", target.name(), table.name(), fk.column);
+                let rev_name = reverse_edge_name(target.name(), table.name(), &fk.column);
                 let id = builder.add_edge_type(&rev_name, dst_nt, src_nt);
                 edge_bindings.push(EdgeBinding {
                     name: rev_name,

@@ -1,0 +1,420 @@
+//! Incremental graph maintenance: convert appended rows into a graph
+//! delta instead of reconverting the whole database.
+//!
+//! Tables in the store are append-only, so a row's index — and therefore
+//! its node id — never changes. That makes the delta between two database
+//! states purely additive: new nodes for appended rows, new edges for
+//! their FK cells. [`update_graph`] applies exactly that, with one
+//! wrinkle: appending rows shifts the z-score normalization statistics of
+//! every *touched* table, so touched tables are re-featurized in full
+//! (untouched tables keep their matrices verbatim). The result is
+//! **bit-identical** to a from-scratch [`build_graph`](crate::build_graph)
+//! of the grown database — the property test battery in
+//! `tests/ingest_equivalence.rs` holds this line.
+//!
+//! ```text
+//! let (mut graph, mut mapping) = build_graph(&db, &opts)?;
+//! let mut cursor = GraphCursor::capture(&db);
+//! // ... db.ingest(batch, &policy)? ...
+//! let stats = update_graph(&db, &mut graph, &mut mapping, &mut cursor, &opts)?;
+//! ```
+
+use relgraph_graph::{HeteroGraph, ALWAYS_VISIBLE};
+use relgraph_store::Database;
+
+use crate::convert::{forward_edge_name, reverse_edge_name, GraphMapping};
+use crate::error::{ConvertError, ConvertResult};
+use crate::featurize::{featurize_table, featurize_table_delta};
+use crate::ConvertOptions;
+
+/// A high-water mark of how much of a database has been converted into a
+/// graph: per-table row counts at capture time. Advance it with
+/// [`update_graph`] after each ingest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphCursor {
+    /// `(table name, rows converted)` in table-creation order.
+    row_counts: Vec<(String, usize)>,
+}
+
+impl GraphCursor {
+    /// Capture the current per-table row counts of `db`.
+    pub fn capture(db: &Database) -> Self {
+        GraphCursor {
+            row_counts: db
+                .tables()
+                .iter()
+                .map(|t| (t.name().to_string(), t.len()))
+                .collect(),
+        }
+    }
+
+    /// Rows already converted for `table`, if tracked.
+    pub fn rows_converted(&self, table: &str) -> Option<usize> {
+        self.row_counts
+            .iter()
+            .find(|(n, _)| n == table)
+            .map(|&(_, c)| c)
+    }
+}
+
+/// What one [`update_graph`] call changed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Nodes appended across all node types.
+    pub new_nodes: usize,
+    /// Edges appended across all edge types (forward + reverse counted
+    /// separately, matching [`HeteroGraph::total_edges`] accounting).
+    pub new_edges: usize,
+    /// Tables that grew (and were therefore re-featurized).
+    pub tables_touched: usize,
+    /// Edge types whose CSR was rebuilt with new edges.
+    pub edge_types_rebuilt: usize,
+}
+
+impl DeltaStats {
+    /// True when the database had not grown since the cursor was captured.
+    pub fn is_empty(&self) -> bool {
+        self.new_nodes == 0 && self.new_edges == 0
+    }
+}
+
+/// Apply the database growth since `cursor` to `graph` as a delta.
+///
+/// Two passes, mirroring [`build_graph`](crate::build_graph):
+///
+/// 1. **Nodes** — for every table that grew, append node times for the new
+///    rows and re-featurize the whole table (append-shifted normalization
+///    statistics touch every row, so the matrix is replaced, not extended);
+///    `mapping`'s feature specs are refreshed to the new statistics.
+/// 2. **Edges** — for every new row's non-null FK cell, one forward edge
+///    (and its reverse, when the mapping was built with reverse edges)
+///    carrying the referencing row's timestamp. Each touched edge type's
+///    CSR is rebuilt once, at the end, with all its new edges.
+///
+/// Node-first ordering matters: a new row may reference a new row of
+/// another table in the same delta, in either table order.
+///
+/// Errors with [`ConvertError::SchemaDrift`] if tables were added, removed
+/// or shrunk since the cursor was captured, and with
+/// [`ConvertError::DanglingReference`] if a new row references a missing
+/// key — the graph may then hold new nodes but no partial edges for the
+/// offending table; callers should treat the graph as poisoned and rebuild.
+/// On success the cursor is advanced to the new row counts.
+pub fn update_graph(
+    db: &Database,
+    graph: &mut HeteroGraph,
+    mapping: &mut GraphMapping,
+    cursor: &mut GraphCursor,
+    options: &ConvertOptions,
+) -> ConvertResult<DeltaStats> {
+    let _span = relgraph_obs::span("db2graph.delta");
+    if db.table_count() != cursor.row_counts.len() {
+        return Err(ConvertError::SchemaDrift(format!(
+            "database has {} tables, cursor tracks {}",
+            db.table_count(),
+            cursor.row_counts.len()
+        )));
+    }
+    let mut stats = DeltaStats::default();
+
+    // Pass 1: nodes and features for every table that grew.
+    for (i, table) in db.tables().iter().enumerate() {
+        let (ref cur_name, converted) = cursor.row_counts[i];
+        if table.name() != cur_name {
+            return Err(ConvertError::SchemaDrift(format!(
+                "table #{i} is `{}`, cursor tracks `{cur_name}`",
+                table.name()
+            )));
+        }
+        if table.len() < converted {
+            return Err(ConvertError::SchemaDrift(format!(
+                "table `{}` shrank from {converted} to {} rows",
+                table.name(),
+                table.len()
+            )));
+        }
+        if table.len() == converted {
+            continue;
+        }
+        let nt = mapping.node_type(table.name()).ok_or_else(|| {
+            ConvertError::SchemaDrift(format!("table `{}` missing from mapping", table.name()))
+        })?;
+        let new_times: Vec<i64> = if table.schema().time_column_index().is_some() {
+            (converted..table.len())
+                .map(|r| table.row_timestamp(r).unwrap_or(ALWAYS_VISIBLE))
+                .collect()
+        } else {
+            vec![ALWAYS_VISIBLE; table.len() - converted]
+        };
+        // Reuse the value-only slots of already-featurized rows; only the
+        // z-score-dependent slots are recomputed (appends shift the
+        // normalization statistics of the whole column). Falls back to a
+        // full re-featurization if the stored matrix can't be reused.
+        let (spec, features) = featurize_table_delta(
+            table,
+            &mapping.feature_specs[i],
+            graph.features(nt),
+            options.text_hash_dim,
+        )
+        .unwrap_or_else(|| featurize_table(table, options.text_hash_dim));
+        graph.extend_nodes(nt, &new_times, features)?;
+        mapping.feature_specs[i] = spec;
+        stats.new_nodes += new_times.len();
+        stats.tables_touched += 1;
+    }
+
+    // Pass 2: edges out of (and into) the new rows. Done after every
+    // table's nodes exist so cross-table references within one delta
+    // resolve regardless of table order.
+    for (i, table) in db.tables().iter().enumerate() {
+        let converted = cursor.row_counts[i].1;
+        if table.len() == converted {
+            continue;
+        }
+        for fk in table.schema().foreign_keys() {
+            let target = db.table(&fk.referenced_table)?;
+            let fwd_name = forward_edge_name(table.name(), &fk.column, target.name());
+            let fwd = graph.edge_type_by_name(&fwd_name).ok_or_else(|| {
+                ConvertError::SchemaDrift(format!("edge type `{fwd_name}` missing from graph"))
+            })?;
+            let rev_name = reverse_edge_name(target.name(), table.name(), &fk.column);
+            let rev = graph.edge_type_by_name(&rev_name);
+            let col = table
+                .column_by_name(&fk.column)
+                .expect("schema guarantees the FK column exists");
+            let mut fwd_edges = Vec::new();
+            let mut rev_edges = Vec::new();
+            for row in converted..table.len() {
+                let key = col.get(row);
+                if key.is_null() {
+                    continue;
+                }
+                let dst =
+                    target
+                        .row_by_key(&key)
+                        .ok_or_else(|| ConvertError::DanglingReference {
+                            table: table.name().to_string(),
+                            column: fk.column.clone(),
+                            key: key.to_string(),
+                        })?;
+                let time = table.row_timestamp(row).unwrap_or(ALWAYS_VISIBLE);
+                fwd_edges.push((row, dst, time));
+                if rev.is_some() {
+                    rev_edges.push((dst, row, time));
+                }
+            }
+            if !fwd_edges.is_empty() {
+                graph.extend_edges(fwd, &fwd_edges)?;
+                stats.new_edges += fwd_edges.len();
+                stats.edge_types_rebuilt += 1;
+            }
+            if let Some(rev) = rev {
+                if !rev_edges.is_empty() {
+                    graph.extend_edges(rev, &rev_edges)?;
+                    stats.new_edges += rev_edges.len();
+                    stats.edge_types_rebuilt += 1;
+                }
+            }
+        }
+    }
+
+    // Advance the cursor only after every pass succeeded.
+    for (i, table) in db.tables().iter().enumerate() {
+        cursor.row_counts[i].1 = table.len();
+    }
+    if relgraph_obs::enabled() {
+        relgraph_obs::add("ingest.delta.nodes", stats.new_nodes as u64);
+        relgraph_obs::add("ingest.delta.edges", stats.new_edges as u64);
+        relgraph_obs::add("ingest.delta.tables_touched", stats.tables_touched as u64);
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_graph;
+    use relgraph_store::{DataType, Database, Row, TableSchema, Value};
+
+    fn shop() -> Database {
+        let mut db = Database::new("shop");
+        db.create_table(
+            TableSchema::builder("customers")
+                .column("customer_id", DataType::Int)
+                .column("signup", DataType::Timestamp)
+                .column("region", DataType::Text)
+                .primary_key("customer_id")
+                .time_column("signup")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("orders")
+                .column("order_id", DataType::Int)
+                .column("customer_id", DataType::Int)
+                .column("amount", DataType::Float)
+                .column("placed_at", DataType::Timestamp)
+                .primary_key("order_id")
+                .time_column("placed_at")
+                .foreign_key("customer_id", "customers")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for (cid, t) in [(1i64, 100i64), (2, 200)] {
+            db.insert(
+                "customers",
+                Row::new().push(cid).push(Value::Timestamp(t)).push("north"),
+            )
+            .unwrap();
+        }
+        for (oid, cid, amount, t) in [(10i64, 1i64, 5.0, 150i64), (11, 1, 7.0, 250)] {
+            db.insert(
+                "orders",
+                Row::new()
+                    .push(oid)
+                    .push(cid)
+                    .push(amount)
+                    .push(Value::Timestamp(t)),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn push_order(db: &mut Database, oid: i64, cid: i64, amount: f64, t: i64) {
+        db.insert(
+            "orders",
+            Row::new()
+                .push(oid)
+                .push(cid)
+                .push(amount)
+                .push(Value::Timestamp(t)),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn delta_matches_scratch_rebuild() {
+        let mut db = shop();
+        let opts = ConvertOptions::default();
+        let (mut graph, mut mapping) = build_graph(&db, &opts).unwrap();
+        let mut cursor = GraphCursor::capture(&db);
+
+        db.insert(
+            "customers",
+            Row::new()
+                .push(3i64)
+                .push(Value::Timestamp(300))
+                .push("south"),
+        )
+        .unwrap();
+        push_order(&mut db, 12, 3, 9.0, 350);
+        push_order(&mut db, 13, 1, 2.0, 360);
+
+        let stats = update_graph(&db, &mut graph, &mut mapping, &mut cursor, &opts).unwrap();
+        assert_eq!(stats.new_nodes, 3);
+        assert_eq!(stats.new_edges, 4); // 2 orders × (fwd + rev)
+        assert_eq!(stats.tables_touched, 2);
+
+        let (scratch, scratch_map) = build_graph(&db, &opts).unwrap();
+        assert!(graph.structural_eq(&scratch));
+        // Feature specs refreshed to the grown tables' statistics.
+        assert_eq!(mapping.feature_specs, scratch_map.feature_specs);
+        // Cursor advanced; a second update is a no-op.
+        let stats = update_graph(&db, &mut graph, &mut mapping, &mut cursor, &opts).unwrap();
+        assert!(stats.is_empty());
+        assert!(graph.structural_eq(&scratch));
+    }
+
+    #[test]
+    fn intra_delta_cross_table_reference_resolves() {
+        // The new order references a customer added in the same delta even
+        // though `customers` is re-processed after... and before `orders`.
+        let mut db = shop();
+        let opts = ConvertOptions::default();
+        let (mut graph, mut mapping) = build_graph(&db, &opts).unwrap();
+        let mut cursor = GraphCursor::capture(&db);
+        db.insert(
+            "customers",
+            Row::new()
+                .push(9i64)
+                .push(Value::Timestamp(400))
+                .push("east"),
+        )
+        .unwrap();
+        push_order(&mut db, 14, 9, 1.0, 410);
+        update_graph(&db, &mut graph, &mut mapping, &mut cursor, &opts).unwrap();
+        let (scratch, _) = build_graph(&db, &opts).unwrap();
+        assert!(graph.structural_eq(&scratch));
+    }
+
+    #[test]
+    fn out_of_order_append_still_matches_scratch() {
+        // A late row (timestamp before the watermark) lands in the middle
+        // of existing neighbor lists after the CSR re-sort.
+        let mut db = shop();
+        let opts = ConvertOptions::default();
+        let (mut graph, mut mapping) = build_graph(&db, &opts).unwrap();
+        let mut cursor = GraphCursor::capture(&db);
+        push_order(&mut db, 15, 1, 3.0, 120); // before both existing orders
+        update_graph(&db, &mut graph, &mut mapping, &mut cursor, &opts).unwrap();
+        let (scratch, _) = build_graph(&db, &opts).unwrap();
+        assert!(graph.structural_eq(&scratch));
+    }
+
+    #[test]
+    fn no_reverse_edges_variant_matches() {
+        let mut db = shop();
+        let opts = ConvertOptions {
+            reverse_edges: false,
+            ..Default::default()
+        };
+        let (mut graph, mut mapping) = build_graph(&db, &opts).unwrap();
+        let mut cursor = GraphCursor::capture(&db);
+        push_order(&mut db, 16, 2, 4.0, 500);
+        let stats = update_graph(&db, &mut graph, &mut mapping, &mut cursor, &opts).unwrap();
+        assert_eq!(stats.new_edges, 1);
+        let (scratch, _) = build_graph(&db, &opts).unwrap();
+        assert!(graph.structural_eq(&scratch));
+    }
+
+    #[test]
+    fn dangling_new_reference_is_reported() {
+        let mut db = shop();
+        let opts = ConvertOptions::default();
+        let (mut graph, mut mapping) = build_graph(&db, &opts).unwrap();
+        let mut cursor = GraphCursor::capture(&db);
+        push_order(&mut db, 17, 999, 4.0, 500);
+        let err = update_graph(&db, &mut graph, &mut mapping, &mut cursor, &opts).unwrap_err();
+        assert!(matches!(err, ConvertError::DanglingReference { .. }));
+    }
+
+    #[test]
+    fn schema_drift_is_detected() {
+        let mut db = shop();
+        let opts = ConvertOptions::default();
+        let (mut graph, mut mapping) = build_graph(&db, &opts).unwrap();
+        let mut cursor = GraphCursor::capture(&db);
+        db.create_table(
+            TableSchema::builder("returns")
+                .column("id", DataType::Int)
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let err = update_graph(&db, &mut graph, &mut mapping, &mut cursor, &opts).unwrap_err();
+        assert!(matches!(err, ConvertError::SchemaDrift(_)));
+    }
+
+    #[test]
+    fn cursor_reports_tracked_counts() {
+        let db = shop();
+        let cursor = GraphCursor::capture(&db);
+        assert_eq!(cursor.rows_converted("customers"), Some(2));
+        assert_eq!(cursor.rows_converted("orders"), Some(2));
+        assert_eq!(cursor.rows_converted("nope"), None);
+    }
+}

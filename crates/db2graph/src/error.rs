@@ -19,6 +19,10 @@ pub enum ConvertError {
         column: String,
         key: String,
     },
+    /// The database no longer matches the captured mapping/cursor: tables
+    /// were added, removed, renamed, or rows deleted. Incremental
+    /// maintenance only supports append-only growth; rebuild from scratch.
+    SchemaDrift(String),
     /// Underlying store error.
     Store(StoreError),
     /// Underlying graph construction error.
@@ -36,6 +40,9 @@ impl fmt::Display for ConvertError {
             }
             ConvertError::DanglingReference { table, column, key } => {
                 write!(f, "dangling reference `{table}`.`{column}` = {key}")
+            }
+            ConvertError::SchemaDrift(msg) => {
+                write!(f, "schema drift, incremental update not possible: {msg}")
             }
             ConvertError::Store(e) => write!(f, "store error: {e}"),
             ConvertError::Graph(e) => write!(f, "graph error: {e}"),

@@ -87,12 +87,9 @@ fn column_stats(col: &Column) -> (f64, f64) {
     (mean, if std > 1e-12 { std } else { 1.0 })
 }
 
-/// Build the featurization spec and feature matrix for a table.
-///
-/// `text_hash_dim` is the number of hash buckets per text column. The
-/// table's primary-key column, FK columns and time column are skipped —
-/// identity belongs to the graph structure, not the features.
-pub fn featurize_table(table: &Table, text_hash_dim: usize) -> (TableFeatureSpec, FeatureMatrix) {
+/// Build the featurization recipe (with fresh normalization statistics)
+/// for a table's current contents.
+fn build_spec(table: &Table, text_hash_dim: usize) -> TableFeatureSpec {
     let schema = table.schema();
     let skip: Vec<usize> = {
         let mut v = Vec::new();
@@ -134,17 +131,18 @@ pub fn featurize_table(table: &Table, text_hash_dim: usize) -> (TableFeatureSpec
         }
     }
     specs.push(ColumnFeature::Bias);
-    let spec = TableFeatureSpec {
+    TableFeatureSpec {
         table: schema.name().to_string(),
         columns: specs,
-    };
+    }
+}
 
-    let dim = spec.dim();
-    // Resolve each encoding's column once (not once per row), then fill
-    // rows in parallel — each row is a disjoint `dim`-wide chunk of the
-    // matrix, so the writes never alias.
-    let resolved: Vec<(&ColumnFeature, Option<&Column>)> = spec
-        .columns
+/// Resolve each encoding's column once (not once per row).
+fn resolve<'a>(
+    spec: &'a TableFeatureSpec,
+    table: &'a Table,
+) -> Vec<(&'a ColumnFeature, Option<&'a Column>)> {
+    spec.columns
         .iter()
         .map(|cf| {
             let col = match cf {
@@ -157,54 +155,141 @@ pub fn featurize_table(table: &Table, text_hash_dim: usize) -> (TableFeatureSpec
             };
             (cf, col)
         })
-        .collect();
+        .collect()
+}
+
+/// Fill one row's `dim`-wide feature chunk (assumed zeroed).
+fn fill_row(out: &mut [f32], row: usize, resolved: &[(&ColumnFeature, Option<&Column>)]) {
+    let mut off = 0;
+    for &(cf, col) in resolved {
+        match cf {
+            ColumnFeature::Numeric { mean, std, .. } => {
+                let col = col.expect("numeric column resolved");
+                match col.get_f64(row) {
+                    Some(x) => {
+                        out[off] = ((x - mean) / std) as f32;
+                        out[off + 1] = 0.0;
+                    }
+                    None => {
+                        out[off] = 0.0;
+                        out[off + 1] = 1.0;
+                    }
+                }
+                off += 2;
+            }
+            ColumnFeature::Boolean { .. } => {
+                let col = col.expect("bool column resolved");
+                out[off] = match col.get(row).as_bool() {
+                    Some(true) => 1.0,
+                    Some(false) => 0.0,
+                    None => 0.5,
+                };
+                off += 1;
+            }
+            ColumnFeature::TextHash { dim, .. } => {
+                let col = col.expect("text column resolved");
+                if let Some(s) = col.get_str(row) {
+                    out[off + hash_bucket(s, *dim)] = 1.0;
+                }
+                off += dim;
+            }
+            ColumnFeature::Bias => {
+                out[off] = 1.0;
+                off += 1;
+            }
+        }
+    }
+}
+
+/// Build the featurization spec and feature matrix for a table.
+///
+/// `text_hash_dim` is the number of hash buckets per text column. The
+/// table's primary-key column, FK columns and time column are skipped —
+/// identity belongs to the graph structure, not the features.
+pub fn featurize_table(table: &Table, text_hash_dim: usize) -> (TableFeatureSpec, FeatureMatrix) {
+    let spec = build_spec(table, text_hash_dim);
+    let dim = spec.dim();
+    let resolved = resolve(&spec, table);
+    // Each row is a disjoint `dim`-wide chunk of the matrix, so the
+    // parallel writes never alias.
     let mut features = FeatureMatrix::zeros(table.len(), dim);
     features
         .data_mut()
         .par_chunks_mut(dim)
         .enumerate()
+        .for_each(|(row, out)| fill_row(out, row, &resolved));
+    (spec, features)
+}
+
+/// True when two specs encode the same columns the same way, ignoring the
+/// normalization statistics (which legitimately drift as rows append).
+fn same_shape(a: &TableFeatureSpec, b: &TableFeatureSpec) -> bool {
+    a.columns.len() == b.columns.len()
+        && a.columns.iter().zip(&b.columns).all(|(x, y)| match (x, y) {
+            (
+                ColumnFeature::Numeric { column: c1, .. },
+                ColumnFeature::Numeric { column: c2, .. },
+            ) => c1 == c2,
+            _ => x == y,
+        })
+}
+
+/// Incrementally re-featurize an append-only table, reusing `old` — the
+/// matrix previously produced for a prefix of its rows.
+///
+/// Appending rows shifts every numeric column's normalization statistics,
+/// so the stat-dependent slots are recomputed for *all* rows; but text
+/// hashes, booleans and the bias depend only on the row's own values, so
+/// those slots are copied for already-featurized rows and computed only
+/// for the appended ones. The result is bit-identical to
+/// [`featurize_table`] on the same table.
+///
+/// Returns `None` (caller should fall back to [`featurize_table`]) when
+/// `old` cannot be reused: the encoding shape changed, or `old` does not
+/// cover a prefix of the table's rows.
+pub fn featurize_table_delta(
+    table: &Table,
+    old_spec: &TableFeatureSpec,
+    old: &FeatureMatrix,
+    text_hash_dim: usize,
+) -> Option<(TableFeatureSpec, FeatureMatrix)> {
+    let spec = build_spec(table, text_hash_dim);
+    let dim = spec.dim();
+    let prev = old.rows();
+    if prev > table.len() || old.dim() != dim || !same_shape(&spec, old_spec) {
+        return None;
+    }
+    let resolved = resolve(&spec, table);
+    let mut features = FeatureMatrix::zeros(table.len(), dim);
+    features.data_mut()[..prev * dim].copy_from_slice(old.data());
+    features
+        .data_mut()
+        .par_chunks_mut(dim)
+        .enumerate()
         .for_each(|(row, out)| {
+            if row >= prev {
+                fill_row(out, row, &resolved);
+                return;
+            }
             let mut off = 0;
             for &(cf, col) in &resolved {
-                match cf {
-                    ColumnFeature::Numeric { mean, std, .. } => {
-                        let col = col.expect("numeric column resolved");
-                        match col.get_f64(row) {
-                            Some(x) => {
-                                out[off] = ((x - mean) / std) as f32;
-                                out[off + 1] = 0.0;
-                            }
-                            None => {
-                                out[off] = 0.0;
-                                out[off + 1] = 1.0;
-                            }
+                if let ColumnFeature::Numeric { mean, std, .. } = cf {
+                    let col = col.expect("numeric column resolved");
+                    match col.get_f64(row) {
+                        Some(x) => {
+                            out[off] = ((x - mean) / std) as f32;
+                            out[off + 1] = 0.0;
                         }
-                        off += 2;
-                    }
-                    ColumnFeature::Boolean { .. } => {
-                        let col = col.expect("bool column resolved");
-                        out[off] = match col.get(row).as_bool() {
-                            Some(true) => 1.0,
-                            Some(false) => 0.0,
-                            None => 0.5,
-                        };
-                        off += 1;
-                    }
-                    ColumnFeature::TextHash { dim, .. } => {
-                        let col = col.expect("text column resolved");
-                        if let Some(s) = col.get_str(row) {
-                            out[off + hash_bucket(s, *dim)] = 1.0;
+                        None => {
+                            out[off] = 0.0;
+                            out[off + 1] = 1.0;
                         }
-                        off += dim;
-                    }
-                    ColumnFeature::Bias => {
-                        out[off] = 1.0;
-                        off += 1;
                     }
                 }
+                off += cf.width();
             }
         });
-    (spec, features)
+    Some((spec, features))
 }
 
 #[cfg(test)]
@@ -332,6 +417,41 @@ mod tests {
             assert!(f.row(r).iter().all(|x| x.is_finite()));
             assert_eq!(f.row(r)[0], 0.0); // (7-7)/1
         }
+    }
+
+    #[test]
+    fn delta_featurize_is_bit_identical_to_scratch() {
+        let mut t = table();
+        let (spec0, f0) = featurize_table(&t, 4);
+        // Append rows (shifting price stats), including a repeat "b" kind.
+        for (id, price, kind, active) in [(4, 100.0, "b", false), (5, 2.5, "c", true)] {
+            t.insert(Row::from(vec![
+                Value::Int(id),
+                Value::Float(price),
+                Value::Text(kind.into()),
+                Value::Bool(active),
+                Value::Int(0),
+                Value::Timestamp(id),
+            ]))
+            .unwrap();
+        }
+        let (spec_inc, f_inc) = featurize_table_delta(&t, &spec0, &f0, 4).expect("reusable");
+        let (spec_scratch, f_scratch) = featurize_table(&t, 4);
+        assert_eq!(spec_inc, spec_scratch);
+        assert_eq!(f_inc.data(), f_scratch.data());
+        // Stats really did shift, so old rows' numeric slots changed.
+        assert_ne!(f_inc.row(0)[0], f0.row(0)[0]);
+    }
+
+    #[test]
+    fn delta_featurize_rejects_incompatible_history() {
+        let t = table();
+        let (spec, f) = featurize_table(&t, 4);
+        // Different text-hash width → different shape.
+        assert!(featurize_table_delta(&t, &spec, &f, 8).is_none());
+        // Old matrix longer than the table → not a prefix.
+        let too_long = FeatureMatrix::zeros(t.len() + 1, spec.dim());
+        assert!(featurize_table_delta(&t, &spec, &too_long, 4).is_none());
     }
 
     #[test]

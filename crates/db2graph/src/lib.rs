@@ -17,11 +17,13 @@
 //! inference in the leakage experiments.
 
 pub mod convert;
+pub mod delta;
 pub mod error;
 pub mod featurize;
 pub mod snapshot;
 
 pub use convert::{build_graph, ConvertOptions, EdgeBinding, GraphMapping};
+pub use delta::{update_graph, DeltaStats, GraphCursor};
 pub use error::{ConvertError, ConvertResult};
-pub use featurize::{featurize_table, ColumnFeature, TableFeatureSpec};
+pub use featurize::{featurize_table, featurize_table_delta, ColumnFeature, TableFeatureSpec};
 pub use snapshot::snapshot_at;

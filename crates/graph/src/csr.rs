@@ -73,23 +73,65 @@ impl Csr {
         })
     }
 
-    /// Recover the `(src, dst, time)` triples (in CSR order).
-    pub(crate) fn triples(&self) -> Vec<(u32, u32, i64)> {
-        let mut out = Vec::with_capacity(self.len());
-        for i in 0..self.offsets.len() - 1 {
-            for k in self.offsets[i]..self.offsets[i + 1] {
-                out.push((i as u32, self.neighbors[k], self.times[k]));
-            }
-        }
-        out
-    }
-
     /// Rebuild this edge type's index with `extra` edges appended — the
     /// invalidation path when a graph is mutated after construction.
+    ///
+    /// The existing arrays are already `(src, time, dst)`-sorted, so only
+    /// the delta is sorted and the two runs merged: O(E + B log B) instead
+    /// of re-sorting everything. The sort key is total over the whole
+    /// triple, which makes the sorted order unique — the merge is therefore
+    /// bit-identical to [`Csr::from_triples`] on the combined edge set.
     pub(crate) fn rebuild_with(&self, n_src: usize, extra: &[(u32, u32, i64)]) -> Self {
-        let mut triples = self.triples();
-        triples.extend_from_slice(extra);
-        Csr::from_triples(n_src, triples)
+        let mut extra: Vec<(u32, u32, i64)> = extra.to_vec();
+        extra.sort_unstable_by_key(|&(s, d, t)| (s, t, d));
+
+        let old_n_src = self.offsets.len() - 1;
+        let mut offsets = Vec::with_capacity(n_src + 1);
+        let mut neighbors = Vec::with_capacity(self.len() + extra.len());
+        let mut times = Vec::with_capacity(self.len() + extra.len());
+        offsets.push(0);
+        let mut e = 0; // cursor into the sorted delta
+        for s in 0..n_src {
+            let (lo, hi) = if s < old_n_src {
+                (self.offsets[s], self.offsets[s + 1])
+            } else {
+                (0, 0)
+            };
+            let mut k = lo;
+            // Two-pointer merge of this source's old run and its delta run,
+            // both (time, dst)-ascending.
+            while e < extra.len() && extra[e].0 as usize == s {
+                let (_, d, t) = extra[e];
+                while k < hi && (self.times[k], self.neighbors[k]) <= (t, d) {
+                    neighbors.push(self.neighbors[k]);
+                    times.push(self.times[k]);
+                    k += 1;
+                }
+                neighbors.push(d);
+                times.push(t);
+                e += 1;
+            }
+            neighbors.extend_from_slice(&self.neighbors[k..hi]);
+            times.extend_from_slice(&self.times[k..hi]);
+            offsets.push(neighbors.len());
+        }
+        Csr {
+            offsets,
+            neighbors,
+            times,
+        }
+    }
+
+    /// Grow the source-node dimension to `n_src` without touching any
+    /// existing edge: the new trailing nodes start with empty neighbor
+    /// lists. Used by streaming ingest when nodes are appended to a type
+    /// that is the source of this edge type. No-op if the index already
+    /// covers `n_src` sources.
+    pub(crate) fn grow_src(&mut self, n_src: usize) {
+        let last = *self.offsets.last().expect("offsets is never empty");
+        while self.offsets.len() < n_src + 1 {
+            self.offsets.push(last);
+        }
     }
 }
 
@@ -140,5 +182,45 @@ mod tests {
         assert_eq!(c2.all(1).0, &[0]);
         // Round trip: rebuilding with nothing is the identity.
         assert_eq!(c2.rebuild_with(3, &[]), c2);
+    }
+
+    /// The merge-based `rebuild_with` must be indistinguishable from
+    /// re-sorting the combined edge set, including ties (equal times,
+    /// duplicate triples) and a grown source dimension.
+    #[test]
+    fn rebuild_with_matches_from_triples() {
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move |m: u32| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((state >> 33) as u32) % m
+        };
+        for round in 0..200 {
+            let old_src = next(5) as usize + 1;
+            let n_src = old_src + next(3) as usize;
+            let gen = |n: usize, next: &mut dyn FnMut(u32) -> u32, src_cap: usize| {
+                (0..n)
+                    .map(|_| {
+                        (
+                            next(src_cap as u32),
+                            next(4),
+                            // Small time range forces plenty of ties.
+                            i64::from(next(5)),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let n_old = next(12) as usize;
+            let n_extra = next(8) as usize;
+            let old = gen(n_old, &mut next, old_src);
+            let extra = gen(n_extra, &mut next, n_src);
+            let base = Csr::from_triples(old_src, old.clone());
+            let merged = base.rebuild_with(n_src, &extra);
+            let mut all = old;
+            all.extend_from_slice(&extra);
+            let scratch = Csr::from_triples(n_src, all);
+            assert_eq!(merged, scratch, "divergence in round {round}");
+        }
     }
 }

@@ -226,6 +226,54 @@ impl HeteroGraph {
         Ok(())
     }
 
+    /// Append nodes to an existing node type: `times` carries one creation
+    /// timestamp per new node, and `features` *replaces* the type's feature
+    /// matrix (it must cover old and new rows — appending rows generally
+    /// shifts normalization statistics for the whole table, so incremental
+    /// maintenance re-featurizes the touched type). Every edge type whose
+    /// source is `t` gets its CSR grown in place (an O(new nodes) offsets
+    /// extension — no rebuild); edges to the new nodes are added separately
+    /// via [`Self::extend_edges`].
+    pub fn extend_nodes(
+        &mut self,
+        t: NodeTypeId,
+        times: &[i64],
+        features: FeatureMatrix,
+    ) -> GraphResult<()> {
+        let new_count = self.node_counts[t.0] + times.len();
+        if features.rows() != new_count {
+            return Err(GraphError::FeatureShapeMismatch {
+                node_type: self.node_type_names[t.0].clone(),
+                expected_rows: new_count,
+                got_rows: features.rows(),
+            });
+        }
+        self.node_counts[t.0] = new_count;
+        self.node_times[t.0].extend_from_slice(times);
+        self.features[t.0] = features;
+        // Grow the source dimension of every edge type rooted at `t`.
+        // (Clone the id list: growing borrows `self.adjacency` mutably.)
+        let out_types = self.by_src[t.0].clone();
+        for e in out_types {
+            self.adjacency[e.0].grow_src(new_count);
+        }
+        Ok(())
+    }
+
+    /// Structural equality with another graph: identical type registries,
+    /// node counts, node times, feature matrices and per-type edge lists
+    /// (CSR arrays compared verbatim). This is the invariant the streaming
+    /// ingest path maintains against a from-scratch rebuild, and it is
+    /// exact — no tolerance.
+    pub fn structural_eq(&self, other: &HeteroGraph) -> bool {
+        self.node_type_names == other.node_type_names
+            && self.node_counts == other.node_counts
+            && self.node_times == other.node_times
+            && self.features == other.features
+            && self.edge_types == other.edge_types
+            && self.adjacency == other.adjacency
+    }
+
     /// A one-line per-type summary (used by EXPLAIN output).
     pub fn summary(&self) -> String {
         let mut s = String::new();
@@ -505,6 +553,81 @@ mod tests {
         b.add_node_type("u", 1);
         b.add_node_type("u", 1);
         assert!(matches!(b.finish(), Err(GraphError::DuplicateTypeName(_))));
+    }
+
+    #[test]
+    fn extend_nodes_grows_counts_and_adjacency() {
+        let mut g = demo();
+        let o = g.node_type_by_name("order").unwrap();
+        let u = g.node_type_by_name("user").unwrap();
+        // Orders is the source of "rev_placed"; grow it by two nodes.
+        g.extend_nodes(o, &[50, 60], FeatureMatrix::zeros(6, 0))
+            .unwrap();
+        assert_eq!(g.num_nodes(o), 6);
+        assert_eq!(g.node_time(o, 5), 60);
+        let r = g.edge_type_by_name("rev_placed").unwrap();
+        // New sources exist with empty neighbor lists.
+        assert_eq!(g.out_degree(r, 4), 0);
+        assert_eq!(g.out_degree(r, 5), 0);
+        // Old lists untouched.
+        assert_eq!(g.neighbors(r, 1).count(), 1);
+        // Edges touching the new nodes can now be appended.
+        g.extend_edges(r, &[(5, 2, 60)]).unwrap();
+        assert_eq!(g.neighbors(r, 5).collect::<Vec<_>>(), vec![(2, 60)]);
+        let e = g.edge_type_by_name("placed").unwrap();
+        g.extend_edges(e, &[(2, 5, 60)]).unwrap();
+        assert_eq!(g.out_degree(e, 2), 2);
+        let _ = u;
+    }
+
+    #[test]
+    fn extend_nodes_validates_feature_rows() {
+        let mut g = demo();
+        let o = g.node_type_by_name("order").unwrap();
+        assert!(matches!(
+            g.extend_nodes(o, &[50], FeatureMatrix::zeros(4, 0)),
+            Err(GraphError::FeatureShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn structural_eq_detects_differences() {
+        let g = demo();
+        let mut h = g.clone();
+        assert!(g.structural_eq(&h));
+        let o = h.node_type_by_name("order").unwrap();
+        h.extend_nodes(o, &[99], FeatureMatrix::zeros(5, 0))
+            .unwrap();
+        assert!(!g.structural_eq(&h));
+    }
+
+    #[test]
+    fn incremental_build_matches_scratch_build() {
+        // Build the demo graph, then extend it to a larger graph, and
+        // compare against building the larger graph from scratch.
+        let mut g = demo();
+        let u = g.node_type_by_name("user").unwrap();
+        let o = g.node_type_by_name("order").unwrap();
+        let e = g.edge_type_by_name("placed").unwrap();
+        g.extend_nodes(o, &[50], FeatureMatrix::zeros(5, 0))
+            .unwrap();
+        g.extend_edges(e, &[(1, 4, 50)]).unwrap();
+
+        let mut b = HeteroGraphBuilder::new();
+        let u2 = b.add_node_type("user", 3);
+        let o2 = b.add_node_type("order", 5);
+        let e2 = b.add_edge_type("placed", u2, o2);
+        let r2 = b.add_edge_type("rev_placed", o2, u2);
+        b.set_node_times(o2, vec![10, 20, 30, 40, 50]);
+        b.add_edge(e2, 0, 1, 20);
+        b.add_edge(e2, 0, 0, 10);
+        b.add_edge(e2, 0, 3, 40);
+        b.add_edge(e2, 2, 2, 30);
+        b.add_edge(e2, 1, 4, 50);
+        b.add_edge(r2, 1, 0, 20);
+        let scratch = b.finish().unwrap();
+        assert!(g.structural_eq(&scratch));
+        let _ = u;
     }
 
     #[test]

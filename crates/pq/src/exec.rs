@@ -9,12 +9,12 @@ use relgraph_baselines::{
     LinearConfig, LinearRegressor, LogisticRegressor, MajorityClass, MeanRegressor, MulticlassGbdt,
     MulticlassLogReg, PopularityRecommender, PriorClassifier,
 };
-use relgraph_db2graph::{build_graph, ConvertOptions};
+use relgraph_db2graph::{build_graph, ConvertOptions, GraphMapping};
 use relgraph_gnn::{
     train_multiclass_model, train_node_model, train_two_tower, Aggregation, TaskKind, TrainConfig,
     TwoTowerConfig,
 };
-use relgraph_graph::Seed;
+use relgraph_graph::{HeteroGraph, Seed};
 use relgraph_metrics as metrics;
 use relgraph_obs as obs;
 use relgraph_store::{Database, Timestamp, Value};
@@ -28,6 +28,10 @@ use crate::traintable::{build_training_table, Example, TrainTableConfig, Trainin
 /// Named metrics plus per-entity predictions — every `run_*` family
 /// returns this pair.
 type MetricsAndPredictions = (Vec<(String, f64)>, Vec<Prediction>);
+
+/// A borrowed, already-compiled graph handed to the GNN arms so repeated
+/// executions (streaming ingest) skip the full database→graph conversion.
+type PrebuiltGraph<'a> = Option<(&'a HeteroGraph, &'a GraphMapping)>;
 
 /// Which model family executes the query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -286,6 +290,93 @@ pub fn execute(db: &Database, query_text: &str, config: &ExecConfig) -> PqResult
     execute_analyzed(db, &aq, &table, &cfg)
 }
 
+/// A predictive query parsed and analyzed once, re-runnable cheaply as the
+/// database grows — the serving-side half of streaming ingest.
+///
+/// Analysis binds schema-level facts only (entity table, join path, task
+/// type), all of which stay valid under append-only growth; what changes
+/// per run is the training table (anchors track the advancing time span)
+/// and the graph. [`run_on_graph`](Self::run_on_graph) accepts an
+/// incrementally-maintained graph so the database→graph conversion is
+/// skipped entirely.
+///
+/// ```no_run
+/// use relgraph_pq::{ExecConfig, PreparedQuery};
+/// use relgraph_db2graph::{build_graph, ConvertOptions, GraphCursor, update_graph};
+/// # use relgraph_datagen::{generate_ecommerce, EcommerceConfig};
+/// # let mut db = generate_ecommerce(&EcommerceConfig::default()).unwrap();
+/// let pq = PreparedQuery::prepare(
+///     &db,
+///     "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id",
+///     &ExecConfig::default(),
+/// ).unwrap();
+/// let opts = ConvertOptions::default();
+/// let (mut graph, mut mapping) = build_graph(&db, &opts).unwrap();
+/// let mut cursor = GraphCursor::capture(&db);
+/// // ... db.ingest(batch, &policy) ...
+/// update_graph(&db, &mut graph, &mut mapping, &mut cursor, &opts).unwrap();
+/// let outcome = pq.run_on_graph(&db, &graph, &mapping).unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    aq: AnalyzedQuery,
+    cfg: ExecConfig,
+}
+
+impl PreparedQuery {
+    /// Parse, apply `USING` overrides onto `config`, and analyze against
+    /// `db`'s schema.
+    pub fn prepare(db: &Database, query_text: &str, config: &ExecConfig) -> PqResult<Self> {
+        let query = {
+            let _s = obs::span("pq.parse");
+            parse(query_text)?
+        };
+        let mut cfg = config.clone();
+        cfg.apply_options(&query.options)?;
+        let aq = {
+            let _s = obs::span("pq.analyze");
+            analyze(db, query)?
+        };
+        Ok(PreparedQuery { aq, cfg })
+    }
+
+    /// The analyzed query.
+    pub fn analyzed(&self) -> &AnalyzedQuery {
+        &self.aq
+    }
+
+    /// The effective configuration (`USING` overrides applied).
+    pub fn config(&self) -> &ExecConfig {
+        &self.cfg
+    }
+
+    /// Re-run against the database's current state, rebuilding the
+    /// training table (and, for GNN models, the graph) from scratch.
+    pub fn run(&self, db: &Database) -> PqResult<QueryOutcome> {
+        let _root = obs::span("pq.execute");
+        let table = build_training_table(db, &self.aq, &self.cfg.traintable)?;
+        execute_analyzed_impl(db, &self.aq, &table, &self.cfg, None)
+    }
+
+    /// Re-run against the database's current state using an
+    /// already-compiled graph for the GNN arms (for non-GNN models the
+    /// graph is simply unused). `graph`/`mapping` must describe `db` —
+    /// e.g. maintained by
+    /// [`update_graph`](relgraph_db2graph::update_graph) after each
+    /// ingested batch — and must have been built with
+    /// [`ConvertOptions::default`], like `execute` does internally.
+    pub fn run_on_graph(
+        &self,
+        db: &Database,
+        graph: &HeteroGraph,
+        mapping: &GraphMapping,
+    ) -> PqResult<QueryOutcome> {
+        let _root = obs::span("pq.execute");
+        let table = build_training_table(db, &self.aq, &self.cfg.traintable)?;
+        execute_analyzed_impl(db, &self.aq, &table, &self.cfg, Some((graph, mapping)))
+    }
+}
+
 /// Execute a pre-analyzed query with a pre-built training table (used by
 /// the experiment harness to share work across model variants).
 pub fn execute_analyzed(
@@ -294,12 +385,27 @@ pub fn execute_analyzed(
     table: &TrainingTable,
     cfg: &ExecConfig,
 ) -> PqResult<QueryOutcome> {
+    execute_analyzed_impl(db, aq, table, cfg, None)
+}
+
+/// Shared execution body; `prebuilt` short-circuits graph construction in
+/// the GNN arms (the streaming-ingest path maintains the graph
+/// incrementally and re-runs prepared queries against it).
+fn execute_analyzed_impl(
+    db: &Database,
+    aq: &AnalyzedQuery,
+    table: &TrainingTable,
+    cfg: &ExecConfig,
+    prebuilt: PrebuiltGraph<'_>,
+) -> PqResult<QueryOutcome> {
     let _span = obs::span("pq.run_task");
     let explain_text = explain(db, aq, Some(table));
     let (metrics, predictions) = match aq.task {
-        TaskType::Classification | TaskType::Regression => run_node_task(db, aq, table, cfg)?,
-        TaskType::Recommendation => run_recommendation(db, aq, table, cfg)?,
-        TaskType::Multiclass => run_multiclass(db, aq, table, cfg)?,
+        TaskType::Classification | TaskType::Regression => {
+            run_node_task(db, aq, table, cfg, prebuilt)?
+        }
+        TaskType::Recommendation => run_recommendation(db, aq, table, cfg, prebuilt)?,
+        TaskType::Multiclass => run_multiclass(db, aq, table, cfg, prebuilt)?,
     };
     if obs::enabled() {
         for (name, value) in &metrics {
@@ -395,6 +501,7 @@ fn run_multiclass(
     aq: &AnalyzedQuery,
     table: &TrainingTable,
     cfg: &ExecConfig,
+    prebuilt: PrebuiltGraph<'_>,
 ) -> PqResult<MetricsAndPredictions> {
     let mut classes: Vec<String> = Vec::new();
     let class_index = |name: &str, classes: &mut Vec<String>| -> usize {
@@ -442,7 +549,14 @@ fn run_multiclass(
 
     let (test_pred, deploy_pred): (Vec<usize>, Vec<usize>) = match cfg.model {
         ModelChoice::Gnn => {
-            let (graph, mapping) = build_graph(db, &ConvertOptions::default())?;
+            let built;
+            let (graph, mapping) = match prebuilt {
+                Some(gm) => gm,
+                None => {
+                    built = build_graph(db, &ConvertOptions::default())?;
+                    (&built.0, &built.1)
+                }
+            };
             let node_type = mapping
                 .node_type(&aq.entity_table)
                 .ok_or_else(|| PqError::Execution("entity table missing from graph".into()))?;
@@ -475,7 +589,7 @@ fn run_multiclass(
                 aggregation: cfg.aggregation,
                 ..Default::default()
             };
-            let model = train_multiclass_model(&graph, classes.clone(), &train, &val, &tc)?;
+            let model = train_multiclass_model(graph, classes.clone(), &train, &val, &tc)?;
             let test_seeds: Vec<Seed> = table.test.iter().map(to_seed).collect();
             let deploy_seeds: Vec<Seed> = deploy_rows
                 .iter()
@@ -486,8 +600,8 @@ fn run_multiclass(
                 })
                 .collect();
             (
-                model.predict(&graph, &test_seeds),
-                model.predict(&graph, &deploy_seeds),
+                model.predict(graph, &test_seeds),
+                model.predict(graph, &deploy_seeds),
             )
         }
         ModelChoice::Trivial => {
@@ -574,6 +688,7 @@ fn run_node_task(
     aq: &AnalyzedQuery,
     table: &TrainingTable,
     cfg: &ExecConfig,
+    prebuilt: PrebuiltGraph<'_>,
 ) -> PqResult<MetricsAndPredictions> {
     let test_truth: Vec<f64> = table.test.iter().map(|e| e.label.scalar()).collect();
     let deploy = deploy_anchor(db);
@@ -587,7 +702,14 @@ fn run_node_task(
 
     let (test_preds, deploy_preds) = match cfg.model {
         ModelChoice::Gnn => {
-            let (graph, mapping) = build_graph(db, &ConvertOptions::default())?;
+            let built;
+            let (graph, mapping) = match prebuilt {
+                Some(gm) => gm,
+                None => {
+                    built = build_graph(db, &ConvertOptions::default())?;
+                    (&built.0, &built.1)
+                }
+            };
             let node_type = mapping
                 .node_type(&aq.entity_table)
                 .ok_or_else(|| PqError::Execution("entity table missing from graph".into()))?;
@@ -622,9 +744,9 @@ fn run_node_task(
                 aggregation: cfg.aggregation,
                 ..Default::default()
             };
-            let model = train_node_model(&graph, task, &train, &val, &tc)?;
+            let model = train_node_model(graph, task, &train, &val, &tc)?;
             let test_seeds: Vec<Seed> = table.test.iter().map(to_seed).collect();
-            let test_preds = model.predict(&graph, &test_seeds);
+            let test_preds = model.predict(graph, &test_seeds);
             let deploy_seeds: Vec<Seed> = deploy_rows
                 .iter()
                 .map(|&r| Seed {
@@ -633,7 +755,7 @@ fn run_node_task(
                     time: deploy,
                 })
                 .collect();
-            let deploy_preds = model.predict(&graph, &deploy_seeds);
+            let deploy_preds = model.predict(graph, &deploy_seeds);
             (test_preds, deploy_preds)
         }
         ModelChoice::Trivial => {
@@ -804,6 +926,7 @@ fn run_recommendation(
     aq: &AnalyzedQuery,
     table: &TrainingTable,
     cfg: &ExecConfig,
+    prebuilt: PrebuiltGraph<'_>,
 ) -> PqResult<MetricsAndPredictions> {
     let item_table_name = aq.item_table.as_deref().expect("recommendation item table");
     let item_table = db.table(item_table_name)?;
@@ -836,7 +959,14 @@ fn run_recommendation(
 
     let (recommended, deploy_recs): (Vec<Vec<u64>>, Vec<Vec<usize>>) = match cfg.model {
         ModelChoice::Gnn => {
-            let (graph, mapping) = build_graph(db, &ConvertOptions::default())?;
+            let built;
+            let (graph, mapping) = match prebuilt {
+                Some(gm) => gm,
+                None => {
+                    built = build_graph(db, &ConvertOptions::default())?;
+                    (&built.0, &built.1)
+                }
+            };
             let node_type = mapping
                 .node_type(&aq.entity_table)
                 .ok_or_else(|| PqError::Execution("entity table missing from graph".into()))?;
@@ -871,7 +1001,7 @@ fn run_recommendation(
                 seed: cfg.seed,
                 ..Default::default()
             };
-            let model = train_two_tower(&graph, item_type, &pairs, &val_pairs, &tt_cfg)?;
+            let model = train_two_tower(graph, item_type, &pairs, &val_pairs, &tt_cfg)?;
             let seeds: Vec<Seed> = eval
                 .iter()
                 .map(|e| Seed {
@@ -888,7 +1018,7 @@ fn run_recommendation(
                         .collect()
                 })
                 .collect();
-            let recs = model.recommend(&graph, &seeds, k, &exclude);
+            let recs = model.recommend(graph, &seeds, k, &exclude);
             let deploy_seeds: Vec<Seed> = deploy_rows
                 .iter()
                 .map(|&r| Seed {
@@ -901,7 +1031,7 @@ fn run_recommendation(
                 .iter()
                 .map(|&r| history_before(&index, r, deploy).into_iter().collect())
                 .collect();
-            let deploy_recs = model.recommend(&graph, &deploy_seeds, k, &deploy_exclude);
+            let deploy_recs = model.recommend(graph, &deploy_seeds, k, &deploy_exclude);
             (
                 recs.into_iter()
                     .map(|r| r.into_iter().map(|i| i as u64).collect())

@@ -64,7 +64,9 @@ pub mod traintable;
 pub use analyze::{analyze, AnalyzedQuery, TaskType};
 pub use ast::{Agg, CmpOp, ColumnRef, Cond, Literal, PredictiveQuery, TargetExpr};
 pub use error::{PqError, PqResult};
-pub use exec::{execute, ExecConfig, ModelChoice, Prediction, PredictionValue, QueryOutcome};
+pub use exec::{
+    execute, ExecConfig, ModelChoice, Prediction, PredictionValue, PreparedQuery, QueryOutcome,
+};
 pub use explain::explain;
 pub use parser::parse;
 pub use traintable::{build_training_table, Example, Label, SplitSpec, TrainingTable};

@@ -50,10 +50,12 @@ pub fn split_line(line: &str) -> Vec<String> {
         .collect()
 }
 
-/// Quote a field if it needs quoting (empty fields are quoted so they stay
-/// distinguishable from NULL).
+/// Quote a field if it needs quoting. Empty fields are quoted so they stay
+/// distinguishable from NULL; carriage returns are quoted because line-based
+/// readers strip a trailing `\r`, which would truncate an unquoted one at
+/// end-of-line.
 pub fn quote_field(field: &str) -> String {
-    if field.is_empty() || field.contains([',', '"', '\n']) {
+    if field.is_empty() || field.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", field.replace('"', "\"\""))
     } else {
         field.to_string()
@@ -175,6 +177,88 @@ pub fn load_csv<R: BufRead>(table: &mut Table, reader: R) -> StoreResult<usize> 
         inserted += 1;
     }
     Ok(inserted)
+}
+
+/// Read CSV rows *leniently* for streaming ingest: structural problems
+/// (unreadable input, bad header, wrong field count) are still hard
+/// [`StoreError::Csv`] errors, but a field that fails to parse as its
+/// column's type is kept as raw [`Value::Text`] so the ingest policy can
+/// decide its fate (coerce, quarantine, or reject the batch).
+///
+/// The first line must be a header naming a permutation of `schema`'s
+/// columns, exactly as for [`load_csv`].
+pub fn read_csv_batch<R: BufRead>(
+    schema: &crate::schema::TableSchema,
+    reader: R,
+) -> StoreResult<Vec<Row>> {
+    let mut lines = reader.lines().enumerate();
+    let header = match lines.next() {
+        Some((_, Ok(h))) => h,
+        Some((i, Err(e))) => {
+            return Err(StoreError::Csv {
+                line: i + 1,
+                message: e.to_string(),
+            })
+        }
+        None => return Ok(Vec::new()),
+    };
+    let names = split_line(header.trim_end_matches('\r'));
+    if names.len() != schema.arity() {
+        return Err(StoreError::Csv {
+            line: 1,
+            message: format!(
+                "header has {} columns, table `{}` has {}",
+                names.len(),
+                schema.name(),
+                schema.arity()
+            ),
+        });
+    }
+    let mut mapping = Vec::with_capacity(names.len());
+    for n in &names {
+        let idx = schema.column_index(n).ok_or_else(|| StoreError::Csv {
+            line: 1,
+            message: format!("header column `{n}` not in table `{}`", schema.name()),
+        })?;
+        if mapping.contains(&idx) {
+            return Err(StoreError::Csv {
+                line: 1,
+                message: format!("duplicate header column `{n}`"),
+            });
+        }
+        mapping.push(idx);
+    }
+    let mut rows = Vec::new();
+    for (i, line) in lines {
+        let lineno = i + 1;
+        let line = line.map_err(|e| StoreError::Csv {
+            line: lineno,
+            message: e.to_string(),
+        })?;
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_line_quoted(line);
+        if fields.len() != mapping.len() {
+            return Err(StoreError::Csv {
+                line: lineno,
+                message: format!("expected {} fields, got {}", mapping.len(), fields.len()),
+            });
+        }
+        let mut cells = vec![Value::Null; schema.arity()];
+        for (pos, (field, quoted)) in fields.iter().enumerate() {
+            let col = mapping[pos];
+            let ty = schema.columns()[col].data_type;
+            cells[col] = match parse_field_quoted(field, *quoted, ty, lineno) {
+                Ok(v) => v,
+                // Keep the raw text; the ingest policy decides.
+                Err(_) => Value::Text(field.clone()),
+            };
+        }
+        rows.push(Row::from(cells));
+    }
+    Ok(rows)
 }
 
 /// Write `table` to `writer` as CSV (header + one line per row).

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use crate::error::{StoreError, StoreResult};
+use crate::ingest::QuarantinedRow;
 use crate::row::Row;
 use crate::schema::TableSchema;
 use crate::table::Table;
@@ -14,6 +15,8 @@ pub struct Database {
     name: String,
     tables: Vec<Table>,
     by_name: HashMap<String, usize>,
+    /// Rows set aside by [`Database::ingest`] quarantine policies.
+    quarantine: Vec<QuarantinedRow>,
 }
 
 impl Database {
@@ -23,6 +26,7 @@ impl Database {
             name: name.into(),
             tables: Vec::new(),
             by_name: HashMap::new(),
+            quarantine: Vec::new(),
         }
     }
 
@@ -145,6 +149,21 @@ impl Database {
             }
         }
         Ok(checked)
+    }
+
+    /// Rows set aside by ingest quarantine policies, oldest first.
+    pub fn quarantine(&self) -> &[QuarantinedRow] {
+        &self.quarantine
+    }
+
+    /// Drain the quarantine buffer (e.g. to repair rows and re-ingest).
+    pub fn take_quarantine(&mut self) -> Vec<QuarantinedRow> {
+        std::mem::take(&mut self.quarantine)
+    }
+
+    /// Record quarantined rows from an ingest call.
+    pub(crate) fn push_quarantine(&mut self, rows: Vec<QuarantinedRow>) {
+        self.quarantine.extend(rows);
     }
 
     /// A human-readable multi-line summary (used by the dataset-inventory

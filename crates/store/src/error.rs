@@ -46,6 +46,16 @@ pub enum StoreError {
     Csv { line: usize, message: String },
     /// A query referenced something invalid.
     InvalidQuery(String),
+    /// A streaming-ingest batch was rejected by its validation policy.
+    /// Nothing from the batch was applied.
+    BatchRejected {
+        /// Destination table of the offending row.
+        table: String,
+        /// Index of the offending row within the batch.
+        batch_row: usize,
+        /// What the row violated.
+        reason: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -83,6 +93,10 @@ impl fmt::Display for StoreError {
             StoreError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
             StoreError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
             StoreError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            StoreError::BatchRejected { table, batch_row, reason } => write!(
+                f,
+                "batch rejected at row {batch_row} (table `{table}`): {reason}"
+            ),
         }
     }
 }

@@ -42,6 +42,7 @@ pub mod csv;
 pub mod database;
 pub mod ddl;
 pub mod error;
+pub mod ingest;
 pub mod query;
 pub mod row;
 pub mod schema;
@@ -52,6 +53,7 @@ pub use column::Column;
 pub use database::Database;
 pub use ddl::{load_database_dir, parse_ddl, render_ddl, save_database_dir};
 pub use error::{StoreError, StoreResult};
+pub use ingest::{IngestPolicy, IngestReport, PolicyAction, QuarantinedRow, RowBatch};
 pub use query::{hash_join, Aggregation, CmpOp, GroupQuery, JoinedRows, Predicate};
 pub use row::Row;
 pub use schema::{ColumnDef, ForeignKey, TableSchema, TableSchemaBuilder};

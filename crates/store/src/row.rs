@@ -47,6 +47,14 @@ impl Row {
         self.values.push(v.into());
         self
     }
+
+    /// Replace the cell at position `i` (used by ingest coercion).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn set(&mut self, i: usize, v: impl Into<Value>) {
+        self.values[i] = v.into();
+    }
 }
 
 impl Index<usize> for Row {

@@ -6,6 +6,7 @@
 //! USAGE:
 //!   relgraph --demo ecommerce --query "PREDICT EXISTS(orders.*, 0, 30) FOR EACH customers.customer_id"
 //!   relgraph --data ./mydb    --query "…" [--explain-only] [--top 20] [--export-demo DIR]
+//!   relgraph ingest --data ./mydb --batch orders=new_orders.csv [--policy coerce] [--query "…"]
 //!
 //! OPTIONS:
 //!   --data <DIR>        load <DIR>/schema.ddl + <table>.csv files
@@ -15,6 +16,15 @@
 //!   --top <N>           print the N highest-scoring predictions (default 10)
 //!   --seed <N>          generator/model seed (default 7)
 //!   --export-demo <DIR> write the demo database to DIR (schema.ddl + CSVs) and exit
+//!
+//! INGEST OPTIONS (relgraph ingest …):
+//!   --batch <T>=<F.csv> append the rows of F.csv to table T (repeatable;
+//!                       applied as one atomic batch in flag order)
+//!   --policy <P>        validation policy: reject | quarantine | coerce
+//!                       (default reject)
+//!   --query <PQL>       after ingesting, re-run this predictive query on
+//!                       the incrementally-updated graph
+//!   --save <DIR>        write the updated database back out to DIR
 //! ```
 //!
 //! Set `RELGRAPH_OBS=stderr` for a per-stage timing tree on stderr, or
@@ -29,11 +39,15 @@ use std::process::ExitCode;
 use relgraph::datagen::{
     generate_clinic, generate_ecommerce, generate_forum, ClinicConfig, EcommerceConfig, ForumConfig,
 };
+use relgraph::db2graph::{build_graph, update_graph, ConvertOptions, GraphCursor};
 use relgraph::pq::traintable::TrainTableConfig;
 use relgraph::pq::{
     analyze, build_training_table, execute, explain, parse, ExecConfig, PredictionValue,
+    PreparedQuery,
 };
-use relgraph::store::{load_database_dir, save_database_dir, Database};
+use relgraph::store::{
+    load_database_dir, save_database_dir, Database, IngestPolicy, PolicyAction, RowBatch,
+};
 
 struct Args {
     data: Option<String>,
@@ -163,6 +177,11 @@ fn run() -> Result<(), String> {
             ("seed", &args.seed.to_string()),
         ],
     );
+    print_outcome(outcome, args.top);
+    Ok(())
+}
+
+fn print_outcome(outcome: relgraph::pq::QueryOutcome, top: usize) {
     println!("{}", outcome.explain);
     println!("Backtest ({} test examples):", outcome.test_size);
     for (name, v) in &outcome.metrics {
@@ -180,11 +199,8 @@ fn run() -> Result<(), String> {
             .partial_cmp(&score(a))
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-    println!(
-        "\nTop {} predictions (anchored at the latest time in the data):",
-        args.top
-    );
-    for p in preds.iter().take(args.top) {
+    println!("\nTop {top} predictions (anchored at the latest time in the data):");
+    for p in preds.iter().take(top) {
         match &p.value {
             PredictionValue::Score(s) => println!("  {:<12} {s:.4}", p.entity_key.to_string()),
             PredictionValue::Items(items) => {
@@ -196,11 +212,192 @@ fn run() -> Result<(), String> {
             }
         }
     }
+}
+
+struct IngestArgs {
+    data: Option<String>,
+    demo: Option<String>,
+    batches: Vec<(String, String)>,
+    policy: IngestPolicy,
+    query: Option<String>,
+    save: Option<String>,
+    top: usize,
+    seed: u64,
+}
+
+fn ingest_usage() -> &'static str {
+    "usage: relgraph ingest (--data DIR | --demo NAME) --batch TABLE=FILE.csv \
+     [--batch …] [--policy reject|quarantine|coerce] [--query 'PREDICT …'] \
+     [--save DIR] [--top N] [--seed N]"
+}
+
+fn parse_ingest_args(it: impl Iterator<Item = String>) -> Result<IngestArgs, String> {
+    let mut args = IngestArgs {
+        data: None,
+        demo: None,
+        batches: Vec::new(),
+        policy: IngestPolicy::reject_all(),
+        query: None,
+        save: None,
+        top: 10,
+        seed: 7,
+    };
+    let mut it = it;
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", ingest_usage()))
+        };
+        match flag.as_str() {
+            "--data" => args.data = Some(value("--data")?),
+            "--demo" => args.demo = Some(value("--demo")?),
+            "--batch" => {
+                let spec = value("--batch")?;
+                let (table, file) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--batch expects TABLE=FILE.csv, got `{spec}`"))?;
+                args.batches.push((table.to_string(), file.to_string()));
+            }
+            "--policy" => {
+                let p = value("--policy")?;
+                let action: PolicyAction = p.parse()?;
+                args.policy = match action {
+                    PolicyAction::Reject => IngestPolicy::reject_all(),
+                    PolicyAction::Quarantine => IngestPolicy::quarantine_all(),
+                    PolicyAction::Coerce => IngestPolicy::coerce_all(),
+                };
+            }
+            "--query" | "-q" => args.query = Some(value("--query")?),
+            "--save" => args.save = Some(value("--save")?),
+            "--top" => {
+                args.top = value("--top")?
+                    .parse()
+                    .map_err(|_| "--top needs a number".to_string())?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs a number".to_string())?
+            }
+            "--help" | "-h" => return Err(ingest_usage().to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{}", ingest_usage())),
+        }
+    }
+    if args.batches.is_empty() {
+        return Err(format!(
+            "at least one --batch is required\n{}",
+            ingest_usage()
+        ));
+    }
+    Ok(args)
+}
+
+/// `relgraph ingest`: append CSV batches through the validation policy,
+/// incrementally maintain the graph, and optionally re-run a prepared
+/// predictive query against it — the full streaming-serve loop.
+fn run_ingest(it: impl Iterator<Item = String>) -> Result<(), String> {
+    let args = parse_ingest_args(it)?;
+    relgraph::obs::init_from_env();
+    let loader = Args {
+        data: args.data.clone(),
+        demo: args.demo.clone(),
+        query: None,
+        explain_only: false,
+        top: args.top,
+        seed: args.seed,
+        export_demo: None,
+    };
+    let mut db = load(&loader)?;
+    eprintln!("{}", db.summary());
+
+    // Prepare the query and compile the graph *before* ingesting: analysis
+    // binds only schema-level facts, so both stay valid as the data grows.
+    let prepared = match &args.query {
+        Some(q) => Some(
+            PreparedQuery::prepare(
+                &db,
+                q,
+                &ExecConfig {
+                    seed: args.seed,
+                    max_predictions: None,
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| e.to_string())?,
+        ),
+        None => None,
+    };
+    let opts = ConvertOptions::default();
+    let (mut graph, mut mapping) = build_graph(&db, &opts).map_err(|e| e.to_string())?;
+    let mut cursor = GraphCursor::capture(&db);
+
+    let mut batch = RowBatch::new();
+    for (table, file) in &args.batches {
+        let schema = db.table(table).map_err(|e| e.to_string())?.schema().clone();
+        let f = std::fs::File::open(file).map_err(|e| format!("opening {file}: {e}"))?;
+        let n = batch
+            .push_csv(table, &schema, std::io::BufReader::new(f))
+            .map_err(|e| format!("reading {file}: {e}"))?;
+        eprintln!("queued {n} rows for `{table}` from {file}");
+    }
+
+    let report = db.ingest(batch, &args.policy).map_err(|e| e.to_string())?;
+    println!(
+        "ingest: {} accepted ({} coerced, {} late), {} quarantined",
+        report.accepted, report.coerced, report.late, report.quarantined
+    );
+    for q in db.quarantine() {
+        println!(
+            "  quarantined `{}` row {}: {}",
+            q.table, q.batch_row, q.reason
+        );
+    }
+
+    let stats = update_graph(&db, &mut graph, &mut mapping, &mut cursor, &opts)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "graph delta: +{} nodes, +{} edges across {} tables ({} edge types rebuilt)",
+        stats.new_nodes, stats.new_edges, stats.tables_touched, stats.edge_types_rebuilt
+    );
+
+    if let Some(dir) = &args.save {
+        save_database_dir(&db, dir).map_err(|e| e.to_string())?;
+        println!("saved updated database to {dir}/");
+    }
+
+    if let Some(pq) = prepared {
+        let outcome = pq
+            .run_on_graph(&db, &graph, &mapping)
+            .map_err(|e| e.to_string())?;
+        relgraph::obs::emit_run_report(
+            "relgraph-cli-ingest",
+            &[
+                (
+                    "dataset",
+                    args.demo
+                        .as_deref()
+                        .or(args.data.as_deref())
+                        .unwrap_or("unknown"),
+                ),
+                ("task", &outcome.task.to_string()),
+                ("model", &outcome.model.to_string()),
+                ("seed", &args.seed.to_string()),
+            ],
+        );
+        print_outcome(outcome, args.top);
+    }
     Ok(())
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let mut argv = std::env::args().skip(1).peekable();
+    let result = if argv.peek().map(String::as_str) == Some("ingest") {
+        argv.next();
+        run_ingest(argv)
+    } else {
+        run()
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("relgraph: {msg}");

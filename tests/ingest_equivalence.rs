@@ -1,0 +1,217 @@
+//! Streaming-ingest equivalence: maintaining a graph incrementally across
+//! an arbitrary schedule of validated row batches must be indistinguishable
+//! from compiling the final database from scratch — node counts, edge sets,
+//! features and normalization specs all bit-identical — and a predictive
+//! query served from the incrementally-maintained graph must return exactly
+//! the predictions it would return on a scratch compile.
+
+use proptest::prelude::*;
+use relgraph::datagen::{generate_ecommerce, EcommerceConfig};
+use relgraph::db2graph::{build_graph, update_graph, ConvertOptions, GraphCursor};
+use relgraph::pq::{ExecConfig, PredictionValue, PreparedQuery};
+use relgraph::store::{DataType, Database, IngestPolicy, Row, RowBatch, TableSchema, Value};
+
+/// `parents(id, at)` / `children(id, parent_id, x, kind, at)` — one FK, a
+/// numeric column (normalization stats shift every batch) and a text
+/// column (hashed slots must be carried over correctly).
+fn fresh_db() -> Database {
+    let mut db = Database::new("stream");
+    db.create_table(
+        TableSchema::builder("parents")
+            .column("id", DataType::Int)
+            .column("at", DataType::Timestamp)
+            .primary_key("id")
+            .time_column("at")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::builder("children")
+            .column("id", DataType::Int)
+            .column("parent_id", DataType::Int)
+            .column("x", DataType::Float)
+            .column("kind", DataType::Text)
+            .column("at", DataType::Timestamp)
+            .primary_key("id")
+            .time_column("at")
+            .foreign_key("parent_id", "parents")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+/// One batch of the schedule: parents to add, then children referencing
+/// any parent that exists once this batch's parents are staged (ingest
+/// resolves intra-batch FKs in arrival order).
+type Batch = (usize, Vec<(usize, f64, String, i64)>);
+
+fn schedule_strategy() -> impl Strategy<Value = Vec<Batch>> {
+    let child = (0usize..64, -5.0f64..5.0, "[a-c]{1,2}", 0i64..500);
+    proptest::collection::vec((1usize..4, proptest::collection::vec(child, 0..8)), 1..6)
+}
+
+/// Apply the schedule through `Database::ingest`, maintaining the graph
+/// incrementally after every batch; return the db and the maintained
+/// graph/mapping.
+fn run_schedule(
+    schedule: &[Batch],
+    options: &ConvertOptions,
+) -> (
+    Database,
+    relgraph::graph::HeteroGraph,
+    relgraph::db2graph::GraphMapping,
+) {
+    let mut db = fresh_db();
+    let (mut graph, mut mapping) = build_graph(&db, options).unwrap();
+    let mut cursor = GraphCursor::capture(&db);
+    // Coerce: schedules draw times at random, so late rows are expected.
+    let policy = IngestPolicy::coerce_all();
+    let (mut next_parent, mut next_child) = (0i64, 0i64);
+    for (new_parents, children) in schedule {
+        let mut batch = RowBatch::new();
+        let staged_parents = next_parent + *new_parents as i64;
+        for _ in 0..*new_parents {
+            batch.push(
+                "parents",
+                Row::new().push(next_parent).push(Value::Timestamp(0)),
+            );
+            next_parent += 1;
+        }
+        for (p, x, kind, t) in children {
+            batch.push(
+                "children",
+                Row::new()
+                    .push(next_child)
+                    .push((*p as i64) % staged_parents)
+                    .push(*x)
+                    .push(Value::Text(kind.clone()))
+                    .push(Value::Timestamp(*t)),
+            );
+            next_child += 1;
+        }
+        let report = db.ingest(batch, &policy).unwrap();
+        assert_eq!(report.quarantined, 0, "schedule rows are all valid");
+        update_graph(&db, &mut graph, &mut mapping, &mut cursor, options).unwrap();
+    }
+    (db, graph, mapping)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// ≥256 random batch schedules: the incrementally maintained graph is
+    /// structurally identical to a scratch compile of the final database —
+    /// nodes, edges, adjacency, features — and the mapping's normalization
+    /// specs match.
+    #[test]
+    fn incremental_ingest_equals_scratch_convert(schedule in schedule_strategy()) {
+        let options = ConvertOptions::default();
+        let (db, graph, mapping) = run_schedule(&schedule, &options);
+        let (scratch_graph, scratch_mapping) = build_graph(&db, &options).unwrap();
+        prop_assert!(
+            graph.structural_eq(&scratch_graph),
+            "incremental graph diverged from scratch compile"
+        );
+        prop_assert_eq!(&mapping.feature_specs, &scratch_mapping.feature_specs);
+    }
+
+    /// Same property without reverse edges (the delta path must respect
+    /// the conversion options it was started with).
+    #[test]
+    fn incremental_ingest_equals_scratch_no_reverse(schedule in schedule_strategy()) {
+        let options = ConvertOptions {
+            reverse_edges: false,
+            ..Default::default()
+        };
+        let (db, graph, _) = run_schedule(&schedule, &options);
+        let (scratch_graph, _) = build_graph(&db, &options).unwrap();
+        prop_assert!(graph.structural_eq(&scratch_graph));
+    }
+}
+
+/// End-to-end serving equivalence on the realistic demo: ingest the last
+/// slice of the ecommerce event stream, then run the *same* prepared query
+/// on (a) the incrementally maintained graph and (b) a scratch compile of
+/// the post-ingest database. Predictions must be bit-identical.
+#[test]
+fn served_predictions_bit_identical_after_ingest() {
+    let full = generate_ecommerce(&EcommerceConfig {
+        customers: 120,
+        products: 20,
+        seed: 11,
+        ..Default::default()
+    })
+    .unwrap();
+    let (lo, hi) = full.time_span().unwrap();
+    let t_cut = hi - (hi - lo) / 10;
+    let mut db = Database::new("shop");
+    for t in full.tables() {
+        db.create_table(t.schema().clone()).unwrap();
+    }
+    let mut stream = Vec::new();
+    for t in full.tables() {
+        let event_table = matches!(t.name(), "orders" | "reviews");
+        for i in 0..t.len() {
+            let row = t.row(i).unwrap();
+            match t.row_timestamp(i) {
+                Some(rt) if event_table && rt > t_cut => {
+                    stream.push((t.name().to_string(), rt, row))
+                }
+                _ => {
+                    db.insert(t.name(), row).unwrap();
+                }
+            }
+        }
+    }
+    stream.sort_by_key(|&(_, rt, _)| rt);
+    assert!(!stream.is_empty(), "cut must leave an event stream");
+
+    let opts = ConvertOptions::default();
+    let (mut graph, mut mapping) = build_graph(&db, &opts).unwrap();
+    let mut cursor = GraphCursor::capture(&db);
+    let mut batch = RowBatch::new();
+    for (table, _, row) in stream {
+        batch.push(table, row);
+    }
+    db.ingest(batch, &IngestPolicy::reject_all()).unwrap();
+    update_graph(&db, &mut graph, &mut mapping, &mut cursor, &opts).unwrap();
+
+    let (scratch_graph, scratch_mapping) = build_graph(&db, &opts).unwrap();
+    assert!(graph.structural_eq(&scratch_graph));
+
+    let pq = PreparedQuery::prepare(
+        &db,
+        "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id \
+         USING model = gnn, epochs = 3",
+        &ExecConfig {
+            fanouts: vec![6, 6],
+            hidden_dim: 16,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let inc = pq.run_on_graph(&db, &graph, &mapping).unwrap();
+    let scratch = pq
+        .run_on_graph(&db, &scratch_graph, &scratch_mapping)
+        .unwrap();
+
+    assert_eq!(inc.metrics, scratch.metrics);
+    assert_eq!(inc.predictions.len(), scratch.predictions.len());
+    for (a, b) in inc.predictions.iter().zip(&scratch.predictions) {
+        assert_eq!(a.entity_key, b.entity_key);
+        match (&a.value, &b.value) {
+            (PredictionValue::Score(x), PredictionValue::Score(y)) => {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "prediction diverged for {:?}",
+                    a.entity_key
+                )
+            }
+            (va, vb) => assert_eq!(va, vb),
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Error-corpus test: every malformed query under `tests/pq_corpus/` must
+//! surface as a structured [`PqError`] — never a panic, never a silent
+//! success. The corpus covers lexer, parser, analyzer and option-handling
+//! failure modes.
+
+use relgraph::datagen::{generate_ecommerce, EcommerceConfig};
+use relgraph::pq::{ExecConfig, PqError, PreparedQuery};
+
+#[test]
+fn every_corpus_query_fails_with_a_structured_error() {
+    let db = generate_ecommerce(&EcommerceConfig {
+        customers: 30,
+        products: 10,
+        seed: 5,
+        ..Default::default()
+    })
+    .unwrap();
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/pq_corpus");
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("corpus directory")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "pq"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 30,
+        "corpus shrank: only {} queries",
+        paths.len()
+    );
+
+    let mut failures = Vec::new();
+    for path in &paths {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let query = std::fs::read_to_string(path).unwrap();
+        // A panic anywhere in parse/analyze/option handling fails the
+        // whole test with that query's backtrace — which is the point.
+        match PreparedQuery::prepare(&db, &query, &ExecConfig::default()) {
+            Ok(_) => failures.push(format!("{name}: unexpectedly compiled")),
+            Err(e) => {
+                // Structured: a known variant with a non-empty message.
+                let msg = e.to_string();
+                assert!(!msg.is_empty(), "{name}: empty error message");
+                match &e {
+                    PqError::Parse { message, .. } => {
+                        assert!(!message.is_empty(), "{name}: empty parse message")
+                    }
+                    PqError::Analyze(m) | PqError::TrainingTable(m) | PqError::Execution(m) => {
+                        assert!(!m.is_empty(), "{name}: empty message")
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "corpus queries that did not error:\n{}",
+        failures.join("\n")
+    );
+}

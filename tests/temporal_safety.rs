@@ -142,6 +142,123 @@ fn temporal_split_orders_anchors() {
     }
 }
 
+/// Two-table fixture for the streaming-ingest horizon tests.
+fn stream_db() -> Database {
+    use relgraph::store::{DataType, TableSchema};
+    let mut db = Database::new("stream");
+    db.create_table(
+        TableSchema::builder("parents")
+            .column("id", DataType::Int)
+            .column("at", DataType::Timestamp)
+            .primary_key("id")
+            .time_column("at")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::builder("children")
+            .column("id", DataType::Int)
+            .column("parent_id", DataType::Int)
+            .column("at", DataType::Timestamp)
+            .primary_key("id")
+            .time_column("at")
+            .foreign_key("parent_id", "parents")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    db.insert("parents", Row::new().push(0i64).push(Value::Timestamp(0)))
+        .unwrap();
+    db
+}
+
+/// Nodes visible from parent 0 at `anchor`, per child id.
+fn visible_children(graph: &relgraph::graph::HeteroGraph, anchor: i64) -> Vec<usize> {
+    let sampler = TemporalSampler::new(graph, SamplerConfig::new(vec![usize::MAX]));
+    let sub = sampler.sample(&[Seed {
+        node_type: NodeTypeId(0),
+        node: 0,
+        time: anchor,
+    }]);
+    let mut v = sub.nodes[1].clone();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn ingested_rows_respect_anchor_horizons() {
+    use relgraph::db2graph::{update_graph, GraphCursor};
+    use relgraph::store::{IngestPolicy, RowBatch};
+    let mut db = stream_db();
+    let opts = ConvertOptions::default();
+    let (mut graph, mut mapping) = build_graph(&db, &opts).unwrap();
+    let mut cursor = GraphCursor::capture(&db);
+
+    // A batch straddling the anchor: child 0 strictly before, child 1
+    // exactly at, child 2 strictly after.
+    let anchor = 200i64;
+    let mut batch = RowBatch::new();
+    for (id, t) in [(0i64, 150i64), (1, 200), (2, 250)] {
+        batch.push(
+            "children",
+            Row::new().push(id).push(0i64).push(Value::Timestamp(t)),
+        );
+    }
+    let report = db.ingest(batch, &IngestPolicy::reject_all()).unwrap();
+    assert_eq!(report.accepted, 3);
+    update_graph(&db, &mut graph, &mut mapping, &mut cursor, &opts).unwrap();
+
+    // Rows ingested at or before the anchor appear in its horizon; the
+    // future row must not leak in.
+    assert_eq!(visible_children(&graph, anchor), vec![0, 1]);
+    assert_eq!(visible_children(&graph, 100), Vec::<usize>::new());
+    assert_eq!(visible_children(&graph, i64::MAX), vec![0, 1, 2]);
+}
+
+#[test]
+fn out_of_order_ingest_under_coerce_stays_temporally_safe() {
+    use relgraph::db2graph::{update_graph, GraphCursor};
+    use relgraph::store::{IngestPolicy, RowBatch};
+    let mut db = stream_db();
+    let opts = ConvertOptions::default();
+    let (mut graph, mut mapping) = build_graph(&db, &opts).unwrap();
+    let mut cursor = GraphCursor::capture(&db);
+    let policy = IngestPolicy::coerce_all();
+
+    // First batch advances the watermark to 500.
+    let mut b1 = RowBatch::new();
+    b1.push(
+        "children",
+        Row::new().push(0i64).push(0i64).push(Value::Timestamp(500)),
+    );
+    assert_eq!(db.ingest(b1, &policy).unwrap().late, 0);
+    update_graph(&db, &mut graph, &mut mapping, &mut cursor, &opts).unwrap();
+
+    // Second batch backfills an out-of-order event at t=100. Coerce
+    // accepts it as-is (counted late) rather than clamping its timestamp.
+    let mut b2 = RowBatch::new();
+    b2.push(
+        "children",
+        Row::new().push(1i64).push(0i64).push(Value::Timestamp(100)),
+    );
+    let report = db.ingest(b2, &policy).unwrap();
+    assert_eq!((report.accepted, report.late), (1, 1));
+    update_graph(&db, &mut graph, &mut mapping, &mut cursor, &opts).unwrap();
+
+    // An anchor between the two events sees exactly the backfilled row:
+    // the late row joined the horizon of its *event* time, and the future
+    // row stays invisible. The CSR re-sorted the neighbor list, so the
+    // visible prefix is correct even though arrival order was inverted.
+    assert_eq!(visible_children(&graph, 300), vec![1]);
+    assert_eq!(visible_children(&graph, 50), Vec::<usize>::new());
+    assert_eq!(visible_children(&graph, 500), vec![0, 1]);
+
+    // And the maintained graph still matches a scratch compile.
+    let (scratch, _) = build_graph(&db, &opts).unwrap();
+    assert!(graph.structural_eq(&scratch));
+}
+
 #[test]
 fn leaky_sampling_inflates_offline_metrics() {
     // The F2 experiment's core assertion, as a regression test.

@@ -53,6 +53,23 @@ impl Bencher {
         }
     }
 
+    /// Measure `routine` on a fresh value from `setup` per iteration; the
+    /// setup cost is excluded from the timing.
+    pub fn iter_with_setup<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+    ) {
+        // Warm-up (also keeps `routine` from being measured cold).
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
     fn median(&mut self) -> Duration {
         if self.samples.is_empty() {
             return Duration::ZERO;
