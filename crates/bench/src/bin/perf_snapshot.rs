@@ -1,0 +1,60 @@
+//! Standalone runner for the before/after hot-path snapshot.
+//!
+//! ```text
+//! cargo run --release -p relgraph-bench --bin perf_snapshot [-- --check]
+//! ```
+//!
+//! Writes `BENCH_pipeline.json` (override with `RELGRAPH_BENCH_OUT`); set
+//! `RELGRAPH_QUICK=1` for the ~4× smaller smoke workload.
+//!
+//! With `--check`, exits non-zero when any section regresses: the optimized
+//! path must not be slower than its in-tree baseline. Sections whose gap is
+//! pure thread scaling (`sample`, `traintable`, `ingest`, `epoch`) get a
+//! noise allowance since they legitimately hit ~1.0x on a single-core host;
+//! kernel sections (`matmul_*`, `linear_fused`) must show a real win.
+
+use relgraph_bench::perf;
+
+/// Minimum acceptable `after / before` per section under `--check`.
+fn min_speedup(section: &str) -> f64 {
+    match section {
+        // The microkernel must beat naive by a clear margin in release mode.
+        s if s.starts_with("matmul_") => 1.05,
+        "linear_fused" => 1.05,
+        // Thread-scaling sections: allow measurement noise around 1.0x.
+        _ => 0.85,
+    }
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let quick = std::env::var("RELGRAPH_QUICK").is_ok();
+    let out = std::env::var("RELGRAPH_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());
+
+    let snap = perf::write_snapshot(&out, quick).expect("write snapshot");
+    println!("wrote {out} (threads = {})", snap.threads);
+    let mut failed = false;
+    for s in &snap.sections {
+        let speedup = if s.before > 0.0 {
+            s.after / s.before
+        } else {
+            0.0
+        };
+        let floor = min_speedup(&s.name);
+        let verdict = if check && speedup < floor {
+            failed = true;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<12} {:>10.3} -> {:>10.3} {:<12} {:.2}x  {}",
+            s.name, s.before, s.after, s.unit, speedup, verdict
+        );
+    }
+    println!("end-to-end speedup: {:.2}x", snap.end_to_end_speedup);
+    if failed {
+        eprintln!("perf check failed: at least one section regressed below its floor");
+        std::process::exit(1);
+    }
+}

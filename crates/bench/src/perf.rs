@@ -65,6 +65,9 @@ impl Section {
 pub struct Snapshot {
     pub sections: Vec<Section>,
     pub end_to_end_speedup: f64,
+    /// Effective rayon thread count, recorded while measuring (not at
+    /// serialization time, when the environment may have changed).
+    pub threads: usize,
 }
 
 impl Snapshot {
@@ -78,10 +81,7 @@ impl Snapshot {
         let mut out = String::from("{\n");
         out.push_str("  \"schema_version\": 1,\n");
         out.push_str(&format!("  \"unix_time\": {unix_time},\n"));
-        out.push_str(&format!(
-            "  \"threads\": {},\n",
-            rayon::current_num_threads()
-        ));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str("  \"sections\": [\n");
         for (i, s) in self.sections.iter().enumerate() {
             out.push_str(&format!(
@@ -133,6 +133,8 @@ pub fn run_snapshot(quick: bool) -> Snapshot {
     let cust = mapping.node_type("customers").unwrap();
     let (_, hi) = db.time_span().unwrap();
     let mut sections = Vec::new();
+    // Capture the effective worker count now, while measuring.
+    let threads = rayon::current_num_threads();
 
     // --- sample: full-edge-list scan vs temporal CSR + rayon fan-out.
     let sampler = TemporalSampler::new(&graph, SamplerConfig::new(vec![10, 10]));
@@ -180,21 +182,52 @@ pub fn run_snapshot(quick: bool) -> Snapshot {
         after: n_examples / after,
     });
 
-    // --- matmul: serial naive ikj vs cache-blocked parallel kernel.
+    // --- matmul: serial naive ikj vs the packed FMA microkernel.
+    let fill = |rows: usize, cols: usize, m0: usize, m1: usize, md: i64| {
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|x| ((x / cols * m0 + x % cols * m1) as i64 % md - md / 2) as f64)
+            .collect();
+        Tensor::from_vec(rows, cols, data)
+    };
     for &dim in &[128usize, 256] {
-        let fill = |m0: usize, m1: usize, md: i64| {
-            let data: Vec<f64> = (0..dim * dim)
-                .map(|x| ((x / dim * m0 + x % dim * m1) as i64 % md - md / 2) as f64)
-                .collect();
-            Tensor::from_vec(dim, dim, data)
-        };
-        let a = fill(31, 7, 13);
-        let b = fill(17, 3, 11);
+        let a = fill(dim, dim, 31, 7, 13);
+        let b = fill(dim, dim, 17, 3, 11);
         let gflop = 2.0 * (dim * dim * dim) as f64 / 1e9;
         let before = best_secs(reps, || a.matmul_naive(&b).get(0, 0));
         let after = best_secs(reps, || a.matmul(&b).get(0, 0));
         sections.push(Section {
             name: format!("matmul_{dim}"),
+            unit: "gflop/s".into(),
+            before: gflop / before,
+            after: gflop / after,
+        });
+    }
+
+    // --- linear_fused: a full linear-layer forward `relu(x·w + b)`. Before
+    // is the pre-optimization tape lowering (naive matmul, then a bias pass,
+    // then an activation pass, each materializing a tensor); after is the
+    // single fused kernel pass.
+    {
+        let (m, k, n) = (256usize, 128usize, 64usize);
+        let x = fill(m, k, 31, 7, 13);
+        let w = fill(k, n, 17, 3, 11);
+        let bias = fill(1, n, 5, 29, 9);
+        let act = relgraph_tensor::ActKind::Relu;
+        // bias + activation are one flop per output element each.
+        let gflop = (2.0 * (m * n * k) as f64 + 2.0 * (m * n) as f64) / 1e9;
+        let before = best_secs(reps, || {
+            let z = x.matmul_naive(&w);
+            let mut y = Tensor::zeros(m, n);
+            for i in 0..m {
+                for ((o, &zv), &bv) in y.row_mut(i).iter_mut().zip(z.row(i)).zip(bias.data()) {
+                    *o = (zv + bv).max(0.0);
+                }
+            }
+            y.get(0, 0)
+        });
+        let after = best_secs(reps, || x.matmul_bias_act(&w, &bias, act).get(0, 0));
+        sections.push(Section {
+            name: "linear_fused".into(),
             unit: "gflop/s".into(),
             before: gflop / before,
             after: gflop / after,
@@ -276,7 +309,8 @@ pub fn run_snapshot(quick: bool) -> Snapshot {
 
     // --- epoch: one end-to-end training epoch (sample → batch → forward →
     // backward → Adam step), before = scan sampling + pre-optimization
-    // matmul path, after = CSR sampling + blocked fused kernels.
+    // matmul path + a fresh graph per minibatch, after = CSR sampling +
+    // fused FMA kernels + the reused tape arena.
     let examples: Vec<(Seed, f64)> = {
         let t = build_training_table(&db, &aq, &tt_cfg).unwrap();
         t.train
@@ -314,6 +348,8 @@ pub fn run_snapshot(quick: bool) -> Snapshot {
         );
         let mut opt = Adam::new(0.01);
         let mut total = 0.0;
+        let mut g = Graph::new();
+        let mut binding = Binding::new();
         for chunk in examples.chunks(64) {
             let chunk_seeds: Vec<Seed> = chunk.iter().map(|&(s, _)| s).collect();
             let sub = if baseline {
@@ -322,8 +358,14 @@ pub fn run_snapshot(quick: bool) -> Snapshot {
                 sampler.sample(&chunk_seeds)
             };
             let batch = build_batch(&graph, &sub);
-            let mut g = Graph::new();
-            let mut binding = Binding::new();
+            if baseline {
+                // Pre-optimization behavior: a fresh allocation set per batch.
+                g = Graph::new();
+                binding = Binding::new();
+            } else {
+                g.reset();
+                binding.reset();
+            }
             let pred = gnn.forward(&mut g, &mut binding, &ps, &batch);
             let labels: Vec<f64> = chunk.iter().map(|&(_, y)| y).collect();
             let target = g.constant(Tensor::from_vec(labels.len(), 1, labels));
@@ -351,6 +393,7 @@ pub fn run_snapshot(quick: bool) -> Snapshot {
     Snapshot {
         sections,
         end_to_end_speedup: end_to_end,
+        threads,
     }
 }
 

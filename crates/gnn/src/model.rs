@@ -118,7 +118,7 @@ impl HeteroGnn {
         let mut reps: Vec<Var> = batch
             .features
             .iter()
-            .map(|t| g.constant(t.clone()))
+            .map(|t| g.constant_copied(t))
             .collect();
         for layer in &self.layers {
             reps = layer.forward(g, binding, ps, &reps, &batch.edges, &self.edge_types);

@@ -223,14 +223,14 @@ pub fn train_two_tower(
         let sub = sampler.sample(&seeds);
         let batch = build_batch(graph, &sub);
         let u = user_gnn.forward(g, binding, ps, &batch);
-        let items = g.constant(item_features.clone());
+        let items = g.constant_copied(&item_features);
         let proj = item_proj.forward(g, binding, ps, items);
         let free = binding.bind(g, ps, item_embed);
         let item_emb = g.add(proj, free);
         let p = g
             .gather_rows(item_emb, pos.clone())
             .expect("pos item in range");
-        let ones_v = g.constant(ones.clone());
+        let ones_v = g.constant_copied(&ones);
         let up = g.mul(u, p);
         let s_pos = g.matmul(up, ones_v);
         let mut total: Option<relgraph_tensor::Var> = None;
@@ -247,7 +247,7 @@ pub fn train_two_tower(
                 .collect();
             let nneg = g.gather_rows(item_emb, neg).expect("neg item in range");
             let un = g.mul(u, nneg);
-            let ones_v = g.constant(ones.clone());
+            let ones_v = g.constant_copied(&ones);
             let s_neg = g.matmul(un, ones_v);
             // BPR: softplus(s_neg − s_pos).
             let diff = g.sub(s_neg, s_pos);
@@ -279,10 +279,13 @@ pub fn train_two_tower(
     for epoch in 0..cfg.epochs {
         obs::add("gnn.train.epochs", 1);
         order.shuffle(&mut rng);
+        // Reused tape arena: reset() recycles buffers between minibatches.
+        let mut g = Graph::new();
+        let mut binding = Binding::new();
         for chunk in order.chunks(cfg.batch_size) {
             let pairs: Vec<(Seed, usize)> = chunk.iter().map(|&i| train[i]).collect();
-            let mut g = Graph::new();
-            let mut binding = Binding::new();
+            g.reset();
+            binding.reset();
             let l = bpr_loss(&mut g, &mut binding, &ps, &pairs, &mut rng);
             if !g.value(l).item().is_finite() {
                 return Err(GnnError::NumericFailure { epoch });

@@ -117,9 +117,25 @@ impl SageLayer {
         edge_types: &[EdgeTypeMeta],
     ) -> Vec<Var> {
         let num_types = inputs.len();
-        // Self term per type.
+        // Types that receive no messages can fuse the activation straight
+        // into their self transform (one kernel pass); the rest apply it
+        // after the aggregation add.
+        let mut gets_messages = vec![false; num_types];
+        for (e, meta) in edge_types.iter().enumerate() {
+            if !edges[e].is_empty() {
+                gets_messages[meta.src.0] = true;
+            }
+        }
+        // Self term per type: fused linear(+bias)(+activation) kernels.
         let mut acc: Vec<Var> = (0..num_types)
-            .map(|t| self.self_lin[t].forward(g, binding, ps, inputs[t]))
+            .map(|t| {
+                let act = if gets_messages[t] {
+                    Activation::Identity
+                } else {
+                    self.activation
+                };
+                self.self_lin[t].forward_act(g, binding, ps, inputs[t], act)
+            })
             .collect();
         // Message term per edge type.
         for (e, meta) in edge_types.iter().enumerate() {
@@ -143,7 +159,14 @@ impl SageLayer {
             acc[meta.src.0] = g.add(acc[meta.src.0], agg);
         }
         acc.into_iter()
-            .map(|h| self.activation.apply(g, h))
+            .zip(gets_messages)
+            .map(|(h, got)| {
+                if got {
+                    self.activation.apply(g, h)
+                } else {
+                    h // activation already fused into the self transform
+                }
+            })
             .collect()
     }
 }

@@ -337,10 +337,14 @@ pub fn train_multiclass_model(
         let mut epoch_loss = 0.0;
         let mut batches: f64 = 0.0;
         let mut grad_norm_sum = 0.0;
+        // One graph + binding reused across minibatches: reset() recycles
+        // every tape buffer into the arena instead of reallocating.
+        let mut g = Graph::new();
+        let mut binding = Binding::new();
         for chunk in order.chunks(cfg.batch_size) {
             let examples: Vec<(Seed, usize)> = chunk.iter().map(|&i| train[i]).collect();
-            let mut g = Graph::new();
-            let mut binding = Binding::new();
+            g.reset();
+            binding.reset();
             let l = ce_loss(&mut g, &mut binding, &ps, &examples);
             let lv = g.value(l).item();
             if !lv.is_finite() {
@@ -526,10 +530,14 @@ pub fn train_node_model(
         let mut epoch_loss = 0.0;
         let mut batches: f64 = 0.0;
         let mut grad_norm_sum = 0.0;
+        // One graph + binding reused across minibatches: reset() recycles
+        // every tape buffer into the arena instead of reallocating.
+        let mut g = Graph::new();
+        let mut binding = Binding::new();
         for chunk in order.chunks(cfg.batch_size) {
             let examples: Vec<(Seed, f64)> = chunk.iter().map(|&i| train[i]).collect();
-            let mut g = Graph::new();
-            let mut binding = Binding::new();
+            g.reset();
+            binding.reset();
             let l = batch_loss(
                 &mut g,
                 &mut binding,

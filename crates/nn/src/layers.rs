@@ -1,6 +1,11 @@
 //! Layers: linear transforms and multi-layer perceptrons.
+//!
+//! Linear layers lower onto the tape's fused [`Graph::linear_act`] op — a
+//! single `act(x·W + b)` kernel pass per layer instead of the three-node
+//! `matmul → add_row → activation` chain, with bit-identical values and
+//! gradients.
 
-use relgraph_tensor::{Graph, Tensor, Var};
+use relgraph_tensor::{ActKind, Graph, Tensor, Var};
 
 use crate::init;
 use crate::param::{Binding, ParamId, ParamSet};
@@ -25,6 +30,18 @@ impl Activation {
             Activation::LeakyRelu(s) => g.leaky_relu(x, s),
             Activation::Tanh => g.tanh(x),
             Activation::Sigmoid => g.sigmoid(x),
+        }
+    }
+
+    /// The tensor-kernel activation kind this lowers onto, for fusing into
+    /// [`Graph::linear_act`].
+    pub fn kind(self) -> ActKind {
+        match self {
+            Activation::Identity => ActKind::Identity,
+            Activation::Relu => ActKind::Relu,
+            Activation::LeakyRelu(s) => ActKind::LeakyRelu(s),
+            Activation::Tanh => ActKind::Tanh,
+            Activation::Sigmoid => ActKind::Sigmoid,
         }
     }
 }
@@ -68,10 +85,22 @@ impl Linear {
 
     /// Forward pass: binds the layer's parameters and returns `x·W + b`.
     pub fn forward(&self, g: &mut Graph, binding: &mut Binding, ps: &ParamSet, x: Var) -> Var {
+        self.forward_act(g, binding, ps, x, Activation::Identity)
+    }
+
+    /// Forward pass with a fused activation: `act(x·W + b)` in one kernel
+    /// pass (bias add and activation run in the matmul epilogue).
+    pub fn forward_act(
+        &self,
+        g: &mut Graph,
+        binding: &mut Binding,
+        ps: &ParamSet,
+        x: Var,
+        act: Activation,
+    ) -> Var {
         let w = binding.bind(g, ps, self.w);
         let b = binding.bind(g, ps, self.b);
-        let xw = g.matmul(x, w);
-        g.add_row(xw, b)
+        g.linear_act(x, w, b, act.kind())
     }
 }
 
@@ -120,15 +149,18 @@ impl Mlp {
         self.layers.last().map_or(0, Linear::out_dim)
     }
 
-    /// Forward pass.
+    /// Forward pass. Hidden layers fuse their activation into the linear
+    /// kernel; the final layer stays linear.
     pub fn forward(&self, g: &mut Graph, binding: &mut Binding, ps: &ParamSet, x: Var) -> Var {
         let mut h = x;
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(g, binding, ps, h);
-            if i < last {
-                h = self.activation.apply(g, h);
-            }
+            let act = if i < last {
+                self.activation
+            } else {
+                Activation::Identity
+            };
+            h = layer.forward_act(g, binding, ps, h, act);
         }
         h
     }

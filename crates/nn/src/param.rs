@@ -132,14 +132,21 @@ impl Binding {
         Self::default()
     }
 
+    /// Clear the binding for the next forward pass, keeping its capacity.
+    /// Pair with [`Graph::reset`] when reusing one graph across batches.
+    pub fn reset(&mut self) {
+        self.pairs.clear();
+    }
+
     /// Bind parameter `id` into `g` as a differentiable leaf, memoizing so a
     /// parameter used twice in one pass shares a single leaf (and therefore
-    /// correctly accumulates both gradient paths).
+    /// correctly accumulates both gradient paths). The value is copied into
+    /// a graph-pooled buffer rather than freshly allocated.
     pub fn bind(&mut self, g: &mut Graph, ps: &ParamSet, id: ParamId) -> Var {
         if let Some(&(_, v)) = self.pairs.iter().find(|(p, _)| *p == id) {
             return v;
         }
-        let v = g.leaf(ps.value(id).clone());
+        let v = g.leaf_copied(ps.value(id));
         self.pairs.push((id, v));
         v
     }

@@ -229,6 +229,112 @@ mod tests {
     }
 
     #[test]
+    fn fused_linear_act_gradients_all_sides() {
+        use crate::kernels::ActKind;
+        let w0 = Tensor::from_rows(&[&[0.2, -0.1], &[0.5, 0.7], &[-0.3, 0.4]]);
+        let b0 = Tensor::from_rows(&[&[0.15, -0.25]]);
+        for act in [
+            ActKind::Identity,
+            ActKind::Relu,
+            ActKind::LeakyRelu(0.1),
+            ActKind::Sigmoid,
+            ActKind::Tanh,
+        ] {
+            // d/dx through the fused op.
+            let (w, b) = (w0.clone(), b0.clone());
+            let r = check_gradient(&input(), EPS, move |g, x| {
+                let wv = g.constant_copied(&w);
+                let bv = g.constant_copied(&b);
+                let y = g.linear_act(x, wv, bv, act);
+                g.mean_all(y)
+            });
+            assert!(r.passes(TOL), "{act:?} dX: {r:?}");
+            // d/dw.
+            let xi = input();
+            let b = b0.clone();
+            let r = check_gradient(&w0, EPS, move |g, wv| {
+                let x = g.constant_copied(&xi);
+                let bv = g.constant_copied(&b);
+                let y = g.linear_act(x, wv, bv, act);
+                g.mean_all(y)
+            });
+            assert!(r.passes(TOL), "{act:?} dW: {r:?}");
+            // d/db.
+            let xi = input();
+            let w = w0.clone();
+            let r = check_gradient(&b0, EPS, move |g, bv| {
+                let x = g.constant_copied(&xi);
+                let wv = g.constant_copied(&w);
+                let y = g.linear_act(x, wv, bv, act);
+                g.mean_all(y)
+            });
+            assert!(r.passes(TOL), "{act:?} db: {r:?}");
+        }
+    }
+
+    #[test]
+    fn fused_linear_act_matches_unfused_gradient() {
+        use crate::kernels::ActKind;
+        // The analytic gradients of the fused op and the unfused chain must
+        // both pass the same finite-difference check on the same function.
+        let w0 = Tensor::from_rows(&[&[0.4, -0.6], &[0.1, 0.9], &[-0.8, 0.3]]);
+        let b0 = Tensor::from_rows(&[&[0.05, -0.1]]);
+        let (w, b) = (w0.clone(), b0.clone());
+        let fused = check_gradient(&input(), EPS, move |g, x| {
+            let wv = g.constant_copied(&w);
+            let bv = g.constant_copied(&b);
+            let y = g.linear_act(x, wv, bv, ActKind::Tanh);
+            g.sum_all(y)
+        });
+        let unfused = check_gradient(&input(), EPS, move |g, x| {
+            let wv = g.constant_copied(&w0);
+            let bv = g.constant_copied(&b0);
+            let mm = g.matmul(x, wv);
+            let z = g.add_row(mm, bv);
+            let y = g.tanh(z);
+            g.sum_all(y)
+        });
+        assert!(fused.passes(TOL), "fused: {fused:?}");
+        assert!(unfused.passes(TOL), "unfused: {unfused:?}");
+    }
+
+    #[test]
+    fn pooled_segment_ops_gradcheck_after_reset() {
+        // Gradients of gather/segment ops must be identical whether the
+        // tape runs on fresh allocations or on buffers recycled by reset().
+        let run = |g: &mut Graph| -> (Tensor, Tensor) {
+            let x = g.leaf_copied(&input());
+            let gathered = g.gather_rows(x, vec![0, 1, 1, 0]).unwrap();
+            let sum = g.segment_sum(gathered, vec![0, 0, 1, 1], 2).unwrap();
+            let mean = g.segment_mean(gathered, vec![1, 0, 1, 0], 2).unwrap();
+            let mx = g.segment_max(gathered, vec![0, 1, 0, 1], 2).unwrap();
+            let cat = g.concat_cols(vec![sum, mean, mx]).unwrap();
+            let act = g.tanh(cat);
+            let l = g.mean_all(act);
+            g.backward(l).unwrap();
+            (g.value(l).clone(), g.grad(x).unwrap().clone())
+        };
+        let mut g = Graph::new();
+        let (l0, d0) = run(&mut g);
+        for round in 0..3 {
+            g.reset();
+            let (l1, d1) = run(&mut g);
+            assert_eq!(l0.data(), l1.data(), "loss drifted on reuse round {round}");
+            assert_eq!(d0, d1, "gradient drifted on reuse round {round}");
+        }
+        // And the analytic gradient itself is right.
+        let r = check_gradient(&input(), EPS, |g, x| {
+            let gathered = g.gather_rows(x, vec![0, 1, 1, 0]).unwrap();
+            let sum = g.segment_sum(gathered, vec![0, 0, 1, 1], 2).unwrap();
+            let mean = g.segment_mean(gathered, vec![1, 0, 1, 0], 2).unwrap();
+            let cat = g.concat_cols(vec![sum, mean]).unwrap();
+            let act = g.tanh(cat);
+            g.mean_all(act)
+        });
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
     fn scale_sub_mul_gradients() {
         let r = check_gradient(&input(), EPS, |g, x| {
             let y = g.scale(x, -2.5);

@@ -1,0 +1,665 @@
+//! Register-tiled FMA matmul microkernels and the fused
+//! linear+bias+activation epilogue.
+//!
+//! Every kernel here obeys one numeric contract: **the value of each output
+//! element is a pure function of its input row/column, with a fixed
+//! floating-point accumulation order** — so tiling, panel splits and thread
+//! count can never change a single bit of the result. All accumulation is
+//! fused multiply-add (one rounding per step). On x86-64 hosts with
+//! AVX2+FMA (detected at runtime) the kernels run hand-tiled
+//! `core::arch` intrinsics — 4 output rows × 8 columns of independent
+//! accumulator chains per register tile; everywhere else a portable
+//! [`f64::mul_add`] body computes the *same* correctly-rounded values, so
+//! which path runs never affects results, only speed.
+//!
+//! Accumulation orders (all fixed, all thread- and tile-independent):
+//!
+//! * `mm_panel` (`A·B`, optionally fused with `+bias` / activation) and
+//!   `mm_tn_panel` (`Aᵀ·B`): one chain per output element, ascending
+//!   shared-dimension index.
+//! * `mm_nt_panel` (`A·Bᵀ`): each output element is a dot product split
+//!   into [`NT_LANES`] fixed interleaved partial chains (lane `l`
+//!   accumulates indices `k ≡ l mod NT_LANES`), combined by a fixed
+//!   pairwise tree — this is what lets the contiguous-row dot product
+//!   vectorize.
+//!
+//! The fused epilogue (`+ bias`, then activation) is applied to the fully
+//! accumulated element, so a fused linear layer is bit-identical to the
+//! unfused `matmul → add-row → activation` composition.
+
+/// Pointwise activation applied by the fused linear kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ActKind {
+    /// No activation.
+    Identity,
+    /// `max(x, 0)`.
+    Relu,
+    /// `x` for `x > 0`, else `slope · x`.
+    LeakyRelu(f64),
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl ActKind {
+    /// Apply the activation to a scalar. Matches the tape's unfused
+    /// activation ops bit for bit (same branch structure, same stable
+    /// sigmoid).
+    #[inline(always)]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            ActKind::Identity => x,
+            ActKind::Relu => x.max(0.0),
+            ActKind::LeakyRelu(s) => {
+                if x > 0.0 {
+                    x
+                } else {
+                    s * x
+                }
+            }
+            ActKind::Tanh => x.tanh(),
+            ActKind::Sigmoid => stable_sigmoid(x),
+        }
+    }
+
+    /// Derivative of the activation expressed through its *output* value
+    /// (valid for every member of this enum), used by the fused backward.
+    /// Matches the unfused backward rules exactly, including the
+    /// subgradient choice at 0 for ReLU/LeakyReLU (`out > 0 ⇔ x > 0` for
+    /// positive slopes, and the tape gates on `x > 0`).
+    #[inline(always)]
+    pub fn dact_from_out(self, out: f64) -> f64 {
+        match self {
+            ActKind::Identity => 1.0,
+            ActKind::Relu => {
+                if out > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActKind::LeakyRelu(s) => {
+                if out > 0.0 {
+                    1.0
+                } else {
+                    s
+                }
+            }
+            ActKind::Tanh => 1.0 - out * out,
+            ActKind::Sigmoid => out * (1.0 - out),
+        }
+    }
+}
+
+/// Branch-stable sigmoid (same definition as the tape's activation).
+#[inline(always)]
+pub fn stable_sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Output rows per register tile (independent accumulator chains in
+/// flight, amortizing each packed-B load across MR rows).
+const MR: usize = 4;
+/// Output columns per register tile. `MR × NR` accumulators = 8 AVX2
+/// registers, leaving room for the B lines and the broadcast value.
+const NR: usize = 8;
+/// Interleaved partial-sum lanes in the `A·Bᵀ` dot-product kernel.
+pub const NT_LANES: usize = 8;
+
+/// Repack `b` (`kd × n`, row-major) into column strips of [`NR`]: strip
+/// `s` holds columns `s·NR .. s·NR+NR` laid out `k`-major and zero-padded
+/// to full width, so the microkernel's inner loop reads one contiguous
+/// `NR`-wide line per `k` instead of striding `n` doubles across `b`.
+/// Packing costs one pass over `b` and is amortized over `m` output rows.
+pub(crate) fn pack_b(b: &[f64], kd: usize, n: usize) -> Vec<f64> {
+    let strips = n.div_ceil(NR);
+    let mut out = vec![0.0; strips * kd * NR];
+    for s in 0..strips {
+        let j0 = s * NR;
+        let w = NR.min(n - j0);
+        let dst = &mut out[s * kd * NR..(s + 1) * kd * NR];
+        for k in 0..kd {
+            dst[k * NR..k * NR + w].copy_from_slice(&b[k * n + j0..k * n + j0 + w]);
+        }
+    }
+    out
+}
+
+/// Apply the fused epilogue to one accumulated tile row: `out[c] =
+/// act(acc[c] + bias[j0+c])` for the `w` real (non-padding) columns.
+#[inline(always)]
+fn epilogue(
+    acc: &[f64; NR],
+    out: &mut [f64],
+    j0: usize,
+    w: usize,
+    bias: Option<&[f64]>,
+    act: ActKind,
+) {
+    for (c, o) in out[..w].iter_mut().enumerate() {
+        let s = bias.map_or(acc[c], |bv| acc[c] + bv[j0 + c]);
+        *o = act.apply(s);
+    }
+}
+
+// --- Portable fallback bodies --------------------------------------------
+//
+// One accumulator array per output row; `f64::mul_add` per step. These
+// compute exactly the values the intrinsics path computes (same chains,
+// same rounding) — they exist for non-x86 targets and hosts without
+// AVX2/FMA.
+
+/// `out = act(A_panel · packed(B) + bias)` for a panel of `rows` A-rows.
+#[allow(clippy::too_many_arguments)]
+fn mm_panel_generic(
+    a: &[f64],
+    bp: &[f64],
+    out: &mut [f64],
+    rows: usize,
+    kd: usize,
+    n: usize,
+    bias: Option<&[f64]>,
+    act: ActKind,
+) {
+    let strips = n.div_ceil(NR);
+    for r in 0..rows {
+        let arow = &a[r * kd..(r + 1) * kd];
+        for s in 0..strips {
+            let j0 = s * NR;
+            let w = NR.min(n - j0);
+            let strip = &bp[s * kd * NR..(s + 1) * kd * NR];
+            let mut acc = [0.0f64; NR];
+            for (bk, &av) in strip.chunks_exact(NR).zip(arow) {
+                for (s, &bx) in acc.iter_mut().zip(bk) {
+                    *s = av.mul_add(bx, *s);
+                }
+            }
+            epilogue(&acc, &mut out[r * n + j0..(r + 1) * n], j0, w, bias, act);
+        }
+    }
+}
+
+/// One `A·Bᵀ` dot product: [`NT_LANES`] interleaved `mul_add` chains over
+/// the two contiguous rows, merged by [`tree8`].
+#[inline(always)]
+fn nt_dot_generic(arow: &[f64], brow: &[f64]) -> f64 {
+    let mut lanes = [0.0f64; NT_LANES];
+    let mut ac = arow.chunks_exact(NT_LANES);
+    let mut bc = brow.chunks_exact(NT_LANES);
+    for (ax, bx) in (&mut ac).zip(&mut bc) {
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane = ax[l].mul_add(bx[l], *lane);
+        }
+    }
+    for (l, (&ax, &bx)) in ac.remainder().iter().zip(bc.remainder()).enumerate() {
+        lanes[l] = ax.mul_add(bx, lanes[l]);
+    }
+    tree8(&lanes)
+}
+
+/// `out_panel[r][j] = A_panel row r · B row j` — the `A·Bᵀ` panel kernel.
+fn mm_nt_panel_generic(a: &[f64], b: &[f64], out: &mut [f64], rows: usize, kd: usize, n: usize) {
+    for r in 0..rows {
+        let arow = &a[r * kd..(r + 1) * kd];
+        for j in 0..n {
+            out[r * n + j] = nt_dot_generic(arow, &b[j * kd..(j + 1) * kd]);
+        }
+    }
+}
+
+/// `out_panel += ` the `Aᵀ·B` contribution for output rows `p0..p0+rows`:
+/// `out[p][j] = Σ_i a[i][p] · b[i][j]`, ascending `i` per element. `out`
+/// must be zeroed on entry; `a` is `m × kd_a` and `p` indexes its columns.
+#[allow(clippy::too_many_arguments)]
+fn mm_tn_panel_generic(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    p0: usize,
+    rows: usize,
+    m: usize,
+    kd_a: usize,
+    n: usize,
+) {
+    for i in 0..m {
+        let brow = &b[i * n..(i + 1) * n];
+        for dp in 0..rows {
+            let av = a[i * kd_a + p0 + dp];
+            let orow = &mut out[dp * n..(dp + 1) * n];
+            for (o, &bx) in orow.iter_mut().zip(brow) {
+                *o = av.mul_add(bx, *o);
+            }
+        }
+    }
+}
+
+/// Fixed pairwise reduction of the 8 dot-product lanes.
+#[inline(always)]
+fn tree8(l: &[f64; 8]) -> f64 {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
+// --- x86-64 AVX2+FMA path -------------------------------------------------
+//
+// Hand-tiled intrinsics: `_mm256_fmadd_pd` computes `fma(a, b, c)` per
+// lane — the exact `f64::mul_add` value — and the tiles walk the same
+// per-element chains as the generic bodies, so the two paths are bitwise
+// interchangeable. Intrinsics (rather than relying on auto-vectorization)
+// because the accumulator tile must survive in registers: the
+// register-pressure pattern is too fragile to trust to the optimizer.
+
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    use super::{epilogue, nt_dot_generic, tree8, ActKind, MR, NR};
+    use core::arch::x86_64::*;
+
+    /// Panel matmul over packed B with fused epilogue; see
+    /// [`super::mm_panel_generic`] for the reference semantics.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn mm_panel(
+        a: &[f64],
+        bp: &[f64],
+        out: &mut [f64],
+        rows: usize,
+        kd: usize,
+        n: usize,
+        bias: Option<&[f64]>,
+        act: ActKind,
+    ) {
+        let strips = n.div_ceil(NR);
+        let full = rows / MR * MR;
+        let mut i = 0;
+        while i < full {
+            for s in 0..strips {
+                let j0 = s * NR;
+                let w = NR.min(n - j0);
+                let sp = bp.as_ptr().add(s * kd * NR);
+                let a0 = a.as_ptr().add(i * kd);
+                let a1 = a.as_ptr().add((i + 1) * kd);
+                let a2 = a.as_ptr().add((i + 2) * kd);
+                let a3 = a.as_ptr().add((i + 3) * kd);
+                // 4 rows × 8 columns of accumulators: 8 ymm registers.
+                let mut c00 = _mm256_setzero_pd();
+                let mut c01 = _mm256_setzero_pd();
+                let mut c10 = _mm256_setzero_pd();
+                let mut c11 = _mm256_setzero_pd();
+                let mut c20 = _mm256_setzero_pd();
+                let mut c21 = _mm256_setzero_pd();
+                let mut c30 = _mm256_setzero_pd();
+                let mut c31 = _mm256_setzero_pd();
+                for k in 0..kd {
+                    let b0 = _mm256_loadu_pd(sp.add(k * NR));
+                    let b1 = _mm256_loadu_pd(sp.add(k * NR + 4));
+                    let v0 = _mm256_set1_pd(*a0.add(k));
+                    c00 = _mm256_fmadd_pd(v0, b0, c00);
+                    c01 = _mm256_fmadd_pd(v0, b1, c01);
+                    let v1 = _mm256_set1_pd(*a1.add(k));
+                    c10 = _mm256_fmadd_pd(v1, b0, c10);
+                    c11 = _mm256_fmadd_pd(v1, b1, c11);
+                    let v2 = _mm256_set1_pd(*a2.add(k));
+                    c20 = _mm256_fmadd_pd(v2, b0, c20);
+                    c21 = _mm256_fmadd_pd(v2, b1, c21);
+                    let v3 = _mm256_set1_pd(*a3.add(k));
+                    c30 = _mm256_fmadd_pd(v3, b0, c30);
+                    c31 = _mm256_fmadd_pd(v3, b1, c31);
+                }
+                let pairs = [(c00, c01), (c10, c11), (c20, c21), (c30, c31)];
+                for (r, (lo, hi)) in pairs.into_iter().enumerate() {
+                    let mut acc = [0.0f64; NR];
+                    _mm256_storeu_pd(acc.as_mut_ptr(), lo);
+                    _mm256_storeu_pd(acc.as_mut_ptr().add(4), hi);
+                    let row = i + r;
+                    epilogue(
+                        &acc,
+                        &mut out[row * n + j0..(row + 1) * n],
+                        j0,
+                        w,
+                        bias,
+                        act,
+                    );
+                }
+            }
+            i += MR;
+        }
+        // Remainder rows: one row at a time, same per-element chains.
+        while i < rows {
+            for s in 0..strips {
+                let j0 = s * NR;
+                let w = NR.min(n - j0);
+                let sp = bp.as_ptr().add(s * kd * NR);
+                let ar = a.as_ptr().add(i * kd);
+                let mut lo = _mm256_setzero_pd();
+                let mut hi = _mm256_setzero_pd();
+                for k in 0..kd {
+                    let v = _mm256_set1_pd(*ar.add(k));
+                    lo = _mm256_fmadd_pd(v, _mm256_loadu_pd(sp.add(k * NR)), lo);
+                    hi = _mm256_fmadd_pd(v, _mm256_loadu_pd(sp.add(k * NR + 4)), hi);
+                }
+                let mut acc = [0.0f64; NR];
+                _mm256_storeu_pd(acc.as_mut_ptr(), lo);
+                _mm256_storeu_pd(acc.as_mut_ptr().add(4), hi);
+                epilogue(&acc, &mut out[i * n + j0..(i + 1) * n], j0, w, bias, act);
+            }
+            i += 1;
+        }
+    }
+
+    /// `A·Bᵀ` panel kernel; see [`super::mm_nt_panel_generic`].
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn mm_nt_panel(
+        a: &[f64],
+        b: &[f64],
+        out: &mut [f64],
+        rows: usize,
+        kd: usize,
+        n: usize,
+    ) {
+        let kc = kd / 8 * 8;
+        let full = rows / MR * MR;
+        let mut i = 0;
+        while i < full {
+            let a0 = a.as_ptr().add(i * kd);
+            let a1 = a.as_ptr().add((i + 1) * kd);
+            let a2 = a.as_ptr().add((i + 2) * kd);
+            let a3 = a.as_ptr().add((i + 3) * kd);
+            for j in 0..n {
+                let bj = b.as_ptr().add(j * kd);
+                // 4 rows × 8 interleaved lanes: 8 ymm accumulators. Lane l
+                // accumulates k ≡ l (mod 8), exactly like the generic body.
+                let mut c00 = _mm256_setzero_pd();
+                let mut c01 = _mm256_setzero_pd();
+                let mut c10 = _mm256_setzero_pd();
+                let mut c11 = _mm256_setzero_pd();
+                let mut c20 = _mm256_setzero_pd();
+                let mut c21 = _mm256_setzero_pd();
+                let mut c30 = _mm256_setzero_pd();
+                let mut c31 = _mm256_setzero_pd();
+                let mut k = 0;
+                while k < kc {
+                    let b0 = _mm256_loadu_pd(bj.add(k));
+                    let b1 = _mm256_loadu_pd(bj.add(k + 4));
+                    c00 = _mm256_fmadd_pd(_mm256_loadu_pd(a0.add(k)), b0, c00);
+                    c01 = _mm256_fmadd_pd(_mm256_loadu_pd(a0.add(k + 4)), b1, c01);
+                    c10 = _mm256_fmadd_pd(_mm256_loadu_pd(a1.add(k)), b0, c10);
+                    c11 = _mm256_fmadd_pd(_mm256_loadu_pd(a1.add(k + 4)), b1, c11);
+                    c20 = _mm256_fmadd_pd(_mm256_loadu_pd(a2.add(k)), b0, c20);
+                    c21 = _mm256_fmadd_pd(_mm256_loadu_pd(a2.add(k + 4)), b1, c21);
+                    c30 = _mm256_fmadd_pd(_mm256_loadu_pd(a3.add(k)), b0, c30);
+                    c31 = _mm256_fmadd_pd(_mm256_loadu_pd(a3.add(k + 4)), b1, c31);
+                    k += 8;
+                }
+                let pairs = [(c00, c01), (c10, c11), (c20, c21), (c30, c31)];
+                for (r, (lo, hi)) in pairs.into_iter().enumerate() {
+                    let mut lanes = [0.0f64; 8];
+                    _mm256_storeu_pd(lanes.as_mut_ptr(), lo);
+                    _mm256_storeu_pd(lanes.as_mut_ptr().add(4), hi);
+                    // Tail: continue lane chains scalar (k ≡ l mod 8).
+                    let ar = a.as_ptr().add((i + r) * kd);
+                    for (l, k) in (kc..kd).enumerate() {
+                        lanes[l] = (*ar.add(k)).mul_add(*bj.add(k), lanes[l]);
+                    }
+                    out[(i + r) * n + j] = tree8(&lanes);
+                }
+            }
+            i += MR;
+        }
+        while i < rows {
+            let arow = &a[i * kd..(i + 1) * kd];
+            for j in 0..n {
+                // mul_add compiles to hardware FMA inside this function.
+                out[i * n + j] = nt_dot_generic(arow, &b[j * kd..(j + 1) * kd]);
+            }
+            i += 1;
+        }
+    }
+
+    /// `Aᵀ·B` panel kernel; see [`super::mm_tn_panel_generic`].
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn mm_tn_panel(
+        a: &[f64],
+        b: &[f64],
+        out: &mut [f64],
+        p0: usize,
+        rows: usize,
+        m: usize,
+        kd_a: usize,
+        n: usize,
+    ) {
+        let pfull = rows / MR * MR;
+        let mut dp = 0;
+        while dp < pfull {
+            let mut j0 = 0;
+            while j0 < n {
+                let jw = NR.min(n - j0);
+                if jw == NR {
+                    // Full 4×8 tile held in registers across the whole
+                    // ascending-i accumulation.
+                    let mut c00 = _mm256_setzero_pd();
+                    let mut c01 = _mm256_setzero_pd();
+                    let mut c10 = _mm256_setzero_pd();
+                    let mut c11 = _mm256_setzero_pd();
+                    let mut c20 = _mm256_setzero_pd();
+                    let mut c21 = _mm256_setzero_pd();
+                    let mut c30 = _mm256_setzero_pd();
+                    let mut c31 = _mm256_setzero_pd();
+                    for i in 0..m {
+                        let bi = b.as_ptr().add(i * n + j0);
+                        let b0 = _mm256_loadu_pd(bi);
+                        let b1 = _mm256_loadu_pd(bi.add(4));
+                        let ai = a.as_ptr().add(i * kd_a + p0 + dp);
+                        let v0 = _mm256_set1_pd(*ai);
+                        c00 = _mm256_fmadd_pd(v0, b0, c00);
+                        c01 = _mm256_fmadd_pd(v0, b1, c01);
+                        let v1 = _mm256_set1_pd(*ai.add(1));
+                        c10 = _mm256_fmadd_pd(v1, b0, c10);
+                        c11 = _mm256_fmadd_pd(v1, b1, c11);
+                        let v2 = _mm256_set1_pd(*ai.add(2));
+                        c20 = _mm256_fmadd_pd(v2, b0, c20);
+                        c21 = _mm256_fmadd_pd(v2, b1, c21);
+                        let v3 = _mm256_set1_pd(*ai.add(3));
+                        c30 = _mm256_fmadd_pd(v3, b0, c30);
+                        c31 = _mm256_fmadd_pd(v3, b1, c31);
+                    }
+                    let pairs = [(c00, c01), (c10, c11), (c20, c21), (c30, c31)];
+                    for (r, (lo, hi)) in pairs.into_iter().enumerate() {
+                        let op = out.as_mut_ptr().add((dp + r) * n + j0);
+                        _mm256_storeu_pd(op, lo);
+                        _mm256_storeu_pd(op.add(4), hi);
+                    }
+                } else {
+                    // Column remainder: memory accumulation, same
+                    // ascending-i chain per element (fma inlines here).
+                    for i in 0..m {
+                        for r in 0..MR {
+                            let av = a[i * kd_a + p0 + dp + r];
+                            for c in 0..jw {
+                                let o = &mut out[(dp + r) * n + j0 + c];
+                                *o = av.mul_add(b[i * n + j0 + c], *o);
+                            }
+                        }
+                    }
+                }
+                j0 += NR;
+            }
+            dp += MR;
+        }
+        // Row remainder: generic shape, ascending-i chains.
+        for i in 0..m {
+            let brow = &b[i * n..(i + 1) * n];
+            for dp in pfull..rows {
+                let av = a[i * kd_a + p0 + dp];
+                let orow = &mut out[dp * n..(dp + 1) * n];
+                for (o, &bx) in orow.iter_mut().zip(brow) {
+                    *o = av.mul_add(bx, *o);
+                }
+            }
+        }
+    }
+}
+
+// --- Runtime dispatch -----------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn have_fma() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+macro_rules! dispatch {
+    ($name:ident, $generic:ident, ($($arg:ident : $ty:ty),*)) => {
+        #[allow(clippy::too_many_arguments)]
+        pub(crate) fn $name($($arg: $ty),*) {
+            #[cfg(target_arch = "x86_64")]
+            if have_fma() {
+                // SAFETY: the required CPU features were just detected.
+                return unsafe { avx::$name($($arg),*) };
+            }
+            $generic($($arg),*)
+        }
+    };
+}
+
+dispatch!(
+    mm_panel,
+    mm_panel_generic,
+    (
+        a: &[f64],
+        bp: &[f64],
+        out: &mut [f64],
+        rows: usize,
+        kd: usize,
+        n: usize,
+        bias: Option<&[f64]>,
+        act: ActKind
+    )
+);
+
+dispatch!(
+    mm_nt_panel,
+    mm_nt_panel_generic,
+    (a: &[f64], b: &[f64], out: &mut [f64], rows: usize, kd: usize, n: usize)
+);
+
+dispatch!(
+    mm_tn_panel,
+    mm_tn_panel_generic,
+    (
+        a: &[f64],
+        b: &[f64],
+        out: &mut [f64],
+        p0: usize,
+        rows: usize,
+        m: usize,
+        kd_a: usize,
+        n: usize
+    )
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(len: usize, mul: f64) -> Vec<f64> {
+        (0..len).map(|i| (i as f64 * mul).sin()).collect()
+    }
+
+    #[test]
+    fn act_kind_applies_and_differentiates() {
+        for act in [
+            ActKind::Identity,
+            ActKind::Relu,
+            ActKind::LeakyRelu(0.1),
+            ActKind::Tanh,
+            ActKind::Sigmoid,
+        ] {
+            for x in [-2.0, -0.5, 0.0, 0.5, 2.0] {
+                let y = act.apply(x);
+                assert!(y.is_finite());
+                // Central finite difference on the activation itself,
+                // skipping the ReLU kink where the subgradient is a
+                // convention.
+                if x.abs() > 1e-3 {
+                    let eps = 1e-6;
+                    let num = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                    let ana = act.dact_from_out(y);
+                    assert!(
+                        (num - ana).abs() < 1e-4,
+                        "{act:?} at {x}: numeric {num} vs analytic {ana}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_mm_panel_is_bit_identical_to_generic() {
+        // Odd sizes force both remainder rows and remainder columns.
+        for (rows, kd, n) in [(1, 1, 1), (5, 9, 11), (13, 17, 23), (32, 64, 40)] {
+            let a = seq(rows * kd, 0.37);
+            let b = seq(kd * n, 0.61);
+            let bias = seq(n, 0.13);
+            let bp = pack_b(&b, kd, n);
+            for act in [ActKind::Identity, ActKind::Relu, ActKind::Tanh] {
+                let mut fast = vec![0.0; rows * n];
+                mm_panel(&a, &bp, &mut fast, rows, kd, n, Some(&bias), act);
+                let mut slow = vec![0.0; rows * n];
+                mm_panel_generic(&a, &bp, &mut slow, rows, kd, n, Some(&bias), act);
+                assert_eq!(fast, slow, "mm {rows}x{kd}x{n} {act:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_nt_and_tn_are_bit_identical_to_generic() {
+        for (rows, kd, n) in [(1, 1, 1), (5, 9, 11), (13, 17, 23), (32, 30, 40)] {
+            let a = seq(rows * kd, 0.29);
+            let b = seq(n * kd, 0.41);
+            let mut fast = vec![0.0; rows * n];
+            mm_nt_panel(&a, &b, &mut fast, rows, kd, n);
+            let mut slow = vec![0.0; rows * n];
+            mm_nt_panel_generic(&a, &b, &mut slow, rows, kd, n);
+            assert_eq!(fast, slow, "nt {rows}x{kd}x{n}");
+
+            // tn: a is m×kd_a, out rows index a's columns.
+            let (m, kd_a, nn) = (kd, rows, n);
+            let a2 = seq(m * kd_a, 0.23);
+            let b2 = seq(m * nn, 0.53);
+            let mut fast = vec![0.0; kd_a * nn];
+            mm_tn_panel(&a2, &b2, &mut fast, 0, kd_a, m, kd_a, nn);
+            let mut slow = vec![0.0; kd_a * nn];
+            mm_tn_panel_generic(&a2, &b2, &mut slow, 0, kd_a, m, kd_a, nn);
+            assert_eq!(fast, slow, "tn {m}x{kd_a}x{nn}");
+        }
+    }
+
+    #[test]
+    fn tile_and_remainder_elements_agree() {
+        // A 5×11 panel (1-row and 3-col remainders) must equal the plain
+        // per-element ascending-k chain bit for bit.
+        let (rows, kd, n) = (5usize, 9usize, 11usize);
+        let a = seq(rows * kd, 0.37);
+        let b = seq(kd * n, 0.61);
+        let bp = pack_b(&b, kd, n);
+        let mut fast = vec![0.0; rows * n];
+        mm_panel(&a, &bp, &mut fast, rows, kd, n, None, ActKind::Identity);
+        let mut slow = vec![0.0; rows * n];
+        for i in 0..rows {
+            for j in 0..n {
+                let mut s = 0.0f64;
+                for k in 0..kd {
+                    s = a[i * kd + k].mul_add(b[k * n + j], s);
+                }
+                slow[i * n + j] = s;
+            }
+        }
+        assert_eq!(fast, slow);
+    }
+}

@@ -33,9 +33,11 @@
 
 pub mod error;
 pub mod gradcheck;
+pub mod kernels;
 pub mod tape;
 pub mod tensor;
 
 pub use error::{TensorError, TensorResult};
+pub use kernels::ActKind;
 pub use tape::{Graph, Op, Var};
 pub use tensor::{set_baseline_matmul, Tensor};

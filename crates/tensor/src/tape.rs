@@ -6,9 +6,24 @@
 //!
 //! The op set is a closed enum so every backward rule is visible in one
 //! `match` and individually gradient-checked (see [`crate::gradcheck`]).
+//!
+//! ## Tape arena
+//!
+//! A `Graph` owns a scratch-buffer pool: [`Graph::reset`] clears the tape
+//! for the next minibatch while recycling every node's value and gradient
+//! buffer, so steady-state training performs almost no allocator traffic.
+//! Pooled buffers are zero-filled on reuse ([`Tensor::from_buffer`]), which
+//! makes a recycled tensor indistinguishable from a fresh
+//! [`Tensor::zeros`] — reuse can never change results.
 
 use crate::error::{TensorError, TensorResult};
+use crate::kernels::ActKind;
 use crate::tensor::Tensor;
+
+/// Maximum number of scratch buffers retained across [`Graph::reset`].
+/// Typical minibatch tapes hold well under this many nodes; the cap bounds
+/// memory for pathological tapes.
+const POOL_MAX_BUFFERS: usize = 256;
 
 /// Handle to a node in a [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,6 +48,18 @@ pub enum Op {
     Scale(Var, f64),
     /// Add a `1×d` row vector to every row of an `n×d` tensor.
     AddRow(Var, Var),
+    /// Fused linear layer `act(x·w + b)` evaluated in one kernel pass;
+    /// bit-identical to the `MatMul → AddRow → activation` composition.
+    LinearAct {
+        /// Input activations (`m×k`).
+        x: Var,
+        /// Weight matrix (`k×n`).
+        w: Var,
+        /// Bias row (`1×n`).
+        b: Var,
+        /// Fused activation.
+        act: ActKind,
+    },
     /// Rectified linear unit.
     Relu(Var),
     /// Leaky ReLU with the given negative slope.
@@ -84,16 +111,19 @@ struct Node {
 }
 
 /// A tape of eagerly-evaluated tensor operations supporting reverse-mode
-/// differentiation. Create one per forward pass.
+/// differentiation. Create one per training loop and [`Graph::reset`] it
+/// between forward passes to reuse its buffers.
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    /// Recycled backing buffers from previous tapes (see [`Graph::reset`]).
+    pool: Vec<Vec<f64>>,
 }
 
 impl Graph {
     /// Empty graph.
     pub fn new() -> Self {
-        Graph { nodes: Vec::new() }
+        Graph::default()
     }
 
     /// Number of nodes on the tape.
@@ -104,6 +134,48 @@ impl Graph {
     /// True when the tape is empty.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Clear the tape for the next forward pass, recycling every node's
+    /// value and gradient buffer into the scratch pool (and keeping the
+    /// node vector's capacity). Results are unaffected: pooled buffers are
+    /// zero-filled on reuse, exactly like a fresh allocation.
+    pub fn reset(&mut self) {
+        let Graph { nodes, pool } = self;
+        for node in nodes.drain(..) {
+            recycle(pool, node.value);
+            if let Some(g) = node.grad {
+                recycle(pool, g);
+            }
+        }
+    }
+
+    /// A zeroed `rows×cols` tensor, reusing a pooled buffer when one is
+    /// available.
+    fn alloc(&mut self, rows: usize, cols: usize) -> Tensor {
+        alloc_from(&mut self.pool, rows, cols)
+    }
+
+    /// Insert a differentiable leaf whose value is copied from `t` into a
+    /// pooled buffer — the allocation-free alternative to
+    /// `leaf(t.clone())` for per-batch parameter binding.
+    pub fn leaf_copied(&mut self, t: &Tensor) -> Var {
+        let v = self.copied(t);
+        self.leaf(v)
+    }
+
+    /// Insert a constant whose value is copied from `t` into a pooled
+    /// buffer.
+    pub fn constant_copied(&mut self, t: &Tensor) -> Var {
+        let v = self.copied(t);
+        self.constant(v)
+    }
+
+    fn copied(&mut self, t: &Tensor) -> Tensor {
+        let (r, c) = t.shape();
+        let mut v = self.alloc(r, c);
+        v.data_mut().copy_from_slice(t.data());
+        v
     }
 
     fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
@@ -156,9 +228,52 @@ impl Graph {
                 rhs: (br, bc),
             });
         }
-        let v = self.value(a).matmul(self.value(b));
+        let mut v = self.alloc(ar, bc);
+        self.value(a).matmul_into(self.value(b), &mut v);
         let rg = self.rg(a) || self.rg(b);
         Ok(self.push(v, Op::MatMul(a, b), rg))
+    }
+
+    /// Fused linear layer `act(x·w + b)` — one kernel pass instead of the
+    /// three-node `matmul → add_row → activation` chain, with bit-identical
+    /// values and gradients.
+    pub fn linear_act(&mut self, x: Var, w: Var, b: Var, act: ActKind) -> Var {
+        self.try_linear_act(x, w, b, act)
+            .expect("linear_act shape mismatch")
+    }
+
+    /// Checked fused linear layer.
+    pub fn try_linear_act(&mut self, x: Var, w: Var, b: Var, act: ActKind) -> TensorResult<Var> {
+        let (xr, xc) = self.value(x).shape();
+        let (wr, wc) = self.value(w).shape();
+        let (br, bc) = self.value(b).shape();
+        if xc != wr {
+            return Err(TensorError::ShapeMismatch {
+                op: "linear_act",
+                lhs: (xr, xc),
+                rhs: (wr, wc),
+            });
+        }
+        if br != 1 || bc != wc {
+            return Err(TensorError::ShapeMismatch {
+                op: "linear_act",
+                lhs: (xr, wc),
+                rhs: (br, bc),
+            });
+        }
+        let mut v = self.alloc(xr, wc);
+        self.value(x)
+            .matmul_bias_act_into(self.value(w), self.value(b), act, &mut v);
+        let rg = self.rg(x) || self.rg(w) || self.rg(b);
+        Ok(self.push(v, Op::LinearAct { x, w, b, act }, rg))
+    }
+
+    /// Pooled elementwise unary op: `out = f(value(a))`.
+    fn unary(&mut self, a: Var, f: impl Fn(f64) -> f64, op: Op) -> Var {
+        let Graph { nodes, pool } = &mut *self;
+        let v = map_pool(pool, &nodes[a.0].value, f);
+        let rg = nodes[a.0].requires_grad;
+        self.push(v, op, rg)
     }
 
     fn binary_same_shape(
@@ -176,7 +291,8 @@ impl Graph {
                 rhs: self.value(b).shape(),
             });
         }
-        let v = self.value(a).zip_map(self.value(b), f);
+        let Graph { nodes, pool } = &mut *self;
+        let v = zip_pool(pool, &nodes[a.0].value, &nodes[b.0].value, f);
         let rg = self.rg(a) || self.rg(b);
         Ok(self.push(v, mk(a, b), rg))
     }
@@ -201,9 +317,7 @@ impl Graph {
 
     /// `a * c` for scalar constant `c`.
     pub fn scale(&mut self, a: Var, c: f64) -> Var {
-        let v = self.value(a).map(|x| x * c);
-        let rg = self.rg(a);
-        self.push(v, Op::Scale(a, c), rg)
+        self.unary(a, move |x| x * c, Op::Scale(a, c))
     }
 
     /// Add row vector `b` (`1×d`) to every row of `a` (`n×d`).
@@ -222,11 +336,12 @@ impl Graph {
                 rhs: (br, bc),
             });
         }
-        let mut v = self.value(a).clone();
-        let brow: Vec<f64> = self.value(b).row(0).to_vec();
+        let mut v = self.alloc(ar, ac);
         for i in 0..ar {
-            for (x, &bv) in v.row_mut(i).iter_mut().zip(&brow) {
-                *x += bv;
+            let src = self.nodes[a.0].value.row(i);
+            let brow = self.nodes[b.0].value.row(0);
+            for ((x, &av), &bv) in v.row_mut(i).iter_mut().zip(src).zip(brow) {
+                *x = av + bv;
             }
         }
         let rg = self.rg(a) || self.rg(b);
@@ -235,37 +350,31 @@ impl Graph {
 
     /// Elementwise ReLU.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(0.0));
-        let rg = self.rg(a);
-        self.push(v, Op::Relu(a), rg)
+        self.unary(a, |x| x.max(0.0), Op::Relu(a))
     }
 
     /// Elementwise leaky ReLU.
     pub fn leaky_relu(&mut self, a: Var, slope: f64) -> Var {
-        let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
-        let rg = self.rg(a);
-        self.push(v, Op::LeakyRelu(a, slope), rg)
+        self.unary(
+            a,
+            move |x| if x > 0.0 { x } else { slope * x },
+            Op::LeakyRelu(a, slope),
+        )
     }
 
     /// Elementwise sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(sigmoid);
-        let rg = self.rg(a);
-        self.push(v, Op::Sigmoid(a), rg)
+        self.unary(a, sigmoid, Op::Sigmoid(a))
     }
 
     /// Elementwise tanh.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f64::tanh);
-        let rg = self.rg(a);
-        self.push(v, Op::Tanh(a), rg)
+        self.unary(a, f64::tanh, Op::Tanh(a))
     }
 
     /// Elementwise softplus `ln(1+e^x)`.
     pub fn softplus(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(softplus);
-        let rg = self.rg(a);
-        self.push(v, Op::Softplus(a), rg)
+        self.unary(a, softplus, Op::Softplus(a))
     }
 
     /// Gather rows of `a` by `indices` (repetition allowed).
@@ -278,9 +387,9 @@ impl Graph {
                 bound: n,
             });
         }
-        let mut v = Tensor::zeros(indices.len(), d);
+        let mut v = self.alloc(indices.len(), d);
         for (r, &i) in indices.iter().enumerate() {
-            v.row_mut(r).copy_from_slice(self.value(a).row(i));
+            v.row_mut(r).copy_from_slice(self.nodes[a.0].value.row(i));
         }
         let rg = self.rg(a);
         Ok(self.push(v, Op::GatherRows(a, indices), rg))
@@ -308,10 +417,10 @@ impl Graph {
                 bound: num_segments,
             });
         }
-        let mut v = Tensor::zeros(num_segments, d);
+        let mut v = self.alloc(num_segments, d);
         for (i, &s) in segments.iter().enumerate() {
-            let src = self.value(a).row(i).to_vec();
-            for (x, y) in v.row_mut(s).iter_mut().zip(src) {
+            let src = self.nodes[a.0].value.row(i);
+            for (x, &y) in v.row_mut(s).iter_mut().zip(src) {
                 *x += y;
             }
         }
@@ -349,12 +458,12 @@ impl Graph {
                 bound: num_segments,
             });
         }
-        let mut v = Tensor::zeros(num_segments, d);
+        let mut v = self.alloc(num_segments, d);
         let mut counts = vec![0usize; num_segments];
         for (i, &s) in segments.iter().enumerate() {
             counts[s] += 1;
-            let src = self.value(a).row(i).to_vec();
-            for (x, y) in v.row_mut(s).iter_mut().zip(src) {
+            let src = self.nodes[a.0].value.row(i);
+            for (x, &y) in v.row_mut(s).iter_mut().zip(src) {
                 *x += y;
             }
         }
@@ -402,15 +511,15 @@ impl Graph {
                 bound: num_segments,
             });
         }
-        let mut v = Tensor::zeros(num_segments, d);
+        let mut v = self.alloc(num_segments, d);
         let mut seen = vec![false; num_segments];
         for (i, &s) in segments.iter().enumerate() {
-            let src = self.value(a).row(i).to_vec();
+            let src = self.nodes[a.0].value.row(i);
             if !seen[s] {
-                v.row_mut(s).copy_from_slice(&src);
+                v.row_mut(s).copy_from_slice(src);
                 seen[s] = true;
             } else {
-                for (x, y) in v.row_mut(s).iter_mut().zip(src) {
+                for (x, &y) in v.row_mut(s).iter_mut().zip(src) {
                     if y > *x {
                         *x = y;
                     }
@@ -445,10 +554,10 @@ impl Graph {
             }
             total_cols += c;
         }
-        let mut v = Tensor::zeros(rows, total_cols);
+        let mut v = self.alloc(rows, total_cols);
         let mut off = 0;
         for &p in &parts {
-            let t = self.value(p);
+            let t = &self.nodes[p.0].value;
             let c = t.cols();
             for i in 0..rows {
                 let dst_start = i * total_cols + off;
@@ -477,11 +586,10 @@ impl Graph {
 
     /// Row-wise log-softmax.
     pub fn log_softmax(&mut self, a: Var) -> Var {
-        let t = self.value(a);
-        let (n, d) = t.shape();
-        let mut v = Tensor::zeros(n, d);
+        let (n, d) = self.value(a).shape();
+        let mut v = self.alloc(n, d);
         for i in 0..n {
-            let row = t.row(i);
+            let row = self.nodes[a.0].value.row(i);
             let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f64>().ln();
             for (j, &x) in row.iter().enumerate() {
@@ -501,14 +609,20 @@ impl Graph {
                 rhs: self.value(target).shape(),
             });
         }
-        let v = self.value(pred).zip_map(self.value(target), |p, t| {
-            let e = p - t;
-            if e.abs() <= delta {
-                0.5 * e * e
-            } else {
-                delta * (e.abs() - 0.5 * delta)
-            }
-        });
+        let Graph { nodes, pool } = &mut *self;
+        let v = zip_pool(
+            pool,
+            &nodes[pred.0].value,
+            &nodes[target.0].value,
+            |p, t| {
+                let e = p - t;
+                if e.abs() <= delta {
+                    0.5 * e * e
+                } else {
+                    delta * (e.abs() - 0.5 * delta)
+                }
+            },
+        );
         let rg = self.rg(pred) || self.rg(target);
         Ok(self.push(
             v,
@@ -533,9 +647,10 @@ impl Graph {
         if shape != (1, 1) {
             return Err(TensorError::NonScalarLoss { shape });
         }
-        self.nodes[loss.0].grad = Some(Tensor::scalar(1.0));
+        let Graph { nodes, pool } = &mut *self;
+        nodes[loss.0].grad = Some(Tensor::scalar(1.0));
         for idx in (0..=loss.0).rev() {
-            let (anc, rest) = self.nodes.split_at_mut(idx);
+            let (anc, rest) = nodes.split_at_mut(idx);
             let node = &rest[0];
             if !node.requires_grad {
                 continue;
@@ -548,98 +663,173 @@ impl Graph {
                 Op::MatMul(a, b) => {
                     if anc[a.0].requires_grad {
                         // dA = g·Bᵀ, fused (no transpose materialized).
-                        let da = g.matmul_nt(&anc[b.0].value);
-                        accumulate(anc, *a, da);
+                        let mut da = alloc_from(pool, g.rows(), anc[b.0].value.rows());
+                        g.matmul_nt_into(&anc[b.0].value, &mut da);
+                        accumulate(anc, pool, *a, da);
                     }
                     if anc[b.0].requires_grad {
                         // dB = Aᵀ·g, fused.
-                        let db = anc[a.0].value.matmul_tn(g);
-                        accumulate(anc, *b, db);
+                        let mut db = alloc_from(pool, anc[a.0].value.cols(), g.cols());
+                        anc[a.0].value.matmul_tn_into(g, &mut db);
+                        accumulate(anc, pool, *b, db);
+                    }
+                }
+                Op::LinearAct { x, w, b, act } => {
+                    // dZ (gradient at the pre-activation `x·w + b`) uses the
+                    // exact per-element formulas of the standalone
+                    // Relu/LeakyRelu/Sigmoid/Tanh backward rules, evaluated
+                    // from the stored output, so gradients stay bit-identical
+                    // to the `MatMul → AddRow → activation` composition.
+                    // (For Relu/LeakyRelu with positive slope, `out > 0 ⇔
+                    // pre-activation > 0`, so gating on the output is exact.)
+                    let dz_owned: Option<Tensor> = match act {
+                        ActKind::Identity => None,
+                        ActKind::Relu => Some(zip_pool(pool, g, &node.value, |gx, o| {
+                            if o > 0.0 {
+                                gx
+                            } else {
+                                0.0
+                            }
+                        })),
+                        ActKind::LeakyRelu(s) => {
+                            let s = *s;
+                            Some(zip_pool(pool, g, &node.value, move |gx, o| {
+                                if o > 0.0 {
+                                    gx
+                                } else {
+                                    s * gx
+                                }
+                            }))
+                        }
+                        ActKind::Sigmoid => {
+                            Some(zip_pool(pool, g, &node.value, |gx, o| gx * o * (1.0 - o)))
+                        }
+                        ActKind::Tanh => {
+                            Some(zip_pool(pool, g, &node.value, |gx, o| gx * (1.0 - o * o)))
+                        }
+                    };
+                    let dz: &Tensor = dz_owned.as_ref().unwrap_or(g);
+                    if anc[x.0].requires_grad {
+                        let mut dx = alloc_from(pool, dz.rows(), anc[w.0].value.rows());
+                        dz.matmul_nt_into(&anc[w.0].value, &mut dx);
+                        accumulate(anc, pool, *x, dx);
+                    }
+                    if anc[w.0].requires_grad {
+                        let mut dw = alloc_from(pool, anc[x.0].value.cols(), dz.cols());
+                        anc[x.0].value.matmul_tn_into(dz, &mut dw);
+                        accumulate(anc, pool, *w, dw);
+                    }
+                    if anc[b.0].requires_grad {
+                        let (n, d) = dz.shape();
+                        let mut col = alloc_from(pool, 1, d);
+                        for i in 0..n {
+                            for (cx, &gv) in col.data_mut().iter_mut().zip(dz.row(i)) {
+                                *cx += gv;
+                            }
+                        }
+                        accumulate(anc, pool, *b, col);
+                    }
+                    if let Some(t) = dz_owned {
+                        recycle(pool, t);
                     }
                 }
                 Op::Add(a, b) => {
-                    accumulate_ref(anc, *a, g);
-                    accumulate_ref(anc, *b, g);
+                    accumulate_ref(anc, pool, *a, g);
+                    accumulate_ref(anc, pool, *b, g);
                 }
                 Op::Sub(a, b) => {
-                    accumulate_ref(anc, *a, g);
+                    accumulate_ref(anc, pool, *a, g);
                     if anc[b.0].requires_grad {
-                        let d = g.map(|x| -x);
-                        accumulate(anc, *b, d);
+                        let d = map_pool(pool, g, |x| -x);
+                        accumulate(anc, pool, *b, d);
                     }
                 }
                 Op::Mul(a, b) => {
                     if anc[a.0].requires_grad {
-                        let d = g.zip_map(&anc[b.0].value, |x, y| x * y);
-                        accumulate(anc, *a, d);
+                        let d = zip_pool(pool, g, &anc[b.0].value, |x, y| x * y);
+                        accumulate(anc, pool, *a, d);
                     }
                     if anc[b.0].requires_grad {
-                        let d = g.zip_map(&anc[a.0].value, |x, y| x * y);
-                        accumulate(anc, *b, d);
+                        let d = zip_pool(pool, g, &anc[a.0].value, |x, y| x * y);
+                        accumulate(anc, pool, *b, d);
                     }
                 }
                 Op::Scale(a, c) => {
                     if anc[a.0].requires_grad {
-                        let d = g.map(|x| x * c);
-                        accumulate(anc, *a, d);
+                        let d = map_pool(pool, g, |x| x * c);
+                        accumulate(anc, pool, *a, d);
                     }
                 }
                 Op::AddRow(a, b) => {
-                    accumulate_ref(anc, *a, g);
+                    accumulate_ref(anc, pool, *a, g);
                     if anc[b.0].requires_grad {
                         let (n, d) = g.shape();
-                        let mut col = Tensor::zeros(1, d);
+                        let mut col = alloc_from(pool, 1, d);
                         for i in 0..n {
                             for (x, &gv) in col.data_mut().iter_mut().zip(g.row(i)) {
                                 *x += gv;
                             }
                         }
-                        accumulate(anc, *b, col);
+                        accumulate(anc, pool, *b, col);
                     }
                 }
                 Op::Relu(a) => {
-                    let d = g.zip_map(&anc[a.0].value, |gx, x| if x > 0.0 { gx } else { 0.0 });
-                    accumulate(anc, *a, d);
+                    let d = zip_pool(
+                        pool,
+                        g,
+                        &anc[a.0].value,
+                        |gx, x| {
+                            if x > 0.0 {
+                                gx
+                            } else {
+                                0.0
+                            }
+                        },
+                    );
+                    accumulate(anc, pool, *a, d);
                 }
                 Op::LeakyRelu(a, slope) => {
                     let slope = *slope;
-                    let d = g.zip_map(
-                        &anc[a.0].value,
-                        |gx, x| if x > 0.0 { gx } else { slope * gx },
-                    );
-                    accumulate(anc, *a, d);
+                    let d = zip_pool(pool, g, &anc[a.0].value, move |gx, x| {
+                        if x > 0.0 {
+                            gx
+                        } else {
+                            slope * gx
+                        }
+                    });
+                    accumulate(anc, pool, *a, d);
                 }
                 Op::Sigmoid(a) => {
-                    let d = g.zip_map(&node.value, |gx, s| gx * s * (1.0 - s));
-                    accumulate(anc, *a, d);
+                    let d = zip_pool(pool, g, &node.value, |gx, s| gx * s * (1.0 - s));
+                    accumulate(anc, pool, *a, d);
                 }
                 Op::Tanh(a) => {
-                    let d = g.zip_map(&node.value, |gx, t| gx * (1.0 - t * t));
-                    accumulate(anc, *a, d);
+                    let d = zip_pool(pool, g, &node.value, |gx, t| gx * (1.0 - t * t));
+                    accumulate(anc, pool, *a, d);
                 }
                 Op::Softplus(a) => {
-                    let d = g.zip_map(&anc[a.0].value, |gx, x| gx * sigmoid(x));
-                    accumulate(anc, *a, d);
+                    let d = zip_pool(pool, g, &anc[a.0].value, |gx, x| gx * sigmoid(x));
+                    accumulate(anc, pool, *a, d);
                 }
                 Op::GatherRows(a, indices) => {
                     let (n, d) = anc[a.0].value.shape();
-                    let mut da = Tensor::zeros(n, d);
+                    let mut da = alloc_from(pool, n, d);
                     for (r, &i) in indices.iter().enumerate() {
                         for (x, &y) in da.row_mut(i).iter_mut().zip(g.row(r)) {
                             *x += y;
                         }
                     }
-                    accumulate(anc, *a, da);
+                    accumulate(anc, pool, *a, da);
                 }
                 Op::SegmentSum {
                     input, segments, ..
                 } => {
                     let (n, d) = anc[input.0].value.shape();
-                    let mut da = Tensor::zeros(n, d);
+                    let mut da = alloc_from(pool, n, d);
                     for (i, &s) in segments.iter().enumerate() {
                         da.row_mut(i).copy_from_slice(g.row(s));
                     }
-                    accumulate(anc, *input, da);
+                    accumulate(anc, pool, *input, da);
                 }
                 Op::SegmentMean {
                     input,
@@ -651,14 +841,14 @@ impl Graph {
                     for &s in segments {
                         counts[s] += 1;
                     }
-                    let mut da = Tensor::zeros(n, d);
+                    let mut da = alloc_from(pool, n, d);
                     for (i, &s) in segments.iter().enumerate() {
                         let inv = 1.0 / counts[s] as f64;
                         for (x, &y) in da.row_mut(i).iter_mut().zip(g.row(s)) {
                             *x = y * inv;
                         }
                     }
-                    accumulate(anc, *input, da);
+                    accumulate(anc, pool, *input, da);
                 }
                 Op::SegmentMax {
                     input,
@@ -679,7 +869,7 @@ impl Graph {
                             }
                         }
                     }
-                    let mut da = Tensor::zeros(n, d);
+                    let mut da = alloc_from(pool, n, d);
                     for (s, cols) in arg.iter().enumerate() {
                         for (c, &winner) in cols.iter().enumerate() {
                             if let Some(i) = winner {
@@ -687,7 +877,7 @@ impl Graph {
                             }
                         }
                     }
-                    accumulate(anc, *input, da);
+                    accumulate(anc, pool, *input, da);
                 }
                 Op::ConcatCols(parts) => {
                     let rows = g.rows();
@@ -695,37 +885,40 @@ impl Graph {
                     for &p in parts {
                         let c = anc[p.0].value.cols();
                         if anc[p.0].requires_grad {
-                            let mut dp = Tensor::zeros(rows, c);
+                            let mut dp = alloc_from(pool, rows, c);
                             for i in 0..rows {
                                 dp.row_mut(i).copy_from_slice(&g.row(i)[off..off + c]);
                             }
-                            accumulate(anc, p, dp);
+                            accumulate(anc, pool, p, dp);
                         }
                         off += c;
                     }
                 }
                 Op::SumAll(a) => {
                     let (n, d) = anc[a.0].value.shape();
-                    let da = Tensor::full(n, d, g.item());
-                    accumulate(anc, *a, da);
+                    let mut da = alloc_from(pool, n, d);
+                    da.data_mut().fill(g.item());
+                    accumulate(anc, pool, *a, da);
                 }
                 Op::MeanAll(a) => {
                     let (n, d) = anc[a.0].value.shape();
                     let scale = g.item() / (n * d).max(1) as f64;
-                    accumulate(anc, *a, Tensor::full(n, d, scale));
+                    let mut da = alloc_from(pool, n, d);
+                    da.data_mut().fill(scale);
+                    accumulate(anc, pool, *a, da);
                 }
                 Op::LogSoftmax(a) => {
                     // dL/dx = g - softmax(x) * rowsum(g)
                     let y = &node.value;
                     let (n, d) = y.shape();
-                    let mut da = Tensor::zeros(n, d);
+                    let mut da = alloc_from(pool, n, d);
                     for i in 0..n {
                         let gsum: f64 = g.row(i).iter().sum();
                         for j in 0..d {
                             da.set(i, j, g.get(i, j) - y.get(i, j).exp() * gsum);
                         }
                     }
-                    accumulate(anc, *a, da);
+                    accumulate(anc, pool, *a, da);
                 }
                 Op::Huber {
                     pred,
@@ -733,17 +926,18 @@ impl Graph {
                     delta,
                 } => {
                     let delta = *delta;
-                    let clip = anc[pred.0]
-                        .value
-                        .zip_map(&anc[target.0].value, |p, t| (p - t).clamp(-delta, delta));
+                    let clip = zip_pool(pool, &anc[pred.0].value, &anc[target.0].value, |p, t| {
+                        (p - t).clamp(-delta, delta)
+                    });
                     if anc[pred.0].requires_grad {
-                        let d = g.zip_map(&clip, |gx, c| gx * c);
-                        accumulate(anc, *pred, d);
+                        let d = zip_pool(pool, g, &clip, |gx, c| gx * c);
+                        accumulate(anc, pool, *pred, d);
                     }
                     if anc[target.0].requires_grad {
-                        let d = g.zip_map(&clip, |gx, c| -gx * c);
-                        accumulate(anc, *target, d);
+                        let d = zip_pool(pool, g, &clip, |gx, c| -gx * c);
+                        accumulate(anc, pool, *target, d);
                     }
+                    recycle(pool, clip);
                 }
             }
         }
@@ -751,27 +945,85 @@ impl Graph {
     }
 }
 
+/// Take a zeroed `rows×cols` tensor from `pool`, or allocate fresh when the
+/// pool is empty. Pooled buffers are cleared and zero-refilled by
+/// [`Tensor::from_buffer`], so the result is indistinguishable from
+/// [`Tensor::zeros`].
+fn alloc_from(pool: &mut Vec<Vec<f64>>, rows: usize, cols: usize) -> Tensor {
+    match pool.pop() {
+        Some(buf) => Tensor::from_buffer(rows, cols, buf),
+        None => Tensor::zeros(rows, cols),
+    }
+}
+
+/// Return a tensor's backing buffer to `pool` for reuse.
+fn recycle(pool: &mut Vec<Vec<f64>>, t: Tensor) {
+    if pool.len() < POOL_MAX_BUFFERS {
+        let buf = t.into_data();
+        if buf.capacity() > 0 {
+            pool.push(buf);
+        }
+    }
+}
+
+/// Pooled elementwise map: `out[i] = f(a[i])`.
+fn map_pool(pool: &mut Vec<Vec<f64>>, a: &Tensor, f: impl Fn(f64) -> f64) -> Tensor {
+    let (r, c) = a.shape();
+    let mut out = alloc_from(pool, r, c);
+    for (o, &x) in out.data_mut().iter_mut().zip(a.data()) {
+        *o = f(x);
+    }
+    out
+}
+
+/// Pooled elementwise zip: `out[i] = f(a[i], b[i])` (shapes must agree).
+fn zip_pool(
+    pool: &mut Vec<Vec<f64>>,
+    a: &Tensor,
+    b: &Tensor,
+    f: impl Fn(f64, f64) -> f64,
+) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "zip_pool shapes must agree");
+    let (r, c) = a.shape();
+    let mut out = alloc_from(pool, r, c);
+    for ((o, &x), &y) in out.data_mut().iter_mut().zip(a.data()).zip(b.data()) {
+        *o = f(x, y);
+    }
+    out
+}
+
 /// Add `delta` into `v`'s gradient slot, taking ownership: the first
-/// consumer moves the tensor in, later consumers add in place.
-fn accumulate(nodes: &mut [Node], v: Var, delta: Tensor) {
+/// consumer moves the tensor in; later consumers add in place and recycle
+/// the delta's buffer.
+fn accumulate(nodes: &mut [Node], pool: &mut Vec<Vec<f64>>, v: Var, delta: Tensor) {
     if !nodes[v.0].requires_grad {
+        recycle(pool, delta);
         return;
     }
     match &mut nodes[v.0].grad {
-        Some(g) => g.add_assign(&delta),
+        Some(g) => {
+            g.add_assign(&delta);
+            recycle(pool, delta);
+        }
         slot @ None => *slot = Some(delta),
     }
 }
 
 /// Like [`accumulate`], for a borrowed upstream gradient that flows through
-/// unchanged (Add/Sub/AddRow): clones only when the slot is empty.
-fn accumulate_ref(nodes: &mut [Node], v: Var, delta: &Tensor) {
+/// unchanged (Add/Sub/AddRow): copies into a pooled buffer only when the
+/// slot is empty.
+fn accumulate_ref(nodes: &mut [Node], pool: &mut Vec<Vec<f64>>, v: Var, delta: &Tensor) {
     if !nodes[v.0].requires_grad {
         return;
     }
     match &mut nodes[v.0].grad {
         Some(g) => g.add_assign(delta),
-        slot @ None => *slot = Some(delta.clone()),
+        slot @ None => {
+            let (r, c) = delta.shape();
+            let mut d = alloc_from(pool, r, c);
+            d.data_mut().copy_from_slice(delta.data());
+            *slot = Some(d);
+        }
     }
 }
 
@@ -962,6 +1214,95 @@ mod tests {
         let grad = g.grad(p).unwrap();
         assert!((grad.get(0, 0) - 0.5).abs() < 1e-12);
         assert!((grad.get(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_reuses_buffers_without_changing_results() {
+        let x0 = Tensor::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]);
+        let w0 = Tensor::from_rows(&[&[0.3, -0.7, 0.1], &[0.9, 0.2, -0.4]]);
+        let run = |g: &mut Graph| {
+            let x = g.leaf_copied(&x0);
+            let w = g.leaf_copied(&w0);
+            let y = g.matmul(x, w);
+            let z = g.tanh(y);
+            let l = g.mean_all(z);
+            g.backward(l).unwrap();
+            (
+                g.value(l).item(),
+                g.grad(x).unwrap().clone(),
+                g.grad(w).unwrap().clone(),
+            )
+        };
+        let mut g = Graph::new();
+        let first = run(&mut g);
+        for _ in 0..3 {
+            g.reset();
+            assert!(g.is_empty());
+            let again = run(&mut g);
+            assert_eq!(first.0.to_bits(), again.0.to_bits());
+            assert_eq!(first.1, again.1);
+            assert_eq!(first.2, again.2);
+        }
+    }
+
+    #[test]
+    fn linear_act_matches_unfused_composition_bitwise() {
+        let x0 = Tensor::from_rows(&[&[1.0, -2.0, 0.25], &[0.5, 3.0, -1.5]]);
+        let w0 = Tensor::from_rows(&[&[0.3, -0.7], &[0.9, 0.2], &[-0.1, 0.6]]);
+        let b0 = Tensor::from_rows(&[&[0.05, -0.4]]);
+        for act in [
+            ActKind::Identity,
+            ActKind::Relu,
+            ActKind::LeakyRelu(0.01),
+            ActKind::Sigmoid,
+            ActKind::Tanh,
+        ] {
+            let mut gf = Graph::new();
+            let (xf, wf, bf) = (
+                gf.leaf_copied(&x0),
+                gf.leaf_copied(&w0),
+                gf.leaf_copied(&b0),
+            );
+            let yf = gf.linear_act(xf, wf, bf, act);
+            let lf = gf.mean_all(yf);
+            gf.backward(lf).unwrap();
+
+            let mut gu = Graph::new();
+            let (xu, wu, bu) = (
+                gu.leaf_copied(&x0),
+                gu.leaf_copied(&w0),
+                gu.leaf_copied(&b0),
+            );
+            let mm = gu.matmul(xu, wu);
+            let z = gu.add_row(mm, bu);
+            let yu = match act {
+                ActKind::Identity => z,
+                ActKind::Relu => gu.relu(z),
+                ActKind::LeakyRelu(s) => gu.leaky_relu(z, s),
+                ActKind::Sigmoid => gu.sigmoid(z),
+                ActKind::Tanh => gu.tanh(z),
+            };
+            let lu = gu.mean_all(yu);
+            gu.backward(lu).unwrap();
+
+            assert_eq!(gf.value(yf), gu.value(yu), "{act:?} forward");
+            assert_eq!(gf.grad(xf).unwrap(), gu.grad(xu).unwrap(), "{act:?} dX");
+            assert_eq!(gf.grad(wf).unwrap(), gu.grad(wu).unwrap(), "{act:?} dW");
+            assert_eq!(gf.grad(bf).unwrap(), gu.grad(bu).unwrap(), "{act:?} db");
+        }
+    }
+
+    #[test]
+    fn linear_act_shape_errors() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::zeros(2, 3));
+        let w = g.leaf(Tensor::zeros(3, 4));
+        let bad_w = g.leaf(Tensor::zeros(2, 4));
+        let b = g.leaf(Tensor::zeros(1, 4));
+        let bad_b = g.leaf(Tensor::zeros(1, 3));
+        assert!(g.try_linear_act(x, bad_w, b, ActKind::Relu).is_err());
+        assert!(g.try_linear_act(x, w, bad_b, ActKind::Relu).is_err());
+        assert!(g.try_linear_act(x, w, b, ActKind::Relu).is_ok());
     }
 
     #[test]

@@ -1,23 +1,31 @@
 //! Dense row-major 2-D `f64` tensors with the handful of BLAS-like kernels
 //! the autodiff engine needs.
 //!
-//! [`Tensor::matmul`] is cache-blocked and parallelizes over disjoint
-//! output-row blocks. Every kernel accumulates each output element in
-//! ascending inner-index order regardless of blocking or thread count, so
-//! results are **bit-identical** to the naive serial kernels — blocking
-//! changes the traversal, never the floating-point summation order per
-//! element. The fused [`Tensor::matmul_nt`] / [`Tensor::matmul_tn`] avoid
-//! materializing transposes in the autodiff backward pass.
+//! [`Tensor::matmul`] dispatches by size: tiny products run the naive
+//! serial kernel (blocking overhead would dominate), everything else runs
+//! the register-tiled FMA microkernel from [`crate::kernels`], serial below
+//! `PAR_FLOPS_THRESHOLD` multiply-adds and parallel over disjoint
+//! output-row panels above it. Each output element is accumulated by a
+//! fixed `mul_add` chain that depends only on its input row/column — never
+//! on tiling, panel boundaries or thread count — so results are
+//! **bit-identical across thread counts** (and serial vs parallel), and
+//! agree with [`Tensor::matmul_naive`] to rounding (FMA keeps one more bit
+//! per step, so the microkernel is the *more* accurate of the two). The
+//! fused [`Tensor::matmul_nt`] / [`Tensor::matmul_tn`] avoid materializing
+//! transposes in the autodiff backward pass, and
+//! [`Tensor::matmul_bias_act`] fuses the linear-layer epilogue
+//! (`+ bias`, activation) into the same output pass.
 
 use std::fmt;
 
 use rayon::prelude::*;
 
-/// Below this many multiply-adds a matmul runs single-threaded — thread
-/// fan-out costs more than the multiplication itself.
+use crate::kernels::{self, ActKind};
+
 /// Benchmark hook: when set, every matmul variant routes through the
-/// pre-optimization path (serial naive ikj kernel, transposes materialized)
-/// so the pipeline bench can measure before/after in a single run.
+/// pre-optimization path (serial naive ikj kernel, transposes materialized,
+/// fused epilogues split into separate passes) so the pipeline bench can
+/// measure before/after in a single run.
 static BASELINE_MATMUL: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
 /// Toggle the pre-optimization matmul path (benchmarks only; thread-global).
@@ -25,18 +33,24 @@ pub fn set_baseline_matmul(on: bool) {
     BASELINE_MATMUL.store(on, std::sync::atomic::Ordering::Relaxed);
 }
 
-fn baseline_matmul() -> bool {
+pub(crate) fn baseline_matmul() -> bool {
     BASELINE_MATMUL.load(std::sync::atomic::Ordering::Relaxed)
 }
 
-const PAR_FLOPS_THRESHOLD: usize = 64 * 64 * 64;
+/// Below this many multiply-adds, `matmul` falls back to the naive serial
+/// kernel: register blocking and the runtime feature-dispatch indirection
+/// cost more than the multiplication itself at these sizes.
+pub(crate) const NAIVE_FLOPS_THRESHOLD: usize = 32 * 32 * 32;
+
+/// Below this many multiply-adds a matmul runs the microkernel
+/// single-threaded — thread fan-out costs more than the multiplication.
+pub(crate) const PAR_FLOPS_THRESHOLD: usize = 64 * 64 * 64;
 
 /// Output rows per parallel task (also the unit of A-row cache reuse).
+/// Panel boundaries are a fixed function of this constant, never of the
+/// worker count, so splitting work across threads cannot move an output
+/// element between differently-shaped tiles.
 const ROW_BLOCK: usize = 32;
-
-/// Inner-dimension block: one block of B rows (`K_BLOCK × cols` values)
-/// stays resident in cache while a row block of A streams over it.
-const K_BLOCK: usize = 128;
 
 /// A dense row-major matrix of `f64`. Vectors are `1×d` or `n×1` tensors;
 /// scalars are `1×1`.
@@ -166,52 +180,133 @@ impl Tensor {
         self.data[0]
     }
 
-    /// Matrix product `self × rhs`: cache-blocked, parallel over output-row
-    /// blocks for large shapes, falling back to the naive kernel when the
-    /// work wouldn't cover the fan-out cost. Bit-identical to
-    /// [`Tensor::matmul_naive`] at any thread count (per-element
-    /// accumulation order is ascending `k` in both). Panics on shape
+    /// Consume the tensor and return its backing buffer — the recycling
+    /// half of the tape's scratch-buffer pool.
+    pub fn into_data(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// A zeroed `rows×cols` tensor reusing `buf`'s capacity. Semantically
+    /// identical to [`Tensor::zeros`] (the buffer is cleared and refilled
+    /// with `0.0`), but allocation-free when the buffer is large enough.
+    pub fn from_buffer(rows: usize, cols: usize, mut buf: Vec<f64>) -> Self {
+        buf.clear();
+        buf.resize(rows * cols, 0.0);
+        Tensor {
+            rows,
+            cols,
+            data: buf,
+        }
+    }
+
+    /// Matrix product `self × rhs`. Size-dispatched: naive below
+    /// `NAIVE_FLOPS_THRESHOLD`, register-tiled FMA microkernel above
+    /// (serial, then parallel over output-row panels past
+    /// `PAR_FLOPS_THRESHOLD`). Bit-identical across thread counts; agrees
+    /// with [`Tensor::matmul_naive`] to rounding. Panics on shape
     /// mismatch — shape checking happens in the tape layer.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul`] writing into a caller-provided `m×n` output
+    /// (its prior contents are ignored) — the allocation-free entry point
+    /// for the tape's buffer pool.
+    pub fn matmul_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        self.mm_fused_into(rhs, None, ActKind::Identity, out);
+    }
+
+    /// Fused linear-layer forward `act(self × rhs + bias)` in a single
+    /// output pass: the bias add and activation run in the epilogue of the
+    /// matmul microkernel while the output panel is still cache-hot.
+    ///
+    /// `bias` is `1×n`, broadcast over rows. The result is **bit-identical**
+    /// to the unfused `matmul → add-row → activation` composition at every
+    /// size (the matmul part takes the same dispatch path, and the epilogue
+    /// applies `act(Σ + bias)` to the fully accumulated element exactly as
+    /// the separate passes would).
+    pub fn matmul_bias_act(&self, rhs: &Tensor, bias: &Tensor, act: ActKind) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, rhs.cols);
+        self.matmul_bias_act_into(rhs, bias, act, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_bias_act`] writing into a caller-provided `m×n`
+    /// output (prior contents ignored).
+    pub fn matmul_bias_act_into(
+        &self,
+        rhs: &Tensor,
+        bias: &Tensor,
+        act: ActKind,
+        out: &mut Tensor,
+    ) {
+        assert_eq!(bias.rows, 1, "bias must be a 1×n row vector");
+        assert_eq!(bias.cols, rhs.cols, "bias width must match output width");
+        self.mm_fused_into(rhs, Some(bias), act, out);
+    }
+
+    /// Shared dispatch for plain and fused matmul.
+    fn mm_fused_into(&self, rhs: &Tensor, bias: Option<&Tensor>, act: ActKind, out: &mut Tensor) {
         assert_eq!(self.cols, rhs.rows, "matmul inner dimensions must agree");
         let (m, n, kd) = (self.rows, rhs.cols, self.cols);
+        assert_eq!(out.shape(), (m, n), "matmul output shape mismatch");
         if relgraph_obs::enabled() {
             relgraph_obs::add("tensor.matmul.calls", 1);
-            relgraph_obs::add("tensor.matmul.flops", 2 * (m * n * kd) as u64);
+            // The fused kernel still performs the full 2·m·n·k multiply-add
+            // work plus one add per output element for the bias.
+            let bias_flops = if bias.is_some() { (m * n) as u64 } else { 0 };
+            relgraph_obs::add("tensor.matmul.flops", 2 * (m * n * kd) as u64 + bias_flops);
+            if bias.is_some() {
+                relgraph_obs::add("tensor.matmul.fused_calls", 1);
+            }
         }
-        if baseline_matmul() || m * n * kd < PAR_FLOPS_THRESHOLD || n == 0 {
+        if m * n == 0 {
+            return;
+        }
+        if baseline_matmul() || m * n * kd < NAIVE_FLOPS_THRESHOLD {
+            // Small-product fallback (and the benchmark baseline path):
+            // naive matmul, then bias/activation as separate passes — the
+            // exact unfused composition, so fused results never depend on
+            // which dispatch branch ran.
             relgraph_obs::add("tensor.matmul.naive_calls", 1);
-            return self.matmul_naive(rhs);
-        }
-        relgraph_obs::add("tensor.matmul.blocked_calls", 1);
-        let mut out = Tensor::zeros(m, n);
-        out.data
-            .par_chunks_mut(ROW_BLOCK * n)
-            .enumerate()
-            .for_each(|(chunk, out_block)| {
-                let i0 = chunk * ROW_BLOCK;
-                let rows_here = out_block.len() / n;
-                // k-blocking: one B block stays cache-resident while every row
-                // of this A block streams over it. Per output element the
-                // accumulation order is still ascending k.
-                for k0 in (0..kd).step_by(K_BLOCK) {
-                    let k1 = (k0 + K_BLOCK).min(kd);
-                    for di in 0..rows_here {
-                        let a_row = &self.row(i0 + di)[k0..k1];
-                        let out_row = &mut out_block[di * n..(di + 1) * n];
-                        for (dk, &a) in a_row.iter().enumerate() {
-                            if a == 0.0 {
-                                continue;
-                            }
-                            let b_row = rhs.row(k0 + dk);
-                            for (o, &b) in out_row.iter_mut().zip(b_row) {
-                                *o += a * b;
-                            }
+            self.naive_into(rhs, out);
+            match (bias, act) {
+                (None, ActKind::Identity) => {}
+                _ => {
+                    let bias = bias.map(Tensor::data);
+                    for r in 0..m {
+                        let orow = &mut out.data[r * n..(r + 1) * n];
+                        for (j, o) in orow.iter_mut().enumerate() {
+                            let s = bias.map_or(*o, |bv| *o + bv[j]);
+                            *o = act.apply(s);
                         }
                     }
                 }
-            });
-        out
+            }
+            return;
+        }
+        relgraph_obs::add("tensor.matmul.blocked_calls", 1);
+        let bias = bias.map(Tensor::data);
+        let packed = kernels::pack_b(&rhs.data, kd, n);
+        let body = |(chunk, out_block): (usize, &mut [f64])| {
+            let i0 = chunk * ROW_BLOCK;
+            let rows_here = out_block.len() / n;
+            let a_panel = &self.data[i0 * kd..(i0 + rows_here) * kd];
+            kernels::mm_panel(a_panel, &packed, out_block, rows_here, kd, n, bias, act);
+        };
+        if m * n * kd < PAR_FLOPS_THRESHOLD {
+            out.data
+                .chunks_mut(ROW_BLOCK * n)
+                .enumerate()
+                .for_each(body);
+        } else {
+            out.data
+                .par_chunks_mut(ROW_BLOCK * n)
+                .enumerate()
+                .for_each(body);
+        }
     }
 
     /// Reference matmul: the plain serial ikj loop. Kept public as the
@@ -220,6 +315,13 @@ impl Tensor {
     pub fn matmul_naive(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.cols, rhs.rows, "matmul inner dimensions must agree");
         let mut out = Tensor::zeros(self.rows, rhs.cols);
+        self.naive_into(rhs, &mut out);
+        out
+    }
+
+    /// Naive ikj kernel into a pre-shaped output (overwrites contents).
+    fn naive_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        out.data.fill(0.0);
         for i in 0..self.rows {
             let a_row = self.row(i);
             let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
@@ -233,90 +335,42 @@ impl Tensor {
                 }
             }
         }
-        out
     }
 
     /// Fused `self × rhsᵀ` (`m×k · (n×k)ᵀ → m×n`) without materializing the
     /// transpose: every output element is a dot product of two contiguous
-    /// rows, accumulated in ascending `k` order (thread count never affects
-    /// the result).
+    /// rows, split into fixed interleaved `mul_add` lanes (see
+    /// [`crate::kernels`]) so thread count never affects the result.
     pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
-        assert_eq!(self.cols, rhs.cols, "matmul_nt inner dimensions must agree");
-        if relgraph_obs::enabled() {
-            relgraph_obs::add("tensor.matmul.calls", 1);
-            relgraph_obs::add(
-                "tensor.matmul.flops",
-                2 * (self.rows * rhs.rows * self.cols) as u64,
-            );
-        }
-        if baseline_matmul() {
-            return self.matmul_naive(&rhs.transpose());
-        }
-        let (m, n) = (self.rows, rhs.rows);
-        let mut out = Tensor::zeros(m, n);
-        if n == 0 {
-            return out;
-        }
-        let serial = m * n * self.cols < PAR_FLOPS_THRESHOLD;
-        let body = |(i, out_row): (usize, &mut [f64])| {
-            let a_row = self.row(i);
-            for (o, j) in out_row.iter_mut().zip(0..n) {
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(rhs.row(j)) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
-        };
-        if serial {
-            out.data.chunks_mut(n).enumerate().for_each(body);
-        } else {
-            out.data.par_chunks_mut(n).enumerate().for_each(body);
-        }
+        let mut out = Tensor::zeros(self.rows, rhs.rows);
+        self.matmul_nt_into(rhs, &mut out);
         out
     }
 
-    /// Fused `selfᵀ × rhs` (`(m×k)ᵀ · m×n → k×n`) without materializing the
-    /// transpose. Parallel tasks own disjoint output-row blocks and each
-    /// accumulates over the shared dimension in ascending order, so the
-    /// result matches `self.transpose().matmul(rhs)` bit-for-bit.
-    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
-        assert_eq!(self.rows, rhs.rows, "matmul_tn outer dimensions must agree");
+    /// [`Tensor::matmul_nt`] writing into a caller-provided `m×n` output
+    /// (prior contents ignored).
+    pub fn matmul_nt_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.cols, rhs.cols, "matmul_nt inner dimensions must agree");
+        let (m, n, kd) = (self.rows, rhs.rows, self.cols);
+        assert_eq!(out.shape(), (m, n), "matmul_nt output shape mismatch");
         if relgraph_obs::enabled() {
             relgraph_obs::add("tensor.matmul.calls", 1);
-            relgraph_obs::add(
-                "tensor.matmul.flops",
-                2 * (self.cols * rhs.cols * self.rows) as u64,
-            );
+            relgraph_obs::add("tensor.matmul.flops", 2 * (m * n * kd) as u64);
         }
         if baseline_matmul() {
-            return self.transpose().matmul_naive(rhs);
+            *out = self.matmul_naive(&rhs.transpose());
+            return;
         }
-        let (kd, n, m) = (self.cols, rhs.cols, self.rows);
-        let mut out = Tensor::zeros(kd, n);
-        if n == 0 || kd == 0 {
-            return out;
+        if m * n == 0 {
+            return;
         }
-        let serial = m * n * kd < PAR_FLOPS_THRESHOLD;
         let body = |(chunk, out_block): (usize, &mut [f64])| {
-            let p0 = chunk * ROW_BLOCK;
+            let i0 = chunk * ROW_BLOCK;
             let rows_here = out_block.len() / n;
-            for i in 0..m {
-                let a_row = self.row(i);
-                let b_row = rhs.row(i);
-                for dp in 0..rows_here {
-                    let a = a_row[p0 + dp];
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let out_row = &mut out_block[dp * n..(dp + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
+            let a_panel = &self.data[i0 * kd..(i0 + rows_here) * kd];
+            kernels::mm_nt_panel(a_panel, &rhs.data, out_block, rows_here, kd, n);
         };
-        if serial {
+        if m * n * kd < PAR_FLOPS_THRESHOLD {
             out.data
                 .chunks_mut(ROW_BLOCK * n)
                 .enumerate()
@@ -327,7 +381,52 @@ impl Tensor {
                 .enumerate()
                 .for_each(body);
         }
+    }
+
+    /// Fused `selfᵀ × rhs` (`(m×k)ᵀ · m×n → k×n`) without materializing the
+    /// transpose. Parallel tasks own disjoint output-row panels and each
+    /// element accumulates over the shared dimension in ascending order
+    /// with `mul_add`, so the result is independent of thread count.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, rhs.cols);
+        self.matmul_tn_into(rhs, &mut out);
         out
+    }
+
+    /// [`Tensor::matmul_tn`] writing into a caller-provided `k×n` output
+    /// (prior contents ignored).
+    pub fn matmul_tn_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.rows, rhs.rows, "matmul_tn outer dimensions must agree");
+        let (kd, n, m) = (self.cols, rhs.cols, self.rows);
+        assert_eq!(out.shape(), (kd, n), "matmul_tn output shape mismatch");
+        if relgraph_obs::enabled() {
+            relgraph_obs::add("tensor.matmul.calls", 1);
+            relgraph_obs::add("tensor.matmul.flops", 2 * (kd * n * m) as u64);
+        }
+        if baseline_matmul() {
+            *out = self.transpose().matmul_naive(rhs);
+            return;
+        }
+        if n == 0 || kd == 0 {
+            return;
+        }
+        out.data.fill(0.0);
+        let body = |(chunk, out_block): (usize, &mut [f64])| {
+            let p0 = chunk * ROW_BLOCK;
+            let rows_here = out_block.len() / n;
+            kernels::mm_tn_panel(&self.data, &rhs.data, out_block, p0, rows_here, m, kd, n);
+        };
+        if m * n * kd < PAR_FLOPS_THRESHOLD {
+            out.data
+                .chunks_mut(ROW_BLOCK * n)
+                .enumerate()
+                .for_each(body);
+        } else {
+            out.data
+                .par_chunks_mut(ROW_BLOCK * n)
+                .enumerate()
+                .for_each(body);
+        }
     }
 
     /// Transpose.

@@ -121,11 +121,14 @@ proptest! {
     }
 
     #[test]
-    fn blocked_matmul_is_bit_identical_to_naive((a, b) in matmul_pair()) {
-        // The blocked/parallel kernel accumulates every output element in
-        // ascending-k order, exactly like the naive ikj loop — the results
-        // must match bitwise, not just within tolerance.
-        prop_assert_eq!(a.matmul(&b), a.matmul_naive(&b));
+    fn microkernel_matmul_matches_naive_to_rounding((a, b) in matmul_pair()) {
+        // The FMA microkernel fuses each multiply-add into a single
+        // rounding, so it is *more* accurate than the naive two-rounding
+        // loop — the two agree to accumulated rounding error, not bitwise.
+        // (Bit-identity across thread counts and vs the fused epilogue is
+        // asserted in tests/parallel_determinism.rs, where the thread
+        // count can be controlled without racing other tests.)
+        prop_assert!(max_abs_diff(&a.matmul(&b), &a.matmul_naive(&b)) <= 1e-9);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use relgraph::graph::{SamplerConfig, Seed, TemporalSampler};
 use relgraph::pq::traintable::TrainTableConfig;
 use relgraph::pq::{analyze, build_training_table, parse};
 use relgraph::prelude::*;
+use relgraph::tensor::{ActKind, Graph, Tensor};
 
 /// Run `f` with `RAYON_NUM_THREADS` fixed to `n`, restoring the previous
 /// value afterwards. The shim reads the variable per call, so this
@@ -30,8 +31,140 @@ fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
 
 /// One combined test (not several) because `RAYON_NUM_THREADS` is
 /// process-global and the test harness runs `#[test]` fns concurrently.
+/// Deterministic dense test matrix (no RNG dependency).
+fn mat(rows: usize, cols: usize, m0: usize, m1: usize, md: i64) -> Tensor {
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|x| ((x / cols * m0 + x % cols * m1) as i64 % md - md / 2) as f64 * 0.25)
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+fn bits(t: &Tensor) -> Vec<u64> {
+    t.data().iter().map(|x| x.to_bits()).collect()
+}
+
+/// The matmul microkernels (plain, NT, TN, and the fused
+/// linear+bias+activation epilogue) must be bit-identical across thread
+/// counts at every dispatch tier: tiny (naive fallback), medium (serial
+/// microkernel) and large (parallel row panels).
+fn assert_matmul_kernels_thread_invariant() {
+    // (m, k, n) crossing the naive (32³ flops) and parallel (64³ flops)
+    // dispatch thresholds, plus ragged shapes exercising tile remainders.
+    let shapes = [(4usize, 5usize, 3usize), (33, 40, 37), (80, 64, 96)];
+    for &(m, k, n) in &shapes {
+        let a = mat(m, k, 31, 7, 13);
+        let b = mat(k, n, 17, 3, 11);
+        let bt = b.transpose();
+        let at = a.transpose();
+        let bias = mat(1, n, 5, 29, 9);
+        let base = with_threads(1, || {
+            (
+                a.matmul(&b),
+                a.matmul_nt(&bt),
+                at.matmul_tn(&b),
+                a.matmul_bias_act(&b, &bias, ActKind::Relu),
+            )
+        });
+        for threads in [2, 4, 7] {
+            let got = with_threads(threads, || {
+                (
+                    a.matmul(&b),
+                    a.matmul_nt(&bt),
+                    at.matmul_tn(&b),
+                    a.matmul_bias_act(&b, &bias, ActKind::Relu),
+                )
+            });
+            assert_eq!(
+                bits(&base.0),
+                bits(&got.0),
+                "matmul {m}x{k}x{n} differs at {threads} threads"
+            );
+            assert_eq!(
+                bits(&base.1),
+                bits(&got.1),
+                "matmul_nt {m}x{k}x{n} differs at {threads} threads"
+            );
+            assert_eq!(
+                bits(&base.2),
+                bits(&got.2),
+                "matmul_tn {m}x{k}x{n} differs at {threads} threads"
+            );
+            assert_eq!(
+                bits(&base.3),
+                bits(&got.3),
+                "matmul_bias_act {m}x{k}x{n} differs at {threads} threads"
+            );
+        }
+    }
+}
+
+/// The fused `linear_act` tape op must match the unfused
+/// `matmul → add_row → activation` chain bit for bit — forward and
+/// gradients — at every dispatch tier and activation.
+fn assert_fused_linear_matches_composition() {
+    let acts = [
+        ActKind::Identity,
+        ActKind::Relu,
+        ActKind::LeakyRelu(0.01),
+        ActKind::Sigmoid,
+        ActKind::Tanh,
+    ];
+    for &(m, k, n) in &[(5usize, 6usize, 4usize), (80, 64, 96)] {
+        let x0 = mat(m, k, 31, 7, 13);
+        let w0 = mat(k, n, 17, 3, 11);
+        let b0 = mat(1, n, 5, 29, 9);
+        for act in acts {
+            let mut gf = Graph::new();
+            let xf = gf.leaf_copied(&x0);
+            let wf = gf.leaf_copied(&w0);
+            let bf = gf.leaf_copied(&b0);
+            let yf = gf.linear_act(xf, wf, bf, act);
+            let lf = gf.mean_all(yf);
+            gf.backward(lf).unwrap();
+
+            let mut gu = Graph::new();
+            let xu = gu.leaf_copied(&x0);
+            let wu = gu.leaf_copied(&w0);
+            let bu = gu.leaf_copied(&b0);
+            let mm = gu.matmul(xu, wu);
+            let z = gu.add_row(mm, bu);
+            let yu = match act {
+                ActKind::Identity => z,
+                ActKind::Relu => gu.relu(z),
+                ActKind::LeakyRelu(s) => gu.leaky_relu(z, s),
+                ActKind::Sigmoid => gu.sigmoid(z),
+                ActKind::Tanh => gu.tanh(z),
+            };
+            let lu = gu.mean_all(yu);
+            gu.backward(lu).unwrap();
+
+            assert_eq!(
+                bits(gf.value(yf)),
+                bits(gu.value(yu)),
+                "fused forward diverges ({m}x{k}x{n}, {act:?})"
+            );
+            for (fused, unfused, name) in [
+                (gf.grad(xf), gu.grad(xu), "dX"),
+                (gf.grad(wf), gu.grad(wu), "dW"),
+                (gf.grad(bf), gu.grad(bu), "db"),
+            ] {
+                assert_eq!(
+                    bits(fused.unwrap()),
+                    bits(unfused.unwrap()),
+                    "fused {name} diverges ({m}x{k}x{n}, {act:?})"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn thread_count_never_changes_results() {
+    // Kernel-level invariants first: they are what makes the end-to-end
+    // checks below hold.
+    assert_matmul_kernels_thread_invariant();
+    assert_fused_linear_matches_composition();
+
     let db = generate_ecommerce(&EcommerceConfig {
         customers: 60,
         products: 20,
@@ -123,22 +256,40 @@ fn thread_count_never_changes_results() {
         seed: 5,
         ..Default::default()
     };
-    let r1 = with_threads(1, || {
-        train_node_model(&g1, TaskKind::Binary, &examples, &val, &tcfg)
-            .unwrap()
-            .report
+    let m1_model = with_threads(1, || {
+        train_node_model(&g1, TaskKind::Binary, &examples, &val, &tcfg).unwrap()
     });
-    let r4 = with_threads(4, || {
-        train_node_model(&g1, TaskKind::Binary, &examples, &val, &tcfg)
-            .unwrap()
-            .report
+    let m4_model = with_threads(4, || {
+        train_node_model(&g1, TaskKind::Binary, &examples, &val, &tcfg).unwrap()
     });
     assert_eq!(
-        r1.train_losses, r4.train_losses,
+        m1_model.report.train_losses, m4_model.report.train_losses,
         "train losses diverge across threads"
     );
     assert_eq!(
-        r1.val_losses, r4.val_losses,
+        m1_model.report.val_losses, m4_model.report.val_losses,
         "val losses diverge across threads"
     );
+
+    // Served predictions must also be bit-identical: same model weights
+    // (trained at different thread counts) and same inference outputs
+    // regardless of the thread count used to serve them.
+    let pred_seeds: Vec<Seed> = examples.iter().map(|&(s, _)| s).take(40).collect();
+    let p1 = with_threads(1, || m1_model.predict(&g1, &pred_seeds));
+    for threads in [2, 4, 7] {
+        let p_served = with_threads(threads, || m1_model.predict(&g1, &pred_seeds));
+        let p_cross = with_threads(threads, || m4_model.predict(&g1, &pred_seeds));
+        for (i, ((a, b), c)) in p1.iter().zip(&p_served).zip(&p_cross).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "prediction {i} diverges at {threads} serving threads"
+            );
+            assert_eq!(
+                a.to_bits(),
+                c.to_bits(),
+                "prediction {i} diverges for the {threads}-thread-trained model"
+            );
+        }
+    }
 }
