@@ -11,7 +11,9 @@
 //! path must not be slower than its in-tree baseline. Sections whose gap is
 //! pure thread scaling (`sample`, `traintable`, `ingest`, `epoch`) get a
 //! noise allowance since they legitimately hit ~1.0x on a single-core host;
-//! kernel sections (`matmul_*`, `linear_fused`) must show a real win.
+//! kernel sections (`matmul_*`, `linear_fused`) must show a real win, and
+//! `serving` (cached micro-batched engine vs per-request inference) must
+//! show a real multiple since its win is algorithmic, not thread scaling.
 
 use relgraph_bench::perf;
 
@@ -21,6 +23,11 @@ fn min_speedup(section: &str) -> f64 {
         // The microkernel must beat naive by a clear margin in release mode.
         s if s.starts_with("matmul_") => 1.05,
         "linear_fused" => 1.05,
+        // Cached micro-batched serving vs per-request inference: the win is
+        // algorithmic (cache hits + batch dedup), not thread scaling, so a
+        // real multiple is required even on one core. The committed snapshot
+        // shows well above this; 2.0 is the CI noise floor.
+        "serving" => 2.0,
         // Thread-scaling sections: allow measurement noise around 1.0x.
         _ => 0.85,
     }

@@ -1,0 +1,547 @@
+//! Per-node batch inference with cross-seed neighborhood deduplication.
+//!
+//! [`NodeModel::predict`](crate::NodeModel::predict) extracts one disjoint
+//! subgraph per seed, so two seeds sharing most of their neighborhood pay
+//! for it twice. This module evaluates the layer recursion *per node of the
+//! full graph* instead: the hop-ℓ embedding of a node is a pure function of
+//! `(node type, node, level, anchor)` — its inputs are the most recent
+//! `fanouts[k-ℓ]` anchor-visible neighbors per edge type (the exact
+//! recency rule the temporal sampler applies when it expands that node) —
+//! so a node reached from many seeds is computed **once** per batch and its
+//! embedding is shared. The same purity is what makes embeddings safe to
+//! cache across batches: an [`EmbeddingStore`] (e.g. the serving engine's
+//! LRU) short-circuits recomputation without ever changing a value, so
+//! cache-warm and cache-cold runs are bit-identical by construction.
+//!
+//! Per-node evaluation agrees with the per-seed batched path up to kernel
+//! dispatch: both accumulate in the same per-element order, but tensor
+//! *shapes* differ (single-row matmuls here vs stacked batches there), and
+//! the matmul kernel is chosen by shape — so predictions match
+//! `NodeModel::predict` to ≤ 1e-9, not necessarily to the bit. For
+//! non-uniform fanout schedules the per-node rule evaluates a node with the
+//! fanout of its *level*, whereas a sampled subgraph reuses the edge list
+//! from the hop at which the node was first reached; with the default
+//! uniform fanouts the two coincide.
+
+use std::collections::{HashMap, HashSet};
+
+use rayon::prelude::*;
+use relgraph_graph::sampler::DEGREE_WINDOWS_DAYS;
+use relgraph_graph::{HeteroGraph, NodeTypeId, SamplerConfig, ALWAYS_VISIBLE};
+use relgraph_nn::{Activation, Binding};
+use relgraph_obs as obs;
+use relgraph_tensor::{Graph, Tensor};
+
+use crate::sage::{Aggregation, SageLayer};
+use crate::train::{NodeModel, TaskKind};
+
+const SECONDS_PER_DAY: i64 = 86_400;
+
+/// Seeds per tape arena in the parallel evaluation fan-out.
+const EVAL_CHUNK: usize = 64;
+
+/// An external cache of per-node embeddings keyed `(node type, node,
+/// level)`. All entries are implicitly relative to one anchor time — the
+/// owner must flush (or key) the store when the anchor changes, and must
+/// evict entries whose ℓ-hop neighborhood was touched by an ingest delta.
+pub trait EmbeddingStore {
+    /// Cached embedding, if present (may update recency bookkeeping).
+    fn get(&mut self, ty: usize, node: usize, level: usize) -> Option<Vec<f64>>;
+    /// Offer a freshly computed embedding to the cache.
+    fn put(&mut self, ty: usize, node: usize, level: usize, emb: Vec<f64>);
+}
+
+/// A store that caches nothing: every batch recomputes its full (deduped)
+/// recursion. Useful as the cold-path reference in equivalence tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoCache;
+
+impl EmbeddingStore for NoCache {
+    fn get(&mut self, _ty: usize, _node: usize, _level: usize) -> Option<Vec<f64>> {
+        None
+    }
+    fn put(&mut self, _ty: usize, _node: usize, _level: usize, _emb: Vec<f64>) {}
+}
+
+type Key = (usize, usize, usize);
+
+/// Predict for `nodes` (all of `node_type`, all anchored at `anchor`),
+/// deduplicating shared neighborhoods across the batch and reusing any
+/// embeddings `store` already holds. Returns predictions in input order on
+/// the same scale as [`NodeModel::predict`].
+///
+/// # Panics
+/// Panics if `node_type` differs from the type the model was trained on,
+/// or if a node index is out of range for the graph.
+pub fn predict_nodes(
+    model: &NodeModel,
+    graph: &HeteroGraph,
+    node_type: NodeTypeId,
+    nodes: &[usize],
+    anchor: i64,
+    store: &mut dyn EmbeddingStore,
+) -> Vec<f64> {
+    assert_eq!(
+        node_type.0,
+        model.gnn().seed_type(),
+        "seed node type differs from the model's training entity type"
+    );
+    let t0 = obs::enabled().then(std::time::Instant::now);
+    let k = model.gnn().num_layers();
+    let cfg = model.sampler_cfg();
+
+    // --- Discovery (top-down): collect the set of (type, node, level)
+    // embeddings the batch needs, deduplicating across seeds and pruning
+    // every subtree the store already covers.
+    let mut levels: Vec<Vec<(usize, usize)>> = vec![Vec::new(); k + 1];
+    let mut needed: HashSet<Key> = HashSet::new();
+    let mut memo: HashMap<Key, Vec<f64>> = HashMap::new();
+    let mut clists: HashMap<Key, Vec<(usize, Vec<usize>)>> = HashMap::new();
+    let mut store_hits = 0u64;
+    for &v in nodes {
+        request(
+            node_type.0,
+            v,
+            k,
+            &mut levels,
+            &mut needed,
+            &mut memo,
+            store,
+            &mut store_hits,
+        );
+    }
+    for level in (1..=k).rev() {
+        let items = std::mem::take(&mut levels[level]);
+        let fanout = cfg.fanouts[k - level];
+        for &(ty, node) in &items {
+            let lists = child_lists(graph, cfg, ty, node, fanout, anchor);
+            request(
+                ty,
+                node,
+                level - 1,
+                &mut levels,
+                &mut needed,
+                &mut memo,
+                store,
+                &mut store_hits,
+            );
+            for (et, nbrs) in &lists {
+                let dst = graph.edge_type(relgraph_graph::EdgeTypeId(*et)).dst.0;
+                for &nbr in nbrs {
+                    request(
+                        dst,
+                        nbr,
+                        level - 1,
+                        &mut levels,
+                        &mut needed,
+                        &mut memo,
+                        store,
+                        &mut store_hits,
+                    );
+                }
+            }
+            clists.insert((ty, node, level), lists);
+        }
+        levels[level] = items;
+    }
+
+    // --- Evaluation (bottom-up): each level's nodes are independent given
+    // the level below, so they fan out across threads in fixed-size chunks,
+    // one reusable tape arena per chunk. Results merge in worklist order.
+    if !levels[0].is_empty() {
+        let chunks: Vec<&[(usize, usize)]> = levels[0].chunks(EVAL_CHUNK).collect();
+        let rows: Vec<Vec<Vec<f64>>> = chunks
+            .par_iter()
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .map(|&(ty, node)| feature_row(graph, cfg, ty, node, anchor))
+                    .collect()
+            })
+            .collect();
+        for (&(ty, node), row) in levels[0].iter().zip(rows.into_iter().flatten()) {
+            memo.insert((ty, node, 0), row);
+        }
+    }
+    for (level, level_nodes) in levels.iter().enumerate().skip(1) {
+        if level_nodes.is_empty() {
+            continue;
+        }
+        let layer = &model.gnn().layers()[level - 1];
+        let chunks: Vec<&[(usize, usize)]> = level_nodes.chunks(EVAL_CHUNK).collect();
+        let embs: Vec<Vec<Vec<f64>>> = chunks
+            .par_iter()
+            .map(|chunk| {
+                let mut g = Graph::new();
+                let mut b = Binding::new();
+                chunk
+                    .iter()
+                    .map(|&(ty, node)| {
+                        g.reset();
+                        b.reset();
+                        eval_node(
+                            &mut g, &mut b, model, graph, layer, &memo, &clists, ty, node, level,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        for (&(ty, node), emb) in level_nodes.iter().zip(embs.into_iter().flatten()) {
+            memo.insert((ty, node, level), emb);
+        }
+    }
+
+    // Offer every fresh embedding to the store, bottom level first and in
+    // worklist order (deterministic LRU recency).
+    for (level, level_nodes) in levels.iter().enumerate() {
+        for &(ty, node) in level_nodes {
+            store.put(ty, node, level, memo[&(ty, node, level)].clone());
+        }
+    }
+
+    // --- Head: per-seed MLP over the top-level embedding.
+    let (label_mean, label_std) = model.label_scale();
+    let chunks: Vec<&[usize]> = nodes.chunks(EVAL_CHUNK).collect();
+    let preds: Vec<Vec<f64>> = chunks
+        .par_iter()
+        .map(|chunk| {
+            let mut g = Graph::new();
+            let mut b = Binding::new();
+            chunk
+                .iter()
+                .map(|&v| {
+                    g.reset();
+                    b.reset();
+                    let emb = &memo[&(node_type.0, v, k)];
+                    let x = g.constant(Tensor::from_vec(1, emb.len(), emb.clone()));
+                    let out = model.gnn().head().forward(&mut g, &mut b, model.ps(), x);
+                    let y = g.value(out).get(0, 0);
+                    match model.task() {
+                        TaskKind::Binary => 1.0 / (1.0 + (-y).exp()),
+                        TaskKind::Regression => y * label_std + label_mean,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    if let Some(t0) = t0 {
+        obs::add("gnn.infer.seeds", nodes.len() as u64);
+        obs::add("gnn.infer.evals", needed.len() as u64);
+        obs::add("gnn.infer.store_hits", store_hits);
+        obs::record_ns("gnn.infer", t0.elapsed().as_nanos() as u64);
+    }
+    preds.into_iter().flatten().collect()
+}
+
+/// Register `(ty, node, level)` as needed unless it is already memoized,
+/// queued, or available from the store.
+#[allow(clippy::too_many_arguments)]
+fn request(
+    ty: usize,
+    node: usize,
+    level: usize,
+    levels: &mut [Vec<(usize, usize)>],
+    needed: &mut HashSet<Key>,
+    memo: &mut HashMap<Key, Vec<f64>>,
+    store: &mut dyn EmbeddingStore,
+    store_hits: &mut u64,
+) {
+    let key = (ty, node, level);
+    if memo.contains_key(&key) || needed.contains(&key) {
+        return;
+    }
+    if let Some(emb) = store.get(ty, node, level) {
+        *store_hits += 1;
+        memo.insert(key, emb);
+        return;
+    }
+    needed.insert(key);
+    levels[level].push((ty, node));
+}
+
+/// The node's kept neighbors per edge type: the most recent `fanout`
+/// anchor-visible out-neighbors, in ascending-time (slice) order — exactly
+/// what the temporal sampler keeps when it expands this node.
+fn child_lists(
+    graph: &HeteroGraph,
+    cfg: &SamplerConfig,
+    ty: usize,
+    node: usize,
+    fanout: usize,
+    anchor: i64,
+) -> Vec<(usize, Vec<usize>)> {
+    let mut out = Vec::new();
+    for &et in graph.edge_types_from(NodeTypeId(ty)) {
+        let meta = graph.edge_type(et);
+        let (visible, _) = if cfg.temporal {
+            graph.visible_slices(et, node, anchor)
+        } else {
+            graph.neighbor_slices(et, node)
+        };
+        let start = visible.len().saturating_sub(fanout);
+        let mut nbrs = Vec::with_capacity(visible.len() - start);
+        for &nbr in &visible[start..] {
+            let nbr = nbr as usize;
+            if cfg.temporal && graph.node_time(meta.dst, nbr) > anchor {
+                continue;
+            }
+            nbrs.push(nbr);
+        }
+        out.push((et.0, nbrs));
+    }
+    out
+}
+
+/// The level-0 input row for a node — identical (bitwise) to the row
+/// [`build_batch`](crate::batch::build_batch) produces for it.
+fn feature_row(
+    graph: &HeteroGraph,
+    cfg: &SamplerConfig,
+    ty: usize,
+    node: usize,
+    anchor: i64,
+) -> Vec<f64> {
+    let tyid = NodeTypeId(ty);
+    let raw = graph.features(tyid);
+    let nw = DEGREE_WINDOWS_DAYS.len();
+    let mut row = vec![0.0; raw.dim() + 2 + graph.num_edge_types() * nw];
+    for (j, &x) in raw.row(node).iter().enumerate() {
+        row[j] = x as f64;
+    }
+    let base = raw.dim();
+    let nt = graph.node_time(tyid, node);
+    if nt == ALWAYS_VISIBLE {
+        row[base + 1] = 1.0;
+    } else {
+        let age_days = ((anchor - nt).max(0)) as f64 / SECONDS_PER_DAY as f64;
+        row[base] = (1.0 + age_days).ln();
+    }
+    if cfg.degree_features {
+        for &et in graph.edge_types_from(tyid) {
+            for (w, &days) in DEGREE_WINDOWS_DAYS.iter().enumerate() {
+                let hi = if cfg.temporal { anchor } else { i64::MAX };
+                let lo = if days == 0 {
+                    i64::MIN
+                } else {
+                    hi.saturating_sub(days * SECONDS_PER_DAY)
+                };
+                let deg = graph.degree_between(et, node, lo, hi) as u32;
+                row[base + 2 + et.0 * nw + w] = (1.0 + deg as f64).ln();
+            }
+        }
+    }
+    row
+}
+
+/// One SAGE layer applied to one node: fused self transform, plus one
+/// message matmul + segment aggregation per edge type with kept neighbors,
+/// in ascending edge-type order — the per-element accumulation order of the
+/// batched layer forward.
+#[allow(clippy::too_many_arguments)]
+fn eval_node(
+    g: &mut Graph,
+    b: &mut Binding,
+    model: &NodeModel,
+    graph: &HeteroGraph,
+    layer: &SageLayer,
+    memo: &HashMap<Key, Vec<f64>>,
+    clists: &HashMap<Key, Vec<(usize, Vec<usize>)>>,
+    ty: usize,
+    node: usize,
+    level: usize,
+) -> Vec<f64> {
+    let lists = &clists[&(ty, node, level)];
+    let has_children = lists.iter().any(|(_, nbrs)| !nbrs.is_empty());
+    let x_self = &memo[&(ty, node, level - 1)];
+    let x = g.constant(Tensor::from_vec(1, x_self.len(), x_self.clone()));
+    // Nodes with no kept neighbors fuse the activation into the self
+    // transform (the batched layer does the same per node type).
+    let act = if has_children {
+        Activation::Identity
+    } else {
+        layer.activation()
+    };
+    let mut acc = layer.self_lin(ty).forward_act(g, b, model.ps(), x, act);
+    for (et, nbrs) in lists {
+        if nbrs.is_empty() {
+            continue;
+        }
+        let dst = graph.edge_type(relgraph_graph::EdgeTypeId(*et)).dst.0;
+        let d = memo[&(dst, nbrs[0], level - 1)].len();
+        let mut data = Vec::with_capacity(nbrs.len() * d);
+        for &nbr in nbrs {
+            data.extend_from_slice(&memo[&(dst, nbr, level - 1)]);
+        }
+        let stacked = g.constant(Tensor::from_vec(nbrs.len(), d, data));
+        let msg = layer.edge_lin(*et).forward(g, b, model.ps(), stacked);
+        let agg = match layer.aggregation() {
+            Aggregation::Mean => g.segment_mean(msg, vec![0; nbrs.len()], 1),
+            Aggregation::Sum => g.segment_sum(msg, vec![0; nbrs.len()], 1),
+            Aggregation::Max => g.segment_max(msg, vec![0; nbrs.len()], 1),
+        }
+        .expect("single segment is always in range");
+        acc = g.add(acc, agg);
+    }
+    if has_children {
+        acc = layer.activation().apply(g, acc);
+    }
+    g.value(acc).row(0).to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{train_node_model, TrainConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use relgraph_graph::{FeatureMatrix, HeteroGraphBuilder, Seed};
+
+    /// Users share items (overlapping neighborhoods) with creation times,
+    /// so temporal visibility and degree windows are all exercised.
+    fn shared_item_graph(n_users: usize, seed: u64) -> (HeteroGraph, Vec<(Seed, f64)>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_items = (n_users / 2).max(4);
+        let mut b = HeteroGraphBuilder::new();
+        let u = b.add_node_type("user", n_users);
+        let i = b.add_node_type("item", n_items);
+        let owns = b.add_edge_type("owns", u, i);
+        let owned_by = b.add_edge_type("owned_by", i, u);
+        let mut item_feats = FeatureMatrix::zeros(n_items, 2);
+        let mut item_times = vec![0i64; n_items];
+        for (item, time) in item_times.iter_mut().enumerate() {
+            item_feats.row_mut(item)[0] = rng.gen_range(-1.0f64..1.0) as f32;
+            item_feats.row_mut(item)[1] = 1.0;
+            *time = rng.gen_range(0..50) * SECONDS_PER_DAY;
+        }
+        let mut labels = Vec::with_capacity(n_users);
+        for user in 0..n_users {
+            let mut total = 0.0;
+            for k in 0..3 {
+                // Deliberate overlap: consecutive users share items.
+                let item = (user + k * 7) % n_items;
+                total += item_feats.row(item)[0] as f64;
+                let t = item_times[item] + (k as i64 + 1) * SECONDS_PER_DAY;
+                b.add_edge(owns, user, item, t);
+                b.add_edge(owned_by, item, user, t);
+            }
+            labels.push(if total > 0.0 { 1.0 } else { 0.0 });
+        }
+        b.set_node_times(i, item_times);
+        b.set_features(i, item_feats);
+        b.set_features(u, FeatureMatrix::from_rows(n_users, 1, vec![1.0; n_users]));
+        let g = b.finish().unwrap();
+        let anchor = 100 * SECONDS_PER_DAY;
+        let examples = labels
+            .into_iter()
+            .enumerate()
+            .map(|(n, y)| {
+                (
+                    Seed {
+                        node_type: NodeTypeId(0),
+                        node: n,
+                        time: anchor,
+                    },
+                    y,
+                )
+            })
+            .collect();
+        (g, examples)
+    }
+
+    fn model_for(g: &HeteroGraph, examples: &[(Seed, f64)]) -> NodeModel {
+        let cfg = TrainConfig {
+            epochs: 6,
+            fanouts: vec![4, 4],
+            hidden_dim: 8,
+            seed: 3,
+            ..Default::default()
+        };
+        train_node_model(g, TaskKind::Binary, examples, &[], &cfg).unwrap()
+    }
+
+    #[test]
+    fn matches_per_seed_prediction_closely() {
+        let (g, examples) = shared_item_graph(40, 1);
+        let model = model_for(&g, &examples);
+        let seeds: Vec<Seed> = examples.iter().map(|&(s, _)| s).collect();
+        let reference = model.predict(&g, &seeds);
+        let nodes: Vec<usize> = seeds.iter().map(|s| s.node).collect();
+        let got = predict_nodes(
+            &model,
+            &g,
+            NodeTypeId(0),
+            &nodes,
+            seeds[0].time,
+            &mut NoCache,
+        );
+        assert_eq!(got.len(), reference.len());
+        for (i, (a, b)) in got.iter().zip(&reference).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9,
+                "seed {i}: per-node {a} vs per-seed {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn store_reuse_is_bit_identical() {
+        // A naive unbounded store: a second batch served entirely from the
+        // cache must reproduce the cold predictions bit for bit.
+        #[derive(Default)]
+        struct MapStore(HashMap<Key, Vec<f64>>);
+        impl EmbeddingStore for MapStore {
+            fn get(&mut self, ty: usize, node: usize, level: usize) -> Option<Vec<f64>> {
+                self.0.get(&(ty, node, level)).cloned()
+            }
+            fn put(&mut self, ty: usize, node: usize, level: usize, emb: Vec<f64>) {
+                self.0.insert((ty, node, level), emb);
+            }
+        }
+        let (g, examples) = shared_item_graph(30, 2);
+        let model = model_for(&g, &examples);
+        let nodes: Vec<usize> = examples.iter().map(|&(s, _)| s.node).collect();
+        let anchor = examples[0].0.time;
+        let mut store = MapStore::default();
+        let cold = predict_nodes(&model, &g, NodeTypeId(0), &nodes, anchor, &mut store);
+        assert!(!store.0.is_empty(), "store should have been populated");
+        let warm = predict_nodes(&model, &g, NodeTypeId(0), &nodes, anchor, &mut store);
+        for (a, b) in cold.iter().zip(&warm) {
+            assert_eq!(a.to_bits(), b.to_bits(), "warm diverged from cold");
+        }
+        // Partial caches (only some levels retained) must not change values
+        // either.
+        let mut partial = MapStore::default();
+        for (&(ty, node, level), emb) in store.0.iter() {
+            if (ty + node) % 3 == 0 {
+                partial.0.insert((ty, node, level), emb.clone());
+            }
+        }
+        let mixed = predict_nodes(&model, &g, NodeTypeId(0), &nodes, anchor, &mut partial);
+        for (a, b) in cold.iter().zip(&mixed) {
+            assert_eq!(a.to_bits(), b.to_bits(), "partial-cache run diverged");
+        }
+    }
+
+    #[test]
+    fn batch_deduplicates_shared_neighborhoods() {
+        let (g, examples) = shared_item_graph(40, 4);
+        let model = model_for(&g, &examples);
+        let nodes: Vec<usize> = examples.iter().map(|&(s, _)| s.node).collect();
+        let anchor = examples[0].0.time;
+        // Per-seed sampling visits ~|seeds| * (1 + 3 + 9) nodes; the deduped
+        // recursion can touch at most every (node, level) pair once.
+        let k = model.gnn().num_layers();
+        let max_unique: usize = (0..=k)
+            .map(|_| g.num_nodes(NodeTypeId(0)) + g.num_nodes(NodeTypeId(1)))
+            .sum();
+        // Duplicate the request list: identical predictions, no extra work.
+        let doubled: Vec<usize> = nodes.iter().chain(nodes.iter()).copied().collect();
+        let preds = predict_nodes(&model, &g, NodeTypeId(0), &doubled, anchor, &mut NoCache);
+        assert_eq!(preds.len(), doubled.len());
+        for (a, b) in preds[..nodes.len()].iter().zip(&preds[nodes.len()..]) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(max_unique > 0);
+    }
+}

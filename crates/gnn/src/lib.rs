@@ -55,6 +55,7 @@
 
 pub mod batch;
 pub mod error;
+pub mod infer;
 pub mod model;
 pub mod recommend;
 pub mod sage;
@@ -62,6 +63,7 @@ pub mod train;
 
 pub use batch::{build_batch, Batch};
 pub use error::{GnnError, GnnResult};
+pub use infer::{predict_nodes, EmbeddingStore, NoCache};
 pub use model::{GnnConfig, HeteroGnn};
 pub use recommend::{train_two_tower, TwoTowerConfig, TwoTowerModel};
 pub use sage::Aggregation;

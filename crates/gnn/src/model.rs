@@ -99,6 +99,21 @@ impl HeteroGnn {
         self.layers.len()
     }
 
+    /// The stacked layers (per-node inference path).
+    pub(crate) fn layers(&self) -> &[SageLayer] {
+        &self.layers
+    }
+
+    /// The MLP head (per-node inference path).
+    pub(crate) fn head(&self) -> &Mlp {
+        &self.head
+    }
+
+    /// Node type the head reads.
+    pub(crate) fn seed_type(&self) -> usize {
+        self.seed_type
+    }
+
     /// Forward a batch to per-seed outputs (`num_seeds × out_dim`).
     pub fn forward(
         &self,

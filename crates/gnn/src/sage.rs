@@ -104,6 +104,26 @@ impl SageLayer {
         self.out_dim
     }
 
+    /// Self transform for node type `t` (per-node inference path).
+    pub(crate) fn self_lin(&self, t: usize) -> &Linear {
+        &self.self_lin[t]
+    }
+
+    /// Message transform for edge type `e` (per-node inference path).
+    pub(crate) fn edge_lin(&self, e: usize) -> &Linear {
+        &self.edge_lin[e]
+    }
+
+    /// The layer's nonlinearity.
+    pub(crate) fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// The layer's aggregation function.
+    pub(crate) fn aggregation(&self) -> Aggregation {
+        self.aggregation
+    }
+
     /// Forward over all node types. `inputs[t]` is the `n_t × in_dims[t]`
     /// representation of type `t`; `edges[e]` the `(src_local, dst_local)`
     /// pairs of edge type `e`. Returns the new per-type representations.

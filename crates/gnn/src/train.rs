@@ -103,6 +103,26 @@ impl NodeModel {
         self.task
     }
 
+    /// Trained parameters (per-node inference path).
+    pub(crate) fn ps(&self) -> &ParamSet {
+        &self.ps
+    }
+
+    /// The underlying GNN (per-node inference path).
+    pub(crate) fn gnn(&self) -> &HeteroGnn {
+        &self.gnn
+    }
+
+    /// Label de-standardization constants (per-node inference path).
+    pub(crate) fn label_scale(&self) -> (f64, f64) {
+        (self.label_mean, self.label_std)
+    }
+
+    /// Sampler configuration the model was trained under.
+    pub fn sampler_cfg(&self) -> &SamplerConfig {
+        &self.sampler_cfg
+    }
+
     /// Number of trainable tensors.
     pub fn num_params(&self) -> usize {
         self.ps.len()

@@ -6,11 +6,11 @@
 //! (dataset, task, model, seed, …) that makes benchmark trajectories
 //! diagnosable per-stage rather than end-to-end.
 //!
-//! Schema (`schema_version` 1):
+//! Schema (`schema_version` 2):
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "name": "relgraph-cli",
 //!   "fingerprint": {"dataset": "demo:ecommerce", "task": "classification"},
 //!   "threads": 8,
@@ -21,9 +21,19 @@
 //!   "gauges": {"metric.auroc": 0.81},
 //!   "histograms": {"gnn.epoch_ms": {"count": 8, "sum": 80.0,
 //!                   "min": 9.0, "max": 12.0, "mean": 10.0}},
-//!   "series": {"gnn.train_loss": [0.69, 0.52]}
+//!   "series": {"gnn.train_loss": [0.69, 0.52]},
+//!   "cache": {"serve.cache.prediction.hits": 420,
+//!             "serve.cache.prediction.misses": 80}
 //! }
 //! ```
+//!
+//! Version history: **2** added the top-level `cache` object — a focused
+//! view of every counter whose name contains `.cache.` (hits, misses,
+//! evictions, invalidations, flushes from the serving engine's two cache
+//! tiers; derived hit rates are published as `*.hit_rate` gauges).
+//! Version-1 documents are identical minus that key, so readers must treat
+//! `cache` as optional — the parser in [`crate::json`] is schema-agnostic
+//! and reads both.
 
 use crate::json::{escape, num};
 use crate::registry::{
@@ -54,6 +64,10 @@ pub struct RunReport {
     pub histograms: Vec<(String, HistSummary)>,
     /// Ordered series (e.g. per-epoch losses), sorted by name.
     pub series: Vec<(String, Vec<f64>)>,
+    /// Cache counters (every counter whose name contains `.cache.`),
+    /// sorted by name. Zero-valued entries are kept so hit rates stay
+    /// computable. Added in schema version 2.
+    pub cache: Vec<(String, u64)>,
 }
 
 impl RunReport {
@@ -98,11 +112,16 @@ impl RunReport {
                 format!("{}: [{}]", escape(k), vals.join(", "))
             })
             .collect();
+        let cache: Vec<String> = self
+            .cache
+            .iter()
+            .map(|(k, v)| format!("{}: {v}", escape(k)))
+            .collect();
         format!(
-            "{{\n  \"schema_version\": 1,\n  \"name\": {},\n  \"fingerprint\": {{{}}},\n  \
+            "{{\n  \"schema_version\": 2,\n  \"name\": {},\n  \"fingerprint\": {{{}}},\n  \
              \"threads\": {},\n  \"total_ms\": {},\n  \"stages\": [{}],\n  \
              \"counters\": {{{}}},\n  \"gauges\": {{{}}},\n  \"histograms\": {{{}}},\n  \
-             \"series\": {{{}}}\n}}",
+             \"series\": {{{}}},\n  \"cache\": {{{}}}\n}}",
             escape(&self.name),
             fingerprint.join(", "),
             self.threads,
@@ -111,7 +130,8 @@ impl RunReport {
             counters.join(", "),
             gauges.join(", "),
             histograms.join(", "),
-            series.join(", ")
+            series.join(", "),
+            cache.join(", ")
         )
     }
 
@@ -172,6 +192,10 @@ pub fn emit_run_report(name: &str, fingerprint: &[(&str, &str)]) -> Option<RunRe
         gauges: gauges_snapshot(),
         histograms: histograms_snapshot(),
         series: series_snapshot(),
+        cache: counters_snapshot()
+            .into_iter()
+            .filter(|(k, _)| k.contains(".cache."))
+            .collect(),
     };
     let sink = r.sink.read().unwrap().clone();
     if let Some(sink) = sink {

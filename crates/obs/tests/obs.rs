@@ -160,7 +160,7 @@ fn run_report_serializes_and_parses() {
     assert_eq!(sink.reports().len(), 1);
 
     let doc = json::parse(&report.to_json()).expect("report JSON parses");
-    assert_eq!(doc.get("schema_version").unwrap().as_f64(), Some(1.0));
+    assert_eq!(doc.get("schema_version").unwrap().as_f64(), Some(2.0));
     assert_eq!(doc.get("name").unwrap().as_str(), Some("test-run"));
     assert_eq!(
         doc.get("fingerprint")
@@ -204,6 +204,62 @@ fn run_report_serializes_and_parses() {
             .as_f64(),
         Some(42.0)
     );
+}
+
+#[test]
+fn run_report_v2_surfaces_cache_counters() {
+    let (_sink, _guard) = fresh();
+    obs::add("serve.cache.prediction.hits", 420);
+    obs::add("serve.cache.prediction.misses", 80);
+    obs::add("serve.requests", 500); // not a cache counter
+    obs::gauge("serve.cache.prediction.hit_rate", 0.84);
+    let report = obs::emit_run_report("serve-run", &[]).unwrap();
+    // The struct carries the focused view…
+    assert!(report
+        .cache
+        .contains(&("serve.cache.prediction.hits".to_string(), 420)));
+    assert!(!report.cache.iter().any(|(k, _)| k == "serve.requests"));
+    // …and the JSON exposes it as the schema-2 top-level object.
+    let doc = json::parse(&report.to_json()).unwrap();
+    assert_eq!(doc.get("schema_version").unwrap().as_f64(), Some(2.0));
+    let cache = doc.get("cache").unwrap();
+    assert_eq!(
+        cache.get("serve.cache.prediction.misses").unwrap().as_f64(),
+        Some(80.0)
+    );
+    assert_eq!(
+        doc.get("gauges")
+            .unwrap()
+            .get("serve.cache.prediction.hit_rate")
+            .unwrap()
+            .as_f64(),
+        Some(0.84)
+    );
+}
+
+#[test]
+fn run_report_v1_documents_still_parse() {
+    // A report emitted before the `cache` section existed: readers must
+    // treat the key as optional, not required.
+    let v1 = r#"{
+  "schema_version": 1,
+  "name": "relgraph-cli",
+  "fingerprint": {"dataset": "toy"},
+  "threads": 1,
+  "total_ms": 12.5,
+  "stages": [],
+  "counters": {"rows": 42},
+  "gauges": {},
+  "histograms": {},
+  "series": {}
+}"#;
+    let doc = json::parse(v1).expect("version-1 report parses");
+    assert_eq!(doc.get("schema_version").unwrap().as_f64(), Some(1.0));
+    assert_eq!(
+        doc.get("counters").unwrap().get("rows").unwrap().as_f64(),
+        Some(42.0)
+    );
+    assert!(doc.get("cache").is_none(), "cache is absent pre-v2");
 }
 
 #[test]

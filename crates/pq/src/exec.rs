@@ -11,10 +11,10 @@ use relgraph_baselines::{
 };
 use relgraph_db2graph::{build_graph, ConvertOptions, GraphMapping};
 use relgraph_gnn::{
-    train_multiclass_model, train_node_model, train_two_tower, Aggregation, TaskKind, TrainConfig,
-    TwoTowerConfig,
+    train_multiclass_model, train_node_model, train_two_tower, Aggregation, NodeModel, TaskKind,
+    TrainConfig, TwoTowerConfig,
 };
-use relgraph_graph::{HeteroGraph, Seed};
+use relgraph_graph::{HeteroGraph, NodeTypeId, Seed};
 use relgraph_metrics as metrics;
 use relgraph_obs as obs;
 use relgraph_store::{Database, Timestamp, Value};
@@ -358,6 +358,96 @@ impl PreparedQuery {
         execute_analyzed_impl(db, &self.aq, &table, &self.cfg, None)
     }
 
+    /// Train the query's GNN node model against an already-compiled graph
+    /// and hand back the trained model itself instead of a one-shot
+    /// [`QueryOutcome`]. This is the serving entry point: the caller keeps
+    /// the [`FittedNodeModel`] alive and scores individual entities on a
+    /// maintained graph without retraining per request.
+    ///
+    /// Only classification and regression queries compiled to
+    /// [`ModelChoice::Gnn`] can be fitted this way; anything else is a
+    /// structured error. `graph`/`mapping` must describe `db` and must
+    /// have been built with [`ConvertOptions::default`] (see
+    /// [`run_on_graph`](Self::run_on_graph)).
+    pub fn fit_node_model(
+        &self,
+        db: &Database,
+        graph: &HeteroGraph,
+        mapping: &GraphMapping,
+    ) -> PqResult<FittedNodeModel> {
+        let _root = obs::span("pq.fit");
+        let aq = &self.aq;
+        let cfg = &self.cfg;
+        if cfg.model != ModelChoice::Gnn {
+            return Err(PqError::Execution(format!(
+                "serving requires the gnn model, but this query compiled to `{}`",
+                cfg.model
+            )));
+        }
+        if !matches!(aq.task, TaskType::Classification | TaskType::Regression) {
+            return Err(PqError::Execution(format!(
+                "serving supports classification and regression queries, not {}",
+                aq.task
+            )));
+        }
+        let table = build_training_table(db, aq, &cfg.traintable)?;
+        let node_type = resolve_covered_node_type(db, graph, mapping, &aq.entity_table, "entity")?;
+        let to_seed = |e: &Example| Seed {
+            node_type,
+            node: e.entity_row,
+            time: e.anchor,
+        };
+        let train: Vec<(Seed, f64)> = table
+            .train
+            .iter()
+            .map(|e| (to_seed(e), e.label.scalar()))
+            .collect();
+        let val: Vec<(Seed, f64)> = table
+            .val
+            .iter()
+            .map(|e| (to_seed(e), e.label.scalar()))
+            .collect();
+        let task = match aq.task {
+            TaskType::Classification => TaskKind::Binary,
+            _ => TaskKind::Regression,
+        };
+        let tc = TrainConfig {
+            epochs: cfg.epochs,
+            batch_size: cfg.batch_size,
+            lr: cfg.lr,
+            fanouts: cfg.fanouts.clone(),
+            hidden_dim: cfg.hidden_dim,
+            seed: cfg.seed,
+            temporal: cfg.temporal,
+            degree_features: cfg.degree_features,
+            aggregation: cfg.aggregation,
+            ..Default::default()
+        };
+        let model = train_node_model(graph, task, &train, &val, &tc)?;
+        let test_seeds: Vec<Seed> = table.test.iter().map(to_seed).collect();
+        let test_preds = model.predict(graph, &test_seeds);
+        let test_truth: Vec<f64> = table.test.iter().map(|e| e.label.scalar()).collect();
+        let metrics = node_metrics(aq.task, &test_preds, &test_truth);
+        Ok(FittedNodeModel {
+            model,
+            node_type,
+            metrics,
+        })
+    }
+
+    /// Entity rows alive (present at the deploy anchor and passing the
+    /// query's filter) in the database's current state — the population a
+    /// serving engine may legitimately be asked to score. Unlike
+    /// [`run`](Self::run) this does not apply `max_predictions`.
+    pub fn deploy_entities(&self, db: &Database) -> PqResult<Vec<usize>> {
+        alive_entities(db, &self.aq, deploy_anchor(db))
+    }
+
+    /// Primary-key value of an entity row (for labelling predictions).
+    pub fn entity_key_of(&self, db: &Database, row: usize) -> Value {
+        entity_key(db, &self.aq, row)
+    }
+
     /// Re-run against the database's current state using an
     /// already-compiled graph for the GNN arms (for non-GNN models the
     /// graph is simply unused). `graph`/`mapping` must describe `db` —
@@ -375,6 +465,20 @@ impl PreparedQuery {
         let table = build_training_table(db, &self.aq, &self.cfg.traintable)?;
         execute_analyzed_impl(db, &self.aq, &table, &self.cfg, Some((graph, mapping)))
     }
+}
+
+/// A prepared query trained all the way to a reusable GNN node model —
+/// the unit of deployment for the serving engine. Produced by
+/// [`PreparedQuery::fit_node_model`]; score entities with
+/// [`NodeModel::predict`] or the cached per-node path in `relgraph-gnn`.
+pub struct FittedNodeModel {
+    /// The trained model.
+    pub model: NodeModel,
+    /// Node type of the query's entity table in the fitting graph.
+    pub node_type: NodeTypeId,
+    /// Named test-split metrics from the fitting run (same set a full
+    /// [`QueryOutcome`] would report).
+    pub metrics: Vec<(String, f64)>,
 }
 
 /// Execute a pre-analyzed query with a pre-built training table (used by
@@ -428,6 +532,33 @@ fn execute_analyzed_impl(
 /// Deploy anchor: the latest timestamp in the database.
 fn deploy_anchor(db: &Database) -> Timestamp {
     db.time_span().map(|(_, hi)| hi).unwrap_or(0)
+}
+
+/// Resolve `table` to its node type and verify the graph covers every row
+/// the database currently holds for it. The GNN arms index the sampler with
+/// raw row ids, so a graph compiled from an older snapshot (or an empty one
+/// — zero rows at the anchor timestamp) would read out of bounds and panic
+/// deep inside the CSR. Surface the drift as a structured error instead.
+fn resolve_covered_node_type(
+    db: &Database,
+    graph: &HeteroGraph,
+    mapping: &GraphMapping,
+    table: &str,
+    role: &str,
+) -> PqResult<NodeTypeId> {
+    let node_type = mapping
+        .node_type(table)
+        .ok_or_else(|| PqError::Execution(format!("{role} table missing from graph")))?;
+    let rows = db.table(table)?.len();
+    let nodes = graph.num_nodes(node_type);
+    if nodes < rows {
+        return Err(PqError::Execution(format!(
+            "graph is stale for {role} table `{table}`: it has {nodes} node(s) but the \
+             database has {rows} row(s); rebuild the graph (or apply pending ingest \
+             deltas with update_graph) before running this query"
+        )));
+    }
+    Ok(node_type)
 }
 
 /// Entities alive at `anchor` and passing the filter, as row indices.
@@ -557,9 +688,8 @@ fn run_multiclass(
                     (&built.0, &built.1)
                 }
             };
-            let node_type = mapping
-                .node_type(&aq.entity_table)
-                .ok_or_else(|| PqError::Execution("entity table missing from graph".into()))?;
+            let node_type =
+                resolve_covered_node_type(db, graph, mapping, &aq.entity_table, "entity")?;
             let to_seed = |e: &Example| Seed {
                 node_type,
                 node: e.entity_row,
@@ -710,9 +840,8 @@ fn run_node_task(
                     (&built.0, &built.1)
                 }
             };
-            let node_type = mapping
-                .node_type(&aq.entity_table)
-                .ok_or_else(|| PqError::Execution("entity table missing from graph".into()))?;
+            let node_type =
+                resolve_covered_node_type(db, graph, mapping, &aq.entity_table, "entity")?;
             let to_seed = |e: &Example| Seed {
                 node_type,
                 node: e.entity_row,
@@ -967,12 +1096,9 @@ fn run_recommendation(
                     (&built.0, &built.1)
                 }
             };
-            let node_type = mapping
-                .node_type(&aq.entity_table)
-                .ok_or_else(|| PqError::Execution("entity table missing from graph".into()))?;
-            let item_type = mapping
-                .node_type(item_table_name)
-                .ok_or_else(|| PqError::Execution("item table missing from graph".into()))?;
+            let node_type =
+                resolve_covered_node_type(db, graph, mapping, &aq.entity_table, "entity")?;
+            let item_type = resolve_covered_node_type(db, graph, mapping, item_table_name, "item")?;
             let to_pairs = |examples: &[Example]| {
                 let mut pairs = Vec::new();
                 for e in examples {

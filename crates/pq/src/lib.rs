@@ -65,7 +65,8 @@ pub use analyze::{analyze, AnalyzedQuery, TaskType};
 pub use ast::{Agg, CmpOp, ColumnRef, Cond, Literal, PredictiveQuery, TargetExpr};
 pub use error::{PqError, PqResult};
 pub use exec::{
-    execute, ExecConfig, ModelChoice, Prediction, PredictionValue, PreparedQuery, QueryOutcome,
+    execute, ExecConfig, FittedNodeModel, ModelChoice, Prediction, PredictionValue, PreparedQuery,
+    QueryOutcome,
 };
 pub use explain::explain;
 pub use parser::parse;

@@ -309,111 +309,118 @@ pub fn build_training_table(
     // collect back in anchor order — identical output to the serial loop.
     let start_offset = aq.query.target.start_days * SECONDS_PER_DAY;
     let empty: Vec<(Timestamp, usize)> = Vec::new();
-    let per_anchor: Vec<Vec<Example>> = anchors
-        .par_iter()
-        .map(|&anchor| {
-            let mut examples = Vec::new();
-            for (erow, &pass) in filter_pass.iter().enumerate() {
-                if !pass {
+    let emit_anchor = |anchor: Timestamp| {
+        let mut examples = Vec::new();
+        for (erow, &pass) in filter_pass.iter().enumerate() {
+            if !pass {
+                continue;
+            }
+            if let Some(et) = entity.row_timestamp(erow) {
+                if et > anchor {
+                    continue; // entity does not exist yet
+                }
+            }
+            let rows = by_entity.get(&erow).unwrap_or(&empty);
+            let lo = rows.partition_point(|&(t, _)| t <= anchor + start_offset);
+            let hi = rows.partition_point(|&(t, _)| t <= anchor + end_offset);
+            let window = &rows[lo..hi];
+            let label = match aq.query.target.agg {
+                Agg::Count => Some(window.len() as f64),
+                Agg::Exists => Some(if window.is_empty() { 0.0 } else { 1.0 }),
+                Agg::CountDistinct => {
+                    let mut set = HashSet::new();
+                    for &(_, r) in window {
+                        if let Payload::Key(k) = payload(r) {
+                            set.insert(k);
+                        }
+                    }
+                    Some(set.len() as f64)
+                }
+                Agg::Sum => Some(
+                    window
+                        .iter()
+                        .filter_map(|&(_, r)| match payload(r) {
+                            Payload::Value(v) => Some(v),
+                            _ => None,
+                        })
+                        .sum(),
+                ),
+                Agg::Avg | Agg::Min | Agg::Max => {
+                    let vals: Vec<f64> = window
+                        .iter()
+                        .filter_map(|&(_, r)| match payload(r) {
+                            Payload::Value(v) => Some(v),
+                            _ => None,
+                        })
+                        .collect();
+                    if vals.is_empty() {
+                        None // aggregate undefined: skip this example
+                    } else {
+                        Some(match aq.query.target.agg {
+                            Agg::Avg => vals.iter().sum::<f64>() / vals.len() as f64,
+                            Agg::Min => vals.iter().cloned().fold(f64::INFINITY, f64::min),
+                            _ => vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                        })
+                    }
+                }
+                Agg::Mode => {
+                    // Most frequent value; ties break to the smallest
+                    // string for determinism. Empty windows are skipped.
+                    let mut counts: HashMap<String, usize> = HashMap::new();
+                    for &(_, r) in window {
+                        if let Payload::Key(k) = payload(r) {
+                            *counts.entry(k).or_insert(0) += 1;
+                        }
+                    }
+                    let best = counts
+                        .into_iter()
+                        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)));
+                    if let Some((class, _)) = best {
+                        examples.push(Example {
+                            entity_row: erow,
+                            anchor,
+                            label: Label::Class(class),
+                        });
+                    }
                     continue;
                 }
-                if let Some(et) = entity.row_timestamp(erow) {
-                    if et > anchor {
-                        continue; // entity does not exist yet
+                Agg::ListDistinct => {
+                    let mut seen = HashSet::new();
+                    let mut items = Vec::new();
+                    for &(_, r) in window {
+                        if let Payload::Item(i) = payload(r) {
+                            if seen.insert(i) {
+                                items.push(i);
+                            }
+                        }
                     }
+                    per_anchor_push_items(&mut examples, erow, anchor, items);
+                    continue;
                 }
-                let rows = by_entity.get(&erow).unwrap_or(&empty);
-                let lo = rows.partition_point(|&(t, _)| t <= anchor + start_offset);
-                let hi = rows.partition_point(|&(t, _)| t <= anchor + end_offset);
-                let window = &rows[lo..hi];
-                let label = match aq.query.target.agg {
-                    Agg::Count => Some(window.len() as f64),
-                    Agg::Exists => Some(if window.is_empty() { 0.0 } else { 1.0 }),
-                    Agg::CountDistinct => {
-                        let mut set = HashSet::new();
-                        for &(_, r) in window {
-                            if let Payload::Key(k) = payload(r) {
-                                set.insert(k);
-                            }
-                        }
-                        Some(set.len() as f64)
-                    }
-                    Agg::Sum => Some(
-                        window
-                            .iter()
-                            .filter_map(|&(_, r)| match payload(r) {
-                                Payload::Value(v) => Some(v),
-                                _ => None,
-                            })
-                            .sum(),
-                    ),
-                    Agg::Avg | Agg::Min | Agg::Max => {
-                        let vals: Vec<f64> = window
-                            .iter()
-                            .filter_map(|&(_, r)| match payload(r) {
-                                Payload::Value(v) => Some(v),
-                                _ => None,
-                            })
-                            .collect();
-                        if vals.is_empty() {
-                            None // aggregate undefined: skip this example
-                        } else {
-                            Some(match aq.query.target.agg {
-                                Agg::Avg => vals.iter().sum::<f64>() / vals.len() as f64,
-                                Agg::Min => vals.iter().cloned().fold(f64::INFINITY, f64::min),
-                                _ => vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
-                            })
-                        }
-                    }
-                    Agg::Mode => {
-                        // Most frequent value; ties break to the smallest
-                        // string for determinism. Empty windows are skipped.
-                        let mut counts: HashMap<String, usize> = HashMap::new();
-                        for &(_, r) in window {
-                            if let Payload::Key(k) = payload(r) {
-                                *counts.entry(k).or_insert(0) += 1;
-                            }
-                        }
-                        let best = counts
-                            .into_iter()
-                            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)));
-                        if let Some((class, _)) = best {
-                            examples.push(Example {
-                                entity_row: erow,
-                                anchor,
-                                label: Label::Class(class),
-                            });
-                        }
-                        continue;
-                    }
-                    Agg::ListDistinct => {
-                        let mut seen = HashSet::new();
-                        let mut items = Vec::new();
-                        for &(_, r) in window {
-                            if let Payload::Item(i) = payload(r) {
-                                if seen.insert(i) {
-                                    items.push(i);
-                                }
-                            }
-                        }
-                        per_anchor_push_items(&mut examples, erow, anchor, items);
-                        continue;
-                    }
-                };
-                let Some(mut v) = label else { continue };
-                if let Some((op, c)) = &aq.query.target.compare {
-                    let ord = v.partial_cmp(c).unwrap_or(std::cmp::Ordering::Equal);
-                    v = if op.eval(ord) { 1.0 } else { 0.0 };
-                }
-                examples.push(Example {
-                    entity_row: erow,
-                    anchor,
-                    label: Label::Scalar(v),
-                });
+            };
+            let Some(mut v) = label else { continue };
+            if let Some((op, c)) = &aq.query.target.compare {
+                let ord = v.partial_cmp(c).unwrap_or(std::cmp::Ordering::Equal);
+                v = if op.eval(ord) { 1.0 } else { 0.0 };
             }
-            examples
-        })
-        .collect();
+            examples.push(Example {
+                entity_row: erow,
+                anchor,
+                label: Label::Scalar(v),
+            });
+        }
+        examples
+    };
+    // Each anchor scans every entity once, so `anchors × entities` is the
+    // total work. Below the threshold the fan-out's spawn/collect overhead
+    // outweighs the win; run the identical closure serially instead.
+    const PAR_WORK_THRESHOLD: usize = 32_768;
+    let work = anchors.len().saturating_mul(entity.len());
+    let per_anchor: Vec<Vec<Example>> = if work < PAR_WORK_THRESHOLD {
+        anchors.iter().map(|&a| emit_anchor(a)).collect()
+    } else {
+        anchors.par_iter().map(|&a| emit_anchor(a)).collect()
+    };
 
     // Temporal split over anchors.
     let n = anchors.len();

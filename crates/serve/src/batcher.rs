@@ -1,0 +1,97 @@
+//! Size- and deadline-bounded request coalescing.
+//!
+//! Per-entity prediction requests arrive one at a time; scoring them one
+//! at a time wastes the batch inference path's neighborhood deduplication.
+//! [`MicroBatcher`] sits on an mpsc channel and groups requests into fused
+//! batches: a batch closes when it reaches `max_batch` items or when
+//! `deadline` has elapsed since its first item arrived — so a lone request
+//! waits at most one deadline, and a burst fills batches back to back.
+
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::time::{Duration, Instant};
+
+/// Coalesces items from a channel into bounded batches.
+pub struct MicroBatcher<T> {
+    rx: Receiver<T>,
+    max_batch: usize,
+    deadline: Duration,
+}
+
+impl<T> MicroBatcher<T> {
+    /// Batch up to `max_batch` items (≥ 1), waiting at most `deadline`
+    /// after the first item of each batch.
+    pub fn new(rx: Receiver<T>, max_batch: usize, deadline: Duration) -> Self {
+        MicroBatcher {
+            rx,
+            max_batch: max_batch.max(1),
+            deadline,
+        }
+    }
+
+    /// Block for the next batch. Returns `None` once the sending side has
+    /// disconnected and everything queued has been drained. A non-`None`
+    /// batch always holds at least one item.
+    pub fn next_batch(&self) -> Option<Vec<T>> {
+        let first = self.rx.recv().ok()?;
+        let mut batch = vec![first];
+        let close_at = Instant::now() + self.deadline;
+        while batch.len() < self.max_batch {
+            let now = Instant::now();
+            if now >= close_at {
+                break;
+            }
+            match self.rx.recv_timeout(close_at - now) {
+                Ok(item) => batch.push(item),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn queued_burst_fills_batches_to_the_size_bound() {
+        let (tx, rx) = mpsc::channel();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let b = MicroBatcher::new(rx, 4, Duration::from_millis(50));
+        assert_eq!(b.next_batch(), Some(vec![0, 1, 2, 3]));
+        assert_eq!(b.next_batch(), Some(vec![4, 5, 6, 7]));
+        assert_eq!(b.next_batch(), Some(vec![8, 9]));
+        assert_eq!(b.next_batch(), None);
+    }
+
+    #[test]
+    fn deadline_closes_a_partial_batch() {
+        let (tx, rx) = mpsc::channel();
+        let b = MicroBatcher::new(rx, 100, Duration::from_millis(10));
+        let sender = std::thread::spawn(move || {
+            tx.send(1).unwrap();
+            // Arrives after the deadline: must land in the *next* batch.
+            std::thread::sleep(Duration::from_millis(40));
+            tx.send(2).unwrap();
+        });
+        let first = b.next_batch().unwrap();
+        assert_eq!(first, vec![1], "deadline should close the batch early");
+        let second = b.next_batch().unwrap();
+        assert_eq!(second, vec![2]);
+        sender.join().unwrap();
+        assert_eq!(b.next_batch(), None);
+    }
+
+    #[test]
+    fn zero_sized_bound_is_clamped_to_one() {
+        let (tx, rx) = mpsc::channel();
+        tx.send(7).unwrap();
+        drop(tx);
+        let b = MicroBatcher::new(rx, 0, Duration::from_millis(1));
+        assert_eq!(b.next_batch(), Some(vec![7]));
+    }
+}

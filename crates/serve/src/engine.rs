@@ -1,0 +1,506 @@
+//! The serving engine: a fitted predictive query, a delta-maintained
+//! graph, and two cache tiers with precise ingest-driven invalidation.
+//!
+//! # Why warm and cold predictions are bit-identical
+//!
+//! A cached hop-ℓ embedding `h_ℓ(v)` is a pure function of
+//! `(type, node, level, anchor)` over the graph's current state, and
+//! [`relgraph_gnn::predict_nodes`] only ever *reuses* cache entries — it
+//! never produces a different value because one exists. So the cache can
+//! only be wrong by holding an entry whose inputs changed underneath it.
+//! [`ServeEngine::ingest`] closes exactly that hole:
+//!
+//! 1. **Dirty seeds (distance 0).** After appending a batch and applying
+//!    the graph delta, a node is *dirty* if its level-0 input row changed —
+//!    its feature row differs bitwise pre/post (z-score statistics shift on
+//!    append), it is an endpoint of a new edge (its neighbor list and
+//!    windowed degrees changed), or it is itself a new row.
+//! 2. **k-hop closure.** `h_ℓ(v)` reads embeddings of nodes up to ℓ hops
+//!    from `v`, so a dirty node at distance `d` from `v` can affect
+//!    `h_ℓ(v)` only when `ℓ ≥ d`. A BFS over the full adjacency (forward +
+//!    reverse edge types make neighbor-of symmetric) labels every node
+//!    within `k` hops of a dirty seed with its distance `d`.
+//! 3. **Precise eviction.** For each labelled node the engine drops cached
+//!    embeddings at levels `d..=k` and, for entity nodes, the tier-1
+//!    prediction. Entries at levels `< d` provably kept their inputs and
+//!    stay.
+//!
+//! If the ingest advanced the deploy anchor, *every* entry's anchor input
+//! changed (relative-age features, visibility windows), so both tiers are
+//! flushed wholesale instead. `tests/serving_equivalence.rs` holds the
+//! warm ≡ cold line under randomized ingest schedules.
+
+use std::collections::HashMap;
+
+use relgraph_db2graph::{
+    build_graph, update_graph, ConvertOptions, DeltaStats, GraphCursor, GraphMapping,
+};
+use relgraph_gnn::{predict_nodes, NodeModel};
+use relgraph_graph::{FeatureMatrix, HeteroGraph, NodeTypeId};
+use relgraph_obs as obs;
+use relgraph_pq::{ExecConfig, PreparedQuery};
+use relgraph_store::{Database, IngestPolicy, IngestReport, RowBatch, Timestamp, Value};
+
+use crate::cache::{CacheStats, EmbeddingCache, Lru};
+use crate::error::{ServeError, ServeResult};
+
+/// Serving knobs: batch bounds and cache capacities.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Most requests fused into one inference batch.
+    pub max_batch: usize,
+    /// Longest a batch waits for co-travellers after its first request.
+    pub batch_deadline: std::time::Duration,
+    /// Capacity of the final-prediction tier (entries).
+    pub prediction_cache: usize,
+    /// Capacity of the node-embedding tier (entries).
+    pub embedding_cache: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 32,
+            batch_deadline: std::time::Duration::from_millis(5),
+            prediction_cache: 4096,
+            embedding_cache: 65536,
+        }
+    }
+}
+
+/// What one [`ServeEngine::ingest`] call did.
+#[derive(Debug, Clone, Default)]
+pub struct IngestOutcome {
+    /// The store's validation/apply report.
+    pub report: IngestReport,
+    /// The graph delta that was applied.
+    pub delta: DeltaStats,
+    /// Dirty nodes found (distance-0 seeds plus their k-hop closure).
+    pub dirty_nodes: usize,
+    /// Embedding entries evicted by precise invalidation.
+    pub invalidated_embeddings: u64,
+    /// Prediction entries evicted by precise invalidation.
+    pub invalidated_predictions: u64,
+    /// True when both tiers were flushed wholesale (anchor advanced).
+    pub flushed: bool,
+    /// True when the delta failed and the graph was rebuilt from scratch.
+    pub rebuilt: bool,
+}
+
+/// A query fitted once and served many times over a maintained graph.
+pub struct ServeEngine {
+    db: Database,
+    graph: HeteroGraph,
+    mapping: GraphMapping,
+    cursor: GraphCursor,
+    opts: ConvertOptions,
+    query: PreparedQuery,
+    model: NodeModel,
+    node_type: NodeTypeId,
+    metrics: Vec<(String, f64)>,
+    anchor: Timestamp,
+    hops: usize,
+    predictions: Lru<usize, f64>,
+    embeddings: EmbeddingCache,
+    stats: CacheStats,
+    cfg: ServeConfig,
+}
+
+impl ServeEngine {
+    /// Compile the database to a graph, train the query's GNN model on it,
+    /// and wrap everything into a warm-startable engine. Fails for queries
+    /// that do not compile to a node-level GNN model (see
+    /// [`PreparedQuery::fit_node_model`]).
+    pub fn fit(
+        db: Database,
+        query_text: &str,
+        exec: &ExecConfig,
+        cfg: ServeConfig,
+    ) -> ServeResult<Self> {
+        let _span = obs::span("serve.fit");
+        let opts = ConvertOptions::default();
+        let (graph, mapping) = build_graph(&db, &opts)?;
+        let query = PreparedQuery::prepare(&db, query_text, exec)?;
+        let fitted = query.fit_node_model(&db, &graph, &mapping)?;
+        let cursor = GraphCursor::capture(&db);
+        let anchor = deploy_anchor(&db);
+        let hops = fitted.model.sampler_cfg().fanouts.len();
+        Ok(ServeEngine {
+            db,
+            graph,
+            mapping,
+            cursor,
+            opts,
+            query,
+            model: fitted.model,
+            node_type: fitted.node_type,
+            metrics: fitted.metrics,
+            anchor,
+            hops,
+            predictions: Lru::new(cfg.prediction_cache),
+            embeddings: EmbeddingCache::new(cfg.embedding_cache),
+            stats: CacheStats::default(),
+            cfg,
+        })
+    }
+
+    /// Score entity rows, coalesced into one fused inference pass. Cached
+    /// predictions short-circuit; the rest run through the deduplicating
+    /// per-node path against the embedding tier. Output order matches
+    /// input order; duplicate rows are computed once.
+    pub fn predict_batch(&mut self, rows: &[usize]) -> Vec<f64> {
+        let t0 = std::time::Instant::now();
+        let mut out = vec![0.0f64; rows.len()];
+        let mut miss_rows: Vec<usize> = Vec::new();
+        let mut miss_slot: HashMap<usize, usize> = HashMap::new();
+        let mut miss_positions: Vec<(usize, usize)> = Vec::new(); // (out idx, miss idx)
+        for (i, &row) in rows.iter().enumerate() {
+            if let Some(&p) = self.predictions.get(&row) {
+                self.stats.prediction_hits += 1;
+                out[i] = p;
+            } else if let Some(&slot) = miss_slot.get(&row) {
+                // Duplicate within the batch: one compute, many answers —
+                // still a miss for accounting (nothing was cached).
+                self.stats.prediction_misses += 1;
+                miss_positions.push((i, slot));
+            } else {
+                self.stats.prediction_misses += 1;
+                let slot = miss_rows.len();
+                miss_rows.push(row);
+                miss_slot.insert(row, slot);
+                miss_positions.push((i, slot));
+            }
+        }
+        if !miss_rows.is_empty() {
+            let preds = predict_nodes(
+                &self.model,
+                &self.graph,
+                self.node_type,
+                &miss_rows,
+                self.anchor,
+                &mut self.embeddings,
+            );
+            for (&row, &p) in miss_rows.iter().zip(&preds) {
+                self.predictions.insert(row, p);
+            }
+            for (i, slot) in miss_positions {
+                out[i] = preds[slot];
+            }
+        }
+        self.sync_stats();
+        if obs::enabled() {
+            obs::add("serve.requests", rows.len() as u64);
+            obs::observe("serve.batch.occupancy", rows.len() as f64);
+            obs::record_ns("serve.predict", t0.elapsed().as_nanos() as u64);
+        }
+        out
+    }
+
+    /// Score one entity row.
+    pub fn predict_row(&mut self, row: usize) -> f64 {
+        self.predict_batch(&[row])[0]
+    }
+
+    /// Resolve primary-key values to rows and score them as one batch.
+    /// Unknown keys get per-request errors; the rest are still fused.
+    pub fn predict_batch_keys(&mut self, keys: &[Value]) -> Vec<ServeResult<f64>> {
+        let entity_table = self.query.analyzed().entity_table.clone();
+        let mut rows: Vec<Option<usize>> = Vec::with_capacity(keys.len());
+        {
+            let table = match self.db.table(&entity_table) {
+                Ok(t) => t,
+                Err(e) => {
+                    return keys
+                        .iter()
+                        .map(|_| Err(ServeError::from(e.clone())))
+                        .collect()
+                }
+            };
+            for key in keys {
+                rows.push(table.row_by_key(key));
+            }
+        }
+        let found: Vec<usize> = rows.iter().filter_map(|r| *r).collect();
+        let preds = self.predict_batch(&found);
+        let mut it = preds.into_iter();
+        keys.iter()
+            .zip(rows)
+            .map(|(key, row)| match row {
+                Some(_) => Ok(it.next().expect("one prediction per resolved row")),
+                None => Err(ServeError::UnknownEntity {
+                    table: entity_table.clone(),
+                    key: key.to_string(),
+                }),
+            })
+            .collect()
+    }
+
+    /// Append a validated batch, maintain the graph incrementally, and
+    /// invalidate exactly the cache entries the delta can have touched
+    /// (module docs spell out the argument). If the delta fails (dangling
+    /// reference, schema drift) the engine rebuilds the graph from scratch
+    /// and flushes both tiers rather than serving from a poisoned graph.
+    pub fn ingest(&mut self, batch: RowBatch, policy: &IngestPolicy) -> ServeResult<IngestOutcome> {
+        let _span = obs::span("serve.ingest");
+        let pre_lens: Vec<usize> = self.db.tables().iter().map(|t| t.len()).collect();
+        let report = self.db.ingest(batch, policy)?;
+        let mut outcome = IngestOutcome {
+            report,
+            ..Default::default()
+        };
+
+        // Tables that grew, with their node types and pre-ingest feature
+        // matrices (the delta re-featurizes grown tables in full; the
+        // bitwise row diff below needs the "before").
+        let mut grown: Vec<(usize, NodeTypeId, usize)> = Vec::new();
+        for (i, t) in self.db.tables().iter().enumerate() {
+            if t.len() > pre_lens[i] {
+                let nt = self.mapping.node_type(t.name()).ok_or_else(|| {
+                    ServeError::Engine(format!("table `{}` missing from graph mapping", t.name()))
+                })?;
+                grown.push((i, nt, pre_lens[i]));
+            }
+        }
+        let pre_features: Vec<FeatureMatrix> = grown
+            .iter()
+            .map(|&(_, nt, _)| self.graph.features(nt).clone())
+            .collect();
+
+        match update_graph(
+            &self.db,
+            &mut self.graph,
+            &mut self.mapping,
+            &mut self.cursor,
+            &self.opts,
+        ) {
+            Ok(delta) => outcome.delta = delta,
+            Err(_) => {
+                // The graph may hold a partial delta; rebuild it wholesale.
+                let (graph, mapping) = build_graph(&self.db, &self.opts)?;
+                self.graph = graph;
+                self.mapping = mapping;
+                self.cursor = GraphCursor::capture(&self.db);
+                self.anchor = deploy_anchor(&self.db);
+                self.flush_caches();
+                outcome.rebuilt = true;
+                outcome.flushed = true;
+                return Ok(outcome);
+            }
+        }
+
+        let new_anchor = deploy_anchor(&self.db);
+        if new_anchor != self.anchor {
+            // Every cached value took the anchor as an input (age features,
+            // visibility windows, seed time): nothing survives.
+            self.anchor = new_anchor;
+            self.flush_caches();
+            outcome.flushed = true;
+            return Ok(outcome);
+        }
+
+        // Distance-0 dirty seeds: bitwise-changed feature rows, endpoints
+        // of new edges, and the new rows themselves.
+        let mut dist: HashMap<(usize, usize), usize> = HashMap::new();
+        for (&(ti, nt, pre_len), pre) in grown.iter().zip(&pre_features) {
+            let post = self.graph.features(nt);
+            if pre.dim() != post.dim() {
+                for row in 0..post.rows() {
+                    dist.insert((nt.0, row), 0);
+                }
+                continue;
+            }
+            for row in 0..pre_len.min(post.rows()) {
+                let changed = pre
+                    .row(row)
+                    .iter()
+                    .zip(post.row(row))
+                    .any(|(a, b)| a.to_bits() != b.to_bits());
+                if changed {
+                    dist.insert((nt.0, row), 0);
+                }
+            }
+            for row in pre_len..post.rows() {
+                dist.insert((nt.0, row), 0);
+            }
+            let table = &self.db.tables()[ti];
+            for fk in table.schema().foreign_keys() {
+                let target = self.db.table(&fk.referenced_table)?;
+                let target_nt = self.mapping.node_type(target.name()).ok_or_else(|| {
+                    ServeError::Engine(format!(
+                        "table `{}` missing from graph mapping",
+                        target.name()
+                    ))
+                })?;
+                let col = table
+                    .column_by_name(&fk.column)
+                    .expect("schema guarantees the FK column exists");
+                for row in pre_len..table.len() {
+                    let key = col.get(row);
+                    if key.is_null() {
+                        continue;
+                    }
+                    if let Some(dst) = target.row_by_key(&key) {
+                        dist.insert((target_nt.0, dst), 0);
+                    }
+                }
+            }
+        }
+
+        // k-hop closure over the full adjacency; `dist` keeps the shortest
+        // distance to any dirty seed.
+        let mut frontier: Vec<(usize, usize)> = dist.keys().copied().collect();
+        for d in 1..=self.hops {
+            let mut next = Vec::new();
+            for &(ty, node) in &frontier {
+                for &et in self.graph.edge_types_from(NodeTypeId(ty)) {
+                    let dst_ty = self.graph.edge_type(et).dst.0;
+                    let (nbrs, _) = self.graph.neighbor_slices(et, node);
+                    for &nbr in nbrs {
+                        let key = (dst_ty, nbr as usize);
+                        if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(key) {
+                            e.insert(d);
+                            next.push(key);
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+
+        // Evict embeddings at levels d..=k and predictions of entity nodes.
+        let entity_ty = self.node_type.0;
+        for (&(ty, node), &d) in &dist {
+            for level in d..=self.hops {
+                if self.embeddings.invalidate(ty, node, level) {
+                    outcome.invalidated_embeddings += 1;
+                }
+            }
+            if ty == entity_ty && self.predictions.remove(&node) {
+                outcome.invalidated_predictions += 1;
+            }
+        }
+        outcome.dirty_nodes = dist.len();
+        self.stats.invalidated_embeddings += outcome.invalidated_embeddings;
+        self.stats.invalidated_predictions += outcome.invalidated_predictions;
+        self.sync_stats();
+        if obs::enabled() {
+            obs::add("serve.ingest.dirty_nodes", outcome.dirty_nodes as u64);
+            obs::add(
+                "serve.cache.embedding.invalidations",
+                outcome.invalidated_embeddings,
+            );
+            obs::add(
+                "serve.cache.prediction.invalidations",
+                outcome.invalidated_predictions,
+            );
+        }
+        Ok(outcome)
+    }
+
+    fn flush_caches(&mut self) {
+        self.predictions.clear();
+        self.embeddings.clear();
+        self.stats.flushes += 1;
+        if obs::enabled() {
+            obs::add("serve.cache.flushes", 1);
+        }
+    }
+
+    fn sync_stats(&mut self) {
+        self.stats.prediction_evictions = self.predictions.evictions;
+        self.stats.embedding_hits = self.embeddings.hits;
+        self.stats.embedding_misses = self.embeddings.misses;
+        self.stats.embedding_evictions = self.embeddings.evictions();
+    }
+
+    /// Publish cache counters and hit-rate gauges through `relgraph-obs`
+    /// (`serve.cache.*`, surfaced in run reports as the schema-version-2
+    /// `cache` section). Counters are monotonic, so this emits deltas
+    /// against what was last published — call it at any cadence.
+    pub fn publish_stats(&self) {
+        if !obs::enabled() {
+            return;
+        }
+        let s = &self.stats;
+        for (name, value) in [
+            ("serve.cache.prediction.hits", s.prediction_hits),
+            ("serve.cache.prediction.misses", s.prediction_misses),
+            ("serve.cache.prediction.evictions", s.prediction_evictions),
+            ("serve.cache.embedding.hits", s.embedding_hits),
+            ("serve.cache.embedding.misses", s.embedding_misses),
+            ("serve.cache.embedding.evictions", s.embedding_evictions),
+        ] {
+            let published = obs::counter_value(name);
+            obs::add(name, value.saturating_sub(published));
+        }
+        if let Some(r) = s.prediction_hit_rate() {
+            obs::gauge("serve.cache.prediction.hit_rate", r);
+        }
+        if let Some(r) = s.embedding_hit_rate() {
+            obs::gauge("serve.cache.embedding.hit_rate", r);
+        }
+    }
+
+    /// Cumulative cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The database being served (append via [`ingest`](Self::ingest)).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The maintained graph.
+    pub fn graph(&self) -> &HeteroGraph {
+        &self.graph
+    }
+
+    /// The graph's table↔node-type mapping.
+    pub fn mapping(&self) -> &GraphMapping {
+        &self.mapping
+    }
+
+    /// The fitted model.
+    pub fn model(&self) -> &NodeModel {
+        &self.model
+    }
+
+    /// Node type of the entity table.
+    pub fn node_type(&self) -> NodeTypeId {
+        self.node_type
+    }
+
+    /// Current deploy anchor (latest timestamp in the database).
+    pub fn anchor(&self) -> Timestamp {
+        self.anchor
+    }
+
+    /// Test-split metrics from the fitting run.
+    pub fn fit_metrics(&self) -> &[(String, f64)] {
+        &self.metrics
+    }
+
+    /// The prepared query this engine serves.
+    pub fn query(&self) -> &PreparedQuery {
+        &self.query
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Entity rows that may legitimately be scored right now.
+    pub fn deploy_entities(&self) -> ServeResult<Vec<usize>> {
+        Ok(self.query.deploy_entities(&self.db)?)
+    }
+}
+
+/// Deploy anchor: the latest timestamp in the database.
+fn deploy_anchor(db: &Database) -> Timestamp {
+    db.time_span().map(|(_, hi)| hi).unwrap_or(0)
+}

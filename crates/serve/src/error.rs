@@ -1,0 +1,63 @@
+//! Serving errors: every layer underneath (store, conversion, query) plus
+//! the engine's own request-level failures.
+
+use relgraph_db2graph::ConvertError;
+use relgraph_pq::PqError;
+use relgraph_store::StoreError;
+
+/// Anything the serving engine can fail with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Underlying store error (ingest, table lookup).
+    Store(StoreError),
+    /// Graph construction/maintenance error.
+    Convert(ConvertError),
+    /// Query preparation or model fitting error.
+    Pq(PqError),
+    /// A request named an entity key the entity table does not hold.
+    UnknownEntity {
+        /// The entity table searched.
+        table: String,
+        /// The offending primary-key value, rendered.
+        key: String,
+    },
+    /// Engine-internal invariant violation (mapping drift and the like).
+    Engine(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Store(e) => write!(f, "store error: {e}"),
+            ServeError::Convert(e) => write!(f, "graph error: {e}"),
+            ServeError::Pq(e) => write!(f, "query error: {e}"),
+            ServeError::UnknownEntity { table, key } => {
+                write!(f, "unknown entity `{key}` in table `{table}`")
+            }
+            ServeError::Engine(msg) => write!(f, "serving engine error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+impl From<ConvertError> for ServeError {
+    fn from(e: ConvertError) -> Self {
+        ServeError::Convert(e)
+    }
+}
+
+impl From<PqError> for ServeError {
+    fn from(e: PqError) -> Self {
+        ServeError::Pq(e)
+    }
+}
+
+/// Convenience alias.
+pub type ServeResult<T> = Result<T, ServeError>;

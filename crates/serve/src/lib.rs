@@ -1,0 +1,50 @@
+//! # relgraph-serve
+//!
+//! High-throughput prediction serving over a fitted predictive query:
+//! train once, then answer per-entity requests from a maintained graph at
+//! interactive latency.
+//!
+//! * [`engine`] — [`ServeEngine`]: owns the database, the incrementally
+//!   maintained graph, the trained model, and a two-tier cache (final
+//!   predictions + hop-ℓ node embeddings) with **precise delta
+//!   invalidation**: each ingested batch marks exactly the nodes whose
+//!   inputs changed and evicts cached state within k hops of them, so
+//!   cache-warm predictions stay bit-identical to a cold rebuild;
+//! * [`batcher`] — [`MicroBatcher`]: size- and deadline-bounded request
+//!   coalescing, feeding the deduplicating batch inference path in
+//!   `relgraph-gnn`;
+//! * [`cache`] — the bounded [`Lru`] both tiers are built from, plus
+//!   [`CacheStats`] accounting surfaced in run reports;
+//! * [`protocol`] — the `relgraph serve` JSONL wire format.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use relgraph_datagen::{generate_ecommerce, EcommerceConfig};
+//! use relgraph_pq::ExecConfig;
+//! use relgraph_serve::{ServeConfig, ServeEngine};
+//!
+//! let db = generate_ecommerce(&EcommerceConfig::default()).unwrap();
+//! let mut engine = ServeEngine::fit(
+//!     db,
+//!     "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id",
+//!     &ExecConfig::default(),
+//!     ServeConfig::default(),
+//! ).unwrap();
+//! let p = engine.predict_row(0); // cold: computes + caches
+//! assert_eq!(engine.predict_row(0), p); // warm: served from cache
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod protocol;
+
+pub use batcher::MicroBatcher;
+pub use cache::{CacheStats, EmbeddingCache, Lru};
+pub use engine::{IngestOutcome, ServeConfig, ServeEngine};
+pub use error::{ServeError, ServeResult};
+pub use protocol::{parse_request, response_err, response_ok, Request};

@@ -7,6 +7,7 @@
 //!   relgraph --demo ecommerce --query "PREDICT EXISTS(orders.*, 0, 30) FOR EACH customers.customer_id"
 //!   relgraph --data ./mydb    --query "…" [--explain-only] [--top 20] [--export-demo DIR]
 //!   relgraph ingest --data ./mydb --batch orders=new_orders.csv [--policy coerce] [--query "…"]
+//!   relgraph serve  --demo ecommerce --query "…"   # JSONL request loop on stdin
 //!
 //! OPTIONS:
 //!   --data <DIR>        load <DIR>/schema.ddl + <table>.csv files
@@ -25,6 +26,18 @@
 //!   --query <PQL>       after ingesting, re-run this predictive query on
 //!                       the incrementally-updated graph
 //!   --save <DIR>        write the updated database back out to DIR
+//!
+//! SERVE OPTIONS (relgraph serve …):
+//!   --max-batch <N>     most requests fused into one inference batch (default 32)
+//!   --deadline-ms <N>   micro-batch deadline in milliseconds (default 5)
+//!   --pred-cache <N>    prediction-cache capacity (default 4096)
+//!   --emb-cache <N>     embedding-cache capacity (default 65536)
+//!
+//! `relgraph serve` trains the query's GNN model once, then reads one JSON
+//! request per stdin line (`{"id": 7, "entity": 1042}`) and answers each
+//! with one JSON response line (`{"id": 7, "prediction": 0.83}` or
+//! `{"id": 7, "error": "…"}`). Requests are micro-batched and served from
+//! a two-tier cache; a latency/hit-rate summary lands on stderr at EOF.
 //! ```
 //!
 //! Set `RELGRAPH_OBS=stderr` for a per-stage timing tree on stderr, or
@@ -45,6 +58,7 @@ use relgraph::pq::{
     analyze, build_training_table, execute, explain, parse, ExecConfig, PredictionValue,
     PreparedQuery,
 };
+use relgraph::serve::{protocol as serve_protocol, MicroBatcher, ServeConfig, ServeEngine};
 use relgraph::store::{
     load_database_dir, save_database_dir, Database, IngestPolicy, PolicyAction, RowBatch,
 };
@@ -389,13 +403,228 @@ fn run_ingest(it: impl Iterator<Item = String>) -> Result<(), String> {
     Ok(())
 }
 
+struct ServeArgs {
+    data: Option<String>,
+    demo: Option<String>,
+    query: String,
+    seed: u64,
+    cfg: ServeConfig,
+}
+
+fn serve_usage() -> &'static str {
+    "usage: relgraph serve (--data DIR | --demo NAME) --query 'PREDICT …' \
+     [--seed N] [--max-batch N] [--deadline-ms N] [--pred-cache N] [--emb-cache N]"
+}
+
+fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
+    let mut data = None;
+    let mut demo = None;
+    let mut query = None;
+    let mut seed = 7u64;
+    let mut cfg = ServeConfig::default();
+    let mut it = it;
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", serve_usage()))
+        };
+        let number = |name: &str, v: String| {
+            v.parse::<u64>()
+                .map_err(|_| format!("{name} needs a number"))
+        };
+        match flag.as_str() {
+            "--data" => data = Some(value("--data")?),
+            "--demo" => demo = Some(value("--demo")?),
+            "--query" | "-q" => query = Some(value("--query")?),
+            "--seed" => seed = number("--seed", value("--seed")?)?,
+            "--max-batch" => cfg.max_batch = number("--max-batch", value("--max-batch")?)? as usize,
+            "--deadline-ms" => {
+                cfg.batch_deadline = std::time::Duration::from_millis(number(
+                    "--deadline-ms",
+                    value("--deadline-ms")?,
+                )?)
+            }
+            "--pred-cache" => {
+                cfg.prediction_cache = number("--pred-cache", value("--pred-cache")?)? as usize
+            }
+            "--emb-cache" => {
+                cfg.embedding_cache = number("--emb-cache", value("--emb-cache")?)? as usize
+            }
+            "--help" | "-h" => return Err(serve_usage().to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{}", serve_usage())),
+        }
+    }
+    Ok(ServeArgs {
+        data,
+        demo,
+        query: query.ok_or_else(|| format!("--query is required\n{}", serve_usage()))?,
+        seed,
+        cfg,
+    })
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// `relgraph serve`: fit the query once, then answer JSONL prediction
+/// requests from stdin — micro-batched, cache-warm, one response line per
+/// request line (malformed lines included).
+fn run_serve(it: impl Iterator<Item = String>) -> Result<(), String> {
+    use std::io::{BufRead, Write};
+
+    let args = parse_serve_args(it)?;
+    relgraph::obs::init_from_env();
+    let loader = Args {
+        data: args.data.clone(),
+        demo: args.demo.clone(),
+        query: None,
+        explain_only: false,
+        top: 10,
+        seed: args.seed,
+        export_demo: None,
+    };
+    let db = load(&loader)?;
+    eprintln!("{}", db.summary());
+
+    let exec = ExecConfig {
+        seed: args.seed,
+        max_predictions: None,
+        ..Default::default()
+    };
+    eprintln!("fitting model…");
+    let t_fit = std::time::Instant::now();
+    let mut engine =
+        ServeEngine::fit(db, &args.query, &exec, args.cfg.clone()).map_err(|e| e.to_string())?;
+    let mut fit_line = format!("model fitted in {:.1}s;", t_fit.elapsed().as_secs_f64());
+    for (name, v) in engine.fit_metrics() {
+        fit_line.push_str(&format!(" {name}={v:.4}"));
+    }
+    eprintln!("{fit_line}");
+    eprintln!(
+        "serving on stdin (max batch {}, deadline {:?}); one JSON request per line",
+        args.cfg.max_batch, args.cfg.batch_deadline
+    );
+
+    // Reader thread feeds the micro-batcher; the main thread serves.
+    let (tx, rx) = std::sync::mpsc::channel::<String>();
+    let reader = std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(_) => break,
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    let batcher = MicroBatcher::new(rx, args.cfg.max_batch, args.cfg.batch_deadline);
+
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut latencies_us: Vec<f64> = Vec::new();
+    let mut occupancy_sum = 0usize;
+    let mut batches = 0usize;
+    let mut responses = 0usize;
+    while let Some(lines) = batcher.next_batch() {
+        let t0 = std::time::Instant::now();
+        // Parse every line; score the parseable ones as one fused batch.
+        let parsed: Vec<Result<serve_protocol::Request, String>> = lines
+            .iter()
+            .map(|l| serve_protocol::parse_request(l))
+            .collect();
+        let keys: Vec<relgraph::store::Value> = parsed
+            .iter()
+            .filter_map(|r| r.as_ref().ok().map(|req| req.entity.clone()))
+            .collect();
+        let scored = engine.predict_batch_keys(&keys);
+        let mut scored_it = scored.into_iter();
+        for p in &parsed {
+            let line = match p {
+                Ok(req) => match scored_it.next().expect("one result per parsed request") {
+                    Ok(pred) => serve_protocol::response_ok(req.id, pred),
+                    Err(e) => serve_protocol::response_err(Some(req.id), &e.to_string()),
+                },
+                Err(msg) => serve_protocol::response_err(None, msg),
+            };
+            writeln!(out, "{line}").map_err(|e| e.to_string())?;
+            responses += 1;
+        }
+        out.flush().map_err(|e| e.to_string())?;
+        let us = t0.elapsed().as_secs_f64() * 1e6;
+        let per_request = us / lines.len() as f64;
+        for _ in 0..lines.len() {
+            latencies_us.push(per_request);
+            relgraph::obs::observe("serve.latency_us", per_request);
+        }
+        occupancy_sum += lines.len();
+        batches += 1;
+    }
+    reader.join().map_err(|_| "stdin reader panicked")?;
+
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let stats = engine.stats();
+    eprintln!(
+        "served {responses} request(s) in {batches} batch(es) \
+         (mean occupancy {:.1})",
+        if batches > 0 {
+            occupancy_sum as f64 / batches as f64
+        } else {
+            0.0
+        }
+    );
+    eprintln!(
+        "latency p50 {:.0} us, p99 {:.0} us; prediction cache hit rate {}, \
+         embedding cache hit rate {}",
+        percentile(&latencies_us, 50.0),
+        percentile(&latencies_us, 99.0),
+        stats
+            .prediction_hit_rate()
+            .map(|r| format!("{:.1}%", r * 100.0))
+            .unwrap_or_else(|| "n/a".to_string()),
+        stats
+            .embedding_hit_rate()
+            .map(|r| format!("{:.1}%", r * 100.0))
+            .unwrap_or_else(|| "n/a".to_string()),
+    );
+    engine.publish_stats();
+    relgraph::obs::emit_run_report(
+        "relgraph-serve",
+        &[
+            (
+                "dataset",
+                args.demo
+                    .as_deref()
+                    .or(args.data.as_deref())
+                    .unwrap_or("unknown"),
+            ),
+            ("seed", &args.seed.to_string()),
+        ],
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1).peekable();
-    let result = if argv.peek().map(String::as_str) == Some("ingest") {
-        argv.next();
-        run_ingest(argv)
-    } else {
-        run()
+    let result = match argv.peek().map(String::as_str) {
+        Some("ingest") => {
+            argv.next();
+            run_ingest(argv)
+        }
+        Some("serve") => {
+            argv.next();
+            run_serve(argv)
+        }
+        _ => run(),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -46,6 +46,7 @@
 //! | [`nn`] | `relgraph-nn` | layers, losses, optimizers |
 //! | [`gnn`] | `relgraph-gnn` | hetero-SAGE models, trainers, two-tower |
 //! | [`pq`] | `relgraph-pq` | the predictive query language + executor |
+//! | [`serve`] | `relgraph-serve` | micro-batched serving + cached inference |
 //! | [`baselines`] | `relgraph-baselines` | feature engineering + tabular models |
 //! | [`datagen`] | `relgraph-datagen` | seeded synthetic databases |
 //! | [`metrics`] | `relgraph-metrics` | AUROC / MAE / MAP@K … |
@@ -60,6 +61,7 @@ pub use relgraph_metrics as metrics;
 pub use relgraph_nn as nn;
 pub use relgraph_obs as obs;
 pub use relgraph_pq as pq;
+pub use relgraph_serve as serve;
 pub use relgraph_store as store;
 pub use relgraph_tensor as tensor;
 

@@ -4,6 +4,7 @@
 //! failure modes.
 
 use relgraph::datagen::{generate_ecommerce, EcommerceConfig};
+use relgraph::db2graph::{build_graph, ConvertOptions};
 use relgraph::pq::{ExecConfig, PqError, PreparedQuery};
 
 #[test]
@@ -56,4 +57,44 @@ fn every_corpus_query_fails_with_a_structured_error() {
         "corpus queries that did not error:\n{}",
         failures.join("\n")
     );
+}
+
+/// Runtime corpus case: `run_on_graph` handed a graph whose entity node
+/// type covers fewer rows than the database (e.g. compiled before ingest,
+/// or when the entity table had zero rows at the anchor timestamp) must
+/// return a structured execution error, not panic inside the sampler.
+#[test]
+fn run_on_graph_with_stale_zero_row_graph_is_a_structured_error() {
+    let cfg = EcommerceConfig {
+        customers: 30,
+        products: 10,
+        seed: 5,
+        ..Default::default()
+    };
+    let db = generate_ecommerce(&cfg).unwrap();
+    let pq = PreparedQuery::prepare(
+        &db,
+        "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id",
+        &ExecConfig::default(),
+    )
+    .unwrap();
+
+    // Graph compiled from an empty snapshot of the same schema: every node
+    // type exists but has zero rows behind it.
+    let mut empty = relgraph::store::Database::new("empty");
+    for t in db.tables() {
+        empty.create_table(t.schema().clone()).unwrap();
+    }
+    let (graph, mapping) = build_graph(&empty, &ConvertOptions::default()).unwrap();
+
+    match pq.run_on_graph(&db, &graph, &mapping) {
+        Ok(_) => panic!("stale graph unexpectedly produced predictions"),
+        Err(PqError::Execution(m)) => {
+            assert!(
+                m.contains("stale") && m.contains("customers"),
+                "unhelpful stale-graph message: {m}"
+            );
+        }
+        Err(e) => panic!("expected an execution error, got: {e}"),
+    }
 }

@@ -1,0 +1,144 @@
+//! Serving-cache equivalence under random ingest schedules: a warm
+//! [`ServeEngine`] — whose two cache tiers are invalidated *precisely*
+//! (dirty nodes + k-hop closure) rather than flushed — must, after any
+//! sequence of row batches interleaved with warming reads, return
+//! predictions bit-identical to a cold run: the same fitted model applied
+//! to a scratch-compiled graph of the final database with no cache at all.
+//!
+//! Training is expensive, so one engine is fitted once and shared across
+//! proptest cases; the database (and the engine's maintained graph) keep
+//! growing case over case, which only makes the property stronger — every
+//! case re-proves equivalence against a scratch rebuild of the *current*
+//! state. Batch timestamps are drawn strictly inside the existing time
+//! span so the deploy anchor never advances: the engine must survive on
+//! precise invalidation alone (flushing would hide eviction bugs).
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use proptest::prelude::*;
+use relgraph::datagen::{generate_ecommerce, EcommerceConfig};
+use relgraph::db2graph::{build_graph, ConvertOptions};
+use relgraph::gnn::{predict_nodes, NoCache};
+use relgraph::pq::ExecConfig;
+use relgraph::serve::{ServeConfig, ServeEngine};
+use relgraph::store::{IngestPolicy, Row, RowBatch, Value};
+
+const QUERY: &str = "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id";
+const CUSTOMERS: i64 = 50;
+const PRODUCTS: i64 = 12;
+
+fn engine() -> &'static Mutex<ServeEngine> {
+    static ENGINE: OnceLock<Mutex<ServeEngine>> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let db = generate_ecommerce(&EcommerceConfig {
+            customers: CUSTOMERS as usize,
+            products: PRODUCTS as usize,
+            seed: 23,
+            ..Default::default()
+        })
+        .unwrap();
+        let exec = ExecConfig {
+            epochs: 2,
+            hidden_dim: 8,
+            fanouts: vec![4, 4],
+            ..Default::default()
+        };
+        Mutex::new(ServeEngine::fit(db, QUERY, &exec, ServeConfig::default()).unwrap())
+    })
+}
+
+/// Primary keys must stay unique across batches *and* proptest cases.
+static NEXT_ORDER_ID: AtomicI64 = AtomicI64::new(5_000_000);
+
+/// One order row: customer selector, product selector, quantity, amount,
+/// and a 0..1000 fraction placing its timestamp inside the current span.
+type OrderSpec = (usize, usize, i64, f64, u32);
+/// One schedule step: rows to ingest, then entity selectors to re-read
+/// (warming traffic interleaved with writes).
+type BatchSpec = (Vec<OrderSpec>, Vec<usize>);
+
+fn schedule_strategy() -> impl Strategy<Value = Vec<BatchSpec>> {
+    let order = (0usize..64, 0usize..64, 1i64..5, 1.0f64..100.0, 0u32..1000);
+    let step = (
+        proptest::collection::vec(order, 1..6),
+        proptest::collection::vec(0usize..64, 0..8),
+    );
+    proptest::collection::vec(step, 1..4)
+}
+
+proptest! {
+    // Each case pays for a scratch graph compile plus a no-cache inference
+    // pass over every entity, so the case count is deliberately modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn warm_cache_equals_cold_rebuild_after_random_ingest(schedule in schedule_strategy()) {
+        let mut eng = engine().lock().unwrap_or_else(|e| e.into_inner());
+        let rows = eng.deploy_entities().unwrap();
+
+        // Fill both tiers so the schedule's invalidations have cached
+        // state to bite on.
+        let _ = eng.predict_batch(&rows);
+
+        for (orders, probes) in &schedule {
+            let (lo, hi) = eng.db().time_span().unwrap();
+            let mut batch = RowBatch::new();
+            for &(c, p, qty, amount, frac) in orders {
+                // In [lo + span/4, lo + 3·span/4]: strictly before `hi`,
+                // so the deploy anchor must not move.
+                let t = lo + (hi - lo) / 4 + (hi - lo) / 2 * frac as i64 / 1000;
+                batch.push(
+                    "orders",
+                    Row::new()
+                        .push(NEXT_ORDER_ID.fetch_add(1, Ordering::Relaxed))
+                        // Datagen ids are 0-based: 0..customers, 0..products.
+                        .push(c as i64 % CUSTOMERS)
+                        .push(p as i64 % PRODUCTS)
+                        .push(qty)
+                        .push(amount)
+                        .push("web")
+                        .push(Value::Timestamp(t)),
+                );
+            }
+            let n = batch.len();
+            let outcome = eng.ingest(batch, &IngestPolicy::coerce_all()).unwrap();
+            prop_assert_eq!(outcome.report.accepted, n, "every scheduled row is valid");
+            prop_assert!(
+                !outcome.flushed,
+                "timestamps stay inside the span, so only precise invalidation may run"
+            );
+            prop_assert!(!outcome.rebuilt);
+
+            // Interleaved warming reads: re-populate a random slice of the
+            // cache between writes, like live traffic would.
+            let probe_rows: Vec<usize> = probes.iter().map(|&s| rows[s % rows.len()]).collect();
+            if !probe_rows.is_empty() {
+                let _ = eng.predict_batch(&probe_rows);
+            }
+        }
+
+        // The property: warm serving ≡ cold rebuild, bit for bit, for
+        // every deployable entity.
+        let warm = eng.predict_batch(&rows);
+        let (scratch, _) = build_graph(eng.db(), &ConvertOptions::default()).unwrap();
+        let cold = predict_nodes(
+            eng.model(),
+            &scratch,
+            eng.node_type(),
+            &rows,
+            eng.anchor(),
+            &mut NoCache,
+        );
+        for (i, (w, c)) in warm.iter().zip(&cold).enumerate() {
+            prop_assert_eq!(
+                w.to_bits(),
+                c.to_bits(),
+                "entity row {} diverged after a random ingest schedule: warm {} vs cold {}",
+                rows[i],
+                w,
+                c
+            );
+        }
+    }
+}
