@@ -14,11 +14,17 @@
 //! kernel sections (`matmul_*`, `linear_fused`) must show a real win, and
 //! `serving` (cached micro-batched engine vs per-request inference) must
 //! show a real multiple since its win is algorithmic, not thread scaling.
+//! `serving_concurrent`'s floor scales with the recorded shard count (its
+//! win IS thread scaling), and `serving_mixed` must simply not regress
+//! against the pre-shard engine.
 
 use relgraph_bench::perf;
 
 /// Minimum acceptable `after / before` per section under `--check`.
-fn min_speedup(section: &str) -> f64 {
+/// `shards` is the snapshot's recorded serving shard count — the floor for
+/// the concurrent section is physical: a 1-shard "after" cannot beat a
+/// 1-shard "before" by more than noise.
+fn min_speedup(section: &str, shards: usize) -> f64 {
     match section {
         // The microkernel must beat naive by a clear margin in release mode.
         s if s.starts_with("matmul_") => 1.05,
@@ -28,6 +34,15 @@ fn min_speedup(section: &str) -> f64 {
         // real multiple is required even on one core. The committed snapshot
         // shows well above this; 2.0 is the CI noise floor.
         "serving" => 2.0,
+        // Sharded tier vs the 1-shard configuration under 4 concurrent
+        // clients: pure thread scaling, so the floor depends on how many
+        // cores the host actually gave us.
+        "serving_concurrent" if shards >= 4 => 2.0,
+        "serving_concurrent" if shards >= 2 => 1.2,
+        "serving_concurrent" => 0.8,
+        // Mixed ingest+read traffic through the epoch-swap pipeline must
+        // not be slower than the pre-shard engine (noise allowance).
+        "serving_mixed" => 0.8,
         // Thread-scaling sections: allow measurement noise around 1.0x.
         _ => 0.85,
     }
@@ -39,7 +54,10 @@ fn main() {
     let out = std::env::var("RELGRAPH_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());
 
     let snap = perf::write_snapshot(&out, quick).expect("write snapshot");
-    println!("wrote {out} (threads = {})", snap.threads);
+    println!(
+        "wrote {out} (threads = {}, shards = {})",
+        snap.threads, snap.shards
+    );
     let mut failed = false;
     for s in &snap.sections {
         let speedup = if s.before > 0.0 {
@@ -47,7 +65,7 @@ fn main() {
         } else {
             0.0
         };
-        let floor = min_speedup(&s.name);
+        let floor = min_speedup(&s.name, snap.shards);
         let verdict = if check && speedup < floor {
             failed = true;
             "REGRESSION"

@@ -20,6 +20,13 @@ fn quick_snapshot_smoke() {
             s.after / s.before
         );
     }
+    assert!(snap.shards >= 1, "shard count recorded in the snapshot");
+    for name in ["serving", "serving_concurrent", "serving_mixed"] {
+        assert!(
+            snap.sections.iter().any(|s| s.name == name),
+            "{name} section present"
+        );
+    }
     let ingest = snap
         .sections
         .iter()

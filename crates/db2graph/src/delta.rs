@@ -230,6 +230,37 @@ pub fn update_graph(
     Ok(stats)
 }
 
+/// Snapshot handoff: apply the database growth since `cursor` to a *copy*
+/// of `graph`, leaving the published graph untouched.
+///
+/// This is the writer side of an epoch-swap serving tier: reader threads
+/// keep scoring against the current graph version while the writer builds
+/// the next one from the cursor delta, then publishes the returned triple
+/// atomically. Semantics are exactly [`update_graph`] — the result is
+/// bit-identical to a scratch [`build_graph`](crate::build_graph) of the
+/// grown database — but nothing the caller passed in is mutated, so a
+/// delta failure (dangling reference, schema drift) cannot poison the
+/// version readers are using.
+pub fn update_graph_snapshot(
+    db: &Database,
+    graph: &HeteroGraph,
+    mapping: &GraphMapping,
+    cursor: &GraphCursor,
+    options: &ConvertOptions,
+) -> ConvertResult<(HeteroGraph, GraphMapping, GraphCursor, DeltaStats)> {
+    let mut next_graph = graph.clone();
+    let mut next_mapping = mapping.clone();
+    let mut next_cursor = cursor.clone();
+    let stats = update_graph(
+        db,
+        &mut next_graph,
+        &mut next_mapping,
+        &mut next_cursor,
+        options,
+    )?;
+    Ok((next_graph, next_mapping, next_cursor, stats))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,7 +23,7 @@ pub mod featurize;
 pub mod snapshot;
 
 pub use convert::{build_graph, ConvertOptions, EdgeBinding, GraphMapping};
-pub use delta::{update_graph, DeltaStats, GraphCursor};
+pub use delta::{update_graph, update_graph_snapshot, DeltaStats, GraphCursor};
 pub use error::{ConvertError, ConvertResult};
 pub use featurize::{featurize_table, featurize_table_delta, ColumnFeature, TableFeatureSpec};
 pub use snapshot::snapshot_at;

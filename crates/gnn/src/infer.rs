@@ -44,7 +44,11 @@ const EVAL_CHUNK: usize = 64;
 /// level)`. All entries are implicitly relative to one anchor time — the
 /// owner must flush (or key) the store when the anchor changes, and must
 /// evict entries whose ℓ-hop neighborhood was touched by an ingest delta.
-pub trait EmbeddingStore {
+///
+/// `Send` is part of the contract: stores are owned by per-shard serving
+/// worker threads, so an implementation must be movable across threads
+/// (it is never *shared* — each shard owns its slice exclusively).
+pub trait EmbeddingStore: Send {
     /// Cached embedding, if present (may update recency bookkeeping).
     fn get(&mut self, ty: usize, node: usize, level: usize) -> Option<Vec<f64>>;
     /// Offer a freshly computed embedding to the cache.

@@ -52,8 +52,8 @@ mod sink;
 mod span;
 
 pub use registry::{
-    add, counter_value, disable, enabled, gauge, init_from_env, init_from_env_or_stderr, install,
-    observe, reset, series_push, HistSummary,
+    add, counter_to, counter_value, disable, enabled, gauge, init_from_env,
+    init_from_env_or_stderr, install, observe, reset, series_push, HistSummary,
 };
 pub use report::{emit_run_report, RunReport};
 pub use sink::{JsonLinesSink, MemorySink, Sink, StderrSink};

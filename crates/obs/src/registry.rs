@@ -230,6 +230,26 @@ pub fn counter_value(name: &str) -> u64 {
     counter_cell(name).load(Ordering::Relaxed)
 }
 
+/// Raise the named monotonic counter to `absolute` (no-op if the counter
+/// is already at or above it, or when disabled).
+///
+/// This is the publish primitive for components that keep their own
+/// cumulative statistics (e.g. per-shard serving caches) and periodically
+/// mirror an *aggregated total* into the registry: publishing the delta
+/// against the counter's current value makes the call idempotent at any
+/// cadence, and keeps N shards' stats from double-counting as long as one
+/// aggregator owns the counter name.
+pub fn counter_to(name: &str, absolute: u64) {
+    if !enabled() {
+        return;
+    }
+    let cell = counter_cell(name);
+    let current = cell.load(Ordering::Relaxed);
+    if absolute > current {
+        cell.fetch_add(absolute - current, Ordering::Relaxed);
+    }
+}
+
 /// Set the named gauge to `value` (last write wins). No-op when disabled.
 #[inline]
 pub fn gauge(name: &str, value: f64) {

@@ -203,6 +203,52 @@ impl CacheStats {
         let total = self.embedding_hits + self.embedding_misses;
         (total > 0).then(|| self.embedding_hits as f64 / total as f64)
     }
+
+    /// Fold `other` into `self` field-wise. The sharded tier aggregates
+    /// per-shard slices with this before publishing, so the run report's
+    /// cache section is the sum over shards, counted exactly once.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.prediction_hits += other.prediction_hits;
+        self.prediction_misses += other.prediction_misses;
+        self.prediction_evictions += other.prediction_evictions;
+        self.embedding_hits += other.embedding_hits;
+        self.embedding_misses += other.embedding_misses;
+        self.embedding_evictions += other.embedding_evictions;
+        self.invalidated_embeddings += other.invalidated_embeddings;
+        self.invalidated_predictions += other.invalidated_predictions;
+        self.flushes += other.flushes;
+    }
+
+    /// Publish these totals as the process's `serve.cache.*` counters and
+    /// hit-rate gauges. Idempotent: counters are *set* to the absolute
+    /// totals (via `relgraph_obs::counter_to`), never re-added, so calling
+    /// at any cadence — or once per shard-aggregate — cannot double-count.
+    /// Exactly one aggregator must own the `serve.cache.*` names per
+    /// process (the engine, or the sharded tier summing its shards).
+    pub fn publish(&self) {
+        if !relgraph_obs::enabled() {
+            return;
+        }
+        for (name, value) in [
+            ("serve.cache.prediction.hits", self.prediction_hits),
+            ("serve.cache.prediction.misses", self.prediction_misses),
+            (
+                "serve.cache.prediction.evictions",
+                self.prediction_evictions,
+            ),
+            ("serve.cache.embedding.hits", self.embedding_hits),
+            ("serve.cache.embedding.misses", self.embedding_misses),
+            ("serve.cache.embedding.evictions", self.embedding_evictions),
+        ] {
+            relgraph_obs::counter_to(name, value);
+        }
+        if let Some(r) = self.prediction_hit_rate() {
+            relgraph_obs::gauge("serve.cache.prediction.hit_rate", r);
+        }
+        if let Some(r) = self.embedding_hit_rate() {
+            relgraph_obs::gauge("serve.cache.embedding.hit_rate", r);
+        }
+    }
 }
 
 /// The embedding tier: an [`Lru`] keyed `(node type, node, level)` that

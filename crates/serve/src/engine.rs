@@ -31,6 +31,7 @@
 //! warm ≡ cold line under randomized ingest schedules.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use relgraph_db2graph::{
     build_graph, update_graph, ConvertOptions, DeltaStats, GraphCursor, GraphMapping,
@@ -43,6 +44,7 @@ use relgraph_store::{Database, IngestPolicy, IngestReport, RowBatch, Timestamp, 
 
 use crate::cache::{CacheStats, EmbeddingCache, Lru};
 use crate::error::{ServeError, ServeResult};
+use crate::invalidate::{dirty_closure, evict_dirty, grown_tables};
 
 /// Serving knobs: batch bounds and cache capacities.
 #[derive(Debug, Clone)]
@@ -95,7 +97,7 @@ pub struct ServeEngine {
     cursor: GraphCursor,
     opts: ConvertOptions,
     query: PreparedQuery,
-    model: NodeModel,
+    model: Arc<NodeModel>,
     node_type: NodeTypeId,
     metrics: Vec<(String, f64)>,
     anchor: Timestamp,
@@ -122,9 +124,55 @@ impl ServeEngine {
         let (graph, mapping) = build_graph(&db, &opts)?;
         let query = PreparedQuery::prepare(&db, query_text, exec)?;
         let fitted = query.fit_node_model(&db, &graph, &mapping)?;
+        Self::assemble(
+            db,
+            graph,
+            mapping,
+            opts,
+            query,
+            Arc::new(fitted.model),
+            fitted.node_type,
+            fitted.metrics,
+            cfg,
+        )
+    }
+
+    /// Wrap an *already fitted* model into a fresh engine over `db`,
+    /// rebuilding graph state but skipping training. Training is
+    /// deterministic given the seed, so engines built this way from the
+    /// same database predict bit-identically to the engine the model was
+    /// fitted on — this is how the sharded tier and the equivalence tests
+    /// stamp out many engines from one (expensive) fit.
+    pub fn from_fitted(
+        db: Database,
+        query: PreparedQuery,
+        model: Arc<NodeModel>,
+        node_type: NodeTypeId,
+        metrics: Vec<(String, f64)>,
+        cfg: ServeConfig,
+    ) -> ServeResult<Self> {
+        let opts = ConvertOptions::default();
+        let (graph, mapping) = build_graph(&db, &opts)?;
+        Self::assemble(
+            db, graph, mapping, opts, query, model, node_type, metrics, cfg,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        db: Database,
+        graph: HeteroGraph,
+        mapping: GraphMapping,
+        opts: ConvertOptions,
+        query: PreparedQuery,
+        model: Arc<NodeModel>,
+        node_type: NodeTypeId,
+        metrics: Vec<(String, f64)>,
+        cfg: ServeConfig,
+    ) -> ServeResult<Self> {
         let cursor = GraphCursor::capture(&db);
         let anchor = deploy_anchor(&db);
-        let hops = fitted.model.sampler_cfg().fanouts.len();
+        let hops = model.sampler_cfg().fanouts.len();
         Ok(ServeEngine {
             db,
             graph,
@@ -132,9 +180,9 @@ impl ServeEngine {
             cursor,
             opts,
             query,
-            model: fitted.model,
-            node_type: fitted.node_type,
-            metrics: fitted.metrics,
+            model,
+            node_type,
+            metrics,
             anchor,
             hops,
             predictions: Lru::new(cfg.prediction_cache),
@@ -150,43 +198,16 @@ impl ServeEngine {
     /// input order; duplicate rows are computed once.
     pub fn predict_batch(&mut self, rows: &[usize]) -> Vec<f64> {
         let t0 = std::time::Instant::now();
-        let mut out = vec![0.0f64; rows.len()];
-        let mut miss_rows: Vec<usize> = Vec::new();
-        let mut miss_slot: HashMap<usize, usize> = HashMap::new();
-        let mut miss_positions: Vec<(usize, usize)> = Vec::new(); // (out idx, miss idx)
-        for (i, &row) in rows.iter().enumerate() {
-            if let Some(&p) = self.predictions.get(&row) {
-                self.stats.prediction_hits += 1;
-                out[i] = p;
-            } else if let Some(&slot) = miss_slot.get(&row) {
-                // Duplicate within the batch: one compute, many answers —
-                // still a miss for accounting (nothing was cached).
-                self.stats.prediction_misses += 1;
-                miss_positions.push((i, slot));
-            } else {
-                self.stats.prediction_misses += 1;
-                let slot = miss_rows.len();
-                miss_rows.push(row);
-                miss_slot.insert(row, slot);
-                miss_positions.push((i, slot));
-            }
-        }
-        if !miss_rows.is_empty() {
-            let preds = predict_nodes(
-                &self.model,
-                &self.graph,
-                self.node_type,
-                &miss_rows,
-                self.anchor,
-                &mut self.embeddings,
-            );
-            for (&row, &p) in miss_rows.iter().zip(&preds) {
-                self.predictions.insert(row, p);
-            }
-            for (i, slot) in miss_positions {
-                out[i] = preds[slot];
-            }
-        }
+        let out = predict_batch_cached(
+            &self.model,
+            &self.graph,
+            self.node_type,
+            self.anchor,
+            rows,
+            &mut self.predictions,
+            &mut self.embeddings,
+            &mut self.stats,
+        );
         self.sync_stats();
         if obs::enabled() {
             obs::add("serve.requests", rows.len() as u64);
@@ -251,19 +272,11 @@ impl ServeEngine {
 
         // Tables that grew, with their node types and pre-ingest feature
         // matrices (the delta re-featurizes grown tables in full; the
-        // bitwise row diff below needs the "before").
-        let mut grown: Vec<(usize, NodeTypeId, usize)> = Vec::new();
-        for (i, t) in self.db.tables().iter().enumerate() {
-            if t.len() > pre_lens[i] {
-                let nt = self.mapping.node_type(t.name()).ok_or_else(|| {
-                    ServeError::Engine(format!("table `{}` missing from graph mapping", t.name()))
-                })?;
-                grown.push((i, nt, pre_lens[i]));
-            }
-        }
+        // bitwise row diff in `dirty_closure` needs the "before").
+        let grown = grown_tables(&self.db, &self.mapping, &pre_lens)?;
         let pre_features: Vec<FeatureMatrix> = grown
             .iter()
-            .map(|&(_, nt, _)| self.graph.features(nt).clone())
+            .map(|g| self.graph.features(g.node_type).clone())
             .collect();
 
         match update_graph(
@@ -298,90 +311,28 @@ impl ServeEngine {
             return Ok(outcome);
         }
 
-        // Distance-0 dirty seeds: bitwise-changed feature rows, endpoints
-        // of new edges, and the new rows themselves.
-        let mut dist: HashMap<(usize, usize), usize> = HashMap::new();
-        for (&(ti, nt, pre_len), pre) in grown.iter().zip(&pre_features) {
-            let post = self.graph.features(nt);
-            if pre.dim() != post.dim() {
-                for row in 0..post.rows() {
-                    dist.insert((nt.0, row), 0);
-                }
-                continue;
-            }
-            for row in 0..pre_len.min(post.rows()) {
-                let changed = pre
-                    .row(row)
-                    .iter()
-                    .zip(post.row(row))
-                    .any(|(a, b)| a.to_bits() != b.to_bits());
-                if changed {
-                    dist.insert((nt.0, row), 0);
-                }
-            }
-            for row in pre_len..post.rows() {
-                dist.insert((nt.0, row), 0);
-            }
-            let table = &self.db.tables()[ti];
-            for fk in table.schema().foreign_keys() {
-                let target = self.db.table(&fk.referenced_table)?;
-                let target_nt = self.mapping.node_type(target.name()).ok_or_else(|| {
-                    ServeError::Engine(format!(
-                        "table `{}` missing from graph mapping",
-                        target.name()
-                    ))
-                })?;
-                let col = table
-                    .column_by_name(&fk.column)
-                    .expect("schema guarantees the FK column exists");
-                for row in pre_len..table.len() {
-                    let key = col.get(row);
-                    if key.is_null() {
-                        continue;
-                    }
-                    if let Some(dst) = target.row_by_key(&key) {
-                        dist.insert((target_nt.0, dst), 0);
-                    }
-                }
-            }
-        }
-
-        // k-hop closure over the full adjacency; `dist` keeps the shortest
-        // distance to any dirty seed.
-        let mut frontier: Vec<(usize, usize)> = dist.keys().copied().collect();
-        for d in 1..=self.hops {
-            let mut next = Vec::new();
-            for &(ty, node) in &frontier {
-                for &et in self.graph.edge_types_from(NodeTypeId(ty)) {
-                    let dst_ty = self.graph.edge_type(et).dst.0;
-                    let (nbrs, _) = self.graph.neighbor_slices(et, node);
-                    for &nbr in nbrs {
-                        let key = (dst_ty, nbr as usize);
-                        if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(key) {
-                            e.insert(d);
-                            next.push(key);
-                        }
-                    }
-                }
-            }
-            if next.is_empty() {
-                break;
-            }
-            frontier = next;
-        }
-
-        // Evict embeddings at levels d..=k and predictions of entity nodes.
-        let entity_ty = self.node_type.0;
-        for (&(ty, node), &d) in &dist {
-            for level in d..=self.hops {
-                if self.embeddings.invalidate(ty, node, level) {
-                    outcome.invalidated_embeddings += 1;
-                }
-            }
-            if ty == entity_ty && self.predictions.remove(&node) {
-                outcome.invalidated_predictions += 1;
-            }
-        }
+        // Dirty seeds + k-hop closure, then precise eviction of embeddings
+        // at levels d..=k and predictions of dirty entity nodes (shared
+        // with the sharded tier via `invalidate`).
+        let dist = dirty_closure(
+            &self.db,
+            &self.graph,
+            &self.mapping,
+            &grown,
+            &pre_features,
+            self.hops,
+        )?;
+        let dirty: Vec<(usize, usize, usize)> =
+            dist.iter().map(|(&(ty, node), &d)| (ty, node, d)).collect();
+        let (emb, pred) = evict_dirty(
+            &dirty,
+            self.hops,
+            self.node_type.0,
+            &mut self.predictions,
+            &mut self.embeddings,
+        );
+        outcome.invalidated_embeddings = emb;
+        outcome.invalidated_predictions = pred;
         outcome.dirty_nodes = dist.len();
         self.stats.invalidated_embeddings += outcome.invalidated_embeddings;
         self.stats.invalidated_predictions += outcome.invalidated_predictions;
@@ -418,30 +369,11 @@ impl ServeEngine {
 
     /// Publish cache counters and hit-rate gauges through `relgraph-obs`
     /// (`serve.cache.*`, surfaced in run reports as the schema-version-2
-    /// `cache` section). Counters are monotonic, so this emits deltas
-    /// against what was last published — call it at any cadence.
+    /// `cache` section). Publication is idempotent (absolute totals via
+    /// [`relgraph_obs::counter_to`]) — call it at any cadence, as long as
+    /// one engine owns the `serve.cache.*` names per process.
     pub fn publish_stats(&self) {
-        if !obs::enabled() {
-            return;
-        }
-        let s = &self.stats;
-        for (name, value) in [
-            ("serve.cache.prediction.hits", s.prediction_hits),
-            ("serve.cache.prediction.misses", s.prediction_misses),
-            ("serve.cache.prediction.evictions", s.prediction_evictions),
-            ("serve.cache.embedding.hits", s.embedding_hits),
-            ("serve.cache.embedding.misses", s.embedding_misses),
-            ("serve.cache.embedding.evictions", s.embedding_evictions),
-        ] {
-            let published = obs::counter_value(name);
-            obs::add(name, value.saturating_sub(published));
-        }
-        if let Some(r) = s.prediction_hit_rate() {
-            obs::gauge("serve.cache.prediction.hit_rate", r);
-        }
-        if let Some(r) = s.embedding_hit_rate() {
-            obs::gauge("serve.cache.embedding.hit_rate", r);
-        }
+        self.stats.publish();
     }
 
     /// Cumulative cache statistics.
@@ -467,6 +399,18 @@ impl ServeEngine {
     /// The fitted model.
     pub fn model(&self) -> &NodeModel {
         &self.model
+    }
+
+    /// A shareable handle to the fitted model (cheap clone; the sharded
+    /// tier and tests hand it to [`ServeEngine::from_fitted`]).
+    pub fn model_handle(&self) -> Arc<NodeModel> {
+        Arc::clone(&self.model)
+    }
+
+    /// Test-split metrics, owned (pairs with [`model_handle`](Self::model_handle)
+    /// when stamping out engines via [`from_fitted`](Self::from_fitted)).
+    pub fn metrics_owned(&self) -> Vec<(String, f64)> {
+        self.metrics.clone()
     }
 
     /// Node type of the entity table.
@@ -501,6 +445,61 @@ impl ServeEngine {
 }
 
 /// Deploy anchor: the latest timestamp in the database.
-fn deploy_anchor(db: &Database) -> Timestamp {
+pub(crate) fn deploy_anchor(db: &Database) -> Timestamp {
     db.time_span().map(|(_, hi)| hi).unwrap_or(0)
+}
+
+/// The cache-aware fused scoring path, factored out of [`ServeEngine`] so
+/// each shard of the concurrent tier can run it against its *own* cache
+/// slice and whatever graph snapshot it currently holds. Cached
+/// predictions short-circuit; the rest run through the deduplicating
+/// per-node path against the embedding tier. Output order matches input
+/// order; duplicate rows are computed once.
+///
+/// Batch composition never changes a value: `predict_nodes` evaluates each
+/// node as a pure function of `(type, node, level, anchor)`, which is why
+/// any partitioning of a request stream across shards — each with its own
+/// caches — stays bit-identical to a single engine scoring the same rows.
+#[allow(clippy::too_many_arguments)]
+pub fn predict_batch_cached(
+    model: &NodeModel,
+    graph: &HeteroGraph,
+    node_type: NodeTypeId,
+    anchor: Timestamp,
+    rows: &[usize],
+    predictions: &mut Lru<usize, f64>,
+    embeddings: &mut EmbeddingCache,
+    stats: &mut CacheStats,
+) -> Vec<f64> {
+    let mut out = vec![0.0f64; rows.len()];
+    let mut miss_rows: Vec<usize> = Vec::new();
+    let mut miss_slot: HashMap<usize, usize> = HashMap::new();
+    let mut miss_positions: Vec<(usize, usize)> = Vec::new(); // (out idx, miss idx)
+    for (i, &row) in rows.iter().enumerate() {
+        if let Some(&p) = predictions.get(&row) {
+            stats.prediction_hits += 1;
+            out[i] = p;
+        } else if let Some(&slot) = miss_slot.get(&row) {
+            // Duplicate within the batch: one compute, many answers —
+            // still a miss for accounting (nothing was cached).
+            stats.prediction_misses += 1;
+            miss_positions.push((i, slot));
+        } else {
+            stats.prediction_misses += 1;
+            let slot = miss_rows.len();
+            miss_rows.push(row);
+            miss_slot.insert(row, slot);
+            miss_positions.push((i, slot));
+        }
+    }
+    if !miss_rows.is_empty() {
+        let preds = predict_nodes(model, graph, node_type, &miss_rows, anchor, embeddings);
+        for (&row, &p) in miss_rows.iter().zip(&preds) {
+            predictions.insert(row, p);
+        }
+        for (i, slot) in miss_positions {
+            out[i] = preds[slot];
+        }
+    }
+    out
 }

@@ -1,0 +1,215 @@
+//! Delta-driven cache invalidation, shared between the single-threaded
+//! [`ServeEngine`](crate::ServeEngine) and the sharded serving tier.
+//!
+//! The correctness argument lives in `engine`'s module docs; this module
+//! owns the machinery: find the distance-0 dirty seeds an ingest created,
+//! close them over k hops, and package the result as an
+//! [`InvalidationPlan`] that any cache slice — the engine's own, or each
+//! shard's — can apply independently. A plan is *descriptive*, not
+//! imperative: it names `(type, node, distance)` triples, and applying it
+//! to a cache that never held those entries is a no-op. That is what lets
+//! one writer broadcast the same plan to every shard without knowing which
+//! shard cached what.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use relgraph_db2graph::GraphMapping;
+use relgraph_graph::{FeatureMatrix, HeteroGraph, NodeTypeId};
+use relgraph_store::Database;
+
+use crate::cache::{EmbeddingCache, Lru};
+use crate::error::{ServeError, ServeResult};
+
+/// A table that gained rows during an ingest, with enough context to diff
+/// its features pre/post delta.
+#[derive(Debug, Clone, Copy)]
+pub struct TableGrowth {
+    /// Index into `db.tables()`.
+    pub table_index: usize,
+    /// The table's node type in the graph.
+    pub node_type: NodeTypeId,
+    /// Row count before the ingest.
+    pub pre_len: usize,
+}
+
+/// Which tables grew, given the pre-ingest row counts. Call *after*
+/// `db.ingest` and *before* applying the graph delta (the pre-delta
+/// feature matrices must still be capturable from the old graph).
+pub fn grown_tables(
+    db: &Database,
+    mapping: &GraphMapping,
+    pre_lens: &[usize],
+) -> ServeResult<Vec<TableGrowth>> {
+    let mut grown = Vec::new();
+    for (i, t) in db.tables().iter().enumerate() {
+        if t.len() > pre_lens[i] {
+            let nt = mapping.node_type(t.name()).ok_or_else(|| {
+                ServeError::Engine(format!("table `{}` missing from graph mapping", t.name()))
+            })?;
+            grown.push(TableGrowth {
+                table_index: i,
+                node_type: nt,
+                pre_len: pre_lens[i],
+            });
+        }
+    }
+    Ok(grown)
+}
+
+/// Distance-0 dirty seeds plus their `hops`-hop closure over the
+/// post-delta `graph`. Returns the shortest distance from each affected
+/// `(type, node)` to any seed.
+///
+/// Seeds (distance 0) are: rows whose feature vector changed bitwise
+/// (z-score statistics shift on append), endpoints of new edges (their
+/// neighbor lists and windowed degrees changed), and the new rows
+/// themselves. `pre_features[i]` must be the pre-delta feature matrix of
+/// `growth[i].node_type`.
+pub fn dirty_closure(
+    db: &Database,
+    graph: &HeteroGraph,
+    mapping: &GraphMapping,
+    growth: &[TableGrowth],
+    pre_features: &[FeatureMatrix],
+    hops: usize,
+) -> ServeResult<HashMap<(usize, usize), usize>> {
+    let mut dist: HashMap<(usize, usize), usize> = HashMap::new();
+    for (g, pre) in growth.iter().zip(pre_features) {
+        let nt = g.node_type;
+        let post = graph.features(nt);
+        if pre.dim() != post.dim() {
+            // The feature space itself changed (new hashed category, say):
+            // every row of the type is dirty.
+            for row in 0..post.rows() {
+                dist.insert((nt.0, row), 0);
+            }
+            continue;
+        }
+        for row in 0..g.pre_len.min(post.rows()) {
+            let changed = pre
+                .row(row)
+                .iter()
+                .zip(post.row(row))
+                .any(|(a, b)| a.to_bits() != b.to_bits());
+            if changed {
+                dist.insert((nt.0, row), 0);
+            }
+        }
+        for row in g.pre_len..post.rows() {
+            dist.insert((nt.0, row), 0);
+        }
+        let table = &db.tables()[g.table_index];
+        for fk in table.schema().foreign_keys() {
+            let target = db.table(&fk.referenced_table)?;
+            let target_nt = mapping.node_type(target.name()).ok_or_else(|| {
+                ServeError::Engine(format!(
+                    "table `{}` missing from graph mapping",
+                    target.name()
+                ))
+            })?;
+            let col = table
+                .column_by_name(&fk.column)
+                .expect("schema guarantees the FK column exists");
+            for row in g.pre_len..table.len() {
+                let key = col.get(row);
+                if key.is_null() {
+                    continue;
+                }
+                if let Some(dst) = target.row_by_key(&key) {
+                    dist.insert((target_nt.0, dst), 0);
+                }
+            }
+        }
+    }
+
+    // BFS over the full adjacency; forward + reverse edge types make
+    // neighbor-of symmetric, and `dist` keeps the shortest distance.
+    let mut frontier: Vec<(usize, usize)> = dist.keys().copied().collect();
+    for d in 1..=hops {
+        let mut next = Vec::new();
+        for &(ty, node) in &frontier {
+            for &et in graph.edge_types_from(NodeTypeId(ty)) {
+                let dst_ty = graph.edge_type(et).dst.0;
+                let (nbrs, _) = graph.neighbor_slices(et, node);
+                for &nbr in nbrs {
+                    let key = (dst_ty, nbr as usize);
+                    if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(key) {
+                        e.insert(d);
+                        next.push(key);
+                    }
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    Ok(dist)
+}
+
+/// One published graph transition, as seen by a cache slice: applying the
+/// plan for epoch `e` brings a cache that was consistent with epoch `e-1`
+/// to consistency with epoch `e`.
+#[derive(Debug, Clone)]
+pub struct InvalidationPlan {
+    /// The epoch this plan transitions *to*.
+    pub epoch: u64,
+    /// Drop everything: the deploy anchor advanced or the graph was
+    /// rebuilt, so no cached entry's inputs survived.
+    pub flush: bool,
+    /// `(type, node, distance)` triples to evict precisely. Shared by
+    /// every shard, hence the `Arc`.
+    pub dirty: Arc<Vec<(usize, usize, usize)>>,
+}
+
+impl InvalidationPlan {
+    /// A plan that flushes wholesale.
+    pub fn flush(epoch: u64) -> Self {
+        InvalidationPlan {
+            epoch,
+            flush: true,
+            dirty: Arc::new(Vec::new()),
+        }
+    }
+
+    /// A plan that evicts precisely, from a [`dirty_closure`] result.
+    pub fn precise(epoch: u64, dist: &HashMap<(usize, usize), usize>) -> Self {
+        let mut dirty: Vec<(usize, usize, usize)> =
+            dist.iter().map(|(&(ty, node), &d)| (ty, node, d)).collect();
+        // Deterministic order so every shard applies the identical plan.
+        dirty.sort_unstable();
+        InvalidationPlan {
+            epoch,
+            flush: false,
+            dirty: Arc::new(dirty),
+        }
+    }
+}
+
+/// Apply one plan's precise evictions to a cache slice: embeddings at
+/// levels `d..=hops` for every dirty node, plus the tier-1 prediction for
+/// dirty entity nodes. Returns `(embeddings_evicted, predictions_evicted)`
+/// — counts of entries actually present, so idle shards report zeros.
+pub fn evict_dirty(
+    dirty: &[(usize, usize, usize)],
+    hops: usize,
+    entity_ty: usize,
+    predictions: &mut Lru<usize, f64>,
+    embeddings: &mut EmbeddingCache,
+) -> (u64, u64) {
+    let mut emb = 0u64;
+    let mut pred = 0u64;
+    for &(ty, node, d) in dirty {
+        for level in d..=hops {
+            if embeddings.invalidate(ty, node, level) {
+                emb += 1;
+            }
+        }
+        if ty == entity_ty && predictions.remove(&node) {
+            pred += 1;
+        }
+    }
+    (emb, pred)
+}

@@ -15,7 +15,14 @@
 //!   `relgraph-gnn`;
 //! * [`cache`] — the bounded [`Lru`] both tiers are built from, plus
 //!   [`CacheStats`] accounting surfaced in run reports;
-//! * [`protocol`] — the `relgraph serve` JSONL wire format.
+//! * [`protocol`] — the `relgraph serve` JSONL wire format;
+//! * [`sharded`] — [`ShardedEngine`]: the concurrent tier — per-core
+//!   cache shards draining fused job batches against epoch-swapped graph
+//!   snapshots ([`epoch`]), with one writer publishing deltas as
+//!   broadcast [`invalidate`] plans; any shard count is bit-identical to
+//!   one [`ServeEngine`];
+//! * [`server`] — the TCP/Unix-socket JSONL front-end over the sharded
+//!   tier, one handler thread per connection.
 //!
 //! ## Example
 //!
@@ -40,11 +47,19 @@
 pub mod batcher;
 pub mod cache;
 pub mod engine;
+pub mod epoch;
 pub mod error;
+pub mod invalidate;
 pub mod protocol;
+pub mod server;
+pub mod sharded;
 
 pub use batcher::MicroBatcher;
 pub use cache::{CacheStats, EmbeddingCache, Lru};
-pub use engine::{IngestOutcome, ServeConfig, ServeEngine};
+pub use engine::{predict_batch_cached, IngestOutcome, ServeConfig, ServeEngine};
+pub use epoch::EpochCell;
 pub use error::{ServeError, ServeResult};
-pub use protocol::{parse_request, response_err, response_ok, Request};
+pub use invalidate::InvalidationPlan;
+pub use protocol::{parse_request, recover_id, response_err, response_ok, Request};
+pub use server::{bind, handle_line, ServerListener};
+pub use sharded::{GraphSnapshot, ShardedEngine, PLAN_HISTORY};

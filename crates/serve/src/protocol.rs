@@ -14,10 +14,13 @@
 //! {"id": 8, "error": "unknown entity `C-1042`"}
 //! ```
 //!
-//! A line that cannot be parsed still produces a response (`"id": null`)
-//! so response count always equals request count. The parser is a small
-//! hand-rolled flat-object scanner — the protocol needs no nesting and the
-//! build environment has no JSON dependency.
+//! A line that cannot be parsed still produces a response so response
+//! count always equals request count; the error message echoes the
+//! (truncated) offending line, and [`recover_id`] makes a best-effort
+//! scan for an `"id"` even in malformed input so the client can correlate
+//! the error (`"id": null` only when no id is recoverable). The parser is
+//! a small hand-rolled flat-object scanner — the protocol needs no
+//! nesting and the build environment has no JSON dependency.
 
 use relgraph_store::Value;
 
@@ -31,8 +34,14 @@ pub struct Request {
 }
 
 /// Parse one request line. Unknown keys are rejected (they are always a
-/// client bug at this protocol size).
+/// client bug at this protocol size). Errors echo the offending line
+/// (truncated) so a client staring at a multiplexed log can find the
+/// request that broke.
 pub fn parse_request(line: &str) -> Result<Request, String> {
+    parse_request_inner(line).map_err(|e| format!("{e} in `{}`", line_snippet(line)))
+}
+
+fn parse_request_inner(line: &str) -> Result<Request, String> {
     let mut p = Parser::new(line);
     p.expect('{')?;
     let mut id: Option<u64> = None;
@@ -81,6 +90,70 @@ pub fn response_err(id: Option<u64>, message: &str) -> String {
         None => "null".to_string(),
     };
     format!("{{\"id\": {id}, \"error\": \"{}\"}}", escape_json(message))
+}
+
+/// Best-effort id recovery from a line [`parse_request`] rejected: scan
+/// for a `"id"` key followed by a non-negative integer, ignoring every
+/// other malformation. Lets error responses carry the caller's
+/// correlation id instead of `null` whenever one is legible at all.
+pub fn recover_id(line: &str) -> Option<u64> {
+    let bytes = line.as_bytes();
+    let needle = b"\"id\"";
+    let mut i = 0usize;
+    while i + needle.len() <= bytes.len() {
+        if &bytes[i..i + needle.len()] != needle {
+            i += 1;
+            continue;
+        }
+        let mut j = i + needle.len();
+        while bytes.get(j).is_some_and(|b| b.is_ascii_whitespace()) {
+            j += 1;
+        }
+        if bytes.get(j) == Some(&b':') {
+            j += 1;
+            while bytes.get(j).is_some_and(|b| b.is_ascii_whitespace()) {
+                j += 1;
+            }
+            let start = j;
+            while bytes.get(j).is_some_and(|b| b.is_ascii_digit()) {
+                j += 1;
+            }
+            // A digit run followed by more number syntax (`1.5`, `2e3`)
+            // is not a clean integer id — keep scanning.
+            let clean = j > start
+                && !bytes
+                    .get(j)
+                    .is_some_and(|b| matches!(b, b'.' | b'e' | b'E' | b'0'..=b'9'));
+            if clean {
+                if let Ok(n) = std::str::from_utf8(&bytes[start..j])
+                    .unwrap()
+                    .parse::<u64>()
+                {
+                    return Some(n);
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// At most this many characters of a rejected line are echoed back.
+const SNIPPET_CHARS: usize = 60;
+
+/// The offending line, shortened for an error message: control characters
+/// made visible by `escape_json` later, length capped at
+/// [`SNIPPET_CHARS`] characters with a `…` marker.
+fn line_snippet(line: &str) -> String {
+    let mut out = String::new();
+    for (taken, c) in line.chars().enumerate() {
+        if taken == SNIPPET_CHARS {
+            out.push('…');
+            return out;
+        }
+        out.push(c);
+    }
+    out
 }
 
 /// Minimal JSON string escaping for response payloads.
@@ -262,6 +335,74 @@ mod tests {
             r#"["id", 1]"#,
         ] {
             assert!(parse_request(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_echo_the_offending_line_truncated() {
+        let err = parse_request(r#"{"id": 1, "entity": 3} trailing"#).unwrap_err();
+        assert!(
+            err.contains(r#"in `{"id": 1, "entity": 3} trailing`"#),
+            "error should quote the line: {err}"
+        );
+        let long = format!(r#"{{"id": 1, "entity": "{}"}} trailing"#, "x".repeat(500));
+        let err = parse_request(&long).unwrap_err();
+        assert!(err.contains('…'), "long lines are truncated: {err}");
+        assert!(
+            err.len() < 160,
+            "echo must stay bounded, got {} bytes",
+            err.len()
+        );
+    }
+
+    /// A corpus of malformed requests: every line must (a) be rejected,
+    /// (b) echo itself in the error, and (c) yield exactly the id that a
+    /// human could still read off the wreckage.
+    #[test]
+    fn malformed_corpus_recovers_ids_where_legible() {
+        let corpus: &[(&str, Option<u64>)] = &[
+            ("", None),
+            ("{", None),
+            ("{}", None),
+            ("garbage", None),
+            (r#"{"id": 41"#, Some(41)),
+            (r#"{"id": 42, "entity"#, Some(42)),
+            (r#"{"id": 43, "entity": }"#, Some(43)),
+            (r#"{"id": 44, "entity": 3} trailing"#, Some(44)),
+            (r#"{"id": 45, "entity": 3, "extra": 1}"#, Some(45)),
+            (r#"{"id": 46, "entity": null}"#, Some(46)),
+            (r#"{"entity": 3, "id": 47"#, Some(47)),
+            (r#"{"id":48,"id":1,"entity":}"#, Some(48)),
+            (r#"{"id": -1, "entity": 3}"#, None),
+            (r#"{"id": 1.5, "entity": 3}"#, None),
+            (r#"{"id": "7", "entity": 3}"#, None),
+            (r#"{"entity": 3}"#, None),
+            (r#"["id", 9]"#, None),
+            (r#"["id": 9]"#, Some(9)),
+        ];
+        for &(line, want_id) in corpus {
+            let err = parse_request(line).expect_err(line);
+            if !line.is_empty() {
+                let snippet: String = line.chars().take(20).collect();
+                assert!(err.contains(&snippet), "error `{err}` should echo `{line}`");
+            }
+            assert_eq!(recover_id(line), want_id, "id recovery for `{line}`");
+            // The pipeline a front-end runs on a bad line must always
+            // produce one well-formed error response.
+            let resp = response_err(recover_id(line), &err);
+            assert!(resp.starts_with("{\"id\": "), "bad response: {resp}");
+        }
+    }
+
+    #[test]
+    fn recover_id_agrees_with_the_parser_on_valid_lines() {
+        for line in [
+            r#"{"id": 7, "entity": 1042}"#,
+            r#"{"entity":"C-1","id":99}"#,
+            r#"{"id": 0, "entity": "x"}"#,
+        ] {
+            let parsed = parse_request(line).unwrap();
+            assert_eq!(recover_id(line), Some(parsed.id), "on `{line}`");
         }
     }
 

@@ -1,0 +1,163 @@
+//! A concurrent socket front-end for the sharded serving tier.
+//!
+//! Speaks the same one-JSON-object-per-line protocol as `relgraph serve`'s
+//! stdin mode, framed over TCP or a Unix domain socket. Each accepted
+//! connection gets its own handler thread; handlers push single-request
+//! jobs straight into the [`ShardedEngine`], whose per-shard greedy
+//! batchers fuse concurrent clients' requests into shared inference
+//! batches — the fan-in is the batcher, not a lock.
+//!
+//! Responses on one connection are written in request order (the handler
+//! is synchronous per line), so clients may pipeline without reordering
+//! logic; the `id` echo still makes cross-checking trivial.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use relgraph_obs as obs;
+
+use crate::error::{ServeError, ServeResult};
+use crate::protocol::{parse_request, recover_id, response_err, response_ok};
+use crate::sharded::ShardedEngine;
+
+/// A bound listening socket, not yet serving.
+pub enum ServerListener {
+    /// A TCP listener (address contained a `:`).
+    Tcp(TcpListener),
+    /// A Unix domain socket; the path is unlinked when serving stops.
+    Unix(UnixListener, PathBuf),
+}
+
+/// Bind `addr`: anything containing `:` is a TCP `host:port` (port `0`
+/// picks a free one), anything else is a Unix socket path (an existing
+/// stale socket file is replaced).
+pub fn bind(addr: &str) -> ServeResult<ServerListener> {
+    if addr.contains(':') {
+        let l = TcpListener::bind(addr)
+            .map_err(|e| ServeError::Engine(format!("cannot bind tcp `{addr}`: {e}")))?;
+        Ok(ServerListener::Tcp(l))
+    } else {
+        let path = PathBuf::from(addr);
+        if path.exists() {
+            let _ = std::fs::remove_file(&path);
+        }
+        let l = UnixListener::bind(&path)
+            .map_err(|e| ServeError::Engine(format!("cannot bind unix `{addr}`: {e}")))?;
+        Ok(ServerListener::Unix(l, path))
+    }
+}
+
+impl ServerListener {
+    /// The bound address, printable (resolves TCP port `0`).
+    pub fn local_addr(&self) -> String {
+        match self {
+            ServerListener::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "<tcp>".to_string()),
+            ServerListener::Unix(_, p) => p.display().to_string(),
+        }
+    }
+
+    /// Accept and serve connections until `stop` goes true, then drain:
+    /// already-accepted connections run to EOF before this returns. Each
+    /// connection is one scoped thread reading JSONL requests and writing
+    /// one response line per request, in order.
+    pub fn run(self, engine: &ShardedEngine, stop: &AtomicBool) -> ServeResult<()> {
+        match &self {
+            ServerListener::Tcp(l) => l.set_nonblocking(true),
+            ServerListener::Unix(l, _) => l.set_nonblocking(true),
+        }
+        .map_err(|e| ServeError::Engine(format!("cannot set nonblocking: {e}")))?;
+        std::thread::scope(|scope| {
+            while !stop.load(Ordering::Relaxed) {
+                let stream: Option<Box<dyn ReadWriteStream>> = match &self {
+                    ServerListener::Tcp(l) => match l.accept() {
+                        Ok((s, _)) => Some(Box::new(s)),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                        Err(_) => None,
+                    },
+                    ServerListener::Unix(l, _) => match l.accept() {
+                        Ok((s, _)) => Some(Box::new(s)),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                        Err(_) => None,
+                    },
+                };
+                match stream {
+                    Some(s) => {
+                        if obs::enabled() {
+                            obs::add("serve.connections", 1);
+                        }
+                        scope.spawn(move || handle_connection(engine, s));
+                    }
+                    None => std::thread::sleep(Duration::from_millis(2)),
+                }
+            }
+        });
+        if let ServerListener::Unix(_, path) = &self {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+/// Object-safe duplex stream so TCP and Unix connections share a handler.
+trait ReadWriteStream: std::io::Read + std::io::Write + Send {
+    fn try_clone_stream(&self) -> std::io::Result<Box<dyn ReadWriteStream>>;
+}
+
+impl ReadWriteStream for std::net::TcpStream {
+    fn try_clone_stream(&self) -> std::io::Result<Box<dyn ReadWriteStream>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+impl ReadWriteStream for std::os::unix::net::UnixStream {
+    fn try_clone_stream(&self) -> std::io::Result<Box<dyn ReadWriteStream>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+fn handle_connection(engine: &ShardedEngine, stream: Box<dyn ReadWriteStream>) {
+    let Ok(write_half) = stream.try_clone_stream() else {
+        return;
+    };
+    let reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(engine, &line);
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|_| writer.write_all(b"\n"))
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
+            break; // client hung up mid-response
+        }
+    }
+}
+
+/// One protocol line → one response line (no trailing newline). Shared by
+/// the socket handlers and the stdin front-end so the two modes cannot
+/// drift: parse, score through the sharded tier, and on a parse failure
+/// still recover the caller's id when it is legible.
+pub fn handle_line(engine: &ShardedEngine, line: &str) -> String {
+    match parse_request(line) {
+        Ok(req) => {
+            let mut results = engine.predict_batch_keys(std::slice::from_ref(&req.entity));
+            match results.pop().expect("one result per key") {
+                Ok(p) => response_ok(req.id, p),
+                Err(e) => response_err(Some(req.id), &e.to_string()),
+            }
+        }
+        Err(e) => response_err(recover_id(line), &e),
+    }
+}

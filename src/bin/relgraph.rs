@@ -30,14 +30,22 @@
 //! SERVE OPTIONS (relgraph serve …):
 //!   --max-batch <N>     most requests fused into one inference batch (default 32)
 //!   --deadline-ms <N>   micro-batch deadline in milliseconds (default 5)
-//!   --pred-cache <N>    prediction-cache capacity (default 4096)
-//!   --emb-cache <N>     embedding-cache capacity (default 65536)
+//!   --pred-cache <N>    prediction-cache capacity, split across shards (default 4096)
+//!   --emb-cache <N>     embedding-cache capacity, split across shards (default 65536)
+//!   --shards <N>        engine shards / worker threads (default 1)
+//!   --listen <ADDR>     serve a socket instead of stdin: `host:port` (TCP)
+//!                       or a filesystem path (Unix domain socket)
 //!
 //! `relgraph serve` trains the query's GNN model once, then reads one JSON
 //! request per stdin line (`{"id": 7, "entity": 1042}`) and answers each
 //! with one JSON response line (`{"id": 7, "prediction": 0.83}` or
-//! `{"id": 7, "error": "…"}`). Requests are micro-batched and served from
-//! a two-tier cache; a latency/hit-rate summary lands on stderr at EOF.
+//! `{"id": 7, "error": "…"}`). Requests are micro-batched, scattered
+//! across per-core engine shards (each owning a slice of the two-tier
+//! cache), and scored against epoch-swapped graph snapshots — predictions
+//! are bit-identical at any shard count. With `--listen`, the same
+//! protocol is served to concurrent socket clients (one response per
+//! request line, in order per connection) until the process is killed; in
+//! stdin mode a latency/hit-rate summary lands on stderr at EOF.
 //! ```
 //!
 //! Set `RELGRAPH_OBS=stderr` for a per-stage timing tree on stderr, or
@@ -58,7 +66,7 @@ use relgraph::pq::{
     analyze, build_training_table, execute, explain, parse, ExecConfig, PredictionValue,
     PreparedQuery,
 };
-use relgraph::serve::{protocol as serve_protocol, MicroBatcher, ServeConfig, ServeEngine};
+use relgraph::serve::{protocol as serve_protocol, MicroBatcher, ServeConfig, ShardedEngine};
 use relgraph::store::{
     load_database_dir, save_database_dir, Database, IngestPolicy, PolicyAction, RowBatch,
 };
@@ -409,11 +417,14 @@ struct ServeArgs {
     query: String,
     seed: u64,
     cfg: ServeConfig,
+    shards: usize,
+    listen: Option<String>,
 }
 
 fn serve_usage() -> &'static str {
     "usage: relgraph serve (--data DIR | --demo NAME) --query 'PREDICT …' \
-     [--seed N] [--max-batch N] [--deadline-ms N] [--pred-cache N] [--emb-cache N]"
+     [--seed N] [--max-batch N] [--deadline-ms N] [--pred-cache N] [--emb-cache N] \
+     [--shards N] [--listen HOST:PORT|SOCKET_PATH]"
 }
 
 fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
@@ -422,6 +433,8 @@ fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, Strin
     let mut query = None;
     let mut seed = 7u64;
     let mut cfg = ServeConfig::default();
+    let mut shards = 1usize;
+    let mut listen = None;
     let mut it = it;
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -450,6 +463,10 @@ fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, Strin
             "--emb-cache" => {
                 cfg.embedding_cache = number("--emb-cache", value("--emb-cache")?)? as usize
             }
+            "--shards" => {
+                shards = (number("--shards", value("--shards")?)? as usize).max(1);
+            }
+            "--listen" => listen = Some(value("--listen")?),
             "--help" | "-h" => return Err(serve_usage().to_string()),
             other => return Err(format!("unknown flag `{other}`\n{}", serve_usage())),
         }
@@ -460,6 +477,8 @@ fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, Strin
         query: query.ok_or_else(|| format!("--query is required\n{}", serve_usage()))?,
         seed,
         cfg,
+        shards,
+        listen,
     })
 }
 
@@ -498,16 +517,35 @@ fn run_serve(it: impl Iterator<Item = String>) -> Result<(), String> {
     };
     eprintln!("fitting model…");
     let t_fit = std::time::Instant::now();
-    let mut engine =
-        ServeEngine::fit(db, &args.query, &exec, args.cfg.clone()).map_err(|e| e.to_string())?;
+    let engine = ShardedEngine::fit(db, &args.query, &exec, args.cfg.clone(), args.shards)
+        .map_err(|e| e.to_string())?;
     let mut fit_line = format!("model fitted in {:.1}s;", t_fit.elapsed().as_secs_f64());
     for (name, v) in engine.fit_metrics() {
         fit_line.push_str(&format!(" {name}={v:.4}"));
     }
     eprintln!("{fit_line}");
+
+    if let Some(addr) = &args.listen {
+        // Socket mode: concurrent clients, one handler thread each, all
+        // funnelled into the same shard workers. Runs until killed.
+        let listener = relgraph::serve::bind(addr).map_err(|e| e.to_string())?;
+        eprintln!(
+            "serving on {} ({} shard(s)); one JSON request per line",
+            listener.local_addr(),
+            engine.shards()
+        );
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        listener.run(&engine, &stop).map_err(|e| e.to_string())?;
+        engine.publish_stats();
+        return Ok(());
+    }
+
     eprintln!(
-        "serving on stdin (max batch {}, deadline {:?}); one JSON request per line",
-        args.cfg.max_batch, args.cfg.batch_deadline
+        "serving on stdin (max batch {}, deadline {:?}, {} shard(s)); \
+         one JSON request per line",
+        args.cfg.max_batch,
+        args.cfg.batch_deadline,
+        engine.shards()
     );
 
     // Reader thread feeds the micro-batcher; the main thread serves.
@@ -548,13 +586,14 @@ fn run_serve(it: impl Iterator<Item = String>) -> Result<(), String> {
             .collect();
         let scored = engine.predict_batch_keys(&keys);
         let mut scored_it = scored.into_iter();
-        for p in &parsed {
+        for (raw, p) in lines.iter().zip(&parsed) {
             let line = match p {
                 Ok(req) => match scored_it.next().expect("one result per parsed request") {
                     Ok(pred) => serve_protocol::response_ok(req.id, pred),
                     Err(e) => serve_protocol::response_err(Some(req.id), &e.to_string()),
                 },
-                Err(msg) => serve_protocol::response_err(None, msg),
+                // Best-effort id so the client can still correlate.
+                Err(msg) => serve_protocol::response_err(serve_protocol::recover_id(raw), msg),
             };
             writeln!(out, "{line}").map_err(|e| e.to_string())?;
             responses += 1;

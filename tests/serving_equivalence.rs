@@ -21,7 +21,7 @@ use relgraph::datagen::{generate_ecommerce, EcommerceConfig};
 use relgraph::db2graph::{build_graph, ConvertOptions};
 use relgraph::gnn::{predict_nodes, NoCache};
 use relgraph::pq::ExecConfig;
-use relgraph::serve::{ServeConfig, ServeEngine};
+use relgraph::serve::{ServeConfig, ServeEngine, ShardedEngine};
 use relgraph::store::{IngestPolicy, Row, RowBatch, Value};
 
 const QUERY: &str = "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id";
@@ -139,6 +139,120 @@ proptest! {
                 w,
                 c
             );
+        }
+    }
+}
+
+proptest! {
+    // Four sharded engines per case (1/2/4/8 shards), each replaying the
+    // same schedule, plus a scratch cold rebuild — markedly more expensive
+    // than the single-engine property above, so even fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Shard-count invariance: the same fitted model served through 1, 2,
+    /// 4, or 8 per-core shards — each shard owning a private slice of the
+    /// two-tier cache, fed through the epoch-swap snapshot pipeline — must
+    /// produce bit-identical predictions under any random ingest schedule,
+    /// and all of them must equal a cold no-cache rebuild. Routing is load
+    /// balancing only; it must never be visible in the numbers.
+    #[test]
+    fn shard_count_never_changes_predictions(schedule in schedule_strategy()) {
+        // Borrow the shared fitted state (training is the expensive part);
+        // each sharded engine gets its own clone of the *current* database,
+        // so the growing-db trick from the first property carries over.
+        let (db, query, model, node_type, metrics) = {
+            let eng = engine().lock().unwrap_or_else(|e| e.into_inner());
+            (
+                eng.db().clone(),
+                eng.query().clone(),
+                eng.model_handle(),
+                eng.node_type(),
+                eng.metrics_owned(),
+            )
+        };
+        let engines: Vec<ShardedEngine> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&n| {
+                ShardedEngine::from_fitted(
+                    db.clone(),
+                    query.clone(),
+                    model.clone(),
+                    node_type,
+                    metrics.clone(),
+                    ServeConfig::default(),
+                    n,
+                )
+                .unwrap()
+            })
+            .collect();
+        let rows = engines[0].deploy_entities().unwrap();
+
+        // Warm every engine's cache tiers before the writes start biting.
+        for eng in &engines {
+            let _ = eng.predict_batch_rows(&rows);
+        }
+
+        for (orders, probes) in &schedule {
+            let (lo, hi) = db.time_span().unwrap();
+            // Materialize each step's rows ONCE — ids are drawn from the
+            // shared counter a single time and replayed into every engine,
+            // so all four databases stay byte-identical.
+            let materialized: Vec<Row> = orders
+                .iter()
+                .map(|&(c, p, qty, amount, frac)| {
+                    let t = lo + (hi - lo) / 4 + (hi - lo) / 2 * frac as i64 / 1000;
+                    Row::new()
+                        .push(NEXT_ORDER_ID.fetch_add(1, Ordering::Relaxed))
+                        .push(c as i64 % CUSTOMERS)
+                        .push(p as i64 % PRODUCTS)
+                        .push(qty)
+                        .push(amount)
+                        .push("web")
+                        .push(Value::Timestamp(t))
+                })
+                .collect();
+            for eng in &engines {
+                let mut batch = RowBatch::new();
+                for row in &materialized {
+                    batch.push("orders", row.clone());
+                }
+                let n = batch.len();
+                let outcome = eng.ingest(batch, &IngestPolicy::coerce_all()).unwrap();
+                prop_assert_eq!(outcome.report.accepted, n);
+                prop_assert!(
+                    !outcome.flushed && !outcome.rebuilt,
+                    "in-span timestamps must take the precise-invalidation path"
+                );
+            }
+            let probe_rows: Vec<usize> = probes.iter().map(|&s| rows[s % rows.len()]).collect();
+            if !probe_rows.is_empty() {
+                for eng in &engines {
+                    let _ = eng.predict_batch_rows(&probe_rows);
+                }
+            }
+        }
+
+        // Cold oracle on the settled state: scratch graph, no cache.
+        let snap = engines[0].snapshot();
+        let (scratch, _) = build_graph(&snap.db, &ConvertOptions::default()).unwrap();
+        let cold = predict_nodes(&model, &scratch, node_type, &rows, snap.anchor, &mut NoCache);
+
+        let outputs: Vec<Vec<f64>> = engines
+            .iter()
+            .map(|eng| eng.predict_batch_rows(&rows))
+            .collect();
+        for (shards, warm) in [1usize, 2, 4, 8].iter().zip(&outputs) {
+            for (i, (w, c)) in warm.iter().zip(&cold).enumerate() {
+                prop_assert_eq!(
+                    w.to_bits(),
+                    c.to_bits(),
+                    "row {} diverged from cold rebuild at {} shards: warm {} vs cold {}",
+                    rows[i],
+                    shards,
+                    w,
+                    c
+                );
+            }
         }
     }
 }
