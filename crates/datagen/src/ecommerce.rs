@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use relgraph_store::{DataType, Database, Row, StoreResult, TableSchema, Timestamp, Value};
 
+use crate::sink::RowSink;
 use crate::util::{
     log_normal, normal_with, poisson, uniform_time, weighted_index, SECONDS_PER_DAY,
 };
@@ -120,11 +121,23 @@ pub fn ecommerce_schema(db: &mut Database) -> StoreResult<()> {
     Ok(())
 }
 
-/// Generate a synthetic e-commerce database.
+/// Generate a synthetic e-commerce database in memory.
 pub fn generate_ecommerce(cfg: &EcommerceConfig) -> StoreResult<Database> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut db = Database::new("ecommerce");
     ecommerce_schema(&mut db)?;
+    generate_ecommerce_into(cfg, &mut db)?;
+    Ok(db)
+}
+
+/// Generate the e-commerce row stream into any [`RowSink`] — an in-memory
+/// [`Database`] (what [`generate_ecommerce`] does) or a
+/// [`relgraph_store::DatabaseStreamWriter`] writing columnar files
+/// directly to disk. The row sequence is identical either way, so the two
+/// destinations hold bit-identical data; the streaming path's memory high
+/// water is the generator's latent per-customer/per-product state (a few
+/// scalars each), independent of how many order/review rows it emits.
+pub fn generate_ecommerce_into(cfg: &EcommerceConfig, sink: &mut impl RowSink) -> StoreResult<()> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
     let horizon: Timestamp = cfg.horizon_days * SECONDS_PER_DAY;
 
     // Products: latent quality drives review ratings and repeat purchasing.
@@ -139,7 +152,7 @@ pub fn generate_ecommerce(cfg: &EcommerceConfig) -> StoreResult<Database> {
         product_category.push(cat);
         product_quality.push(quality);
         product_price.push(price);
-        db.insert(
+        sink.push_row(
             "products",
             Row::new()
                 .push(pid as i64)
@@ -167,7 +180,7 @@ pub fn generate_ecommerce(cfg: &EcommerceConfig) -> StoreResult<Database> {
         // products two hops away).
         cat_pref.push(rng.gen_range(0..CATEGORIES.len()));
         channel_pref.push(rng.gen_range(0..CHANNELS.len()));
-        db.insert(
+        sink.push_row(
             "customers",
             Row::new()
                 .push(cid as i64)
@@ -232,7 +245,7 @@ pub fn generate_ecommerce(cfg: &EcommerceConfig) -> StoreResult<Database> {
                 } else {
                     rng.gen_range(0..CHANNELS.len())
                 };
-                db.insert(
+                sink.push_row(
                     "orders",
                     Row::new()
                         .push(order_id)
@@ -252,7 +265,7 @@ pub fn generate_ecommerce(cfg: &EcommerceConfig) -> StoreResult<Database> {
                     let rating = (1.0 + 4.0 * product_quality[p] + normal_with(&mut rng, 0.0, 0.7))
                         .clamp(1.0, 5.0);
                     let written = placed + rng.gen_range(1..=5) * SECONDS_PER_DAY;
-                    db.insert(
+                    sink.push_row(
                         "reviews",
                         Row::new()
                             .push(review_id)
@@ -267,7 +280,7 @@ pub fn generate_ecommerce(cfg: &EcommerceConfig) -> StoreResult<Database> {
             t = block_end;
         }
     }
-    Ok(db)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -24,8 +24,12 @@
 pub mod clinic;
 pub mod ecommerce;
 pub mod forum;
+pub mod sink;
 pub mod util;
 
 pub use clinic::{generate_clinic, ClinicConfig};
-pub use ecommerce::{generate_ecommerce, EcommerceConfig};
+pub use ecommerce::{
+    ecommerce_schema, generate_ecommerce, generate_ecommerce_into, EcommerceConfig,
+};
 pub use forum::{generate_forum, ForumConfig};
+pub use sink::RowSink;

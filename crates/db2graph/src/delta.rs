@@ -48,6 +48,19 @@ impl GraphCursor {
         }
     }
 
+    /// Reconstruct a cursor from saved `(table, rows converted)` pairs
+    /// (the warm-restart path; pairs must be in table-creation order, as
+    /// returned by [`counts`](Self::counts)).
+    pub fn from_counts(row_counts: Vec<(String, usize)>) -> Self {
+        GraphCursor { row_counts }
+    }
+
+    /// The tracked `(table name, rows converted)` pairs, in table-creation
+    /// order.
+    pub fn counts(&self) -> &[(String, usize)] {
+        &self.row_counts
+    }
+
     /// Rows already converted for `table`, if tracked.
     pub fn rows_converted(&self, table: &str) -> Option<usize> {
         self.row_counts

@@ -20,10 +20,12 @@ pub mod convert;
 pub mod delta;
 pub mod error;
 pub mod featurize;
+pub mod persist;
 pub mod snapshot;
 
 pub use convert::{build_graph, ConvertOptions, EdgeBinding, GraphMapping};
 pub use delta::{update_graph, update_graph_snapshot, DeltaStats, GraphCursor};
 pub use error::{ConvertError, ConvertResult};
 pub use featurize::{featurize_table, featurize_table_delta, ColumnFeature, TableFeatureSpec};
+pub use persist::{load_graph, save_graph};
 pub use snapshot::snapshot_at;

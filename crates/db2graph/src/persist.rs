@@ -1,0 +1,390 @@
+//! Graph warm-start snapshots: serialize a compiled
+//! [`HeteroGraph`] together with its [`GraphMapping`] and [`GraphCursor`]
+//! into a single checksummed `graph.snap` file, and load it back
+//! structurally identical.
+//!
+//! The point of the snapshot is to skip the expensive parts of a cold
+//! boot — row featurization (text hashing, z-score passes) and FK
+//! resolution — on restart: [`load_graph`] replays the stored node/edge
+//! arrays through [`HeteroGraphBuilder`], whose CSR construction sorts by
+//! the total key `(src, time, dst)`, so the rebuilt adjacency is
+//! bit-identical to the graph that was saved (and therefore to a scratch
+//! [`build_graph`](crate::build_graph) of the same database). The stored
+//! cursor tells the serving layer how many rows the snapshot covers; rows
+//! ingested after the snapshot are caught up with
+//! [`update_graph`](crate::update_graph).
+//!
+//! On-disk framing (header, length, CRC-32) is delegated to the store's
+//! [`write_blob`]/[`read_blob`] (DESIGN.md §14.6); this module defines only
+//! the body layout, under magic `RGGS`.
+
+use std::path::Path;
+
+use relgraph_graph::{EdgeTypeId, FeatureMatrix, HeteroGraph, HeteroGraphBuilder, NodeTypeId};
+use relgraph_store::persist::format::{read_blob, write_blob, ByteReader, ByteWriter};
+use relgraph_store::StoreError;
+
+use crate::convert::{EdgeBinding, GraphMapping};
+use crate::delta::GraphCursor;
+use crate::error::{ConvertError, ConvertResult};
+use crate::featurize::{ColumnFeature, TableFeatureSpec};
+
+/// Magic prefix of graph snapshot files (`graph.snap`).
+pub const MAGIC_GRAPH: &[u8; 4] = b"RGGS";
+
+fn corrupt(path: &Path, message: impl Into<String>) -> ConvertError {
+    ConvertError::Store(StoreError::Corrupt {
+        file: path.display().to_string(),
+        message: message.into(),
+    })
+}
+
+fn put_column_feature(w: &mut ByteWriter, cf: &ColumnFeature) {
+    match cf {
+        ColumnFeature::Numeric { column, mean, std } => {
+            w.put_u8(0);
+            w.put_str(column);
+            w.put_f64(*mean);
+            w.put_f64(*std);
+        }
+        ColumnFeature::Boolean { column } => {
+            w.put_u8(1);
+            w.put_str(column);
+        }
+        ColumnFeature::TextHash { column, dim } => {
+            w.put_u8(2);
+            w.put_str(column);
+            w.put_u32(*dim as u32);
+        }
+        ColumnFeature::Bias => w.put_u8(3),
+    }
+}
+
+fn take_column_feature(r: &mut ByteReader<'_>, path: &Path) -> ConvertResult<ColumnFeature> {
+    Ok(match r.take_u8()? {
+        0 => ColumnFeature::Numeric {
+            column: r.take_str()?,
+            mean: r.take_f64()?,
+            std: r.take_f64()?,
+        },
+        1 => ColumnFeature::Boolean {
+            column: r.take_str()?,
+        },
+        2 => ColumnFeature::TextHash {
+            column: r.take_str()?,
+            dim: r.take_u32()? as usize,
+        },
+        3 => ColumnFeature::Bias,
+        t => return Err(corrupt(path, format!("unknown column-feature tag {t}"))),
+    })
+}
+
+/// Serialize `(graph, mapping, cursor)` into `path` (conventionally
+/// `graph.snap`). Returns the file size in bytes.
+pub fn save_graph(
+    path: &Path,
+    graph: &HeteroGraph,
+    mapping: &GraphMapping,
+    cursor: &GraphCursor,
+) -> ConvertResult<u64> {
+    let _span = relgraph_obs::span("snapshot.graph.save");
+    let mut w = ByteWriter::new();
+
+    // Node types: name, count, times, features.
+    w.put_u32(graph.num_node_types() as u32);
+    for ti in 0..graph.num_node_types() {
+        let t = NodeTypeId(ti);
+        let n = graph.num_nodes(t);
+        w.put_str(graph.node_type_name(t));
+        w.put_u64(n as u64);
+        for i in 0..n {
+            w.put_i64(graph.node_time(t, i));
+        }
+        let f = graph.features(t);
+        w.put_u32(f.dim() as u32);
+        for &v in f.data() {
+            w.put_u32(v.to_bits());
+        }
+    }
+
+    // Edge types: meta + time-sorted triples (CSR iteration order).
+    w.put_u32(graph.num_edge_types() as u32);
+    for ei in 0..graph.num_edge_types() {
+        let e = EdgeTypeId(ei);
+        let meta = graph.edge_type(e);
+        w.put_str(&meta.name);
+        w.put_u32(meta.src.0 as u32);
+        w.put_u32(meta.dst.0 as u32);
+        w.put_u64(graph.num_edges(e) as u64);
+        for (s, d, t) in graph.edges_of(e) {
+            w.put_u32(s as u32);
+            w.put_u32(d as u32);
+            w.put_i64(t);
+        }
+    }
+
+    // Mapping: table ↔ node type, edge bindings, feature specs.
+    w.put_u32(mapping.node_types.len() as u32);
+    for (name, id) in &mapping.node_types {
+        w.put_str(name);
+        w.put_u32(id.0 as u32);
+    }
+    w.put_u32(mapping.edge_bindings.len() as u32);
+    for b in &mapping.edge_bindings {
+        w.put_str(&b.name);
+        w.put_str(&b.src_table);
+        w.put_str(&b.dst_table);
+        w.put_str(&b.fk_column);
+        w.put_u8(b.reverse as u8);
+    }
+    w.put_u32(mapping.feature_specs.len() as u32);
+    for spec in &mapping.feature_specs {
+        w.put_str(&spec.table);
+        w.put_u32(spec.columns.len() as u32);
+        for cf in &spec.columns {
+            put_column_feature(&mut w, cf);
+        }
+    }
+
+    // Cursor: per-table converted-row high-water marks.
+    w.put_u32(cursor.counts().len() as u32);
+    for (name, count) in cursor.counts() {
+        w.put_str(name);
+        w.put_u64(*count as u64);
+    }
+
+    let bytes = write_blob(path, MAGIC_GRAPH, &w.into_bytes())?;
+    relgraph_obs::add("snapshot.graph.bytes", bytes);
+    Ok(bytes)
+}
+
+/// Load a snapshot written by [`save_graph`]. The returned graph is
+/// structurally identical to the one that was saved
+/// ([`HeteroGraph::structural_eq`]).
+pub fn load_graph(path: &Path) -> ConvertResult<(HeteroGraph, GraphMapping, GraphCursor)> {
+    let _span = relgraph_obs::span("snapshot.graph.load");
+    let body = read_blob(path, MAGIC_GRAPH)?;
+    let name = path.display().to_string();
+    let mut r = ByteReader::new(&body, &name);
+    let mut builder = HeteroGraphBuilder::new();
+
+    let num_node_types = r.take_u32()? as usize;
+    for _ in 0..num_node_types {
+        let ty_name = r.take_str()?;
+        let n = r.take_u64()? as usize;
+        let nt = builder.add_node_type(ty_name, n);
+        let mut times = Vec::with_capacity(n);
+        for _ in 0..n {
+            times.push(r.take_i64()?);
+        }
+        builder.set_node_times(nt, times);
+        let dim = r.take_u32()? as usize;
+        let mut data = Vec::with_capacity(n * dim);
+        for _ in 0..n * dim {
+            data.push(f32::from_bits(r.take_u32()?));
+        }
+        builder.set_features(nt, FeatureMatrix::from_rows(n, dim, data));
+    }
+
+    let num_edge_types = r.take_u32()? as usize;
+    for _ in 0..num_edge_types {
+        let ety_name = r.take_str()?;
+        let src = NodeTypeId(r.take_u32()? as usize);
+        let dst = NodeTypeId(r.take_u32()? as usize);
+        if src.0 >= num_node_types || dst.0 >= num_node_types {
+            return Err(corrupt(
+                path,
+                format!("edge type `{ety_name}` references node type out of range"),
+            ));
+        }
+        let e = builder.add_edge_type(&ety_name, src, dst);
+        let edges = r.take_u64()? as usize;
+        builder.reserve_edges(e, edges);
+        for _ in 0..edges {
+            let s = r.take_u32()? as usize;
+            let d = r.take_u32()? as usize;
+            let t = r.take_i64()?;
+            builder.add_edge(e, s, d, t);
+        }
+    }
+
+    let n = r.take_u32()? as usize;
+    let mut node_types = Vec::with_capacity(n);
+    for _ in 0..n {
+        let table = r.take_str()?;
+        node_types.push((table, NodeTypeId(r.take_u32()? as usize)));
+    }
+    let n = r.take_u32()? as usize;
+    let mut edge_bindings = Vec::with_capacity(n);
+    for _ in 0..n {
+        edge_bindings.push(EdgeBinding {
+            name: r.take_str()?,
+            src_table: r.take_str()?,
+            dst_table: r.take_str()?,
+            fk_column: r.take_str()?,
+            reverse: r.take_u8()? != 0,
+        });
+    }
+    let n = r.take_u32()? as usize;
+    let mut feature_specs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let table = r.take_str()?;
+        let cols = r.take_u32()? as usize;
+        let mut columns = Vec::with_capacity(cols);
+        for _ in 0..cols {
+            columns.push(take_column_feature(&mut r, path)?);
+        }
+        feature_specs.push(TableFeatureSpec { table, columns });
+    }
+
+    let n = r.take_u32()? as usize;
+    let mut counts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let table = r.take_str()?;
+        counts.push((table, r.take_u64()? as usize));
+    }
+    if !r.is_empty() {
+        return Err(corrupt(
+            path,
+            format!("{} trailing byte(s) after snapshot body", r.remaining()),
+        ));
+    }
+
+    let graph = builder.finish()?;
+    Ok((
+        graph,
+        GraphMapping {
+            node_types,
+            edge_bindings,
+            feature_specs,
+        },
+        GraphCursor::from_counts(counts),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_graph, update_graph, ConvertOptions};
+    use relgraph_store::{DataType, Database, Row, TableSchema, Value};
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("relgraph-graphsnap-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("graph.snap")
+    }
+
+    fn shop() -> Database {
+        let mut db = Database::new("shop");
+        db.create_table(
+            TableSchema::builder("customers")
+                .column("customer_id", DataType::Int)
+                .column("signup", DataType::Timestamp)
+                .column("region", DataType::Text)
+                .primary_key("customer_id")
+                .time_column("signup")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("orders")
+                .column("order_id", DataType::Int)
+                .column("customer_id", DataType::Int)
+                .column("amount", DataType::Float)
+                .column("placed_at", DataType::Timestamp)
+                .primary_key("order_id")
+                .time_column("placed_at")
+                .foreign_key("customer_id", "customers")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for (cid, t, r) in [(1i64, 100i64, "north"), (2, 200, "south")] {
+            db.insert(
+                "customers",
+                Row::new().push(cid).push(Value::Timestamp(t)).push(r),
+            )
+            .unwrap();
+        }
+        for (oid, cid, amount, t) in [(10i64, 1i64, 5.0, 150i64), (11, 2, 7.0, 250)] {
+            db.insert(
+                "orders",
+                Row::new()
+                    .push(oid)
+                    .push(cid)
+                    .push(amount)
+                    .push(Value::Timestamp(t)),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn graph_snapshot_round_trip_is_structural_identity() {
+        let db = shop();
+        let (graph, mapping) = build_graph(&db, &ConvertOptions::default()).unwrap();
+        let cursor = GraphCursor::capture(&db);
+        let path = tmp("round-trip");
+        save_graph(&path, &graph, &mapping, &cursor).unwrap();
+        let (g2, m2, c2) = load_graph(&path).unwrap();
+        assert!(graph.structural_eq(&g2));
+        assert_eq!(mapping.node_types, m2.node_types);
+        assert_eq!(mapping.edge_bindings, m2.edge_bindings);
+        assert_eq!(mapping.feature_specs, m2.feature_specs);
+        assert_eq!(cursor, c2);
+        // Features survive bit-exactly.
+        for ti in 0..graph.num_node_types() {
+            let t = NodeTypeId(ti);
+            assert_eq!(graph.features(t).data(), g2.features(t).data());
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn loaded_cursor_supports_catch_up_deltas() {
+        let mut db = shop();
+        let (graph, mapping) = build_graph(&db, &ConvertOptions::default()).unwrap();
+        let cursor = GraphCursor::capture(&db);
+        let path = tmp("catch-up");
+        save_graph(&path, &graph, &mapping, &cursor).unwrap();
+
+        // Database grows after the snapshot was taken.
+        db.insert(
+            "orders",
+            Row::new()
+                .push(12i64)
+                .push(1i64)
+                .push(3.5)
+                .push(Value::Timestamp(400)),
+        )
+        .unwrap();
+
+        let (mut g2, mut m2, mut c2) = load_graph(&path).unwrap();
+        update_graph(&db, &mut g2, &mut m2, &mut c2, &ConvertOptions::default()).unwrap();
+        let (scratch, _) = build_graph(&db, &ConvertOptions::default()).unwrap();
+        assert!(g2.structural_eq(&scratch));
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn corrupted_snapshot_is_structured_error() {
+        let db = shop();
+        let (graph, mapping) = build_graph(&db, &ConvertOptions::default()).unwrap();
+        let path = tmp("corrupt");
+        save_graph(&path, &graph, &mapping, &GraphCursor::capture(&db)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        match load_graph(&path) {
+            Err(ConvertError::Store(StoreError::Corrupt { .. })) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+}

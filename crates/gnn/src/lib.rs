@@ -68,6 +68,6 @@ pub use model::{GnnConfig, HeteroGnn};
 pub use recommend::{train_two_tower, TwoTowerConfig, TwoTowerModel};
 pub use sage::Aggregation;
 pub use train::{
-    train_multiclass_model, train_node_model, MulticlassModel, NodeModel, TaskKind, TrainConfig,
-    TrainReport,
+    train_multiclass_model, train_node_model, ModelState, MulticlassModel, NodeModel, TaskKind,
+    TrainConfig, TrainReport,
 };

@@ -46,6 +46,8 @@ pub struct HeteroGnn {
     head: Mlp,
     seed_type: usize,
     edge_types: Vec<EdgeTypeMeta>,
+    config: GnnConfig,
+    in_dims: Vec<usize>,
 }
 
 impl HeteroGnn {
@@ -91,7 +93,27 @@ impl HeteroGnn {
             head,
             seed_type,
             edge_types: edge_types.to_vec(),
+            config: config.clone(),
+            in_dims: in_dims.to_vec(),
         }
+    }
+
+    /// The hyper-parameters this model was constructed with. Together with
+    /// [`in_dims`](Self::in_dims), the edge types and the seed type, they
+    /// fully determine the parameter registration order — which is what
+    /// makes model snapshots (`ModelState`) reloadable.
+    pub fn config(&self) -> &GnnConfig {
+        &self.config
+    }
+
+    /// Per-node-type input feature dimensions the model was built for.
+    pub fn in_dims(&self) -> &[usize] {
+        &self.in_dims
+    }
+
+    /// The edge types the model was built for.
+    pub fn edge_type_metas(&self) -> &[EdgeTypeMeta] {
+        &self.edge_types
     }
 
     /// Number of message-passing layers.

@@ -174,6 +174,100 @@ impl NodeModel {
         }
         per_chunk.into_iter().flatten().collect()
     }
+
+    /// Export everything needed to reconstruct this model: architecture
+    /// (config, input dims, edge types, seed type), trained parameter
+    /// tensors, label scaling and sampler configuration. The state is a
+    /// plain value — byte-level encoding is the caller's concern (the
+    /// serving layer persists it in `model.snap`, see DESIGN.md §14.6).
+    pub fn export(&self) -> ModelState {
+        ModelState {
+            task: self.task,
+            label_mean: self.label_mean,
+            label_std: self.label_std,
+            sampler_cfg: self.sampler_cfg.clone(),
+            gnn_config: self.gnn.config().clone(),
+            in_dims: self.gnn.in_dims().to_vec(),
+            seed_type: self.gnn.seed_type(),
+            edge_types: self.gnn.edge_type_metas().to_vec(),
+            params: self.ps.snapshot(),
+            report: self.report.clone(),
+        }
+    }
+
+    /// Rebuild a model from an exported [`ModelState`].
+    ///
+    /// Parameter registration in [`HeteroGnn::new`] is deterministic given
+    /// the stored architecture, so re-registering and then restoring the
+    /// stored tensors reproduces the trained model exactly — predictions
+    /// are bit-identical to the exporting model's. Fails with
+    /// [`GnnError::ConfigMismatch`] if the stored tensors don't line up
+    /// with the architecture (count or shape), which indicates a corrupt
+    /// or hand-edited snapshot.
+    pub fn from_state(state: ModelState) -> GnnResult<NodeModel> {
+        let mut ps = ParamSet::new();
+        let gnn = HeteroGnn::new(
+            &mut ps,
+            &state.in_dims,
+            &state.edge_types,
+            state.seed_type,
+            &state.gnn_config,
+        );
+        if ps.len() != state.params.len() {
+            return Err(GnnError::ConfigMismatch(format!(
+                "model state carries {} parameter tensor(s), architecture registers {}",
+                state.params.len(),
+                ps.len()
+            )));
+        }
+        for (i, (fresh, stored)) in ps.snapshot().iter().zip(&state.params).enumerate() {
+            if fresh.shape() != stored.shape() {
+                return Err(GnnError::ConfigMismatch(format!(
+                    "parameter tensor #{i} has shape {:?}, architecture expects {:?}",
+                    stored.shape(),
+                    fresh.shape()
+                )));
+            }
+        }
+        ps.restore(&state.params);
+        Ok(NodeModel {
+            ps,
+            gnn,
+            task: state.task,
+            label_mean: state.label_mean,
+            label_std: state.label_std,
+            sampler_cfg: state.sampler_cfg,
+            report: state.report,
+        })
+    }
+}
+
+/// A [`NodeModel`] flattened into plain data for persistence: architecture,
+/// trained tensors, label scaling, sampler configuration and training
+/// report. Produced by [`NodeModel::export`], consumed by
+/// [`NodeModel::from_state`].
+#[derive(Debug, Clone)]
+pub struct ModelState {
+    /// Prediction task.
+    pub task: TaskKind,
+    /// Regression label de-standardization mean (0 for binary).
+    pub label_mean: f64,
+    /// Regression label de-standardization std (1 for binary).
+    pub label_std: f64,
+    /// Sampler configuration the model was trained under.
+    pub sampler_cfg: SamplerConfig,
+    /// GNN hyper-parameters.
+    pub gnn_config: GnnConfig,
+    /// Per-node-type input feature dimensions.
+    pub in_dims: Vec<usize>,
+    /// Seed node type index.
+    pub seed_type: usize,
+    /// Edge types the model was built for.
+    pub edge_types: Vec<relgraph_graph::EdgeTypeMeta>,
+    /// Trained parameter tensors, in registration order.
+    pub params: Vec<Tensor>,
+    /// Training diagnostics carried along for observability.
+    pub report: TrainReport,
 }
 
 /// A trained multiclass node-level model: hetero-GNN with a k-way softmax

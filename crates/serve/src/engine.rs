@@ -158,6 +158,29 @@ impl ServeEngine {
         )
     }
 
+    /// Wrap an already fitted model *and* an already compiled graph into an
+    /// engine — the warm-restart path. `graph`/`mapping` must be current
+    /// with respect to `db` (the loader catches the snapshot up with
+    /// [`update_graph`] first); the engine then serves bit-identically to
+    /// one built by [`ServeEngine::fit`] on the same database, without
+    /// re-featurizing a single row or training anything.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_fitted_graph(
+        db: Database,
+        graph: HeteroGraph,
+        mapping: GraphMapping,
+        query: PreparedQuery,
+        model: Arc<NodeModel>,
+        node_type: NodeTypeId,
+        metrics: Vec<(String, f64)>,
+        cfg: ServeConfig,
+    ) -> ServeResult<Self> {
+        let opts = ConvertOptions::default();
+        Self::assemble(
+            db, graph, mapping, opts, query, model, node_type, metrics, cfg,
+        )
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn assemble(
         db: Database,

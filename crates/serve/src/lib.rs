@@ -50,6 +50,7 @@ pub mod engine;
 pub mod epoch;
 pub mod error;
 pub mod invalidate;
+pub mod persist;
 pub mod protocol;
 pub mod server;
 pub mod sharded;
@@ -60,6 +61,9 @@ pub use engine::{predict_batch_cached, IngestOutcome, ServeConfig, ServeEngine};
 pub use epoch::EpochCell;
 pub use error::{ServeError, ServeResult};
 pub use invalidate::InvalidationPlan;
+pub use persist::{
+    load_model, save_engine, save_model, warm_engine, warm_sharded, ModelSnapshot, WarmBootReport,
+};
 pub use protocol::{parse_request, recover_id, response_err, response_ok, Request};
 pub use server::{bind, handle_line, ServerListener};
 pub use sharded::{GraphSnapshot, ShardedEngine, PLAN_HISTORY};

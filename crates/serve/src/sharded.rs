@@ -177,6 +177,53 @@ impl ShardedEngine {
         )
     }
 
+    /// Serve an already fitted model over an already compiled graph — the
+    /// warm-restart path (see
+    /// [`ServeEngine::from_fitted_graph`](crate::ServeEngine::from_fitted_graph)).
+    /// `graph`/`mapping` must be current with respect to `db`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_fitted_graph(
+        db: Database,
+        graph: HeteroGraph,
+        mapping: GraphMapping,
+        query: PreparedQuery,
+        model: Arc<NodeModel>,
+        node_type: NodeTypeId,
+        metrics: Vec<(String, f64)>,
+        cfg: ServeConfig,
+        shards: usize,
+    ) -> ServeResult<Self> {
+        let opts = ConvertOptions::default();
+        Self::assemble(
+            db, graph, mapping, opts, query, model, node_type, metrics, cfg, shards,
+        )
+    }
+
+    /// Persist this tier's warm-start state (graph + model snapshots) into
+    /// `dir` — the writer mutex is held, so the saved state is one
+    /// consistent epoch. `query_text` is stored alongside the model so a
+    /// restart can re-prepare the query. Returns total bytes written.
+    pub fn save_warm_start(&self, dir: &std::path::Path, query_text: &str) -> ServeResult<u64> {
+        let writer = self.writer.lock().expect("writer mutex");
+        let snapshot = self.shared.cell.load();
+        let graph_bytes = crate::persist::save_graph_state(
+            dir,
+            &snapshot.graph,
+            &writer.mapping,
+            &writer.cursor,
+        )?;
+        let model_bytes = crate::persist::save_model(
+            &dir.join(crate::persist::MODEL_SNAPSHOT_FILE),
+            &crate::persist::ModelSnapshot {
+                query_text: query_text.to_string(),
+                node_type: self.shared.node_type,
+                metrics: self.metrics.clone(),
+                state: self.shared.model.export(),
+            },
+        )?;
+        Ok(graph_bytes + model_bytes)
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn assemble(
         db: Database,

@@ -10,7 +10,7 @@ use crate::table::Table;
 use crate::value::Timestamp;
 
 /// An in-memory relational database: a set of tables plus their schemas.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Database {
     name: String,
     tables: Vec<Table>,
@@ -164,6 +164,25 @@ impl Database {
     /// Record quarantined rows from an ingest call.
     pub(crate) fn push_quarantine(&mut self, rows: Vec<QuarantinedRow>) {
         self.quarantine.extend(rows);
+    }
+
+    /// Reassemble a database from persisted parts (the reload path).
+    pub(crate) fn from_parts(
+        name: String,
+        tables: Vec<Table>,
+        quarantine: Vec<QuarantinedRow>,
+    ) -> Self {
+        let by_name = tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.name().to_string(), i))
+            .collect();
+        Database {
+            name,
+            tables,
+            by_name,
+            quarantine,
+        }
     }
 
     /// A human-readable multi-line summary (used by the dataset-inventory

@@ -56,6 +56,25 @@ pub enum StoreError {
         /// What the row violated.
         reason: String,
     },
+    /// A persistence-layer I/O failure (the message names the path).
+    Io(String),
+    /// An on-disk artifact failed structural validation: bad magic, short
+    /// file, checksum mismatch, or a malformed section.
+    Corrupt {
+        /// The offending file (data-dir-relative where possible).
+        file: String,
+        /// What failed to validate.
+        message: String,
+    },
+    /// An on-disk artifact was written by an incompatible format version.
+    UnsupportedVersion {
+        /// The offending file.
+        file: String,
+        /// The version recorded in the file.
+        found: u32,
+        /// The newest version this build can read.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -96,6 +115,14 @@ impl fmt::Display for StoreError {
             StoreError::BatchRejected { table, batch_row, reason } => write!(
                 f,
                 "batch rejected at row {batch_row} (table `{table}`): {reason}"
+            ),
+            StoreError::Io(msg) => write!(f, "I/O error: {msg}"),
+            StoreError::Corrupt { file, message } => {
+                write!(f, "corrupt persistent data in `{file}`: {message}")
+            }
+            StoreError::UnsupportedVersion { file, found, supported } => write!(
+                f,
+                "`{file}` uses format version {found}, but this build supports at most {supported}"
             ),
         }
     }

@@ -16,7 +16,10 @@
 //!   by the feature-engineering baseline and by training-table construction
 //!   ([`query`]).
 //!
-//! Everything is deterministic and single-threaded; there is no persistence.
+//! Everything is deterministic. Durability is layered on top by the
+//! [`persist`] module family: a columnar on-disk format, an ingest
+//! write-ahead log with crash recovery, and compaction (see DESIGN.md §14
+//! for the normative format specification).
 //!
 //! ## Example
 //!
@@ -43,6 +46,7 @@ pub mod database;
 pub mod ddl;
 pub mod error;
 pub mod ingest;
+pub mod persist;
 pub mod query;
 pub mod row;
 pub mod schema;
@@ -54,6 +58,8 @@ pub use database::Database;
 pub use ddl::{load_database_dir, parse_ddl, render_ddl, save_database_dir};
 pub use error::{StoreError, StoreResult};
 pub use ingest::{IngestPolicy, IngestReport, PolicyAction, QuarantinedRow, RowBatch};
+pub use persist::snapshot::{DatabaseStreamWriter, TableStreamWriter};
+pub use persist::{ColumnarBackend, CsvDirBackend, DataDir, RecoveryReport, StorageBackend};
 pub use query::{hash_join, Aggregation, CmpOp, GroupQuery, JoinedRows, Predicate};
 pub use row::Row;
 pub use schema::{ColumnDef, ForeignKey, TableSchema, TableSchemaBuilder};

@@ -1,0 +1,506 @@
+//! Durable storage for [`Database`]s: a columnar on-disk format, an ingest
+//! write-ahead log with crash recovery, and compaction — the persistent
+//! substrate behind `relgraph --data-dir`.
+//!
+//! The normative format specification lives in DESIGN.md §14; this module
+//! family is the reference implementation:
+//!
+//! * [`mod@format`] — byte codec, CRC-32, column segment files, string
+//!   dictionaries, the versioned `MANIFEST`;
+//! * [`snapshot`] — whole-database base snapshots (full and streaming
+//!   writers, bit-exact reload);
+//! * [`wal`] — framed, checksummed write-ahead log for ingest batches;
+//! * [`recovery`] — committed-prefix replay and torn-tail truncation.
+//!
+//! [`DataDir`] ties them together. On disk a data directory looks like
+//!
+//! ```text
+//! mydb/
+//!   MANIFEST            versioned pointer: live generation + applied_seq
+//!   wal.log             ingest batches since the live base was written
+//!   base-000001/        columnar base snapshot (schema.ddl, *.col, …)
+//!   snapshots/          optional warm-start artifacts (graph/model),
+//!                       written by the serving layer
+//! ```
+//!
+//! ## Durability contract
+//!
+//! [`DataDir::ingest`] appends the batch to the WAL and flushes it *before*
+//! applying it in memory; a batch is durable iff its record is committed
+//! (fully framed, checksum valid). [`DataDir::open`] replays committed
+//! records past the manifest's `applied_seq` and truncates anything after
+//! the first torn frame, so a crash at any byte offset recovers to exactly
+//! the last committed ingest — bit-identical to an uninterrupted run
+//! (property-tested in `tests/persist_props.rs`).
+//!
+//! ```
+//! use relgraph_store::persist::DataDir;
+//! use relgraph_store::{Database, DataType, IngestPolicy, Row, RowBatch, TableSchema};
+//!
+//! let mut db = Database::new("doc");
+//! db.create_table(
+//!     TableSchema::builder("events")
+//!         .column("id", DataType::Int)
+//!         .primary_key("id")
+//!         .build()
+//!         .unwrap(),
+//! )
+//! .unwrap();
+//!
+//! let root = std::env::temp_dir().join(format!("relgraph-datadir-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&root);
+//!
+//! // Create the directory, ingest through the WAL, drop the handle (crash).
+//! let mut dd = DataDir::create(&root, &db).unwrap();
+//! let batch = RowBatch::new().with("events", Row::new().push(7i64));
+//! dd.ingest(&mut db, batch, &IngestPolicy::default()).unwrap();
+//! drop(dd);
+//!
+//! // Reopen: WAL replay reproduces the database bit for bit.
+//! let (_dd, recovered, report) = DataDir::open(&root).unwrap();
+//! assert_eq!(recovered, db);
+//! assert_eq!(report.replayed, 1);
+//! std::fs::remove_dir_all(&root).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod format;
+pub mod recovery;
+pub mod snapshot;
+pub mod wal;
+
+use std::path::{Path, PathBuf};
+
+use relgraph_obs as obs;
+
+use crate::database::Database;
+use crate::ddl::{load_database_dir, save_database_dir};
+use crate::error::{StoreError, StoreResult};
+use crate::ingest::{IngestPolicy, IngestReport, RowBatch};
+
+use format::{io_err, Manifest};
+pub use recovery::RecoveryReport;
+use wal::Wal;
+
+/// A storage backend that can persist and reload a whole [`Database`].
+///
+/// Two implementations ship: [`CsvDirBackend`] (the original
+/// `schema.ddl` + per-table CSV layout, human-readable, slow) and
+/// [`ColumnarBackend`] (the binary format of DESIGN.md §14, bit-exact and
+/// fast). [`DataDir`] layers WAL-based durability on top of the columnar
+/// backend.
+pub trait StorageBackend {
+    /// Load the full database from this backend's location.
+    fn load(&self) -> StoreResult<Database>;
+    /// Persist `db` to this backend's location, replacing prior contents.
+    fn save(&self, db: &Database) -> StoreResult<()>;
+    /// Human-readable backend name (for logs and error messages).
+    fn kind(&self) -> &'static str;
+}
+
+/// The CSV directory layout (`schema.ddl` + one `<table>.csv` per table)
+/// behind the [`StorageBackend`] trait.
+#[derive(Debug, Clone)]
+pub struct CsvDirBackend(pub PathBuf);
+
+impl StorageBackend for CsvDirBackend {
+    fn load(&self) -> StoreResult<Database> {
+        load_database_dir(&self.0)
+    }
+    fn save(&self, db: &Database) -> StoreResult<()> {
+        save_database_dir(db, &self.0)
+    }
+    fn kind(&self) -> &'static str {
+        "csv-dir"
+    }
+}
+
+/// The binary columnar layout (a bare base snapshot, no WAL/manifest)
+/// behind the [`StorageBackend`] trait.
+#[derive(Debug, Clone)]
+pub struct ColumnarBackend {
+    /// Snapshot directory.
+    pub dir: PathBuf,
+    /// Database name to restore on load.
+    pub name: String,
+}
+
+impl StorageBackend for ColumnarBackend {
+    fn load(&self) -> StoreResult<Database> {
+        snapshot::read_base(&self.dir, &self.name)
+    }
+    fn save(&self, db: &Database) -> StoreResult<()> {
+        snapshot::write_base(&self.dir, db).map(|_| ())
+    }
+    fn kind(&self) -> &'static str {
+        "columnar"
+    }
+}
+
+/// A durable data directory: columnar base snapshot + ingest WAL +
+/// versioned manifest. See the [module docs](self) for the layout and the
+/// durability contract.
+#[derive(Debug)]
+pub struct DataDir {
+    root: PathBuf,
+    manifest: Manifest,
+    wal: Wal,
+    next_seq: u64,
+}
+
+impl DataDir {
+    fn manifest_path(root: &Path) -> PathBuf {
+        root.join("MANIFEST")
+    }
+
+    fn wal_path(root: &Path) -> PathBuf {
+        root.join("wal.log")
+    }
+
+    fn base_path(root: &Path, generation: u64) -> PathBuf {
+        root.join(format!("base-{generation:06}"))
+    }
+
+    /// The directory root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Directory for warm-start snapshot artifacts (graph/model), created
+    /// on demand by the serving layer.
+    pub fn snapshots_dir(&self) -> PathBuf {
+        self.root.join("snapshots")
+    }
+
+    /// The live manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Sequence number the next ingested batch will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Initialize `root` as a data directory holding `db` (generation 1,
+    /// empty WAL). Fails if `root` already contains a manifest.
+    pub fn create(root: &Path, db: &Database) -> StoreResult<Self> {
+        if Self::manifest_path(root).exists() {
+            return Err(StoreError::Io(format!(
+                "{}: already an initialized data directory",
+                root.display()
+            )));
+        }
+        std::fs::create_dir_all(root).map_err(|e| io_err(root, e))?;
+        let manifest = Manifest {
+            name: db.name().to_string(),
+            generation: 1,
+            applied_seq: 0,
+        };
+        snapshot::write_base(&Self::base_path(root, 1), db)?;
+        write_manifest_atomic(root, &manifest)?;
+        let wal = Wal::open(&Self::wal_path(root))?;
+        Ok(DataDir {
+            root: root.to_path_buf(),
+            manifest,
+            wal,
+            next_seq: 1,
+        })
+    }
+
+    /// Begin initializing `root` as a data directory whose generation-1
+    /// base is *streamed* rather than copied from an in-memory database —
+    /// the out-of-core creation path for datasets larger than RAM. Returns
+    /// a [`snapshot::DatabaseStreamWriter`] aimed at `base-000001`; append
+    /// every row, then hand it to [`DataDir::finish_streamed`]. Fails if
+    /// `root` already contains a manifest.
+    pub fn create_streamed(
+        root: &Path,
+        schemas: Vec<crate::schema::TableSchema>,
+    ) -> StoreResult<snapshot::DatabaseStreamWriter> {
+        if Self::manifest_path(root).exists() {
+            return Err(StoreError::Io(format!(
+                "{}: already an initialized data directory",
+                root.display()
+            )));
+        }
+        std::fs::create_dir_all(root).map_err(|e| io_err(root, e))?;
+        snapshot::DatabaseStreamWriter::create(&Self::base_path(root, 1), schemas)
+    }
+
+    /// Finalize a streamed creation: finish the base's column files, write
+    /// the manifest (generation 1, nothing applied) and an empty WAL, and
+    /// return the open handle plus the base's size in bytes. `name` is the
+    /// database name the manifest records; [`DataDir::open`] will serve it
+    /// back.
+    pub fn finish_streamed(
+        root: &Path,
+        name: &str,
+        writer: snapshot::DatabaseStreamWriter,
+    ) -> StoreResult<(Self, u64)> {
+        let bytes = writer.finish()?;
+        let manifest = Manifest {
+            name: name.to_string(),
+            generation: 1,
+            applied_seq: 0,
+        };
+        write_manifest_atomic(root, &manifest)?;
+        let wal = Wal::open(&Self::wal_path(root))?;
+        obs::add("snapshot.base.bytes", bytes);
+        Ok((
+            DataDir {
+                root: root.to_path_buf(),
+                manifest,
+                wal,
+                next_seq: 1,
+            },
+            bytes,
+        ))
+    }
+
+    /// Open an existing data directory: load the live base snapshot,
+    /// replay the WAL's committed records past `applied_seq`, and truncate
+    /// any torn tail. Returns the handle, the recovered database and a
+    /// report of what recovery did.
+    pub fn open(root: &Path) -> StoreResult<(Self, Database, RecoveryReport)> {
+        let _span = obs::span("persist.open");
+        let mpath = Self::manifest_path(root);
+        let text = std::fs::read_to_string(&mpath).map_err(|e| io_err(&mpath, e))?;
+        let manifest = Manifest::parse(&mpath.display().to_string(), &text)?;
+        let mut db =
+            snapshot::read_base(&Self::base_path(root, manifest.generation), &manifest.name)?;
+        let wal_path = Self::wal_path(root);
+        let scan = Wal::scan(&wal_path, manifest.applied_seq)?;
+        let report = recovery::replay(&mut db, &scan)?;
+        if scan.valid_len < scan.file_len {
+            Wal::truncate_to(&wal_path, scan.valid_len)?;
+        }
+        let next_seq = scan
+            .records
+            .last()
+            .map(|r| r.seq + 1)
+            .unwrap_or(manifest.applied_seq + 1);
+        let wal = Wal::open(&wal_path)?;
+        Ok((
+            DataDir {
+                root: root.to_path_buf(),
+                manifest,
+                wal,
+                next_seq,
+            },
+            db,
+            report,
+        ))
+    }
+
+    /// Durably ingest one batch: append it to the WAL (flushed to disk)
+    /// *then* apply it to `db`. The returned report — and any rejection
+    /// error — is exactly what [`Database::ingest`] produces; a rejected
+    /// batch leaves a committed no-op record in the log.
+    pub fn ingest(
+        &mut self,
+        db: &mut Database,
+        batch: RowBatch,
+        policy: &IngestPolicy,
+    ) -> StoreResult<IngestReport> {
+        let seq = self.next_seq;
+        self.wal.append(seq, policy, &batch)?;
+        self.next_seq += 1;
+        db.ingest(batch, policy)
+    }
+
+    /// Fold every WAL record into a fresh base snapshot (generation + 1),
+    /// repoint the manifest, and reset the WAL. `db` must be the live
+    /// database this directory produced (base + all WAL records applied).
+    ///
+    /// Crash-safe at every step: the manifest is replaced atomically
+    /// (write-to-temp + rename) and records `applied_seq`, so a crash
+    /// before the WAL reset merely leaves records that the next open
+    /// skips, and a crash before the manifest rename leaves the old
+    /// generation live with its WAL intact.
+    pub fn compact(&mut self, db: &Database) -> StoreResult<()> {
+        let _span = obs::span("persist.compact");
+        let new_gen = self.manifest.generation + 1;
+        let applied_seq = self.next_seq - 1;
+        snapshot::write_base(&Self::base_path(&self.root, new_gen), db)?;
+        let new_manifest = Manifest {
+            name: self.manifest.name.clone(),
+            generation: new_gen,
+            applied_seq,
+        };
+        write_manifest_atomic(&self.root, &new_manifest)?;
+        let old = Self::base_path(&self.root, self.manifest.generation);
+        self.manifest = new_manifest;
+        self.wal.reset()?;
+        // Old generation is dead weight now; removal is best-effort.
+        let _ = std::fs::remove_dir_all(old);
+        obs::add("persist.compactions", 1);
+        Ok(())
+    }
+}
+
+/// Replace `root`'s manifest atomically (temp file + rename).
+fn write_manifest_atomic(root: &Path, manifest: &Manifest) -> StoreResult<()> {
+    let tmp = root.join("MANIFEST.tmp");
+    let fin = DataDir::manifest_path(root);
+    std::fs::write(&tmp, manifest.render()).map_err(|e| io_err(&tmp, e))?;
+    std::fs::rename(&tmp, &fin).map_err(|e| io_err(&fin, e))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::Row;
+    use crate::schema::TableSchema;
+    use crate::value::{DataType, Value};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "relgraph-datadir-test-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn shop() -> Database {
+        let mut db = Database::new("shop");
+        db.create_table(
+            TableSchema::builder("customers")
+                .column("customer_id", DataType::Int)
+                .column("signup", DataType::Timestamp)
+                .primary_key("customer_id")
+                .time_column("signup")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("orders")
+                .column("order_id", DataType::Int)
+                .column("customer_id", DataType::Int)
+                .column("placed", DataType::Timestamp)
+                .primary_key("order_id")
+                .time_column("placed")
+                .foreign_key("customer_id", "customers")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for i in 0..5i64 {
+            db.insert(
+                "customers",
+                Row::new().push(i).push(Value::Timestamp(i * 100)),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn order_batch(id: i64, cust: i64, t: i64) -> RowBatch {
+        RowBatch::new().with(
+            "orders",
+            Row::new().push(id).push(cust).push(Value::Timestamp(t)),
+        )
+    }
+
+    #[test]
+    fn create_ingest_reopen_is_identical() {
+        let root = tmp("reopen");
+        let mut db = shop();
+        let mut dd = DataDir::create(&root, &db).unwrap();
+        dd.ingest(&mut db, order_batch(1, 0, 500), &IngestPolicy::default())
+            .unwrap();
+        dd.ingest(&mut db, order_batch(2, 3, 600), &IngestPolicy::default())
+            .unwrap();
+        // A rejected batch (dangling FK) is a committed no-op.
+        let err = dd
+            .ingest(&mut db, order_batch(3, 99, 700), &IngestPolicy::default())
+            .unwrap_err();
+        assert!(matches!(err, StoreError::BatchRejected { .. }));
+        drop(dd);
+
+        let (_dd, recovered, report) = DataDir::open(&root).unwrap();
+        assert_eq!(recovered, db);
+        assert_eq!(report.replayed, 3);
+        assert_eq!(report.rejected, 1);
+        assert!(report.torn.is_none());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn compact_folds_wal_and_skips_applied_records() {
+        let root = tmp("compact");
+        let mut db = shop();
+        let mut dd = DataDir::create(&root, &db).unwrap();
+        dd.ingest(&mut db, order_batch(1, 0, 500), &IngestPolicy::default())
+            .unwrap();
+        dd.compact(&db).unwrap();
+        assert_eq!(dd.manifest().generation, 2);
+        assert!(dd.wal.is_empty().unwrap());
+        // Post-compaction ingest lands in the fresh WAL.
+        dd.ingest(&mut db, order_batch(2, 1, 800), &IngestPolicy::default())
+            .unwrap();
+        drop(dd);
+        let (_dd, recovered, report) = DataDir::open(&root).unwrap();
+        assert_eq!(recovered, db);
+        assert_eq!(report.replayed, 1);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_recovers_to_last_committed_batch() {
+        let root = tmp("torn");
+        let mut db = shop();
+        let mut dd = DataDir::create(&root, &db).unwrap();
+        dd.ingest(&mut db, order_batch(1, 0, 500), &IngestPolicy::default())
+            .unwrap();
+        let state_after_one = db.clone();
+        dd.ingest(&mut db, order_batch(2, 1, 600), &IngestPolicy::default())
+            .unwrap();
+        drop(dd);
+        // Crash mid-append of record 2: chop 3 bytes off the tail.
+        let wal_path = DataDir::wal_path(&root);
+        let bytes = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &bytes[..bytes.len() - 3]).unwrap();
+
+        let (_dd, recovered, report) = DataDir::open(&root).unwrap();
+        assert_eq!(recovered, state_after_one);
+        assert_eq!(report.replayed, 1);
+        assert_eq!(report.truncated_bytes as usize, {
+            // Everything past record 1's end was torn.
+            let scan = Wal::scan(&wal_path, 0).unwrap();
+            (bytes.len() - 3) - scan.valid_len as usize
+        });
+        assert!(report.torn.is_some());
+        // The torn tail was truncated on open: a second open is clean.
+        let (_dd, again, report) = DataDir::open(&root).unwrap();
+        assert_eq!(again, state_after_one);
+        assert!(report.torn.is_none());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn backends_round_trip_through_trait() {
+        let root = tmp("backends");
+        let db = shop();
+        let csv = CsvDirBackend(root.join("csv"));
+        let col = ColumnarBackend {
+            dir: root.join("col"),
+            name: "shop".to_string(),
+        };
+        for backend in [&csv as &dyn StorageBackend, &col] {
+            backend.save(&db).unwrap();
+            let back = backend.load().unwrap();
+            // CSV loses only the database name (directory-derived); the
+            // columnar backend is bit-exact.
+            assert_eq!(back.total_rows(), db.total_rows());
+            if backend.kind() == "columnar" {
+                assert_eq!(back, db);
+            }
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

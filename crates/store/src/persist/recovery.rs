@@ -1,0 +1,73 @@
+//! Crash recovery: replay the WAL's committed prefix over the base
+//! snapshot and truncate the torn tail.
+//!
+//! Recovery is a pure function of the on-disk state: because
+//! [`Database::ingest`](crate::Database::ingest) is deterministic
+//! (validate-then-apply, no ambient state), replaying the committed
+//! records over the base snapshot reproduces exactly the in-memory
+//! database that existed after the last completed `ingest` call before
+//! the crash — including its quarantine buffer and each batch's
+//! accept/coerce/quarantine decisions. Batches that were *rejected*
+//! in the original run are rejected identically on replay (ingest is
+//! atomic, so a rejected record is a committed no-op).
+
+use crate::database::Database;
+use crate::error::StoreResult;
+
+use super::wal::WalScan;
+
+/// What recovery did while opening a data directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Committed WAL records found past the manifest's `applied_seq`.
+    pub replayed: usize,
+    /// Replayed records whose batches were (re-)rejected by their policy —
+    /// deterministic no-ops, counted for visibility.
+    pub rejected: usize,
+    /// Bytes of torn tail truncated from the WAL, if any.
+    pub truncated_bytes: u64,
+    /// Human-readable reason the tail was torn, if it was.
+    pub torn: Option<String>,
+}
+
+impl RecoveryReport {
+    /// One-line summary for CLI output.
+    pub fn summary(&self) -> String {
+        let tail = match &self.torn {
+            Some(reason) => format!(
+                ", truncated {} torn byte(s) ({reason})",
+                self.truncated_bytes
+            ),
+            None => String::new(),
+        };
+        format!(
+            "replayed {} WAL record(s) ({} rejected){tail}",
+            self.replayed, self.rejected
+        )
+    }
+}
+
+/// Replay a WAL scan over `db`, counting deterministic rejections.
+pub(crate) fn replay(db: &mut Database, scan: &WalScan) -> StoreResult<RecoveryReport> {
+    let _span = relgraph_obs::span("wal.replay");
+    let mut report = RecoveryReport {
+        truncated_bytes: scan.file_len - scan.valid_len,
+        torn: scan.torn.clone(),
+        ..Default::default()
+    };
+    for record in &scan.records {
+        report.replayed += 1;
+        // Ingest is atomic: an Err means the batch was a no-op, both now
+        // and in the original run. Any error class other than rejection
+        // would equally have been a no-op originally, so replay never
+        // diverges.
+        if db.ingest(record.batch.clone(), &record.policy).is_err() {
+            report.rejected += 1;
+        }
+    }
+    relgraph_obs::add("wal.replay.records", report.replayed as u64);
+    if report.truncated_bytes > 0 {
+        relgraph_obs::add("wal.truncated.bytes", report.truncated_bytes);
+    }
+    Ok(report)
+}

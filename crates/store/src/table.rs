@@ -12,7 +12,7 @@ use crate::value::{Timestamp, Value};
 ///
 /// Rows are append-only and identified by their insertion index
 /// (`0..table.len()`); the graph layer uses that index as the node id.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     schema: TableSchema,
     columns: Vec<Column>,
@@ -122,6 +122,50 @@ impl Table {
             col.push(v);
         }
         Ok(idx)
+    }
+
+    /// Reassemble a table from decoded columns (the persistence reload
+    /// path). The primary-key index is rebuilt by scanning the key column,
+    /// exactly as a sequence of [`insert`](Self::insert)s would have built
+    /// it; duplicate or NULL keys mean the file is corrupt.
+    pub(crate) fn from_parts(schema: TableSchema, columns: Vec<Column>) -> StoreResult<Self> {
+        if columns.len() != schema.arity() {
+            return Err(StoreError::ArityMismatch {
+                table: schema.name().to_string(),
+                expected: schema.arity(),
+                got: columns.len(),
+            });
+        }
+        let n = columns.first().map_or(0, Column::len);
+        if columns.iter().any(|c| c.len() != n) {
+            return Err(StoreError::InvalidSchema(format!(
+                "table `{}` has ragged columns",
+                schema.name()
+            )));
+        }
+        let mut pk_index = HashMap::new();
+        if let Some(pk) = schema.primary_key_index() {
+            pk_index.reserve(n);
+            for i in 0..n {
+                let key = columns[pk].get(i);
+                if key.is_null() {
+                    return Err(StoreError::NullKey {
+                        table: schema.name().to_string(),
+                    });
+                }
+                if pk_index.insert(key.group_key(), i).is_some() {
+                    return Err(StoreError::DuplicateKey {
+                        table: schema.name().to_string(),
+                        key: key.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(Table {
+            schema,
+            columns,
+            pk_index,
+        })
     }
 
     /// Column by index.

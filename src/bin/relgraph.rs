@@ -6,11 +6,17 @@
 //! USAGE:
 //!   relgraph --demo ecommerce --query "PREDICT EXISTS(orders.*, 0, 30) FOR EACH customers.customer_id"
 //!   relgraph --data ./mydb    --query "…" [--explain-only] [--top 20] [--export-demo DIR]
-//!   relgraph ingest --data ./mydb --batch orders=new_orders.csv [--policy coerce] [--query "…"]
-//!   relgraph serve  --demo ecommerce --query "…"   # JSONL request loop on stdin
+//!   relgraph init    --data-dir ./db (--data ./csvdir | --demo NAME)   # durable columnar dir
+//!   relgraph ingest (--data ./mydb | --data-dir ./db) --batch orders=new_orders.csv [--policy coerce]
+//!   relgraph serve  (--demo ecommerce | --data-dir ./db) --query "…"  # JSONL request loop
+//!   relgraph compact --data-dir ./db   # fold the WAL into a fresh base snapshot
+//!   relgraph recover --data-dir ./db   # replay the WAL, truncate any torn tail, report
 //!
 //! OPTIONS:
 //!   --data <DIR>        load <DIR>/schema.ddl + <table>.csv files
+//!   --data-dir <DIR>    open a durable columnar data directory (base snapshot +
+//!                       ingest WAL; created with `relgraph init`); opening replays
+//!                       committed WAL records and truncates any torn tail
 //!   --demo <NAME>       generate a demo database: ecommerce | forum | clinic
 //!   --query <PQL>       the predictive query to run (required unless --export-demo)
 //!   --explain-only      compile and print the plan without training
@@ -26,6 +32,13 @@
 //!   --query <PQL>       after ingesting, re-run this predictive query on
 //!                       the incrementally-updated graph
 //!   --save <DIR>        write the updated database back out to DIR
+//!
+//! With `--data-dir`, `relgraph ingest` appends each batch to the write-ahead
+//! log (flushed before it is applied), so a crash at any point recovers to the
+//! last committed batch, and `relgraph serve` saves graph/model snapshots
+//! after fitting — the next `serve` on the same directory boots warm in
+//! seconds, skipping featurization and training, with byte-identical
+//! predictions.
 //!
 //! SERVE OPTIONS (relgraph serve …):
 //!   --max-batch <N>     most requests fused into one inference batch (default 32)
@@ -68,11 +81,12 @@ use relgraph::pq::{
 };
 use relgraph::serve::{protocol as serve_protocol, MicroBatcher, ServeConfig, ShardedEngine};
 use relgraph::store::{
-    load_database_dir, save_database_dir, Database, IngestPolicy, PolicyAction, RowBatch,
+    load_database_dir, save_database_dir, DataDir, Database, IngestPolicy, PolicyAction, RowBatch,
 };
 
 struct Args {
     data: Option<String>,
+    data_dir: Option<String>,
     demo: Option<String>,
     query: Option<String>,
     explain_only: bool,
@@ -82,13 +96,25 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: relgraph (--data DIR | --demo ecommerce|forum|clinic) \
+    "usage: relgraph (--data DIR | --data-dir DIR | --demo ecommerce|forum|clinic) \
      --query 'PREDICT …' [--explain-only] [--top N] [--seed N] [--export-demo DIR]"
+}
+
+/// Open a durable data directory, replaying any committed WAL tail, and
+/// surface the recovery report on stderr when it did real work.
+fn open_data_dir(dir: &str) -> Result<(DataDir, Database), String> {
+    let (dd, db, report) = DataDir::open(std::path::Path::new(dir))
+        .map_err(|e| format!("opening data dir {dir}: {e}"))?;
+    if report.replayed > 0 || report.torn.is_some() {
+        eprintln!("{dir}: {}", report.summary());
+    }
+    Ok((dd, db))
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         data: None,
+        data_dir: None,
         demo: None,
         query: None,
         explain_only: false,
@@ -104,6 +130,7 @@ fn parse_args() -> Result<Args, String> {
         };
         match flag.as_str() {
             "--data" => args.data = Some(value("--data")?),
+            "--data-dir" => args.data_dir = Some(value("--data-dir")?),
             "--demo" => args.demo = Some(value("--demo")?),
             "--query" | "-q" => args.query = Some(value("--query")?),
             "--explain-only" => args.explain_only = true,
@@ -126,6 +153,15 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn load(args: &Args) -> Result<Database, String> {
+    if let Some(dir) = &args.data_dir {
+        if args.data.is_some() || args.demo.is_some() {
+            return Err(format!(
+                "--data-dir cannot be combined with --data/--demo\n{}",
+                usage()
+            ));
+        }
+        return open_data_dir(dir).map(|(_, db)| db);
+    }
     match (&args.data, &args.demo) {
         (Some(dir), None) => load_database_dir(dir).map_err(|e| format!("loading {dir}: {e}")),
         (None, Some(demo)) => match demo.as_str() {
@@ -192,6 +228,7 @@ fn run() -> Result<(), String> {
                 args.demo
                     .as_deref()
                     .or(args.data.as_deref())
+                    .or(args.data_dir.as_deref())
                     .unwrap_or("unknown"),
             ),
             ("task", &outcome.task.to_string()),
@@ -238,6 +275,7 @@ fn print_outcome(outcome: relgraph::pq::QueryOutcome, top: usize) {
 
 struct IngestArgs {
     data: Option<String>,
+    data_dir: Option<String>,
     demo: Option<String>,
     batches: Vec<(String, String)>,
     policy: IngestPolicy,
@@ -248,14 +286,15 @@ struct IngestArgs {
 }
 
 fn ingest_usage() -> &'static str {
-    "usage: relgraph ingest (--data DIR | --demo NAME) --batch TABLE=FILE.csv \
-     [--batch …] [--policy reject|quarantine|coerce] [--query 'PREDICT …'] \
-     [--save DIR] [--top N] [--seed N]"
+    "usage: relgraph ingest (--data DIR | --data-dir DIR | --demo NAME) \
+     --batch TABLE=FILE.csv [--batch …] [--policy reject|quarantine|coerce] \
+     [--query 'PREDICT …'] [--save DIR] [--top N] [--seed N]"
 }
 
 fn parse_ingest_args(it: impl Iterator<Item = String>) -> Result<IngestArgs, String> {
     let mut args = IngestArgs {
         data: None,
+        data_dir: None,
         demo: None,
         batches: Vec::new(),
         policy: IngestPolicy::reject_all(),
@@ -272,6 +311,7 @@ fn parse_ingest_args(it: impl Iterator<Item = String>) -> Result<IngestArgs, Str
         };
         match flag.as_str() {
             "--data" => args.data = Some(value("--data")?),
+            "--data-dir" => args.data_dir = Some(value("--data-dir")?),
             "--demo" => args.demo = Some(value("--demo")?),
             "--batch" => {
                 let spec = value("--batch")?;
@@ -320,16 +360,33 @@ fn parse_ingest_args(it: impl Iterator<Item = String>) -> Result<IngestArgs, Str
 fn run_ingest(it: impl Iterator<Item = String>) -> Result<(), String> {
     let args = parse_ingest_args(it)?;
     relgraph::obs::init_from_env();
-    let loader = Args {
-        data: args.data.clone(),
-        demo: args.demo.clone(),
-        query: None,
-        explain_only: false,
-        top: args.top,
-        seed: args.seed,
-        export_demo: None,
+    // With --data-dir the batch goes through the write-ahead log (durable
+    // before applied); otherwise this is a plain in-memory ingest.
+    let (mut data_dir, mut db) = match &args.data_dir {
+        Some(dir) => {
+            if args.data.is_some() || args.demo.is_some() {
+                return Err(format!(
+                    "--data-dir cannot be combined with --data/--demo\n{}",
+                    ingest_usage()
+                ));
+            }
+            let (dd, db) = open_data_dir(dir)?;
+            (Some(dd), db)
+        }
+        None => {
+            let loader = Args {
+                data: args.data.clone(),
+                data_dir: None,
+                demo: args.demo.clone(),
+                query: None,
+                explain_only: false,
+                top: args.top,
+                seed: args.seed,
+                export_demo: None,
+            };
+            (None, load(&loader)?)
+        }
     };
-    let mut db = load(&loader)?;
     eprintln!("{}", db.summary());
 
     // Prepare the query and compile the graph *before* ingesting: analysis
@@ -363,7 +420,12 @@ fn run_ingest(it: impl Iterator<Item = String>) -> Result<(), String> {
         eprintln!("queued {n} rows for `{table}` from {file}");
     }
 
-    let report = db.ingest(batch, &args.policy).map_err(|e| e.to_string())?;
+    let report = match data_dir.as_mut() {
+        Some(dd) => dd
+            .ingest(&mut db, batch, &args.policy)
+            .map_err(|e| e.to_string())?,
+        None => db.ingest(batch, &args.policy).map_err(|e| e.to_string())?,
+    };
     println!(
         "ingest: {} accepted ({} coerced, {} late), {} quarantined",
         report.accepted, report.coerced, report.late, report.quarantined
@@ -399,6 +461,7 @@ fn run_ingest(it: impl Iterator<Item = String>) -> Result<(), String> {
                     args.demo
                         .as_deref()
                         .or(args.data.as_deref())
+                        .or(args.data_dir.as_deref())
                         .unwrap_or("unknown"),
                 ),
                 ("task", &outcome.task.to_string()),
@@ -411,10 +474,118 @@ fn run_ingest(it: impl Iterator<Item = String>) -> Result<(), String> {
     Ok(())
 }
 
-struct ServeArgs {
+struct AdminArgs {
+    data_dir: String,
     data: Option<String>,
     demo: Option<String>,
-    query: String,
+    seed: u64,
+}
+
+fn admin_usage(cmd: &str) -> String {
+    match cmd {
+        "init" => "usage: relgraph init --data-dir DIR (--data CSVDIR | --demo NAME) [--seed N]"
+            .to_string(),
+        _ => format!("usage: relgraph {cmd} --data-dir DIR"),
+    }
+}
+
+fn parse_admin_args(cmd: &str, it: impl Iterator<Item = String>) -> Result<AdminArgs, String> {
+    let mut data_dir = None;
+    let mut data = None;
+    let mut demo = None;
+    let mut seed = 7u64;
+    let mut it = it;
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", admin_usage(cmd)))
+        };
+        match flag.as_str() {
+            "--data-dir" => data_dir = Some(value("--data-dir")?),
+            "--data" => data = Some(value("--data")?),
+            "--demo" => demo = Some(value("--demo")?),
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs a number".to_string())?
+            }
+            "--help" | "-h" => return Err(admin_usage(cmd)),
+            other => return Err(format!("unknown flag `{other}`\n{}", admin_usage(cmd))),
+        }
+    }
+    Ok(AdminArgs {
+        data_dir: data_dir
+            .ok_or_else(|| format!("--data-dir is required\n{}", admin_usage(cmd)))?,
+        data,
+        demo,
+        seed,
+    })
+}
+
+/// `relgraph init`: load a source database (CSV dir or demo generator) and
+/// write it out as a fresh durable data directory: base columnar snapshot,
+/// manifest, empty WAL.
+fn run_init(it: impl Iterator<Item = String>) -> Result<(), String> {
+    let args = parse_admin_args("init", it)?;
+    relgraph::obs::init_from_env();
+    let loader = Args {
+        data: args.data.clone(),
+        data_dir: None,
+        demo: args.demo.clone(),
+        query: None,
+        explain_only: false,
+        top: 10,
+        seed: args.seed,
+        export_demo: None,
+    };
+    let db = load(&loader)?;
+    eprintln!("{}", db.summary());
+    let root = std::path::Path::new(&args.data_dir);
+    DataDir::create(root, &db).map_err(|e| e.to_string())?;
+    println!(
+        "initialised data dir {} (base generation 1, empty WAL)",
+        root.display()
+    );
+    Ok(())
+}
+
+/// `relgraph compact`: fold the WAL into a fresh base snapshot so the next
+/// open replays nothing.
+fn run_compact(it: impl Iterator<Item = String>) -> Result<(), String> {
+    let args = parse_admin_args("compact", it)?;
+    relgraph::obs::init_from_env();
+    let (mut dd, db) = open_data_dir(&args.data_dir)?;
+    dd.compact(&db).map_err(|e| e.to_string())?;
+    println!(
+        "compacted {} to base generation {} (WAL reset)",
+        args.data_dir,
+        dd.manifest().generation
+    );
+    Ok(())
+}
+
+/// `relgraph recover`: open the data dir — which replays committed WAL
+/// records and truncates any torn tail — and report exactly what happened.
+fn run_recover(it: impl Iterator<Item = String>) -> Result<(), String> {
+    let args = parse_admin_args("recover", it)?;
+    relgraph::obs::init_from_env();
+    let (dd, db, report) = DataDir::open(std::path::Path::new(&args.data_dir))
+        .map_err(|e| format!("opening data dir {}: {e}", args.data_dir))?;
+    println!("{}", report.summary());
+    println!("{}", db.summary());
+    println!(
+        "base generation {}, next WAL sequence {}",
+        dd.manifest().generation,
+        dd.next_seq()
+    );
+    Ok(())
+}
+
+struct ServeArgs {
+    data: Option<String>,
+    data_dir: Option<String>,
+    demo: Option<String>,
+    query: Option<String>,
     seed: u64,
     cfg: ServeConfig,
     shards: usize,
@@ -422,13 +593,15 @@ struct ServeArgs {
 }
 
 fn serve_usage() -> &'static str {
-    "usage: relgraph serve (--data DIR | --demo NAME) --query 'PREDICT …' \
-     [--seed N] [--max-batch N] [--deadline-ms N] [--pred-cache N] [--emb-cache N] \
-     [--shards N] [--listen HOST:PORT|SOCKET_PATH]"
+    "usage: relgraph serve (--data DIR | --data-dir DIR | --demo NAME) \
+     --query 'PREDICT …' [--seed N] [--max-batch N] [--deadline-ms N] \
+     [--pred-cache N] [--emb-cache N] [--shards N] [--listen HOST:PORT|SOCKET_PATH] \
+     (--query is optional when --data-dir holds a warm snapshot)"
 }
 
 fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
     let mut data = None;
+    let mut data_dir = None;
     let mut demo = None;
     let mut query = None;
     let mut seed = 7u64;
@@ -447,6 +620,7 @@ fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, Strin
         };
         match flag.as_str() {
             "--data" => data = Some(value("--data")?),
+            "--data-dir" => data_dir = Some(value("--data-dir")?),
             "--demo" => demo = Some(value("--demo")?),
             "--query" | "-q" => query = Some(value("--query")?),
             "--seed" => seed = number("--seed", value("--seed")?)?,
@@ -471,10 +645,14 @@ fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, Strin
             other => return Err(format!("unknown flag `{other}`\n{}", serve_usage())),
         }
     }
+    if query.is_none() && data_dir.is_none() {
+        return Err(format!("--query is required\n{}", serve_usage()));
+    }
     Ok(ServeArgs {
         data,
+        data_dir,
         demo,
-        query: query.ok_or_else(|| format!("--query is required\n{}", serve_usage()))?,
+        query,
         seed,
         cfg,
         shards,
@@ -490,6 +668,100 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// Cold path: fit the query's model from scratch, reporting fit time and
+/// backtest metrics on stderr.
+fn fit_sharded(
+    db: Database,
+    query: &str,
+    exec: &ExecConfig,
+    args: &ServeArgs,
+) -> Result<ShardedEngine, String> {
+    eprintln!("fitting model…");
+    let t_fit = std::time::Instant::now();
+    let engine = ShardedEngine::fit(db, query, exec, args.cfg.clone(), args.shards)
+        .map_err(|e| e.to_string())?;
+    let mut fit_line = format!("model fitted in {:.1}s;", t_fit.elapsed().as_secs_f64());
+    for (name, v) in engine.fit_metrics() {
+        fit_line.push_str(&format!(" {name}={v:.4}"));
+    }
+    eprintln!("{fit_line}");
+    Ok(engine)
+}
+
+/// With `--data-dir`: boot warm from the saved graph/model snapshots when
+/// they exist and match the requested query (skipping featurization and
+/// training entirely), otherwise fit cold and save snapshots so the next
+/// boot is warm. Predictions are byte-identical either way.
+fn serve_from_data_dir(
+    dd: &DataDir,
+    db: Database,
+    args: &ServeArgs,
+    exec: &ExecConfig,
+) -> Result<ShardedEngine, String> {
+    use relgraph::serve::persist::{GRAPH_SNAPSHOT_FILE, MODEL_SNAPSHOT_FILE};
+
+    let snaps = dd.snapshots_dir();
+    let model_snap = snaps.join(MODEL_SNAPSHOT_FILE);
+    let mut db = db;
+    if snaps.join(GRAPH_SNAPSHOT_FILE).exists() && model_snap.exists() {
+        // A differing --query invalidates the snapshot; peek at the stored
+        // query text before committing to the warm path.
+        let usable = match relgraph::serve::load_model(&model_snap) {
+            Ok(snap) => {
+                let same = args.query.as_deref().is_none_or(|q| q == snap.query_text);
+                if !same {
+                    eprintln!("stored snapshot is for a different query; refitting");
+                }
+                same
+            }
+            Err(e) => {
+                eprintln!("warm snapshot unreadable ({e}); refitting");
+                false
+            }
+        };
+        if usable {
+            let t = std::time::Instant::now();
+            match relgraph::serve::warm_sharded(&snaps, db, exec, args.cfg.clone(), args.shards) {
+                Ok((engine, report)) => {
+                    let mut line = format!(
+                        "warm boot in {:.2}s (caught up +{} nodes, +{} edges);",
+                        t.elapsed().as_secs_f64(),
+                        report.catch_up.new_nodes,
+                        report.catch_up.new_edges,
+                    );
+                    for (name, v) in &report.metrics {
+                        line.push_str(&format!(" {name}={v:.4}"));
+                    }
+                    eprintln!("{line}");
+                    eprintln!("query: {}", report.query_text);
+                    return Ok(engine);
+                }
+                Err(e) => {
+                    // The database moved into the failed warm boot; re-open.
+                    eprintln!("warm boot failed ({e}); refitting from scratch");
+                    let (_, fresh, _) = DataDir::open(dd.root()).map_err(|e| e.to_string())?;
+                    db = fresh;
+                }
+            }
+        }
+    }
+    let query = args.query.clone().ok_or_else(|| {
+        format!(
+            "--query is required (no usable warm snapshot in the data dir)\n{}",
+            serve_usage()
+        )
+    })?;
+    let engine = fit_sharded(db, &query, exec, args)?;
+    match engine.save_warm_start(&snaps, &query) {
+        Ok(bytes) => eprintln!(
+            "saved warm-start snapshots to {} ({bytes} bytes)",
+            snaps.display()
+        ),
+        Err(e) => eprintln!("warning: failed to save warm-start snapshots: {e}"),
+    }
+    Ok(engine)
+}
+
 /// `relgraph serve`: fit the query once, then answer JSONL prediction
 /// requests from stdin — micro-batched, cache-warm, one response line per
 /// request line (malformed lines included).
@@ -498,32 +770,41 @@ fn run_serve(it: impl Iterator<Item = String>) -> Result<(), String> {
 
     let args = parse_serve_args(it)?;
     relgraph::obs::init_from_env();
-    let loader = Args {
-        data: args.data.clone(),
-        demo: args.demo.clone(),
-        query: None,
-        explain_only: false,
-        top: 10,
-        seed: args.seed,
-        export_demo: None,
-    };
-    let db = load(&loader)?;
-    eprintln!("{}", db.summary());
-
     let exec = ExecConfig {
         seed: args.seed,
         max_predictions: None,
         ..Default::default()
     };
-    eprintln!("fitting model…");
-    let t_fit = std::time::Instant::now();
-    let engine = ShardedEngine::fit(db, &args.query, &exec, args.cfg.clone(), args.shards)
-        .map_err(|e| e.to_string())?;
-    let mut fit_line = format!("model fitted in {:.1}s;", t_fit.elapsed().as_secs_f64());
-    for (name, v) in engine.fit_metrics() {
-        fit_line.push_str(&format!(" {name}={v:.4}"));
-    }
-    eprintln!("{fit_line}");
+
+    let engine = if let Some(dir) = &args.data_dir {
+        if args.data.is_some() || args.demo.is_some() {
+            return Err(format!(
+                "--data-dir cannot be combined with --data/--demo\n{}",
+                serve_usage()
+            ));
+        }
+        let (dd, db) = open_data_dir(dir)?;
+        eprintln!("{}", db.summary());
+        serve_from_data_dir(&dd, db, &args, &exec)?
+    } else {
+        let loader = Args {
+            data: args.data.clone(),
+            data_dir: None,
+            demo: args.demo.clone(),
+            query: None,
+            explain_only: false,
+            top: 10,
+            seed: args.seed,
+            export_demo: None,
+        };
+        let db = load(&loader)?;
+        eprintln!("{}", db.summary());
+        let query = args
+            .query
+            .as_deref()
+            .ok_or_else(|| format!("--query is required\n{}", serve_usage()))?;
+        fit_sharded(db, query, &exec, &args)?
+    };
 
     if let Some(addr) = &args.listen {
         // Socket mode: concurrent clients, one handler thread each, all
@@ -644,6 +925,7 @@ fn run_serve(it: impl Iterator<Item = String>) -> Result<(), String> {
                 args.demo
                     .as_deref()
                     .or(args.data.as_deref())
+                    .or(args.data_dir.as_deref())
                     .unwrap_or("unknown"),
             ),
             ("seed", &args.seed.to_string()),
@@ -662,6 +944,18 @@ fn main() -> ExitCode {
         Some("serve") => {
             argv.next();
             run_serve(argv)
+        }
+        Some("init") => {
+            argv.next();
+            run_init(argv)
+        }
+        Some("compact") => {
+            argv.next();
+            run_compact(argv)
+        }
+        Some("recover") => {
+            argv.next();
+            run_recover(argv)
         }
         _ => run(),
     };

@@ -1,0 +1,136 @@
+//! Crash-recovery serving equivalence: a process that dies after taking a
+//! warm-start snapshot and then durably ingesting more batches must, on
+//! restart, serve predictions **byte-for-byte identical** to the process
+//! that never died.
+//!
+//! The restart path is the full persistent substrate end to end: reopen
+//! the data directory (columnar base read + WAL replay of every batch
+//! committed after the snapshot), load the graph/model snapshots, catch
+//! the graph up over the replayed delta, and serve — at 1 and at 4
+//! shards. The surviving process is the oracle: it fitted the model once
+//! and applied the same batches through live precise invalidation.
+
+use relgraph::datagen::{generate_ecommerce, EcommerceConfig};
+use relgraph::pq::ExecConfig;
+use relgraph::serve::{warm_sharded, ServeConfig, ShardedEngine};
+use relgraph::store::{DataDir, IngestPolicy, Row, RowBatch, Value};
+
+const QUERY: &str = "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id";
+const CUSTOMERS: i64 = 40;
+const PRODUCTS: i64 = 12;
+
+fn exec() -> ExecConfig {
+    ExecConfig {
+        epochs: 2,
+        hidden_dim: 8,
+        fanouts: vec![4, 4],
+        ..Default::default()
+    }
+}
+
+/// Post-snapshot traffic: two batches of orders with in-span timestamps
+/// (so both the live engine and the warm catch-up take the precise
+/// delta path) and primary keys far above anything datagen assigns.
+fn traffic(lo: i64, hi: i64) -> Vec<Vec<Row>> {
+    let mid = lo + (hi - lo) / 2;
+    let row = |id: i64, c: i64, p: i64, t: i64| {
+        Row::new()
+            .push(id)
+            .push(c % CUSTOMERS)
+            .push(p % PRODUCTS)
+            .push(2i64)
+            .push(19.5f64)
+            .push("web")
+            .push(Value::Timestamp(t))
+    };
+    vec![
+        vec![row(5_000_000, 3, 7, mid), row(5_000_001, 11, 2, mid + 1000)],
+        vec![row(5_000_002, 3, 5, mid + 2000)],
+    ]
+}
+
+fn run_at(shards: usize) {
+    let root = std::env::temp_dir().join(format!(
+        "relgraph-recovery-equiv-{shards}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let db = generate_ecommerce(&EcommerceConfig {
+        customers: CUSTOMERS as usize,
+        products: PRODUCTS as usize,
+        seed: 11,
+        ..Default::default()
+    })
+    .unwrap();
+    let (lo, hi) = db.time_span().unwrap();
+    let mut dd = DataDir::create(&root, &db).unwrap();
+
+    // The process that never dies: fit once, snapshot, keep serving.
+    let survivor =
+        ShardedEngine::fit(db.clone(), QUERY, &exec(), ServeConfig::default(), shards).unwrap();
+    survivor
+        .save_warm_start(&dd.snapshots_dir(), QUERY)
+        .unwrap();
+
+    // Post-snapshot batches go through BOTH paths: durably into the data
+    // dir (WAL first) and live into the survivor's graph.
+    let mut mirror = db;
+    for rows in traffic(lo, hi) {
+        let mut durable = RowBatch::new();
+        let mut live = RowBatch::new();
+        for row in rows {
+            durable.push("orders", row.clone());
+            live.push("orders", row);
+        }
+        let n = durable.len();
+        let report = dd
+            .ingest(&mut mirror, durable, &IngestPolicy::coerce_all())
+            .unwrap();
+        assert_eq!(report.accepted, n, "durable path accepted every row");
+        let outcome = survivor.ingest(live, &IngestPolicy::coerce_all()).unwrap();
+        assert_eq!(outcome.report.accepted, n, "live path accepted every row");
+    }
+    drop(dd); // crash
+
+    // Restart: reopen (base + WAL replay), warm-boot, catch up, serve.
+    let (dd, recovered, report) = DataDir::open(&root).unwrap();
+    assert_eq!(report.replayed, 2, "both post-snapshot batches replayed");
+    assert_eq!(&recovered, &mirror, "recovered database is bit-identical");
+    let (warm, boot) = warm_sharded(
+        &dd.snapshots_dir(),
+        recovered,
+        &exec(),
+        ServeConfig::default(),
+        shards,
+    )
+    .unwrap();
+    assert!(
+        boot.catch_up.new_nodes > 0,
+        "replayed orders must appear as catch-up nodes"
+    );
+
+    let rows = survivor.deploy_entities().unwrap();
+    assert!(!rows.is_empty());
+    let cold = survivor.predict_batch_rows(&rows);
+    let rewarmed = warm.predict_batch_rows(&rows);
+    for (i, (c, w)) in cold.iter().zip(&rewarmed).enumerate() {
+        assert_eq!(
+            c.to_bits(),
+            w.to_bits(),
+            "row {} diverged after recovery at {shards} shard(s): survivor {c} vs restarted {w}",
+            rows[i]
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn restart_serves_identically_at_one_shard() {
+    run_at(1);
+}
+
+#[test]
+fn restart_serves_identically_at_four_shards() {
+    run_at(4);
+}
