@@ -400,6 +400,27 @@ pub(crate) fn io_err(path: &Path, e: std::io::Error) -> StoreError {
     StoreError::Io(format!("{}: {e}", path.display()))
 }
 
+/// Write `bytes` to `path` and `sync_data` before returning, so the file's
+/// *contents* survive a power loss. The file's directory *entry* is only
+/// durable once the enclosing directory is fsynced too — callers finish
+/// with [`sync_dir`] on the parent (or rely on a later `sync_dir` that
+/// happens before anything depends on the file existing).
+pub(crate) fn write_file_durable(path: &Path, bytes: &[u8]) -> StoreResult<()> {
+    let mut file = std::fs::File::create(path).map_err(|e| io_err(path, e))?;
+    file.write_all(bytes).map_err(|e| io_err(path, e))?;
+    file.sync_data().map_err(|e| io_err(path, e))?;
+    Ok(())
+}
+
+/// Fsync a directory, making the creations/renames inside it durable.
+/// Required after `rename` for atomic file replacement and after creating
+/// files that later durability steps (e.g. a WAL reset) assume exist.
+pub(crate) fn sync_dir(path: &Path) -> StoreResult<()> {
+    let dir = std::fs::File::open(path).map_err(|e| io_err(path, e))?;
+    dir.sync_all().map_err(|e| io_err(path, e))?;
+    Ok(())
+}
+
 /// Validate a file's magic + version header fields.
 pub(crate) fn check_version(
     file: &str,
@@ -601,10 +622,10 @@ impl DictBuilder {
         out
     }
 
-    /// Write the encoded dictionary to `path`.
+    /// Write the encoded dictionary to `path`, synced to disk.
     pub fn write_to(&self, path: &Path) -> StoreResult<u64> {
         let bytes = self.encode();
-        std::fs::write(path, &bytes).map_err(|e| io_err(path, e))?;
+        write_file_durable(path, &bytes)?;
         Ok(bytes.len() as u64)
     }
 }
@@ -629,12 +650,18 @@ pub fn read_dict(path: &Path) -> StoreResult<Vec<String>> {
     let bytes_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
     let want_crc = u32::from_le_bytes(bytes[24..28].try_into().unwrap());
     let body = &bytes[32..];
-    let want_len = (count + 1) * 8 + bytes_len;
-    if body.len() != want_len {
+    // `count` and `bytes_len` live in the header, outside the body CRC, so
+    // a bit flip there must fail this structural check — with checked
+    // arithmetic, since a flipped high bit would overflow the computation.
+    let want_len = count
+        .checked_add(1)
+        .and_then(|n| n.checked_mul(8))
+        .and_then(|n| n.checked_add(bytes_len));
+    if want_len != Some(body.len()) {
         return Err(StoreError::Corrupt {
             file,
             message: format!(
-                "dictionary body is {} bytes, header promises {want_len}",
+                "dictionary body is {} bytes, header promises {count} entries + {bytes_len} string bytes",
                 body.len()
             ),
         });
@@ -1027,6 +1054,23 @@ pub fn decode_quarantine(file: &str, bytes: &[u8]) -> StoreResult<Vec<Quarantine
         return Err(StoreError::Corrupt {
             file: file.to_string(),
             message: "quarantine checksum mismatch".into(),
+        });
+    }
+    // The count lives in the header, outside the body CRC: a bit flip
+    // there passes the checksum, so bound it against the body before
+    // trusting it as an allocation size. Each record is at least 20 bytes
+    // (two length-prefixed strings, a u64, a row arity).
+    const MIN_RECORD_LEN: usize = 20;
+    if count
+        .checked_mul(MIN_RECORD_LEN)
+        .is_none_or(|n| n > body.len())
+    {
+        return Err(StoreError::Corrupt {
+            file: file.to_string(),
+            message: format!(
+                "quarantine header promises {count} records, body is only {} bytes",
+                body.len()
+            ),
         });
     }
     let mut r = ByteReader::new(body, file);

@@ -79,7 +79,7 @@ use crate::ddl::{load_database_dir, save_database_dir};
 use crate::error::{StoreError, StoreResult};
 use crate::ingest::{IngestPolicy, IngestReport, RowBatch};
 
-use format::{io_err, Manifest};
+use format::{io_err, sync_dir, write_file_durable, Manifest};
 pub use recovery::RecoveryReport;
 use wal::Wal;
 
@@ -314,11 +314,15 @@ impl DataDir {
     /// repoint the manifest, and reset the WAL. `db` must be the live
     /// database this directory produced (base + all WAL records applied).
     ///
-    /// Crash-safe at every step: the manifest is replaced atomically
-    /// (write-to-temp + rename) and records `applied_seq`, so a crash
-    /// before the WAL reset merely leaves records that the next open
-    /// skips, and a crash before the manifest rename leaves the old
-    /// generation live with its WAL intact.
+    /// Crash-safe at every step: the new base is fully synced before the
+    /// manifest is replaced atomically (write-to-temp + fsync + rename +
+    /// directory fsync), and the WAL is reset only after the swap is
+    /// durable. A crash before the WAL reset merely leaves records that
+    /// the next open skips (the manifest records `applied_seq`); a crash
+    /// before the manifest swap leaves the old generation live with its
+    /// WAL intact. The WAL truncation can never reach disk ahead of the
+    /// manifest repoint, so committed batches survive a power loss at any
+    /// point.
     pub fn compact(&mut self, db: &Database) -> StoreResult<()> {
         let _span = obs::span("persist.compact");
         let new_gen = self.manifest.generation + 1;
@@ -340,12 +344,18 @@ impl DataDir {
     }
 }
 
-/// Replace `root`'s manifest atomically (temp file + rename).
+/// Replace `root`'s manifest atomically *and durably*: sync the temp
+/// file's contents, rename it over `MANIFEST`, then fsync `root` so the
+/// rename itself survives a power loss. The swap is fully on disk when
+/// this returns — compaction relies on that ordering, because the WAL
+/// reset that follows it must never be persisted ahead of the manifest
+/// pointing at the new generation (that would lose committed batches).
 fn write_manifest_atomic(root: &Path, manifest: &Manifest) -> StoreResult<()> {
     let tmp = root.join("MANIFEST.tmp");
     let fin = DataDir::manifest_path(root);
-    std::fs::write(&tmp, manifest.render()).map_err(|e| io_err(&tmp, e))?;
+    write_file_durable(&tmp, manifest.render().as_bytes())?;
     std::fs::rename(&tmp, &fin).map_err(|e| io_err(&fin, e))?;
+    sync_dir(root)?;
     Ok(())
 }
 

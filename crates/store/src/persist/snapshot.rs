@@ -47,8 +47,8 @@ use crate::table::Table;
 use crate::value::{DataType, Value};
 
 use super::format::{
-    decode_quarantine, encode_quarantine, io_err, read_column_file, read_dict, write_column_file,
-    ColumnFileWriter, DictBuilder,
+    decode_quarantine, encode_quarantine, io_err, read_column_file, read_dict, sync_dir,
+    write_column_file, write_file_durable, ColumnFileWriter, DictBuilder,
 };
 
 /// File name of a column segment inside a table directory.
@@ -58,13 +58,16 @@ fn col_file_name(index: usize, name: &str) -> String {
     format!("{index:03}_{name}.col")
 }
 
-/// Write `db` as a base snapshot under `dir` (created if needed). Returns
-/// total bytes written.
+/// Write `db` as a base snapshot under `dir` (created if needed). Every
+/// file and directory is fsynced before this returns, so the snapshot as a
+/// whole is durable once the caller fsyncs `dir`'s parent (which
+/// [`super::write_manifest_atomic`] does before any manifest points at
+/// it). Returns total bytes written.
 pub fn write_base(dir: &Path, db: &Database) -> StoreResult<u64> {
     std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
     let schemas: Vec<TableSchema> = db.tables().iter().map(|t| t.schema().clone()).collect();
     let ddl = render_ddl(&schemas);
-    std::fs::write(dir.join("schema.ddl"), &ddl).map_err(|e| io_err(dir, e))?;
+    write_file_durable(&dir.join("schema.ddl"), ddl.as_bytes())?;
     let mut bytes = ddl.len() as u64;
     for table in db.tables() {
         let tdir = dir.join(table.name());
@@ -76,10 +79,12 @@ pub fn write_base(dir: &Path, db: &Database) -> StoreResult<u64> {
             bytes += write_column_file(&path, col, &mut dict)?;
         }
         bytes += dict.write_to(&tdir.join("strings.dict"))?;
+        sync_dir(&tdir)?;
     }
     let quarantine = encode_quarantine(db.quarantine());
     bytes += quarantine.len() as u64;
-    std::fs::write(dir.join("quarantine.bin"), quarantine).map_err(|e| io_err(dir, e))?;
+    write_file_durable(&dir.join("quarantine.bin"), &quarantine)?;
+    sync_dir(dir)?;
     relgraph_obs::add("snapshot.base.bytes", bytes);
     Ok(bytes)
 }
@@ -159,7 +164,7 @@ pub struct TableStreamWriter {
     schema: TableSchema,
     writers: Vec<ColumnFileWriter>,
     dict: DictBuilder,
-    dict_path: PathBuf,
+    dir: PathBuf,
     rows: u64,
 }
 
@@ -176,7 +181,7 @@ impl TableStreamWriter {
             )?);
         }
         Ok(TableStreamWriter {
-            dict_path: tdir.join("strings.dict"),
+            dir: tdir,
             schema,
             writers,
             dict: DictBuilder::new(),
@@ -238,13 +243,15 @@ impl TableStreamWriter {
         self.rows
     }
 
-    /// Finalize every column file and the dictionary. Returns bytes written.
+    /// Finalize every column file and the dictionary, fsyncing the table
+    /// directory so all of it is durable. Returns bytes written.
     pub fn finish(self) -> StoreResult<u64> {
         let mut bytes = 0;
         for w in self.writers {
             bytes += w.finish()?;
         }
-        bytes += self.dict.write_to(&self.dict_path)?;
+        bytes += self.dict.write_to(&self.dir.join("strings.dict"))?;
+        sync_dir(&self.dir)?;
         Ok(bytes)
     }
 }
@@ -264,7 +271,7 @@ impl DatabaseStreamWriter {
     /// Create `dir` and its `schema.ddl`, plus one open stream per table.
     pub fn create(dir: &Path, schemas: Vec<TableSchema>) -> StoreResult<Self> {
         std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
-        std::fs::write(dir.join("schema.ddl"), render_ddl(&schemas)).map_err(|e| io_err(dir, e))?;
+        write_file_durable(&dir.join("schema.ddl"), render_ddl(&schemas).as_bytes())?;
         let mut tables = Vec::with_capacity(schemas.len());
         let mut by_name = std::collections::HashMap::new();
         for schema in schemas {
@@ -294,7 +301,8 @@ impl DatabaseStreamWriter {
             .map_or(0, |&i| self.tables[i].rows())
     }
 
-    /// Finalize every table (plus an empty quarantine sidecar). Returns
+    /// Finalize every table (plus an empty quarantine sidecar) and fsync
+    /// the snapshot directory, making the whole base durable. Returns
     /// total bytes written, excluding `schema.ddl`.
     pub fn finish(self) -> StoreResult<u64> {
         let mut bytes = 0;
@@ -303,7 +311,8 @@ impl DatabaseStreamWriter {
         }
         let q = encode_quarantine(&[]);
         bytes += q.len() as u64;
-        std::fs::write(self.dir.join("quarantine.bin"), q).map_err(|e| io_err(&self.dir, e))?;
+        write_file_durable(&self.dir.join("quarantine.bin"), &q)?;
+        sync_dir(&self.dir)?;
         Ok(bytes)
     }
 }

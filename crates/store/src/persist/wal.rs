@@ -47,7 +47,7 @@ use crate::error::{StoreError, StoreResult};
 use crate::ingest::{IngestPolicy, RowBatch};
 
 use super::format::{
-    check_version, crc32, io_err, ByteReader, ByteWriter, FORMAT_VERSION, MAGIC_WAL,
+    check_version, crc32, io_err, sync_dir, ByteReader, ByteWriter, FORMAT_VERSION, MAGIC_WAL,
 };
 
 /// Byte length of the WAL file header.
@@ -83,6 +83,12 @@ impl Wal {
             header[4..6].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
             file.write_all(&header).map_err(|e| io_err(path, e))?;
             file.sync_data().map_err(|e| io_err(path, e))?;
+            // Make the file's directory entry durable too: without this, a
+            // power loss could drop the whole file even after appends were
+            // fsync-acknowledged.
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                sync_dir(parent)?;
+            }
         } else {
             let mut header = [0u8; WAL_HEADER_LEN as usize];
             {

@@ -186,6 +186,40 @@ fn dictionary_bit_flip_is_corrupt() {
 }
 
 #[test]
+fn dictionary_count_header_bit_flip_is_corrupt() {
+    let root = fresh("dict-count");
+    let dict = root.join("base-000001").join("items").join("strings.dict");
+    let mut bytes = std::fs::read(&dict).unwrap();
+    // The u64 entry count at header bytes 8..16 is outside the body CRC;
+    // setting its high byte makes it astronomically large. The reader must
+    // reject it structurally, not overflow or attempt the allocation.
+    bytes[15] = 0x80;
+    std::fs::write(&dict, bytes).unwrap();
+    assert!(
+        matches!(open_err(&root), StoreError::Corrupt { .. }),
+        "bit-flipped dictionary count must be Corrupt"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn quarantine_count_header_bit_flip_is_corrupt() {
+    let root = fresh("quarantine-count");
+    let qpath = root.join("base-000001").join("quarantine.bin");
+    let mut bytes = std::fs::read(&qpath).unwrap();
+    // The u64 record count at header bytes 8..16 is outside the body CRC;
+    // a huge value must fail validation instead of panicking in
+    // Vec::with_capacity.
+    bytes[15] = 0x80;
+    std::fs::write(&qpath, bytes).unwrap();
+    assert!(
+        matches!(open_err(&root), StoreError::Corrupt { .. }),
+        "bit-flipped quarantine count must be Corrupt"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn wal_bad_magic_is_corrupt() {
     let root = fresh("wal-magic");
     let wal = root.join("wal.log");
