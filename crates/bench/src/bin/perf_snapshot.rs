@@ -20,42 +20,59 @@
 //! parse) and `persistence` (warm restart from snapshots vs a cold
 //! open + featurize + train boot) gate the durable substrate: both wins
 //! are algorithmic, so real multiples are required on any host.
+//! `serving_f32` (tape-free `f32` inference vs the `f64` tape path, caches
+//! held equal) and `cache_capacity` (8-bit quantized embedding rows per
+//! byte vs `f64` rows) gate the reduced-precision tier.
+//!
+//! Every floor is declared for a specific numeric mode. A section whose
+//! recorded `precision` does not match its floor's expected mode is a
+//! CROSS-MODE failure, not a pass: a throughput measured in `f32` must
+//! never be silently scored against an `f64` floor, and vice versa.
 
 use relgraph_bench::perf;
 
-/// Minimum acceptable `after / before` per section under `--check`.
-/// `shards` is the snapshot's recorded serving shard count — the floor for
-/// the concurrent section is physical: a 1-shard "after" cannot beat a
-/// 1-shard "before" by more than noise.
-fn min_speedup(section: &str, shards: usize) -> f64 {
+/// Per-section floor: minimum acceptable `after / before` under `--check`,
+/// plus the numeric mode the floor was tuned for. `shards` is the
+/// snapshot's recorded serving shard count — the floor for the concurrent
+/// section is physical: a 1-shard "after" cannot beat a 1-shard "before"
+/// by more than noise.
+fn floor_spec(section: &str, shards: usize) -> (f64, &'static str) {
     match section {
         // The microkernel must beat naive by a clear margin in release mode.
-        s if s.starts_with("matmul_") => 1.05,
-        "linear_fused" => 1.05,
+        s if s.starts_with("matmul_") => (1.05, "f64"),
+        "linear_fused" => (1.05, "f64"),
         // Cached micro-batched serving vs per-request inference: the win is
         // algorithmic (cache hits + batch dedup), not thread scaling, so a
         // real multiple is required even on one core. The committed snapshot
         // shows well above this; 2.0 is the CI noise floor.
-        "serving" => 2.0,
+        "serving" => (2.0, "f64"),
+        // Tape-free `f32` inference vs the `f64` autograd-tape path with
+        // caches held equal: the win is kernel + allocation work, so a real
+        // multiple is required on any host.
+        "serving_f32" => (1.5, "f32"),
+        // Quantized embedding rows resident at an equal byte budget: exact
+        // arithmetic over captured row shapes, so the floor has no noise
+        // allowance at all — `8·dim / (dim + 8)` must reach 4x.
+        "cache_capacity" => (4.0, "q8"),
         // Sharded tier vs the 1-shard configuration under 4 concurrent
         // clients: pure thread scaling, so the floor depends on how many
         // cores the host actually gave us.
-        "serving_concurrent" if shards >= 4 => 2.0,
-        "serving_concurrent" if shards >= 2 => 1.2,
-        "serving_concurrent" => 0.8,
+        "serving_concurrent" if shards >= 4 => (2.0, "f64"),
+        "serving_concurrent" if shards >= 2 => (1.2, "f64"),
+        "serving_concurrent" => (0.8, "f64"),
         // Mixed ingest+read traffic through the epoch-swap pipeline must
         // not be slower than the pre-shard engine (noise allowance).
-        "serving_mixed" => 0.8,
+        "serving_mixed" => (0.8, "f64"),
         // Columnar binary base read vs CSV parse of the same database: the
         // binary format skips tokenizing/validating every cell, so it must
         // win by a clear margin.
-        "persist_open" => 1.05,
+        "persist_open" => (1.05, "f64"),
         // Warm restart (snapshot load + empty catch-up) vs cold boot
         // (featurize + train): skipping training entirely must be worth at
         // least 2x even on the bench's deliberately tiny fit.
-        "persistence" => 2.0,
+        "persistence" => (2.0, "f64"),
         // Thread-scaling sections: allow measurement noise around 1.0x.
-        _ => 0.85,
+        _ => (0.85, "f64"),
     }
 }
 
@@ -76,21 +93,29 @@ fn main() {
         } else {
             0.0
         };
-        let floor = min_speedup(&s.name, snap.shards);
-        let verdict = if check && speedup < floor {
+        let (floor, expected_precision) = floor_spec(&s.name, snap.shards);
+        // Refuse cross-mode comparisons outright: a number measured in one
+        // numeric mode is meaningless against a floor tuned for another.
+        let verdict = if s.precision != expected_precision {
+            failed = failed || check;
+            "CROSS-MODE"
+        } else if check && speedup < floor {
             failed = true;
             "REGRESSION"
         } else {
             "ok"
         };
         println!(
-            "  {:<12} {:>10.3} -> {:>10.3} {:<12} {:.2}x  {}",
-            s.name, s.before, s.after, s.unit, speedup, verdict
+            "  {:<16} {:>10.3} -> {:>10.3} {:<12} [{}] {:.2}x  {}",
+            s.name, s.before, s.after, s.unit, s.precision, speedup, verdict
         );
     }
     println!("end-to-end speedup: {:.2}x", snap.end_to_end_speedup);
     if failed {
-        eprintln!("perf check failed: at least one section regressed below its floor");
+        eprintln!(
+            "perf check failed: a section regressed below its floor or was \
+             measured in a different numeric mode than its floor expects"
+        );
         std::process::exit(1);
     }
 }

@@ -1,0 +1,182 @@
+//! Compare two JSONL serving response files under a numeric tolerance.
+//!
+//! ```text
+//! cargo run -p relgraph-bench --bin tolerance_diff -- a.jsonl b.jsonl 1e-3
+//! ```
+//!
+//! Each input is a file of `relgraph serve` response lines
+//! (`{"id": N, "prediction": X}`). Lines are matched by `id` (order does
+//! not matter — the serve smoke sorts shard output anyway, but this tool
+//! does not rely on it), and the run fails when:
+//!
+//! * either file contains an error response or an unparseable line,
+//! * the two files do not answer exactly the same id set, or
+//! * any id's predictions differ by more than the tolerance.
+//!
+//! This is the CI gate for the reduced-precision serving modes: `f64` vs
+//! `f64` is compared byte-for-byte elsewhere, while `--precision f32`
+//! output is allowed to drift from the `f64` reference only within the
+//! `DESIGN.md` §15 tolerance — checked here, per prediction, not in
+//! aggregate. Exit status 0 means every prediction matched; any failure
+//! prints the first offending id/line and exits 1.
+//!
+//! No JSON dependency: the parser is hand-rolled over the exact response
+//! grammar `response_ok` emits, like everything else in this workspace.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Parse one `{"id": N, "prediction": X}` response line.
+fn parse_response(line: &str) -> Result<(u64, f64), String> {
+    let rest = line.trim();
+    let rest = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .ok_or("response is not a JSON object")?;
+    let mut id: Option<u64> = None;
+    let mut prediction: Option<f64> = None;
+    for field in rest.split(',') {
+        let (key, value) = field.split_once(':').ok_or("field without `:`")?;
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        match key {
+            "id" => {
+                id = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad id `{value}`"))?,
+                )
+            }
+            "prediction" => {
+                prediction = Some(
+                    value
+                        .parse::<f64>()
+                        .map_err(|_| format!("bad prediction `{value}`"))?,
+                )
+            }
+            "error" => return Err(format!("error response: {value}")),
+            other => return Err(format!("unknown key `{other}`")),
+        }
+    }
+    Ok((
+        id.ok_or("missing `id`")?,
+        prediction.ok_or("missing `prediction`")?,
+    ))
+}
+
+/// Read a whole response file into an id → prediction map, rejecting
+/// duplicate ids (two answers for one request is itself a bug).
+fn read_responses(path: &str) -> Result<BTreeMap<u64, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (id, pred) = parse_response(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        if out.insert(id, pred).is_some() {
+            return Err(format!("{path}: duplicate id {id}"));
+        }
+    }
+    Ok(out)
+}
+
+fn run(file_a: &str, file_b: &str, tolerance: f64) -> Result<(), String> {
+    let a = read_responses(file_a)?;
+    let b = read_responses(file_b)?;
+    for id in a.keys() {
+        if !b.contains_key(id) {
+            return Err(format!("id {id} answered in {file_a} but not {file_b}"));
+        }
+    }
+    for id in b.keys() {
+        if !a.contains_key(id) {
+            return Err(format!("id {id} answered in {file_b} but not {file_a}"));
+        }
+    }
+    let mut worst: Option<(u64, f64)> = None;
+    for (id, &pa) in &a {
+        let pb = b[id];
+        let diff = (pa - pb).abs();
+        if !diff.is_finite() || diff > tolerance {
+            return Err(format!(
+                "id {id}: |{pa} - {pb}| = {diff:e} exceeds tolerance {tolerance:e}"
+            ));
+        }
+        if worst.is_none_or(|(_, w)| diff > w) {
+            worst = Some((*id, diff));
+        }
+    }
+    match worst {
+        Some((id, w)) => println!(
+            "{} predictions matched within {tolerance:e} (worst |diff| {w:e} at id {id})",
+            a.len()
+        ),
+        None => println!("both files are empty: vacuously within tolerance"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (file_a, file_b, tol) = match args.as_slice() {
+        [a, b, t] => match t.parse::<f64>() {
+            Ok(tol) if tol.is_finite() && tol >= 0.0 => (a, b, tol),
+            _ => {
+                eprintln!("tolerance must be a finite non-negative number, got `{t}`");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => {
+            eprintln!("usage: tolerance_diff <a.jsonl> <b.jsonl> <tolerance>");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(file_a, file_b, tol) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tolerance_diff: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ok_lines_and_rejects_errors() {
+        assert_eq!(
+            parse_response(r#"{"id": 7, "prediction": 0.25}"#).unwrap(),
+            (7, 0.25)
+        );
+        assert!(parse_response(r#"{"id": 7, "error": "boom"}"#).is_err());
+        assert!(parse_response("not json").is_err());
+        assert!(parse_response(r#"{"id": 7}"#).is_err());
+    }
+
+    #[test]
+    fn diff_logic_respects_tolerance_and_id_sets() {
+        let dir = std::env::temp_dir().join(format!("relgraph-toldiff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, body: &str| {
+            let p = dir.join(name);
+            std::fs::write(&p, body).unwrap();
+            p.to_string_lossy().into_owned()
+        };
+        let a = write(
+            "a.jsonl",
+            "{\"id\": 1, \"prediction\": 0.5}\n{\"id\": 2, \"prediction\": 0.25}\n",
+        );
+        let b = write(
+            "b.jsonl",
+            "{\"id\": 2, \"prediction\": 0.2504}\n{\"id\": 1, \"prediction\": 0.5}\n",
+        );
+        assert!(run(&a, &b, 1e-3).is_ok(), "within tolerance, any order");
+        assert!(run(&a, &b, 1e-5).is_err(), "0.0004 exceeds 1e-5");
+        let c = write("c.jsonl", "{\"id\": 1, \"prediction\": 0.5}\n");
+        assert!(run(&a, &c, 1.0).is_err(), "id sets differ");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

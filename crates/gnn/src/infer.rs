@@ -266,8 +266,10 @@ fn request(
 
 /// The node's kept neighbors per edge type: the most recent `fanout`
 /// anchor-visible out-neighbors, in ascending-time (slice) order — exactly
-/// what the temporal sampler keeps when it expands this node.
-fn child_lists(
+/// what the temporal sampler keeps when it expands this node. Shared with
+/// the `f32` inference path (`infer32`), which must walk the identical
+/// neighborhoods.
+pub(crate) fn child_lists(
     graph: &HeteroGraph,
     cfg: &SamplerConfig,
     ty: usize,
@@ -298,8 +300,9 @@ fn child_lists(
 }
 
 /// The level-0 input row for a node — identical (bitwise) to the row
-/// [`build_batch`](crate::batch::build_batch) produces for it.
-fn feature_row(
+/// [`build_batch`](crate::batch::build_batch) produces for it. Shared with
+/// the `f32` inference path, which narrows it once per node.
+pub(crate) fn feature_row(
     graph: &HeteroGraph,
     cfg: &SamplerConfig,
     ty: usize,

@@ -56,6 +56,7 @@
 pub mod batch;
 pub mod error;
 pub mod infer;
+pub mod infer32;
 pub mod model;
 pub mod recommend;
 pub mod sage;
@@ -64,6 +65,7 @@ pub mod train;
 pub use batch::{build_batch, Batch};
 pub use error::{GnnError, GnnResult};
 pub use infer::{predict_nodes, EmbeddingStore, NoCache};
+pub use infer32::{predict_nodes_f32, EmbeddingStore32, InferModel32, NoCache32, Precision};
 pub use model::{GnnConfig, HeteroGnn};
 pub use recommend::{train_two_tower, TwoTowerConfig, TwoTowerModel};
 pub use sage::Aggregation;

@@ -114,6 +114,17 @@ impl SageLayer {
         &self.edge_lin[e]
     }
 
+    /// All per-type self transforms (precision down-conversion path).
+    pub(crate) fn self_lins(&self) -> &[Linear] {
+        &self.self_lin
+    }
+
+    /// All per-edge-type message transforms (precision down-conversion
+    /// path).
+    pub(crate) fn edge_lins(&self) -> &[Linear] {
+        &self.edge_lin
+    }
+
     /// The layer's nonlinearity.
     pub(crate) fn activation(&self) -> Activation {
         self.activation

@@ -83,6 +83,17 @@ impl Linear {
         self.out_dim
     }
 
+    /// Borrow the weight matrix (`in_dim × out_dim`) from `ps` — the
+    /// read-only export used by precision down-conversion at serve time.
+    pub fn weight<'a>(&self, ps: &'a ParamSet) -> &'a Tensor {
+        ps.value(self.w)
+    }
+
+    /// Borrow the bias row (`1 × out_dim`) from `ps`.
+    pub fn bias<'a>(&self, ps: &'a ParamSet) -> &'a Tensor {
+        ps.value(self.b)
+    }
+
     /// Forward pass: binds the layer's parameters and returns `x·W + b`.
     pub fn forward(&self, g: &mut Graph, binding: &mut Binding, ps: &ParamSet, x: Var) -> Var {
         self.forward_act(g, binding, ps, x, Activation::Identity)
@@ -147,6 +158,17 @@ impl Mlp {
     /// Output dimensionality.
     pub fn out_dim(&self) -> usize {
         self.layers.last().map_or(0, Linear::out_dim)
+    }
+
+    /// The layer stack, first to last — read-only access for precision
+    /// down-conversion.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// The hidden activation (the final layer stays linear).
+    pub fn activation(&self) -> Activation {
+        self.activation
     }
 
     /// Forward pass. Hidden layers fuse their activation into the linear

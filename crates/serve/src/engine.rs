@@ -36,7 +36,9 @@ use std::sync::Arc;
 use relgraph_db2graph::{
     build_graph, update_graph, ConvertOptions, DeltaStats, GraphCursor, GraphMapping,
 };
-use relgraph_gnn::{predict_nodes, NodeModel};
+use relgraph_gnn::{
+    predict_nodes, predict_nodes_f32, EmbeddingStore32, InferModel32, NodeModel, Precision,
+};
 use relgraph_graph::{FeatureMatrix, HeteroGraph, NodeTypeId};
 use relgraph_obs as obs;
 use relgraph_pq::{ExecConfig, PreparedQuery};
@@ -45,6 +47,7 @@ use relgraph_store::{Database, IngestPolicy, IngestReport, RowBatch, Timestamp, 
 use crate::cache::{CacheStats, EmbeddingCache, Lru};
 use crate::error::{ServeError, ServeResult};
 use crate::invalidate::{dirty_closure, evict_dirty, grown_tables};
+use crate::quant::EmbeddingTier;
 
 /// Serving knobs: batch bounds and cache capacities.
 #[derive(Debug, Clone)]
@@ -57,6 +60,10 @@ pub struct ServeConfig {
     pub prediction_cache: usize,
     /// Capacity of the node-embedding tier (entries).
     pub embedding_cache: usize,
+    /// Numeric mode of the inference path and embedding tier. Training
+    /// always runs in `f64`; `F32`/`Q8` down-convert the fitted weights
+    /// once at engine assembly (tolerance story: `DESIGN.md` §15).
+    pub precision: Precision,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +73,7 @@ impl Default for ServeConfig {
             batch_deadline: std::time::Duration::from_millis(5),
             prediction_cache: 4096,
             embedding_cache: 65536,
+            precision: Precision::F64,
         }
     }
 }
@@ -98,12 +106,15 @@ pub struct ServeEngine {
     opts: ConvertOptions,
     query: PreparedQuery,
     model: Arc<NodeModel>,
+    /// Weights down-converted to `f32` once at assembly; `None` in `F64`
+    /// mode (the `f64` path must stay bitwise untouched by this feature).
+    model32: Option<Arc<InferModel32>>,
     node_type: NodeTypeId,
     metrics: Vec<(String, f64)>,
     anchor: Timestamp,
     hops: usize,
     predictions: Lru<usize, f64>,
-    embeddings: EmbeddingCache,
+    embeddings: EmbeddingTier,
     stats: CacheStats,
     cfg: ServeConfig,
 }
@@ -196,6 +207,10 @@ impl ServeEngine {
         let cursor = GraphCursor::capture(&db);
         let anchor = deploy_anchor(&db);
         let hops = model.sampler_cfg().fanouts.len();
+        let model32 = match cfg.precision {
+            Precision::F64 => None,
+            Precision::F32 | Precision::Q8 => Some(Arc::new(InferModel32::from_model(&model))),
+        };
         Ok(ServeEngine {
             db,
             graph,
@@ -204,12 +219,13 @@ impl ServeEngine {
             opts,
             query,
             model,
+            model32,
             node_type,
             metrics,
             anchor,
             hops,
             predictions: Lru::new(cfg.prediction_cache),
-            embeddings: EmbeddingCache::new(cfg.embedding_cache),
+            embeddings: EmbeddingTier::new(cfg.precision, cfg.embedding_cache),
             stats: CacheStats::default(),
             cfg,
         })
@@ -221,16 +237,28 @@ impl ServeEngine {
     /// input order; duplicate rows are computed once.
     pub fn predict_batch(&mut self, rows: &[usize]) -> Vec<f64> {
         let t0 = std::time::Instant::now();
-        let out = predict_batch_cached(
-            &self.model,
-            &self.graph,
-            self.node_type,
-            self.anchor,
-            rows,
-            &mut self.predictions,
-            &mut self.embeddings,
-            &mut self.stats,
-        );
+        let out = match &self.model32 {
+            None => predict_batch_cached(
+                &self.model,
+                &self.graph,
+                self.node_type,
+                self.anchor,
+                rows,
+                &mut self.predictions,
+                self.embeddings.as_f64_mut(),
+                &mut self.stats,
+            ),
+            Some(m32) => predict_batch_cached32(
+                m32,
+                &self.graph,
+                self.node_type,
+                self.anchor,
+                rows,
+                &mut self.predictions,
+                self.embeddings.as_store32_mut(),
+                &mut self.stats,
+            ),
+        };
         self.sync_stats();
         if obs::enabled() {
             obs::add("serve.requests", rows.len() as u64);
@@ -385,8 +413,8 @@ impl ServeEngine {
 
     fn sync_stats(&mut self) {
         self.stats.prediction_evictions = self.predictions.evictions;
-        self.stats.embedding_hits = self.embeddings.hits;
-        self.stats.embedding_misses = self.embeddings.misses;
+        self.stats.embedding_hits = self.embeddings.hits();
+        self.stats.embedding_misses = self.embeddings.misses();
         self.stats.embedding_evictions = self.embeddings.evictions();
     }
 
@@ -428,6 +456,17 @@ impl ServeEngine {
     /// tier and tests hand it to [`ServeEngine::from_fitted`]).
     pub fn model_handle(&self) -> Arc<NodeModel> {
         Arc::clone(&self.model)
+    }
+
+    /// The down-converted `f32` inference model, when serving in a
+    /// reduced precision (`None` in `F64` mode).
+    pub fn model32_handle(&self) -> Option<Arc<InferModel32>> {
+        self.model32.clone()
+    }
+
+    /// The numeric mode this engine serves in.
+    pub fn precision(&self) -> Precision {
+        self.cfg.precision
     }
 
     /// Test-split metrics, owned (pairs with [`model_handle`](Self::model_handle)
@@ -517,6 +556,54 @@ pub fn predict_batch_cached(
     }
     if !miss_rows.is_empty() {
         let preds = predict_nodes(model, graph, node_type, &miss_rows, anchor, embeddings);
+        for (&row, &p) in miss_rows.iter().zip(&preds) {
+            predictions.insert(row, p);
+        }
+        for (i, slot) in miss_positions {
+            out[i] = preds[slot];
+        }
+    }
+    out
+}
+
+/// The reduced-precision twin of [`predict_batch_cached`]: the same
+/// prediction-tier short-circuit and in-batch dedup, with the misses
+/// scored by [`predict_nodes_f32`] against a lossy-or-lossless
+/// [`EmbeddingStore32`]. The prediction tier stays exact `f64` — only the
+/// embedding payloads and the arithmetic are reduced, so cached and
+/// recomputed predictions agree bitwise within a mode.
+#[allow(clippy::too_many_arguments)]
+pub fn predict_batch_cached32(
+    model32: &InferModel32,
+    graph: &HeteroGraph,
+    node_type: NodeTypeId,
+    anchor: Timestamp,
+    rows: &[usize],
+    predictions: &mut Lru<usize, f64>,
+    embeddings: &mut dyn EmbeddingStore32,
+    stats: &mut CacheStats,
+) -> Vec<f64> {
+    let mut out = vec![0.0f64; rows.len()];
+    let mut miss_rows: Vec<usize> = Vec::new();
+    let mut miss_slot: HashMap<usize, usize> = HashMap::new();
+    let mut miss_positions: Vec<(usize, usize)> = Vec::new(); // (out idx, miss idx)
+    for (i, &row) in rows.iter().enumerate() {
+        if let Some(&p) = predictions.get(&row) {
+            stats.prediction_hits += 1;
+            out[i] = p;
+        } else if let Some(&slot) = miss_slot.get(&row) {
+            stats.prediction_misses += 1;
+            miss_positions.push((i, slot));
+        } else {
+            stats.prediction_misses += 1;
+            let slot = miss_rows.len();
+            miss_rows.push(row);
+            miss_slot.insert(row, slot);
+            miss_positions.push((i, slot));
+        }
+    }
+    if !miss_rows.is_empty() {
+        let preds = predict_nodes_f32(model32, graph, node_type, &miss_rows, anchor, embeddings);
         for (&row, &p) in miss_rows.iter().zip(&preds) {
             predictions.insert(row, p);
         }

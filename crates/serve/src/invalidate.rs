@@ -18,8 +18,9 @@ use relgraph_db2graph::GraphMapping;
 use relgraph_graph::{FeatureMatrix, HeteroGraph, NodeTypeId};
 use relgraph_store::Database;
 
-use crate::cache::{EmbeddingCache, Lru};
+use crate::cache::Lru;
 use crate::error::{ServeError, ServeResult};
+use crate::quant::EmbeddingTier;
 
 /// A table that gained rows during an ingest, with enough context to diff
 /// its features pre/post delta.
@@ -192,12 +193,14 @@ impl InvalidationPlan {
 /// levels `d..=hops` for every dirty node, plus the tier-1 prediction for
 /// dirty entity nodes. Returns `(embeddings_evicted, predictions_evicted)`
 /// — counts of entries actually present, so idle shards report zeros.
+/// Works on any [`EmbeddingTier`]: invalidation is keyed by
+/// `(type, node, level)` regardless of how the payload is encoded.
 pub fn evict_dirty(
     dirty: &[(usize, usize, usize)],
     hops: usize,
     entity_ty: usize,
     predictions: &mut Lru<usize, f64>,
-    embeddings: &mut EmbeddingCache,
+    embeddings: &mut EmbeddingTier,
 ) -> (u64, u64) {
     let mut emb = 0u64;
     let mut pred = 0u64;

@@ -16,6 +16,9 @@
 //! * [`cache`] — the bounded [`Lru`] both tiers are built from, plus
 //!   [`CacheStats`] accounting surfaced in run reports;
 //! * [`protocol`] — the `relgraph serve` JSONL wire format;
+//! * [`quant`] — reduced-precision embedding tiers ([`EmbeddingTier`]):
+//!   `f32` and 8-bit quantized rows backing the `--precision f32|q8`
+//!   serving modes, with a tolerance story spelled out in `DESIGN.md` §15;
 //! * [`sharded`] — [`ShardedEngine`]: the concurrent tier — per-core
 //!   cache shards draining fused job batches against epoch-swapped graph
 //!   snapshots ([`epoch`]), with one writer publishing deltas as
@@ -52,12 +55,15 @@ pub mod error;
 pub mod invalidate;
 pub mod persist;
 pub mod protocol;
+pub mod quant;
 pub mod server;
 pub mod sharded;
 
 pub use batcher::MicroBatcher;
 pub use cache::{CacheStats, EmbeddingCache, Lru};
-pub use engine::{predict_batch_cached, IngestOutcome, ServeConfig, ServeEngine};
+pub use engine::{
+    predict_batch_cached, predict_batch_cached32, IngestOutcome, ServeConfig, ServeEngine,
+};
 pub use epoch::EpochCell;
 pub use error::{ServeError, ServeResult};
 pub use invalidate::InvalidationPlan;
@@ -65,5 +71,9 @@ pub use persist::{
     load_model, save_engine, save_model, warm_engine, warm_sharded, ModelSnapshot, WarmBootReport,
 };
 pub use protocol::{parse_request, recover_id, response_err, response_ok, Request};
+pub use quant::{
+    dequantize_row, quantize_row, EmbeddingCache32, EmbeddingTier, QuantizedEmbeddingCache,
+    QuantizedRow,
+};
 pub use server::{bind, handle_line, ServerListener};
 pub use sharded::{GraphSnapshot, ShardedEngine, PLAN_HISTORY};

@@ -25,7 +25,9 @@ use std::sync::Arc;
 use relgraph_db2graph::{
     load_graph, save_graph, update_graph, ConvertOptions, DeltaStats, GraphCursor, GraphMapping,
 };
-use relgraph_gnn::{Aggregation, GnnConfig, ModelState, NodeModel, TaskKind, TrainReport};
+use relgraph_gnn::{
+    Aggregation, GnnConfig, ModelState, NodeModel, Precision, TaskKind, TrainReport,
+};
 use relgraph_graph::{EdgeTypeMeta, HeteroGraph, NodeTypeId, SamplerConfig};
 use relgraph_nn::Activation;
 use relgraph_obs as obs;
@@ -40,6 +42,13 @@ use crate::sharded::ShardedEngine;
 
 /// Magic prefix of model snapshot files (`model.snap`).
 pub const MAGIC_MODEL: &[u8; 4] = b"RGMS";
+/// Body-format version of `model.snap`. Version 1 (implicit — the body
+/// began directly with the query text) predates the serving-precision
+/// field; version 2 prefixes the body with this version number and the
+/// [`Precision`] tag so warm restarts serve in the mode the snapshot was
+/// saved under. Version-1 files load as a structured
+/// [`StoreError::UnsupportedVersion`], never a panic or a misparse.
+pub const MODEL_FORMAT_VERSION: u16 = 2;
 /// File name of the graph snapshot inside a snapshots directory.
 pub const GRAPH_SNAPSHOT_FILE: &str = "graph.snap";
 /// File name of the model snapshot inside a snapshots directory.
@@ -58,6 +67,9 @@ pub struct ModelSnapshot {
     pub metrics: Vec<(String, f64)>,
     /// The trained model, flattened.
     pub state: ModelState,
+    /// The serving precision the engine ran under when saved; warm boots
+    /// re-serve in the same mode so warm ≡ cold holds per mode.
+    pub precision: Precision,
 }
 
 /// What a warm boot did.
@@ -127,6 +139,8 @@ fn take_activation(r: &mut ByteReader<'_>, path: &Path) -> ServeResult<Activatio
 pub fn save_model(path: &Path, snap: &ModelSnapshot) -> ServeResult<u64> {
     let _span = obs::span("snapshot.model.save");
     let mut w = ByteWriter::new();
+    w.put_u16(MODEL_FORMAT_VERSION);
+    w.put_u8(snap.precision.tag());
     w.put_str(&snap.query_text);
     w.put_u32(snap.node_type.0 as u32);
     w.put_u32(snap.metrics.len() as u32);
@@ -201,6 +215,20 @@ pub fn load_model(path: &Path) -> ServeResult<ModelSnapshot> {
     let name = path.display().to_string();
     let mut r = ByteReader::new(&body, &name);
 
+    // Version-1 bodies began with the query text's u32 length, so this
+    // u16 reads its low bytes — any realistic query length differs from
+    // the version number, and the mismatch surfaces as a structured
+    // version error rather than a misparse deeper in.
+    let version = r.take_u16()?;
+    if version != MODEL_FORMAT_VERSION {
+        return Err(ServeError::Store(StoreError::UnsupportedVersion {
+            file: name,
+            found: version as u32,
+            supported: MODEL_FORMAT_VERSION as u32,
+        }));
+    }
+    let precision =
+        Precision::from_tag(r.take_u8()?).ok_or_else(|| corrupt(path, "unknown precision tag"))?;
     let query_text = r.take_str()?;
     let node_type = NodeTypeId(r.take_u32()? as usize);
     let n = r.take_u32()? as usize;
@@ -309,6 +337,7 @@ pub fn load_model(path: &Path) -> ServeResult<ModelSnapshot> {
                 val_losses,
             },
         },
+        precision,
     })
 }
 
@@ -346,6 +375,7 @@ pub fn save_engine(dir: &Path, engine: &ServeEngine, query_text: &str) -> ServeR
             node_type: engine.node_type(),
             metrics: engine.metrics_owned(),
             state: engine.model().export(),
+            precision: engine.precision(),
         },
     )?;
     Ok(graph_bytes + model_bytes)
@@ -398,13 +428,18 @@ fn load_parts(
 /// [`DataDir::open`](relgraph_store::DataDir::open)). No featurization, no
 /// training — predictions are byte-for-byte what a cold
 /// [`ServeEngine::fit`] on the same database would produce.
+///
+/// The snapshot's stored serving precision overrides `cfg.precision`: a
+/// warm boot must agree bitwise with the engine that was saved, which it
+/// can only do in the same numeric mode.
 pub fn warm_engine(
     dir: &Path,
     db: Database,
     exec: &ExecConfig,
-    cfg: ServeConfig,
+    mut cfg: ServeConfig,
 ) -> ServeResult<(ServeEngine, WarmBootReport)> {
     let (graph, mapping, query, model, snap, report) = load_parts(dir, &db, exec)?;
+    cfg.precision = snap.precision;
     let engine = ServeEngine::from_fitted_graph(
         db,
         graph,
@@ -419,15 +454,17 @@ pub fn warm_engine(
 }
 
 /// Boot a [`ShardedEngine`] warm from the snapshots in `dir` (see
-/// [`warm_engine`]). Any shard count serves bit-identically.
+/// [`warm_engine`]). Any shard count serves bit-identically. The stored
+/// serving precision overrides `cfg.precision`, as in [`warm_engine`].
 pub fn warm_sharded(
     dir: &Path,
     db: Database,
     exec: &ExecConfig,
-    cfg: ServeConfig,
+    mut cfg: ServeConfig,
     shards: usize,
 ) -> ServeResult<(ShardedEngine, WarmBootReport)> {
     let (graph, mapping, query, model, snap, report) = load_parts(dir, &db, exec)?;
+    cfg.precision = snap.precision;
     let engine = ShardedEngine::from_fitted_graph(
         db,
         graph,
@@ -508,12 +545,14 @@ mod tests {
             node_type: engine.node_type(),
             metrics: engine.metrics_owned(),
             state: engine.model().export(),
+            precision: Precision::Q8,
         };
         save_model(&path, &snap).unwrap();
         let back = load_model(&path).unwrap();
         assert_eq!(back.query_text, snap.query_text);
         assert_eq!(back.node_type, snap.node_type);
         assert_eq!(back.metrics, snap.metrics);
+        assert_eq!(back.precision, Precision::Q8);
         assert_eq!(back.state.params.len(), snap.state.params.len());
         for (a, b) in back.state.params.iter().zip(&snap.state.params) {
             assert_eq!(a.shape(), b.shape());
@@ -540,6 +579,7 @@ mod tests {
                 node_type: engine.node_type(),
                 metrics: engine.metrics_owned(),
                 state: engine.model().export(),
+                precision: Precision::F64,
             },
         )
         .unwrap();
@@ -550,6 +590,30 @@ mod tests {
         match load_model(&path) {
             Err(ServeError::Store(StoreError::Corrupt { .. })) => {}
             other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version1_model_snapshot_is_structured_error() {
+        // Hand-build a version-1 body (it began directly with the query
+        // text, no version/precision prefix) inside a valid checksummed
+        // blob frame: the loader must report the version mismatch as a
+        // structured error, not panic or misparse.
+        let dir = tmp("model-v1-corpus");
+        let path = dir.join(MODEL_SNAPSHOT_FILE);
+        let mut w = ByteWriter::new();
+        w.put_str(QUERY); // v1 layout: u32 text length first
+        w.put_u32(0); // node type (never reached)
+        write_blob(&path, MAGIC_MODEL, &w.into_bytes()).unwrap();
+        match load_model(&path) {
+            Err(ServeError::Store(StoreError::UnsupportedVersion {
+                found, supported, ..
+            })) => {
+                assert_eq!(supported, MODEL_FORMAT_VERSION as u32);
+                assert_ne!(found, MODEL_FORMAT_VERSION as u32);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -1,0 +1,618 @@
+//! Reduced-precision embedding tiers for the serving cache.
+//!
+//! The engine's hop-ℓ embedding cache stores one `Vec<f64>` per
+//! `(type, node, level)` — 8 bytes per dimension. When the engine serves
+//! in a reduced [`Precision`], the same LRU slot budget buys far more
+//! resident entities:
+//!
+//! * [`EmbeddingCache32`] stores `f32` rows (half the bytes);
+//! * [`QuantizedEmbeddingCache`] stores 8-bit linearly quantized rows
+//!   ([`QuantizedRow`]: one `u8` per dimension plus an 8-byte per-row
+//!   `(scale, min)` header) — a 4–8× byte reduction depending on row
+//!   width.
+//!
+//! Quantization is lossy, so the quantized tier implements
+//! [`EmbeddingStore32::canonicalize`] as encode∘decode: the inference
+//! recursion consumes the *storable* value from the start, which is what
+//! makes warm (cache-hit) and cold (cache-miss) runs bit-identical. The
+//! round-trip error bound — at most `scale/2` plus one half-ulp of the
+//! reconstructed value — is stated in `DESIGN.md` §15 and enforced by the
+//! property tests below.
+//!
+//! [`EmbeddingTier`] wraps the three stores behind one enum so the engine
+//! and the sharded shard loop can hold "whichever tier the precision mode
+//! calls for" without generics leaking into their signatures.
+
+use relgraph_gnn::{EmbeddingStore32, Precision};
+
+use crate::cache::{EmbeddingCache, Lru};
+
+type Key = (usize, usize, usize);
+
+/// One 8-bit linearly quantized embedding row.
+///
+/// Encodes `x[i] ≈ min + q[i]·scale` with `q[i] ∈ 0..=255`. Constant rows
+/// (including empty ones) use `scale = 0` and reconstruct exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedRow {
+    /// Quantized codes, one per dimension.
+    pub q: Vec<u8>,
+    /// Step between adjacent codes (0 for constant rows).
+    pub scale: f32,
+    /// Value reconstructed for code 0.
+    pub min: f32,
+}
+
+impl QuantizedRow {
+    /// Bytes this row occupies: one code per dimension plus the
+    /// `(scale, min)` header.
+    pub fn bytes(&self) -> usize {
+        self.q.len() + 2 * std::mem::size_of::<f32>()
+    }
+}
+
+/// Bytes an embedding row of width `dim` occupies in the quantized tier.
+pub fn q8_row_bytes(dim: usize) -> usize {
+    dim + 2 * std::mem::size_of::<f32>()
+}
+
+/// Bytes an embedding row of width `dim` occupies in the `f64` tier.
+pub fn f64_row_bytes(dim: usize) -> usize {
+    dim * std::mem::size_of::<f64>()
+}
+
+/// Quantize a row to 8-bit codes over its own `[min, max]` range.
+///
+/// The scale is computed in `f64` (`(max − min) / 255` overflows to
+/// infinity in `f32` only for ranges near `f32::MAX`, which the `f64`
+/// intermediate sidesteps) and clamped up to `f32::MIN_POSITIVE` so that
+/// subnormal-range rows still satisfy the `scale/2` reconstruction bound
+/// after rounding. Non-finite inputs are the caller's bug; inference
+/// rejects them upstream.
+pub fn quantize_row(row: &[f32]) -> QuantizedRow {
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &x in row {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    if row.is_empty() || lo >= hi {
+        // Constant (or empty) row: code 0 everywhere, exact reconstruction.
+        let min = if row.is_empty() { 0.0 } else { lo };
+        return QuantizedRow {
+            q: vec![0; row.len()],
+            scale: 0.0,
+            min,
+        };
+    }
+    let scale = (((hi as f64) - (lo as f64)) / 255.0) as f32;
+    let scale = scale.max(f32::MIN_POSITIVE);
+    let inv = 1.0 / (scale as f64);
+    let q = row
+        .iter()
+        .map(|&x| ((((x as f64) - (lo as f64)) * inv).round()).clamp(0.0, 255.0) as u8)
+        .collect();
+    QuantizedRow { q, scale, min: lo }
+}
+
+/// Reconstruct the `f32` row a [`quantize_row`] result encodes.
+///
+/// The arithmetic runs in `f64` and narrows once, so reconstruction error
+/// is the quantization step plus at most one half-ulp of the result.
+pub fn dequantize_row(row: &QuantizedRow) -> Vec<f32> {
+    let min = row.min as f64;
+    let scale = row.scale as f64;
+    row.q
+        .iter()
+        .map(|&q| (min + (q as f64) * scale) as f32)
+        .collect()
+}
+
+/// The `f32` embedding tier: an [`Lru`] keyed `(type, node, level)` that
+/// plugs into [`relgraph_gnn::predict_nodes_f32`] as its
+/// [`EmbeddingStore32`]. Storage is lossless, so `canonicalize` stays the
+/// identity default.
+pub struct EmbeddingCache32 {
+    lru: Lru<Key, Vec<f32>>,
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+}
+
+impl EmbeddingCache32 {
+    /// An empty cache holding at most `cap` embeddings.
+    pub fn new(cap: usize) -> Self {
+        EmbeddingCache32 {
+            lru: Lru::new(cap),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached embeddings.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+
+    /// Entries displaced by capacity pressure.
+    pub fn evictions(&self) -> u64 {
+        self.lru.evictions
+    }
+
+    /// Drop one `(type, node, level)` entry; true if it was present.
+    pub fn invalidate(&mut self, ty: usize, node: usize, level: usize) -> bool {
+        self.lru.remove(&(ty, node, level))
+    }
+
+    /// Drop everything (hit/miss counters survive).
+    pub fn clear(&mut self) {
+        self.lru.clear();
+    }
+}
+
+impl EmbeddingStore32 for EmbeddingCache32 {
+    fn get(&mut self, ty: usize, node: usize, level: usize) -> Option<Vec<f32>> {
+        match self.lru.get(&(ty, node, level)) {
+            Some(emb) => {
+                self.hits += 1;
+                Some(emb.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn put(&mut self, ty: usize, node: usize, level: usize, emb: Vec<f32>) {
+        self.lru.insert((ty, node, level), emb);
+    }
+}
+
+/// The 8-bit quantized embedding tier: rows live as [`QuantizedRow`]s
+/// (~`dim + 8` bytes instead of `8·dim`), decoded on every hit.
+///
+/// `canonicalize` is encode∘decode, so the recursion only ever consumes
+/// values the cache can reproduce — warm and cold runs agree bitwise.
+pub struct QuantizedEmbeddingCache {
+    lru: Lru<Key, QuantizedRow>,
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+}
+
+impl QuantizedEmbeddingCache {
+    /// An empty cache holding at most `cap` quantized rows.
+    pub fn new(cap: usize) -> Self {
+        QuantizedEmbeddingCache {
+            lru: Lru::new(cap),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached rows.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+
+    /// Entries displaced by capacity pressure.
+    pub fn evictions(&self) -> u64 {
+        self.lru.evictions
+    }
+
+    /// Drop one `(type, node, level)` entry; true if it was present.
+    pub fn invalidate(&mut self, ty: usize, node: usize, level: usize) -> bool {
+        self.lru.remove(&(ty, node, level))
+    }
+
+    /// Drop everything (hit/miss counters survive).
+    pub fn clear(&mut self) {
+        self.lru.clear();
+    }
+}
+
+impl EmbeddingStore32 for QuantizedEmbeddingCache {
+    fn get(&mut self, ty: usize, node: usize, level: usize) -> Option<Vec<f32>> {
+        match self.lru.get(&(ty, node, level)) {
+            Some(row) => {
+                self.hits += 1;
+                Some(dequantize_row(row))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn put(&mut self, ty: usize, node: usize, level: usize, emb: Vec<f32>) {
+        self.lru.insert((ty, node, level), quantize_row(&emb));
+    }
+
+    fn canonicalize(&self, emb: Vec<f32>) -> Vec<f32> {
+        dequantize_row(&quantize_row(&emb))
+    }
+}
+
+/// The embedding tier an engine (or shard) actually holds: one variant
+/// per serving [`Precision`]. Lookup/insert goes through the store traits
+/// ([`relgraph_gnn::EmbeddingStore`] for `F64`, [`EmbeddingStore32`]
+/// otherwise); this
+/// enum only carries the shared bookkeeping surface so `engine`/`sharded`
+/// code stays precision-agnostic.
+pub enum EmbeddingTier {
+    /// Full-precision rows (`Vec<f64>`), the default.
+    F64(EmbeddingCache),
+    /// Single-precision rows (`Vec<f32>`).
+    F32(EmbeddingCache32),
+    /// 8-bit quantized rows ([`QuantizedRow`]).
+    Q8(QuantizedEmbeddingCache),
+}
+
+impl EmbeddingTier {
+    /// An empty tier for `precision` holding at most `cap` rows.
+    pub fn new(precision: Precision, cap: usize) -> Self {
+        match precision {
+            Precision::F64 => EmbeddingTier::F64(EmbeddingCache::new(cap)),
+            Precision::F32 => EmbeddingTier::F32(EmbeddingCache32::new(cap)),
+            Precision::Q8 => EmbeddingTier::Q8(QuantizedEmbeddingCache::new(cap)),
+        }
+    }
+
+    /// The precision this tier serves.
+    pub fn precision(&self) -> Precision {
+        match self {
+            EmbeddingTier::F64(_) => Precision::F64,
+            EmbeddingTier::F32(_) => Precision::F32,
+            EmbeddingTier::Q8(_) => Precision::Q8,
+        }
+    }
+
+    /// Number of cached rows.
+    pub fn len(&self) -> usize {
+        match self {
+            EmbeddingTier::F64(c) => c.len(),
+            EmbeddingTier::F32(c) => c.len(),
+            EmbeddingTier::Q8(c) => c.len(),
+        }
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries displaced by capacity pressure.
+    pub fn evictions(&self) -> u64 {
+        match self {
+            EmbeddingTier::F64(c) => c.evictions(),
+            EmbeddingTier::F32(c) => c.evictions(),
+            EmbeddingTier::Q8(c) => c.evictions(),
+        }
+    }
+
+    /// Lookups answered from cache.
+    pub fn hits(&self) -> u64 {
+        match self {
+            EmbeddingTier::F64(c) => c.hits,
+            EmbeddingTier::F32(c) => c.hits,
+            EmbeddingTier::Q8(c) => c.hits,
+        }
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        match self {
+            EmbeddingTier::F64(c) => c.misses,
+            EmbeddingTier::F32(c) => c.misses,
+            EmbeddingTier::Q8(c) => c.misses,
+        }
+    }
+
+    /// Drop one `(type, node, level)` entry; true if it was present.
+    pub fn invalidate(&mut self, ty: usize, node: usize, level: usize) -> bool {
+        match self {
+            EmbeddingTier::F64(c) => c.invalidate(ty, node, level),
+            EmbeddingTier::F32(c) => c.invalidate(ty, node, level),
+            EmbeddingTier::Q8(c) => c.invalidate(ty, node, level),
+        }
+    }
+
+    /// Drop everything (hit/miss counters survive).
+    pub fn clear(&mut self) {
+        match self {
+            EmbeddingTier::F64(c) => c.clear(),
+            EmbeddingTier::F32(c) => c.clear(),
+            EmbeddingTier::Q8(c) => c.clear(),
+        }
+    }
+
+    /// The `f64` store, for the full-precision predict path.
+    ///
+    /// # Panics
+    /// Panics if this tier is not [`EmbeddingTier::F64`] — the engine
+    /// routes by precision before reaching here.
+    pub fn as_f64_mut(&mut self) -> &mut EmbeddingCache {
+        match self {
+            EmbeddingTier::F64(c) => c,
+            _ => panic!("f64 predict path reached a reduced-precision tier"),
+        }
+    }
+
+    /// The reduced-precision store, for the `f32`/`q8` predict path.
+    ///
+    /// # Panics
+    /// Panics if this tier is [`EmbeddingTier::F64`].
+    pub fn as_store32_mut(&mut self) -> &mut dyn EmbeddingStore32 {
+        match self {
+            EmbeddingTier::F32(c) => c,
+            EmbeddingTier::Q8(c) => c,
+            EmbeddingTier::F64(_) => {
+                panic!("reduced-precision predict path reached the f64 tier")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The §15 reconstruction bound: half a quantization step, plus one
+    /// half-ulp of the reconstructed magnitude for the final narrowing,
+    /// plus one subnormal step so denormal-range rows (where `scale` is
+    /// clamped) stay inside the bound.
+    fn assert_round_trip_bound(row: &[f32]) {
+        let q = quantize_row(row);
+        let back = dequantize_row(&q);
+        assert_eq!(back.len(), row.len());
+        for (&x, &y) in row.iter().zip(&back) {
+            let bound = 0.5 * (q.scale as f64)
+                + (f32::EPSILON as f64) * (x.abs() as f64)
+                + f64::from(f32::MIN_POSITIVE);
+            let diff = ((x as f64) - (y as f64)).abs();
+            assert!(
+                diff <= bound,
+                "round-trip error {diff:e} exceeds bound {bound:e} for x={x:e} (scale={:e})",
+                q.scale
+            );
+        }
+    }
+
+    #[test]
+    fn constant_rows_reconstruct_exactly() {
+        for v in [0.0f32, -0.0, 1.5, -3.25, f32::MIN_POSITIVE, 1e30] {
+            let row = vec![v; 7];
+            let q = quantize_row(&row);
+            assert_eq!(q.scale, 0.0);
+            let back = dequantize_row(&q);
+            for &y in &back {
+                // Value-exact; −0.0 reconstructs as +0.0 (the `min + 0`
+                // sum normalizes the sign bit), which compares equal and
+                // is what both canonicalize and a warm get produce.
+                assert_eq!(y, v);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_element_rows_are_exact() {
+        let q = quantize_row(&[]);
+        assert!(q.q.is_empty());
+        assert_eq!(dequantize_row(&q), Vec::<f32>::new());
+        let q = quantize_row(&[42.5]);
+        assert_eq!(q.scale, 0.0);
+        assert_eq!(dequantize_row(&q), vec![42.5]);
+    }
+
+    #[test]
+    fn signed_zero_rows_round_trip() {
+        assert_round_trip_bound(&[-0.0, 0.0, -0.0]);
+        // A row spanning −0.0..1.0 must place −0.0 at code 0 exactly.
+        let q = quantize_row(&[-0.0, 1.0]);
+        assert_eq!(q.q[0], 0);
+        assert_eq!(q.q[1], 255);
+    }
+
+    #[test]
+    fn subnormal_rows_stay_within_bound() {
+        let tiny = f32::MIN_POSITIVE / 4.0; // subnormal
+        assert_round_trip_bound(&[0.0, tiny, tiny * 2.0, tiny * 3.0]);
+        assert_round_trip_bound(&[-tiny, tiny]);
+    }
+
+    #[test]
+    fn extreme_range_does_not_overflow_scale() {
+        let row = [f32::MAX, -f32::MAX, 0.0];
+        let q = quantize_row(&row);
+        assert!(q.scale.is_finite());
+        assert_round_trip_bound(&row);
+    }
+
+    #[test]
+    fn row_byte_accounting_matches_layout() {
+        let q = quantize_row(&[1.0, 2.0, 3.0]);
+        assert_eq!(q.bytes(), q8_row_bytes(3));
+        assert_eq!(q8_row_bytes(8), 16);
+        assert_eq!(f64_row_bytes(8), 64);
+        // The issue's ≥4× claim at dim 8: 64 / 16 = 4.0 exactly; wider
+        // rows only improve it.
+        assert!(f64_row_bytes(8) / q8_row_bytes(8) >= 4);
+        assert!(f64_row_bytes(32) as f64 / q8_row_bytes(32) as f64 > 6.0);
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_and_matches_warm_get() {
+        let mut c = QuantizedEmbeddingCache::new(8);
+        let row = vec![0.1f32, -2.7, 3.625, 0.0, 8.5];
+        let canon = c.canonicalize(row.clone());
+        let canon2 = c.canonicalize(canon.clone());
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&canon),
+            bits(&canon2),
+            "canonicalize must be idempotent"
+        );
+        c.put(0, 1, 2, row);
+        let warm = c.get(0, 1, 2).unwrap();
+        assert_eq!(
+            bits(&warm),
+            bits(&canon),
+            "warm get must equal canonicalize"
+        );
+    }
+
+    #[test]
+    fn tier_routes_by_precision() {
+        for p in [Precision::F64, Precision::F32, Precision::Q8] {
+            let t = EmbeddingTier::new(p, 4);
+            assert_eq!(t.precision(), p);
+            assert!(t.is_empty());
+        }
+        let mut t = EmbeddingTier::new(Precision::Q8, 4);
+        t.as_store32_mut().put(0, 0, 0, vec![1.0, 2.0]);
+        assert_eq!(t.len(), 1);
+        assert!(t.invalidate(0, 0, 0));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "reduced-precision predict path")]
+    fn f64_tier_rejects_store32_access() {
+        let mut t = EmbeddingTier::new(Precision::F64, 4);
+        let _ = t.as_store32_mut();
+    }
+
+    #[test]
+    #[should_panic(expected = "f64 predict path")]
+    fn q8_tier_rejects_f64_access() {
+        let mut t = EmbeddingTier::new(Precision::Q8, 4);
+        let _ = t.as_f64_mut();
+    }
+
+    /// Strategy: rows mixing magnitudes from subnormal to huge.
+    fn row_strategy() -> impl Strategy<Value = Vec<f32>> {
+        proptest::collection::vec(
+            prop_oneof![
+                (-1.0f64..1.0).prop_map(|x| x as f32),
+                (-1e6f64..1e6).prop_map(|x| x as f32),
+                (-1e-30f64..1e-30).prop_map(|x| x as f32),
+                (-1e30f64..1e30).prop_map(|x| x as f32),
+                Just(0.0f32),
+                Just(-0.0f32),
+                Just(f32::MIN_POSITIVE),
+                Just(f32::MIN_POSITIVE / 8.0),
+            ],
+            0..24,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        fn round_trip_error_is_bounded_by_half_scale(row in row_strategy()) {
+            let q = quantize_row(&row);
+            let back = dequantize_row(&q);
+            prop_assert_eq!(back.len(), row.len());
+            for (&x, &y) in row.iter().zip(&back) {
+                let bound = 0.5 * (q.scale as f64)
+                    + (f32::EPSILON as f64) * (x.abs() as f64)
+                    + f64::from(f32::MIN_POSITIVE);
+                let diff = ((x as f64) - (y as f64)).abs();
+                prop_assert!(
+                    diff <= bound,
+                    "err {} > bound {} at x={} scale={}",
+                    diff, bound, x, q.scale
+                );
+            }
+        }
+
+        fn canonicalize_fixed_point(row in row_strategy()) {
+            let c = QuantizedEmbeddingCache::new(4);
+            let once = c.canonicalize(row);
+            let twice = c.canonicalize(once.clone());
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(bits(&once), bits(&twice));
+        }
+    }
+
+    /// One random op against both a quantized and an unquantized tier;
+    /// recency, eviction and invalidation behavior must be identical
+    /// because quantization only changes the *payload*, never the policy.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Get(Key),
+        Put(Key, Vec<f32>),
+        Invalidate(Key),
+        Clear,
+    }
+
+    fn key_strategy() -> impl Strategy<Value = Key> {
+        (0usize..2, 0usize..6, 0usize..3)
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            key_strategy().prop_map(Op::Get),
+            (
+                key_strategy(),
+                proptest::collection::vec((-10.0f64..10.0).prop_map(|x| x as f32), 1..5)
+            )
+                .prop_map(|(k, v)| Op::Put(k, v)),
+            key_strategy().prop_map(Op::Invalidate),
+            Just(Op::Clear),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        fn quantized_tier_policy_matches_unquantized(
+            ops in proptest::collection::vec(op_strategy(), 1..60),
+            cap in 1usize..8,
+        ) {
+            let mut plain = EmbeddingCache32::new(cap);
+            let mut quant = QuantizedEmbeddingCache::new(cap);
+            for op in &ops {
+                match op {
+                    Op::Get(k) => {
+                        let a = plain.get(k.0, k.1, k.2).is_some();
+                        let b = quant.get(k.0, k.1, k.2).is_some();
+                        prop_assert_eq!(a, b, "hit/miss diverged on {:?}", k);
+                    }
+                    Op::Put(k, v) => {
+                        plain.put(k.0, k.1, k.2, v.clone());
+                        quant.put(k.0, k.1, k.2, v.clone());
+                    }
+                    Op::Invalidate(k) => {
+                        prop_assert_eq!(
+                            plain.invalidate(k.0, k.1, k.2),
+                            quant.invalidate(k.0, k.1, k.2)
+                        );
+                    }
+                    Op::Clear => {
+                        plain.clear();
+                        quant.clear();
+                    }
+                }
+                prop_assert_eq!(plain.len(), quant.len());
+                prop_assert_eq!(plain.evictions(), quant.evictions());
+                prop_assert_eq!((plain.hits, plain.misses), (quant.hits, quant.misses));
+            }
+        }
+    }
+}

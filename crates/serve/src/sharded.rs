@@ -7,7 +7,8 @@
 //! [`ServeEngine`](crate::ServeEngine) into three roles:
 //!
 //! * **Shards** — `N` worker threads, each exclusively owning one slice of
-//!   the two-tier cache (a prediction [`Lru`] and an [`EmbeddingCache`]).
+//!   the two-tier cache (a prediction [`Lru`] and an [`EmbeddingTier`]
+//!   matching the configured serving precision).
 //!   A shard drains its job queue through a greedy [`MicroBatcher`], fuses
 //!   queued jobs into one inference batch, and scores against whatever
 //!   graph snapshot it currently holds. Nothing a shard owns is shared, so
@@ -46,18 +47,21 @@ use std::time::Duration;
 use relgraph_db2graph::{
     build_graph, update_graph_snapshot, ConvertOptions, GraphCursor, GraphMapping,
 };
-use relgraph_gnn::NodeModel;
+use relgraph_gnn::{InferModel32, NodeModel, Precision};
 use relgraph_graph::{FeatureMatrix, HeteroGraph, NodeTypeId};
 use relgraph_obs as obs;
 use relgraph_pq::{ExecConfig, PreparedQuery};
 use relgraph_store::{Database, IngestPolicy, RowBatch, Timestamp, Value};
 
 use crate::batcher::MicroBatcher;
-use crate::cache::{CacheStats, EmbeddingCache, Lru};
-use crate::engine::{deploy_anchor, predict_batch_cached, IngestOutcome, ServeConfig};
+use crate::cache::{CacheStats, Lru};
+use crate::engine::{
+    deploy_anchor, predict_batch_cached, predict_batch_cached32, IngestOutcome, ServeConfig,
+};
 use crate::epoch::EpochCell;
 use crate::error::{ServeError, ServeResult};
 use crate::invalidate::{dirty_closure, evict_dirty, grown_tables, InvalidationPlan};
+use crate::quant::EmbeddingTier;
 
 /// How many invalidation plans a snapshot retains. A shard more than this
 /// many epochs behind flushes its cache slice instead of replaying plans —
@@ -82,6 +86,8 @@ pub struct GraphSnapshot {
 /// Immutable state every thread of the tier shares.
 struct Shared {
     model: Arc<NodeModel>,
+    /// Weights down-converted once at assembly; `None` in `F64` mode.
+    model32: Option<Arc<InferModel32>>,
     node_type: NodeTypeId,
     entity_table: String,
     hops: usize,
@@ -219,6 +225,7 @@ impl ShardedEngine {
                 node_type: self.shared.node_type,
                 metrics: self.metrics.clone(),
                 state: self.shared.model.export(),
+                precision: self.shared.cfg.precision,
             },
         )?;
         Ok(graph_bytes + model_bytes)
@@ -249,8 +256,13 @@ impl ShardedEngine {
             anchor,
             plans: Vec::new(),
         };
+        let model32 = match cfg.precision {
+            Precision::F64 => None,
+            Precision::F32 | Precision::Q8 => Some(Arc::new(InferModel32::from_model(&model))),
+        };
         let shared = Arc::new(Shared {
             model,
+            model32,
             node_type,
             entity_table,
             hops,
@@ -564,7 +576,7 @@ fn shard_loop(
     let mut snap = shared.cell.load();
     let mut local_epoch = snap.epoch;
     let mut predictions: Lru<usize, f64> = Lru::new(pred_cap);
-    let mut embeddings = EmbeddingCache::new(emb_cap);
+    let mut embeddings = EmbeddingTier::new(shared.cfg.precision, emb_cap);
     let mut stats = CacheStats::default();
     let requests_name = format!("serve.shard.{index}.requests");
     while let Some(jobs) = batcher.next_batch() {
@@ -591,16 +603,28 @@ fn shard_loop(
             rows.extend_from_slice(&job.rows);
             spans.push(job.rows.len());
         }
-        let preds = predict_batch_cached(
-            &shared.model,
-            &snap.graph,
-            shared.node_type,
-            snap.anchor,
-            &rows,
-            &mut predictions,
-            &mut embeddings,
-            &mut stats,
-        );
+        let preds = match &shared.model32 {
+            None => predict_batch_cached(
+                &shared.model,
+                &snap.graph,
+                shared.node_type,
+                snap.anchor,
+                &rows,
+                &mut predictions,
+                embeddings.as_f64_mut(),
+                &mut stats,
+            ),
+            Some(m32) => predict_batch_cached32(
+                m32,
+                &snap.graph,
+                shared.node_type,
+                snap.anchor,
+                &rows,
+                &mut predictions,
+                embeddings.as_store32_mut(),
+                &mut stats,
+            ),
+        };
         let mut offset = 0usize;
         for (job, span) in jobs.into_iter().zip(spans) {
             let slice = preds[offset..offset + span].to_vec();
@@ -610,8 +634,8 @@ fn shard_loop(
             let _ = job.reply.send((job.tag, slice));
         }
         stats.prediction_evictions = predictions.evictions;
-        stats.embedding_hits = embeddings.hits;
-        stats.embedding_misses = embeddings.misses;
+        stats.embedding_hits = embeddings.hits();
+        stats.embedding_misses = embeddings.misses();
         stats.embedding_evictions = embeddings.evictions();
         *stats_out.lock().unwrap_or_else(|p| p.into_inner()) = stats;
         if obs::enabled() {
@@ -628,7 +652,7 @@ fn catch_up(
     snap: &GraphSnapshot,
     local_epoch: u64,
     predictions: &mut Lru<usize, f64>,
-    embeddings: &mut EmbeddingCache,
+    embeddings: &mut EmbeddingTier,
     stats: &mut CacheStats,
 ) {
     debug_assert!(snap.epoch > local_epoch);

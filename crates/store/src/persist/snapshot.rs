@@ -61,7 +61,7 @@ fn col_file_name(index: usize, name: &str) -> String {
 /// Write `db` as a base snapshot under `dir` (created if needed). Every
 /// file and directory is fsynced before this returns, so the snapshot as a
 /// whole is durable once the caller fsyncs `dir`'s parent (which
-/// [`super::write_manifest_atomic`] does before any manifest points at
+/// `write_manifest_atomic` does before any manifest points at
 /// it). Returns total bytes written.
 pub fn write_base(dir: &Path, db: &Database) -> StoreResult<u64> {
     std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;

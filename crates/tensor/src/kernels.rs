@@ -509,7 +509,7 @@ mod avx {
 
 #[cfg(target_arch = "x86_64")]
 #[inline]
-fn have_fma() -> bool {
+pub(crate) fn have_fma() -> bool {
     std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
 }
 

@@ -34,10 +34,15 @@
 pub mod error;
 pub mod gradcheck;
 pub mod kernels;
+pub mod kernels32;
 pub mod tape;
 pub mod tensor;
 
 pub use error::{TensorError, TensorResult};
 pub use kernels::ActKind;
+pub use kernels32::{
+    apply_act_f32, matmul_bias_act_f32, matmul_naive_f32, mm_packed_f32, pack_b_f32,
+    stable_sigmoid_f32,
+};
 pub use tape::{Graph, Op, Var};
 pub use tensor::{set_baseline_matmul, Tensor};

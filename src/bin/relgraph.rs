@@ -595,8 +595,10 @@ struct ServeArgs {
 fn serve_usage() -> &'static str {
     "usage: relgraph serve (--data DIR | --data-dir DIR | --demo NAME) \
      --query 'PREDICT …' [--seed N] [--max-batch N] [--deadline-ms N] \
-     [--pred-cache N] [--emb-cache N] [--shards N] [--listen HOST:PORT|SOCKET_PATH] \
-     (--query is optional when --data-dir holds a warm snapshot)"
+     [--pred-cache N] [--emb-cache N] [--precision f64|f32|q8] [--shards N] \
+     [--listen HOST:PORT|SOCKET_PATH] \
+     (--query is optional when --data-dir holds a warm snapshot; a warm \
+     snapshot's stored precision wins over --precision)"
 }
 
 fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
@@ -636,6 +638,11 @@ fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, Strin
             }
             "--emb-cache" => {
                 cfg.embedding_cache = number("--emb-cache", value("--emb-cache")?)? as usize
+            }
+            "--precision" => {
+                cfg.precision = value("--precision")?
+                    .parse()
+                    .map_err(|e| format!("--precision: {e}\n{}", serve_usage()))?
             }
             "--shards" => {
                 shards = (number("--shards", value("--shards")?)? as usize).max(1);
@@ -711,6 +718,12 @@ fn serve_from_data_dir(
                 let same = args.query.as_deref().is_none_or(|q| q == snap.query_text);
                 if !same {
                     eprintln!("stored snapshot is for a different query; refitting");
+                } else if snap.precision != args.cfg.precision {
+                    eprintln!(
+                        "stored snapshot was saved at precision {}; \
+                         serving at {} (stored precision wins on warm boots)",
+                        snap.precision, snap.precision
+                    );
                 }
                 same
             }
