@@ -15,8 +15,12 @@
 //! `serving` (cached micro-batched engine vs per-request inference) must
 //! show a real multiple since its win is algorithmic, not thread scaling.
 //! `serving_concurrent`'s floor scales with the recorded shard count (its
-//! win IS thread scaling), and `serving_mixed` must simply not regress
-//! against the pre-shard engine. `persist_open` (columnar base read vs CSV
+//! win IS thread scaling), and `serving_mixed` (burst ingest drained
+//! through the grouped write path vs one delta + closure + eviction sweep
+//! per batch) must show the coalesced-invalidation win — a real multiple
+//! on any host, since the saving is per-publish work, not threads.
+//! `wal_commit` (group-commit WAL appends vs one fsync per batch) must
+//! show fsync amortization. `persist_open` (columnar base read vs CSV
 //! parse) and `persistence` (warm restart from snapshots vs a cold
 //! open + featurize + train boot) gate the durable substrate: both wins
 //! are algorithmic, so real multiples are required on any host.
@@ -60,9 +64,16 @@ fn floor_spec(section: &str, shards: usize) -> (f64, &'static str) {
         "serving_concurrent" if shards >= 4 => (2.0, "f64"),
         "serving_concurrent" if shards >= 2 => (1.2, "f64"),
         "serving_concurrent" => (0.8, "f64"),
-        // Mixed ingest+read traffic through the epoch-swap pipeline must
-        // not be slower than the pre-shard engine (noise allowance).
-        "serving_mixed" => (0.8, "f64"),
+        // Mixed ingest+read traffic: the sharded tier drains each write
+        // burst through one coalesced publish (merged dirty closure, one
+        // snapshot clone, one invalidation broadcast) where the pre-shard
+        // engine pays all of it per batch. The win is algorithmic, so a
+        // real multiple is required on any host.
+        "serving_mixed" => (1.2, "f64"),
+        // WAL group commit: one covering fsync per window of batches vs
+        // one fsync each. fsync dominates the small-batch write path, so
+        // an 8-batch window must be worth at least 3x on any real disk.
+        "wal_commit" => (3.0, "f64"),
         // Columnar binary base read vs CSV parse of the same database: the
         // binary format skips tokenizing/validating every cell, so it must
         // win by a clear margin.
@@ -83,8 +94,8 @@ fn main() {
 
     let snap = perf::write_snapshot(&out, quick).expect("write snapshot");
     println!(
-        "wrote {out} (threads = {}, shards = {})",
-        snap.threads, snap.shards
+        "wrote {out} (threads = {}, shards = {}, commit window = {})",
+        snap.threads, snap.shards, snap.commit_window
     );
     let mut failed = false;
     for s in &snap.sections {

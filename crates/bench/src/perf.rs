@@ -12,6 +12,7 @@
 //!   "unix_time": 1700000000,
 //!   "threads": 8,
 //!   "shards": 8,
+//!   "commit_window": 8,
 //!   "sections": [
 //!     {"name": "...", "unit": "...", "precision": "f64", "before": 1.0,
 //!      "after": 3.0, "speedup": 3.0},
@@ -43,7 +44,7 @@ use relgraph_pq::{analyze, build_training_table, parse, ExecConfig};
 use relgraph_serve::quant::{f64_row_bytes, q8_row_bytes};
 use relgraph_serve::{ServeConfig, ServeEngine, ShardedEngine};
 use relgraph_store::{
-    load_database_dir, save_database_dir, DataDir, IngestPolicy, Row, RowBatch, Value,
+    load_database_dir, save_database_dir, CommitWindow, DataDir, IngestPolicy, Row, RowBatch, Value,
 };
 use relgraph_tensor::{set_baseline_matmul, Graph, Tensor};
 
@@ -53,7 +54,7 @@ pub struct Section {
     /// Stable section name (`sample`, `traintable`, `matmul_*`,
     /// `linear_fused`, `ingest`, `epoch`, `serving`, `serving_f32`,
     /// `cache_capacity`, `serving_concurrent`, `serving_mixed`,
-    /// `persist_open`, `persistence`).
+    /// `persist_open`, `persistence`, `wal_commit`).
     pub name: String,
     /// Throughput unit (higher is better).
     pub unit: String,
@@ -90,6 +91,9 @@ pub struct Snapshot {
     /// Floors in `perf_snapshot --check` key off this: the ≥2x concurrent
     /// multiple is only physically possible when shards > 1.
     pub shards: usize,
+    /// Group-commit window (batches per fsync / per epoch publish) used by
+    /// the `wal_commit` and `serving_mixed` "after" configurations.
+    pub commit_window: usize,
 }
 
 impl Snapshot {
@@ -105,6 +109,7 @@ impl Snapshot {
         out.push_str(&format!("  \"unix_time\": {unix_time},\n"));
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!("  \"shards\": {},\n", self.shards));
+        out.push_str(&format!("  \"commit_window\": {},\n", self.commit_window));
         out.push_str("  \"sections\": [\n");
         for (i, s) in self.sections.iter().enumerate() {
             out.push_str(&format!(
@@ -165,6 +170,9 @@ pub fn run_snapshot(quick: bool) -> Snapshot {
         .map(|n| n.get())
         .unwrap_or(1)
         .min(8);
+    // Group-commit window for the write-path sections: batches per fsync
+    // (wal_commit) and batches per epoch publish (serving_mixed).
+    let commit_window = 8usize;
 
     // --- sample: full-edge-list scan vs temporal CSR + rayon fan-out.
     let sampler = TemporalSampler::new(&graph, SamplerConfig::new(vec![10, 10]));
@@ -580,40 +588,52 @@ pub fn run_snapshot(quick: bool) -> Snapshot {
             });
         }
 
-        // --- serving_mixed: honest steady-state number. Ingest batches of
-        // fresh orders (timestamps strictly inside the existing span, so the
-        // precise-invalidation path runs, never a flush) interleaved with
-        // reads over all deploy entities: every write dirties k-hop
-        // neighborhoods, so a slice of each read batch misses and recomputes.
-        // Before: the pre-shard single-threaded engine. After: the sharded
-        // tier on the same schedule. The floor is "no worse than pre-shard"
-        // — the epoch/copy-on-write machinery must not tax mixed traffic.
+        // --- serving_mixed: honest steady-state number. Each step is a
+        // burst of small ingest batches of fresh orders (timestamps
+        // strictly inside the existing span, so the precise-invalidation
+        // path runs, never a flush) followed by reads over all deploy
+        // entities: every write dirties k-hop neighborhoods, so a slice of
+        // each read batch misses and recomputes. Before: the pre-shard
+        // single-threaded engine applies the burst one batch at a time —
+        // one delta + one dirty closure + one eviction sweep per batch.
+        // After: the sharded tier drains the whole burst through
+        // `ingest_group`, paying one merged closure, one snapshot
+        // publish, and one coalesced invalidation broadcast for the burst
+        // (DESIGN.md §14.8). Predictions are identical; the multiple is
+        // the coalesced write path.
         {
             let next_id = std::sync::atomic::AtomicI64::new(50_000_000);
             let (lo, hi) = db0.time_span().unwrap();
             let n_customers = entities.len() as i64;
             let steps = if quick { 4 } else { 8 };
-            let writes_per_step = 16usize;
-            let mk_batch = |step: usize| {
-                let mut batch = RowBatch::new();
-                for i in 0..writes_per_step {
-                    let t = lo + (hi - lo) / 4 + (hi - lo) / 2 * ((step * 31 + i) % 97) as i64 / 97;
-                    batch.push(
-                        "orders",
-                        Row::new()
-                            .push(next_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed))
-                            .push((step * 13 + i * 7) as i64 % n_customers)
-                            .push((step * 5 + i * 3) as i64 % 24)
-                            .push(1i64 + (i % 4) as i64)
-                            .push(9.5 + i as f64)
-                            .push("web")
-                            .push(Value::Timestamp(t)),
-                    );
-                }
-                batch
+            let writes_per_batch = 4usize;
+            let mk_burst = |step: usize| -> Vec<RowBatch> {
+                (0..commit_window)
+                    .map(|b| {
+                        let mut batch = RowBatch::new();
+                        for i in 0..writes_per_batch {
+                            let k = step * 31 + b * 13 + i;
+                            let t = lo + (hi - lo) / 4 + (hi - lo) / 2 * (k % 97) as i64 / 97;
+                            batch.push(
+                                "orders",
+                                Row::new()
+                                    .push(
+                                        next_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                                    )
+                                    .push((step * 13 + b * 11 + i * 7) as i64 % n_customers)
+                                    .push((step * 5 + b + i * 3) as i64 % 24)
+                                    .push(1i64 + (i % 4) as i64)
+                                    .push(9.5 + i as f64)
+                                    .push("web")
+                                    .push(Value::Timestamp(t)),
+                            );
+                        }
+                        batch
+                    })
+                    .collect()
             };
             let policy = IngestPolicy::coerce_all();
-            let ops = (steps * (writes_per_step + entities.len())) as f64;
+            let ops = (steps * (commit_window * writes_per_batch + entities.len())) as f64;
 
             let mut pre = ServeEngine::from_fitted(
                 db0.clone(),
@@ -627,7 +647,9 @@ pub fn run_snapshot(quick: bool) -> Snapshot {
             let before = best_secs(reps, || {
                 let mut acc = 0.0;
                 for step in 0..steps {
-                    pre.ingest(mk_batch(step), &policy).expect("ingest");
+                    for batch in mk_burst(step) {
+                        pre.ingest(batch, &policy).expect("ingest");
+                    }
                     acc += pre.predict_batch(&entities).iter().sum::<f64>();
                 }
                 acc
@@ -636,7 +658,14 @@ pub fn run_snapshot(quick: bool) -> Snapshot {
             let after = best_secs(reps, || {
                 let mut acc = 0.0;
                 for step in 0..steps {
-                    shd.ingest(mk_batch(step), &policy).expect("ingest");
+                    let group = shd
+                        .ingest_group(mk_burst(step), &policy)
+                        .expect("group ingest");
+                    assert_eq!(
+                        group.accepted_batches(),
+                        commit_window,
+                        "serving_mixed burst batch rejected"
+                    );
                     acc += shd.predict_batch_rows(&entities).iter().sum::<f64>();
                 }
                 acc
@@ -812,6 +841,74 @@ pub fn run_snapshot(quick: bool) -> Snapshot {
             before: 1.0 / before,
             after: 1.0 / after,
         });
+
+        // --- wal_commit: durable ingest acknowledgement throughput.
+        // Before: every batch is its own WAL frame with its own
+        // `sync_data` — the pre-group-commit write path. After: up to
+        // `commit_window` batches coalesce into one group frame under a
+        // single covering fsync (DESIGN.md §14.8). Acknowledgement still
+        // happens only after the covering fsync, so the durability
+        // contract is identical; the multiple is pure fsync amortization.
+        {
+            let wal_dir = tmp.join("waldata");
+            DataDir::create(&wal_dir, &pdb).expect("create wal bench dir");
+            let (mut dd, mut db, _) = DataDir::open(&wal_dir).expect("open wal bench dir");
+            let n_batches = if quick { 16 } else { 32 };
+            let rows_per_batch = 4usize;
+            let next_id = std::sync::atomic::AtomicI64::new(80_000_000);
+            let (lo, hi) = db.time_span().unwrap();
+            let n_customers = db.table("customers").expect("customers").len() as i64;
+            let policy = IngestPolicy::coerce_all();
+            let mk_batches = || -> Vec<RowBatch> {
+                (0..n_batches)
+                    .map(|b| {
+                        let mut batch = RowBatch::new();
+                        for i in 0..rows_per_batch {
+                            let k = b * 29 + i;
+                            let t = lo + (hi - lo) / 4 + (hi - lo) / 2 * (k % 89) as i64 / 89;
+                            batch.push(
+                                "orders",
+                                Row::new()
+                                    .push(
+                                        next_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                                    )
+                                    .push((b * 11 + i * 3) as i64 % n_customers)
+                                    .push((b * 7 + i) as i64 % 24)
+                                    .push(1i64 + (i % 3) as i64)
+                                    .push(4.5 + i as f64)
+                                    .push("web")
+                                    .push(Value::Timestamp(t)),
+                            );
+                        }
+                        batch
+                    })
+                    .collect()
+            };
+            dd.set_commit_window(CommitWindow::batches(1));
+            let before = best_secs(reps, || {
+                for batch in mk_batches() {
+                    dd.ingest(&mut db, batch, &policy)
+                        .expect("per-batch ingest");
+                }
+            });
+            dd.set_commit_window(CommitWindow::batches(commit_window));
+            let after = best_secs(reps, || {
+                let reports = dd
+                    .ingest_group(&mut db, mk_batches(), &policy)
+                    .expect("group ingest");
+                assert!(
+                    reports.iter().all(|r| r.is_ok()),
+                    "wal_commit batch rejected"
+                );
+            });
+            sections.push(Section {
+                name: "wal_commit".into(),
+                unit: "batches/s".into(),
+                precision: "f64".into(),
+                before: n_batches as f64 / before,
+                after: n_batches as f64 / after,
+            });
+        }
         let _ = std::fs::remove_dir_all(&tmp);
     }
 
@@ -820,6 +917,7 @@ pub fn run_snapshot(quick: bool) -> Snapshot {
         end_to_end_speedup: end_to_end,
         threads,
         shards: shard_target,
+        commit_window,
     }
 }
 

@@ -5,7 +5,7 @@ use relgraph_graph::{HeteroGraph, HeteroGraphBuilder, NodeTypeId, ALWAYS_VISIBLE
 use relgraph_store::Database;
 
 use crate::error::{ConvertError, ConvertResult};
-use crate::featurize::{featurize_table, TableFeatureSpec};
+use crate::featurize::{featurize_table, ColumnFeature, TableFeatureSpec};
 
 /// Conversion options.
 #[derive(Debug, Clone)]
@@ -60,6 +60,34 @@ impl GraphMapping {
             .iter()
             .find(|(n, _)| n == table)
             .map(|&(_, id)| id)
+    }
+
+    /// The database columns each table's featurization actually reads, as
+    /// `(table, columns)` pairs in table order — the value columns behind
+    /// `Numeric`/`Boolean`/`TextHash` slots (`Bias` reads nothing).
+    ///
+    /// This is the column selection a partially materialized warm boot
+    /// must keep loadable: everything else a serving engine reads from the
+    /// database is keys and time (always loaded by
+    /// `DataDir::open_columns`), because features themselves ride in the
+    /// graph snapshot.
+    pub fn feature_columns(&self) -> Vec<(String, Vec<String>)> {
+        self.feature_specs
+            .iter()
+            .map(|spec| {
+                let cols = spec
+                    .columns
+                    .iter()
+                    .filter_map(|c| match c {
+                        ColumnFeature::Numeric { column, .. }
+                        | ColumnFeature::Boolean { column }
+                        | ColumnFeature::TextHash { column, .. } => Some(column.clone()),
+                        ColumnFeature::Bias => None,
+                    })
+                    .collect();
+                (spec.table.clone(), cols)
+            })
+            .collect()
     }
 }
 

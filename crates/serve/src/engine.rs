@@ -42,11 +42,13 @@ use relgraph_gnn::{
 use relgraph_graph::{FeatureMatrix, HeteroGraph, NodeTypeId};
 use relgraph_obs as obs;
 use relgraph_pq::{ExecConfig, PreparedQuery};
-use relgraph_store::{Database, IngestPolicy, IngestReport, RowBatch, Timestamp, Value};
+use relgraph_store::{
+    Database, IngestPolicy, IngestReport, RowBatch, StoreResult, Timestamp, Value,
+};
 
 use crate::cache::{CacheStats, EmbeddingCache, Lru};
 use crate::error::{ServeError, ServeResult};
-use crate::invalidate::{dirty_closure, evict_dirty, grown_tables};
+use crate::invalidate::{dirty_closure, evict_dirty, grown_tables, TableGrowth};
 use crate::quant::EmbeddingTier;
 
 /// Serving knobs: batch bounds and cache capacities.
@@ -64,6 +66,12 @@ pub struct ServeConfig {
     /// always runs in `f64`; `F32`/`Q8` down-convert the fitted weights
     /// once at engine assembly (tolerance story: `DESIGN.md` §15).
     pub precision: Precision,
+    /// Write-path group-commit window, in batches: how many consecutive
+    /// ingest batches the serving tier coalesces into one WAL fsync and
+    /// one snapshot publish (`--commit-window` on the CLI). `1` means
+    /// every batch commits and publishes individually (the legacy
+    /// behavior).
+    pub commit_window: usize,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +82,7 @@ impl Default for ServeConfig {
             prediction_cache: 4096,
             embedding_cache: 65536,
             precision: Precision::F64,
+            commit_window: 1,
         }
     }
 }
@@ -95,6 +104,31 @@ pub struct IngestOutcome {
     pub flushed: bool,
     /// True when the delta failed and the graph was rebuilt from scratch.
     pub rebuilt: bool,
+}
+
+/// What one group ingest ([`ServeEngine::ingest_group`] /
+/// [`ShardedEngine::ingest_group`](crate::ShardedEngine::ingest_group))
+/// did: per-batch store verdicts, plus the *one* coalesced graph delta /
+/// invalidation the whole group paid for.
+#[derive(Debug, Clone, Default)]
+pub struct GroupIngestOutcome {
+    /// One store report per submitted batch, in submission order. A
+    /// rejected batch is an `Err` here and a no-op in the database — the
+    /// rest of the group still applies, exactly as if each batch had been
+    /// ingested individually.
+    pub reports: Vec<StoreResult<IngestReport>>,
+    /// The group-level outcome. `report` aggregates the accepted batches'
+    /// row counts; `delta`/`dirty_nodes`/`flushed`/`rebuilt` describe the
+    /// single coalesced graph transition.
+    pub outcome: IngestOutcome,
+}
+
+impl GroupIngestOutcome {
+    /// Batches the store accepted (their rows are applied and durable
+    /// once the covering commit is).
+    pub fn accepted_batches(&self) -> usize {
+        self.reports.iter().filter(|r| r.is_ok()).count()
+    }
 }
 
 /// A query fitted once and served many times over a maintained graph.
@@ -320,11 +354,67 @@ impl ServeEngine {
             report,
             ..Default::default()
         };
+        self.apply_delta_and_invalidate(&pre_lens, &mut outcome)?;
+        Ok(outcome)
+    }
 
+    /// Append a *group* of validated batches, paying the graph delta,
+    /// dirty closure and cache sweep **once** for the whole group instead
+    /// of once per batch. Per-batch semantics are unchanged: each batch is
+    /// validated and applied independently (a rejected batch is an `Err`
+    /// in [`GroupIngestOutcome::reports`] and a no-op in the database),
+    /// and the final engine state equals ingesting the batches one by one
+    /// — only the amortized maintenance cost differs. The write-path
+    /// counterpart of store-level group commit
+    /// ([`DataDir::submit_ingest`](relgraph_store::DataDir::submit_ingest));
+    /// DESIGN.md §14.8.
+    pub fn ingest_group(
+        &mut self,
+        batches: Vec<RowBatch>,
+        policy: &IngestPolicy,
+    ) -> ServeResult<GroupIngestOutcome> {
+        let _span = obs::span("serve.ingest");
+        let pre_lens: Vec<usize> = self.db.tables().iter().map(|t| t.len()).collect();
+        let mut group = GroupIngestOutcome {
+            reports: Vec::with_capacity(batches.len()),
+            ..Default::default()
+        };
+        for batch in batches {
+            match self.db.ingest(batch, policy) {
+                Ok(report) => {
+                    group.outcome.report.accepted += report.accepted;
+                    group.outcome.report.coerced += report.coerced;
+                    group.outcome.report.late += report.late;
+                    group.outcome.report.quarantined += report.quarantined;
+                    group.reports.push(Ok(report));
+                }
+                Err(e) => group.reports.push(Err(e)),
+            }
+        }
+        if group.accepted_batches() == 0 {
+            // Nothing applied: the graph, anchor and caches are untouched.
+            return Ok(group);
+        }
+        if obs::enabled() && group.reports.len() > 1 {
+            obs::add("serve.invalidate.coalesced", group.reports.len() as u64 - 1);
+        }
+        self.apply_delta_and_invalidate(&pre_lens, &mut group.outcome)?;
+        Ok(group)
+    }
+
+    /// The maintenance half of an ingest: diff the grown tables against
+    /// `pre_lens`, apply one graph delta, and invalidate precisely (or
+    /// flush on anchor advance / rebuild on delta failure). Shared by
+    /// [`ingest`](Self::ingest) and [`ingest_group`](Self::ingest_group).
+    fn apply_delta_and_invalidate(
+        &mut self,
+        pre_lens: &[usize],
+        outcome: &mut IngestOutcome,
+    ) -> ServeResult<()> {
         // Tables that grew, with their node types and pre-ingest feature
         // matrices (the delta re-featurizes grown tables in full; the
         // bitwise row diff in `dirty_closure` needs the "before").
-        let grown = grown_tables(&self.db, &self.mapping, &pre_lens)?;
+        let grown: Vec<TableGrowth> = grown_tables(&self.db, &self.mapping, pre_lens)?;
         let pre_features: Vec<FeatureMatrix> = grown
             .iter()
             .map(|g| self.graph.features(g.node_type).clone())
@@ -348,7 +438,7 @@ impl ServeEngine {
                 self.flush_caches();
                 outcome.rebuilt = true;
                 outcome.flushed = true;
-                return Ok(outcome);
+                return Ok(());
             }
         }
 
@@ -359,7 +449,7 @@ impl ServeEngine {
             self.anchor = new_anchor;
             self.flush_caches();
             outcome.flushed = true;
-            return Ok(outcome);
+            return Ok(());
         }
 
         // Dirty seeds + k-hop closure, then precise eviction of embeddings
@@ -399,7 +489,7 @@ impl ServeEngine {
                 outcome.invalidated_predictions,
             );
         }
-        Ok(outcome)
+        Ok(())
     }
 
     fn flush_caches(&mut self) {

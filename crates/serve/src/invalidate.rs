@@ -187,6 +187,40 @@ impl InvalidationPlan {
             dirty: Arc::new(dirty),
         }
     }
+
+    /// Coalesce consecutive plans into one plan whose application is
+    /// equivalent to applying `plans` in order. `None` on an empty slice.
+    ///
+    /// * Any flush dominates: after a wholesale clear the cache holds
+    ///   nothing for later precise evictions to remove, so the merged plan
+    ///   is a flush.
+    /// * Otherwise dirty sets union, keeping the **minimum** distance per
+    ///   `(type, node)`: [`evict_dirty`] evicts levels `d..=hops`, and
+    ///   `min(d1, d2)..=hops` is exactly the union of the two ranges.
+    /// * The merged epoch is the last plan's (plans are consecutive and
+    ///   ascending), so applying it lands the cache on the same epoch the
+    ///   sequence would have.
+    ///
+    /// This is what lets a shard that slept through N epochs — or a writer
+    /// ingesting an N-batch group — pay one cache sweep instead of N.
+    pub fn merge(plans: &[InvalidationPlan]) -> Option<InvalidationPlan> {
+        let last = plans.last()?;
+        if plans.len() == 1 {
+            return Some(last.clone());
+        }
+        if plans.iter().any(|p| p.flush) {
+            return Some(InvalidationPlan::flush(last.epoch));
+        }
+        let mut dist: HashMap<(usize, usize), usize> = HashMap::new();
+        for plan in plans {
+            for &(ty, node, d) in plan.dirty.iter() {
+                dist.entry((ty, node))
+                    .and_modify(|e| *e = (*e).min(d))
+                    .or_insert(d);
+            }
+        }
+        Some(InvalidationPlan::precise(last.epoch, &dist))
+    }
 }
 
 /// Apply one plan's precise evictions to a cache slice: embeddings at
@@ -215,4 +249,43 @@ pub fn evict_dirty(
         }
     }
     (emb, pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn precise(epoch: u64, entries: &[((usize, usize), usize)]) -> InvalidationPlan {
+        InvalidationPlan::precise(epoch, &entries.iter().copied().collect())
+    }
+
+    #[test]
+    fn merge_unions_dirty_with_min_distance() {
+        let a = precise(3, &[((0, 1), 2), ((0, 2), 0)]);
+        let b = precise(4, &[((0, 1), 1), ((1, 7), 3)]);
+        let m = InvalidationPlan::merge(&[a, b]).unwrap();
+        assert_eq!(m.epoch, 4);
+        assert!(!m.flush);
+        assert_eq!(*m.dirty, vec![(0, 1, 1), (0, 2, 0), (1, 7, 3)]);
+    }
+
+    #[test]
+    fn merge_lets_flush_dominate() {
+        let a = precise(5, &[((0, 1), 0)]);
+        let b = InvalidationPlan::flush(6);
+        let c = precise(7, &[((2, 2), 1)]);
+        let m = InvalidationPlan::merge(&[a, b, c]).unwrap();
+        assert_eq!(m.epoch, 7);
+        assert!(m.flush);
+        assert!(m.dirty.is_empty());
+    }
+
+    #[test]
+    fn merge_of_one_is_identity_and_of_none_is_none() {
+        let a = precise(9, &[((0, 0), 1)]);
+        let m = InvalidationPlan::merge(std::slice::from_ref(&a)).unwrap();
+        assert_eq!(m.epoch, 9);
+        assert_eq!(*m.dirty, *a.dirty);
+        assert!(InvalidationPlan::merge(&[]).is_none());
+    }
 }

@@ -62,13 +62,15 @@ pub mod sharded;
 pub use batcher::MicroBatcher;
 pub use cache::{CacheStats, EmbeddingCache, Lru};
 pub use engine::{
-    predict_batch_cached, predict_batch_cached32, IngestOutcome, ServeConfig, ServeEngine,
+    predict_batch_cached, predict_batch_cached32, GroupIngestOutcome, IngestOutcome, ServeConfig,
+    ServeEngine,
 };
 pub use epoch::EpochCell;
 pub use error::{ServeError, ServeResult};
 pub use invalidate::InvalidationPlan;
 pub use persist::{
-    load_model, save_engine, save_model, warm_engine, warm_sharded, ModelSnapshot, WarmBootReport,
+    load_model, save_engine, save_model, warm_engine, warm_sharded, warm_sharded_partial,
+    ModelSnapshot, PartialWarmBoot, WarmBootReport,
 };
 pub use protocol::{parse_request, recover_id, response_err, response_ok, Request};
 pub use quant::{

@@ -33,7 +33,9 @@ use relgraph_nn::Activation;
 use relgraph_obs as obs;
 use relgraph_pq::{ExecConfig, PreparedQuery};
 use relgraph_store::persist::format::{read_blob, write_blob, ByteReader, ByteWriter};
-use relgraph_store::{Database, StoreError};
+use relgraph_store::{
+    BaseColumnSelection, DataDir, Database, PartialLoadReport, RecoveryReport, StoreError,
+};
 use relgraph_tensor::Tensor;
 
 use crate::engine::{ServeConfig, ServeEngine};
@@ -451,6 +453,101 @@ pub fn warm_engine(
         cfg,
     )?;
     Ok((engine, report))
+}
+
+/// Everything [`warm_sharded_partial`] hands back: the opened data
+/// directory, the booted engine, and the three reports describing what the
+/// boot did.
+pub struct PartialWarmBoot {
+    /// The data-directory handle (WAL replayed, torn tail truncated).
+    pub data_dir: DataDir,
+    /// The booted serving tier.
+    pub engine: ShardedEngine,
+    /// The warm-boot report (catch-up delta, restored metrics, query).
+    pub report: WarmBootReport,
+    /// What WAL recovery did during the open.
+    pub recovery: RecoveryReport,
+    /// How much of the base load was skipped.
+    pub partial: PartialLoadReport,
+}
+
+/// Boot a [`ShardedEngine`] warm over a **partially materialized** base:
+/// open `root` with [`DataDir::open_columns`] instead of a full
+/// [`DataDir::open`], loading only each table's key/FK/time columns. This
+/// cuts warm-boot time and resident memory on wide tables, and the served
+/// predictions are still bitwise-identical to a fully-loaded warm boot
+/// (`tests/recovery_equivalence.rs`), because everything inference reads
+/// comes from the graph snapshot — node features are baked into
+/// `graph.snap`, so the database only backs key lookup, FK validation and
+/// temporal anchoring.
+///
+/// The graph snapshot is loaded *first*: its cursor provides the
+/// per-table expected row counts, so any table whose base grew beyond the
+/// snapshot (e.g. a compaction folded post-snapshot ingests into the
+/// base) is loaded in full and re-featurized by catch-up; tables with
+/// unapplied WAL records are likewise forced full by `open_columns`
+/// itself. Tables left partial refuse further ingest
+/// ([`StoreError::PartiallyLoaded`]) rather than serving fabricated
+/// NULLs. The stored serving precision overrides `cfg.precision`, as in
+/// [`warm_engine`].
+pub fn warm_sharded_partial(
+    root: &Path,
+    exec: &ExecConfig,
+    mut cfg: ServeConfig,
+    shards: usize,
+) -> ServeResult<PartialWarmBoot> {
+    let _span = obs::span("serve.warm_boot");
+    let snaps = DataDir::snapshots_path(root);
+    let (mut graph, mut mapping, mut cursor) = load_graph(&snaps.join(GRAPH_SNAPSHOT_FILE))?;
+    let snap = load_model(&snaps.join(MODEL_SNAPSHOT_FILE))?;
+    // Keys and time only: features ride in `graph.snap`, and the two
+    // safety rules inside `open_columns` (WAL-touched and unexpectedly
+    // grown tables load fully) keep every table the catch-up delta will
+    // re-featurize fully materialized.
+    let selection = BaseColumnSelection {
+        expected_rows: cursor.counts().to_vec(),
+        ..Default::default()
+    };
+    let (data_dir, db, recovery, partial) = DataDir::open_columns(root, &selection)?;
+    let catch_up = update_graph(
+        &db,
+        &mut graph,
+        &mut mapping,
+        &mut cursor,
+        &ConvertOptions::default(),
+    )?;
+    let query = PreparedQuery::prepare(&db, &snap.query_text, exec)?;
+    let model = NodeModel::from_state(snap.state.clone())
+        .map_err(|e| ServeError::Engine(format!("model snapshot rejected: {e}")))?;
+    let report = WarmBootReport {
+        catch_up,
+        metrics: snap.metrics.clone(),
+        query_text: snap.query_text.clone(),
+    };
+    if obs::enabled() {
+        obs::add("serve.warm_boots", 1);
+        obs::add("serve.warm_boot.catch_up_nodes", catch_up.new_nodes as u64);
+        obs::add("serve.warm_boot.catch_up_edges", catch_up.new_edges as u64);
+    }
+    cfg.precision = snap.precision;
+    let engine = ShardedEngine::from_fitted_graph(
+        db,
+        graph,
+        mapping,
+        query,
+        Arc::new(model),
+        snap.node_type,
+        snap.metrics,
+        cfg,
+        shards,
+    )?;
+    Ok(PartialWarmBoot {
+        data_dir,
+        engine,
+        report,
+        recovery,
+        partial,
+    })
 }
 
 /// Boot a [`ShardedEngine`] warm from the snapshots in `dir` (see

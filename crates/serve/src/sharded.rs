@@ -56,7 +56,8 @@ use relgraph_store::{Database, IngestPolicy, RowBatch, Timestamp, Value};
 use crate::batcher::MicroBatcher;
 use crate::cache::{CacheStats, Lru};
 use crate::engine::{
-    deploy_anchor, predict_batch_cached, predict_batch_cached32, IngestOutcome, ServeConfig,
+    deploy_anchor, predict_batch_cached, predict_batch_cached32, GroupIngestOutcome, IngestOutcome,
+    ServeConfig,
 };
 use crate::epoch::EpochCell;
 use crate::error::{ServeError, ServeResult};
@@ -455,6 +456,28 @@ impl ShardedEngine {
     /// partially applied delta (`crates/serve/tests/sharded.rs` hammers
     /// this under sustained read load).
     pub fn ingest(&self, batch: RowBatch, policy: &IngestPolicy) -> ServeResult<IngestOutcome> {
+        let mut group = self.ingest_group(vec![batch], policy)?;
+        let report = group.reports.pop().expect("one report per batch")?;
+        let mut outcome = group.outcome;
+        outcome.report = report;
+        Ok(outcome)
+    }
+
+    /// Append a *group* of validated batches under **one** writer-lock
+    /// hold and publish **one** graph snapshot for the whole group: one
+    /// delta application, one dirty closure, one [`InvalidationPlan`], one
+    /// epoch bump — where N separate [`ingest`](Self::ingest) calls would
+    /// broadcast N plans and swap N snapshots. Per-batch semantics are
+    /// unchanged (a rejected batch is an `Err` in
+    /// [`GroupIngestOutcome::reports`] and a no-op in the database), and
+    /// the published state equals the one N individual ingests would have
+    /// reached; only the maintenance cost is amortized. The serving-tier
+    /// counterpart of store-level WAL group commit (DESIGN.md §14.8).
+    pub fn ingest_group(
+        &self,
+        batches: Vec<RowBatch>,
+        policy: &IngestPolicy,
+    ) -> ServeResult<GroupIngestOutcome> {
         let mut w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
         let _span = obs::span("serve.ingest");
         // The previous graph version is read from the published snapshot:
@@ -462,11 +485,31 @@ impl ShardedEngine {
         // is its only publisher, so it matches the writer's cursor exactly.
         let prev = self.shared.cell.load();
         let pre_lens: Vec<usize> = w.db.tables().iter().map(|t| t.len()).collect();
-        let report = w.db.ingest(batch, policy)?;
-        let mut outcome = IngestOutcome {
-            report,
+        let mut group = GroupIngestOutcome {
+            reports: Vec::with_capacity(batches.len()),
             ..Default::default()
         };
+        for batch in batches {
+            match w.db.ingest(batch, policy) {
+                Ok(report) => {
+                    group.outcome.report.accepted += report.accepted;
+                    group.outcome.report.coerced += report.coerced;
+                    group.outcome.report.late += report.late;
+                    group.outcome.report.quarantined += report.quarantined;
+                    group.reports.push(Ok(report));
+                }
+                Err(e) => group.reports.push(Err(e)),
+            }
+        }
+        if group.accepted_batches() == 0 {
+            // Nothing applied: readers keep the current snapshot; no epoch
+            // is spent on a no-op group.
+            return Ok(group);
+        }
+        if obs::enabled() && group.reports.len() > 1 {
+            obs::add("serve.invalidate.coalesced", group.reports.len() as u64 - 1);
+        }
+        let outcome = &mut group.outcome;
         let grown = grown_tables(&w.db, &w.mapping, &pre_lens)?;
         let pre_features: Vec<FeatureMatrix> = grown
             .iter()
@@ -529,7 +572,7 @@ impl ShardedEngine {
             obs::add("serve.ingest.dirty_nodes", outcome.dirty_nodes as u64);
             obs::add("serve.epoch.published", 1);
         }
-        Ok(outcome)
+        Ok(group)
     }
 }
 
@@ -664,22 +707,36 @@ fn catch_up(
         stats.flushes += 1;
         return;
     }
-    for plan in snap.plans.iter().filter(|p| p.epoch >= needed) {
-        if plan.flush {
-            predictions.clear();
-            embeddings.clear();
-            stats.flushes += 1;
-        } else {
-            let (emb, pred) = evict_dirty(
-                &plan.dirty,
-                shared.hops,
-                shared.node_type.0,
-                predictions,
-                embeddings,
-            );
-            stats.invalidated_embeddings += emb;
-            stats.invalidated_predictions += pred;
-        }
+    // Coalesce the needed plans into one equivalent plan (union of dirty
+    // sets at minimum distance, flush dominating) so a shard that slept
+    // through N epochs pays one cache sweep, not N.
+    let pending: Vec<InvalidationPlan> = snap
+        .plans
+        .iter()
+        .filter(|p| p.epoch >= needed)
+        .cloned()
+        .collect();
+    let coalesced = pending.len().saturating_sub(1);
+    let Some(plan) = InvalidationPlan::merge(&pending) else {
+        return;
+    };
+    if coalesced > 0 && obs::enabled() {
+        obs::add("serve.invalidate.coalesced", coalesced as u64);
+    }
+    if plan.flush {
+        predictions.clear();
+        embeddings.clear();
+        stats.flushes += 1;
+    } else {
+        let (emb, pred) = evict_dirty(
+            &plan.dirty,
+            shared.hops,
+            shared.node_type.0,
+            predictions,
+            embeddings,
+        );
+        stats.invalidated_embeddings += emb;
+        stats.invalidated_predictions += pred;
     }
 }
 

@@ -373,3 +373,71 @@ fn new_rows_become_visible_at_the_published_epoch() {
         assert_eq!(a.to_bits(), b.to_bits());
     }
 }
+
+/// One `ingest_group` call must land on the same published state as the
+/// same batches ingested one by one — same database, bitwise-identical
+/// predictions — while spending a single epoch (one invalidation
+/// broadcast, one snapshot swap) instead of one per batch. A rejected
+/// batch inside the group stays a per-batch no-op.
+#[test]
+fn group_ingest_matches_sequential_ingests() {
+    let db0 = small_db(47);
+    let sequential = fit_sharded(db0.clone(), 2);
+    let grouped = fit_sharded(db0.clone(), 2);
+    // Coerce late rows (mid-span timestamps are behind the watermark) but
+    // keep FK violations fatal, so the dangling-FK batch rejects whole.
+    let policy = IngestPolicy {
+        on_fk_violation: relgraph_store::PolicyAction::Reject,
+        ..IngestPolicy::coerce_all()
+    };
+
+    let mut batches: Vec<RowBatch> = (0..3)
+        .map(|i| batch_of(&mid_span_orders(&db0, 8_000_000 + 100 * i, 3)))
+        .collect();
+    // A dangling-FK batch: rejected by validation, applied by neither path.
+    let (lo, hi) = db0.time_span().unwrap();
+    let bad = RowBatch::new().with(
+        "orders",
+        Row::new()
+            .push(8_999_999i64)
+            .push(99_999i64) // no such customer
+            .push(0i64)
+            .push(1i64)
+            .push(9.5)
+            .push("web")
+            .push(Value::Timestamp(lo + (hi - lo) / 2)),
+    );
+    batches.insert(2, bad);
+
+    let seq_epoch0 = sequential.engine.epoch();
+    for batch in &batches {
+        // The rejected batch surfaces as an error and publishes nothing.
+        let _ = sequential.engine.ingest(batch.clone(), &policy);
+    }
+    assert_eq!(sequential.engine.epoch(), seq_epoch0 + 3);
+
+    let grp_epoch0 = grouped.engine.epoch();
+    let group = grouped.engine.ingest_group(batches, &policy).unwrap();
+    assert_eq!(
+        grouped.engine.epoch(),
+        grp_epoch0 + 1,
+        "a group spends one epoch"
+    );
+    assert_eq!(group.reports.len(), 4);
+    assert_eq!(group.accepted_batches(), 3);
+    assert!(group.reports[2].is_err());
+    assert_eq!(group.outcome.report.accepted, 9);
+
+    let snap_seq = sequential.engine.snapshot();
+    let snap_grp = grouped.engine.snapshot();
+    assert_eq!(snap_seq.db, snap_grp.db);
+    assert_eq!(snap_seq.anchor, snap_grp.anchor);
+
+    let rows = sequential.engine.deploy_entities().unwrap();
+    assert_eq!(rows, grouped.engine.deploy_entities().unwrap());
+    let a = sequential.engine.predict_batch_rows(&rows);
+    let b = grouped.engine.predict_batch_rows(&rows);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}

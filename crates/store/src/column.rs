@@ -83,6 +83,35 @@ impl Column {
         }
     }
 
+    /// A column of `len` NULL cells — the deferred placeholder a partial
+    /// base load installs for columns it skipped (see
+    /// `persist::snapshot::read_base_columns`). Shape-compatible with the
+    /// real column (same type, same length), every cell invalid.
+    pub fn nulls(ty: DataType, len: usize) -> Self {
+        match ty {
+            DataType::Int => Column::Int {
+                data: vec![0; len],
+                valid: vec![false; len],
+            },
+            DataType::Float => Column::Float {
+                data: vec![0.0; len],
+                valid: vec![false; len],
+            },
+            DataType::Text => Column::Text {
+                data: vec![String::new(); len],
+                valid: vec![false; len],
+            },
+            DataType::Bool => Column::Bool {
+                data: vec![false; len],
+                valid: vec![false; len],
+            },
+            DataType::Timestamp => Column::Timestamp {
+                data: vec![0; len],
+                valid: vec![false; len],
+            },
+        }
+    }
+
     /// The column's data type.
     pub fn data_type(&self) -> DataType {
         match self {

@@ -66,6 +66,17 @@ pub enum StoreError {
         /// What failed to validate.
         message: String,
     },
+    /// An ingest batch targeted a table whose base columns were only
+    /// partially materialized (`DataDir::open_columns`): its deferred
+    /// placeholder columns hold NULLs, not data, so growing the table
+    /// would derive state from fabricated values. Reopen the directory
+    /// fully (or select the table's columns) to ingest into it.
+    PartiallyLoaded {
+        /// The partially-loaded destination table.
+        table: String,
+        /// Its deferred (placeholder) columns.
+        deferred: Vec<String>,
+    },
     /// An on-disk artifact was written by an incompatible format version.
     UnsupportedVersion {
         /// The offending file.
@@ -120,6 +131,12 @@ impl fmt::Display for StoreError {
             StoreError::Corrupt { file, message } => {
                 write!(f, "corrupt persistent data in `{file}`: {message}")
             }
+            StoreError::PartiallyLoaded { table, deferred } => write!(
+                f,
+                "table `{table}` was partially loaded (deferred columns: {}); \
+                 reopen the data directory with these columns selected before ingesting",
+                deferred.join(", ")
+            ),
             StoreError::UnsupportedVersion { file, found, supported } => write!(
                 f,
                 "`{file}` uses format version {found}, but this build supports at most {supported}"

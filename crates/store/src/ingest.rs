@@ -270,6 +270,16 @@ impl Database {
             // Unknown destination tables are always a hard error: no policy
             // can route the row anywhere.
             let table = self.table(table_name)?;
+            // So are partially-loaded destinations: their deferred columns
+            // hold placeholder NULLs, and growth would re-derive state
+            // (features, statistics) from fabricated values. The whole
+            // batch is refused before anything is staged.
+            if table.is_partially_loaded() {
+                return Err(StoreError::PartiallyLoaded {
+                    table: table_name.clone(),
+                    deferred: table.deferred_columns().to_vec(),
+                });
+            }
             let schema = table.schema().clone();
             let mut row = row.clone();
             let mut cell_coerced = false;

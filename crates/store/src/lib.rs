@@ -59,7 +59,10 @@ pub use ddl::{load_database_dir, parse_ddl, render_ddl, save_database_dir};
 pub use error::{StoreError, StoreResult};
 pub use ingest::{IngestPolicy, IngestReport, PolicyAction, QuarantinedRow, RowBatch};
 pub use persist::snapshot::{DatabaseStreamWriter, TableStreamWriter};
-pub use persist::{ColumnarBackend, CsvDirBackend, DataDir, RecoveryReport, StorageBackend};
+pub use persist::{
+    BaseColumnSelection, ColumnarBackend, CommitWindow, CsvDirBackend, DataDir, GroupCommitOutcome,
+    PartialLoadReport, RecoveryReport, StorageBackend,
+};
 pub use query::{hash_join, Aggregation, CmpOp, GroupQuery, JoinedRows, Predicate};
 pub use row::Row;
 pub use schema::{ColumnDef, ForeignKey, TableSchema, TableSchemaBuilder};

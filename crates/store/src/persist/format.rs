@@ -953,6 +953,24 @@ pub fn read_column_file(path: &Path, dict: &[String]) -> StoreResult<Column> {
     })
 }
 
+/// Read and validate only the 32-byte header of a column file — magic,
+/// version, type tag, declared width and row count — without touching the
+/// body. The partial-load path ([`DataDir::open_columns`]) uses this to
+/// size a deferred all-NULL placeholder for columns it skips, paying one
+/// small read instead of the full segment.
+///
+/// [`DataDir::open_columns`]: super::DataDir::open_columns
+pub fn peek_column_header(path: &Path) -> StoreResult<ColumnHeader> {
+    let file = path.display().to_string();
+    let mut header = [0u8; 32];
+    let mut f = std::fs::File::open(path).map_err(|e| io_err(path, e))?;
+    f.read_exact(&mut header).map_err(|_| StoreError::Corrupt {
+        file: file.clone(),
+        message: "column file shorter than its 32-byte header".into(),
+    })?;
+    read_column_header(&file, &header)
+}
+
 /// Stream a column file in fixed-size chunks, verifying checksums without
 /// materializing the column. Returns the row count. This is the out-of-core
 /// read path used by the scale harness: peak memory is one chunk.

@@ -33,6 +33,19 @@
 //! the last committed ingest — bit-identical to an uninterrupted run
 //! (property-tested in `tests/persist_props.rs`).
 //!
+//! ## Group commit
+//!
+//! Per-batch fsync dominates small-batch ingest cost. The commit pipeline
+//! ([`DataDir::submit_ingest`] / [`DataDir::flush_ingest`] /
+//! [`DataDir::ingest_group`], window configured with [`CommitWindow`])
+//! coalesces consecutive batches into **one** framed group record flushed
+//! with **one** `sync_data`. The durability contract is unchanged because
+//! acknowledgement moves with the fsync: a submitted batch is neither
+//! applied in memory nor reported to the caller until the covering flush
+//! returns, and the group's single CRC makes recovery all-or-nothing — a
+//! crash inside the window loses the *whole* unacknowledged group, never
+//! a prefix of it (DESIGN.md §14.8).
+//!
 //! ```
 //! use relgraph_store::persist::DataDir;
 //! use relgraph_store::{Database, DataType, IngestPolicy, Row, RowBatch, TableSchema};
@@ -81,6 +94,7 @@ use crate::ingest::{IngestPolicy, IngestReport, RowBatch};
 
 use format::{io_err, sync_dir, write_file_durable, Manifest};
 pub use recovery::RecoveryReport;
+pub use snapshot::{BaseColumnSelection, PartialLoadReport};
 use wal::Wal;
 
 /// A storage backend that can persist and reload a whole [`Database`].
@@ -138,6 +152,64 @@ impl StorageBackend for ColumnarBackend {
     }
 }
 
+/// Group-commit window: when the commit pipeline flushes a buffered run
+/// of ingest batches as one WAL group record + one fsync.
+///
+/// A flush happens at the first of: `max_batches` buffered, `max_bytes`
+/// of encoded WAL payload buffered, or (checked at each submission)
+/// `max_delay` elapsed since the window's first batch. The default window
+/// is one batch — byte-for-byte the legacy per-batch append+fsync path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitWindow {
+    /// Flush after this many buffered batches (min 1).
+    pub max_batches: usize,
+    /// Flush once the buffered batches' encoded WAL payload reaches this
+    /// many bytes.
+    pub max_bytes: u64,
+    /// Flush a submission that arrives this long after the window opened.
+    /// `Duration::ZERO` disables the time cap (batch/byte caps only).
+    pub max_delay: std::time::Duration,
+}
+
+impl Default for CommitWindow {
+    fn default() -> Self {
+        CommitWindow::batches(1)
+    }
+}
+
+impl CommitWindow {
+    /// A window capped at `n` batches (byte cap 4 MiB, no time cap).
+    pub fn batches(n: usize) -> Self {
+        CommitWindow {
+            max_batches: n.max(1),
+            max_bytes: 4 << 20,
+            max_delay: std::time::Duration::ZERO,
+        }
+    }
+}
+
+/// One batch buffered in the commit pipeline, encoded once at submission
+/// so the byte window measures real on-disk cost.
+#[derive(Debug)]
+struct PendingIngest {
+    policy: IngestPolicy,
+    batch: RowBatch,
+    member: Vec<u8>,
+}
+
+/// What one group-commit flush did: the covering WAL frame is durable and
+/// every buffered batch has been applied (acknowledged), in submission
+/// order.
+#[derive(Debug)]
+pub struct GroupCommitOutcome {
+    /// Per-batch ingest results, in submission order. A
+    /// [`StoreError::BatchRejected`] entry is a committed no-op record,
+    /// exactly as in the per-batch [`DataDir::ingest`] path.
+    pub reports: Vec<StoreResult<IngestReport>>,
+    /// Length in bytes of the group's WAL frame.
+    pub frame_bytes: u64,
+}
+
 /// A durable data directory: columnar base snapshot + ingest WAL +
 /// versioned manifest. See the [module docs](self) for the layout and the
 /// durability contract.
@@ -147,6 +219,10 @@ pub struct DataDir {
     manifest: Manifest,
     wal: Wal,
     next_seq: u64,
+    window: CommitWindow,
+    pending: Vec<PendingIngest>,
+    pending_bytes: u64,
+    window_opened: Option<std::time::Instant>,
 }
 
 impl DataDir {
@@ -170,7 +246,14 @@ impl DataDir {
     /// Directory for warm-start snapshot artifacts (graph/model), created
     /// on demand by the serving layer.
     pub fn snapshots_dir(&self) -> PathBuf {
-        self.root.join("snapshots")
+        Self::snapshots_path(&self.root)
+    }
+
+    /// [`snapshots_dir`](Self::snapshots_dir) for a root that has not been
+    /// opened yet — warm boots peek at the snapshot artifacts *before*
+    /// deciding how much of the base to load.
+    pub fn snapshots_path(root: &Path) -> PathBuf {
+        root.join("snapshots")
     }
 
     /// The live manifest.
@@ -201,12 +284,20 @@ impl DataDir {
         snapshot::write_base(&Self::base_path(root, 1), db)?;
         write_manifest_atomic(root, &manifest)?;
         let wal = Wal::open(&Self::wal_path(root))?;
-        Ok(DataDir {
+        Ok(Self::assemble(root, manifest, wal, 1))
+    }
+
+    fn assemble(root: &Path, manifest: Manifest, wal: Wal, next_seq: u64) -> Self {
+        DataDir {
             root: root.to_path_buf(),
             manifest,
             wal,
-            next_seq: 1,
-        })
+            next_seq,
+            window: CommitWindow::default(),
+            pending: Vec::new(),
+            pending_bytes: 0,
+            window_opened: None,
+        }
     }
 
     /// Begin initializing `root` as a data directory whose generation-1
@@ -248,15 +339,7 @@ impl DataDir {
         write_manifest_atomic(root, &manifest)?;
         let wal = Wal::open(&Self::wal_path(root))?;
         obs::add("snapshot.base.bytes", bytes);
-        Ok((
-            DataDir {
-                root: root.to_path_buf(),
-                manifest,
-                wal,
-                next_seq: 1,
-            },
-            bytes,
-        ))
+        Ok((Self::assemble(root, manifest, wal, 1), bytes))
     }
 
     /// Open an existing data directory: load the live base snapshot,
@@ -282,15 +365,70 @@ impl DataDir {
             .map(|r| r.seq + 1)
             .unwrap_or(manifest.applied_seq + 1);
         let wal = Wal::open(&wal_path)?;
+        Ok((Self::assemble(root, manifest, wal, next_seq), db, report))
+    }
+
+    /// Open an existing data directory materializing only the base columns
+    /// `selection` asks for (plus every table's key/FK/time columns — see
+    /// [`snapshot::read_base_columns`]). Unselected columns come back as
+    /// deferred all-NULL placeholders whose bodies are never read, cutting
+    /// warm-boot time and resident memory on wide tables.
+    ///
+    /// Two safety rules widen the selection to a full load per table,
+    /// keeping recovery semantics identical to [`DataDir::open`]:
+    ///
+    /// 1. **WAL-touched tables load fully.** The WAL is scanned *before*
+    ///    the base is read; any table a committed-but-unapplied record
+    ///    grows must be ingestable (and re-featurizable from real values),
+    ///    so it is forced full.
+    /// 2. **Unexpected base rows load fully.** A table whose on-disk row
+    ///    count differs from `selection`'s
+    ///    [`expected_rows`](BaseColumnSelection::expected_rows) entry holds
+    ///    rows the caller's baked state does not cover (e.g. a compaction
+    ///    folded post-snapshot ingests into the base), so it is forced
+    ///    full.
+    ///
+    /// Everything else matches [`DataDir::open`]: committed WAL records
+    /// past `applied_seq` are replayed and a torn tail is truncated.
+    pub fn open_columns(
+        root: &Path,
+        selection: &BaseColumnSelection,
+    ) -> StoreResult<(Self, Database, RecoveryReport, PartialLoadReport)> {
+        let _span = obs::span("persist.open_columns");
+        let mpath = Self::manifest_path(root);
+        let text = std::fs::read_to_string(&mpath).map_err(|e| io_err(&mpath, e))?;
+        let manifest = Manifest::parse(&mpath.display().to_string(), &text)?;
+        let wal_path = Self::wal_path(root);
+        // Scan the WAL first: replay targets must be fully materialized.
+        let scan = Wal::scan(&wal_path, manifest.applied_seq)?;
+        let mut selection = selection.clone();
+        for record in &scan.records {
+            for (table, _) in record.batch.rows() {
+                if !selection.full_tables.iter().any(|t| t == table) {
+                    selection.full_tables.push(table.clone());
+                }
+            }
+        }
+        let (mut db, partial) = snapshot::read_base_columns(
+            &Self::base_path(root, manifest.generation),
+            &manifest.name,
+            &selection,
+        )?;
+        let report = recovery::replay(&mut db, &scan)?;
+        if scan.valid_len < scan.file_len {
+            Wal::truncate_to(&wal_path, scan.valid_len)?;
+        }
+        let next_seq = scan
+            .records
+            .last()
+            .map(|r| r.seq + 1)
+            .unwrap_or(manifest.applied_seq + 1);
+        let wal = Wal::open(&wal_path)?;
         Ok((
-            DataDir {
-                root: root.to_path_buf(),
-                manifest,
-                wal,
-                next_seq,
-            },
+            Self::assemble(root, manifest, wal, next_seq),
             db,
             report,
+            partial,
         ))
     }
 
@@ -308,6 +446,117 @@ impl DataDir {
         self.wal.append(seq, policy, &batch)?;
         self.next_seq += 1;
         db.ingest(batch, policy)
+    }
+
+    /// The active group-commit window.
+    pub fn commit_window(&self) -> CommitWindow {
+        self.window
+    }
+
+    /// Configure the group-commit window for subsequent
+    /// [`submit_ingest`](Self::submit_ingest) /
+    /// [`ingest_group`](Self::ingest_group) calls. Does not touch batches
+    /// already buffered.
+    pub fn set_commit_window(&mut self, window: CommitWindow) {
+        self.window = CommitWindow {
+            max_batches: window.max_batches.max(1),
+            ..window
+        };
+    }
+
+    /// Batches buffered in the commit pipeline, not yet durable and not
+    /// yet applied.
+    pub fn pending_batches(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Submit one batch to the group-commit pipeline. The batch is
+    /// buffered — **neither durable nor applied to `db`** — until a flush
+    /// covers it; this call triggers that flush itself when the submission
+    /// fills the window (batch count, byte cap, or the time cap measured
+    /// from the window's first submission). Returns the flush outcome when
+    /// one happened, `None` while the window is still open. Dropping the
+    /// `DataDir` with batches still buffered discards them, exactly like a
+    /// crash before the covering fsync: they were never acknowledged.
+    pub fn submit_ingest(
+        &mut self,
+        db: &mut Database,
+        batch: RowBatch,
+        policy: &IngestPolicy,
+    ) -> StoreResult<Option<GroupCommitOutcome>> {
+        let member = wal::encode_member(policy, &batch);
+        if self.pending.is_empty() {
+            self.window_opened = Some(std::time::Instant::now());
+        }
+        self.pending_bytes += member.len() as u64;
+        self.pending.push(PendingIngest {
+            policy: *policy,
+            batch,
+            member,
+        });
+        let full = self.pending.len() >= self.window.max_batches
+            || self.pending_bytes >= self.window.max_bytes
+            || (self.window.max_delay > std::time::Duration::ZERO
+                && self
+                    .window_opened
+                    .is_some_and(|t| t.elapsed() >= self.window.max_delay));
+        if full {
+            self.flush_ingest(db)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Flush the commit pipeline: write every buffered batch as one WAL
+    /// group record, `sync_data` once, then — and only then — apply the
+    /// batches to `db` in submission order and acknowledge them through
+    /// the returned reports. `None` when nothing was buffered. On a WAL
+    /// write error the buffer is kept intact (nothing was acknowledged,
+    /// nothing applied) so the caller can retry or drop the batches.
+    pub fn flush_ingest(&mut self, db: &mut Database) -> StoreResult<Option<GroupCommitOutcome>> {
+        if self.pending.is_empty() {
+            return Ok(None);
+        }
+        let members: Vec<Vec<u8>> = self.pending.iter().map(|p| p.member.clone()).collect();
+        let frame_bytes = self.wal.append_group_encoded(self.next_seq, &members)?;
+        // The covering fsync returned: the group is durable. Acknowledge by
+        // applying in submission order (write-ahead preserved).
+        self.next_seq += self.pending.len() as u64;
+        let mut reports = Vec::with_capacity(self.pending.len());
+        for p in self.pending.drain(..) {
+            reports.push(db.ingest(p.batch, &p.policy));
+        }
+        self.pending_bytes = 0;
+        self.window_opened = None;
+        obs::add("persist.wal.group_commits", 1);
+        Ok(Some(GroupCommitOutcome {
+            reports,
+            frame_bytes,
+        }))
+    }
+
+    /// Durably ingest a run of batches through the group-commit pipeline:
+    /// submit each (flushing whenever the window fills) and flush the
+    /// remainder, so the whole run is durable and applied when this
+    /// returns. Per-batch results come back in submission order; with the
+    /// default one-batch window this degenerates to the per-batch
+    /// [`ingest`](Self::ingest) path.
+    pub fn ingest_group(
+        &mut self,
+        db: &mut Database,
+        batches: Vec<RowBatch>,
+        policy: &IngestPolicy,
+    ) -> StoreResult<Vec<StoreResult<IngestReport>>> {
+        let mut out = Vec::new();
+        for batch in batches {
+            if let Some(flush) = self.submit_ingest(db, batch, policy)? {
+                out.extend(flush.reports);
+            }
+        }
+        if let Some(flush) = self.flush_ingest(db)? {
+            out.extend(flush.reports);
+        }
+        Ok(out)
     }
 
     /// Fold every WAL record into a fresh base snapshot (generation + 1),
@@ -493,6 +742,124 @@ mod tests {
     }
 
     #[test]
+    fn group_commit_acknowledges_at_flush_and_recovers() {
+        let root = tmp("group-commit");
+        let mut db = shop();
+        let mut dd = DataDir::create(&root, &db).unwrap();
+        dd.set_commit_window(CommitWindow::batches(3));
+        // Two submissions stay buffered: not applied, not durable.
+        assert!(dd
+            .submit_ingest(&mut db, order_batch(1, 0, 500), &IngestPolicy::default())
+            .unwrap()
+            .is_none());
+        assert!(dd
+            .submit_ingest(&mut db, order_batch(2, 1, 600), &IngestPolicy::default())
+            .unwrap()
+            .is_none());
+        assert_eq!(dd.pending_batches(), 2);
+        assert_eq!(db.table("orders").unwrap().len(), 0);
+        assert!(dd.wal.is_empty().unwrap());
+        // The third fills the window: one flush covers all three.
+        let flush = dd
+            .submit_ingest(&mut db, order_batch(3, 2, 700), &IngestPolicy::default())
+            .unwrap()
+            .expect("window of 3 must flush on the third submission");
+        assert_eq!(flush.reports.len(), 3);
+        assert!(flush.reports.iter().all(|r| r.is_ok()));
+        assert_eq!(dd.pending_batches(), 0);
+        assert_eq!(db.table("orders").unwrap().len(), 3);
+        assert_eq!(dd.next_seq(), 4);
+        drop(dd);
+        let (dd, recovered, report) = DataDir::open(&root).unwrap();
+        assert_eq!(recovered, db);
+        assert_eq!(report.replayed, 3);
+        assert_eq!(dd.next_seq(), 4);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn byte_cap_flushes_window_early() {
+        let root = tmp("group-bytes");
+        let mut db = shop();
+        let mut dd = DataDir::create(&root, &db).unwrap();
+        dd.set_commit_window(CommitWindow {
+            max_batches: 100,
+            max_bytes: 1, // every submission overflows the byte cap
+            max_delay: std::time::Duration::ZERO,
+        });
+        let flush = dd
+            .submit_ingest(&mut db, order_batch(1, 0, 500), &IngestPolicy::default())
+            .unwrap();
+        assert!(flush.is_some(), "byte cap must force an immediate flush");
+        assert_eq!(db.table("orders").unwrap().len(), 1);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn unflushed_submissions_are_discarded_like_a_crash() {
+        let root = tmp("group-unflushed");
+        let mut db = shop();
+        let mut dd = DataDir::create(&root, &db).unwrap();
+        let durable = db.clone();
+        dd.set_commit_window(CommitWindow::batches(8));
+        dd.submit_ingest(&mut db, order_batch(1, 0, 500), &IngestPolicy::default())
+            .unwrap();
+        dd.submit_ingest(&mut db, order_batch(2, 1, 600), &IngestPolicy::default())
+            .unwrap();
+        // Submitted batches were never acknowledged — they were also never
+        // applied, so the in-memory database still matches the durable one.
+        assert_eq!(db, durable);
+        drop(dd); // "crash" with the window open
+        let (_dd, recovered, report) = DataDir::open(&root).unwrap();
+        assert_eq!(recovered, durable);
+        assert_eq!(report.replayed, 0);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn ingest_group_matches_per_batch_ingest() {
+        let root_a = tmp("group-equiv-a");
+        let root_b = tmp("group-equiv-b");
+        let mut db_a = shop();
+        let mut db_b = shop();
+        let mut dd_a = DataDir::create(&root_a, &db_a).unwrap();
+        let mut dd_b = DataDir::create(&root_b, &db_b).unwrap();
+        dd_b.set_commit_window(CommitWindow::batches(4));
+        let batches = || {
+            vec![
+                order_batch(1, 0, 500),
+                order_batch(2, 1, 600),
+                order_batch(3, 99, 700), // dangling FK: rejected no-op
+                order_batch(4, 2, 800),
+            ]
+        };
+        let mut reports_a = Vec::new();
+        for b in batches() {
+            reports_a.push(dd_a.ingest(&mut db_a, b, &IngestPolicy::default()));
+        }
+        let reports_b = dd_b
+            .ingest_group(&mut db_b, batches(), &IngestPolicy::default())
+            .unwrap();
+        assert_eq!(db_a, db_b);
+        assert_eq!(reports_a.len(), reports_b.len());
+        for (a, b) in reports_a.iter().zip(&reports_b) {
+            match (a, b) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y),
+                (Err(StoreError::BatchRejected { .. }), Err(StoreError::BatchRejected { .. })) => {}
+                other => panic!("report mismatch: {other:?}"),
+            }
+        }
+        assert_eq!(dd_a.next_seq(), dd_b.next_seq());
+        // Both directories recover to the same database.
+        drop((dd_a, dd_b));
+        let (_, rec_a, _) = DataDir::open(&root_a).unwrap();
+        let (_, rec_b, _) = DataDir::open(&root_b).unwrap();
+        assert_eq!(rec_a, rec_b);
+        std::fs::remove_dir_all(&root_a).unwrap();
+        std::fs::remove_dir_all(&root_b).unwrap();
+    }
+
+    #[test]
     fn backends_round_trip_through_trait() {
         let root = tmp("backends");
         let db = shop();
@@ -511,6 +878,196 @@ mod tests {
                 assert_eq!(back, db);
             }
         }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// A shop with deferrable (non-key, non-time) columns on both tables.
+    fn wide_shop() -> Database {
+        let mut db = Database::new("shop");
+        db.create_table(
+            TableSchema::builder("customers")
+                .column("customer_id", DataType::Int)
+                .column("signup", DataType::Timestamp)
+                .nullable_column("region", DataType::Text)
+                .nullable_column("score", DataType::Float)
+                .primary_key("customer_id")
+                .time_column("signup")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("orders")
+                .column("order_id", DataType::Int)
+                .column("customer_id", DataType::Int)
+                .nullable_column("note", DataType::Text)
+                .column("placed", DataType::Timestamp)
+                .primary_key("order_id")
+                .time_column("placed")
+                .foreign_key("customer_id", "customers")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for i in 0..5i64 {
+            db.insert(
+                "customers",
+                Row::new()
+                    .push(i)
+                    .push(Value::Timestamp(i * 100))
+                    .push(format!("region-{i}"))
+                    .push(i as f64 * 0.5),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn wide_order(id: i64, cust: i64, t: i64) -> RowBatch {
+        RowBatch::new().with(
+            "orders",
+            Row::new()
+                .push(id)
+                .push(cust)
+                .push(Value::Null)
+                .push(Value::Timestamp(t)),
+        )
+    }
+
+    #[test]
+    fn partial_open_defers_unselected_columns() {
+        let root = tmp("partial-defer");
+        let db = wide_shop();
+        drop(DataDir::create(&root, &db).unwrap());
+
+        let (_dd, partial_db, report, partial) =
+            DataDir::open_columns(&root, &BaseColumnSelection::default()).unwrap();
+        assert_eq!(report.replayed, 0);
+        // customers: region + score deferred; orders: note deferred.
+        assert_eq!(partial.deferred_columns, 3);
+        assert_eq!(partial.partial_tables, 2);
+        assert!(partial.deferred_bytes > 0);
+        let customers = partial_db.table("customers").unwrap();
+        assert!(customers.is_partially_loaded());
+        assert_eq!(customers.deferred_columns(), ["region", "score"]);
+        assert_eq!(customers.len(), 5);
+        // Placeholders are all-NULL but correctly typed and sized; loaded
+        // columns (keys, time) are real.
+        assert_eq!(customers.value_by_name(2, "region").unwrap(), Value::Null);
+        assert_eq!(customers.value_by_name(2, "score").unwrap(), Value::Null);
+        assert_eq!(
+            customers.value_by_name(2, "customer_id").unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(customers.row_by_key(&Value::Int(4)), Some(4));
+        assert_eq!(customers.time_span(), Some((0, 400)));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn partially_loaded_tables_refuse_ingest() {
+        let root = tmp("partial-refuse");
+        let db = wide_shop();
+        drop(DataDir::create(&root, &db).unwrap());
+        let (mut dd, mut partial_db, _report, _partial) =
+            DataDir::open_columns(&root, &BaseColumnSelection::default()).unwrap();
+        let batch = RowBatch::new().with(
+            "customers",
+            Row::new()
+                .push(9i64)
+                .push(Value::Timestamp(900))
+                .push(Value::Null)
+                .push(Value::Null),
+        );
+        let err = dd
+            .ingest(&mut partial_db, batch, &IngestPolicy::default())
+            .unwrap_err();
+        assert!(
+            matches!(err, StoreError::PartiallyLoaded { ref table, .. } if table == "customers")
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn wal_touched_tables_load_fully() {
+        let root = tmp("partial-wal");
+        let mut db = wide_shop();
+        let mut dd = DataDir::create(&root, &db).unwrap();
+        dd.ingest(&mut db, wide_order(1, 0, 500), &IngestPolicy::default())
+            .unwrap();
+        drop(dd);
+
+        let (_dd, partial_db, report, partial) =
+            DataDir::open_columns(&root, &BaseColumnSelection::default()).unwrap();
+        assert_eq!(report.replayed, 1);
+        // orders is WAL-touched, so its `note` column is real, and the
+        // replayed row landed; customers stays partial.
+        let orders = partial_db.table("orders").unwrap();
+        assert!(!orders.is_partially_loaded());
+        assert_eq!(orders.len(), 1);
+        assert!(partial_db.table("customers").unwrap().is_partially_loaded());
+        assert_eq!(partial.deferred_columns, 2);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn extra_columns_and_expected_rows_widen_the_load() {
+        let root = tmp("partial-extra");
+        let db = wide_shop();
+        drop(DataDir::create(&root, &db).unwrap());
+
+        // Selecting `score` leaves only `region` deferred on customers.
+        let sel = BaseColumnSelection {
+            extra_columns: vec![("customers".into(), vec!["score".into()])],
+            expected_rows: vec![("customers".into(), 5), ("orders".into(), 0)],
+            ..Default::default()
+        };
+        let (_dd, pdb, _report, partial) = DataDir::open_columns(&root, &sel).unwrap();
+        let customers = pdb.table("customers").unwrap();
+        assert_eq!(customers.deferred_columns(), ["region"]);
+        assert_eq!(
+            customers.value_by_name(3, "score").unwrap(),
+            Value::Float(1.5)
+        );
+        assert_eq!(partial.deferred_columns, 2); // region + orders.note
+
+        // An expected-rows mismatch forces the table full: the base holds 5
+        // customers, not 3, so its tail is not covered by the caller's
+        // baked state.
+        let sel = BaseColumnSelection {
+            expected_rows: vec![("customers".into(), 3)],
+            ..Default::default()
+        };
+        let (_dd, pdb, _report, _partial) = DataDir::open_columns(&root, &sel).unwrap();
+        let customers = pdb.table("customers").unwrap();
+        assert!(!customers.is_partially_loaded());
+        assert_eq!(
+            customers.value_by_name(0, "region").unwrap(),
+            Value::Text("region-0".into())
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn partial_load_matches_full_load_on_selected_columns() {
+        let root = tmp("partial-match");
+        let mut db = wide_shop();
+        let mut dd = DataDir::create(&root, &db).unwrap();
+        dd.ingest(&mut db, wide_order(1, 2, 500), &IngestPolicy::default())
+            .unwrap();
+        drop(dd);
+
+        let (_dd, full_db, _r) = DataDir::open(&root).unwrap();
+        let sel = BaseColumnSelection {
+            extra_columns: vec![("customers".into(), vec!["region".into(), "score".into()])],
+            ..Default::default()
+        };
+        let (_dd2, partial_db, _r2, partial) = DataDir::open_columns(&root, &sel).unwrap();
+        // Everything was selected (or WAL-forced), so the two opens agree
+        // bit-for-bit.
+        assert_eq!(partial.deferred_columns, 0);
+        assert_eq!(partial_db, full_db);
+        assert_eq!(full_db, db);
         std::fs::remove_dir_all(&root).unwrap();
     }
 }

@@ -47,9 +47,10 @@ use crate::table::Table;
 use crate::value::{DataType, Value};
 
 use super::format::{
-    decode_quarantine, encode_quarantine, io_err, read_column_file, read_dict, sync_dir,
-    write_column_file, write_file_durable, ColumnFileWriter, DictBuilder,
+    decode_quarantine, encode_quarantine, io_err, peek_column_header, read_column_file, read_dict,
+    sync_dir, write_column_file, write_file_durable, ColumnFileWriter, DictBuilder,
 };
+use crate::column::Column;
 
 /// File name of a column segment inside a table directory.
 fn col_file_name(index: usize, name: &str) -> String {
@@ -150,6 +151,213 @@ pub fn read_base(dir: &Path, name: &str) -> StoreResult<Database> {
         Vec::new()
     };
     Ok(Database::from_parts(name.to_string(), tables, quarantine))
+}
+
+/// Which base columns a partial load materializes (see
+/// [`read_base_columns`]). Every table's primary-key, foreign-key and
+/// time columns are always loaded — they back key lookup, FK validation
+/// and temporal anchoring; this selection only widens the set.
+#[derive(Debug, Clone, Default)]
+pub struct BaseColumnSelection {
+    /// Tables to materialize in full, rule-free (e.g. tables with
+    /// unapplied WAL records, which must be growable and re-featurizable).
+    pub full_tables: Vec<String>,
+    /// `(table, columns)` to materialize beyond the always-loaded set —
+    /// typically a feature spec's value columns.
+    pub extra_columns: Vec<(String, Vec<String>)>,
+    /// `(table, rows)` the caller expects the base to hold (e.g. a
+    /// warm-start graph cursor). A table whose base disagrees is loaded in
+    /// full: its unexpected tail is not covered by the caller's baked
+    /// state and must be re-derivable from real values. Tables without an
+    /// entry skip this check.
+    pub expected_rows: Vec<(String, usize)>,
+}
+
+impl BaseColumnSelection {
+    fn wants_full(&self, table: &str) -> bool {
+        self.full_tables.iter().any(|t| t == table)
+    }
+
+    fn extra_for(&self, table: &str) -> &[String] {
+        self.extra_columns
+            .iter()
+            .find(|(t, _)| t == table)
+            .map(|(_, cols)| cols.as_slice())
+            .unwrap_or(&[])
+    }
+
+    fn expected_for(&self, table: &str) -> Option<usize> {
+        self.expected_rows
+            .iter()
+            .find(|(t, _)| t == table)
+            .map(|&(_, n)| n)
+    }
+}
+
+/// What a partial base load ([`read_base_columns`]) skipped and kept.
+#[derive(Debug, Clone, Default)]
+pub struct PartialLoadReport {
+    /// Columns materialized from disk.
+    pub loaded_columns: usize,
+    /// Columns installed as deferred all-NULL placeholders.
+    pub deferred_columns: usize,
+    /// Body bytes skipped by deferring (file size minus the header read).
+    pub deferred_bytes: u64,
+    /// Tables left partially loaded (at least one deferred column).
+    pub partial_tables: usize,
+}
+
+/// Read a base snapshot, materializing only the columns `selection` asks
+/// for: every table's primary-key / foreign-key / time columns, any
+/// per-table extras, and the full column set of tables forced full (by
+/// name or by an [`expected_rows`](BaseColumnSelection::expected_rows)
+/// mismatch). Skipped columns become deferred all-NULL placeholders of
+/// the correct type and length — their 32-byte headers are still read and
+/// validated (magic, version, type, row-count agreement), but their
+/// bodies are never touched, which is what cuts warm-boot time and RSS on
+/// wide tables. Tables carrying placeholders refuse ingest
+/// ([`StoreError::PartiallyLoaded`]) so a fabricated NULL can never feed
+/// derived state.
+pub fn read_base_columns(
+    dir: &Path,
+    name: &str,
+    selection: &BaseColumnSelection,
+) -> StoreResult<(Database, PartialLoadReport)> {
+    let ddl_path = dir.join("schema.ddl");
+    let ddl = std::fs::read_to_string(&ddl_path).map_err(|e| io_err(&ddl_path, e))?;
+    let schemas = parse_ddl(&ddl)?;
+    let mut report = PartialLoadReport::default();
+    let mut tables = Vec::with_capacity(schemas.len());
+    for schema in schemas {
+        let tdir = dir.join(schema.name());
+        // Columns the load rule always wants: keys and time.
+        let mut wanted = vec![false; schema.arity()];
+        if let Some(pk) = schema.primary_key_index() {
+            wanted[pk] = true;
+        }
+        if let Some(t) = schema.time_column_index() {
+            wanted[t] = true;
+        }
+        for fk in schema.foreign_keys() {
+            if let Some(i) = schema.column_index(&fk.column) {
+                wanted[i] = true;
+            }
+        }
+        for extra in selection.extra_for(schema.name()) {
+            let i = schema
+                .column_index(extra)
+                .ok_or_else(|| StoreError::UnknownColumn {
+                    table: schema.name().to_string(),
+                    column: extra.clone(),
+                })?;
+            wanted[i] = true;
+        }
+        let mut full = selection.wants_full(schema.name()) || wanted.iter().all(|&w| w);
+        // The expected-rows rule needs the base's row count before any
+        // column body is read; the first column's header carries it.
+        if !full {
+            if let Some(expected) = selection.expected_for(schema.name()) {
+                if let Some(def) = schema.columns().first() {
+                    let path = tdir.join(col_file_name(0, &def.name));
+                    let rows = peek_column_header(&path)?.rows as usize;
+                    if rows != expected {
+                        full = true;
+                    }
+                }
+            }
+        }
+        let needs_dict = schema
+            .columns()
+            .iter()
+            .enumerate()
+            .any(|(i, c)| c.data_type == DataType::Text && (full || wanted[i]));
+        let dict = if needs_dict {
+            read_dict(&tdir.join("strings.dict"))?
+        } else {
+            Vec::new()
+        };
+        let mut columns = Vec::with_capacity(schema.arity());
+        let mut deferred = Vec::new();
+        let mut rows: Option<usize> = None;
+        for (i, def) in schema.columns().iter().enumerate() {
+            let path = tdir.join(col_file_name(i, &def.name));
+            let (col_rows, col) = if full || wanted[i] {
+                let col = read_column_file(&path, &dict)?;
+                report.loaded_columns += 1;
+                (col.len(), Some(col))
+            } else {
+                let header = peek_column_header(&path)?;
+                if header.ty != def.data_type {
+                    return Err(StoreError::Corrupt {
+                        file: path.display().to_string(),
+                        message: format!(
+                            "column type {} does not match schema type {}",
+                            header.ty, def.data_type
+                        ),
+                    });
+                }
+                report.deferred_columns += 1;
+                report.deferred_bytes += std::fs::metadata(&path)
+                    .map_err(|e| io_err(&path, e))?
+                    .len()
+                    .saturating_sub(32);
+                deferred.push(def.name.clone());
+                (header.rows as usize, None)
+            };
+            if let Some(col) = &col {
+                if col.data_type() != def.data_type {
+                    return Err(StoreError::Corrupt {
+                        file: path.display().to_string(),
+                        message: format!(
+                            "column type {} does not match schema type {}",
+                            col.data_type(),
+                            def.data_type
+                        ),
+                    });
+                }
+            }
+            match rows {
+                None => rows = Some(col_rows),
+                Some(n) if n != col_rows => {
+                    return Err(StoreError::Corrupt {
+                        file: path.display().to_string(),
+                        message: format!("column has {col_rows} rows, siblings have {n}"),
+                    })
+                }
+                _ => {}
+            }
+            columns.push((def.data_type, col));
+        }
+        let n = rows.unwrap_or(0);
+        let columns: Vec<Column> = columns
+            .into_iter()
+            .map(|(ty, col)| col.unwrap_or_else(|| Column::nulls(ty, n)))
+            .collect();
+        let mut table = Table::from_parts(schema, columns)?;
+        if !deferred.is_empty() {
+            report.partial_tables += 1;
+            table.set_deferred_columns(deferred);
+        }
+        tables.push(table);
+    }
+    let qpath = dir.join("quarantine.bin");
+    let quarantine = if qpath.exists() {
+        let bytes = std::fs::read(&qpath).map_err(|e| io_err(&qpath, e))?;
+        decode_quarantine(&qpath.display().to_string(), &bytes)?
+    } else {
+        Vec::new()
+    };
+    if relgraph_obs::enabled() {
+        relgraph_obs::add(
+            "persist.partial.deferred_columns",
+            report.deferred_columns as u64,
+        );
+        relgraph_obs::add("persist.partial.deferred_bytes", report.deferred_bytes);
+    }
+    Ok((
+        Database::from_parts(name.to_string(), tables, quarantine),
+        report,
+    ))
 }
 
 // ---------------------------------------------------------------------------

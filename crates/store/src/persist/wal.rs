@@ -13,11 +13,20 @@
 //!
 //! ```text
 //! [u32 payload_len][u32 crc32(payload)][payload]
-//! payload = u64 seq · u8 kind (1 = ingest) · policy (4 bytes) · batch
+//! kind 1 (single ingest):
+//!   payload = u64 seq · u8 1 · policy (4 bytes) · batch
+//! kind 2 (group commit):
+//!   payload = u64 first_seq · u8 2 · u32 count · count × (policy · batch)
 //! ```
 //!
 //! A record is **committed** iff its full frame is on disk and the CRC
 //! matches; everything after the first non-committed byte is the torn tail.
+//! A group frame ([`Wal::append_group`]) carries `count` consecutive
+//! batches (`first_seq`, `first_seq + 1`, …) under **one** CRC and one
+//! `sync_data` — so a crash anywhere inside the frame fails the checksum
+//! and recovery drops the *whole* group. Acknowledged groups are
+//! all-or-nothing by construction: there is no byte offset at which a
+//! proper subset of a group survives (DESIGN.md §14.8).
 //!
 //! ```
 //! use relgraph_store::persist::wal::Wal;
@@ -57,6 +66,19 @@ pub const WAL_HEADER_LEN: u64 = 16;
 pub const MAX_RECORD_LEN: u32 = 1 << 30;
 
 const KIND_INGEST: u8 = 1;
+const KIND_GROUP: u8 = 2;
+
+/// Encode one `(policy, batch)` pair as the `policy · batch` byte run a
+/// record payload carries — identical between the kind-1 layout and each
+/// member of a kind-2 group. The commit pipeline encodes at submission
+/// time (so its byte window measures real on-disk cost) and hands the
+/// members to [`Wal::append_group_encoded`] at flush.
+pub fn encode_member(policy: &IngestPolicy, batch: &RowBatch) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_policy(policy);
+    w.put_batch(batch);
+    w.into_bytes()
+}
 
 /// An append handle on a write-ahead log file.
 #[derive(Debug)]
@@ -114,15 +136,10 @@ impl Wal {
         })
     }
 
-    /// Append one ingest record and flush it to disk (write-ahead: the
-    /// caller applies the batch in memory only after this returns).
-    pub fn append(&mut self, seq: u64, policy: &IngestPolicy, batch: &RowBatch) -> StoreResult<()> {
-        let mut payload = ByteWriter::new();
-        payload.put_u64(seq);
-        payload.put_u8(KIND_INGEST);
-        payload.put_policy(policy);
-        payload.put_batch(batch);
-        let payload = payload.into_bytes();
+    /// Frame `payload`, append it, and flush to disk with one `sync_data`.
+    /// Returns the frame length in bytes. `records` is how many logical
+    /// ingest batches the frame covers (for observability).
+    fn append_frame(&mut self, payload: Vec<u8>, records: u64) -> StoreResult<u64> {
         let mut frame = Vec::with_capacity(8 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
@@ -131,9 +148,76 @@ impl Wal {
             .write_all(&frame)
             .map_err(|e| io_err(&self.path, e))?;
         self.file.sync_data().map_err(|e| io_err(&self.path, e))?;
-        obs::add("wal.append.records", 1);
-        obs::add("wal.append.bytes", frame.len() as u64);
+        if obs::enabled() {
+            obs::add("wal.append.records", records);
+            obs::add("wal.append.bytes", frame.len() as u64);
+            obs::add("persist.wal.sync_calls", 1);
+            obs::add("persist.wal.group_bytes", frame.len() as u64);
+            obs::observe("persist.wal.group_size", records as f64);
+        }
+        Ok(frame.len() as u64)
+    }
+
+    /// Append one ingest record and flush it to disk (write-ahead: the
+    /// caller applies the batch in memory only after this returns).
+    pub fn append(&mut self, seq: u64, policy: &IngestPolicy, batch: &RowBatch) -> StoreResult<()> {
+        let mut payload = ByteWriter::new();
+        payload.put_u64(seq);
+        payload.put_u8(KIND_INGEST);
+        payload.put_policy(policy);
+        payload.put_batch(batch);
+        self.append_frame(payload.into_bytes(), 1)?;
         Ok(())
+    }
+
+    /// Group commit: append `entries.len()` consecutive ingest batches
+    /// (sequences `first_seq`, `first_seq + 1`, …) as **one** framed record
+    /// under one CRC, flushed with **one** `sync_data`. Durability is
+    /// all-or-nothing: a crash anywhere inside the frame fails the group
+    /// checksum and recovery truncates the whole group, so no proper
+    /// subset of the entries can ever be replayed. Returns the frame
+    /// length in bytes.
+    ///
+    /// A single entry is written in the plain [`append`](Self::append)
+    /// kind-1 layout — group framing never changes the on-disk format of a
+    /// lone batch.
+    pub fn append_group(
+        &mut self,
+        first_seq: u64,
+        entries: &[(IngestPolicy, RowBatch)],
+    ) -> StoreResult<u64> {
+        let members: Vec<Vec<u8>> = entries
+            .iter()
+            .map(|(policy, batch)| encode_member(policy, batch))
+            .collect();
+        self.append_group_encoded(first_seq, &members)
+    }
+
+    /// [`append_group`](Self::append_group) over members already encoded
+    /// with [`encode_member`] — the commit-pipeline path, which sizes its
+    /// byte window on the encoded members and must not pay for a second
+    /// serialization at flush time.
+    pub fn append_group_encoded(
+        &mut self,
+        first_seq: u64,
+        members: &[Vec<u8>],
+    ) -> StoreResult<u64> {
+        if members.is_empty() {
+            return Ok(0);
+        }
+        let mut payload = ByteWriter::new();
+        payload.put_u64(first_seq);
+        if let [member] = members {
+            payload.put_u8(KIND_INGEST);
+            payload.put_raw(member);
+            return self.append_frame(payload.into_bytes(), 1);
+        }
+        payload.put_u8(KIND_GROUP);
+        payload.put_u32(members.len() as u32);
+        for member in members {
+            payload.put_raw(member);
+        }
+        self.append_frame(payload.into_bytes(), members.len() as u64)
     }
 
     /// Current file length in bytes.
@@ -208,14 +292,32 @@ impl Wal {
             let mut r = ByteReader::new(payload, &file_name);
             let seq = r.take_u64()?;
             let kind = r.take_u8()?;
-            if kind != KIND_INGEST {
-                return Err(StoreError::Corrupt {
-                    file: file_name,
-                    message: format!("unknown WAL record kind {kind} at offset {start}"),
-                });
+            let count = match kind {
+                KIND_INGEST => 1u64,
+                KIND_GROUP => r.take_u32()? as u64,
+                _ => {
+                    return Err(StoreError::Corrupt {
+                        file: file_name,
+                        message: format!("unknown WAL record kind {kind} at offset {start}"),
+                    })
+                }
+            };
+            // A group frame expands into `count` consecutive records, all
+            // sharing the frame's end offset: truncation points stay frame
+            // boundaries, so a group can only be dropped whole.
+            for i in 0..count {
+                let policy = r.take_policy()?;
+                let batch = r.take_batch()?;
+                let seq = seq + i;
+                if seq > from_seq {
+                    records.push(WalRecord {
+                        seq,
+                        policy,
+                        batch,
+                        end_offset: pos as u64,
+                    });
+                }
             }
-            let policy = r.take_policy()?;
-            let batch = r.take_batch()?;
             if !r.is_empty() {
                 return Err(StoreError::Corrupt {
                     file: file_name,
@@ -223,14 +325,6 @@ impl Wal {
                         "{} trailing payload bytes in record at offset {start}",
                         r.remaining()
                     ),
-                });
-            }
-            if seq > from_seq {
-                records.push(WalRecord {
-                    seq,
-                    policy,
-                    batch,
-                    end_offset: pos as u64,
                 });
             }
         }
@@ -359,6 +453,102 @@ mod tests {
                 );
             }
         }
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn group_append_scan_round_trip() {
+        let path = tmp("group-round-trip");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(1, &IngestPolicy::default(), &batch(1)).unwrap();
+        let entries: Vec<(IngestPolicy, RowBatch)> = (2..=4)
+            .map(|k| (IngestPolicy::coerce_all(), batch(k)))
+            .collect();
+        wal.append_group(2, &entries).unwrap();
+        let scan = Wal::scan(&path, 0).unwrap();
+        assert!(scan.torn.is_none());
+        assert_eq!(
+            scan.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        for r in &scan.records[1..] {
+            assert_eq!(r.batch.rows()[0].1[0], crate::Value::Int(r.seq as i64));
+            // All group members share the group frame's end offset.
+            assert_eq!(r.end_offset, scan.records[1].end_offset);
+        }
+        // The seq floor works inside a group too.
+        let scan = Wal::scan(&path, 3).unwrap();
+        assert_eq!(
+            scan.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![4]
+        );
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn single_entry_group_uses_plain_record_layout() {
+        let path_a = tmp("group-single-a");
+        let path_b = tmp("group-single-b");
+        let mut a = Wal::open(&path_a).unwrap();
+        let mut b = Wal::open(&path_b).unwrap();
+        a.append(7, &IngestPolicy::coerce_all(), &batch(7)).unwrap();
+        b.append_group(7, &[(IngestPolicy::coerce_all(), batch(7))])
+            .unwrap();
+        assert_eq!(
+            std::fs::read(&path_a).unwrap(),
+            std::fs::read(&path_b).unwrap()
+        );
+        std::fs::remove_dir_all(path_a.parent().unwrap()).unwrap();
+        std::fs::remove_dir_all(path_b.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn cut_inside_group_drops_whole_group() {
+        // Acknowledged groups are all-or-nothing: truncating at *any* byte
+        // offset inside the group frame must recover zero group members,
+        // never a proper subset.
+        let path = tmp("group-torn");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(1, &IngestPolicy::default(), &batch(1)).unwrap();
+        let before_group = wal.len().unwrap();
+        let entries: Vec<(IngestPolicy, RowBatch)> = (2..=5)
+            .map(|k| (IngestPolicy::default(), batch(k)))
+            .collect();
+        wal.append_group(2, &entries).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        for cut in before_group as usize..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let scan = Wal::scan(&path, 0).unwrap();
+            assert_eq!(
+                scan.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+                vec![1],
+                "cut at {cut} leaked part of an unacknowledged group"
+            );
+            assert_eq!(scan.valid_len, before_group, "cut at {cut}");
+            if cut as u64 != before_group {
+                assert!(scan.torn.is_some(), "torn cut at {cut} not flagged");
+            }
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_in_group_payload_drops_whole_group() {
+        let path = tmp("group-bitflip");
+        let mut wal = Wal::open(&path).unwrap();
+        let entries: Vec<(IngestPolicy, RowBatch)> = (1..=3)
+            .map(|k| (IngestPolicy::default(), batch(k)))
+            .collect();
+        wal.append_group(1, &entries).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a bit in the *first* member's region: even the already-read
+        // prefix of the group must not survive a failed group CRC.
+        let tweak = WAL_HEADER_LEN as usize + 8 + 16;
+        bytes[tweak] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = Wal::scan(&path, 0).unwrap();
+        assert_eq!(scan.records.len(), 0);
+        assert!(scan.torn.unwrap().contains("checksum"));
         std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
     }
 

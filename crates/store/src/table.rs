@@ -18,6 +18,11 @@ pub struct Table {
     columns: Vec<Column>,
     /// Map from primary-key value (its [`Value::group_key`]) to row index.
     pk_index: HashMap<String, usize>,
+    /// Names of columns whose cells are deferred all-NULL placeholders
+    /// from a partial base load (`DataDir::open_columns`) rather than real
+    /// data. Non-empty only on partially-loaded tables, which refuse
+    /// ingest — see [`Table::deferred_columns`].
+    deferred: Vec<String>,
 }
 
 impl Table {
@@ -32,7 +37,28 @@ impl Table {
             schema,
             columns,
             pk_index: HashMap::new(),
+            deferred: Vec::new(),
         }
+    }
+
+    /// Columns this table carries only as deferred all-NULL placeholders
+    /// (partial base load). Empty on fully-materialized tables. A table
+    /// with deferred columns is read-only:
+    /// [`Database::ingest`](crate::Database::ingest) refuses batches that
+    /// target it, so a
+    /// placeholder NULL can never leak into freshly-derived state.
+    pub fn deferred_columns(&self) -> &[String] {
+        &self.deferred
+    }
+
+    /// True when any column is a deferred placeholder.
+    pub fn is_partially_loaded(&self) -> bool {
+        !self.deferred.is_empty()
+    }
+
+    /// Mark `names` as deferred placeholders (the partial-load path).
+    pub(crate) fn set_deferred_columns(&mut self, names: Vec<String>) {
+        self.deferred = names;
     }
 
     /// The table's schema.
@@ -165,6 +191,7 @@ impl Table {
             schema,
             columns,
             pk_index,
+            deferred: Vec::new(),
         })
     }
 

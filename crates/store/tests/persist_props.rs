@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use proptest::prelude::*;
 use relgraph_store::persist::wal::{Wal, WAL_HEADER_LEN};
 use relgraph_store::{
-    DataDir, DataType, Database, IngestPolicy, Row, RowBatch, TableSchema, Value,
+    CommitWindow, DataDir, DataType, Database, IngestPolicy, Row, RowBatch, TableSchema, Value,
 };
 
 static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -120,6 +120,113 @@ proptest! {
         } else {
             let (_, recovered, report) = DataDir::open(&root).unwrap();
             prop_assert_eq!(&recovered, &states[committed]);
+            prop_assert_eq!(report.replayed, committed);
+            // A second open must be clean: the torn tail was truncated.
+            let (_, again, report2) = DataDir::open(&root).unwrap();
+            prop_assert_eq!(&again, &recovered);
+            prop_assert!(report2.torn.is_none());
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Crash *inside* a group-commit window (DESIGN.md §14.8): recovery
+    /// yields exactly the batches whose covering fsync returned — an
+    /// acknowledgement boundary. A group frame cut at any interior byte
+    /// disappears whole (never a half-acknowledged group), and batches
+    /// still buffered in the pipeline at the crash were never written,
+    /// never acknowledged, and never reappear. Swept across the window
+    /// shapes: per-batch (the legacy degenerate window), a 4-batch
+    /// window, and a byte-capped window that flushes mid-run on payload
+    /// size.
+    #[test]
+    fn crash_inside_group_window_recovers_acknowledged_groups_only(
+        batches in proptest::collection::vec(
+            proptest::collection::vec((0i64..1_000, -5.0f64..5.0), 0..4),
+            1..8,
+        ),
+        window_sel in 0usize..3,
+        coerce in any::<bool>(),
+        cut_frac in 0.0f64..=1.0,
+        flush_tail in any::<bool>(),
+    ) {
+        let root = tmp("group");
+        let _ = std::fs::remove_dir_all(&root);
+        let mut db = events_db();
+        let mut dd = DataDir::create(&root, &db).unwrap();
+        dd.set_commit_window(match window_sel {
+            0 => CommitWindow::batches(1),
+            1 => CommitWindow::batches(4),
+            // Byte-capped: the batch cap never triggers; payload size
+            // closes the window after one or two small batches.
+            _ => CommitWindow {
+                max_batches: 64,
+                max_bytes: 96,
+                max_delay: std::time::Duration::ZERO,
+            },
+        });
+        let policy = if coerce {
+            IngestPolicy::coerce_all()
+        } else {
+            IngestPolicy::reject_all()
+        };
+
+        // Submit the schedule, remembering the database at every
+        // *acknowledgement* boundary (covering fsync returned), keyed by
+        // how many batches were durable at that point. States inside an
+        // open window are deliberately absent: no cut may produce them.
+        let mut id = 100i64;
+        let mut acked = 0usize;
+        let mut boundary_states = std::collections::HashMap::new();
+        boundary_states.insert(0usize, db.clone());
+        for rows in &batches {
+            let mut batch = RowBatch::new();
+            for &(t, v) in rows {
+                batch.push(
+                    "events",
+                    Row::new().push(id).push(v).push(Value::Timestamp(t)),
+                );
+                id += 1;
+            }
+            if let Some(flush) = dd.submit_ingest(&mut db, batch, &policy).unwrap() {
+                acked += flush.reports.len();
+                boundary_states.insert(acked, db.clone());
+            }
+        }
+        if flush_tail {
+            if let Some(flush) = dd.flush_ingest(&mut db).unwrap() {
+                acked += flush.reports.len();
+                boundary_states.insert(acked, db.clone());
+            }
+        }
+        // Dropping with batches still buffered == crash before their
+        // fsync: they were never acknowledged and must never reappear.
+        drop(dd);
+
+        let wal_path = root.join("wal.log");
+        let bytes = std::fs::read(&wal_path).unwrap();
+        let cut = (((bytes.len() as f64) * cut_frac).round() as usize).min(bytes.len());
+        // Committed prefix at the cut, from the untruncated log. Group
+        // members all share their frame's end offset, so a cut inside a
+        // frame drops every member of that group.
+        let committed = Wal::scan(&wal_path, 0)
+            .unwrap()
+            .records
+            .iter()
+            .filter(|r| r.end_offset <= cut as u64)
+            .count();
+        std::fs::write(&wal_path, &bytes[..cut]).unwrap();
+
+        if (cut as u64) < WAL_HEADER_LEN {
+            prop_assert!(DataDir::open(&root).is_err());
+        } else {
+            prop_assert!(
+                boundary_states.contains_key(&committed),
+                "cut at {cut} recovered {committed} batches — not an \
+                 acknowledgement boundary (boundaries: {:?})",
+                { let mut b: Vec<_> = boundary_states.keys().copied().collect(); b.sort(); b },
+            );
+            let (_, recovered, report) = DataDir::open(&root).unwrap();
+            prop_assert_eq!(&recovered, &boundary_states[&committed]);
             prop_assert_eq!(report.replayed, committed);
             // A second open must be clean: the torn tail was truncated.
             let (_, again, report2) = DataDir::open(&root).unwrap();

@@ -29,6 +29,10 @@
 //!                       applied as one atomic batch in flag order)
 //!   --policy <P>        validation policy: reject | quarantine | coerce
 //!                       (default reject)
+//!   --commit-window <N> WAL group commit: keep each --batch file its own
+//!                       batch and durably commit up to N of them under a
+//!                       single fsync (requires --data-dir; default off —
+//!                       all files merge into one batch, one fsync)
 //!   --query <PQL>       after ingesting, re-run this predictive query on
 //!                       the incrementally-updated graph
 //!   --save <DIR>        write the updated database back out to DIR
@@ -46,6 +50,8 @@
 //!   --pred-cache <N>    prediction-cache capacity, split across shards (default 4096)
 //!   --emb-cache <N>     embedding-cache capacity, split across shards (default 65536)
 //!   --shards <N>        engine shards / worker threads (default 1)
+//!   --commit-window <N> write-path group-commit window in batches for
+//!                       embedded ingest (default 1 = per-batch commit)
 //!   --listen <ADDR>     serve a socket instead of stdin: `host:port` (TCP)
 //!                       or a filesystem path (Unix domain socket)
 //!
@@ -81,7 +87,8 @@ use relgraph::pq::{
 };
 use relgraph::serve::{protocol as serve_protocol, MicroBatcher, ServeConfig, ShardedEngine};
 use relgraph::store::{
-    load_database_dir, save_database_dir, DataDir, Database, IngestPolicy, PolicyAction, RowBatch,
+    load_database_dir, save_database_dir, CommitWindow, DataDir, Database, IngestPolicy,
+    PolicyAction, RowBatch,
 };
 
 struct Args {
@@ -279,6 +286,7 @@ struct IngestArgs {
     demo: Option<String>,
     batches: Vec<(String, String)>,
     policy: IngestPolicy,
+    commit_window: Option<usize>,
     query: Option<String>,
     save: Option<String>,
     top: usize,
@@ -288,7 +296,9 @@ struct IngestArgs {
 fn ingest_usage() -> &'static str {
     "usage: relgraph ingest (--data DIR | --data-dir DIR | --demo NAME) \
      --batch TABLE=FILE.csv [--batch …] [--policy reject|quarantine|coerce] \
-     [--query 'PREDICT …'] [--save DIR] [--top N] [--seed N]"
+     [--commit-window N] [--query 'PREDICT …'] [--save DIR] [--top N] [--seed N] \
+     (--commit-window groups the --batch files into WAL group commits of up \
+     to N batches — one fsync per group — and requires --data-dir)"
 }
 
 fn parse_ingest_args(it: impl Iterator<Item = String>) -> Result<IngestArgs, String> {
@@ -298,6 +308,7 @@ fn parse_ingest_args(it: impl Iterator<Item = String>) -> Result<IngestArgs, Str
         demo: None,
         batches: Vec::new(),
         policy: IngestPolicy::reject_all(),
+        commit_window: None,
         query: None,
         save: None,
         top: 10,
@@ -329,6 +340,12 @@ fn parse_ingest_args(it: impl Iterator<Item = String>) -> Result<IngestArgs, Str
                     PolicyAction::Coerce => IngestPolicy::coerce_all(),
                 };
             }
+            "--commit-window" => {
+                let n: usize = value("--commit-window")?
+                    .parse()
+                    .map_err(|_| "--commit-window needs a number".to_string())?;
+                args.commit_window = Some(n.max(1));
+            }
             "--query" | "-q" => args.query = Some(value("--query")?),
             "--save" => args.save = Some(value("--save")?),
             "--top" => {
@@ -348,6 +365,12 @@ fn parse_ingest_args(it: impl Iterator<Item = String>) -> Result<IngestArgs, Str
     if args.batches.is_empty() {
         return Err(format!(
             "at least one --batch is required\n{}",
+            ingest_usage()
+        ));
+    }
+    if args.commit_window.is_some() && args.data_dir.is_none() {
+        return Err(format!(
+            "--commit-window needs --data-dir (group commit is a WAL feature)\n{}",
             ingest_usage()
         ));
     }
@@ -410,21 +433,62 @@ fn run_ingest(it: impl Iterator<Item = String>) -> Result<(), String> {
     let (mut graph, mut mapping) = build_graph(&db, &opts).map_err(|e| e.to_string())?;
     let mut cursor = GraphCursor::capture(&db);
 
-    let mut batch = RowBatch::new();
+    // Without --commit-window every --batch file folds into one atomic
+    // batch (the legacy shape); with it each file stays its own batch so
+    // the WAL can group up to N of them under a single fsync.
+    let grouped = args.commit_window.is_some();
+    let mut batches: Vec<RowBatch> = Vec::new();
     for (table, file) in &args.batches {
+        if grouped || batches.is_empty() {
+            batches.push(RowBatch::new());
+        }
         let schema = db.table(table).map_err(|e| e.to_string())?.schema().clone();
         let f = std::fs::File::open(file).map_err(|e| format!("opening {file}: {e}"))?;
-        let n = batch
+        let n = batches
+            .last_mut()
+            .expect("pushed above")
             .push_csv(table, &schema, std::io::BufReader::new(f))
             .map_err(|e| format!("reading {file}: {e}"))?;
         eprintln!("queued {n} rows for `{table}` from {file}");
     }
 
-    let report = match data_dir.as_mut() {
-        Some(dd) => dd
-            .ingest(&mut db, batch, &args.policy)
-            .map_err(|e| e.to_string())?,
-        None => db.ingest(batch, &args.policy).map_err(|e| e.to_string())?,
+    let report = if let Some(window) = args.commit_window {
+        let dd = data_dir
+            .as_mut()
+            .expect("--commit-window requires --data-dir (checked at parse)");
+        dd.set_commit_window(CommitWindow::batches(window));
+        let reports = dd
+            .ingest_group(&mut db, batches, &args.policy)
+            .map_err(|e| e.to_string())?;
+        let mut total = relgraph::store::IngestReport::default();
+        for (i, r) in reports.iter().enumerate() {
+            let (table, file) = &args.batches[i];
+            match r {
+                Ok(r) => {
+                    println!(
+                        "  batch {i} ({table}={file}): {} accepted \
+                         ({} coerced, {} late), {} quarantined",
+                        r.accepted, r.coerced, r.late, r.quarantined
+                    );
+                    total.accepted += r.accepted;
+                    total.coerced += r.coerced;
+                    total.late += r.late;
+                    total.quarantined += r.quarantined;
+                }
+                Err(e) => println!("  batch {i} ({table}={file}): rejected: {e}"),
+            }
+        }
+        total
+    } else {
+        let batch = batches
+            .pop()
+            .expect("at least one --batch (checked at parse)");
+        match data_dir.as_mut() {
+            Some(dd) => dd
+                .ingest(&mut db, batch, &args.policy)
+                .map_err(|e| e.to_string())?,
+            None => db.ingest(batch, &args.policy).map_err(|e| e.to_string())?,
+        }
     };
     println!(
         "ingest: {} accepted ({} coerced, {} late), {} quarantined",
@@ -596,7 +660,7 @@ fn serve_usage() -> &'static str {
     "usage: relgraph serve (--data DIR | --data-dir DIR | --demo NAME) \
      --query 'PREDICT …' [--seed N] [--max-batch N] [--deadline-ms N] \
      [--pred-cache N] [--emb-cache N] [--precision f64|f32|q8] [--shards N] \
-     [--listen HOST:PORT|SOCKET_PATH] \
+     [--commit-window N] [--listen HOST:PORT|SOCKET_PATH] \
      (--query is optional when --data-dir holds a warm snapshot; a warm \
      snapshot's stored precision wins over --precision)"
 }
@@ -646,6 +710,10 @@ fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, Strin
             }
             "--shards" => {
                 shards = (number("--shards", value("--shards")?)? as usize).max(1);
+            }
+            "--commit-window" => {
+                cfg.commit_window =
+                    (number("--commit-window", value("--commit-window")?)? as usize).max(1);
             }
             "--listen" => listen = Some(value("--listen")?),
             "--help" | "-h" => return Err(serve_usage().to_string()),
@@ -699,17 +767,21 @@ fn fit_sharded(
 /// they exist and match the requested query (skipping featurization and
 /// training entirely), otherwise fit cold and save snapshots so the next
 /// boot is warm. Predictions are byte-identical either way.
+///
+/// The warm path is a *partial* base load (DESIGN.md §14.8): only key,
+/// foreign-key, and timestamp columns are materialized from the columnar
+/// base — features ride in the graph snapshot — so the full database is
+/// never opened unless the snapshot turns out to be unusable.
 fn serve_from_data_dir(
-    dd: &DataDir,
-    db: Database,
+    dir: &str,
     args: &ServeArgs,
     exec: &ExecConfig,
 ) -> Result<ShardedEngine, String> {
     use relgraph::serve::persist::{GRAPH_SNAPSHOT_FILE, MODEL_SNAPSHOT_FILE};
 
-    let snaps = dd.snapshots_dir();
+    let root = std::path::Path::new(dir);
+    let snaps = DataDir::snapshots_path(root);
     let model_snap = snaps.join(MODEL_SNAPSHOT_FILE);
-    let mut db = db;
     if snaps.join(GRAPH_SNAPSHOT_FILE).exists() && model_snap.exists() {
         // A differing --query invalidates the snapshot; peek at the stored
         // query text before committing to the warm path.
@@ -734,30 +806,39 @@ fn serve_from_data_dir(
         };
         if usable {
             let t = std::time::Instant::now();
-            match relgraph::serve::warm_sharded(&snaps, db, exec, args.cfg.clone(), args.shards) {
-                Ok((engine, report)) => {
+            match relgraph::serve::warm_sharded_partial(root, exec, args.cfg.clone(), args.shards) {
+                Ok(boot) => {
+                    if boot.recovery.replayed > 0 || boot.recovery.torn.is_some() {
+                        eprintln!("{dir}: {}", boot.recovery.summary());
+                    }
+                    eprintln!("{}", boot.engine.snapshot().db.summary());
                     let mut line = format!(
-                        "warm boot in {:.2}s (caught up +{} nodes, +{} edges);",
+                        "warm boot in {:.2}s (caught up +{} nodes, +{} edges; \
+                         deferred {} column(s) / {} byte(s) across {} table(s));",
                         t.elapsed().as_secs_f64(),
-                        report.catch_up.new_nodes,
-                        report.catch_up.new_edges,
+                        boot.report.catch_up.new_nodes,
+                        boot.report.catch_up.new_edges,
+                        boot.partial.deferred_columns,
+                        boot.partial.deferred_bytes,
+                        boot.partial.partial_tables,
                     );
-                    for (name, v) in &report.metrics {
+                    for (name, v) in &boot.report.metrics {
                         line.push_str(&format!(" {name}={v:.4}"));
                     }
                     eprintln!("{line}");
-                    eprintln!("query: {}", report.query_text);
-                    return Ok(engine);
+                    eprintln!("query: {}", boot.report.query_text);
+                    return Ok(boot.engine);
                 }
                 Err(e) => {
-                    // The database moved into the failed warm boot; re-open.
                     eprintln!("warm boot failed ({e}); refitting from scratch");
-                    let (_, fresh, _) = DataDir::open(dd.root()).map_err(|e| e.to_string())?;
-                    db = fresh;
                 }
             }
         }
     }
+    // Cold (or fallback) path: a full materialized open, fit, and snapshot
+    // save so the next boot takes the partial warm path above.
+    let (dd, db) = open_data_dir(dir)?;
+    eprintln!("{}", db.summary());
     let query = args.query.clone().ok_or_else(|| {
         format!(
             "--query is required (no usable warm snapshot in the data dir)\n{}",
@@ -765,7 +846,7 @@ fn serve_from_data_dir(
         )
     })?;
     let engine = fit_sharded(db, &query, exec, args)?;
-    match engine.save_warm_start(&snaps, &query) {
+    match engine.save_warm_start(&dd.snapshots_dir(), &query) {
         Ok(bytes) => eprintln!(
             "saved warm-start snapshots to {} ({bytes} bytes)",
             snaps.display()
@@ -796,9 +877,7 @@ fn run_serve(it: impl Iterator<Item = String>) -> Result<(), String> {
                 serve_usage()
             ));
         }
-        let (dd, db) = open_data_dir(dir)?;
-        eprintln!("{}", db.summary());
-        serve_from_data_dir(&dd, db, &args, &exec)?
+        serve_from_data_dir(dir, &args, &exec)?
     } else {
         let loader = Args {
             data: args.data.clone(),

@@ -12,8 +12,8 @@
 
 use relgraph::datagen::{generate_ecommerce, EcommerceConfig};
 use relgraph::pq::ExecConfig;
-use relgraph::serve::{warm_sharded, ServeConfig, ShardedEngine};
-use relgraph::store::{DataDir, IngestPolicy, Row, RowBatch, Value};
+use relgraph::serve::{warm_sharded, warm_sharded_partial, ServeConfig, ShardedEngine};
+use relgraph::store::{CommitWindow, DataDir, IngestPolicy, Row, RowBatch, Value};
 
 const QUERY: &str = "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id";
 const CUSTOMERS: i64 = 40;
@@ -125,6 +125,124 @@ fn run_at(shards: usize) {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// Partial-load serving equivalence (DESIGN.md §14.8): a restart that
+/// materializes only key/foreign-key/time columns from the columnar base
+/// — features ride in the graph snapshot — must serve predictions
+/// byte-for-byte identical to a restart that reads every column, and to
+/// the process that never died. The post-snapshot traffic is committed
+/// through the group-commit pipeline, so the reboot also replays a
+/// multi-batch group frame, and the WAL-touched `orders` table is forced
+/// to a full load while the untouched wide tables stay partial.
+fn run_partial_at(shards: usize) {
+    let root = std::env::temp_dir().join(format!(
+        "relgraph-partial-equiv-{shards}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let db = generate_ecommerce(&EcommerceConfig {
+        customers: CUSTOMERS as usize,
+        products: PRODUCTS as usize,
+        seed: 11,
+        ..Default::default()
+    })
+    .unwrap();
+    let (lo, hi) = db.time_span().unwrap();
+    let mut dd = DataDir::create(&root, &db).unwrap();
+
+    let survivor =
+        ShardedEngine::fit(db.clone(), QUERY, &exec(), ServeConfig::default(), shards).unwrap();
+    survivor
+        .save_warm_start(&dd.snapshots_dir(), QUERY)
+        .unwrap();
+
+    // Post-snapshot batches: live into the survivor one at a time, durably
+    // into the data dir as one group commit (one frame, one fsync).
+    let mut mirror = db;
+    let mut durable = Vec::new();
+    let mut rows_per_batch = Vec::new();
+    for rows in traffic(lo, hi) {
+        let mut d = RowBatch::new();
+        let mut live = RowBatch::new();
+        for row in rows {
+            d.push("orders", row.clone());
+            live.push("orders", row);
+        }
+        rows_per_batch.push(d.len());
+        durable.push(d);
+        let outcome = survivor.ingest(live, &IngestPolicy::coerce_all()).unwrap();
+        assert_eq!(
+            outcome.report.accepted,
+            *rows_per_batch.last().unwrap(),
+            "live path accepted every row"
+        );
+    }
+    dd.set_commit_window(CommitWindow::batches(durable.len()));
+    let reports = dd
+        .ingest_group(&mut mirror, durable, &IngestPolicy::coerce_all())
+        .unwrap();
+    assert_eq!(reports.len(), rows_per_batch.len());
+    for (r, &n) in reports.iter().zip(&rows_per_batch) {
+        assert_eq!(
+            r.as_ref().expect("durable batch accepted").accepted,
+            n,
+            "durable path accepted every row"
+        );
+    }
+    drop(dd); // crash
+
+    // Restart A: the fully-materialized warm boot (every column read).
+    let (dd, recovered, report) = DataDir::open(&root).unwrap();
+    assert_eq!(report.replayed, 2, "both group members replayed");
+    assert_eq!(&recovered, &mirror, "recovered database is bit-identical");
+    let (full, _) = warm_sharded(
+        &dd.snapshots_dir(),
+        recovered,
+        &exec(),
+        ServeConfig::default(),
+        shards,
+    )
+    .unwrap();
+    drop(dd);
+
+    // Restart B: the partial warm boot — keys/FKs/time only.
+    let boot = warm_sharded_partial(&root, &exec(), ServeConfig::default(), shards).unwrap();
+    assert_eq!(
+        boot.recovery.replayed, 2,
+        "the group's members replay on the partial path too"
+    );
+    assert!(
+        boot.partial.deferred_columns > 0,
+        "the wide untouched tables must actually defer columns"
+    );
+    assert!(
+        boot.partial.partial_tables > 0,
+        "at least one table stays partially loaded"
+    );
+
+    let rows = survivor.deploy_entities().unwrap();
+    assert!(!rows.is_empty());
+    let oracle = survivor.predict_batch_rows(&rows);
+    let materialized = full.predict_batch_rows(&rows);
+    let partial = boot.engine.predict_batch_rows(&rows);
+    for (i, ((o, m), p)) in oracle.iter().zip(&materialized).zip(&partial).enumerate() {
+        assert_eq!(
+            o.to_bits(),
+            m.to_bits(),
+            "row {} diverged on the full restart at {shards} shard(s)",
+            rows[i]
+        );
+        assert_eq!(
+            o.to_bits(),
+            p.to_bits(),
+            "row {} diverged on the partial restart at {shards} shard(s): \
+             survivor {o} vs partial {p}",
+            rows[i]
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 #[test]
 fn restart_serves_identically_at_one_shard() {
     run_at(1);
@@ -133,4 +251,14 @@ fn restart_serves_identically_at_one_shard() {
 #[test]
 fn restart_serves_identically_at_four_shards() {
     run_at(4);
+}
+
+#[test]
+fn partial_load_serves_identically_at_one_shard() {
+    run_partial_at(1);
+}
+
+#[test]
+fn partial_load_serves_identically_at_four_shards() {
+    run_partial_at(4);
 }
