@@ -9,12 +9,22 @@
 //!
 //! A **zero** deadline selects greedy draining: the batch takes whatever
 //! is already queued (up to `max_batch`) and closes without waiting at
-//! all. That is the right mode for callers that are themselves a queue —
-//! the sharded tier's workers drain their job channels this way, so a lone
-//! job never pays a latency tax while a backlog still fuses.
+//! all. (The sharded tier's workers no longer sit on a channel at all —
+//! they drain their [`InboxSet`](crate::steal::InboxSet) inboxes
+//! directly, which is the same greedy policy over stealable queues; this
+//! batcher remains the front door for the CLI's stdin/TCP request
+//! streams, whose drained batches are pushed straight into those
+//! inboxes by `predict_batch_*`.)
+//!
+//! Saturation is observable: every batch that closes *full* with work
+//! still queued bumps `serve.batcher.full_drains` — the same counter the
+//! shard workers bump on saturated inbox drains — so sustained queue
+//! pressure shows up in run reports wherever batching happens.
 
 use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
 use std::time::{Duration, Instant};
+
+use relgraph_obs as obs;
 
 /// Coalesces items from a channel into bounded batches.
 pub struct MicroBatcher<T> {
@@ -49,6 +59,7 @@ impl<T> MicroBatcher<T> {
                     Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
                 }
             }
+            self.note_saturation(&batch);
             return Some(batch);
         }
         let close_at = Instant::now() + self.deadline;
@@ -62,7 +73,18 @@ impl<T> MicroBatcher<T> {
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
+        self.note_saturation(&batch);
         Some(batch)
+    }
+
+    /// A batch that closed by the *size* bound (not the deadline or a
+    /// disconnect) means the queue is producing faster than one batch
+    /// can absorb — the saturation signal behind
+    /// `serve.batcher.full_drains`.
+    fn note_saturation(&self, batch: &[T]) {
+        if batch.len() == self.max_batch && self.max_batch > 1 && obs::enabled() {
+            obs::add("serve.batcher.full_drains", 1);
+        }
     }
 }
 

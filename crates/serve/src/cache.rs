@@ -183,6 +183,11 @@ pub struct CacheStats {
     pub embedding_misses: u64,
     /// Embedding-tier entries displaced by capacity pressure.
     pub embedding_evictions: u64,
+    /// L1-miss embedding lookups answered by the shared L2 tier.
+    pub l2_hits: u64,
+    /// L1-miss embedding lookups the shared L2 tier missed too (the
+    /// embedding was recomputed).
+    pub l2_misses: u64,
     /// Embedding entries dropped by precise delta invalidation.
     pub invalidated_embeddings: u64,
     /// Prediction entries dropped by precise delta invalidation.
@@ -204,6 +209,13 @@ impl CacheStats {
         (total > 0).then(|| self.embedding_hits as f64 / total as f64)
     }
 
+    /// Shared-L2 hit rate among L1 misses that consulted the tier, in
+    /// `[0, 1]`, or `None` when L2 was never consulted.
+    pub fn l2_hit_rate(&self) -> Option<f64> {
+        let total = self.l2_hits + self.l2_misses;
+        (total > 0).then(|| self.l2_hits as f64 / total as f64)
+    }
+
     /// Fold `other` into `self` field-wise. The sharded tier aggregates
     /// per-shard slices with this before publishing, so the run report's
     /// cache section is the sum over shards, counted exactly once.
@@ -214,6 +226,8 @@ impl CacheStats {
         self.embedding_hits += other.embedding_hits;
         self.embedding_misses += other.embedding_misses;
         self.embedding_evictions += other.embedding_evictions;
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
         self.invalidated_embeddings += other.invalidated_embeddings;
         self.invalidated_predictions += other.invalidated_predictions;
         self.flushes += other.flushes;
@@ -239,6 +253,8 @@ impl CacheStats {
             ("serve.cache.embedding.hits", self.embedding_hits),
             ("serve.cache.embedding.misses", self.embedding_misses),
             ("serve.cache.embedding.evictions", self.embedding_evictions),
+            ("serve.l2.hits", self.l2_hits),
+            ("serve.l2.misses", self.l2_misses),
         ] {
             relgraph_obs::counter_to(name, value);
         }
@@ -247,6 +263,9 @@ impl CacheStats {
         }
         if let Some(r) = self.embedding_hit_rate() {
             relgraph_obs::gauge("serve.cache.embedding.hit_rate", r);
+        }
+        if let Some(r) = self.l2_hit_rate() {
+            relgraph_obs::gauge("serve.l2.hit_rate", r);
         }
     }
 }

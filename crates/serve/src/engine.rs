@@ -37,7 +37,8 @@ use relgraph_db2graph::{
     build_graph, update_graph, ConvertOptions, DeltaStats, GraphCursor, GraphMapping,
 };
 use relgraph_gnn::{
-    predict_nodes, predict_nodes_f32, EmbeddingStore32, InferModel32, NodeModel, Precision,
+    predict_nodes, predict_nodes_f32, EmbeddingStore, EmbeddingStore32, InferModel32, NodeModel,
+    Precision,
 };
 use relgraph_graph::{FeatureMatrix, HeteroGraph, NodeTypeId};
 use relgraph_obs as obs;
@@ -46,7 +47,7 @@ use relgraph_store::{
     Database, IngestPolicy, IngestReport, RowBatch, StoreResult, Timestamp, Value,
 };
 
-use crate::cache::{CacheStats, EmbeddingCache, Lru};
+use crate::cache::{CacheStats, Lru};
 use crate::error::{ServeError, ServeResult};
 use crate::invalidate::{dirty_closure, evict_dirty, grown_tables, TableGrowth};
 use crate::quant::EmbeddingTier;
@@ -72,6 +73,16 @@ pub struct ServeConfig {
     /// every batch commits and publishes individually (the legacy
     /// behavior).
     pub commit_window: usize,
+    /// Capacity of the shared L2 embedding tier (entries), used only by
+    /// the sharded engine: hub embeddings promoted here are read
+    /// lock-free by every shard instead of being recomputed per shard.
+    /// `0` disables the tier. Unlike the per-shard caches this budget is
+    /// *not* divided by the shard count — it is one tier.
+    pub l2_cache: usize,
+    /// Pin each shard worker to one core (`sched_setaffinity`; graceful
+    /// no-op off Linux). Placement hint only — served bits are identical
+    /// either way (`--affinity` on the CLI).
+    pub affinity: bool,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +94,8 @@ impl Default for ServeConfig {
             embedding_cache: 65536,
             precision: Precision::F64,
             commit_window: 1,
+            l2_cache: 65536,
+            affinity: false,
         }
     }
 }
@@ -620,7 +633,7 @@ pub fn predict_batch_cached(
     anchor: Timestamp,
     rows: &[usize],
     predictions: &mut Lru<usize, f64>,
-    embeddings: &mut EmbeddingCache,
+    embeddings: &mut dyn EmbeddingStore,
     stats: &mut CacheStats,
 ) -> Vec<f64> {
     let mut out = vec![0.0f64; rows.len()];

@@ -223,6 +223,55 @@ impl InvalidationPlan {
     }
 }
 
+/// The normative eviction predicate of one (possibly merged) plan, in a
+/// form a *shared* cache can query per entry instead of enumerating keys.
+///
+/// [`evict_dirty`] walks the dirty list and removes levels `d..=hops` by
+/// key — the right shape for a per-shard slice, where the plan is small
+/// relative to the cache. The L2 tier inverts that: the writer sweeps the
+/// published map once and asks, per held entry, whether the plan evicts
+/// it. Both answer the same question, and this struct *is* the rule:
+/// under a plan `P` (including any [`InvalidationPlan::merge`] result),
+/// a cached embedding keyed `(ty, node, level)` must be dropped **iff**
+/// `P.flush`, or `P.dirty` contains `(ty, node)` at distance `d` with
+/// `level >= d`. Levels below `d` survive: a change `d` hops away can
+/// only reach an embedding whose receptive field spans at least `d` hops.
+/// Predictions count as level `hops` of the entity type.
+pub struct PlanFilter {
+    flush: bool,
+    dist: HashMap<(usize, usize), usize>,
+}
+
+impl PlanFilter {
+    /// Compile `plan` into the predicate form (one hash per dirty node;
+    /// merged plans already keep the minimum distance per node).
+    pub fn new(plan: &InvalidationPlan) -> Self {
+        let mut dist = HashMap::new();
+        if !plan.flush {
+            for &(ty, node, d) in plan.dirty.iter() {
+                dist.entry((ty, node))
+                    .and_modify(|e: &mut usize| *e = (*e).min(d))
+                    .or_insert(d);
+            }
+        }
+        PlanFilter {
+            flush: plan.flush,
+            dist,
+        }
+    }
+
+    /// True when the plan flushes wholesale (every entry is evicted).
+    pub fn flushes(&self) -> bool {
+        self.flush
+    }
+
+    /// Must the embedding keyed `(ty, node, level)` be dropped under this
+    /// plan?
+    pub fn evicts(&self, ty: usize, node: usize, level: usize) -> bool {
+        self.flush || self.dist.get(&(ty, node)).is_some_and(|&d| level >= d)
+    }
+}
+
 /// Apply one plan's precise evictions to a cache slice: embeddings at
 /// levels `d..=hops` for every dirty node, plus the tier-1 prediction for
 /// dirty entity nodes. Returns `(embeddings_evicted, predictions_evicted)`
@@ -278,6 +327,33 @@ mod tests {
         assert_eq!(m.epoch, 7);
         assert!(m.flush);
         assert!(m.dirty.is_empty());
+    }
+
+    #[test]
+    fn plan_filter_agrees_with_evict_dirty_on_every_level() {
+        use relgraph_gnn::{EmbeddingStore, Precision};
+        let hops = 2usize;
+        let plan = precise(1, &[((0, 3), 1), ((1, 5), 0), ((0, 7), 2)]);
+        let filter = PlanFilter::new(&plan);
+        assert!(!filter.flushes());
+        let mut tier = EmbeddingTier::new(Precision::F64, 1024);
+        let mut predictions: Lru<usize, f64> = Lru::new(1024);
+        let keys: Vec<(usize, usize, usize)> = (0..2)
+            .flat_map(|ty| (0..8).flat_map(move |node| (0..=hops).map(move |l| (ty, node, l))))
+            .collect();
+        for &(ty, node, level) in &keys {
+            tier.as_f64_mut().put(ty, node, level, vec![1.0]);
+        }
+        evict_dirty(&plan.dirty, hops, 0, &mut predictions, &mut tier);
+        for &(ty, node, level) in &keys {
+            let held = tier.as_f64_mut().get(ty, node, level).is_some();
+            assert_eq!(
+                held,
+                !filter.evicts(ty, node, level),
+                "filter and evict_dirty disagree at ({ty}, {node}, {level})"
+            );
+        }
+        assert!(PlanFilter::new(&InvalidationPlan::flush(2)).evicts(9, 9, 0));
     }
 
     #[test]

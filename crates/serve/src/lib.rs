@@ -24,6 +24,16 @@
 //!   snapshots ([`epoch`]), with one writer publishing deltas as
 //!   broadcast [`invalidate`] plans; any shard count is bit-identical to
 //!   one [`ServeEngine`];
+//! * [`l2`] — [`L2Tier`]: the shared read-mostly hop-k embedding tier
+//!   under the per-shard L1s — hub neighborhoods are embedded once and
+//!   read lock-free by every shard, with the same epoch-tagged
+//!   publication and `(v, ℓ)` invalidation rule as the L1s;
+//! * [`steal`] — [`InboxSet`]: bounded per-shard job inboxes with
+//!   steal-on-idle draining, so a hot-keyed client cannot serialize the
+//!   tier;
+//! * [`affinity`] — vendored `sched_setaffinity` shim behind the
+//!   `--affinity` flag: pin each shard thread (and so its caches and
+//!   inbox) to one core; graceful no-op off Linux;
 //! * [`server`] — the TCP/Unix-socket JSONL front-end over the sharded
 //!   tier, one handler thread per connection.
 //!
@@ -47,18 +57,22 @@
 
 #![warn(missing_docs)]
 
+pub mod affinity;
 pub mod batcher;
 pub mod cache;
 pub mod engine;
 pub mod epoch;
 pub mod error;
 pub mod invalidate;
+pub mod l2;
 pub mod persist;
 pub mod protocol;
 pub mod quant;
 pub mod server;
 pub mod sharded;
+pub mod steal;
 
+pub use affinity::{pin_current_thread, PinOutcome};
 pub use batcher::MicroBatcher;
 pub use cache::{CacheStats, EmbeddingCache, Lru};
 pub use engine::{
@@ -67,7 +81,8 @@ pub use engine::{
 };
 pub use epoch::EpochCell;
 pub use error::{ServeError, ServeResult};
-pub use invalidate::InvalidationPlan;
+pub use invalidate::{InvalidationPlan, PlanFilter};
+pub use l2::{L2Row, L2Snapshot, L2Tier, TieredStore, TieredStore32};
 pub use persist::{
     load_model, save_engine, save_model, warm_engine, warm_sharded, warm_sharded_partial,
     ModelSnapshot, PartialWarmBoot, WarmBootReport,
@@ -79,3 +94,4 @@ pub use quant::{
 };
 pub use server::{bind, handle_line, ServerListener};
 pub use sharded::{GraphSnapshot, ShardedEngine, PLAN_HISTORY};
+pub use steal::{Drain, InboxSet};

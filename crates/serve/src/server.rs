@@ -3,9 +3,12 @@
 //! Speaks the same one-JSON-object-per-line protocol as `relgraph serve`'s
 //! stdin mode, framed over TCP or a Unix domain socket. Each accepted
 //! connection gets its own handler thread; handlers push single-request
-//! jobs straight into the [`ShardedEngine`], whose per-shard greedy
-//! batchers fuse concurrent clients' requests into shared inference
-//! batches — the fan-in is the batcher, not a lock.
+//! jobs straight into the [`ShardedEngine`]'s per-shard inboxes
+//! ([`InboxSet`](crate::steal::InboxSet)), where each worker's greedy
+//! drain fuses concurrent clients' requests into shared inference
+//! batches — the fan-in is the inbox, not a lock, and an idle shard
+//! steals a backlogged neighbor's jobs so one hot connection cannot
+//! serialize the tier.
 //!
 //! Responses on one connection are written in request order (the handler
 //! is synchronous per line), so clients may pipeline without reordering

@@ -9,9 +9,9 @@
 //! * **Shards** — `N` worker threads, each exclusively owning one slice of
 //!   the two-tier cache (a prediction [`Lru`] and an [`EmbeddingTier`]
 //!   matching the configured serving precision).
-//!   A shard drains its job queue through a greedy [`MicroBatcher`], fuses
-//!   queued jobs into one inference batch, and scores against whatever
-//!   graph snapshot it currently holds. Nothing a shard owns is shared, so
+//!   A shard drains its [`InboxSet`] inbox greedily (a lone job never
+//!   waits, a backlog fuses into one inference batch) and scores against
+//!   whatever graph snapshot it currently holds. Nothing a shard owns is shared, so
 //!   the scoring path takes **no lock**: its only synchronization is one
 //!   atomic epoch load per batch.
 //! * **The writer** — [`ShardedEngine::ingest`] (serialized by a mutex,
@@ -22,11 +22,22 @@
 //!   can only poison the writer's private copy; readers keep the old
 //!   snapshot until the rebuild publishes.
 //! * **The front-end** — `predict_batch_*` resolves keys against the
-//!   current snapshot, scatters rows to shards by hash, and gathers
-//!   replies. Routing is **load balancing, not correctness**: every shard
-//!   can score every row, and invalidation plans broadcast to all shards,
-//!   so any shard count produces bit-identical predictions
-//!   (`tests/serving_equivalence.rs` sweeps shard counts 1/2/4/8).
+//!   current snapshot, scatters rows into per-shard [`InboxSet`] inboxes
+//!   by hash, and gathers replies. Routing is **load balancing, not
+//!   correctness**: every shard can score every row, and invalidation
+//!   plans broadcast to all shards, so any shard count produces
+//!   bit-identical predictions (`tests/serving_equivalence.rs` sweeps
+//!   shard counts 1/2/4/8). Because placement is only preference, an
+//!   idle shard *steals* from a backlogged one — a hot-keyed client
+//!   cannot serialize the tier (`serve.steal.*` counters).
+//!
+//! Under the per-shard L1 caches sits one shared read-mostly
+//! [`L2Tier`]: hub embeddings are computed once,
+//! promoted, and read lock-free by every shard at a matching epoch —
+//! see the [`l2`](crate::l2) module docs for the coherence protocol.
+//! With `cfg.affinity`, each shard pins itself to one core
+//! ([`pin_current_thread`](crate::affinity::pin_current_thread)) so its
+//! L1 slabs and inbox stay local.
 //!
 //! # Catching up
 //!
@@ -38,11 +49,9 @@
 //! the history bound — only warm-hit rate does.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
 
 use relgraph_db2graph::{
     build_graph, update_graph_snapshot, ConvertOptions, GraphCursor, GraphMapping,
@@ -53,7 +62,6 @@ use relgraph_obs as obs;
 use relgraph_pq::{ExecConfig, PreparedQuery};
 use relgraph_store::{Database, IngestPolicy, RowBatch, Timestamp, Value};
 
-use crate::batcher::MicroBatcher;
 use crate::cache::{CacheStats, Lru};
 use crate::engine::{
     deploy_anchor, predict_batch_cached, predict_batch_cached32, GroupIngestOutcome, IngestOutcome,
@@ -62,12 +70,20 @@ use crate::engine::{
 use crate::epoch::EpochCell;
 use crate::error::{ServeError, ServeResult};
 use crate::invalidate::{dirty_closure, evict_dirty, grown_tables, InvalidationPlan};
+use crate::l2::{L2Tier, TieredStore, TieredStore32};
 use crate::quant::EmbeddingTier;
+use crate::steal::InboxSet;
 
 /// How many invalidation plans a snapshot retains. A shard more than this
 /// many epochs behind flushes its cache slice instead of replaying plans —
 /// a hit-rate cost, never a correctness one.
 pub const PLAN_HISTORY: usize = 8;
+
+/// Preferred depth bound of each shard's inbox, in jobs. Pushes beyond
+/// this spill to the least-loaded inbox (`serve.steal.spills`) — the
+/// back-pressure valve that keeps a hot-keyed stream from piling work on
+/// one shard faster than stealing can drain it.
+pub const INBOX_CAP: usize = 128;
 
 /// One published graph version: everything a reader needs, immutable.
 pub struct GraphSnapshot {
@@ -93,10 +109,15 @@ struct Shared {
     entity_table: String,
     hops: usize,
     cell: EpochCell<GraphSnapshot>,
+    /// The shared read-mostly L2 embedding tier under the per-shard L1s.
+    l2: L2Tier,
     cfg: ServeConfig,
 }
 
-/// A scatter job: score `rows`, send `(tag, predictions)` back.
+/// A scatter job: score `rows`, send `(tag, predictions)` back. `tag` is
+/// the *routing bucket* the gather side indexed its positions by — it
+/// identifies the reply regardless of which shard actually computed it
+/// (stealing moves jobs between shards, never between buckets).
 struct Job {
     rows: Vec<usize>,
     tag: usize,
@@ -104,8 +125,6 @@ struct Job {
 }
 
 struct ShardHandle {
-    tx: Option<Sender<Job>>,
-    queue_depth: Arc<AtomicUsize>,
     stats: Arc<Mutex<CacheStats>>,
     thread: Option<JoinHandle<()>>,
 }
@@ -132,6 +151,7 @@ struct WriterState {
 /// epoch-swapped snapshots. See the module docs for the full model.
 pub struct ShardedEngine {
     shared: Arc<Shared>,
+    inboxes: Arc<InboxSet<Job>>,
     shards: Vec<ShardHandle>,
     writer: Mutex<WriterState>,
     metrics: Vec<(String, f64)>,
@@ -268,27 +288,26 @@ impl ShardedEngine {
             entity_table,
             hops,
             cell: EpochCell::new(Arc::new(snapshot)),
+            l2: L2Tier::new(cfg.l2_cache),
             cfg,
         });
         // Each shard owns an equal slice of the configured cache budget,
-        // so total cache memory is shard-count invariant.
+        // so total L1 cache memory is shard-count invariant. The L2 tier
+        // is one shared structure and keeps its full budget.
         let pred_cap = (shared.cfg.prediction_cache / shards).max(1);
         let emb_cap = (shared.cfg.embedding_cache / shards).max(1);
+        let inboxes = Arc::new(InboxSet::new(shards, INBOX_CAP));
         let handles = (0..shards)
             .map(|i| {
-                let (tx, rx) = mpsc::channel();
-                let queue_depth = Arc::new(AtomicUsize::new(0));
                 let stats = Arc::new(Mutex::new(CacheStats::default()));
                 let shared2 = Arc::clone(&shared);
-                let depth2 = Arc::clone(&queue_depth);
+                let inboxes2 = Arc::clone(&inboxes);
                 let stats2 = Arc::clone(&stats);
                 let thread = std::thread::Builder::new()
                     .name(format!("serve-shard-{i}"))
-                    .spawn(move || shard_loop(i, shared2, rx, depth2, stats2, pred_cap, emb_cap))
+                    .spawn(move || shard_loop(i, shared2, inboxes2, stats2, pred_cap, emb_cap))
                     .expect("spawn shard worker");
                 ShardHandle {
-                    tx: Some(tx),
-                    queue_depth,
                     stats,
                     thread: Some(thread),
                 }
@@ -296,6 +315,7 @@ impl ShardedEngine {
             .collect();
         Ok(ShardedEngine {
             shared,
+            inboxes,
             shards: handles,
             metrics,
             writer: Mutex::new(WriterState {
@@ -332,12 +352,25 @@ impl ShardedEngine {
         self.shared.cell.load()
     }
 
-    /// Per-shard job-queue depths (jobs sent but not yet scored).
+    /// Per-shard inbox depths (jobs queued, not yet drained by a worker).
     pub fn queue_depths(&self) -> Vec<usize> {
-        self.shards
-            .iter()
-            .map(|s| s.queue_depth.load(Ordering::Relaxed))
-            .collect()
+        self.inboxes.depths()
+    }
+
+    /// Jobs an idle shard took from another shard's inbox.
+    pub fn steals(&self) -> u64 {
+        self.inboxes.steals()
+    }
+
+    /// Pushes redirected off a full preferred inbox.
+    pub fn spills(&self) -> u64 {
+        self.inboxes.spills()
+    }
+
+    /// The shared L2 embedding tier (for inspection; shards and the
+    /// writer drive it internally).
+    pub fn l2(&self) -> &L2Tier {
+        &self.shared.l2
     }
 
     /// Cache statistics summed across shards (each slice counted once).
@@ -357,12 +390,20 @@ impl ShardedEngine {
             return;
         }
         self.stats().publish();
-        for (i, s) in self.shards.iter().enumerate() {
-            obs::gauge(
-                &format!("serve.shard.{i}.queue_depth"),
-                s.queue_depth.load(Ordering::Relaxed) as f64,
-            );
+        self.shared.l2.publish_stats();
+        obs::counter_to("serve.steal.steals", self.inboxes.steals());
+        obs::counter_to("serve.steal.spills", self.inboxes.spills());
+        for (i, depth) in self.inboxes.depths().into_iter().enumerate() {
+            obs::gauge(&format!("serve.shard.{i}.queue_depth"), depth as f64);
         }
+    }
+
+    /// The hash-preferred shard bucket for a row — where
+    /// [`predict_batch_rows`](Self::predict_batch_rows) enqueues it before
+    /// any stealing moves the job. Exposed so tests and capacity planning
+    /// can construct deliberately hot-keyed workloads.
+    pub fn shard_of(&self, row: usize) -> usize {
+        shard_of_row(row, self.shards.len())
     }
 
     /// Entity rows that may legitimately be scored right now.
@@ -371,8 +412,10 @@ impl ShardedEngine {
         Ok(w.query.deploy_entities(&w.db)?)
     }
 
-    /// Score entity rows: scatter by row hash, gather in input order.
-    /// Callable from any number of threads at once.
+    /// Score entity rows: scatter into the hash-preferred shard inboxes
+    /// (stealing may move a job — the reply is keyed by routing bucket,
+    /// not by who computed it), gather in input order. Callable from any
+    /// number of threads at once.
     pub fn predict_batch_rows(&self, rows: &[usize]) -> Vec<f64> {
         let t0 = std::time::Instant::now();
         let n = self.shards.len();
@@ -389,18 +432,14 @@ impl ShardedEngine {
             if shard_rows.is_empty() {
                 continue;
             }
-            let shard = &self.shards[s];
-            shard.queue_depth.fetch_add(1, Ordering::Relaxed);
-            shard
-                .tx
-                .as_ref()
-                .expect("engine not shut down")
-                .send(Job {
+            self.inboxes.push(
+                s,
+                Job {
                     rows: shard_rows,
                     tag: s,
                     reply: reply_tx.clone(),
-                })
-                .expect("shard worker alive");
+                },
+            );
             sent += 1;
         }
         drop(reply_tx);
@@ -555,6 +594,11 @@ impl ShardedEngine {
                     (graph, InvalidationPlan::flush(next_epoch))
                 }
             };
+        // Evict and republish the shared L2 tier *before* the graph
+        // snapshot below: a reader that acquires epoch `next_epoch` must
+        // already see an L2 at `next_epoch` (never a stale one) — see the
+        // coherence protocol in the `l2` module docs.
+        self.shared.l2.apply_plan(&plan);
         w.epoch = next_epoch;
         w.plans.push_back(plan);
         while w.plans.len() > PLAN_HISTORY {
@@ -578,9 +622,8 @@ impl ShardedEngine {
 
 impl Drop for ShardedEngine {
     fn drop(&mut self) {
-        for s in &mut self.shards {
-            s.tx = None; // disconnect: the worker's batcher returns None
-        }
+        // Workers drain what's queued, then `pop_batch` returns `None`.
+        self.inboxes.close();
         for s in &mut self.shards {
             if let Some(t) = s.thread.take() {
                 let _ = t.join();
@@ -604,25 +647,36 @@ fn shard_of_row(row: usize, shards: usize) -> usize {
     (x % shards as u64) as usize
 }
 
-/// One shard's worker loop: drain jobs greedily, catch the cache slice up
-/// to the published epoch, fuse the jobs into one scoring pass, reply.
+/// One shard's worker loop: drain jobs (own inbox first, steal on idle),
+/// catch the cache slice up to the published epoch, fuse the jobs into
+/// one scoring pass layered over the shared L2 tier, reply.
 fn shard_loop(
     index: usize,
     shared: Arc<Shared>,
-    rx: Receiver<Job>,
-    queue_depth: Arc<AtomicUsize>,
+    inboxes: Arc<InboxSet<Job>>,
     stats_out: Arc<Mutex<CacheStats>>,
     pred_cap: usize,
     emb_cap: usize,
 ) {
-    let batcher = MicroBatcher::new(rx, shared.cfg.max_batch, Duration::ZERO);
+    if shared.cfg.affinity {
+        // Placement hint only; a Failed/Unsupported outcome changes
+        // nothing but locality.
+        let outcome = crate::affinity::pin_current_thread(index);
+        if obs::enabled() && outcome.is_pinned() {
+            obs::add("serve.affinity.pinned", 1);
+        }
+    }
+    let quantized = matches!(shared.cfg.precision, Precision::Q8);
     let mut snap = shared.cell.load();
     let mut local_epoch = snap.epoch;
     let mut predictions: Lru<usize, f64> = Lru::new(pred_cap);
     let mut embeddings = EmbeddingTier::new(shared.cfg.precision, emb_cap);
     let mut stats = CacheStats::default();
     let requests_name = format!("serve.shard.{index}.requests");
-    while let Some(jobs) = batcher.next_batch() {
+    while let Some(drain) = inboxes.pop_batch(index, shared.cfg.max_batch) {
+        if drain.saturated && obs::enabled() {
+            obs::add("serve.batcher.full_drains", 1);
+        }
         // One acquire load per drained batch; the slot lock inside
         // `load()` is touched only when the epoch actually moved.
         if shared.cell.epoch() != local_epoch {
@@ -638,8 +692,14 @@ fn shard_loop(
             local_epoch = next.epoch;
             snap = next;
         }
+        // The shared L2 is consulted only at a matching epoch: the
+        // writer republishes L2 *before* the graph, so a mismatch means
+        // this shard's own snapshot is what's stale — skip, never cross.
+        let l2snap = shared.l2.load();
+        let l2 = (l2snap.graph_epoch == local_epoch).then_some(&*l2snap);
         // Fuse every drained job into one pass so concurrent clients'
         // single-row requests still share neighborhood work.
+        let jobs = drain.items;
         let mut rows: Vec<usize> = Vec::new();
         let mut spans: Vec<usize> = Vec::with_capacity(jobs.len());
         for job in &jobs {
@@ -647,40 +707,56 @@ fn shard_loop(
             spans.push(job.rows.len());
         }
         let preds = match &shared.model32 {
-            None => predict_batch_cached(
-                &shared.model,
-                &snap.graph,
-                shared.node_type,
-                snap.anchor,
-                &rows,
-                &mut predictions,
-                embeddings.as_f64_mut(),
-                &mut stats,
-            ),
-            Some(m32) => predict_batch_cached32(
-                m32,
-                &snap.graph,
-                shared.node_type,
-                snap.anchor,
-                &rows,
-                &mut predictions,
-                embeddings.as_store32_mut(),
-                &mut stats,
-            ),
+            None => {
+                let mut store = TieredStore::new(embeddings.as_f64_mut(), l2);
+                let preds = predict_batch_cached(
+                    &shared.model,
+                    &snap.graph,
+                    shared.node_type,
+                    snap.anchor,
+                    &rows,
+                    &mut predictions,
+                    &mut store,
+                    &mut stats,
+                );
+                stats.l2_hits += store.l2_hits;
+                stats.l2_misses += store.l2_misses;
+                shared.l2.promote(local_epoch, store.into_staged());
+                preds
+            }
+            Some(m32) => {
+                let mut store = TieredStore32::new(embeddings.as_store32_mut(), l2, quantized);
+                let preds = predict_batch_cached32(
+                    m32,
+                    &snap.graph,
+                    shared.node_type,
+                    snap.anchor,
+                    &rows,
+                    &mut predictions,
+                    &mut store,
+                    &mut stats,
+                );
+                stats.l2_hits += store.l2_hits;
+                stats.l2_misses += store.l2_misses;
+                shared.l2.promote(local_epoch, store.into_staged());
+                preds
+            }
         };
-        let mut offset = 0usize;
-        for (job, span) in jobs.into_iter().zip(spans) {
-            let slice = preds[offset..offset + span].to_vec();
-            offset += span;
-            queue_depth.fetch_sub(1, Ordering::Relaxed);
-            // A gatherer that gave up is not an error for the shard.
-            let _ = job.reply.send((job.tag, slice));
-        }
+        // Publish stats BEFORE replying: a caller that reads
+        // `ShardedEngine::stats()` right after a returned request must
+        // see the counters that request produced, not race the sync.
         stats.prediction_evictions = predictions.evictions;
         stats.embedding_hits = embeddings.hits();
         stats.embedding_misses = embeddings.misses();
         stats.embedding_evictions = embeddings.evictions();
         *stats_out.lock().unwrap_or_else(|p| p.into_inner()) = stats;
+        let mut offset = 0usize;
+        for (job, span) in jobs.into_iter().zip(spans) {
+            let slice = preds[offset..offset + span].to_vec();
+            offset += span;
+            // A gatherer that gave up is not an error for the shard.
+            let _ = job.reply.send((job.tag, slice));
+        }
         if obs::enabled() {
             obs::add(&requests_name, rows.len() as u64);
         }

@@ -1,0 +1,360 @@
+//! Work-stealing job routing for the sharded serving tier.
+//!
+//! # Why not pure hash routing
+//!
+//! Hash routing (`shard_of_row`) balances *keys*, not *load*: a client
+//! hammering one hot entity maps every request to the same shard, and
+//! the rest of the tier idles while that shard serializes the stream.
+//! An [`InboxSet`] keeps the hash as the *preferred* placement — so a
+//! shard's L1 keeps seeing the same keys and stays warm — but lets any
+//! idle shard steal queued jobs, bounding the damage a hot key can do
+//! to tier throughput.
+//!
+//! # Determinism
+//!
+//! Stealing never changes results. Every shard scores against the same
+//! published snapshot epoch, embeddings are pure functions of
+//! `(type, node, level, anchor)` at that epoch, and invalidation plans
+//! broadcast to all shards — so *which* shard computes a job is
+//! unobservable in the reply bits (`crates/serve/tests/sharded.rs`
+//! asserts this under forced stealing). Routing remains load balancing,
+//! not correctness, exactly as before.
+//!
+//! # Shape
+//!
+//! One bounded inbox per shard (a `Mutex<VecDeque>` with a condvar —
+//! jobs are milliseconds of inference work, so a lock per transfer is
+//! noise). Producers push to the hashed inbox, spilling to the
+//! least-loaded one when the target is full (`serve.steal.spills`).
+//! A worker drains its own inbox first; when empty it sweeps the others
+//! with `try_lock` and steals a batch (`serve.steal.steals`); only when
+//! the whole set looks empty does it park on its own condvar — with a
+//! short timeout when stealing is possible, so a worker never sleeps
+//! through a neighbor's backlog for long.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// How long an idle worker parks before re-sweeping for steals when
+/// other inboxes exist. Bounds steal latency; irrelevant when `n == 1`
+/// (no steal targets — the worker parks until notified).
+const STEAL_PARK: Duration = Duration::from_micros(200);
+
+/// One shard's bounded inbox.
+struct Inbox<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    /// Mirror of `queue.len()`, maintained under the queue lock, so
+    /// producers pick spill targets and workers pick steal victims
+    /// without touching the lock.
+    depth: AtomicUsize,
+}
+
+impl<T> Inbox<T> {
+    fn new() -> Self {
+        Inbox {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            depth: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// One drained batch and how it was obtained.
+pub struct Drain<T> {
+    /// The jobs, oldest first.
+    pub items: Vec<T>,
+    /// True when taken from another shard's inbox.
+    pub stolen: bool,
+    /// True when the drain filled to `max_batch` with work left behind —
+    /// the saturation signal behind `serve.batcher.full_drains`.
+    pub saturated: bool,
+}
+
+/// A set of per-shard bounded inboxes with steal-on-idle draining.
+pub struct InboxSet<T> {
+    inboxes: Vec<Inbox<T>>,
+    cap: usize,
+    closed: AtomicBool,
+    steals: AtomicU64,
+    spills: AtomicU64,
+}
+
+impl<T> InboxSet<T> {
+    /// `n` inboxes, each preferring at most `cap` queued jobs (pushes
+    /// beyond that spill to the least-loaded inbox; the bound is a
+    /// routing pressure valve, not a hard limit — a spill target over
+    /// `cap` still accepts, so pushes never block or fail).
+    pub fn new(n: usize, cap: usize) -> Self {
+        InboxSet {
+            inboxes: (0..n.max(1)).map(|_| Inbox::new()).collect(),
+            cap: cap.max(1),
+            closed: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+            spills: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of inboxes.
+    pub fn len(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// True when the set has no inboxes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.inboxes.is_empty()
+    }
+
+    /// Queued-job depth per inbox.
+    pub fn depths(&self) -> Vec<usize> {
+        self.inboxes
+            .iter()
+            .map(|ib| ib.depth.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Jobs taken from a non-preferred inbox by an idle worker.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Pushes redirected off a full preferred inbox.
+    pub fn spills(&self) -> u64 {
+        self.spills.load(Ordering::Relaxed)
+    }
+
+    /// Enqueue `item` on inbox `target` (the hash-preferred shard),
+    /// spilling to the least-loaded inbox when `target` is at capacity.
+    pub fn push(&self, target: usize, item: T) {
+        let mut dest = target % self.inboxes.len();
+        if self.inboxes.len() > 1 && self.inboxes[dest].depth.load(Ordering::Relaxed) >= self.cap {
+            // Preferred inbox is backed up: spill to the shallowest.
+            let least = self
+                .inboxes
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, ib)| ib.depth.load(Ordering::Relaxed))
+                .map(|(i, _)| i)
+                .unwrap_or(dest);
+            if least != dest {
+                dest = least;
+                self.spills.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let ib = &self.inboxes[dest];
+        let mut q = ib.queue.lock().unwrap_or_else(|p| p.into_inner());
+        q.push_back(item);
+        ib.depth.store(q.len(), Ordering::Relaxed);
+        drop(q);
+        ib.ready.notify_one();
+    }
+
+    /// Drain up to `max_batch` jobs for worker `own`: its own inbox
+    /// first, then a steal sweep, then park. Returns `None` only after
+    /// [`close`](Self::close) *and* every inbox has fully drained — no
+    /// accepted job is ever dropped on shutdown.
+    pub fn pop_batch(&self, own: usize, max_batch: usize) -> Option<Drain<T>> {
+        let own = own % self.inboxes.len();
+        let max_batch = max_batch.max(1);
+        loop {
+            // 1. Own inbox (blocking lock: it's ours, contention is rare).
+            if let Some(drain) = self.take(own, own, max_batch) {
+                return Some(drain);
+            }
+            // 2. Steal sweep over the other inboxes, own successor first
+            //    so victims rotate, try_lock so a busy victim is skipped.
+            let n = self.inboxes.len();
+            for off in 1..n {
+                let victim = (own + off) % n;
+                if self.inboxes[victim].depth.load(Ordering::Relaxed) == 0 {
+                    continue;
+                }
+                if let Some(drain) = self.try_take(victim, own, max_batch) {
+                    return Some(drain);
+                }
+            }
+            // 3. Shutdown: closed and verifiably empty everywhere.
+            if self.closed.load(Ordering::Acquire) {
+                let all_empty = self.inboxes.iter().all(|ib| {
+                    ib.queue
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .is_empty()
+                });
+                if all_empty {
+                    return None;
+                }
+                continue;
+            }
+            // 4. Park on our own condvar. Re-check under the lock so a
+            //    push or close between the sweep and here is not lost.
+            let ib = &self.inboxes[own];
+            let q = ib.queue.lock().unwrap_or_else(|p| p.into_inner());
+            if !q.is_empty() || self.closed.load(Ordering::Acquire) {
+                continue;
+            }
+            if n > 1 {
+                drop(ib.ready.wait_timeout(q, STEAL_PARK));
+            } else {
+                drop(ib.ready.wait(q));
+            }
+        }
+    }
+
+    /// Close the set: workers drain what remains, then `pop_batch`
+    /// returns `None`. Idempotent.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        for ib in &self.inboxes {
+            // Taking the lock orders this notify after any in-progress
+            // park decision, so no worker sleeps through shutdown.
+            let _g = ib.queue.lock().unwrap_or_else(|p| p.into_inner());
+            ib.ready.notify_all();
+        }
+    }
+
+    /// Drain inbox `from` for worker `own` with a blocking lock.
+    fn take(&self, from: usize, own: usize, max_batch: usize) -> Option<Drain<T>> {
+        let ib = &self.inboxes[from];
+        let mut q = ib.queue.lock().unwrap_or_else(|p| p.into_inner());
+        self.drain_locked(&mut q, ib, from, own, max_batch)
+    }
+
+    /// Drain inbox `from` for worker `own`, skipping if the lock is held.
+    fn try_take(&self, from: usize, own: usize, max_batch: usize) -> Option<Drain<T>> {
+        let ib = &self.inboxes[from];
+        let mut q = ib.queue.try_lock().ok()?;
+        self.drain_locked(&mut q, ib, from, own, max_batch)
+    }
+
+    fn drain_locked(
+        &self,
+        q: &mut VecDeque<T>,
+        ib: &Inbox<T>,
+        from: usize,
+        own: usize,
+        max_batch: usize,
+    ) -> Option<Drain<T>> {
+        if q.is_empty() {
+            return None;
+        }
+        let take = q.len().min(max_batch);
+        let items: Vec<T> = q.drain(..take).collect();
+        let saturated = items.len() == max_batch && !q.is_empty();
+        ib.depth.store(q.len(), Ordering::Relaxed);
+        let stolen = from != own;
+        if stolen {
+            self.steals.fetch_add(items.len() as u64, Ordering::Relaxed);
+        }
+        Some(Drain {
+            items,
+            stolen,
+            saturated,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn every_pushed_item_is_drained_exactly_once() {
+        let set: Arc<InboxSet<u32>> = Arc::new(InboxSet::new(4, 8));
+        let total = 4000u32;
+        let workers: Vec<_> = (0..4)
+            .map(|w| {
+                let set = Arc::clone(&set);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(drain) = set.pop_batch(w, 16) {
+                        got.extend(drain.items);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..total {
+            set.push((i % 4) as usize, i);
+        }
+        set.close();
+        let mut seen: Vec<u32> = Vec::new();
+        for w in workers {
+            seen.extend(w.join().unwrap());
+        }
+        assert_eq!(seen.len() as u32, total);
+        let unique: HashSet<u32> = seen.into_iter().collect();
+        assert_eq!(unique.len() as u32, total, "an item was lost or duplicated");
+    }
+
+    #[test]
+    fn idle_worker_steals_a_loaded_victims_backlog() {
+        let set: InboxSet<u32> = InboxSet::new(2, 1024);
+        for i in 0..10 {
+            set.push(0, i); // everything lands on inbox 0
+        }
+        // Worker 1's own inbox is empty: its first drain must steal.
+        let drain = set.pop_batch(1, 4).unwrap();
+        assert!(drain.stolen);
+        assert_eq!(drain.items, vec![0, 1, 2, 3]);
+        assert!(drain.saturated);
+        assert_eq!(set.steals(), 4);
+        // Worker 0 still gets the rest, unstolen.
+        let drain = set.pop_batch(0, 16).unwrap();
+        assert!(!drain.stolen);
+        assert_eq!(drain.items.len(), 6);
+        assert!(!drain.saturated);
+    }
+
+    #[test]
+    fn pushes_spill_off_a_full_inbox() {
+        let set: InboxSet<u32> = InboxSet::new(2, 4);
+        for i in 0..10 {
+            set.push(0, i); // hot key: all prefer inbox 0
+        }
+        assert!(set.spills() > 0, "over-capacity pushes must spill");
+        let depths = set.depths();
+        assert_eq!(depths.iter().sum::<usize>(), 10);
+        assert!(
+            depths[1] > 0,
+            "spills must land on the other inbox: {depths:?}"
+        );
+    }
+
+    #[test]
+    fn close_drains_remaining_items_before_none() {
+        let set: Arc<InboxSet<u32>> = Arc::new(InboxSet::new(2, 64));
+        for i in 0..40 {
+            set.push((i % 2) as usize, i);
+        }
+        set.close();
+        let mut got = Vec::new();
+        while let Some(d) = set.pop_batch(0, 8) {
+            got.extend(d.items);
+        }
+        assert_eq!(got.len(), 40, "close must not drop queued jobs");
+        assert!(set.pop_batch(1, 8).is_none());
+    }
+
+    #[test]
+    fn single_inbox_worker_parks_until_pushed_or_closed() {
+        let set: Arc<InboxSet<u32>> = Arc::new(InboxSet::new(1, 8));
+        let s2 = Arc::clone(&set);
+        let worker = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(d) = s2.pop_batch(0, 8) {
+                got.extend(d.items);
+            }
+            got
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        set.push(0, 7);
+        std::thread::sleep(Duration::from_millis(20));
+        set.close();
+        assert_eq!(worker.join().unwrap(), vec![7]);
+    }
+}

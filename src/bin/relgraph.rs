@@ -50,6 +50,10 @@
 //!   --pred-cache <N>    prediction-cache capacity, split across shards (default 4096)
 //!   --emb-cache <N>     embedding-cache capacity, split across shards (default 65536)
 //!   --shards <N>        engine shards / worker threads (default 1)
+//!   --l2-cache <N>      shared L2 embedding tier capacity, read by all
+//!                       shards (default 65536; 0 disables)
+//!   --affinity          pin each shard thread to one core
+//!                       (sched_setaffinity; no-op off Linux)
 //!   --commit-window <N> write-path group-commit window in batches for
 //!                       embedded ingest (default 1 = per-batch commit)
 //!   --listen <ADDR>     serve a socket instead of stdin: `host:port` (TCP)
@@ -659,8 +663,9 @@ struct ServeArgs {
 fn serve_usage() -> &'static str {
     "usage: relgraph serve (--data DIR | --data-dir DIR | --demo NAME) \
      --query 'PREDICT …' [--seed N] [--max-batch N] [--deadline-ms N] \
-     [--pred-cache N] [--emb-cache N] [--precision f64|f32|q8] [--shards N] \
-     [--commit-window N] [--listen HOST:PORT|SOCKET_PATH] \
+     [--pred-cache N] [--emb-cache N] [--l2-cache N] [--precision f64|f32|q8] \
+     [--shards N] [--affinity] [--commit-window N] \
+     [--listen HOST:PORT|SOCKET_PATH] \
      (--query is optional when --data-dir holds a warm snapshot; a warm \
      snapshot's stored precision wins over --precision)"
 }
@@ -708,9 +713,11 @@ fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, Strin
                     .parse()
                     .map_err(|e| format!("--precision: {e}\n{}", serve_usage()))?
             }
+            "--l2-cache" => cfg.l2_cache = number("--l2-cache", value("--l2-cache")?)? as usize,
             "--shards" => {
                 shards = (number("--shards", value("--shards")?)? as usize).max(1);
             }
+            "--affinity" => cfg.affinity = true,
             "--commit-window" => {
                 cfg.commit_window =
                     (number("--commit-window", value("--commit-window")?)? as usize).max(1);

@@ -12,17 +12,26 @@
 //! state. Batch timestamps are drawn strictly inside the existing time
 //! span so the deploy anchor never advances: the engine must survive on
 //! precise invalidation alone (flushing would hide eviction bugs).
+//!
+//! The final battery extends the property to the sharded tier's shared
+//! L2 embedding cache under true concurrency: with the per-shard L1
+//! slices starved, readers race the writer across every publish and must
+//! only ever observe predictions bitwise-equal to some published epoch —
+//! in `f64`, `f32`, and `q8` — before settling exactly on the last one.
 
-use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use proptest::prelude::*;
 use relgraph::datagen::{generate_ecommerce, EcommerceConfig};
 use relgraph::db2graph::{build_graph, ConvertOptions};
-use relgraph::gnn::{predict_nodes, NoCache};
+use relgraph::gnn::{
+    predict_nodes, predict_nodes_f32, InferModel32, NoCache, NoCache32, Precision,
+};
 use relgraph::pq::ExecConfig;
-use relgraph::serve::{ServeConfig, ServeEngine, ShardedEngine};
-use relgraph::store::{IngestPolicy, Row, RowBatch, Value};
+use relgraph::serve::{QuantizedEmbeddingCache, ServeConfig, ServeEngine, ShardedEngine};
+use relgraph::store::{Database, IngestPolicy, Row, RowBatch, Value};
 
 const QUERY: &str = "PREDICT COUNT(orders.*, 0, 30) > 0 FOR EACH customers.customer_id";
 const CUSTOMERS: i64 = 50;
@@ -251,6 +260,207 @@ proptest! {
                     shards,
                     w,
                     c
+                );
+            }
+        }
+    }
+}
+
+/// Precision modes the L2-coherence battery covers. Kept local: the
+/// cross-mode tolerance battery lives in `precision_equivalence.rs`; this
+/// file only proves within-mode bitwise coherence.
+const L2_MODES: [Precision; 3] = [Precision::F64, Precision::F32, Precision::Q8];
+
+proptest! {
+    // The most expensive battery in the file: each case replays the
+    // schedule into 3 precision modes × {2, 4} shards, each under live
+    // concurrent readers, plus one scratch graph compile and three cold
+    // oracle passes per epoch state — so very few cases.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// L2 coherence under concurrency. The per-shard L1 slices are
+    /// squeezed to a few rows (`embedding_cache: 16`, `prediction_cache:
+    /// 1`) so the shared L2 tier must carry the working set across
+    /// shards. Readers hammer the engine while the writer publishes a
+    /// random schedule of in-span batches; three things must hold in
+    /// every precision mode at 2 and at 4 shards:
+    ///
+    /// 1. Every prediction any reader ever observes is bitwise-equal to
+    ///    SOME published epoch's cold no-cache value — a reader seeing a
+    ///    stale L2 row survive an invalidation, or an L2 row promoted
+    ///    from a *newer* epoch than its shard's snapshot, would produce a
+    ///    value matching no epoch.
+    /// 2. The settled state equals the FINAL epoch exactly (warm ≡ cold
+    ///    per mode, with the q8 oracle routed through the same
+    ///    quantization codec warm serving uses).
+    /// 3. The L2 tier demonstrably carried traffic (promotions and
+    ///    cross-tier hits observed), so 1. and 2. actually exercised it.
+    #[test]
+    fn l2_tier_stays_epoch_coherent_under_concurrent_reads(schedule in schedule_strategy()) {
+        const READERS: usize = 2;
+
+        // Borrow the shared fitted state; anchor and deploy rows are
+        // stable because every batch timestamp stays inside the span.
+        let (db, query, model, node_type, metrics, anchor, rows) = {
+            let eng = engine().lock().unwrap_or_else(|e| e.into_inner());
+            (
+                eng.db().clone(),
+                eng.query().clone(),
+                eng.model_handle(),
+                eng.node_type(),
+                eng.metrics_owned(),
+                eng.anchor(),
+                eng.deploy_entities().unwrap(),
+            )
+        };
+
+        // Materialize the schedule once (ids drawn from the shared
+        // counter a single time) and precompute every epoch state's
+        // database on a scratch clone.
+        let mut step_rows: Vec<Vec<Row>> = Vec::new();
+        let mut states: Vec<Database> = vec![db.clone()];
+        for (orders, _) in &schedule {
+            let cur = states.last().unwrap();
+            let (lo, hi) = cur.time_span().unwrap();
+            let materialized: Vec<Row> = orders
+                .iter()
+                .map(|&(c, p, qty, amount, frac)| {
+                    let t = lo + (hi - lo) / 4 + (hi - lo) / 2 * frac as i64 / 1000;
+                    Row::new()
+                        .push(NEXT_ORDER_ID.fetch_add(1, Ordering::Relaxed))
+                        .push(c as i64 % CUSTOMERS)
+                        .push(p as i64 % PRODUCTS)
+                        .push(qty)
+                        .push(amount)
+                        .push("web")
+                        .push(Value::Timestamp(t))
+                })
+                .collect();
+            let mut next = cur.clone();
+            let mut batch = RowBatch::new();
+            for row in &materialized {
+                batch.push("orders", row.clone());
+            }
+            next.ingest(batch, &IngestPolicy::coerce_all()).unwrap();
+            states.push(next);
+            step_rows.push(materialized);
+        }
+
+        // Cold oracles: for each epoch state, one scratch graph compile
+        // shared by all three mode oracles. `expected[mode][epoch][row]`.
+        let m32 = InferModel32::from_model(&model);
+        let mut expected: Vec<Vec<Vec<f64>>> = vec![Vec::new(); L2_MODES.len()];
+        for state in &states {
+            let (scratch, _) = build_graph(state, &ConvertOptions::default()).unwrap();
+            expected[0].push(predict_nodes(
+                &model, &scratch, node_type, &rows, anchor, &mut NoCache,
+            ));
+            expected[1].push(predict_nodes_f32(
+                &m32, &scratch, node_type, &rows, anchor, &mut NoCache32,
+            ));
+            let mut fresh =
+                QuantizedEmbeddingCache::new(ServeConfig::default().embedding_cache);
+            expected[2].push(predict_nodes_f32(
+                &m32, &scratch, node_type, &rows, anchor, &mut fresh,
+            ));
+        }
+
+        for &shards in &[2usize, 4] {
+            for (mi, &mode) in L2_MODES.iter().enumerate() {
+                // Per-row legal bit patterns: the union over epochs.
+                let legal: Vec<HashSet<u64>> = (0..rows.len())
+                    .map(|i| expected[mi].iter().map(|e| e[i].to_bits()).collect())
+                    .collect();
+                let eng = Arc::new(
+                    ShardedEngine::from_fitted(
+                        db.clone(),
+                        query.clone(),
+                        model.clone(),
+                        node_type,
+                        metrics.clone(),
+                        ServeConfig {
+                            precision: mode,
+                            prediction_cache: 1,
+                            embedding_cache: 16,
+                            ..ServeConfig::default()
+                        },
+                        shards,
+                    )
+                    .unwrap(),
+                );
+                // Warm pass: promotes the working set into L2 at epoch 0.
+                let _ = eng.predict_batch_rows(&rows);
+
+                let writing = Arc::new(AtomicBool::new(true));
+                let reader_handles: Vec<_> = (0..READERS)
+                    .map(|r| {
+                        let eng = Arc::clone(&eng);
+                        let rows = rows.clone();
+                        let legal = legal.clone();
+                        let writing = Arc::clone(&writing);
+                        std::thread::spawn(move || {
+                            let mut pass = 0usize;
+                            while writing.load(Ordering::Relaxed) {
+                                let start = (pass * (r + 1)) % rows.len();
+                                let slice: Vec<usize> = rows
+                                    .iter()
+                                    .cycle()
+                                    .skip(start)
+                                    .take(rows.len() / 2 + 1)
+                                    .copied()
+                                    .collect();
+                                let preds = eng.predict_batch_rows(&slice);
+                                for (j, p) in preds.iter().enumerate() {
+                                    let row_idx = (start + j) % rows.len();
+                                    assert!(
+                                        legal[row_idx].contains(&p.to_bits()),
+                                        "[{mode}] row {} returned {p}, matching no \
+                                         published epoch (stale or early L2 row?)",
+                                        slice[j]
+                                    );
+                                }
+                                pass += 1;
+                            }
+                        })
+                    })
+                    .collect();
+
+                for materialized in &step_rows {
+                    let mut batch = RowBatch::new();
+                    for row in materialized {
+                        batch.push("orders", row.clone());
+                    }
+                    let outcome = eng.ingest(batch, &IngestPolicy::coerce_all()).unwrap();
+                    assert!(!outcome.flushed && !outcome.rebuilt);
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(15));
+                writing.store(false, Ordering::Relaxed);
+                for h in reader_handles {
+                    h.join().expect("reader observed an illegal prediction");
+                }
+
+                // Settled: the final epoch exactly, bit for bit.
+                let settled = eng.predict_batch_rows(&rows);
+                let fin = expected[mi].last().unwrap();
+                for (i, (w, c)) in settled.iter().zip(fin).enumerate() {
+                    prop_assert_eq!(
+                        w.to_bits(),
+                        c.to_bits(),
+                        "[{}] row {} off final epoch after settle at {} shards: {} vs {}",
+                        mode, rows[i], shards, w, c
+                    );
+                }
+                // The run must actually have flowed through the L2 tier.
+                prop_assert!(
+                    eng.l2().promotions() > 0,
+                    "[{}] {} shards: no L2 promotions — battery is vacuous",
+                    mode, shards
+                );
+                prop_assert!(
+                    eng.stats().l2_hits > 0,
+                    "[{}] {} shards: starved L1 slices never hit L2 — vacuous",
+                    mode, shards
                 );
             }
         }
